@@ -1,0 +1,100 @@
+"""Ablation — the similarity pipeline's design choices (Section III-A).
+
+DESIGN.md calls out three choices in the similar-edge builder: the
+blended structural+lexical embedding, the automated false-positive pass
+(``min_similarity``), and the hashed embedding dimension. Each variant
+clusters the same reduced-scale artifact set and is scored against the
+ground-truth campaign partition with B-cubed precision/recall.
+
+Expected shape: the blended embedding beats structure-only on precision
+(vocabulary separates same-template campaigns); the FP pass trades a
+little recall for precision; 64 hashed dimensions already behave like
+256 (feature hashing degrades gracefully).
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import pytest
+
+from repro.analysis.validation import bcubed
+from repro.core.similarity import SimilarityConfig, cluster_artifacts
+from repro.world import WorldConfig, build_world, collect
+
+SMALL = WorldConfig(seed=11, scale=0.25)
+
+VARIANTS = {
+    "blended-256-fp": SimilarityConfig(seed=0),
+    "blended-256-nofp": SimilarityConfig(seed=0, min_similarity=None),
+    "structural-only": SimilarityConfig(seed=0, lexical_weight=0.0),
+    "lexical-only": SimilarityConfig(seed=0, structural_weight=0.0),
+    "blended-64-fp": SimilarityConfig(seed=0, dim=64),
+}
+
+
+@pytest.fixture(scope="module")
+def embedded_entries():
+    dataset = collect(build_world(SMALL)).dataset
+    entries = [
+        e for e in dataset.available_entries()
+        if e.artifact.code_files() and e.campaign_id
+    ]
+    return entries
+
+
+def _score(entries, config) -> Tuple[float, float]:
+    result = cluster_artifacts([e.artifact for e in entries], config)
+    predicted: List[int] = []
+    truth: List[str] = []
+    next_singleton = result.group_count
+    for idx, entry in enumerate(entries):
+        label = int(result.labels[idx])
+        if label < 0:
+            label = next_singleton
+            next_singleton += 1
+        predicted.append(label)
+        truth.append(entry.campaign_id)
+    return bcubed(predicted, truth)
+
+
+@pytest.fixture(scope="module")
+def scores(embedded_entries, request):
+    show = request.getfixturevalue("show")
+    results = {
+        name: _score(embedded_entries, config)
+        for name, config in VARIANTS.items()
+    }
+    lines = ["variant              B3-precision  B3-recall"]
+    for name, (p, r) in results.items():
+        lines.append(f"{name:<20} {p:>12.3f}  {r:>9.3f}")
+    show(
+        "Ablation: similarity pipeline variants (reduced world, "
+        f"{len(embedded_entries)} artifacts)",
+        "\n".join(lines),
+    )
+    _assert_shape(results)
+    return results
+
+
+def _assert_shape(scores) -> None:
+    blended_p, fp_r = scores["blended-256-fp"]
+    nofp_p, nofp_r = scores["blended-256-nofp"]
+    structural_p, _ = scores["structural-only"]
+    small_p, small_r = scores["blended-64-fp"]
+
+    assert blended_p > 0.9, "the shipped configuration is precise"
+    assert blended_p >= nofp_p - 1e-9, "the FP pass never hurts precision"
+    assert nofp_r >= fp_r - 1e-9, "the FP pass can only cost recall"
+    assert blended_p > structural_p, (
+        "lexical features separate same-template campaigns"
+    )
+    assert small_p > 0.8 and small_r > 0.4, "64 dims degrade gracefully"
+
+
+@pytest.mark.parametrize("variant", list(VARIANTS))
+def test_ablation_similarity_variant(benchmark, embedded_entries, scores, variant):
+    precision, recall = benchmark(
+        _score, embedded_entries, VARIANTS[variant]
+    )
+    assert (precision, recall) == pytest.approx(scores[variant])

@@ -1,0 +1,30 @@
+"""Lesson 4, operationalised — reports reveal who runs the campaigns.
+
+The paper: "malicious packages often lack context about how and who
+released them, [but] security reports disclose the information about
+corresponding SSC attack campaigns." Measured: actor aliases recovered
+from the crawled report prose attribute a substantial slice of the
+dataset, and each alias maps cleanly onto one ground-truth actor.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.actors import compute_actor_attribution
+
+
+def test_actor_attribution(benchmark, artifacts, show):
+    attribution = benchmark(compute_actor_attribution, artifacts.dataset)
+    show("Actor attribution from security reports", attribution.render())
+
+    assert len(attribution.profiles) > 10, "many actors get named"
+    assert attribution.mean_purity > 0.95, (
+        "an alias almost never mixes two true actors"
+    )
+    assert attribution.coverage > 0.1, (
+        "reports attribute a visible slice of the dataset"
+    )
+    assert attribution.coverage < 0.9, (
+        "most packages still lack actor context — the paper's point"
+    )

@@ -1,0 +1,27 @@
+"""Fig. 11 — box plot of download-number evolution by release order.
+
+Paper shape: the majority of release attempts get 0-1 downloads because
+the registry removes malware quickly; a minority reach tens of
+downloads; a handful of trojanised popular packages are extreme
+outliers with download counts in the millions.
+"""
+
+from __future__ import annotations
+
+
+def test_fig11_downloads(benchmark, artifacts, show):
+    evolution = benchmark(artifacts.fig11_downloads)
+    show("Fig. 11: download evolution (box plot)", evolution.render())
+
+    boxes = [b for b in evolution.boxes if b is not None]
+    assert boxes, "at least one release-order position must have data"
+    medians = [b.median for b in boxes]
+    assert sorted(medians)[len(medians) // 2] <= 5, (
+        "typical release attempts see almost no downloads (paper: 0-1)"
+    )
+    assert evolution.outliers, "popular-package hijacks create outliers"
+    top_outlier = max(downloads for _, downloads in evolution.outliers)
+    assert top_outlier > evolution.outlier_threshold
+    assert top_outlier > 100_000, (
+        "outlier downloads reach into the hundreds of thousands+"
+    )

@@ -1,0 +1,31 @@
+"""Fig. 12 — distribution of changing operations between release attempts.
+
+Paper shape: CN (changing name) is near-universal (98.92%) because a
+removed name cannot be reused; CC (changing code) is common (~40%) but
+edits are small; CV and CDep are the least popular operations.
+"""
+
+from __future__ import annotations
+
+from repro.malware.operations import ChangeOp
+
+
+def test_fig12_operations(benchmark, artifacts, show):
+    dist = benchmark(artifacts.fig12_operations)
+    show("Fig. 12: the operation distribution", dist.render())
+
+    pct = dist.percentages
+    assert pct[ChangeOp.CN] > 90, "changing the name is near-universal"
+    assert pct[ChangeOp.CN] < 100, (
+        "a small share of attempts reuse the old name with a new version"
+    )
+    assert pct[ChangeOp.CC] > 20, "code changes are common (paper: ~40%)"
+    assert pct[ChangeOp.CV] < pct[ChangeOp.CN]
+    assert pct[ChangeOp.CDEP] < pct[ChangeOp.CN]
+    assert min(pct[ChangeOp.CV], pct[ChangeOp.CDEP]) == min(pct.values()), (
+        "CV and CDep are the least popular operations"
+    )
+    assert dist.avg_changed_lines < 40, (
+        "code edits between attempts are small (paper: ~3.7 lines)"
+    )
+    assert dist.attempt_count > 100

@@ -1,0 +1,31 @@
+"""Fig. 3 — one example of an OSS malicious package group.
+
+Paper shape: a single cluster whose packages are linked by several of
+the four relationship kinds at once (Fig. 3 draws duplicated, similar
+and co-existing edges in one group). The bench picks the richest small
+similarity group and asserts the excerpt mixes relationship kinds.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.graph import EdgeType
+
+
+def test_fig3_example_subgraph(benchmark, artifacts, show):
+    excerpt = benchmark(artifacts.fig3_example_subgraph)
+    assert excerpt is not None, "the graph contains a Fig. 3-style group"
+    show("Fig. 3: example malicious package group", excerpt.render())
+
+    assert 3 <= len(excerpt.nodes) <= 8
+    assert excerpt.edges
+    assert EdgeType.SIMILAR in excerpt.edge_kinds, (
+        "the excerpt is a similarity cluster"
+    )
+    assert len(excerpt.edge_kinds) >= 2, (
+        "multiple relationship kinds co-occur, as in the paper's figure"
+    )
+    dot = excerpt.to_dot()
+    assert dot.startswith("graph fig3 {")
+    assert dot.count("--") == len(excerpt.edges)

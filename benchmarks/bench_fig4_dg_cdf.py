@@ -1,0 +1,23 @@
+"""Fig. 4 — CDF of duplicated-group size for NPM, PyPI and RubyGems.
+
+Paper shape: roughly 80% of malicious packages are reported by only one
+source, and only ~10% by more than three sources.
+"""
+
+from __future__ import annotations
+
+
+def test_fig4_dg_cdf(benchmark, artifacts, show):
+    cdf = benchmark(artifacts.fig4_dg_cdf)
+    show("Fig. 4: CDF of DG size (NPM, PyPI, RubyGems)", cdf.render())
+
+    assert set(cdf.per_ecosystem) >= {"npm", "pypi", "rubygems"}
+    assert cdf.single_source_fraction >= 0.5, (
+        "most packages are reported by a single source (paper: ~80%)"
+    )
+    assert cdf.more_than_three_fraction <= 0.25, (
+        "few packages are reported by more than three sources (paper: ~10%)"
+    )
+    for points in cdf.per_ecosystem.values():
+        fractions = [p.fraction for p in points]
+        assert fractions == sorted(fractions), "CDF must be non-decreasing"

@@ -1,0 +1,27 @@
+"""Fig. 5 — the two causes of package unavailability.
+
+Paper shape: a package is unrecoverable from mirrors either because it
+was released too early (all mirrors had re-synced the removal) or
+because it persisted too briefly (removed before any mirror synced it).
+Short persistence is the dominant cause — registries remove malware
+quickly.
+"""
+
+from __future__ import annotations
+
+from repro.collection.mirrorsearch import MissCause
+
+
+def test_fig5_causes(benchmark, artifacts, show):
+    causes = benchmark(artifacts.fig5_causes)
+    show("Fig. 5: causes of package unavailability", causes.render())
+
+    counts = causes.counts
+    assert counts.get(MissCause.PERSISTED_TOO_BRIEFLY, 0) > 0
+    assert counts.get(MissCause.RELEASED_TOO_EARLY, 0) > 0
+    assert counts[MissCause.PERSISTED_TOO_BRIEFLY] >= counts[
+        MissCause.RELEASED_TOO_EARLY
+    ], "fast registry takedown is the dominant cause of missing artifacts"
+    total = sum(counts.values())
+    assert abs(sum(causes.fraction(c) for c in counts) - 1.0) < 1e-9
+    assert total > 0

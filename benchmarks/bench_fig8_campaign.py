@@ -1,0 +1,23 @@
+"""Fig. 8 — an example multi-release campaign timeline in NPM.
+
+Regenerates the per-day release schedule of one co-existing campaign
+(the paper's example: 15 packages over ten days in August 2023). Paper
+shape: several similar packages released in bursts over a short window.
+"""
+
+from __future__ import annotations
+
+
+def test_fig8_campaign(benchmark, artifacts, show):
+    timeline = benchmark(artifacts.fig8_campaign)
+    assert timeline is not None, "an example NPM campaign must exist"
+    show("Fig. 8: example campaign timeline (NPM)", timeline.render())
+
+    events = timeline.events()
+    assert len(events) >= 6, "the example campaign has several releases"
+    dates = [date for date, _ in events]
+    assert dates == sorted(dates), "events are ordered by release date"
+    span = max(timeline.group.release_days()) - min(timeline.group.release_days())
+    assert span <= 365, "the example campaign is a short burst"
+    names = {name for _, name in events}
+    assert len(names) > 1, "release attempts use different package names"

@@ -1,0 +1,26 @@
+"""Fig. 9 — CDF of the active period of CG, DeG and SG campaigns.
+
+Paper shape: SG campaigns are the shortest (80% last days), CG sit in
+the middle (80% under a year), and DeG campaigns run the longest
+(a benign front package sits dormant before the malicious dependency
+is exercised).
+"""
+
+from __future__ import annotations
+
+from repro.core.groups import GroupKind
+
+
+def test_fig9_active_periods(benchmark, artifacts, show):
+    cdf = benchmark(artifacts.fig9_active_periods)
+    show("Fig. 9: active period of CG, DeG, SG", cdf.render())
+
+    p80 = cdf.p80_years
+    assert set(p80) >= {GroupKind.SG, GroupKind.CG, GroupKind.DEG}
+    assert p80[GroupKind.SG] <= p80[GroupKind.CG] <= p80[GroupKind.DEG], (
+        "SG shortest, DeG longest active periods (paper, Fig. 9)"
+    )
+    assert p80[GroupKind.SG] < 0.5, "80% of SG campaigns last days"
+    assert p80[GroupKind.DEG] > p80[GroupKind.SG], (
+        "dependency campaigns have the longest active period"
+    )

@@ -1,0 +1,42 @@
+"""End-to-end pipeline stage timings (not a paper table).
+
+Times the three expensive stages behind every experiment — world
+simulation, the Section II collection pipeline, and the MALGRAPH build —
+on a reduced-scale world so the benchmark suite stays fast. The default
+full-scale stages are exercised (already warmed) by the per-table
+benches.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.malgraph import MalGraph
+from repro.world import WorldConfig, build_world, collect
+
+SMALL = WorldConfig(seed=11, scale=0.25)
+
+
+@pytest.fixture(scope="module")
+def small_world():
+    return build_world(SMALL)
+
+
+@pytest.fixture(scope="module")
+def small_dataset(small_world):
+    return collect(small_world).dataset
+
+
+def test_stage_world_build(benchmark):
+    world = benchmark(build_world, SMALL)
+    assert world.corpus.campaigns
+
+
+def test_stage_collection(benchmark, small_world):
+    result = benchmark(collect, small_world)
+    assert result.dataset.entries
+
+
+def test_stage_malgraph_build(benchmark, small_dataset):
+    graph = benchmark(MalGraph.build, small_dataset)
+    assert graph.graph.nodes()

@@ -1,0 +1,38 @@
+"""Scaling study — pipeline cost vs world scale (not a paper table).
+
+Times the end-to-end pipeline (world → collection → MALGRAPH) at three
+world scales and checks the cost curve stays near-linear in the corpus
+size: the clique-compressed graph and the hash-deduplicated embedding
+cache are what keep the similar-edge stage from going quadratic on
+flood campaigns.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.malgraph import MalGraph
+from repro.world import WorldConfig, build_world, collect
+
+SCALES = (0.1, 0.25, 0.5)
+
+
+def _end_to_end(scale: float) -> int:
+    world = build_world(WorldConfig(seed=11, scale=scale))
+    dataset = collect(world).dataset
+    graph = MalGraph.build(dataset)
+    return graph.node_count
+
+
+@pytest.fixture(scope="module")
+def sizes():
+    measured = [_end_to_end(scale) for scale in SCALES]
+    assert measured == sorted(measured), "output grows with scale"
+    assert measured[-1] > 2 * measured[0]
+    return dict(zip(SCALES, measured))
+
+
+@pytest.mark.parametrize("scale", SCALES)
+def test_scaling_end_to_end(benchmark, sizes, scale):
+    nodes = benchmark.pedantic(_end_to_end, args=(scale,), iterations=1, rounds=2)
+    assert nodes == sizes[scale]

@@ -1,0 +1,32 @@
+"""Section II-D "Dynamic Changing" — analysis stability over time.
+
+Paper claim: "Our dataset covers an extended period, and the analysis
+results are stable with time." Measured: the headline *rate* metrics
+(overall missing rate, single-source fraction) on six growing snapshots
+of the full dataset settle to within a few percent between the last two
+snapshots, while the raw counts keep accumulating.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.stability import compute_stability
+
+
+def test_dynamic_changing_stability(benchmark, artifacts, show):
+    series = benchmark(compute_stability, artifacts.dataset, 6)
+    show(
+        "Section II-D: analysis stability over growing snapshots",
+        series.render(),
+    )
+    assert len(series.cutoffs) == 6
+    assert series.final_drift("missing_rate_%") < 0.05, (
+        "the missing rate has settled by the study horizon"
+    )
+    assert series.final_drift("single_source_%") < 0.05, (
+        "the overlap structure has settled by the study horizon"
+    )
+    packages = series.metrics["packages"]
+    assert packages == sorted(packages), "records only accumulate"
+    assert packages[-1] == len(artifacts.dataset)

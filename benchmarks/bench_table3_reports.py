@@ -1,0 +1,26 @@
+"""Table III — sources of security analysis reports.
+
+Regenerates the website/report inventory by category. Paper shape:
+technical-community and commercial websites publish the bulk of the
+reports; news/individual/official sources contribute a long tail.
+"""
+
+from __future__ import annotations
+
+
+def test_table3_reports(benchmark, artifacts, show):
+    inventory = benchmark(artifacts.table3_reports)
+    show("Table III: source of security analysis reports",
+         inventory.render())
+
+    rows = {row.category: row for row in inventory.rows}
+    assert {"Technical Community", "Commercial org."} <= set(rows)
+    top_two = sum(
+        rows[c].reports for c in ("Technical Community", "Commercial org.")
+    )
+    total = sum(row.reports for row in inventory.rows)
+    assert total > 0
+    assert top_two >= total * 0.5, (
+        "community + commercial publish most reports (paper: 1,061 / 1,366)"
+    )
+    assert sum(row.websites for row in inventory.rows) >= 10

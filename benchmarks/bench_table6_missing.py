@@ -1,0 +1,28 @@
+"""Table VI — the missing rate of all sources.
+
+Paper shape: overall missing rate around 64%; artifact-sharing sources
+(Maloss, Mal-PyPI, DataDog) have ~0% single-source missing rate while
+names-only feeds (Socket, Phylum, GitHub Advisory, blogs) exceed 90%;
+supplementing from other sources barely helps (all-sources MR tracks the
+single-source MR).
+"""
+
+from __future__ import annotations
+
+
+def test_table6_missing(benchmark, artifacts, show):
+    table = benchmark(artifacts.table6_missing)
+    show("Table VI: the missing rate of all sources", table.render())
+
+    rows = {row.source: row for row in table.rows}
+    for source in ("maloss", "mal-pypi", "datadog"):
+        assert rows[source].missing_single == 0
+    for source in ("socket", "phylum", "blogs"):
+        assert rows[source].missing_single / rows[source].total > 0.8
+    overall = table.overall_missing / table.overall_total
+    assert 0.4 < overall < 0.85, (
+        f"overall missing rate {overall:.1%} should sit near the paper's 64%"
+    )
+    # Supplementing from other sources can only lower the missing rate.
+    for row in table.rows:
+        assert row.missing_all <= row.missing_single

@@ -1,0 +1,32 @@
+"""Table VII — the overall group diversity (SG / DeG / CG per ecosystem).
+
+Paper shape: despite thousands of unique packages there are only on the
+order of a hundred similarity groups; PyPI similarity groups are much
+larger on average than NPM ones (mass flood campaigns); dependency
+groups are rare and tiny (avg size ~2); RubyGems has no DeG at all.
+"""
+
+from __future__ import annotations
+
+from repro.core.groups import GroupKind
+
+
+def test_table7_diversity(benchmark, artifacts, show):
+    table = benchmark(artifacts.table7_diversity)
+    show("Table VII: the overall group diversity", table.render())
+
+    sg_npm = table.cell("npm", GroupKind.SG)
+    sg_pypi = table.cell("pypi", GroupKind.SG)
+    deg_npm = table.cell("npm", GroupKind.DEG)
+    deg_rubygems = table.cell("rubygems", GroupKind.DEG)
+    cg_npm = table.cell("npm", GroupKind.CG)
+
+    assert sg_npm.count > sg_pypi.count, "more SGs in NPM than PyPI"
+    assert sg_pypi.average_size > sg_npm.average_size, (
+        "PyPI similarity groups are much larger (paper: 137 vs 18)"
+    )
+    assert deg_npm.count < sg_npm.count, "dependency campaigns are rare"
+    if deg_npm.count:
+        assert deg_npm.average_size < 4, "DeG average size is close to 2"
+    assert deg_rubygems.count == 0, "no dependency groups in RubyGems"
+    assert cg_npm.count > 0

@@ -1,0 +1,25 @@
+"""Table VIII — top-10 increasing download number (IDN) with operations.
+
+Paper shape: the biggest download jumps come from multi-faceted changes
+— combinations like (CDep, CD, CN, CC) dominate the top-10 — matching
+the trojan strategy of growing a seemingly-legitimate package before
+arming it.
+"""
+
+from __future__ import annotations
+
+
+def test_table8_idn(benchmark, artifacts, show):
+    table = benchmark(artifacts.table8_idn)
+    show("Table VIII: top-10 increasing download number", table.render())
+
+    rows = table.rows
+    assert rows, "there must be positive download jumps"
+    assert len(rows) <= 10
+    idns = [row.idn for row in rows]
+    assert idns == sorted(idns, reverse=True), "ranked by decreasing IDN"
+    assert idns[0] > 10_000, "the top IDN is a popular-package hijack"
+    multi_op = sum(1 for row in rows if len(row.ops) >= 3)
+    assert multi_op >= len(rows) // 2, (
+        "most top IDNs come from multi-faceted changing operations"
+    )

@@ -1,0 +1,51 @@
+#!/usr/bin/env python
+"""What-if: how fast must defenders be?
+
+RQ4's insight is that malicious packages barely get downloaded because
+registries remove them within days. This example runs the
+counterfactual the paper cannot: replay the same multi-year attack
+campaign population with defenders 4x faster to 4x slower, and compare
+attacker yield.
+
+Run::
+
+    python examples/defense_whatif.py
+"""
+
+from __future__ import annotations
+
+from repro.analysis.whatif import compute_defense_sweep
+
+
+def main() -> None:
+    print("Replaying the campaign population under five defender speeds ...\n")
+    sweep = compute_defense_sweep(
+        scales=(0.25, 0.5, 1.0, 2.0, 4.0), seed=7, corpus_scale=0.25
+    )
+    print(sweep.render())
+
+    baseline = sweep.scenario(1.0)
+    fast = sweep.scenario(0.25)
+    slow = sweep.scenario(4.0)
+    saved = baseline.total_downloads - fast.total_downloads
+    cost = slow.total_downloads - baseline.total_downloads
+    print(
+        f"\nAgainst the historical baseline ({baseline.total_downloads:,} "
+        "malicious downloads):"
+    )
+    print(
+        f"  defenders 4x faster would have prevented {saved:,} downloads "
+        f"({saved / baseline.total_downloads:.0%})"
+    )
+    print(
+        f"  defenders 4x slower would have handed attackers {cost:,} more "
+        f"({cost / baseline.total_downloads:.0%})"
+    )
+    print(
+        "\nThe campaign population is identical in every scenario — only "
+        "the defenders' scan latency changes."
+    )
+
+
+if __name__ == "__main__":
+    main()

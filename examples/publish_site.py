@@ -1,0 +1,61 @@
+#!/usr/bin/env python
+"""Publish the dataset the way the paper's transparency website does.
+
+Section II-D: the authors publish every package name with its signature
+(hashes) and the manually labelled groups. This example collects a
+world, builds MALGRAPH, writes the publication bundle (``index.json``,
+``groups.json``, ``index.md``) and the Neo4j/GraphML exports, then
+verifies the round trip by re-loading the saved dataset.
+
+Run::
+
+    python examples/publish_site.py [output-dir]
+"""
+
+from __future__ import annotations
+
+import sys
+import tempfile
+from pathlib import Path
+
+from repro.core.graph import EdgeType
+from repro.io.datasets import load_dataset, save_dataset
+from repro.io.export import to_neo4j_csv
+from repro.io.publish import build_manifest, publish_dataset
+from repro.paper import PaperArtifacts
+from repro.world import WorldConfig
+
+
+def main() -> None:
+    out = Path(sys.argv[1]) if len(sys.argv) > 1 else (
+        Path(tempfile.mkdtemp(prefix="repro-site-"))
+    )
+    print("Building a reduced-scale world and its MALGRAPH ...")
+    artifacts = PaperArtifacts(WorldConfig(seed=7, scale=0.4))
+    malgraph = artifacts.malgraph
+
+    print(f"Publishing the dataset site to {out} ...")
+    publish_dataset(malgraph, out / "site")
+    manifest = build_manifest(malgraph)
+    print(f"  {manifest.summary['packages']} packages "
+          f"({manifest.summary['available']} with artifacts)")
+    for kind, groups in manifest.groups.items():
+        grouped = sum(len(g['members']) for g in groups)
+        print(f"  {kind}: {len(groups)} groups covering {grouped} packages")
+
+    print("Exporting the dependency subgraph for Neo4j ...")
+    nodes, edges = to_neo4j_csv(
+        malgraph.graph, out / "neo4j", edge_types=[EdgeType.DEPENDENCY]
+    )
+    print(f"  wrote {nodes.name}, {edges.name}")
+
+    print("Saving and re-loading the raw dataset ...")
+    save_dataset(artifacts.dataset, out / "dataset", include_artifacts=False)
+    reloaded = load_dataset(out / "dataset")
+    assert len(reloaded) == len(artifacts.dataset)
+    print(f"  round-trip OK: {len(reloaded)} entries")
+    print(f"\nAll artifacts under {out}")
+
+
+if __name__ == "__main__":
+    main()

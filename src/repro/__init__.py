@@ -1,0 +1,74 @@
+"""repro: a reproduction of "An Analysis of Malicious Packages in
+Open-Source Software in the Wild" (DSN 2025).
+
+The library has three layers:
+
+* **substrates** — a deterministic simulated OSS supply-chain world:
+  registries and mirrors (:mod:`repro.ecosystem`), threat actors and
+  campaign life cycles (:mod:`repro.malware`), intel sources, security
+  reports and a simulated web (:mod:`repro.intel`), a crawler
+  (:mod:`repro.crawler`), the Section-II collection pipeline
+  (:mod:`repro.collection`) and a rule-based detector
+  (:mod:`repro.detection`);
+* **MALGRAPH** (:mod:`repro.core`) — the paper's knowledge graph:
+  signatures, AST embeddings, growing-k K-Means, the four edge types and
+  group extraction;
+* **analyses** (:mod:`repro.analysis`, :mod:`repro.paper`) — every table
+  and figure of the evaluation section.
+
+Quickstart::
+
+    from repro.paper import default_artifacts
+
+    paper = default_artifacts()
+    print(paper.table7_diversity().render())
+"""
+
+from repro.collection.records import DatasetEntry, MalwareDataset
+from repro.core.graph import EdgeType, PropertyGraph
+from repro.core.groups import GroupKind, PackageGroup
+from repro.core.malgraph import MalGraph
+from repro.core.similarity import SimilarityConfig
+from repro.detection.detector import Detector, Verdict
+from repro.ecosystem.package import PackageArtifact, PackageId
+from repro.malware.corpus import Corpus, CorpusConfig, build_corpus
+from repro.paper import PaperArtifacts, default_artifacts
+from repro.world import (
+    World,
+    WorldConfig,
+    build_world,
+    collect,
+    default_collection,
+    default_dataset,
+    default_world,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Corpus",
+    "CorpusConfig",
+    "DatasetEntry",
+    "Detector",
+    "EdgeType",
+    "GroupKind",
+    "MalGraph",
+    "MalwareDataset",
+    "PackageArtifact",
+    "PackageGroup",
+    "PackageId",
+    "PaperArtifacts",
+    "PropertyGraph",
+    "SimilarityConfig",
+    "Verdict",
+    "World",
+    "WorldConfig",
+    "build_corpus",
+    "build_world",
+    "collect",
+    "default_artifacts",
+    "default_collection",
+    "default_dataset",
+    "default_world",
+    "__version__",
+]

@@ -1,0 +1,172 @@
+"""Analyses reproducing every table and figure of the paper."""
+
+from repro.analysis.actors import (
+    ActorAttribution,
+    ActorProfile,
+    compute_actor_attribution,
+)
+from repro.analysis.campaigns import (
+    ActivePeriodCdf,
+    CampaignTimeline,
+    compute_active_periods,
+    pick_example_campaign,
+)
+from repro.analysis.diversity import (
+    DiversityTable,
+    GraphStatsTable,
+    compute_diversity,
+    compute_graph_stats,
+)
+from repro.analysis.evolution import (
+    DownloadEvolution,
+    IdnRow,
+    OperationDistribution,
+    TopIdnTable,
+    compute_download_evolution,
+    compute_operation_distribution,
+    compute_top_idn,
+    evolution_groups,
+)
+from repro.analysis.inventory import (
+    ReleaseTimeline,
+    ReportInventory,
+    SourceInventory,
+    compute_release_timeline,
+    compute_report_inventory,
+    compute_source_inventory,
+)
+from repro.analysis.overlap import (
+    DgSizeCdf,
+    OverlapMatrix,
+    compute_dg_size_cdf,
+    compute_overlap_matrix,
+)
+from repro.analysis.quality import (
+    FreshnessTable,
+    MissingRateTable,
+    UnavailabilityCauses,
+    compute_freshness,
+    compute_missing_rates,
+    compute_unavailability_causes,
+)
+from repro.analysis.render import (
+    render_bars,
+    render_box_series,
+    render_cdf,
+    render_table,
+    render_timeline,
+)
+from repro.analysis.families import (
+    FamilyCensus,
+    FamilyRow,
+    compute_family_census,
+    true_category,
+)
+from repro.analysis.insights import Insight, InsightReport, compute_insights
+from repro.analysis.lifecycle import LifecycleTrends, compute_lifecycle_trends
+from repro.analysis.naming import NamingCensus, compute_naming_census
+from repro.analysis.subgraph import ExampleSubgraph, compute_example_subgraph
+from repro.analysis.stability import (
+    StabilitySeries,
+    compute_stability,
+    snapshot_dataset,
+)
+from repro.analysis.whatif import (
+    DefenseScenario,
+    DefenseSweep,
+    compute_defense_sweep,
+    measure_scenario,
+)
+from repro.analysis.validation import (
+    ValidationReport,
+    ValidationScore,
+    adjusted_rand_index,
+    bcubed,
+    validate_groups,
+)
+from repro.analysis.stats import (
+    BoxStats,
+    CdfPoint,
+    bin_by,
+    box_stats,
+    cdf_fraction_at,
+    empirical_cdf,
+    percentage,
+    quantile_at_fraction,
+)
+
+__all__ = [
+    "ActivePeriodCdf",
+    "ActorAttribution",
+    "ActorProfile",
+    "BoxStats",
+    "CampaignTimeline",
+    "CdfPoint",
+    "DefenseScenario",
+    "DefenseSweep",
+    "DgSizeCdf",
+    "DiversityTable",
+    "DownloadEvolution",
+    "ExampleSubgraph",
+    "FamilyCensus",
+    "FamilyRow",
+    "FreshnessTable",
+    "GraphStatsTable",
+    "IdnRow",
+    "Insight",
+    "InsightReport",
+    "LifecycleTrends",
+    "MissingRateTable",
+    "NamingCensus",
+    "OperationDistribution",
+    "OverlapMatrix",
+    "ReleaseTimeline",
+    "ReportInventory",
+    "SourceInventory",
+    "StabilitySeries",
+    "TopIdnTable",
+    "UnavailabilityCauses",
+    "ValidationReport",
+    "ValidationScore",
+    "adjusted_rand_index",
+    "bcubed",
+    "bin_by",
+    "box_stats",
+    "cdf_fraction_at",
+    "compute_active_periods",
+    "compute_actor_attribution",
+    "compute_defense_sweep",
+    "compute_dg_size_cdf",
+    "compute_diversity",
+    "compute_download_evolution",
+    "compute_example_subgraph",
+    "compute_family_census",
+    "compute_freshness",
+    "compute_graph_stats",
+    "compute_insights",
+    "compute_lifecycle_trends",
+    "compute_missing_rates",
+    "compute_naming_census",
+    "compute_operation_distribution",
+    "compute_overlap_matrix",
+    "compute_release_timeline",
+    "compute_report_inventory",
+    "compute_source_inventory",
+    "compute_stability",
+    "compute_top_idn",
+    "compute_unavailability_causes",
+    "empirical_cdf",
+    "evolution_groups",
+    "measure_scenario",
+    "percentage",
+    "pick_example_campaign",
+    "quantile_at_fraction",
+    "render_bars",
+    "render_box_series",
+    "render_cdf",
+    "render_table",
+    "render_timeline",
+    "snapshot_dataset",
+    "true_category",
+    "validate_groups",
+]

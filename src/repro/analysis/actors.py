@@ -1,0 +1,132 @@
+"""Actor attribution from security reports (the 'Lolip0p' context).
+
+The paper's fourth lesson: packages alone lack the context of who
+released them — security reports carry it. Analysts name an actor alias
+in their write-ups; the crawler recovers it
+(:func:`repro.crawler.extract.extract_actor_alias`), so packages can be
+attributed to aliases without any ground truth.
+
+:func:`compute_actor_attribution` builds the alias → package map and —
+because the simulated world knows the true actor behind every campaign
+— scores it: alias purity (does one alias cover one true actor?) and
+the coverage of the attributed slice.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.analysis.render import render_table
+from repro.collection.records import MalwareDataset
+from repro.ecosystem.package import PackageId
+
+
+@dataclass
+class ActorProfile:
+    """One alias as reconstructed from the report corpus."""
+
+    alias: str
+    packages: List[PackageId]
+    reports: int
+    ecosystems: List[str]
+    first_day: Optional[int]
+    last_day: Optional[int]
+    #: ground-truth validation: dominant true actor and its share
+    true_actor: Optional[str] = None
+    purity: float = 0.0
+
+    @property
+    def size(self) -> int:
+        return len(self.packages)
+
+
+@dataclass
+class ActorAttribution:
+    """All alias profiles plus aggregate validation scores."""
+
+    profiles: List[ActorProfile]
+    attributed_packages: int
+    dataset_packages: int
+    mean_purity: float
+
+    @property
+    def coverage(self) -> float:
+        if not self.dataset_packages:
+            return 0.0
+        return self.attributed_packages / self.dataset_packages
+
+    def profile(self, alias: str) -> Optional[ActorProfile]:
+        for profile in self.profiles:
+            if profile.alias == alias:
+                return profile
+        return None
+
+    def render(self, top: int = 10) -> str:
+        rows = [
+            [
+                p.alias,
+                p.size,
+                p.reports,
+                ",".join(p.ecosystems),
+                f"{p.purity:.2f}",
+            ]
+            for p in self.profiles[:top]
+        ]
+        return render_table(
+            ["Alias", "Packages", "Reports", "Ecosystems", "Purity"],
+            rows,
+            title=(
+                f"Actor attribution from reports: {len(self.profiles)} aliases "
+                f"covering {self.coverage:.1%} of the dataset "
+                f"(mean alias purity {self.mean_purity:.2f})"
+            ),
+        )
+
+
+def compute_actor_attribution(dataset: MalwareDataset) -> ActorAttribution:
+    """Group the dataset's packages by the alias their reports name."""
+    packages_by_alias: Dict[str, Set[PackageId]] = {}
+    reports_by_alias: Counter = Counter()
+    for report in dataset.reports:
+        if not report.actor_alias:
+            continue
+        reports_by_alias[report.actor_alias] += 1
+        packages_by_alias.setdefault(report.actor_alias, set()).update(
+            report.packages
+        )
+    profiles: List[ActorProfile] = []
+    attributed: Set[PackageId] = set()
+    for alias, packages in packages_by_alias.items():
+        entries = [dataset.get(p) for p in packages]
+        entries = [e for e in entries if e is not None]
+        days = [e.release_day for e in entries if e.release_day is not None]
+        true_actors = Counter(e.actor for e in entries if e.actor)
+        if true_actors:
+            true_actor, hits = true_actors.most_common(1)[0]
+            purity = hits / sum(true_actors.values())
+        else:
+            true_actor, purity = None, 0.0
+        ecosystems = sorted({e.package.ecosystem for e in entries})
+        profiles.append(
+            ActorProfile(
+                alias=alias,
+                packages=sorted(packages),
+                reports=reports_by_alias[alias],
+                ecosystems=ecosystems,
+                first_day=min(days) if days else None,
+                last_day=max(days) if days else None,
+                true_actor=true_actor,
+                purity=purity,
+            )
+        )
+        attributed |= packages
+    profiles.sort(key=lambda p: (-p.size, p.alias))
+    purities = [p.purity for p in profiles if p.true_actor]
+    return ActorAttribution(
+        profiles=profiles,
+        attributed_packages=len(attributed),
+        dataset_packages=len(dataset),
+        mean_purity=sum(purities) / len(purities) if purities else 0.0,
+    )

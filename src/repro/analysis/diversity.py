@@ -1,0 +1,110 @@
+"""RQ2 diversity analyses: Table II and Table VII.
+
+* Table II — node/edge/degree statistics of each MALGRAPH subgraph;
+* Table VII — group count and average size per ecosystem for SG, DeG
+  and CG.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.analysis.render import render_table
+from repro.core.graph import GraphStats
+from repro.core.groups import GroupKind, PackageGroup, groups_by_ecosystem
+from repro.core.malgraph import MalGraph
+from repro.ecosystem.package import MAJOR_ECOSYSTEMS
+
+
+@dataclass
+class GraphStatsTable:
+    """Table II: the detailed information of MALGRAPH."""
+
+    rows: List[GraphStats]
+
+    _LABELS = {
+        "duplicated": "DG",
+        "dependency": "DeG",
+        "similar": "SG",
+        "coexisting": "CG",
+    }
+
+    def render(self) -> str:
+        table_rows = [
+            [
+                self._LABELS[row.edge_type.value],
+                row.nodes,
+                row.directed_edges,
+                f"{row.avg_out_degree:.2f}",
+                f"{row.avg_in_degree:.2f}",
+            ]
+            for row in self.rows
+        ]
+        return render_table(
+            ["", "Node", "Edge", "Ave. OutDegree", "Ave. InDegree"],
+            table_rows,
+            title="Table II: the detailed information of MALGRAPH",
+        )
+
+
+def compute_graph_stats(malgraph: MalGraph) -> GraphStatsTable:
+    """Table II rows from the built graph."""
+    return GraphStatsTable(rows=malgraph.table2_stats())
+
+
+@dataclass
+class DiversityCell:
+    """One (ecosystem, group kind) cell of Table VII."""
+
+    count: int
+    average_size: float
+
+    def render(self) -> str:
+        if self.count == 0:
+            return "0"
+        return f"{self.count} ({self.average_size:.2f})"
+
+
+@dataclass
+class DiversityTable:
+    """Table VII: overall group diversity per ecosystem."""
+
+    ecosystems: List[str]
+    cells: Dict[Tuple[str, GroupKind], DiversityCell]
+
+    def cell(self, ecosystem: str, kind: GroupKind) -> DiversityCell:
+        return self.cells.get((ecosystem, kind), DiversityCell(0, 0.0))
+
+    def render(self) -> str:
+        kinds = [GroupKind.SG, GroupKind.DEG, GroupKind.CG]
+        rows = []
+        for ecosystem in self.ecosystems:
+            rows.append(
+                [ecosystem.upper()]
+                + [self.cell(ecosystem, kind).render() for kind in kinds]
+            )
+        return render_table(
+            ["OSS", "SG # (avg)", "DeG # (avg)", "CG # (avg)"],
+            rows,
+            title="Table VII: the overall group diversity",
+        )
+
+
+def compute_diversity(
+    malgraph: MalGraph, ecosystems: Sequence[str] = MAJOR_ECOSYSTEMS
+) -> DiversityTable:
+    """Group count and average size per ecosystem (Table VII)."""
+    cells: Dict[Tuple[str, GroupKind], DiversityCell] = {}
+    for kind in (GroupKind.SG, GroupKind.DEG, GroupKind.CG):
+        buckets = groups_by_ecosystem(malgraph.groups(kind))
+        for ecosystem in ecosystems:
+            groups = buckets.get(ecosystem, [])
+            if groups:
+                average = sum(g.size for g in groups) / len(groups)
+            else:
+                average = 0.0
+            cells[(ecosystem, kind)] = DiversityCell(
+                count=len(groups), average_size=average
+            )
+    return DiversityTable(ecosystems=list(ecosystems), cells=cells)

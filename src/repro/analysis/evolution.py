@@ -1,0 +1,202 @@
+"""RQ4 evolution analyses: Fig. 11, Fig. 12 and Table VIII.
+
+A group's members are sorted by release time; consecutive pairs give the
+changing-operation sets (``op_i = diff(mal_i, mal_{i+1})``) and the
+download series gives the impact evolution.
+
+* Fig. 11 — box plot of download counts by release order across groups;
+* Fig. 12 — distribution of the five changing operations;
+* Table VIII — top-10 increasing download number (IDN) with the
+  operation set that produced each jump.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
+
+from repro.analysis.render import render_bars, render_box_series, render_table
+from repro.analysis.stats import BoxStats, box_stats, percentage
+from repro.collection.records import DatasetEntry
+from repro.core.groups import GroupKind, PackageGroup
+from repro.core.malgraph import MalGraph
+from repro.malware.operations import (
+    ChangeOp,
+    OP_ORDER,
+    changed_code_lines,
+    diff_ops,
+    format_ops,
+)
+
+
+def evolution_groups(malgraph: MalGraph) -> List[PackageGroup]:
+    """Groups usable for evolution analysis: similarity groups whose
+    members carry artifacts (needed to diff code/metadata)."""
+    groups = []
+    for group in malgraph.groups(GroupKind.SG):
+        members = [m for m in group.members if m.available and m.release_day is not None]
+        if len(members) >= 2:
+            groups.append(PackageGroup(kind=group.kind, members=members))
+    return groups
+
+
+# ---------------------------------------------------------------------------
+# Fig. 11 — download evolution
+# ---------------------------------------------------------------------------
+
+@dataclass
+class DownloadEvolution:
+    """Box stats of download counts by release order (Fig. 11)."""
+
+    positions: List[int]  # release order index (0-based), decimated
+    boxes: List[Optional[BoxStats]]
+    outlier_threshold: float
+    outliers: List[Tuple[str, int]]  # (package, downloads) above threshold
+
+    def render(self) -> str:
+        body = render_box_series(
+            [str(p + 1) for p in self.positions],
+            self.boxes,
+            title="Fig. 11: download evolution by release order",
+        )
+        if self.outliers:
+            top = ", ".join(f"{name}={count:,}" for name, count in self.outliers[:5])
+            body += f"\noutliers (> {self.outlier_threshold:,.0f} downloads): {top}"
+        return body
+
+
+def compute_download_evolution(
+    malgraph: MalGraph,
+    every: int = 10,
+    max_positions: int = 40,
+    outlier_threshold: float = 100_000.0,
+) -> DownloadEvolution:
+    """Download box stats per release position across groups (Fig. 11).
+
+    The paper plots a box for every 10th release position because of the
+    data volume; ``every`` reproduces that decimation.
+    """
+    groups = evolution_groups(malgraph)
+    by_position: Dict[int, List[float]] = {}
+    outliers: List[Tuple[str, int]] = []
+    for group in groups:
+        for position, entry in enumerate(group.members):
+            by_position.setdefault(position, []).append(float(entry.downloads))
+            if entry.downloads > outlier_threshold:
+                outliers.append((str(entry.package), entry.downloads))
+    positions = sorted(by_position)
+    decimated = [p for p in positions if p % every == 0][:max_positions]
+    boxes = [box_stats(by_position[p]) for p in decimated]
+    outliers.sort(key=lambda item: -item[1])
+    return DownloadEvolution(
+        positions=decimated,
+        boxes=boxes,
+        outlier_threshold=outlier_threshold,
+        outliers=outliers,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Fig. 12 — operation distribution
+# ---------------------------------------------------------------------------
+
+@dataclass
+class OperationDistribution:
+    """Fig. 12: percentage of release attempts using each operation."""
+
+    attempt_count: int
+    percentages: Dict[ChangeOp, float]
+    avg_changed_lines: float  # size of the CC edits
+
+    def render(self) -> str:
+        labels = [op.value for op in OP_ORDER]
+        values = [self.percentages.get(op, 0.0) for op in OP_ORDER]
+        body = render_bars(
+            labels,
+            values,
+            title="Fig. 12: the operation distribution (%)",
+            value_format="{:.2f}%",
+        )
+        body += (
+            f"\n{self.attempt_count} release attempts; average CC edit size: "
+            f"{self.avg_changed_lines:.1f} changed lines"
+        )
+        return body
+
+
+def compute_operation_distribution(malgraph: MalGraph) -> OperationDistribution:
+    """Diff consecutive releases of every group (Fig. 12)."""
+    counts: Dict[ChangeOp, int] = {op: 0 for op in OP_ORDER}
+    attempts = 0
+    cc_lines: List[int] = []
+    for group in evolution_groups(malgraph):
+        members = group.members
+        for prev, nxt in zip(members, members[1:]):
+            attempts += 1
+            ops = diff_ops(prev.artifact, nxt.artifact)
+            for op in ops:
+                counts[op] += 1
+            if ChangeOp.CC in ops:
+                cc_lines.append(changed_code_lines(prev.artifact, nxt.artifact))
+    percentages = {
+        op: percentage(count, attempts) for op, count in counts.items()
+    }
+    avg_lines = sum(cc_lines) / len(cc_lines) if cc_lines else 0.0
+    return OperationDistribution(
+        attempt_count=attempts, percentages=percentages, avg_changed_lines=avg_lines
+    )
+
+
+# ---------------------------------------------------------------------------
+# Table VIII — top IDN
+# ---------------------------------------------------------------------------
+
+@dataclass
+class IdnRow:
+    """One Table VIII row: a download jump and its operation set."""
+
+    idn: int
+    ops: FrozenSet[ChangeOp]
+    from_package: str
+    to_package: str
+
+    def render_ops(self) -> str:
+        return format_ops(self.ops)
+
+
+@dataclass
+class TopIdnTable:
+    """Table VIII: top increasing download numbers with operations."""
+
+    rows: List[IdnRow]
+
+    def render(self) -> str:
+        return render_table(
+            ["IDN", "Operation", "from", "to"],
+            [
+                [f"{r.idn:,}", r.render_ops(), r.from_package, r.to_package]
+                for r in self.rows
+            ],
+            title="Table VIII: top increasing download number with operations",
+        )
+
+
+def compute_top_idn(malgraph: MalGraph, top: int = 10) -> TopIdnTable:
+    """Rank release transitions by download increase (Table VIII)."""
+    rows: List[IdnRow] = []
+    for group in evolution_groups(malgraph):
+        members = group.members
+        for prev, nxt in zip(members, members[1:]):
+            idn = nxt.downloads - prev.downloads
+            if idn <= 0:
+                continue
+            rows.append(
+                IdnRow(
+                    idn=idn,
+                    ops=diff_ops(prev.artifact, nxt.artifact),
+                    from_package=str(prev.package),
+                    to_package=str(nxt.package),
+                )
+            )
+    rows.sort(key=lambda r: -r.idn)
+    return TopIdnTable(rows=rows[:top])

@@ -1,0 +1,126 @@
+"""ASCII rendering of tables and figures.
+
+Every analysis result can be rendered into the terminal the way the
+paper's tables/figures read: aligned tables, horizontal-bar histograms
+and step CDFs. Benchmarks print these so a run of the harness visually
+regenerates the paper's evaluation section.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.analysis.stats import BoxStats, CdfPoint
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: str = "",
+    align_left_first: bool = True,
+) -> str:
+    """Render an aligned ASCII table."""
+    cells = [[str(h) for h in headers]] + [[str(c) for c in row] for row in rows]
+    widths = [max(len(row[col]) for row in cells) for col in range(len(headers))]
+
+    def fmt(row: List[str]) -> str:
+        parts = []
+        for col, value in enumerate(row):
+            if col == 0 and align_left_first:
+                parts.append(value.ljust(widths[col]))
+            else:
+                parts.append(value.rjust(widths[col]))
+        return "  ".join(parts)
+
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(fmt(cells[0]))
+    lines.append("  ".join("-" * w for w in widths))
+    lines.extend(fmt(row) for row in cells[1:])
+    return "\n".join(lines)
+
+
+def render_bars(
+    labels: Sequence[str],
+    values: Sequence[float],
+    title: str = "",
+    width: int = 46,
+    value_format: str = "{:.2f}",
+) -> str:
+    """Horizontal bar chart (used for Fig. 12-style distributions)."""
+    lines = [title] if title else []
+    peak = max(values) if values else 1.0
+    label_width = max((len(l) for l in labels), default=0)
+    for label, value in zip(labels, values):
+        bar = "#" * int(round(width * (value / peak))) if peak else ""
+        lines.append(
+            f"{label.ljust(label_width)} | {bar} {value_format.format(value)}"
+        )
+    return "\n".join(lines)
+
+
+def render_cdf(
+    points: Sequence[CdfPoint],
+    title: str = "",
+    width: int = 46,
+    height: int = 10,
+    value_label: str = "value",
+) -> str:
+    """Step CDF as an ASCII plot (Figs. 4 and 9)."""
+    lines = [title] if title else []
+    if not points:
+        lines.append("(empty)")
+        return "\n".join(lines)
+    values = [p.value for p in points]
+    lo, hi = min(values), max(values)
+    span = (hi - lo) or 1.0
+    grid = [[" "] * width for _ in range(height)]
+    for point in points:
+        x = int((point.value - lo) / span * (width - 1))
+        y = int(round((1.0 - point.fraction) * (height - 1)))
+        grid[y][x] = "*"
+    for row_idx, row in enumerate(grid):
+        frac = 1.0 - row_idx / (height - 1)
+        lines.append(f"{frac:4.2f} |" + "".join(row))
+    lines.append("     +" + "-" * width)
+    lines.append(f"      {value_label}: {lo:g} .. {hi:g}")
+    return "\n".join(lines)
+
+
+def render_box_series(
+    labels: Sequence[str],
+    boxes: Sequence[Optional[BoxStats]],
+    title: str = "",
+) -> str:
+    """Render a box-plot series as a quartile table (Fig. 11)."""
+    rows = []
+    for label, box in zip(labels, boxes):
+        if box is None:
+            rows.append([label, "-", "-", "-", "-", "-", "-"])
+        else:
+            rows.append(
+                [
+                    label,
+                    box.count,
+                    f"{box.minimum:g}",
+                    f"{box.q1:g}",
+                    f"{box.median:g}",
+                    f"{box.q3:g}",
+                    f"{box.maximum:g}",
+                ]
+            )
+    return render_table(
+        ["release #", "n", "min", "Q1", "median", "Q3", "max"], rows, title=title
+    )
+
+
+def render_timeline(
+    labels: Sequence[str],
+    counts: Sequence[int],
+    title: str = "",
+    width: int = 40,
+) -> str:
+    """Vertical-ish timeline rendered as label + bar rows (Fig. 2)."""
+    return render_bars(labels, [float(c) for c in counts], title=title, width=width,
+                       value_format="{:.0f}")

@@ -1,0 +1,156 @@
+"""Temporal stability of the analysis results (Section II-D).
+
+The paper's "Dynamic Changing" validity argument: *"One concern is that
+the analysis results may be changed when new and unknown malicious
+packages are released ... Our dataset covers an extended period, and the
+analysis results are stable with time."*
+
+This module makes that argument measurable. :func:`snapshot_dataset`
+reconstructs the dataset as it would have looked at an earlier cutoff
+day (claims, reports and registry facts after the cutoff removed);
+:func:`compute_stability` evaluates the headline metrics on a series of
+growing snapshots, so the convergence the paper asserts can be checked:
+late-window metric values should settle.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.analysis.overlap import compute_dg_size_cdf
+from repro.analysis.quality import compute_missing_rates
+from repro.analysis.render import render_table
+from repro.collection.records import (
+    CollectedReport,
+    DatasetEntry,
+    MalwareDataset,
+    SourceClaim,
+)
+from repro.ecosystem.clock import day_to_date
+
+
+def snapshot_dataset(dataset: MalwareDataset, cutoff_day: int) -> MalwareDataset:
+    """The dataset as collected with knowledge up to ``cutoff_day``.
+
+    * entries survive iff some source had reported them by the cutoff;
+    * claims after the cutoff are dropped;
+    * an artifact survives iff a kept claim shares it *or* it was
+      recovered from a mirror (mirror recovery depends on the removal
+      time, which precedes any report, so recovered bits were already
+      recoverable at the cutoff);
+    * reports published after the cutoff are dropped.
+    """
+    entries: List[DatasetEntry] = []
+    kept_keys = set()
+    for entry in dataset.entries:
+        claims = [c for c in entry.claims if c.report_day <= cutoff_day]
+        if not claims:
+            continue
+        clone = DatasetEntry(
+            package=entry.package,
+            claims=[SourceClaim(c.source, c.report_day, c.shares_artifact) for c in claims],
+            release_day=entry.release_day,
+            removal_day=entry.removal_day,
+            detection_day=entry.detection_day,
+            downloads=entry.downloads,
+            campaign_id=entry.campaign_id,
+            actor=entry.actor,
+            archetype=entry.archetype,
+            behavior_key=entry.behavior_key,
+        )
+        origin = entry.artifact_origin or ""
+        sharing_kept = any(c.shares_artifact for c in claims)
+        if entry.artifact is not None and (
+            origin.startswith("mirror:") or sharing_kept
+        ):
+            clone.artifact = entry.artifact
+            clone.artifact_origin = entry.artifact_origin
+        entries.append(clone)
+        kept_keys.add(entry.package)
+    reports: List[CollectedReport] = []
+    for report in dataset.reports:
+        if report.publish_day is not None and report.publish_day > cutoff_day:
+            continue
+        clone = CollectedReport(
+            report_id=report.report_id,
+            url=report.url,
+            site=report.site,
+            category=report.category,
+            source=report.source,
+            publish_day=report.publish_day,
+            packages=[p for p in report.packages if p in kept_keys],
+            unresolved=list(report.unresolved),
+        )
+        reports.append(clone)
+    return MalwareDataset(entries=entries, reports=reports)
+
+
+#: Metric name -> callable(dataset) -> float. The headline RQ1 metrics
+#: whose stability the paper asserts.
+DEFAULT_METRICS: Dict[str, Callable[[MalwareDataset], float]] = {
+    "packages": lambda ds: float(len(ds)),
+    "missing_rate_%": lambda ds: compute_missing_rates(ds).overall_rate,
+    "single_source_%": lambda ds: 100.0
+    * compute_dg_size_cdf(ds).single_source_fraction,
+    "reports": lambda ds: float(len(ds.reports)),
+}
+
+
+@dataclass
+class StabilitySeries:
+    """Metric values over growing snapshot cutoffs."""
+
+    cutoffs: List[int]
+    metrics: Dict[str, List[float]]
+
+    def final_drift(self, metric: str) -> float:
+        """Relative change of a metric between the last two snapshots."""
+        values = self.metrics[metric]
+        if len(values) < 2 or values[-2] == 0:
+            return 0.0
+        return abs(values[-1] - values[-2]) / abs(values[-2])
+
+    def render(self) -> str:
+        headers = ["cutoff"] + list(self.metrics)
+        rows = []
+        for idx, cutoff in enumerate(self.cutoffs):
+            rows.append(
+                [day_to_date(cutoff).isoformat()]
+                + [f"{self.metrics[name][idx]:.2f}" for name in self.metrics]
+            )
+        return render_table(
+            headers,
+            rows,
+            title="Dynamic changing (Section II-D): metrics over growing snapshots",
+        )
+
+
+def compute_stability(
+    dataset: MalwareDataset,
+    snapshots: int = 6,
+    metrics: Optional[Dict[str, Callable[[MalwareDataset], float]]] = None,
+) -> StabilitySeries:
+    """Evaluate ``metrics`` on ``snapshots`` evenly spaced cutoffs.
+
+    Cutoffs span from 40% of the observed reporting window to its end,
+    so the early, tiny snapshots (where every metric is noisy) are not
+    part of the stability claim.
+    """
+    metrics = metrics if metrics is not None else DEFAULT_METRICS
+    report_days = [
+        claim.report_day for entry in dataset.entries for claim in entry.claims
+    ]
+    if not report_days:
+        return StabilitySeries(cutoffs=[], metrics={name: [] for name in metrics})
+    first, last = min(report_days), max(report_days)
+    start = first + int(0.4 * (last - first))
+    step = max((last - start) // max(snapshots - 1, 1), 1)
+    cutoffs = [min(start + i * step, last) for i in range(snapshots)]
+    cutoffs[-1] = last
+    series: Dict[str, List[float]] = {name: [] for name in metrics}
+    for cutoff in cutoffs:
+        snap = snapshot_dataset(dataset, cutoff)
+        for name, fn in metrics.items():
+            series[name].append(fn(snap))
+    return StabilitySeries(cutoffs=cutoffs, metrics=series)

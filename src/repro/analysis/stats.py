@@ -1,0 +1,95 @@
+"""Shared statistics helpers for the analyses: CDFs, box stats, binning."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+
+@dataclass
+class CdfPoint:
+    """One (value, cumulative fraction) step of an empirical CDF."""
+
+    value: float
+    fraction: float
+
+
+def empirical_cdf(values: Sequence[float]) -> List[CdfPoint]:
+    """Empirical CDF of a sample, one point per distinct value."""
+    if not values:
+        return []
+    data = np.sort(np.asarray(values, dtype=np.float64))
+    n = data.size
+    points: List[CdfPoint] = []
+    distinct, counts = np.unique(data, return_counts=True)
+    cumulative = np.cumsum(counts)
+    for value, cum in zip(distinct, cumulative):
+        points.append(CdfPoint(value=float(value), fraction=float(cum) / n))
+    return points
+
+
+def cdf_fraction_at(values: Sequence[float], threshold: float) -> float:
+    """P(X <= threshold) over the sample."""
+    if not values:
+        return 0.0
+    data = np.asarray(values, dtype=np.float64)
+    return float(np.mean(data <= threshold))
+
+
+def quantile_at_fraction(values: Sequence[float], fraction: float) -> float:
+    """Smallest value v with CDF(v) >= fraction."""
+    if not values:
+        return float("nan")
+    data = np.sort(np.asarray(values, dtype=np.float64))
+    index = min(int(np.ceil(fraction * data.size)) - 1, data.size - 1)
+    return float(data[max(index, 0)])
+
+
+@dataclass
+class BoxStats:
+    """Five-number summary for one box of a box plot (Fig. 11)."""
+
+    count: int
+    minimum: float
+    q1: float
+    median: float
+    q3: float
+    maximum: float
+
+    @property
+    def iqr(self) -> float:
+        return self.q3 - self.q1
+
+
+def box_stats(values: Sequence[float]) -> Optional[BoxStats]:
+    """Quartile summary of a sample; None when empty."""
+    if not values:
+        return None
+    data = np.asarray(values, dtype=np.float64)
+    return BoxStats(
+        count=int(data.size),
+        minimum=float(data.min()),
+        q1=float(np.percentile(data, 25)),
+        median=float(np.percentile(data, 50)),
+        q3=float(np.percentile(data, 75)),
+        maximum=float(data.max()),
+    )
+
+
+def bin_by(
+    items: Sequence, key, sort_keys: bool = True
+) -> Dict:
+    """Group items into bins by a key function."""
+    bins: Dict = {}
+    for item in items:
+        bins.setdefault(key(item), []).append(item)
+    if sort_keys:
+        return dict(sorted(bins.items(), key=lambda kv: kv[0]))
+    return bins
+
+
+def percentage(part: float, whole: float) -> float:
+    """Percentage with a zero-safe denominator."""
+    return 100.0 * part / whole if whole else 0.0

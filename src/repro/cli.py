@@ -1,0 +1,355 @@
+"""Command-line interface.
+
+``python -m repro <command>`` regenerates the paper's evaluation, saves
+or publishes datasets, exports the graph, runs queries and scans
+packages::
+
+    python -m repro tables                 # every table and figure
+    python -m repro show table7            # one experiment
+    python -m repro dataset --out data/    # save the collected dataset
+    python -m repro publish --out site/    # the transparency website
+    python -m repro export --out g/ --format graphml
+    python -m repro query "MATCH (a)-[:dependency]-(b) RETURN a.name, b.name"
+    python -m repro validate               # groups vs ground truth
+    python -m repro scan path/to/package/  # detector verdict for a dir
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.paper import PaperArtifacts, default_artifacts
+from repro.world import WorldConfig
+
+#: experiment key -> PaperArtifacts method name
+EXPERIMENTS: Dict[str, str] = {
+    "table1": "table1_sources",
+    "fig2": "fig2_timeline",
+    "table2": "table2_malgraph",
+    "fig3": "fig3_example_subgraph",
+    "table3": "table3_reports",
+    "table4": "table4_overlap",
+    "fig4": "fig4_dg_cdf",
+    "table5": "table5_freshness",
+    "table6": "table6_missing",
+    "fig5": "fig5_causes",
+    "table7": "table7_diversity",
+    "fig8": "fig8_campaign",
+    "fig9": "fig9_active_periods",
+    "fig11": "fig11_downloads",
+    "fig12": "fig12_operations",
+    "table8": "table8_idn",
+}
+
+
+def _artifacts(args: argparse.Namespace) -> PaperArtifacts:
+    if args.seed == 7 and args.scale == 1.0:
+        return default_artifacts()
+    return PaperArtifacts(WorldConfig(seed=args.seed, scale=args.scale))
+
+
+def _render_experiment(artifacts: PaperArtifacts, key: str) -> str:
+    result = getattr(artifacts, EXPERIMENTS[key])()
+    if result is None:
+        return f"{key}: no qualifying data in this world"
+    return result.render()
+
+
+# ---------------------------------------------------------------------------
+# Commands
+# ---------------------------------------------------------------------------
+
+def cmd_tables(args: argparse.Namespace) -> int:
+    artifacts = _artifacts(args)
+    for key in EXPERIMENTS:
+        print(_render_experiment(artifacts, key))
+        print()
+    return 0
+
+
+def cmd_show(args: argparse.Namespace) -> int:
+    print(_render_experiment(_artifacts(args), args.experiment))
+    return 0
+
+
+def cmd_dataset(args: argparse.Namespace) -> int:
+    from repro.io.datasets import save_dataset
+
+    artifacts = _artifacts(args)
+    target = save_dataset(
+        artifacts.dataset, args.out, include_artifacts=not args.no_artifacts
+    )
+    print(f"wrote {len(artifacts.dataset)} entries to {target}")
+    return 0
+
+
+def cmd_publish(args: argparse.Namespace) -> int:
+    from repro.io.publish import publish_dataset
+
+    artifacts = _artifacts(args)
+    target = publish_dataset(artifacts.malgraph, args.out)
+    print(f"published dataset site to {target}")
+    return 0
+
+
+def cmd_export(args: argparse.Namespace) -> int:
+    from repro.core.graph import EdgeType
+    from repro.io.export import to_dot, to_graphml, to_neo4j_csv
+
+    artifacts = _artifacts(args)
+    graph = artifacts.malgraph.graph
+    edge_types = None
+    if args.edges:
+        edge_types = [EdgeType(name) for name in args.edges.split(",")]
+    out = Path(args.out)
+    out.mkdir(parents=True, exist_ok=True)
+    if args.format == "graphml":
+        path = out / "malgraph.graphml"
+        path.write_text(to_graphml(graph, edge_types))
+        print(f"wrote {path}")
+    elif args.format == "dot":
+        path = out / "malgraph.dot"
+        path.write_text(to_dot(graph, edge_types))
+        print(f"wrote {path}")
+    else:
+        nodes, edges = to_neo4j_csv(graph, out, edge_types)
+        print(f"wrote {nodes} and {edges}")
+    return 0
+
+
+def cmd_query(args: argparse.Namespace) -> int:
+    from repro.core.query import GraphQuerySession, QueryError
+
+    artifacts = _artifacts(args)
+    session = GraphQuerySession(artifacts.malgraph.graph)
+    try:
+        print(session.run_table(args.query))
+    except QueryError as error:
+        print(f"query error: {error}", file=sys.stderr)
+        return 2
+    return 0
+
+
+def cmd_validate(args: argparse.Namespace) -> int:
+    from repro.analysis.validation import validate_groups
+
+    artifacts = _artifacts(args)
+    print(validate_groups(artifacts.malgraph).render())
+    return 0
+
+
+def cmd_report(args: argparse.Namespace) -> int:
+    artifacts = _artifacts(args)
+    sections = [
+        "# Evaluation report",
+        "",
+        f"World: seed={args.seed}, scale={args.scale}. Every table and "
+        "figure of the paper's evaluation, regenerated.",
+        "",
+    ]
+    for key in EXPERIMENTS:
+        sections.append(f"## {key}")
+        sections.append("")
+        sections.append("```")
+        sections.append(_render_experiment(artifacts, key))
+        sections.append("```")
+        sections.append("")
+    payload = "\n".join(sections)
+    if args.out:
+        Path(args.out).write_text(payload)
+        print(f"wrote {args.out}")
+    else:
+        print(payload)
+    return 0
+
+
+def cmd_whatif(args: argparse.Namespace) -> int:
+    from repro.analysis.whatif import compute_defense_sweep
+
+    sweep = compute_defense_sweep(
+        scales=tuple(args.scales),
+        seed=args.seed,
+        corpus_scale=min(args.scale, 0.25),
+    )
+    print(sweep.render())
+    return 0
+
+
+def cmd_census(args: argparse.Namespace) -> int:
+    from repro.analysis.families import compute_family_census
+
+    artifacts = _artifacts(args)
+    print(compute_family_census(artifacts.malgraph).render())
+    return 0
+
+
+def cmd_actors(args: argparse.Namespace) -> int:
+    from repro.analysis.actors import compute_actor_attribution
+
+    artifacts = _artifacts(args)
+    print(compute_actor_attribution(artifacts.dataset).render(top=args.top))
+    return 0
+
+
+def cmd_insights(args: argparse.Namespace) -> int:
+    artifacts = _artifacts(args)
+    report = artifacts.insights()
+    print(report.render())
+    return 0 if report.all_hold else 1
+
+
+def cmd_stability(args: argparse.Namespace) -> int:
+    from repro.analysis.stability import compute_stability
+
+    artifacts = _artifacts(args)
+    print(compute_stability(artifacts.dataset, snapshots=args.snapshots).render())
+    return 0
+
+
+def cmd_detect(args: argparse.Namespace) -> int:
+    from repro.detection.scanner import evaluate_on_corpus
+
+    artifacts = _artifacts(args)
+    result = evaluate_on_corpus(artifacts.world.corpus, sample=args.sample)
+    print(result.render())
+    return 0
+
+
+def cmd_scan(args: argparse.Namespace) -> int:
+    from repro.detection.detector import Detector
+    from repro.ecosystem.package import make_artifact
+
+    root = Path(args.path)
+    if not root.is_dir():
+        print(f"not a directory: {root}", file=sys.stderr)
+        return 2
+    files = {
+        str(p.relative_to(root)): p.read_text(encoding="utf-8", errors="replace")
+        for p in sorted(root.rglob("*.py"))
+    }
+    if not files:
+        print(f"no Python files under {root}", file=sys.stderr)
+        return 2
+    artifact = make_artifact(args.ecosystem, root.name, "0.0.0", files)
+    verdict = Detector().scan(artifact)
+    print(verdict.explain())
+    return 1 if verdict.malicious else 0
+
+
+# ---------------------------------------------------------------------------
+# Parser wiring
+# ---------------------------------------------------------------------------
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction of 'An Analysis of Malicious Packages in "
+        "Open-Source Software in the Wild' (DSN 2025)",
+    )
+    from repro import __version__
+
+    parser.add_argument(
+        "--version", action="version", version=f"repro {__version__}"
+    )
+    parser.add_argument("--seed", type=int, default=7, help="world seed")
+    parser.add_argument(
+        "--scale", type=float, default=1.0, help="world scale factor"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("tables", help="render every table and figure").set_defaults(
+        func=cmd_tables
+    )
+
+    show = sub.add_parser("show", help="render one experiment")
+    show.add_argument("experiment", choices=sorted(EXPERIMENTS))
+    show.set_defaults(func=cmd_show)
+
+    dataset = sub.add_parser("dataset", help="save the collected dataset")
+    dataset.add_argument("--out", required=True)
+    dataset.add_argument(
+        "--no-artifacts", action="store_true", help="names/hashes only"
+    )
+    dataset.set_defaults(func=cmd_dataset)
+
+    publish = sub.add_parser("publish", help="write the dataset website")
+    publish.add_argument("--out", required=True)
+    publish.set_defaults(func=cmd_publish)
+
+    export = sub.add_parser("export", help="export MALGRAPH")
+    export.add_argument("--out", required=True)
+    export.add_argument(
+        "--format", choices=("graphml", "dot", "csv"), default="graphml"
+    )
+    export.add_argument(
+        "--edges", help="comma-separated edge types (default: all)"
+    )
+    export.set_defaults(func=cmd_export)
+
+    query = sub.add_parser("query", help="run a Cypher-like graph query")
+    query.add_argument("query")
+    query.set_defaults(func=cmd_query)
+
+    sub.add_parser(
+        "validate", help="score groups against ground truth"
+    ).set_defaults(func=cmd_validate)
+
+    sub.add_parser(
+        "census", help="malware-family census over similarity groups"
+    ).set_defaults(func=cmd_census)
+
+    actors = sub.add_parser(
+        "actors", help="actor aliases recovered from security reports"
+    )
+    actors.add_argument("--top", type=int, default=10)
+    actors.set_defaults(func=cmd_actors)
+
+    sub.add_parser(
+        "insights", help="the paper's four lessons, measured (exit 1 if any fails)"
+    ).set_defaults(func=cmd_insights)
+
+    report = sub.add_parser("report", help="write the full evaluation as markdown")
+    report.add_argument("--out", default=None, help="output file (default: stdout)")
+    report.set_defaults(func=cmd_report)
+
+    whatif = sub.add_parser(
+        "whatif", help="defense response-time sweep (attacker yield)"
+    )
+    whatif.add_argument(
+        "--scales",
+        type=float,
+        nargs="+",
+        default=[0.25, 0.5, 1.0, 2.0, 4.0],
+        help="detection latency multipliers to sweep",
+    )
+    whatif.set_defaults(func=cmd_whatif)
+
+    stability = sub.add_parser(
+        "stability", help="Section II-D metric stability over snapshots"
+    )
+    stability.add_argument("--snapshots", type=int, default=6)
+    stability.set_defaults(func=cmd_stability)
+
+    detect = sub.add_parser("detect", help="evaluate the detector on the corpus")
+    detect.add_argument("--sample", type=int, default=None)
+    detect.set_defaults(func=cmd_detect)
+
+    scan = sub.add_parser("scan", help="scan a package directory")
+    scan.add_argument("path")
+    scan.add_argument("--ecosystem", default="pypi")
+    scan.set_defaults(func=cmd_scan)
+
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

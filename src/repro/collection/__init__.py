@@ -1,0 +1,39 @@
+"""Collection pipeline: Section II of the paper, end to end."""
+
+from repro.collection.merge import DatasetDiff, diff_datasets, merge_datasets
+from repro.collection.mirrorsearch import (
+    MissCause,
+    RecoveryStats,
+    classify_miss,
+    recover_from_mirrors,
+)
+from repro.collection.pipeline import (
+    CollectionPipeline,
+    CollectionResult,
+    CollectionStats,
+    attach_ground_truth,
+)
+from repro.collection.records import (
+    CollectedReport,
+    DatasetEntry,
+    MalwareDataset,
+    SourceClaim,
+)
+
+__all__ = [
+    "CollectedReport",
+    "CollectionPipeline",
+    "CollectionResult",
+    "CollectionStats",
+    "DatasetDiff",
+    "DatasetEntry",
+    "MalwareDataset",
+    "MissCause",
+    "RecoveryStats",
+    "SourceClaim",
+    "attach_ground_truth",
+    "classify_miss",
+    "diff_datasets",
+    "merge_datasets",
+    "recover_from_mirrors",
+]

@@ -1,0 +1,191 @@
+"""Dataset merging and diffing (the paper's future-work update loop).
+
+Section III-C closes with *"In future work, we will continue to find and
+collect new malicious packages and security reports to improve the
+MALGRAPH coverage."* That loop needs two primitives a one-shot pipeline
+lacks:
+
+* :func:`merge_datasets` — union two collected datasets: claims merge
+  per source (earliest report day wins), artifacts fill in from
+  whichever side has them, reports deduplicate by id;
+* :func:`diff_datasets` — what changed between two collection runs:
+  packages added/removed, packages whose artifact was newly recovered,
+  and new reports.
+
+Both are pure: inputs are never mutated.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.collection.records import (
+    CollectedReport,
+    DatasetEntry,
+    MalwareDataset,
+    SourceClaim,
+)
+from repro.ecosystem.package import PackageId
+from repro.errors import DatasetError
+
+
+def _normalized_claims(entry: DatasetEntry) -> List[SourceClaim]:
+    """One claim per source: earliest report day, sticky sharing flag.
+
+    The pipeline already guarantees per-source uniqueness; hand-built
+    datasets may not, and merging must not amplify such duplicates.
+    """
+    by_source: Dict[str, SourceClaim] = {}
+    for claim in entry.claims:
+        held = by_source.get(claim.source)
+        if held is None:
+            by_source[claim.source] = SourceClaim(
+                claim.source, claim.report_day, claim.shares_artifact
+            )
+        else:
+            by_source[claim.source] = SourceClaim(
+                claim.source,
+                min(held.report_day, claim.report_day),
+                held.shares_artifact or claim.shares_artifact,
+            )
+    return list(by_source.values())
+
+
+def _clone_entry(entry: DatasetEntry) -> DatasetEntry:
+    clone = DatasetEntry(
+        package=entry.package,
+        claims=_normalized_claims(entry),
+        artifact=entry.artifact,
+        artifact_origin=entry.artifact_origin,
+        release_day=entry.release_day,
+        removal_day=entry.removal_day,
+        detection_day=entry.detection_day,
+        downloads=entry.downloads,
+        campaign_id=entry.campaign_id,
+        actor=entry.actor,
+        archetype=entry.archetype,
+        behavior_key=entry.behavior_key,
+    )
+    return clone
+
+
+def _merge_into(base: DatasetEntry, extra: DatasetEntry) -> None:
+    """Fold ``extra``'s knowledge into ``base`` (same package)."""
+    by_source = {c.source: c for c in base.claims}
+    for claim in extra.claims:
+        held = by_source.get(claim.source)
+        if held is None:
+            merged = SourceClaim(claim.source, claim.report_day, claim.shares_artifact)
+            base.claims.append(merged)
+            by_source[claim.source] = merged
+        elif claim.report_day < held.report_day:
+            by_source[claim.source] = SourceClaim(
+                claim.source, claim.report_day,
+                held.shares_artifact or claim.shares_artifact,
+            )
+            base.claims = [
+                by_source[c.source] if c.source == claim.source else c
+                for c in base.claims
+            ]
+        elif claim.shares_artifact and not held.shares_artifact:
+            replacement = SourceClaim(held.source, held.report_day, True)
+            by_source[claim.source] = replacement
+            base.claims = [
+                replacement if c.source == claim.source else c for c in base.claims
+            ]
+    if base.artifact is None and extra.artifact is not None:
+        base.artifact = extra.artifact
+        base.artifact_origin = extra.artifact_origin
+    elif (
+        base.artifact is not None
+        and extra.artifact is not None
+        and base.artifact.sha256() != extra.artifact.sha256()
+    ):
+        raise DatasetError(
+            f"conflicting artifacts for {base.package}: "
+            f"{base.artifact.sha256()[:12]} vs {extra.artifact.sha256()[:12]}"
+        )
+    for attr in ("release_day", "removal_day", "detection_day"):
+        if getattr(base, attr) is None:
+            setattr(base, attr, getattr(extra, attr))
+    base.downloads = max(base.downloads, extra.downloads)
+    for attr in ("campaign_id", "actor", "archetype", "behavior_key"):
+        if getattr(base, attr) is None:
+            setattr(base, attr, getattr(extra, attr))
+
+
+def merge_datasets(base: MalwareDataset, new: MalwareDataset) -> MalwareDataset:
+    """Union of two collection runs; neither input is mutated."""
+    merged: Dict[PackageId, DatasetEntry] = {
+        entry.package: _clone_entry(entry) for entry in base.entries
+    }
+    for entry in new.entries:
+        held = merged.get(entry.package)
+        if held is None:
+            merged[entry.package] = _clone_entry(entry)
+        else:
+            _merge_into(held, entry)
+    entries = sorted(
+        merged.values(),
+        key=lambda e: (e.package.ecosystem, e.package.name, e.package.version),
+    )
+    reports: Dict[str, CollectedReport] = {r.report_id: r for r in base.reports}
+    for report in new.reports:
+        reports.setdefault(report.report_id, report)
+    return MalwareDataset(
+        entries=entries,
+        reports=sorted(reports.values(), key=lambda r: r.report_id),
+    )
+
+
+@dataclass
+class DatasetDiff:
+    """What changed from ``old`` to ``new``."""
+
+    added: List[PackageId] = field(default_factory=list)
+    removed: List[PackageId] = field(default_factory=list)
+    newly_available: List[PackageId] = field(default_factory=list)
+    new_sources: Dict[PackageId, Set[str]] = field(default_factory=dict)
+    new_reports: List[str] = field(default_factory=list)
+
+    @property
+    def is_empty(self) -> bool:
+        return not (
+            self.added
+            or self.removed
+            or self.newly_available
+            or self.new_sources
+            or self.new_reports
+        )
+
+    def summary(self) -> str:
+        return (
+            f"+{len(self.added)} packages, -{len(self.removed)}, "
+            f"{len(self.newly_available)} newly available, "
+            f"{len(self.new_sources)} with new sources, "
+            f"+{len(self.new_reports)} reports"
+        )
+
+
+def diff_datasets(old: MalwareDataset, new: MalwareDataset) -> DatasetDiff:
+    """Structured difference between two collection runs."""
+    diff = DatasetDiff()
+    old_keys = {entry.package for entry in old.entries}
+    new_keys = {entry.package for entry in new.entries}
+    diff.added = sorted(new_keys - old_keys)
+    diff.removed = sorted(old_keys - new_keys)
+    for entry in new.entries:
+        counterpart = old.get(entry.package)
+        if counterpart is None:
+            continue
+        if entry.available and not counterpart.available:
+            diff.newly_available.append(entry.package)
+        gained = entry.sources - counterpart.sources
+        if gained:
+            diff.new_sources[entry.package] = gained
+    old_reports = {r.report_id for r in old.reports}
+    diff.new_reports = sorted(
+        r.report_id for r in new.reports if r.report_id not in old_reports
+    )
+    return diff

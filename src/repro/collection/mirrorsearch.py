@@ -1,0 +1,83 @@
+"""Mirror recovery (Section II-C).
+
+For every dataset entry whose artifact no source shared, search the
+mirror fleet by (ecosystem, name, version). Mirrors lag — or never purge
+— the root registry, so a fraction of removed packages is still
+recoverable. The per-entry outcome also records *why* recovery failed,
+feeding the Fig. 5 unavailability-cause analysis.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Dict, List, Optional
+
+from repro.collection.records import DatasetEntry
+from repro.ecosystem.mirror import MirrorNetwork
+
+
+class MissCause(str, Enum):
+    """Why a package could not be recovered from any mirror (Fig. 5)."""
+
+    RELEASED_TOO_EARLY = "released-too-early"  # before mirror coverage
+    PERSISTED_TOO_BRIEFLY = "persisted-too-briefly"  # removed inside the sync gap
+    NO_MIRROR_COVERAGE = "no-mirror-coverage"  # ecosystem has no mirrors
+
+
+@dataclass
+class RecoveryStats:
+    """Aggregate outcome of one mirror-recovery pass."""
+
+    attempted: int = 0
+    recovered: int = 0
+    misses: Dict[MissCause, int] = field(default_factory=dict)
+
+    def record_miss(self, cause: MissCause) -> None:
+        self.misses[cause] = self.misses.get(cause, 0) + 1
+
+    @property
+    def recovery_rate(self) -> float:
+        return self.recovered / self.attempted if self.attempted else 0.0
+
+
+def classify_miss(
+    entry: DatasetEntry, mirrors: MirrorNetwork
+) -> MissCause:
+    """Attribute a recovery failure to one of the Fig. 5 causes."""
+    fleet = mirrors.for_ecosystem(entry.package.ecosystem)
+    if not fleet:
+        return MissCause.NO_MIRROR_COVERAGE
+    earliest_archival_start = min(
+        (m.start_day for m in fleet if m.archival), default=None
+    )
+    release = entry.release_day
+    if release is not None and earliest_archival_start is not None:
+        if release < earliest_archival_start:
+            return MissCause.RELEASED_TOO_EARLY
+        return MissCause.PERSISTED_TOO_BRIEFLY
+    if release is not None and earliest_archival_start is None:
+        return MissCause.PERSISTED_TOO_BRIEFLY
+    return MissCause.RELEASED_TOO_EARLY
+
+
+def recover_from_mirrors(
+    entries: List[DatasetEntry], mirrors: MirrorNetwork
+) -> RecoveryStats:
+    """Try mirror recovery for every artifact-less entry, in place."""
+    stats = RecoveryStats()
+    for entry in entries:
+        if entry.available:
+            continue
+        stats.attempted += 1
+        hit = mirrors.search(
+            entry.package.ecosystem, entry.package.name, entry.package.version
+        )
+        if hit is not None:
+            mirror_name, artifact = hit
+            entry.artifact = artifact
+            entry.artifact_origin = f"mirror:{mirror_name}"
+            stats.recovered += 1
+        else:
+            stats.record_miss(classify_miss(entry, mirrors))
+    return stats

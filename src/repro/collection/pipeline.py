@@ -1,0 +1,329 @@
+"""The collection pipeline (Section II, Fig. 1).
+
+Four stages mirror the paper's methodology:
+
+1. **open datasets** — download records (and artifacts, when shipped)
+   from the four academic datasets and DataDog;
+2. **web crawl** — spider the website sources' blogs, keyword-filter,
+   extract (name, version) records from report pages; crawl the full
+   68-site web for the security-report corpus;
+3. **SNS** — parse package mentions out of the tweet feed;
+4. **mirror recovery** — search mirror registries for every record whose
+   artifact no source shared.
+
+A false-positive filter implements the paper's validity rule: "if the
+root registry does not remove a package, it is not a malicious package".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.collection.mirrorsearch import RecoveryStats, recover_from_mirrors
+from repro.collection.records import (
+    CollectedReport,
+    DatasetEntry,
+    MalwareDataset,
+    SourceClaim,
+)
+from repro.crawler.extract import ExtractedReport, extract_tweet
+from repro.crawler.spider import CrawlStats, Spider
+from repro.ecosystem.mirror import MirrorNetwork
+from repro.ecosystem.package import PackageId
+from repro.ecosystem.registry import RegistryHub
+from repro.errors import PackageNotFoundError
+from repro.intel.reports import ReportCorpus, Website
+from repro.intel.sns import Tweet
+from repro.intel.sources import (
+    SOURCE_PROFILES,
+    AttributionOutcome,
+    SourceKind,
+    SourceProfile,
+)
+from repro.intel.web import SimulatedWeb
+from repro.malware.corpus import Corpus
+
+
+@dataclass
+class CollectionStats:
+    """Bookkeeping across the whole pipeline run."""
+
+    dataset_records: int = 0
+    crawl: CrawlStats = field(default_factory=CrawlStats)
+    crawled_records: int = 0
+    sns_records: int = 0
+    false_positives_dropped: int = 0
+    unknown_mentions: int = 0
+    merged_entries: int = 0
+    recovery: RecoveryStats = field(default_factory=RecoveryStats)
+
+
+@dataclass
+class CollectionResult:
+    dataset: MalwareDataset
+    stats: CollectionStats
+
+
+class CollectionPipeline:
+    """Runs Section II end-to-end against a simulated world."""
+
+    def __init__(
+        self,
+        registries: RegistryHub,
+        mirrors: MirrorNetwork,
+        profiles: Sequence[SourceProfile] = tuple(SOURCE_PROFILES),
+    ):
+        self.registries = registries
+        self.mirrors = mirrors
+        self.profiles = list(profiles)
+        from repro.intel.web import advisory_site
+
+        self._site_to_source = {
+            p.website: p.key
+            for p in self.profiles
+            if p.kind == SourceKind.WEBSITE and p.website
+        }
+        self._advisory_sites = {
+            advisory_site(p): p.key
+            for p in self.profiles
+            if p.kind == SourceKind.WEBSITE and p.website
+        }
+        self._site_to_source.update(self._advisory_sites)
+
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        outcome: AttributionOutcome,
+        web: SimulatedWeb,
+        feed: Sequence[Tweet],
+        report_corpus: ReportCorpus,
+    ) -> CollectionResult:
+        """Execute all four stages and return the merged dataset."""
+        stats = CollectionStats()
+        entries: Dict[PackageId, DatasetEntry] = {}
+
+        self._collect_open_datasets(outcome, entries, stats)
+        crawled_reports = self._collect_websites(web, entries, stats)
+        self._collect_sns(feed, entries, stats)
+
+        stats.merged_entries = len(entries)
+        dataset_entries = sorted(
+            entries.values(), key=lambda e: (e.package.ecosystem, e.package.name, e.package.version)
+        )
+        self._fill_registry_facts(dataset_entries)
+        stats.recovery = recover_from_mirrors(dataset_entries, self.mirrors)
+
+        reports = self._resolve_reports(
+            crawled_reports, entries, report_corpus.websites, stats
+        )
+        dataset = MalwareDataset(entries=dataset_entries, reports=reports)
+        return CollectionResult(dataset=dataset, stats=stats)
+
+    # -- stage 1: open datasets -------------------------------------------
+    def _collect_open_datasets(
+        self,
+        outcome: AttributionOutcome,
+        entries: Dict[PackageId, DatasetEntry],
+        stats: CollectionStats,
+    ) -> None:
+        dataset_sources = {
+            p.key for p in self.profiles if p.kind == SourceKind.DATASET
+        }
+        for record in outcome.entries:
+            if record.source not in dataset_sources:
+                continue
+            stats.dataset_records += 1
+            entry = self._claim(
+                entries,
+                record.package,
+                record.source,
+                record.report_day,
+                record.shares_artifact,
+            )
+            if record.shares_artifact and entry.artifact is None:
+                artifact = self._fetch_archived(record.package)
+                if artifact is not None:
+                    entry.artifact = artifact
+                    entry.artifact_origin = f"source:{record.source}"
+
+    # -- stage 2: web crawl ------------------------------------------------
+    def _collect_websites(
+        self,
+        web: SimulatedWeb,
+        entries: Dict[PackageId, DatasetEntry],
+        stats: CollectionStats,
+    ) -> List[ExtractedReport]:
+        spider = Spider(web)
+        result = spider.crawl(spider.discover_sites())
+        stats.crawl = result.stats
+        for report in result.reports:
+            source_key = self._site_to_source.get(report.site)
+            if source_key is None:
+                continue  # echo site: report-corpus only, no Table-I claims
+            for name, version in report.packages:
+                package = PackageId(report.ecosystem, name, version)
+                if not self._passes_fp_filter(package, stats):
+                    continue
+                stats.crawled_records += 1
+                shares = self._source_shares(source_key, package)
+                entry = self._claim(
+                    entries,
+                    package,
+                    source_key,
+                    report.publish_day or 0,
+                    shares,
+                )
+                if shares and entry.artifact is None:
+                    artifact = self._fetch_archived(package)
+                    if artifact is not None:
+                        entry.artifact = artifact
+                        entry.artifact_origin = f"source:{source_key}"
+        return result.reports
+
+    # -- stage 3: SNS --------------------------------------------------------
+    def _collect_sns(
+        self,
+        feed: Sequence[Tweet],
+        entries: Dict[PackageId, DatasetEntry],
+        stats: CollectionStats,
+    ) -> None:
+        sns_sources = [p for p in self.profiles if p.kind == SourceKind.SNS]
+        if not sns_sources:
+            return
+        source_key = sns_sources[0].key
+        for tweet in feed:
+            parsed = extract_tweet(tweet.text)
+            if parsed is None:
+                continue
+            ecosystem, name, version = parsed
+            package = PackageId(ecosystem, name, version)
+            if not self._passes_fp_filter(package, stats):
+                continue
+            stats.sns_records += 1
+            shares = self._source_shares(source_key, package)
+            entry = self._claim(entries, package, source_key, tweet.day, shares)
+            if shares and entry.artifact is None:
+                artifact = self._fetch_archived(package)
+                if artifact is not None:
+                    entry.artifact = artifact
+                    entry.artifact_origin = f"source:{source_key}"
+
+    # -- shared helpers ------------------------------------------------------
+    def _claim(
+        self,
+        entries: Dict[PackageId, DatasetEntry],
+        package: PackageId,
+        source: str,
+        report_day: int,
+        shares_artifact: bool,
+    ) -> DatasetEntry:
+        entry = entries.get(package)
+        if entry is None:
+            entry = DatasetEntry(package=package)
+            entries[package] = entry
+        if not any(c.source == source for c in entry.claims):
+            entry.claims.append(
+                SourceClaim(
+                    source=source,
+                    report_day=report_day,
+                    shares_artifact=shares_artifact,
+                )
+            )
+        return entry
+
+    def _passes_fp_filter(self, package: PackageId, stats: CollectionStats) -> bool:
+        """Validity rule: a package the root registry never removed is a
+        false positive; a package the registry never saw is noise."""
+        try:
+            record = self.registries.lookup(package)
+        except PackageNotFoundError:
+            stats.unknown_mentions += 1
+            return False
+        if record.removal_day is None:
+            stats.false_positives_dropped += 1
+            return False
+        return True
+
+    def _fetch_archived(self, package: PackageId):
+        """A source that shares artifacts archived the package when it
+        reported it; the bits are identical to what the registry held."""
+        try:
+            return self.registries.lookup(package).artifact
+        except PackageNotFoundError:
+            return None
+
+    def _source_shares(self, source_key: str, package: PackageId) -> bool:
+        """Whether this source's portal serves the artifact for a crawled
+        record (comonotone across sources; see
+        :func:`repro.intel.sources.source_shares_package`)."""
+        profile = next(p for p in self.profiles if p.key == source_key)
+        from repro.intel.sources import source_shares_package
+
+        return source_shares_package(profile, package)
+
+    def _fill_registry_facts(self, entries: List[DatasetEntry]) -> None:
+        """Attach public registry metadata (release/removal/downloads).
+
+        The paper reads these from registry APIs and download-stats
+        services, which keep serving metadata for removed packages.
+        """
+        for entry in entries:
+            try:
+                record = self.registries.lookup(entry.package)
+            except PackageNotFoundError:
+                continue
+            entry.release_day = record.release_day
+            entry.removal_day = record.removal_day
+            entry.detection_day = record.detection_day
+            entry.downloads = record.downloads
+
+    def _resolve_reports(
+        self,
+        crawled: List[ExtractedReport],
+        entries: Dict[PackageId, DatasetEntry],
+        websites: Sequence[Website],
+        stats: CollectionStats,
+    ) -> List[CollectedReport]:
+        category_of = {site.domain: site.category for site in websites}
+        reports: List[CollectedReport] = []
+        # Advisory-database pages are record listings, not analysis
+        # reports: they feed claims but not the report corpus.
+        crawled = [r for r in crawled if r.site not in self._advisory_sites]
+        for idx, report in enumerate(crawled):
+            collected = CollectedReport(
+                report_id=f"crawl-{idx:05d}",
+                url=report.url,
+                site=report.site,
+                category=category_of.get(report.site, "Other"),
+                source=self._site_to_source.get(report.site, "echo"),
+                publish_day=report.publish_day,
+                actor_alias=report.actor_alias,
+            )
+            for name, version in report.packages:
+                package = PackageId(report.ecosystem, name, version)
+                if package in entries:
+                    collected.packages.append(package)
+                else:
+                    collected.unresolved.append((name, version))
+            reports.append(collected)
+        return reports
+
+
+def attach_ground_truth(dataset: MalwareDataset, corpus: Corpus) -> None:
+    """Label dataset entries with the generating campaign (validation only).
+
+    The pipeline itself never reads these fields; analyses use them to
+    score how well MALGRAPH groups recover true campaigns.
+    """
+    index = {}
+    for campaign in corpus.campaigns:
+        for release in campaign.releases:
+            index[release.artifact.id] = campaign
+    for entry in dataset.entries:
+        campaign = index.get(entry.package)
+        if campaign is not None:
+            entry.campaign_id = campaign.id
+            entry.actor = campaign.actor
+            entry.archetype = campaign.archetype.value
+            entry.behavior_key = campaign.behavior_key

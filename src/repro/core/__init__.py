@@ -1,0 +1,59 @@
+"""MALGRAPH core: graph store, signatures, embeddings, clustering,
+groups and the Cypher-like query layer."""
+
+from repro.core.edges import (
+    SimilarBuildResult,
+    add_dataset_nodes,
+    build_coexisting_edges,
+    build_dependency_edges,
+    build_duplicated_edges,
+    build_similar_edges,
+    node_id,
+)
+from repro.core.embedding import AstEmbedder, DEFAULT_DIM, cosine_similarity
+from repro.core.graph import EdgeType, GraphStats, PropertyGraph
+from repro.core.groups import GroupKind, PackageGroup, extract_groups, groups_by_ecosystem
+from repro.core.kmeans import GrowthTrace, KMeansResult, grow_kmeans, kmeans
+from repro.core.malgraph import MalGraph
+from repro.core.query import GraphQuerySession, QueryError, parse, run_query
+from repro.core.signatures import code_sha256, file_sha256, signature_index
+from repro.core.similarity import (
+    SimilarityConfig,
+    SimilarityResult,
+    cluster_artifacts,
+)
+
+__all__ = [
+    "AstEmbedder",
+    "DEFAULT_DIM",
+    "EdgeType",
+    "GraphQuerySession",
+    "GraphStats",
+    "GroupKind",
+    "GrowthTrace",
+    "KMeansResult",
+    "MalGraph",
+    "PackageGroup",
+    "PropertyGraph",
+    "QueryError",
+    "SimilarBuildResult",
+    "SimilarityConfig",
+    "SimilarityResult",
+    "add_dataset_nodes",
+    "build_coexisting_edges",
+    "build_dependency_edges",
+    "build_duplicated_edges",
+    "build_similar_edges",
+    "cluster_artifacts",
+    "code_sha256",
+    "cosine_similarity",
+    "extract_groups",
+    "file_sha256",
+    "grow_kmeans",
+    "groups_by_ecosystem",
+    "kmeans",
+    "node_id",
+    "parse",
+    "run_query",
+    "signature_index",
+]

@@ -1,0 +1,147 @@
+"""Edge builders: the four relationships of Section III-A.
+
+Each builder consumes the collected :class:`MalwareDataset` and emits
+edges into a :class:`PropertyGraph` whose nodes are dataset entries
+(one per unique malicious package).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.collection.records import DatasetEntry, MalwareDataset
+from repro.core.graph import EdgeType, PropertyGraph
+from repro.core.similarity import SimilarityConfig, SimilarityResult, cluster_artifacts
+from repro.ecosystem.package import PackageId
+
+
+def node_id(package: PackageId) -> str:
+    """Stable node id for a package."""
+    return f"{package.ecosystem}:{package.name}@{package.version}"
+
+
+def add_dataset_nodes(graph: PropertyGraph, dataset: MalwareDataset) -> None:
+    """One node per dataset entry, with the paper's seven attributes:
+    id, name, version, source, hash, path and ecosystem."""
+    for entry in dataset.entries:
+        graph.add_node(
+            node_id(entry.package),
+            name=entry.package.name,
+            version=entry.package.version,
+            ecosystem=entry.package.ecosystem,
+            sources=sorted(entry.sources),
+            sha256=entry.sha256(),
+            path=entry.artifact_origin,
+            release_day=entry.release_day,
+        )
+
+
+# ---------------------------------------------------------------------------
+# Duplicated
+# ---------------------------------------------------------------------------
+
+def build_duplicated_edges(
+    graph: PropertyGraph, dataset: MalwareDataset
+) -> List[List[DatasetEntry]]:
+    """Same signature => same package (Section III-A duplicated edge).
+
+    Entries are keyed by (ecosystem, name, version), so name-level
+    duplicates across sources are already merged; what remains is the
+    'brock-loader' / 'soltalabs-ramda-extra' case — identical code
+    published under different coordinates. Each signature group becomes a
+    clique.
+    """
+    by_hash: Dict[str, List[DatasetEntry]] = {}
+    for entry in dataset.available_entries():
+        by_hash.setdefault(entry.sha256(), []).append(entry)
+    groups = [members for members in by_hash.values() if len(members) >= 2]
+    for members in groups:
+        graph.add_clique([node_id(e.package) for e in members], EdgeType.DUPLICATED)
+    return groups
+
+
+# ---------------------------------------------------------------------------
+# Dependency
+# ---------------------------------------------------------------------------
+
+def build_dependency_edges(
+    graph: PropertyGraph, dataset: MalwareDataset
+) -> List[Tuple[DatasetEntry, DatasetEntry]]:
+    """Malicious package depends on malicious package (Fig. 7).
+
+    Dependencies on packages *not* in the dataset are dependencies on
+    legitimate packages and are discarded, per the paper: "We remove
+    those dependency libraries from legitimate packages, only considering
+    the dependency between malicious packages."
+    """
+    name_index = dataset.name_index()
+    edges: List[Tuple[DatasetEntry, DatasetEntry]] = []
+    for entry in dataset.available_entries():
+        for dep_name in entry.artifact.metadata.dependencies:
+            targets = name_index.get((entry.package.ecosystem, dep_name), ())
+            for target in targets:
+                if target.package == entry.package:
+                    continue
+                graph.add_edge(
+                    node_id(entry.package), node_id(target.package), EdgeType.DEPENDENCY
+                )
+                edges.append((entry, target))
+    return edges
+
+
+# ---------------------------------------------------------------------------
+# Similar
+# ---------------------------------------------------------------------------
+
+@dataclass
+class SimilarBuildResult:
+    """Similarity groups plus the underlying clustering diagnostics."""
+
+    groups: List[List[DatasetEntry]]
+    clustering: SimilarityResult
+    embedded_entries: List[DatasetEntry]
+
+
+def build_similar_edges(
+    graph: PropertyGraph,
+    dataset: MalwareDataset,
+    config: SimilarityConfig = SimilarityConfig(),
+) -> SimilarBuildResult:
+    """Similar code base => similar edge, via the clustering pipeline.
+
+    Only entries with an artifact can be embedded (the paper likewise
+    can only hash/embed the packages it actually holds).
+    """
+    entries = [e for e in dataset.available_entries() if e.artifact.code_files()]
+    clustering = cluster_artifacts([e.artifact for e in entries], config)
+    groups: List[List[DatasetEntry]] = []
+    for members in clustering.groups:
+        group = [entries[i] for i in members]
+        graph.add_clique([node_id(e.package) for e in group], EdgeType.SIMILAR)
+        groups.append(group)
+    return SimilarBuildResult(
+        groups=groups, clustering=clustering, embedded_entries=entries
+    )
+
+
+# ---------------------------------------------------------------------------
+# Co-existing
+# ---------------------------------------------------------------------------
+
+def build_coexisting_edges(
+    graph: PropertyGraph, dataset: MalwareDataset
+) -> List[List[DatasetEntry]]:
+    """Same security report => co-existing edge (clique per report)."""
+    groups: List[List[DatasetEntry]] = []
+    for report in dataset.reports:
+        members = [dataset.get(p) for p in report.packages]
+        members = [m for m in members if m is not None]
+        unique = {m.package: m for m in members}
+        if len(unique) >= 2:
+            group = list(unique.values())
+            graph.add_clique(
+                [node_id(e.package) for e in group], EdgeType.COEXISTING
+            )
+            groups.append(group)
+    return groups

@@ -1,0 +1,285 @@
+"""Property graph (the paper's Neo4j substitute).
+
+MALGRAPH stores one node per malicious package and typed edges for the
+four relationships of Section III. Similar and co-existing relations are
+complete subgraphs over large member sets (Table II counts 5.3M similar
+edges over 6,320 nodes), so the graph stores *cliques* compactly — a
+clique over ``n`` members contributes ``n * (n - 1)`` directed edges to
+the counts without materialising them — alongside explicit pairwise
+edges. Connected components treat both representations uniformly.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.errors import GraphError, NodeNotFoundError
+
+
+class EdgeType(str, Enum):
+    """The four relationships of Section III-A."""
+
+    DUPLICATED = "duplicated"
+    DEPENDENCY = "dependency"
+    SIMILAR = "similar"
+    COEXISTING = "coexisting"
+
+
+@dataclass
+class GraphStats:
+    """Table II row: one edge type's subgraph statistics."""
+
+    edge_type: EdgeType
+    nodes: int
+    directed_edges: int
+    avg_out_degree: float
+    avg_in_degree: float
+
+
+class _UnionFind:
+    """Weighted quick-union with path compression."""
+
+    def __init__(self) -> None:
+        self._parent: Dict[str, str] = {}
+        self._size: Dict[str, int] = {}
+
+    def add(self, item: str) -> None:
+        if item not in self._parent:
+            self._parent[item] = item
+            self._size[item] = 1
+
+    def find(self, item: str) -> str:
+        root = item
+        while self._parent[root] != root:
+            root = self._parent[root]
+        while self._parent[item] != root:
+            self._parent[item], item = root, self._parent[item]
+        return root
+
+    def union(self, a: str, b: str) -> None:
+        self.add(a)
+        self.add(b)
+        ra, rb = self.find(a), self.find(b)
+        if ra == rb:
+            return
+        if self._size[ra] < self._size[rb]:
+            ra, rb = rb, ra
+        self._parent[rb] = ra
+        self._size[ra] += self._size[rb]
+
+    def groups(self) -> List[Set[str]]:
+        clusters: Dict[str, Set[str]] = {}
+        for item in self._parent:
+            clusters.setdefault(self.find(item), set()).add(item)
+        return list(clusters.values())
+
+
+class PropertyGraph:
+    """Typed multigraph over string node ids with clique compression."""
+
+    def __init__(self) -> None:
+        self._nodes: Dict[str, Dict] = {}
+        self._edges: Dict[EdgeType, Set[Tuple[str, str]]] = {
+            t: set() for t in EdgeType
+        }
+        # adjacency over pairwise edges only (cliques are resolved via
+        # membership lists); keeps neighbors()/has_edge() O(degree)
+        self._adjacency: Dict[EdgeType, Dict[str, Set[str]]] = {
+            t: {} for t in EdgeType
+        }
+        self._cliques: Dict[EdgeType, List[FrozenSet[str]]] = {
+            t: [] for t in EdgeType
+        }
+        self._clique_membership: Dict[EdgeType, Dict[str, List[int]]] = {
+            t: {} for t in EdgeType
+        }
+
+    # -- nodes ------------------------------------------------------------
+    def add_node(self, node_id: str, **attrs) -> None:
+        """Add or update a node; attributes merge."""
+        self._nodes.setdefault(node_id, {}).update(attrs)
+
+    def has_node(self, node_id: str) -> bool:
+        return node_id in self._nodes
+
+    def node(self, node_id: str) -> Dict:
+        try:
+            return self._nodes[node_id]
+        except KeyError:
+            raise NodeNotFoundError(f"unknown node {node_id!r}") from None
+
+    def nodes(self) -> Iterable[str]:
+        return self._nodes.keys()
+
+    @property
+    def node_count(self) -> int:
+        return len(self._nodes)
+
+    def _require(self, node_id: str) -> None:
+        if node_id not in self._nodes:
+            raise NodeNotFoundError(f"unknown node {node_id!r}")
+
+    # -- edges ------------------------------------------------------------
+    def add_edge(self, u: str, v: str, edge_type: EdgeType) -> None:
+        """Add an undirected pairwise edge of the given type."""
+        self._require(u)
+        self._require(v)
+        if u == v:
+            raise GraphError(f"self-loop on {u!r} is not allowed")
+        key = (u, v) if u <= v else (v, u)
+        self._edges[edge_type].add(key)
+        self._adjacency[edge_type].setdefault(u, set()).add(v)
+        self._adjacency[edge_type].setdefault(v, set()).add(u)
+
+    def add_clique(self, members: Sequence[str], edge_type: EdgeType) -> None:
+        """Add a complete subgraph over ``members`` (stored compactly)."""
+        unique = sorted(set(members))
+        if len(unique) < 2:
+            return
+        for member in unique:
+            self._require(member)
+        index = len(self._cliques[edge_type])
+        self._cliques[edge_type].append(frozenset(unique))
+        for member in unique:
+            self._clique_membership[edge_type].setdefault(member, []).append(index)
+
+    def has_edge(self, u: str, v: str, edge_type: EdgeType) -> bool:
+        if v in self._adjacency[edge_type].get(u, ()):
+            return True
+        for idx in self._clique_membership[edge_type].get(u, ()):
+            if v in self._cliques[edge_type][idx]:
+                return True
+        return False
+
+    def neighbors(self, node_id: str, edge_type: EdgeType) -> Set[str]:
+        """All nodes adjacent to ``node_id`` via ``edge_type``."""
+        self._require(node_id)
+        found: Set[str] = set(self._adjacency[edge_type].get(node_id, ()))
+        for idx in self._clique_membership[edge_type].get(node_id, ()):
+            found.update(self._cliques[edge_type][idx])
+        found.discard(node_id)
+        return found
+
+    def degree(self, node_id: str, edge_type: EdgeType) -> int:
+        """Out-degree (= in-degree: relations are symmetric)."""
+        return len(self.neighbors(node_id, edge_type))
+
+    # -- counting -----------------------------------------------------------
+    def touched_nodes(self, edge_type: EdgeType) -> Set[str]:
+        """Nodes with at least one edge of this type."""
+        nodes: Set[str] = set()
+        for u, v in self._edges[edge_type]:
+            nodes.add(u)
+            nodes.add(v)
+        for clique in self._cliques[edge_type]:
+            nodes.update(clique)
+        return nodes
+
+    def directed_edge_count(self, edge_type: EdgeType) -> int:
+        """Edge count in Table II's convention (ordered pairs).
+
+        Overlaps between cliques and explicit edges are rare by
+        construction (each edge type uses one representation), but pairs
+        present in both are not double-counted.
+        """
+        pair_count = 0
+        seen_pairs: Set[Tuple[str, str]] = set(self._edges[edge_type])
+        pair_count += len(seen_pairs)
+        for clique in self._cliques[edge_type]:
+            members = sorted(clique)
+            for i, u in enumerate(members):
+                for v in members[i + 1 :]:
+                    if (u, v) not in seen_pairs:
+                        seen_pairs.add((u, v))
+                        pair_count += 1
+        return 2 * pair_count
+
+    def directed_edge_count_fast(self, edge_type: EdgeType) -> int:
+        """O(#cliques) edge count assuming cliques are disjoint, which
+        holds for the clustering-derived edge types (each node belongs to
+        exactly one similarity cluster / duplicate set)."""
+        total = 2 * len(self._edges[edge_type])
+        for clique in self._cliques[edge_type]:
+            n = len(clique)
+            total += n * (n - 1)
+        return total
+
+    def stats(self, edge_type: EdgeType, exact: bool = False) -> GraphStats:
+        """Table II row for one edge type."""
+        nodes = self.touched_nodes(edge_type)
+        edges = (
+            self.directed_edge_count(edge_type)
+            if exact
+            else self.directed_edge_count_fast(edge_type)
+        )
+        # Relations are symmetric, so each node's out-degree equals its
+        # in-degree and the directed-edge total divided by the node count
+        # is exactly Table II's "Ave. OutDegree" column.
+        avg = edges / len(nodes) if nodes else 0.0
+        return GraphStats(
+            edge_type=edge_type,
+            nodes=len(nodes),
+            directed_edges=edges,
+            avg_out_degree=avg,
+            avg_in_degree=avg,
+        )
+
+    # -- components -----------------------------------------------------------
+    def connected_components(
+        self, edge_types: Optional[Iterable[EdgeType]] = None
+    ) -> List[Set[str]]:
+        """Connected components over the chosen edge types.
+
+        Only nodes touched by at least one such edge appear (isolated
+        nodes form no group, matching the paper's subgraph semantics).
+        """
+        selected = list(edge_types) if edge_types is not None else list(EdgeType)
+        uf = _UnionFind()
+        for edge_type in selected:
+            for u, v in self._edges[edge_type]:
+                uf.union(u, v)
+            for clique in self._cliques[edge_type]:
+                members = iter(sorted(clique))
+                first = next(members)
+                for other in members:
+                    uf.union(first, other)
+        return sorted(uf.groups(), key=lambda g: (-len(g), min(g)))
+
+    # -- persistence --------------------------------------------------------
+    def to_dict(self) -> dict:
+        return {
+            "nodes": {node: dict(attrs) for node, attrs in self._nodes.items()},
+            "edges": {
+                t.value: sorted(list(pair) for pair in pairs)
+                for t, pairs in self._edges.items()
+            },
+            "cliques": {
+                t.value: [sorted(c) for c in cliques]
+                for t, cliques in self._cliques.items()
+            },
+        }
+
+    @classmethod
+    def from_dict(cls, raw: dict) -> "PropertyGraph":
+        graph = cls()
+        for node, attrs in raw.get("nodes", {}).items():
+            graph.add_node(node, **attrs)
+        for type_name, pairs in raw.get("edges", {}).items():
+            edge_type = EdgeType(type_name)
+            for u, v in pairs:
+                graph.add_edge(u, v, edge_type)
+        for type_name, cliques in raw.get("cliques", {}).items():
+            edge_type = EdgeType(type_name)
+            for members in cliques:
+                graph.add_clique(members, edge_type)
+        return graph
+
+    def dumps(self) -> str:
+        return json.dumps(self.to_dict(), sort_keys=True)
+
+    @classmethod
+    def loads(cls, payload: str) -> "PropertyGraph":
+        return cls.from_dict(json.loads(payload))

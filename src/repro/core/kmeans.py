@@ -1,0 +1,205 @@
+"""K-Means clustering (scikit-learn substitute).
+
+Section III-A clusters package embeddings with K-Means, starting at
+``k = 3`` and increasing the number of clusters "until the centroids of
+newly formed clusters do not change". :func:`grow_kmeans` implements that
+procedure: ``k`` grows until a freshly added cluster's centroid is no
+longer distinct from the existing ones (or inertia stops improving),
+meaning further splits create no new structure.
+
+Vectors are assumed L2-normalised (cosine geometry), so assignment is an
+argmax of dot products — a single BLAS matmul per Lloyd iteration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.errors import ConfigError
+
+
+@dataclass
+class KMeansResult:
+    """Outcome of one K-Means run."""
+
+    centroids: np.ndarray  # (k, dim)
+    labels: np.ndarray  # (n,)
+    inertia: float
+    iterations: int
+
+    @property
+    def k(self) -> int:
+        return int(self.centroids.shape[0])
+
+    def clusters(self) -> List[np.ndarray]:
+        """Member indices per cluster (empty clusters omitted)."""
+        out = []
+        for cluster in range(self.k):
+            members = np.flatnonzero(self.labels == cluster)
+            if members.size:
+                out.append(members)
+        return out
+
+
+def _kmeans_pp_init(
+    X: np.ndarray, k: int, rng: np.random.Generator
+) -> np.ndarray:
+    """k-means++ seeding under squared-Euclidean distance."""
+    n = X.shape[0]
+    centroids = np.empty((k, X.shape[1]), dtype=X.dtype)
+    first = int(rng.integers(n))
+    centroids[0] = X[first]
+    # For unit vectors, ||x - c||^2 = 2 - 2 x.c
+    closest = 2.0 - 2.0 * (X @ centroids[0])
+    np.maximum(closest, 0.0, out=closest)
+    for idx in range(1, k):
+        total = float(closest.sum())
+        if total <= 1e-12:
+            choice = int(rng.integers(n))
+        else:
+            choice = int(rng.choice(n, p=closest / total))
+        centroids[idx] = X[choice]
+        distance = 2.0 - 2.0 * (X @ centroids[idx])
+        np.maximum(distance, 0.0, out=distance)
+        np.minimum(closest, distance, out=closest)
+    return centroids
+
+
+def kmeans(
+    X: np.ndarray,
+    k: int,
+    rng: Optional[np.random.Generator] = None,
+    max_iter: int = 30,
+    tol: float = 1e-6,
+) -> KMeansResult:
+    """Lloyd's algorithm with k-means++ initialisation.
+
+    ``X`` must be an (n, dim) array; rows should be L2-normalised for
+    cosine behaviour. Empty clusters are re-seeded with the point
+    furthest from its centroid.
+    """
+    if k <= 0:
+        raise ConfigError(f"k must be positive, got {k}")
+    n = X.shape[0]
+    if n == 0:
+        return KMeansResult(
+            centroids=np.zeros((0, X.shape[1])), labels=np.zeros(0, int),
+            inertia=0.0, iterations=0,
+        )
+    k = min(k, n)
+    rng = rng if rng is not None else np.random.default_rng(0)
+    centroids = _kmeans_pp_init(X, k, rng)
+    labels = np.zeros(n, dtype=np.int64)
+    sq_norms = np.einsum("ij,ij->i", X, X)
+    inertia = float("inf")
+    for iteration in range(1, max_iter + 1):
+        # assignment: minimise ||x||^2 - 2 x.c + ||c||^2
+        scores = X @ centroids.T
+        c_norms = np.einsum("ij,ij->i", centroids, centroids)
+        distances = sq_norms[:, None] - 2.0 * scores + c_norms[None, :]
+        new_labels = np.argmin(distances, axis=1)
+        new_inertia = float(
+            np.maximum(distances[np.arange(n), new_labels], 0.0).sum()
+        )
+        # update
+        new_centroids = np.zeros_like(centroids)
+        counts = np.bincount(new_labels, minlength=k).astype(np.float64)
+        np.add.at(new_centroids, new_labels, X)
+        empty = counts == 0
+        if empty.any():
+            worst = np.argsort(
+                -np.maximum(distances[np.arange(n), new_labels], 0.0)
+            )
+            for slot, point in zip(np.flatnonzero(empty), worst):
+                new_centroids[slot] = X[point]
+                counts[slot] = 1.0
+        new_centroids /= counts[:, None]
+        moved = float(np.linalg.norm(new_centroids - centroids))
+        centroids, labels = new_centroids, new_labels
+        if moved <= tol or abs(inertia - new_inertia) <= tol * max(inertia, 1.0):
+            inertia = new_inertia
+            break
+        inertia = new_inertia
+    return KMeansResult(
+        centroids=centroids, labels=labels, inertia=inertia, iterations=iteration
+    )
+
+
+@dataclass
+class GrowthTrace:
+    """One step of the k-growth procedure."""
+
+    k: int
+    inertia: float
+    min_centroid_gap: float
+
+
+def grow_kmeans(
+    X: np.ndarray,
+    start_k: int = 3,
+    max_k: Optional[int] = None,
+    seed: int = 0,
+    duplicate_eps: float = 0.05,
+    improvement_tol: float = 0.02,
+    growth: float = 0.34,
+) -> Tuple[KMeansResult, List[GrowthTrace]]:
+    """The paper's cluster-growth loop.
+
+    Starting at ``start_k`` (the paper uses 3), ``k`` grows by ~34% per
+    round until either
+
+    * two centroids nearly coincide (``min gap < duplicate_eps`` — the
+      "centroids of newly formed clusters do not change" stop), or
+    * inertia improves by less than ``improvement_tol`` per round, or
+    * ``k`` reaches ``max_k`` (default: n // 2).
+
+    Returns the final clustering and the growth trace.
+    """
+    n = X.shape[0]
+    if n == 0:
+        return kmeans(X, 1), []
+    rng = np.random.default_rng(seed)
+    cap = max_k if max_k is not None else max(start_k, n // 2)
+    cap = min(cap, n)
+    k = min(start_k, n)
+    trace: List[GrowthTrace] = []
+    best = kmeans(X, k, rng)
+    while True:
+        gap = _min_centroid_gap(best.centroids)
+        trace.append(GrowthTrace(k=best.k, inertia=best.inertia, min_centroid_gap=gap))
+        if gap < duplicate_eps:
+            break
+        if best.k >= cap:
+            break
+        next_k = min(cap, max(best.k + 1, int(best.k * (1.0 + growth))))
+        candidate = kmeans(X, next_k, rng)
+        if best.inertia > 0 and (
+            (best.inertia - candidate.inertia) / best.inertia < improvement_tol
+        ):
+            # Additional clusters no longer explain new structure; keep
+            # the candidate only if it found genuinely distinct centroids.
+            if _min_centroid_gap(candidate.centroids) < duplicate_eps:
+                break
+            best = candidate
+            gap = _min_centroid_gap(best.centroids)
+            trace.append(
+                GrowthTrace(k=best.k, inertia=best.inertia, min_centroid_gap=gap)
+            )
+            break
+        best = candidate
+    return best, trace
+
+
+def _min_centroid_gap(centroids: np.ndarray) -> float:
+    """Smallest pairwise distance between centroids."""
+    k = centroids.shape[0]
+    if k < 2:
+        return float("inf")
+    gram = centroids @ centroids.T
+    sq = np.einsum("ij,ij->i", centroids, centroids)
+    dist2 = sq[:, None] - 2.0 * gram + sq[None, :]
+    np.fill_diagonal(dist2, np.inf)
+    return float(np.sqrt(max(dist2.min(), 0.0)))

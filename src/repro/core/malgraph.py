@@ -1,0 +1,84 @@
+"""MALGRAPH facade: build the full knowledge graph from a dataset.
+
+This is the paper's primary contribution, assembled: nodes from the
+collected dataset, all four edge types, Table II statistics and group
+extraction, behind one class.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from typing import Dict, List, Optional
+
+from repro.collection.records import MalwareDataset
+from repro.core.edges import (
+    SimilarBuildResult,
+    add_dataset_nodes,
+    build_coexisting_edges,
+    build_dependency_edges,
+    build_duplicated_edges,
+    build_similar_edges,
+)
+from repro.core.graph import EdgeType, GraphStats, PropertyGraph
+from repro.core.groups import GroupKind, PackageGroup, extract_groups
+from repro.core.similarity import SimilarityConfig
+
+
+@dataclass
+class MalGraph:
+    """The malicious-package knowledge graph."""
+
+    graph: PropertyGraph
+    dataset: MalwareDataset
+    similar: SimilarBuildResult
+    duplicated_groups: List[List] = field(default_factory=list)
+    dependency_edges: List = field(default_factory=list)
+    coexisting_groups: List[List] = field(default_factory=list)
+    _group_cache: Dict[GroupKind, List[PackageGroup]] = field(
+        default_factory=dict, repr=False
+    )
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def build(
+        cls,
+        dataset: MalwareDataset,
+        similarity: SimilarityConfig = SimilarityConfig(),
+    ) -> "MalGraph":
+        """Build nodes and all four edge types from a collected dataset."""
+        graph = PropertyGraph()
+        add_dataset_nodes(graph, dataset)
+        duplicated = build_duplicated_edges(graph, dataset)
+        dependency = build_dependency_edges(graph, dataset)
+        similar = build_similar_edges(graph, dataset, similarity)
+        coexisting = build_coexisting_edges(graph, dataset)
+        return cls(
+            graph=graph,
+            dataset=dataset,
+            similar=similar,
+            duplicated_groups=duplicated,
+            dependency_edges=dependency,
+            coexisting_groups=coexisting,
+        )
+
+    # ------------------------------------------------------------------
+    def groups(self, kind: GroupKind) -> List[PackageGroup]:
+        """Connected-subgraph groups of one kind (memoised)."""
+        if kind not in self._group_cache:
+            self._group_cache[kind] = extract_groups(self.graph, self.dataset, kind)
+        return self._group_cache[kind]
+
+    def table2_stats(self) -> List[GraphStats]:
+        """Table II: nodes / edges / degrees per subgraph (DG, DeG, SG, CG)."""
+        order = [
+            EdgeType.DUPLICATED,
+            EdgeType.DEPENDENCY,
+            EdgeType.SIMILAR,
+            EdgeType.COEXISTING,
+        ]
+        return [self.graph.stats(edge_type) for edge_type in order]
+
+    @property
+    def node_count(self) -> int:
+        return self.graph.node_count

@@ -1,0 +1,492 @@
+"""A small Cypher-like query language over :class:`PropertyGraph`.
+
+The paper stores MALGRAPH in Neo4j and explores it with graph queries;
+offline, this module provides the slice of Cypher those explorations
+need::
+
+    MATCH (a)-[:similar]-(b)
+    WHERE a.ecosystem = 'npm' AND a.name CONTAINS 'cloud'
+    RETURN a.name, b.name
+    ORDER BY a.name LIMIT 10
+
+Supported surface:
+
+* ``MATCH (a)`` or ``MATCH (a)-[:TYPE]-(b)`` — one node, or one
+  undirected typed edge (types: ``duplicated``, ``dependency``,
+  ``similar``, ``coexisting``, case-insensitive);
+* ``WHERE`` — comparisons ``var.attr OP literal`` with ``=``, ``!=``,
+  ``<``, ``<=``, ``>``, ``>=``, ``CONTAINS``, plus
+  ``var.attr IS [NOT] NULL`` and a ``NOT`` prefix on any comparison;
+  combined with ``AND`` / ``OR`` (``AND`` binds tighter);
+* ``RETURN`` — ``var`` (the node id), ``var.attr``, or ``COUNT(*)``;
+* ``ORDER BY item [DESC]`` and ``LIMIT n``.
+
+Results are lists of tuples in ``RETURN`` order. The evaluator filters
+the first variable before expanding neighbours, so selective ``WHERE``
+clauses keep edge queries cheap.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.core.graph import EdgeType, PropertyGraph
+from repro.errors import ReproError
+
+
+class QueryError(ReproError):
+    """Raised for malformed or unsupported queries."""
+
+
+# ---------------------------------------------------------------------------
+# Lexer
+# ---------------------------------------------------------------------------
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<ws>\s+)
+  | (?P<string>'(?:[^'\\]|\\.)*')
+  | (?P<number>-?\d+(?:\.\d+)?)
+  | (?P<op><=|>=|!=|=|<|>)
+  | (?P<punct>[(),\[\]:.\-*])
+  | (?P<word>[A-Za-z_][A-Za-z0-9_]*)
+    """,
+    re.VERBOSE,
+)
+
+_KEYWORDS = {
+    "match", "where", "return", "order", "by", "limit", "and", "or",
+    "desc", "asc", "contains", "count", "not", "is", "null",
+}
+
+
+@dataclass(frozen=True)
+class _Token:
+    kind: str  # "string" | "number" | "op" | "punct" | "word"
+    value: str
+
+
+def _lex(query: str) -> List[_Token]:
+    tokens: List[_Token] = []
+    pos = 0
+    while pos < len(query):
+        match = _TOKEN_RE.match(query, pos)
+        if match is None:
+            raise QueryError(f"unexpected character {query[pos]!r} at {pos}")
+        pos = match.end()
+        kind = match.lastgroup
+        if kind == "ws":
+            continue
+        tokens.append(_Token(kind=kind, value=match.group()))
+    return tokens
+
+
+# ---------------------------------------------------------------------------
+# AST
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class Comparison:
+    """``[NOT] var.attr OP literal`` or ``var.attr IS [NOT] NULL``."""
+
+    var: str
+    attr: str
+    op: str
+    literal: Union[str, float, int, None] = None
+    negated: bool = False
+
+    def evaluate(self, attrs: Dict[str, Any]) -> bool:
+        return self._base(attrs) != self.negated
+
+    def _base(self, attrs: Dict[str, Any]) -> bool:
+        value = attrs.get(self.attr)
+        if self.op == "is-null":
+            return value is None
+        if self.op == "contains":
+            return isinstance(value, str) and str(self.literal) in value
+        if value is None:
+            return False
+        if self.op == "=":
+            return value == self.literal
+        if self.op == "!=":
+            return value != self.literal
+        try:
+            if self.op == "<":
+                return value < self.literal
+            if self.op == "<=":
+                return value <= self.literal
+            if self.op == ">":
+                return value > self.literal
+            if self.op == ">=":
+                return value >= self.literal
+        except TypeError:
+            return False
+        raise QueryError(f"unknown operator {self.op!r}")  # pragma: no cover
+
+
+@dataclass(frozen=True)
+class BoolExpr:
+    """AND/OR tree over comparisons."""
+
+    op: str  # "and" | "or"
+    parts: Tuple[Union["BoolExpr", Comparison], ...]
+
+    def evaluate(self, bindings: Dict[str, Dict[str, Any]]) -> bool:
+        results = (
+            part.evaluate(bindings.get(part.var, {}))
+            if isinstance(part, Comparison)
+            else part.evaluate(bindings)
+            for part in self.parts
+        )
+        return all(results) if self.op == "and" else any(results)
+
+    def vars_used(self) -> set:
+        used = set()
+        for part in self.parts:
+            if isinstance(part, Comparison):
+                used.add(part.var)
+            else:
+                used |= part.vars_used()
+        return used
+
+
+@dataclass(frozen=True)
+class ReturnItem:
+    """One projection: a variable, an attribute, or COUNT(*)."""
+
+    var: Optional[str]
+    attr: Optional[str]
+    is_count: bool = False
+
+    @property
+    def label(self) -> str:
+        if self.is_count:
+            return "count(*)"
+        return f"{self.var}.{self.attr}" if self.attr else self.var
+
+
+@dataclass
+class Query:
+    """A parsed query, ready to run against a graph."""
+
+    variables: List[str]
+    edge_type: Optional[EdgeType]
+    where: Optional[BoolExpr]
+    returns: List[ReturnItem]
+    order_by: Optional[ReturnItem] = None
+    order_desc: bool = False
+    limit: Optional[int] = None
+
+
+# ---------------------------------------------------------------------------
+# Parser
+# ---------------------------------------------------------------------------
+
+class _Parser:
+    def __init__(self, tokens: List[_Token]):
+        self.tokens = tokens
+        self.pos = 0
+
+    # -- token stream helpers -------------------------------------------------
+    def peek(self) -> Optional[_Token]:
+        return self.tokens[self.pos] if self.pos < len(self.tokens) else None
+
+    def next(self) -> _Token:
+        token = self.peek()
+        if token is None:
+            raise QueryError("unexpected end of query")
+        self.pos += 1
+        return token
+
+    def expect(self, value: str) -> _Token:
+        token = self.next()
+        if token.value.lower() != value.lower():
+            raise QueryError(f"expected {value!r}, got {token.value!r}")
+        return token
+
+    def at_keyword(self, word: str) -> bool:
+        token = self.peek()
+        return (
+            token is not None
+            and token.kind == "word"
+            and token.value.lower() == word
+        )
+
+    # -- grammar ------------------------------------------------------------
+    def parse(self) -> Query:
+        self.expect("match")
+        variables, edge_type = self._pattern()
+        where = None
+        if self.at_keyword("where"):
+            self.next()
+            where = self._bool_expr()
+        self.expect("return")
+        returns = self._return_items()
+        order_by, order_desc = None, False
+        if self.at_keyword("order"):
+            self.next()
+            self.expect("by")
+            order_by = self._return_item()
+            if self.at_keyword("desc"):
+                self.next()
+                order_desc = True
+            elif self.at_keyword("asc"):
+                self.next()
+        limit = None
+        if self.at_keyword("limit"):
+            self.next()
+            token = self.next()
+            if token.kind != "number" or "." in token.value:
+                raise QueryError(f"LIMIT needs an integer, got {token.value!r}")
+            limit = int(token.value)
+        if self.peek() is not None:
+            raise QueryError(f"trailing input at {self.peek().value!r}")
+        query = Query(
+            variables=variables,
+            edge_type=edge_type,
+            where=where,
+            returns=returns,
+            order_by=order_by,
+            order_desc=order_desc,
+            limit=limit,
+        )
+        self._check_vars(query)
+        return query
+
+    def _pattern(self) -> Tuple[List[str], Optional[EdgeType]]:
+        first = self._node()
+        if self.peek() is not None and self.peek().value == "-":
+            self.expect("-")
+            self.expect("[")
+            self.expect(":")
+            type_token = self.next()
+            try:
+                edge_type = EdgeType(type_token.value.lower())
+            except ValueError:
+                raise QueryError(
+                    f"unknown edge type {type_token.value!r}; expected one of "
+                    f"{[t.value for t in EdgeType]}"
+                ) from None
+            self.expect("]")
+            self.expect("-")
+            second = self._node()
+            if second == first:
+                raise QueryError("edge pattern needs two distinct variables")
+            return [first, second], edge_type
+        return [first], None
+
+    def _node(self) -> str:
+        self.expect("(")
+        token = self.next()
+        if token.kind != "word" or token.value.lower() in _KEYWORDS:
+            raise QueryError(f"bad variable name {token.value!r}")
+        self.expect(")")
+        return token.value
+
+    def _bool_expr(self) -> BoolExpr:
+        parts: List[Union[BoolExpr, Comparison]] = [self._and_expr()]
+        while self.at_keyword("or"):
+            self.next()
+            parts.append(self._and_expr())
+        if len(parts) == 1 and isinstance(parts[0], BoolExpr):
+            return parts[0]
+        return BoolExpr(op="or", parts=tuple(parts))
+
+    def _and_expr(self) -> BoolExpr:
+        parts: List[Union[BoolExpr, Comparison]] = [self._comparison()]
+        while self.at_keyword("and"):
+            self.next()
+            parts.append(self._comparison())
+        return BoolExpr(op="and", parts=tuple(parts))
+
+    def _comparison(self) -> Comparison:
+        negated = False
+        if self.at_keyword("not"):
+            self.next()
+            negated = True
+        var = self.next()
+        if var.kind != "word":
+            raise QueryError(f"expected variable, got {var.value!r}")
+        self.expect(".")
+        attr = self.next()
+        if attr.kind != "word":
+            raise QueryError(f"expected attribute, got {attr.value!r}")
+        op_token = self.next()
+        if op_token.kind == "word" and op_token.value.lower() == "is":
+            if self.at_keyword("not"):
+                self.next()
+                negated = not negated
+            self.expect("null")
+            return Comparison(
+                var=var.value, attr=attr.value, op="is-null", negated=negated
+            )
+        if op_token.kind == "word" and op_token.value.lower() == "contains":
+            op = "contains"
+        elif op_token.kind == "op":
+            op = op_token.value
+        else:
+            raise QueryError(f"expected comparison operator, got {op_token.value!r}")
+        literal = self._literal()
+        return Comparison(
+            var=var.value, attr=attr.value, op=op, literal=literal, negated=negated
+        )
+
+    def _literal(self) -> Union[str, int, float]:
+        token = self.next()
+        if token.kind == "string":
+            return token.value[1:-1].replace("\\'", "'")
+        if token.kind == "number":
+            return float(token.value) if "." in token.value else int(token.value)
+        raise QueryError(f"expected literal, got {token.value!r}")
+
+    def _return_items(self) -> List[ReturnItem]:
+        items = [self._return_item()]
+        while self.peek() is not None and self.peek().value == ",":
+            self.next()
+            items.append(self._return_item())
+        return items
+
+    def _return_item(self) -> ReturnItem:
+        token = self.next()
+        if token.kind == "word" and token.value.lower() == "count":
+            self.expect("(")
+            self.expect("*")
+            self.expect(")")
+            return ReturnItem(var=None, attr=None, is_count=True)
+        if token.kind != "word":
+            raise QueryError(f"bad return item {token.value!r}")
+        var = token.value
+        if self.peek() is not None and self.peek().value == ".":
+            self.next()
+            attr = self.next()
+            if attr.kind != "word":
+                raise QueryError(f"bad attribute {attr.value!r}")
+            return ReturnItem(var=var, attr=attr.value)
+        return ReturnItem(var=var, attr=None)
+
+    def _check_vars(self, query: Query) -> None:
+        known = set(query.variables)
+        used = query.where.vars_used() if query.where else set()
+        for item in query.returns + ([query.order_by] if query.order_by else []):
+            if item is not None and not item.is_count:
+                used.add(item.var)
+        unknown = used - known
+        if unknown:
+            raise QueryError(
+                f"unbound variable(s) {sorted(unknown)}; bound: {sorted(known)}"
+            )
+
+
+def parse(query_text: str) -> Query:
+    """Parse a query string into a :class:`Query`."""
+    return _Parser(_lex(query_text)).parse()
+
+
+# ---------------------------------------------------------------------------
+# Evaluator
+# ---------------------------------------------------------------------------
+
+def _node_predicate(
+    where: Optional[BoolExpr], var: str
+) -> Callable[[Dict[str, Any]], bool]:
+    """The sub-filter of WHERE that only mentions ``var`` (for pruning)."""
+    if where is None:
+        return lambda attrs: True
+    comparisons: List[Comparison] = []
+
+    def collect(expr: Union[BoolExpr, Comparison]) -> bool:
+        """Gather var-only AND-conjuncts; any OR disables pruning."""
+        if isinstance(expr, Comparison):
+            if expr.var == var:
+                comparisons.append(expr)
+            return True
+        if expr.op == "or":
+            return False
+        return all(collect(part) for part in expr.parts)
+
+    if not collect(where):
+        return lambda attrs: True
+    return lambda attrs: all(c.evaluate(attrs) for c in comparisons)
+
+
+def run_query(graph: PropertyGraph, query_text: str) -> List[Tuple]:
+    """Parse and evaluate a query; returns tuples in RETURN order."""
+    query = parse(query_text)
+    bindings_list: List[Dict[str, Dict[str, Any]]] = []
+    if query.edge_type is None:
+        var = query.variables[0]
+        prune = _node_predicate(query.where, var)
+        for node_id in graph.nodes():
+            attrs = {"id": node_id, **graph.node(node_id)}
+            if not prune(attrs):
+                continue
+            bindings = {var: attrs}
+            if query.where is None or query.where.evaluate(bindings):
+                bindings_list.append(bindings)
+    else:
+        var_a, var_b = query.variables
+        prune_a = _node_predicate(query.where, var_a)
+        for node_id in sorted(graph.touched_nodes(query.edge_type)):
+            attrs_a = {"id": node_id, **graph.node(node_id)}
+            if not prune_a(attrs_a):
+                continue
+            for other in sorted(graph.neighbors(node_id, query.edge_type)):
+                attrs_b = {"id": other, **graph.node(other)}
+                bindings = {var_a: attrs_a, var_b: attrs_b}
+                if query.where is None or query.where.evaluate(bindings):
+                    bindings_list.append(bindings)
+
+    if any(item.is_count for item in query.returns):
+        if len(query.returns) != 1:
+            raise QueryError("COUNT(*) cannot be mixed with other projections")
+        return [(len(bindings_list),)]
+
+    def project(bindings: Dict[str, Dict[str, Any]]) -> Tuple:
+        row = []
+        for item in query.returns:
+            attrs = bindings[item.var]
+            row.append(attrs["id"] if item.attr is None else attrs.get(item.attr))
+        return tuple(row)
+
+    rows = [project(b) for b in bindings_list]
+    if query.order_by is not None:
+        item = query.order_by
+        key = lambda b: (
+            b[item.var]["id"] if item.attr is None else b[item.var].get(item.attr)
+        )
+        # index tiebreak: equal keys must never fall through to comparing
+        # row tuples (mixed None/str rows are unorderable), and ties stay
+        # stable in match order
+        decorated = sorted(
+            (
+                (key(b), idx, row)
+                for idx, (b, row) in enumerate(zip(bindings_list, rows))
+            ),
+            key=lambda triple: ((triple[0] is None, triple[0]), triple[1]),
+            reverse=query.order_desc,
+        )
+        rows = [row for _k, _idx, row in decorated]
+    if query.limit is not None:
+        rows = rows[: query.limit]
+    return rows
+
+
+class GraphQuerySession:
+    """Convenience wrapper binding a graph for repeated queries."""
+
+    def __init__(self, graph: PropertyGraph):
+        self.graph = graph
+
+    def run(self, query_text: str) -> List[Tuple]:
+        return run_query(self.graph, query_text)
+
+    def run_table(self, query_text: str) -> str:
+        """Run and render the result as an aligned ASCII table."""
+        from repro.analysis.render import render_table
+
+        query = parse(query_text)
+        rows = self.run(query_text)
+        headers = [item.label for item in query.returns]
+        return render_table(headers, [[str(c) for c in row] for row in rows])

@@ -1,0 +1,33 @@
+"""Package signatures (Section III-C).
+
+The paper computes a SHA256 over the code extracted from each package
+(via ``hashlib``); two packages with the same signature are the same
+malware regardless of their names — the basis of the duplicated edge.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Dict, Iterable, List, Optional
+
+from repro.ecosystem.package import PackageArtifact
+
+
+def code_sha256(artifact: PackageArtifact) -> str:
+    """SHA256 signature of the artifact's code files."""
+    return artifact.sha256()
+
+
+def file_sha256(source: str) -> str:
+    """SHA256 of one source file's text."""
+    return hashlib.sha256(source.encode("utf-8")).hexdigest()
+
+
+def signature_index(
+    artifacts: Iterable[PackageArtifact],
+) -> Dict[str, List[PackageArtifact]]:
+    """Group artifacts by signature; groups of >1 are duplicate sets."""
+    index: Dict[str, List[PackageArtifact]] = {}
+    for artifact in artifacts:
+        index.setdefault(artifact.sha256(), []).append(artifact)
+    return index

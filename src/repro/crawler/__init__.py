@@ -1,0 +1,29 @@
+"""Web-crawler substrate: HTML toolkit, spider, record extraction."""
+
+from repro.crawler.extract import (
+    ExtractedReport,
+    extract_publish_day,
+    extract_report,
+    extract_tweet,
+    infer_ecosystem,
+    is_security_report,
+)
+from repro.crawler.html import MiniSoup, Node, render_page, tag, text
+from repro.crawler.spider import CrawlResult, CrawlStats, Spider
+
+__all__ = [
+    "CrawlResult",
+    "CrawlStats",
+    "ExtractedReport",
+    "MiniSoup",
+    "Node",
+    "Spider",
+    "extract_publish_day",
+    "extract_report",
+    "extract_tweet",
+    "infer_ecosystem",
+    "is_security_report",
+    "render_page",
+    "tag",
+    "text",
+]

@@ -1,0 +1,165 @@
+"""Extraction of package records from security-report pages.
+
+Mirrors the paper's manual + scripted extraction: given a report page,
+recover (ecosystem, package name, version, publish date). Extraction is
+two-tier:
+
+1. **structured** — the ``<ul class="package-list">`` of
+   ``<code>name==version</code>`` items most security blogs use;
+2. **regex fallback** — scan the prose for ``'name' (version x.y.z)``
+   mentions when no structured list exists.
+"""
+
+from __future__ import annotations
+
+import datetime
+import re
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from repro.crawler.html import MiniSoup
+from repro.ecosystem.clock import date_to_day
+from repro.ecosystem.package import ECOSYSTEMS
+
+#: ``name==version`` as it appears inside <code> items.
+_PIN_RE = re.compile(r"^\s*(?P<name>[A-Za-z0-9_.@/-]+)==(?P<version>[0-9][\w.+-]*)\s*$")
+
+#: Prose fallback: 'name' (version 1.2.3)
+_PROSE_RE = re.compile(
+    r"'(?P<name>[A-Za-z0-9_.@/-]+)'\s*\(version\s+(?P<version>[0-9][\w.+-]*)\)"
+)
+
+_DATE_RE = re.compile(r"Published\s+(?P<date>\d{4}-\d{2}-\d{2})")
+
+#: Attribution sentence security blogs write: "... the actor <alias> based
+#: on shared infrastructure ..." (also matches title mentions like
+#: "<alias> publishes info-stealing packages").
+_ACTOR_RE = re.compile(
+    r"\bactor\s+(?P<alias>[A-Za-z][A-Za-z0-9_-]{2,24})\b"
+)
+
+_KEYWORDS = ("malicious", "malware", "supply chain", "ssc")
+
+
+@dataclass
+class ExtractedReport:
+    """What the extractor recovered from one page."""
+
+    url: str
+    site: str
+    ecosystem: Optional[str]
+    publish_day: Optional[int]
+    title: str
+    packages: List[Tuple[str, str]] = field(default_factory=list)
+    actor_alias: Optional[str] = None
+
+    @property
+    def usable(self) -> bool:
+        return bool(self.packages) and self.ecosystem is not None
+
+
+def is_security_report(html_text: str) -> bool:
+    """Keyword pre-filter the paper applies before parsing a page."""
+    lowered = html_text.lower()
+    return any(keyword in lowered for keyword in _KEYWORDS)
+
+
+def infer_ecosystem(page_text: str) -> Optional[str]:
+    """Pick the ecosystem a report talks about from its prose.
+
+    Reports name the registry in upper case ('the NPM registry'); the
+    first ecosystem mentioned wins.
+    """
+    upper = page_text.upper()
+    best: Tuple[int, Optional[str]] = (len(upper) + 1, None)
+    for ecosystem in ECOSYSTEMS:
+        idx = upper.find(ecosystem.upper() + " ")
+        if idx != -1 and idx < best[0]:
+            best = (idx, ecosystem)
+    return best[1]
+
+
+def extract_publish_day(page_text: str) -> Optional[int]:
+    match = _DATE_RE.search(page_text)
+    if not match:
+        return None
+    try:
+        date = datetime.date.fromisoformat(match.group("date"))
+    except ValueError:
+        return None
+    return date_to_day(date)
+
+
+def extract_actor_alias(page_text: str) -> Optional[str]:
+    """Pull the attributed actor alias out of a report's prose."""
+    match = _ACTOR_RE.search(page_text)
+    if match is None:
+        return None
+    alias = match.group("alias")
+    if alias.lower() in ("group", "unknown", "behind", "named"):
+        return None
+    return alias
+
+
+def extract_report(url: str, site: str, html_text: str) -> ExtractedReport:
+    """Full extraction for one page."""
+    soup = MiniSoup(html_text)
+    page_text = soup.get_text(" ")
+    report = ExtractedReport(
+        url=url,
+        site=site,
+        ecosystem=infer_ecosystem(page_text),
+        publish_day=extract_publish_day(page_text),
+        title=soup.title,
+        actor_alias=extract_actor_alias(page_text),
+    )
+    seen = set()
+    package_list = soup.find("ul", class_="package-list")
+    if package_list is not None:
+        for item in package_list.find_all("li"):
+            match = _PIN_RE.match(item.get_text())
+            if match:
+                key = (match.group("name"), match.group("version"))
+                if key not in seen:
+                    seen.add(key)
+                    report.packages.append(key)
+    if not report.packages:
+        for match in _PROSE_RE.finditer(page_text):
+            key = (match.group("name"), match.group("version"))
+            if key not in seen:
+                seen.add(key)
+                report.packages.append(key)
+    return report
+
+
+#: SNS tweet shapes: "package {name} version {version}", "{name}@{version}",
+#: and "{name} ({version})".
+_TWEET_RES = (
+    re.compile(
+        r"package\s+(?P<name>[A-Za-z0-9_.@/-]+)\s+version\s+(?P<version>[0-9][\w.+-]*)",
+        re.IGNORECASE,
+    ),
+    re.compile(r"(?P<name>[A-Za-z0-9_.-]+)@(?P<version>[0-9][\w.+-]*)"),
+    re.compile(r"(?P<name>[A-Za-z0-9_.-]+)\s+\((?P<version>[0-9][\w.+-]*)\)"),
+)
+
+_TWEET_ECO_RE = re.compile(
+    r"\b(?P<eco>" + "|".join(e.upper() for e in ECOSYSTEMS) + r")\b",
+    re.IGNORECASE,  # accounts write 'PyPI', 'npm' and 'NPM' alike
+)
+
+
+def extract_tweet(text: str) -> Optional[Tuple[str, str, str]]:
+    """Recover (ecosystem, name, version) from a tweet, or None."""
+    eco_match = _TWEET_ECO_RE.search(text)
+    if eco_match is None:
+        return None
+    for pattern in _TWEET_RES:
+        match = pattern.search(text)
+        if match:
+            return (
+                eco_match.group("eco").lower(),
+                match.group("name"),
+                match.group("version"),
+            )
+    return None

@@ -1,0 +1,80 @@
+"""The web crawler (Scrapy substitute).
+
+Section II-B: "The input of our web crawler is the website URL, and the
+output is the HTML pages. We used keywords (e.g. 'malicious' and
+'malware') to filter out irrelevant HTML pages."
+
+:class:`Spider` walks the simulated web: seeded with website domains, it
+reads each site's index, fetches pages, applies the keyword pre-filter
+and hands surviving pages to the extractor.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from repro.crawler.extract import ExtractedReport, extract_report, is_security_report
+from repro.errors import CrawlError
+from repro.intel.web import SimulatedWeb
+
+
+@dataclass
+class CrawlStats:
+    """Bookkeeping for one crawl."""
+
+    sites_visited: int = 0
+    pages_fetched: int = 0
+    pages_filtered_out: int = 0
+    reports_extracted: int = 0
+    unusable_reports: int = 0
+
+
+@dataclass
+class CrawlResult:
+    """Extracted reports plus crawl statistics."""
+
+    reports: List[ExtractedReport]
+    stats: CrawlStats
+
+
+class Spider:
+    """Crawl a simulated web from a seed list of sites."""
+
+    def __init__(self, web: SimulatedWeb, max_pages_per_site: int = 10_000):
+        self.web = web
+        self.max_pages_per_site = max_pages_per_site
+
+    def crawl_site(self, site: str, stats: Optional[CrawlStats] = None) -> List[ExtractedReport]:
+        """Crawl one website; returns usable extracted reports."""
+        stats = stats if stats is not None else CrawlStats()
+        stats.sites_visited += 1
+        reports: List[ExtractedReport] = []
+        for url in self.web.site_index(site)[: self.max_pages_per_site]:
+            page = self.web.fetch(url)
+            if page is None:
+                raise CrawlError(f"listed URL {url!r} is not fetchable")
+            stats.pages_fetched += 1
+            if not is_security_report(page.html):
+                stats.pages_filtered_out += 1
+                continue
+            report = extract_report(url, site, page.html)
+            if report.usable:
+                stats.reports_extracted += 1
+                reports.append(report)
+            else:
+                stats.unusable_reports += 1
+        return reports
+
+    def crawl(self, sites: Sequence[str]) -> CrawlResult:
+        """Crawl every seed site."""
+        stats = CrawlStats()
+        reports: List[ExtractedReport] = []
+        for site in sites:
+            reports.extend(self.crawl_site(site, stats))
+        return CrawlResult(reports=reports, stats=stats)
+
+    def discover_sites(self) -> List[str]:
+        """All sites of the simulated web (the paper's search-engine
+        expansion step that grew the seed list to 68 websites)."""
+        return sorted(self.web.sites)

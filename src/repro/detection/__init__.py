@@ -1,0 +1,45 @@
+"""Rule-based malicious-package detection (GuardDog-style scanner)."""
+
+from repro.detection.detector import (
+    Detector,
+    EvaluationResult,
+    Verdict,
+    evaluate,
+)
+from repro.detection.families import (
+    CATEGORIES,
+    FamilyVerdict,
+    classify_artifact,
+    classify_many,
+)
+from repro.detection.rules import DEFAULT_RULES, Finding, Rule
+from repro.detection.scanner import (
+    RegistryScanner,
+    ScanAlert,
+    evaluate_on_corpus,
+)
+from repro.detection.typosquat import (
+    SquatMatch,
+    TyposquatIndex,
+    damerau_levenshtein,
+)
+
+__all__ = [
+    "CATEGORIES",
+    "DEFAULT_RULES",
+    "Detector",
+    "EvaluationResult",
+    "FamilyVerdict",
+    "Finding",
+    "RegistryScanner",
+    "Rule",
+    "ScanAlert",
+    "SquatMatch",
+    "TyposquatIndex",
+    "Verdict",
+    "classify_artifact",
+    "classify_many",
+    "damerau_levenshtein",
+    "evaluate",
+    "evaluate_on_corpus",
+]

@@ -1,0 +1,126 @@
+"""The rule-engine detector.
+
+Combines the heuristic rules with typosquat checking into a single
+score; packages above ``threshold`` are flagged malicious. Mirrors the
+scanners (GuardDog, Packj, registry scanning) the paper's ecosystem of
+sources relies on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.detection.rules import DEFAULT_RULES, Finding, Rule
+from repro.detection.typosquat import SquatMatch, TyposquatIndex
+from repro.ecosystem.package import PackageArtifact
+
+#: Weight added when the package name squats a popular package.
+TYPO_WEIGHT = 1.2
+COMBO_WEIGHT = 0.6
+
+
+@dataclass
+class Verdict:
+    """Scan outcome for one artifact."""
+
+    package: str
+    score: float
+    malicious: bool
+    findings: List[Finding] = field(default_factory=list)
+    squat: Optional[SquatMatch] = None
+
+    def rules_hit(self) -> List[str]:
+        return sorted({f.rule for f in self.findings})
+
+    def explain(self) -> str:
+        lines = [
+            f"{self.package}: score={self.score:.2f} "
+            f"verdict={'MALICIOUS' if self.malicious else 'clean'}"
+        ]
+        if self.squat is not None:
+            lines.append(
+                f"  - name squats {self.squat.target!r} "
+                f"({self.squat.kind}, distance {self.squat.distance})"
+            )
+        for finding in self.findings:
+            lines.append(f"  - [{finding.rule}] {finding.path}: {finding.detail}")
+        return "\n".join(lines)
+
+
+@dataclass
+class Detector:
+    """Score-threshold rule engine."""
+
+    rules: Sequence[Rule] = DEFAULT_RULES
+    threshold: float = 2.5
+    typosquat_index: TyposquatIndex = field(default_factory=TyposquatIndex)
+
+    def scan(self, artifact: PackageArtifact) -> Verdict:
+        """Scan one artifact and return the verdict."""
+        findings: List[Finding] = []
+        for rule in self.rules:
+            findings.extend(rule.scan(artifact))
+        score = sum(f.weight for f in findings)
+        squat = self.typosquat_index.check(artifact.ecosystem, artifact.name)
+        if squat is not None:
+            score += TYPO_WEIGHT if squat.kind == "typo" else COMBO_WEIGHT
+        return Verdict(
+            package=str(artifact.id),
+            score=score,
+            malicious=score >= self.threshold,
+            findings=findings,
+            squat=squat,
+        )
+
+    def scan_many(self, artifacts: Sequence[PackageArtifact]) -> List[Verdict]:
+        return [self.scan(artifact) for artifact in artifacts]
+
+
+@dataclass
+class EvaluationResult:
+    """Detector quality against ground truth."""
+
+    true_positives: int
+    false_positives: int
+    true_negatives: int
+    false_negatives: int
+
+    @property
+    def precision(self) -> float:
+        denom = self.true_positives + self.false_positives
+        return self.true_positives / denom if denom else 0.0
+
+    @property
+    def recall(self) -> float:
+        denom = self.true_positives + self.false_negatives
+        return self.true_positives / denom if denom else 0.0
+
+    @property
+    def f1(self) -> float:
+        p, r = self.precision, self.recall
+        return 2 * p * r / (p + r) if (p + r) else 0.0
+
+    def render(self) -> str:
+        return (
+            f"TP={self.true_positives} FP={self.false_positives} "
+            f"TN={self.true_negatives} FN={self.false_negatives} | "
+            f"precision={self.precision:.3f} recall={self.recall:.3f} "
+            f"F1={self.f1:.3f}"
+        )
+
+
+def evaluate(
+    detector: Detector,
+    malicious: Sequence[PackageArtifact],
+    benign: Sequence[PackageArtifact],
+) -> EvaluationResult:
+    """Score the detector on a labelled corpus."""
+    tp = sum(1 for a in malicious if detector.scan(a).malicious)
+    fp = sum(1 for a in benign if detector.scan(a).malicious)
+    return EvaluationResult(
+        true_positives=tp,
+        false_positives=fp,
+        true_negatives=len(benign) - fp,
+        false_negatives=len(malicious) - tp,
+    )

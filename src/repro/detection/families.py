@@ -1,0 +1,122 @@
+"""Behaviour-family classification from static signals.
+
+The paper's conclusion counts "200+ malware families" in the corpus.
+Real triage assigns a family by reading the code; this module does the
+same mechanically: an ordered cascade of static heuristics over the
+payload's source and the detector's rule hits assigns one of the
+behaviour *categories* the corpus exhibits (information-stealing,
+financial, remote-access, dropper, resource-abuse, surveillance,
+destructive, reconnaissance) — without ever consulting the generator's
+ground truth. Accuracy against that ground truth is measured in
+:mod:`repro.analysis.families`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+from repro.detection.detector import Detector, Verdict
+from repro.ecosystem.package import PackageArtifact
+
+#: The categories of :data:`repro.malware.behaviors.BEHAVIORS`, plus the
+#: fallbacks the cascade can emit.
+CATEGORIES = (
+    "information-stealing",
+    "financial",
+    "remote-access",
+    "dropper",
+    "resource-abuse",
+    "surveillance",
+    "destructive",
+    "reconnaissance",
+    "persistence",
+    "benign-looking",
+    "unknown",
+)
+
+
+@dataclass(frozen=True)
+class FamilyVerdict:
+    """Category assignment with the signals that produced it."""
+
+    category: str
+    confidence: float
+    signals: Tuple[str, ...] = ()
+
+
+def _source_blob(artifact: PackageArtifact) -> str:
+    return "\n".join(artifact.code_files().values())
+
+
+def classify_artifact(
+    artifact: PackageArtifact, verdict: Optional[Verdict] = None
+) -> FamilyVerdict:
+    """Assign a behaviour category to one package.
+
+    ``verdict`` (a prior :meth:`Detector.scan` result) is reused when
+    supplied; otherwise the artifact is scanned here. The cascade checks
+    the most specific signals first — a cryptominer also downloads and
+    executes, but the stratum pool URL is the stronger tell.
+    """
+    verdict = verdict if verdict is not None else Detector().scan(artifact)
+    rules = set(verdict.rules_hit())
+    source = _source_blob(artifact)
+    signals: List[str] = []
+
+    def hit(category: str, confidence: float) -> FamilyVerdict:
+        return FamilyVerdict(
+            category=category, confidence=confidence, signals=tuple(signals)
+        )
+
+    if "stratum+tcp" in source or "--share-bandwidth" in source:
+        signals.append("mining pool / bandwidth-sharing agent")
+        return hit("resource-abuse", 0.95)
+    if "startup-persistence" in rules:
+        signals.append("startup-file hook")
+        return hit("persistence", 0.9)
+    if ".locked" in source and "os.remove" in source:
+        signals.append("encrypt-rename-delete loop")
+        return hit("destructive", 0.95)
+    if "clipboard-access" in rules:
+        signals.append("clipboard read/write")
+        return hit("financial", 0.9)
+    if "obfuscated-exec" in rules:
+        signals.append("exec of decoded blob")
+        return hit("dropper", 0.85)
+    if "download-execute" in rules:
+        signals.append("fetch-and-spawn")
+        return hit("dropper", 0.85)
+    if "shell-exec" in rules and "socket" in source and "recv" in source:
+        signals.append("socket command loop with shell execution")
+        return hit("remote-access", 0.9)
+    if "sensitive-env" in rules:
+        signals.append("sensitive environment keys")
+        return hit("information-stealing", 0.9)
+    if "sensitive-path" in rules:
+        signals.append("credential store paths")
+        return hit("information-stealing", 0.85)
+    if "gethostbyname" in source and ("b32encode" in source or "b64encode" in source):
+        signals.append("encoded DNS queries")
+        return hit("information-stealing", 0.8)
+    if "Thread(" in source and "network-call" in rules:
+        signals.append("buffered background exfil loop")
+        return hit("surveillance", 0.6)
+    if "platform" in source and "network-call" in rules:
+        signals.append("host fingerprint beacon")
+        return hit("reconnaissance", 0.6)
+    if not verdict.malicious:
+        return hit("benign-looking", 0.5)
+    signals.append("malicious score without a family tell")
+    return hit("unknown", 0.3)
+
+
+def classify_many(
+    artifacts: Sequence[PackageArtifact], detector: Optional[Detector] = None
+) -> List[FamilyVerdict]:
+    """Classify a batch, reusing one detector."""
+    detector = detector or Detector()
+    return [
+        classify_artifact(artifact, detector.scan(artifact))
+        for artifact in artifacts
+    ]

@@ -1,0 +1,375 @@
+"""Heuristic detection rules over package code and metadata.
+
+A GuardDog-style rule set: each rule inspects an artifact's ASTs and
+metadata and reports findings with a weight. Rules deliberately target
+the *behaviours* the corpus exhibits (install hooks, env exfiltration,
+download-and-execute, obfuscation, ...) rather than the generator's
+templates, so the detector generalises to any package shaped like OSS
+malware.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.ecosystem.package import PackageArtifact
+
+#: Environment variables whose read is a strong exfiltration signal.
+SENSITIVE_ENV_KEYS = (
+    "AWS_ACCESS_KEY_ID",
+    "AWS_SECRET_ACCESS_KEY",
+    "AWS_SESSION_TOKEN",
+    "GITHUB_TOKEN",
+    "NPM_TOKEN",
+)
+
+SENSITIVE_PATH_HINTS = (
+    ".ssh",
+    "Login Data",
+    "known_hosts",
+    "leveldb",
+    "firefox",
+    "wallet",
+    "tdata",  # Telegram session store
+)
+
+PERSISTENCE_HINTS = (
+    ".bashrc",
+    ".zshrc",
+    ".profile",
+    "autostart",
+    "crontab",
+    "LaunchAgents",
+)
+
+NETWORK_CALLS = {
+    "urlopen",
+    "urlretrieve",
+    "Request",
+    "gethostbyname",
+}
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule hit inside one file."""
+
+    rule: str
+    path: str
+    detail: str
+    weight: float
+
+
+class Rule:
+    """Base class: subclasses implement :meth:`scan_tree`."""
+
+    name: str = "rule"
+    weight: float = 1.0
+
+    def scan(self, artifact: PackageArtifact) -> List[Finding]:
+        findings: List[Finding] = []
+        for path, source in artifact.code_files().items():
+            try:
+                tree = ast.parse(source)
+            except SyntaxError:
+                findings.append(
+                    Finding(
+                        rule="unparseable-code",
+                        path=path,
+                        detail="file does not parse",
+                        weight=0.4,
+                    )
+                )
+                continue
+            findings.extend(self.scan_tree(artifact, path, tree, source))
+        return findings
+
+    def scan_tree(
+        self, artifact: PackageArtifact, path: str, tree: ast.AST, source: str
+    ) -> List[Finding]:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+
+def _call_name(node: ast.Call) -> str:
+    func = node.func
+    if isinstance(func, ast.Name):
+        return func.id
+    if isinstance(func, ast.Attribute):
+        return func.attr
+    return ""
+
+
+def _dotted(node: ast.AST) -> str:
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+    return ".".join(reversed(parts))
+
+
+class InstallHookRule(Rule):
+    """setup.py overriding the install command (install-time execution)."""
+
+    name = "install-hook"
+    weight = 2.0
+
+    def scan_tree(self, artifact, path, tree, source):
+        if path != "setup.py" and not path.endswith("/setup.py"):
+            return []
+        findings = []
+        for node in ast.walk(tree):
+            if isinstance(node, ast.ClassDef):
+                bases = {_dotted(base) for base in node.bases}
+                if any(base.endswith("install") for base in bases):
+                    findings.append(
+                        Finding(
+                            rule=self.name,
+                            path=path,
+                            detail=f"custom install command {node.name!r}",
+                            weight=self.weight,
+                        )
+                    )
+        return findings
+
+
+class EnvExfiltrationRule(Rule):
+    """Reads sensitive environment variables."""
+
+    name = "sensitive-env"
+    weight = 1.6
+
+    def scan_tree(self, artifact, path, tree, source):
+        findings = []
+        hits = [key for key in SENSITIVE_ENV_KEYS if key in source]
+        for key in hits:
+            findings.append(
+                Finding(
+                    rule=self.name,
+                    path=path,
+                    detail=f"references {key}",
+                    weight=self.weight,
+                )
+            )
+        return findings
+
+
+class NetworkCallRule(Rule):
+    """Outbound network calls (HTTP/DNS/raw sockets)."""
+
+    name = "network-call"
+    weight = 0.6
+
+    def scan_tree(self, artifact, path, tree, source):
+        findings = []
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Call):
+                name = _call_name(node)
+                if name in NETWORK_CALLS or (
+                    name == "connect" and "socket" in source
+                ):
+                    findings.append(
+                        Finding(
+                            rule=self.name,
+                            path=path,
+                            detail=f"calls {name}()",
+                            weight=self.weight,
+                        )
+                    )
+        return findings
+
+
+class ExecObfuscationRule(Rule):
+    """exec/eval of decoded data; base64/zlib/rot13 layering."""
+
+    name = "obfuscated-exec"
+    weight = 2.2
+
+    def scan_tree(self, artifact, path, tree, source):
+        findings = []
+        has_decode = any(
+            token in source for token in ("b64decode", "b32decode", "rot13", "zlib")
+        )
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Call) and _call_name(node) in ("exec", "eval"):
+                weight = self.weight if has_decode else 1.0
+                findings.append(
+                    Finding(
+                        rule=self.name,
+                        path=path,
+                        detail="exec/eval"
+                        + (" of decoded payload" if has_decode else ""),
+                        weight=weight,
+                    )
+                )
+        return findings
+
+
+class DownloadExecuteRule(Rule):
+    """Fetches a remote file and spawns it."""
+
+    name = "download-execute"
+    weight = 2.0
+
+    def scan_tree(self, artifact, path, tree, source):
+        fetches = any(
+            isinstance(node, ast.Call)
+            and _call_name(node) in ("urlretrieve", "urlopen")
+            for node in ast.walk(tree)
+        )
+        spawns = any(
+            isinstance(node, ast.Call)
+            and _call_name(node) in ("Popen", "run", "call", "system")
+            for node in ast.walk(tree)
+        )
+        if fetches and spawns:
+            return [
+                Finding(
+                    rule=self.name,
+                    path=path,
+                    detail="downloads and spawns a payload",
+                    weight=self.weight,
+                )
+            ]
+        return []
+
+
+class SensitivePathRule(Rule):
+    """Touches browser profiles, SSH keys or token stores."""
+
+    name = "sensitive-path"
+    weight = 1.4
+
+    def scan_tree(self, artifact, path, tree, source):
+        findings = []
+        for hint in SENSITIVE_PATH_HINTS:
+            if hint in source:
+                findings.append(
+                    Finding(
+                        rule=self.name,
+                        path=path,
+                        detail=f"touches {hint!r}",
+                        weight=self.weight,
+                    )
+                )
+        return findings
+
+
+class SubprocessShellRule(Rule):
+    """Shell execution of dynamic commands (reverse shells)."""
+
+    name = "shell-exec"
+    weight = 1.2
+
+    def scan_tree(self, artifact, path, tree, source):
+        findings = []
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Call) and _call_name(node) in ("run", "Popen"):
+                for keyword in node.keywords:
+                    if keyword.arg == "shell" and getattr(keyword.value, "value", False) is True:
+                        findings.append(
+                            Finding(
+                                rule=self.name,
+                                path=path,
+                                detail="subprocess with shell=True",
+                                weight=self.weight,
+                            )
+                        )
+        return findings
+
+
+class ClipboardRule(Rule):
+    """Clipboard read/write loops (address hijackers)."""
+
+    name = "clipboard-access"
+    weight = 1.2
+
+    def scan_tree(self, artifact, path, tree, source):
+        if "xclip" in source or "clipboard" in source.lower():
+            return [
+                Finding(
+                    rule=self.name,
+                    path=path,
+                    detail="clipboard access",
+                    weight=self.weight,
+                )
+            ]
+        return []
+
+
+class PersistenceRule(Rule):
+    """Writes to shell startup files, autostart entries or crontabs."""
+
+    name = "startup-persistence"
+    weight = 1.8
+
+    def scan_tree(self, artifact, path, tree, source):
+        hits = [hint for hint in PERSISTENCE_HINTS if hint in source]
+        if not hits:
+            return []
+        # a write must actually happen: open(..., 'a'/'w') or os.makedirs
+        writes = any(
+            isinstance(node, ast.Call)
+            and _call_name(node) in ("open", "makedirs")
+            for node in ast.walk(tree)
+        )
+        if not writes:
+            return []
+        return [
+            Finding(
+                rule=self.name,
+                path=path,
+                detail=f"writes to startup location ({', '.join(hits)})",
+                weight=self.weight,
+            )
+        ]
+
+
+class MetadataAnomalyRule(Rule):
+    """Suspicious metadata: empty/boilerplate description, no homepage."""
+
+    name = "metadata-anomaly"
+    weight = 0.3
+
+    def scan(self, artifact: PackageArtifact) -> List[Finding]:
+        findings = []
+        if not artifact.metadata.homepage:
+            findings.append(
+                Finding(
+                    rule=self.name,
+                    path="<metadata>",
+                    detail="no homepage",
+                    weight=self.weight,
+                )
+            )
+        if len(artifact.metadata.description) < 8:
+            findings.append(
+                Finding(
+                    rule=self.name,
+                    path="<metadata>",
+                    detail="empty/short description",
+                    weight=self.weight,
+                )
+            )
+        return findings
+
+    def scan_tree(self, artifact, path, tree, source):  # pragma: no cover
+        return []
+
+
+#: The default rule set, in evaluation order.
+DEFAULT_RULES: Tuple[Rule, ...] = (
+    InstallHookRule(),
+    EnvExfiltrationRule(),
+    NetworkCallRule(),
+    ExecObfuscationRule(),
+    DownloadExecuteRule(),
+    SensitivePathRule(),
+    SubprocessShellRule(),
+    ClipboardRule(),
+    PersistenceRule(),
+    MetadataAnomalyRule(),
+)

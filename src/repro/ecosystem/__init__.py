@@ -1,0 +1,62 @@
+"""Registry substrate: clocks, packages, root registries, mirrors, downloads."""
+
+from repro.ecosystem.clock import (
+    DEFAULT_HORIZON_DAYS,
+    EPOCH,
+    SimClock,
+    date_to_day,
+    day_to_date,
+    day_to_month,
+    day_to_year,
+)
+from repro.ecosystem.downloads import DownloadModel, Popularity
+from repro.ecosystem.mirror import (
+    DEFAULT_MIRROR_PLANS,
+    MirrorNetwork,
+    MirrorRegistry,
+    build_default_mirrors,
+)
+from repro.ecosystem.package import (
+    ECOSYSTEMS,
+    MAJOR_ECOSYSTEMS,
+    PackageArtifact,
+    PackageId,
+    PackageMetadata,
+    make_artifact,
+    parse_coordinate,
+)
+from repro.ecosystem.registry import (
+    EventKind,
+    PublishedPackage,
+    Registry,
+    RegistryEvent,
+    RegistryHub,
+)
+
+__all__ = [
+    "DEFAULT_HORIZON_DAYS",
+    "DEFAULT_MIRROR_PLANS",
+    "ECOSYSTEMS",
+    "EPOCH",
+    "EventKind",
+    "MAJOR_ECOSYSTEMS",
+    "MirrorNetwork",
+    "MirrorRegistry",
+    "DownloadModel",
+    "PackageArtifact",
+    "PackageId",
+    "PackageMetadata",
+    "Popularity",
+    "PublishedPackage",
+    "Registry",
+    "RegistryEvent",
+    "RegistryHub",
+    "SimClock",
+    "build_default_mirrors",
+    "date_to_day",
+    "day_to_date",
+    "day_to_month",
+    "day_to_year",
+    "make_artifact",
+    "parse_coordinate",
+]

@@ -1,0 +1,88 @@
+"""Simulation clock.
+
+The world runs at day resolution: every timestamp in the simulator is an
+integer number of days since the epoch (2018-01-01, matching the start of
+the paper's release timeline in Fig. 2). :class:`SimClock` owns the current
+day and converts between day numbers and calendar dates for presentation.
+"""
+
+from __future__ import annotations
+
+import datetime
+from dataclasses import dataclass, field
+
+from repro.errors import ClockError
+
+#: Calendar date corresponding to day 0 of every simulation.
+EPOCH = datetime.date(2018, 1, 1)
+
+#: Default simulation horizon: 2018-01-01 .. 2024-12-31 (Fig. 2 covers
+#: 2018-2024).
+DEFAULT_HORIZON_DAYS = (datetime.date(2024, 12, 31) - EPOCH).days
+
+#: The study window the paper's dataset was frozen at: the source feeds of
+#: Table V all stop updating around Dec 2023, so the default world ends in
+#: early 2024 (releases after the last feed update would never be reported
+#: and would only pad the corpus with invisible packages).
+STUDY_HORIZON_DAYS = (datetime.date(2024, 3, 31) - EPOCH).days
+
+
+def day_to_date(day: int) -> datetime.date:
+    """Convert a simulation day number to a calendar date."""
+    return EPOCH + datetime.timedelta(days=int(day))
+
+
+def date_to_day(date: datetime.date) -> int:
+    """Convert a calendar date to a simulation day number."""
+    return (date - EPOCH).days
+
+
+def day_to_month(day: int) -> str:
+    """Render a day number as a ``YYYY-MM`` month label (Fig. 2 bins)."""
+    return day_to_date(day).strftime("%Y-%m")
+
+
+def day_to_year(day: int) -> int:
+    """Return the calendar year of a day number."""
+    return day_to_date(day).year
+
+
+@dataclass
+class SimClock:
+    """A monotonically advancing day counter.
+
+    The clock never moves backwards; components that need "now" hold a
+    reference to the shared clock rather than passing days around.
+    """
+
+    today: int = 0
+    horizon: int = DEFAULT_HORIZON_DAYS
+    _watchers: list = field(default_factory=list, repr=False)
+
+    def advance(self, days: int = 1) -> int:
+        """Move the clock forward by ``days`` and return the new day."""
+        if days < 0:
+            raise ClockError(f"cannot move clock backwards by {days} days")
+        self.today += days
+        for watcher in self._watchers:
+            watcher(self.today)
+        return self.today
+
+    def on_advance(self, callback) -> None:
+        """Register ``callback(day)`` to run after every advance."""
+        self._watchers.append(callback)
+
+    @property
+    def date(self) -> datetime.date:
+        """Calendar date of the current day."""
+        return day_to_date(self.today)
+
+    @property
+    def finished(self) -> bool:
+        """True once the clock has reached its horizon."""
+        return self.today >= self.horizon
+
+    def run_to_horizon(self) -> None:
+        """Advance one day at a time until the horizon is reached."""
+        while not self.finished:
+            self.advance(1)

@@ -1,0 +1,66 @@
+"""Download model.
+
+Fig. 11 of the paper shows the download distribution of malicious release
+attempts: the majority see 0-1 downloads (the registry removes them within
+days), a minority see ~10-40, and a few outliers reach millions because a
+malicious version was attached to an already-popular package, inheriting
+its download stream.
+
+The model is intentionally simple: each package has a *popularity class*
+setting its daily download rate, and the total downloads of a release are
+the sum of per-day Poisson draws over its live period.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Dict
+
+import numpy as np
+
+
+class Popularity(str, Enum):
+    """How visible a package is to organic installers."""
+
+    OBSCURE = "obscure"  # a fresh name nobody searches for
+    NOTICED = "noticed"  # typosquats of known names pick up strays
+    POPULAR = "popular"  # an established package with a real user base
+
+
+#: Mean organic downloads per live day, per popularity class.
+DAILY_RATE: Dict[Popularity, float] = {
+    Popularity.OBSCURE: 0.12,
+    Popularity.NOTICED: 7.0,
+    Popularity.POPULAR: 40_000.0,
+}
+
+
+@dataclass
+class DownloadModel:
+    """Draws download counts for package release attempts."""
+
+    rates: Dict[Popularity, float] = None
+
+    def __post_init__(self) -> None:
+        if self.rates is None:
+            self.rates = dict(DAILY_RATE)
+
+    def daily_downloads(
+        self, popularity: Popularity, rng: np.random.Generator
+    ) -> int:
+        """Downloads accrued in one live day."""
+        return int(rng.poisson(self.rates[popularity]))
+
+    def total_downloads(
+        self, live_days: int, popularity: Popularity, rng: np.random.Generator
+    ) -> int:
+        """Total downloads over a live period of ``live_days`` days.
+
+        Equivalent in distribution to summing :meth:`daily_downloads`
+        ``live_days`` times (Poisson additivity), but a single draw.
+        A release that is published and removed the same day still gets a
+        fraction of a day of exposure.
+        """
+        exposure = max(float(live_days), 0.25)
+        return int(rng.poisson(self.rates[popularity] * exposure))

@@ -1,0 +1,238 @@
+"""Package model.
+
+A :class:`PackageArtifact` is the unit everything else operates on: the
+registry publishes artifacts, threat actors generate them, intel sources
+report them, and MALGRAPH hashes/embeds/links them.
+
+The model mirrors what the paper extracts from real packages:
+
+* identity — name, version, ecosystem;
+* metadata — description, author, declared dependencies (the paper reads
+  these from ``package.json`` / ``*.requirement`` files);
+* code — a mapping of file paths to source text, from which the SHA256
+  signature and the AST embedding are computed.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+#: Ecosystems covered by the paper's dataset (Table I text).
+ECOSYSTEMS = (
+    "pypi",
+    "npm",
+    "rubygems",
+    "maven",
+    "cocoapods",
+    "sourceforge",
+    "docker",
+    "composer",
+    "nuget",
+    "rust",
+)
+
+#: The three ecosystems most analyses break out (Fig. 4, Table VII).
+MAJOR_ECOSYSTEMS = ("npm", "pypi", "rubygems")
+
+#: Per-ecosystem name of the metadata/config file the paper parses.
+METADATA_FILENAMES = {
+    "pypi": "setup.cfg",
+    "npm": "package.json",
+    "rubygems": "gemspec.json",
+    "maven": "pom.json",
+    "cocoapods": "podspec.json",
+    "sourceforge": "project.json",
+    "docker": "manifest.json",
+    "composer": "composer.json",
+    "nuget": "nuspec.json",
+    "rust": "cargo.json",
+}
+
+
+@dataclass(frozen=True, order=True)
+class PackageId:
+    """Identity of one published package version within an ecosystem."""
+
+    ecosystem: str
+    name: str
+    version: str
+
+    def __str__(self) -> str:  # pragma: no cover - repr convenience
+        return f"{self.ecosystem}:{self.name}@{self.version}"
+
+    @property
+    def coordinate(self) -> str:
+        """The ``name-version`` coordinate used in the paper's examples."""
+        return f"{self.name}-{self.version}"
+
+
+@dataclass
+class PackageMetadata:
+    """Metadata fields read from the package's configuration file."""
+
+    description: str = ""
+    author: str = ""
+    homepage: str = ""
+    keywords: Tuple[str, ...] = ()
+    dependencies: Tuple[str, ...] = ()
+    scripts: Dict[str, str] = field(default_factory=dict)
+
+    def to_dict(self) -> dict:
+        return {
+            "description": self.description,
+            "author": self.author,
+            "homepage": self.homepage,
+            "keywords": list(self.keywords),
+            "dependencies": list(self.dependencies),
+            "scripts": dict(self.scripts),
+        }
+
+    @classmethod
+    def from_dict(cls, raw: dict) -> "PackageMetadata":
+        return cls(
+            description=raw.get("description", ""),
+            author=raw.get("author", ""),
+            homepage=raw.get("homepage", ""),
+            keywords=tuple(raw.get("keywords", ())),
+            dependencies=tuple(raw.get("dependencies", ())),
+            scripts=dict(raw.get("scripts", {})),
+        )
+
+
+@dataclass
+class PackageArtifact:
+    """A concrete package: identity + metadata + source files.
+
+    ``files`` maps relative paths to source text. Files whose path ends in
+    ``.py`` are treated as code for signature and embedding purposes; the
+    metadata/config file is written by :meth:`with_config_file`.
+    """
+
+    id: PackageId
+    metadata: PackageMetadata
+    files: Dict[str, str] = field(default_factory=dict)
+
+    # -- identity helpers -------------------------------------------------
+    @property
+    def name(self) -> str:
+        return self.id.name
+
+    @property
+    def version(self) -> str:
+        return self.id.version
+
+    @property
+    def ecosystem(self) -> str:
+        return self.id.ecosystem
+
+    # -- content ----------------------------------------------------------
+    def code_files(self) -> Dict[str, str]:
+        """The source-code files of the package (paths ending in ``.py``)."""
+        return {p: s for p, s in sorted(self.files.items()) if p.endswith(".py")}
+
+    def code_text(self) -> str:
+        """All code concatenated in path order (embedding input)."""
+        return "\n".join(self.code_files().values())
+
+    def canonical_code_bytes(self) -> bytes:
+        """Canonical serialisation of the code files.
+
+        The paper signs "the code extracted from the package", so the
+        signature covers only code content (not metadata): two packages
+        that differ only by name/description/dependencies share a
+        signature — exactly the property the duplicated edge exploits
+        (e.g. 'brock-loader' vs 'soltalabs-ramda-extra').
+        """
+        parts = []
+        for path, source in self.code_files().items():
+            parts.append(path.encode("utf-8"))
+            parts.append(b"\x00")
+            parts.append(source.encode("utf-8"))
+            parts.append(b"\x00")
+        return b"".join(parts)
+
+    def sha256(self) -> str:
+        """SHA256 signature of the package code (Section III-C)."""
+        return hashlib.sha256(self.canonical_code_bytes()).hexdigest()
+
+    def loc(self) -> int:
+        """Total non-blank source lines (used by the CC-size analysis)."""
+        return sum(
+            1
+            for source in self.code_files().values()
+            for line in source.splitlines()
+            if line.strip()
+        )
+
+    # -- construction helpers ---------------------------------------------
+    def with_config_file(self) -> "PackageArtifact":
+        """Return a copy that includes the ecosystem's metadata file."""
+        config_name = METADATA_FILENAMES.get(self.ecosystem, "metadata.json")
+        payload = {
+            "name": self.name,
+            "version": self.version,
+            "ecosystem": self.ecosystem,
+        }
+        payload.update(self.metadata.to_dict())
+        files = dict(self.files)
+        files[config_name] = json.dumps(payload, indent=2, sort_keys=True)
+        return PackageArtifact(id=self.id, metadata=self.metadata, files=files)
+
+    # -- serialisation ------------------------------------------------------
+    def to_dict(self) -> dict:
+        return {
+            "ecosystem": self.ecosystem,
+            "name": self.name,
+            "version": self.version,
+            "metadata": self.metadata.to_dict(),
+            "files": dict(sorted(self.files.items())),
+        }
+
+    @classmethod
+    def from_dict(cls, raw: dict) -> "PackageArtifact":
+        return cls(
+            id=PackageId(raw["ecosystem"], raw["name"], raw["version"]),
+            metadata=PackageMetadata.from_dict(raw.get("metadata", {})),
+            files=dict(raw.get("files", {})),
+        )
+
+
+def make_artifact(
+    ecosystem: str,
+    name: str,
+    version: str,
+    files: Dict[str, str],
+    description: str = "",
+    author: str = "",
+    dependencies: Tuple[str, ...] = (),
+    keywords: Tuple[str, ...] = (),
+    scripts: Optional[Dict[str, str]] = None,
+) -> PackageArtifact:
+    """Convenience constructor that also writes the ecosystem config file."""
+    metadata = PackageMetadata(
+        description=description,
+        author=author,
+        keywords=tuple(keywords),
+        dependencies=tuple(dependencies),
+        scripts=dict(scripts or {}),
+    )
+    artifact = PackageArtifact(
+        id=PackageId(ecosystem, name, version), metadata=metadata, files=dict(files)
+    )
+    return artifact.with_config_file()
+
+
+def parse_coordinate(coordinate: str) -> Tuple[str, str]:
+    """Split a ``name-version`` coordinate into (name, version).
+
+    The version is the suffix after the last ``-`` that starts with a
+    digit; this matches how the paper's examples write coordinates
+    ('brock-loader-1.9.9' -> ('brock-loader', '1.9.9')).
+    """
+    head, sep, tail = coordinate.rpartition("-")
+    if sep and tail[:1].isdigit():
+        return head, tail
+    return coordinate, ""

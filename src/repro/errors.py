@@ -1,0 +1,59 @@
+"""Exception hierarchy for the repro library.
+
+Every error raised by the library derives from :class:`ReproError`, so
+callers can catch one base type at the API boundary.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class ConfigError(ReproError):
+    """An invalid configuration value was supplied."""
+
+
+class RegistryError(ReproError):
+    """Base class for registry errors."""
+
+
+class DuplicatePackageError(RegistryError):
+    """A (name, version) pair was published twice in the same registry."""
+
+
+class PackageNotFoundError(RegistryError):
+    """The requested (name, version) pair does not exist."""
+
+
+class PackageRemovedError(RegistryError):
+    """The requested package existed but has been removed by the registry."""
+
+
+class ClockError(ReproError):
+    """The simulation clock was used inconsistently (e.g. moved backwards)."""
+
+
+class GraphError(ReproError):
+    """Base class for property-graph errors."""
+
+
+class NodeNotFoundError(GraphError):
+    """A graph operation referenced a node id that does not exist."""
+
+
+class EdgeTypeError(GraphError):
+    """An unknown edge type was referenced."""
+
+
+class EmbeddingError(ReproError):
+    """Source code could not be embedded (unparseable and no fallback)."""
+
+
+class CrawlError(ReproError):
+    """The spider failed to fetch or parse a simulated web page."""
+
+
+class DatasetError(ReproError):
+    """The collected dataset is inconsistent or malformed."""

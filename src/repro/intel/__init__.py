@@ -1,0 +1,58 @@
+"""Threat-intelligence substrate: sources, attribution, reports, web, SNS."""
+
+from repro.intel.reports import (
+    CATEGORIES,
+    ReportCorpus,
+    ReportFactory,
+    SecurityReport,
+    Website,
+    build_websites,
+)
+from repro.intel.sns import Tweet, build_feed
+from repro.intel.sources import (
+    CO_REPORT_AFFINITY,
+    SOURCE_INDEX,
+    SOURCE_PROFILES,
+    AttributionEngine,
+    AttributionOutcome,
+    DetectionCase,
+    Sector,
+    SourceEntry,
+    SourceKind,
+    SourceProfile,
+    co_report_rate,
+)
+from repro.intel.web import (
+    SimulatedWeb,
+    WebPage,
+    build_web,
+    render_noise_page,
+    render_report_page,
+)
+
+__all__ = [
+    "AttributionEngine",
+    "AttributionOutcome",
+    "CATEGORIES",
+    "CO_REPORT_AFFINITY",
+    "DetectionCase",
+    "ReportCorpus",
+    "ReportFactory",
+    "SOURCE_INDEX",
+    "SOURCE_PROFILES",
+    "Sector",
+    "SecurityReport",
+    "SimulatedWeb",
+    "SourceEntry",
+    "SourceKind",
+    "SourceProfile",
+    "Tweet",
+    "WebPage",
+    "Website",
+    "build_feed",
+    "build_web",
+    "build_websites",
+    "co_report_rate",
+    "render_noise_page",
+    "render_report_page",
+]

@@ -1,0 +1,309 @@
+"""Security analysis reports and the websites that host them.
+
+Section III-A builds co-existing edges from security reports: a report
+covering several packages reveals the attack campaign behind them. The
+paper's report corpus (Table III) spans 68 websites in six categories.
+
+Two report populations exist here:
+
+* **primary reports** — written by the detecting intel source on its own
+  website, covering a burst of packages from one campaign (an analyst
+  tracking an actor publishes the batch together, like the Phylum and
+  Lolip0p write-ups the paper cites);
+* **echo reports** — technical-community sites, news outlets and personal
+  blogs re-covering a primary report with a subset of its packages (this
+  is how BleepingComputer-style coverage works, and it supplies the
+  Technical Community / News / Other rows of Table III).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.ecosystem.clock import day_to_date
+from repro.ecosystem.package import PackageId
+from repro.intel.sources import (
+    SOURCE_INDEX,
+    AttributionOutcome,
+    SourceEntry,
+    SourceKind,
+)
+
+#: Table III website categories.
+CATEGORIES = (
+    "Technical Community",
+    "Commercial org.",
+    "News",
+    "Individual",
+    "Official",
+    "Other",
+)
+
+
+@dataclass(frozen=True)
+class Website:
+    """One report-hosting website."""
+
+    domain: str
+    category: str
+
+
+def build_websites() -> List[Website]:
+    """The 68-website population of Table III.
+
+    16 technical-community sites, 15 commercial, 4 news, 3 individual,
+    1 official and 29 'other' sites.
+    """
+    sites: List[Website] = []
+    for idx in range(16):
+        sites.append(Website(f"techcommunity{idx:02d}.example.org", "Technical Community"))
+    commercial = [
+        "snyk.io/blog", "tianwen.qianxin.com", "blog.phylum.io",
+        "socket.dev/blog", "github.com/datadog",
+    ]
+    for idx in range(15 - len(commercial)):
+        commercial.append(f"vendor{idx:02d}.example.com/blog")
+    sites.extend(Website(domain, "Commercial org.") for domain in commercial)
+    for idx in range(4):
+        sites.append(Website(f"secnews{idx}.example.net", "News"))
+    for domain in ("iamakulov.com", "duo.com/blog", "indieblog.example.io"):
+        sites.append(Website(domain, "Individual"))
+    sites.append(Website("github.com/advisories", "Official"))
+    for idx in range(29):
+        sites.append(Website(f"misc{idx:02d}.example.org", "Other"))
+    return sites
+
+
+@dataclass
+class SecurityReport:
+    """One published security analysis report."""
+
+    id: str
+    source: str  # intel-source key, or "echo"
+    website: str
+    category: str
+    publish_day: int
+    title: str
+    packages: List[PackageId]
+    ecosystem: str
+    actor_alias: str = ""
+    campaign_id: str = ""  # ground truth, never used by the pipeline
+    echo_of: Optional[str] = None
+
+    @property
+    def url(self) -> str:
+        slug = self.title.lower().replace(" ", "-").replace("'", "")[:60]
+        return f"https://{self.website}/{self.id}-{slug}"
+
+
+_ALIAS_HEADS = ["Lolip0p", "RedLizard", "NullPhantom", "VoidRaccoon", "CyanWasp",
+                "GreyKraken", "SunCobra", "IronMagpie"]
+
+_TITLE_TEMPLATES = [
+    "Malicious {eco} packages deliver {behavior} payloads",
+    "Ongoing {eco} campaign drops {behavior} malware",
+    "{alias} publishes info-stealing packages on {eco}",
+    "Supply chain attack floods {eco} with malicious packages",
+    "New {behavior} packages discovered in the {eco} registry",
+]
+
+
+@dataclass
+class ReportCorpus:
+    """All reports plus the hosting websites."""
+
+    reports: List[SecurityReport]
+    websites: List[Website]
+
+    def by_category(self) -> Dict[str, List[SecurityReport]]:
+        grouped: Dict[str, List[SecurityReport]] = {c: [] for c in CATEGORIES}
+        for report in self.reports:
+            grouped.setdefault(report.category, []).append(report)
+        return grouped
+
+    def websites_by_category(self) -> Dict[str, List[Website]]:
+        grouped: Dict[str, List[Website]] = {c: [] for c in CATEGORIES}
+        for site in self.websites:
+            grouped.setdefault(site.category, []).append(site)
+        return grouped
+
+
+class ReportFactory:
+    """Turns attribution results into a report corpus.
+
+    A security report *names* packages but rarely lists a campaign
+    exhaustively — analysts write up a handful of examples, and only
+    large flood campaigns get bulk listings. The full record stream of a
+    website source flows through its per-package advisory pages instead
+    (see :mod:`repro.intel.web`), which is why the co-existing subgraph
+    covers only a small slice of the dataset (Table II: 2,941 of 23k).
+    """
+
+    #: a new report starts when consecutive entries of a campaign are
+    #: further apart than this, or the current report is full.
+    burst_gap_days: int = 14
+    max_packages_per_report: int = 60
+    #: probability a report names just one package (no co-existing edge).
+    single_package_rate: float = 0.62
+    #: probability a large burst (>= bulk_threshold) is listed in full.
+    bulk_list_rate: float = 0.7
+    bulk_threshold: int = 20
+    #: probability a follow-up report repeats a package from the previous
+    #: report of the same campaign (what chains a campaign's reports into
+    #: one co-existing group).
+    followup_overlap_rate: float = 0.5
+
+    #: per-category probability that a primary report gets echoed there.
+    echo_rates: Dict[str, float] = {
+        "Technical Community": 0.95,
+        "News": 0.27,
+        "Other": 0.08,
+        "Individual": 0.10,
+    }
+
+    def __init__(self, seed: int = 23):
+        self.rng = random.Random(seed)
+        self.websites = build_websites()
+        self._alias_by_actor: Dict[str, str] = {}
+        self._counter = 0
+
+    def _next_id(self) -> str:
+        self._counter += 1
+        return f"rep{self._counter:05d}"
+
+    def _alias(self, actor: str) -> str:
+        if actor not in self._alias_by_actor:
+            head = self.rng.choice(_ALIAS_HEADS)
+            self._alias_by_actor[actor] = f"{head}{len(self._alias_by_actor):02d}"
+        return self._alias_by_actor[actor]
+
+    # ------------------------------------------------------------------
+    def build(self, outcome: AttributionOutcome) -> ReportCorpus:
+        """Produce primary + echo reports from attribution results."""
+        reports: List[SecurityReport] = []
+        campaign_meta = {
+            case.campaign.id: case.campaign for case in outcome.cases
+        }
+        # -- primary reports ------------------------------------------------
+        for source_key, entries in outcome.entries_by_source().items():
+            profile = SOURCE_INDEX[source_key]
+            if profile.kind == SourceKind.DATASET:
+                continue  # datasets ship data, not write-ups
+            by_campaign: Dict[str, List[SourceEntry]] = {}
+            for entry in entries:
+                by_campaign.setdefault(entry.campaign_id, []).append(entry)
+            for campaign_id, campaign_entries in sorted(by_campaign.items()):
+                campaign = campaign_meta.get(campaign_id)
+                actor = campaign.actor if campaign else "unknown"
+                behavior = campaign.behavior_key if campaign else "malware"
+                previous_listed: List[PackageId] = []
+                for burst in self._bursts(campaign_entries):
+                    listed = self._listed_packages(burst)
+                    if previous_listed and self.rng.random() < self.followup_overlap_rate:
+                        carry = self.rng.choice(previous_listed)
+                        if carry not in listed:
+                            listed.append(carry)
+                    previous_listed = list(listed)
+                    reports.append(
+                        self._primary_report(
+                            profile.key,
+                            profile.website,
+                            profile.category,
+                            burst,
+                            listed,
+                            behavior,
+                            actor,
+                            campaign_id,
+                        )
+                    )
+        # -- echo reports -----------------------------------------------------
+        sites = ReportCorpus(reports=[], websites=self.websites).websites_by_category()
+        echoes: List[SecurityReport] = []
+        for report in reports:
+            for category, rate in self.echo_rates.items():
+                if self.rng.random() >= rate:
+                    continue
+                site = self.rng.choice(sites[category])
+                sample_size = max(1, int(len(report.packages) * self.rng.uniform(0.4, 1.0)))
+                packages = self.rng.sample(
+                    report.packages, min(sample_size, len(report.packages))
+                )
+                echoes.append(
+                    SecurityReport(
+                        id=self._next_id(),
+                        source="echo",
+                        website=site.domain,
+                        category=site.category,
+                        publish_day=report.publish_day + self.rng.randrange(1, 14),
+                        title=f"Report: {report.title}",
+                        packages=list(packages),
+                        ecosystem=report.ecosystem,
+                        actor_alias=report.actor_alias,
+                        campaign_id=report.campaign_id,
+                        echo_of=report.id,
+                    )
+                )
+        reports.extend(echoes)
+        reports.sort(key=lambda r: (r.publish_day, r.id))
+        return ReportCorpus(reports=reports, websites=self.websites)
+
+    # ------------------------------------------------------------------
+    def _bursts(self, entries: List[SourceEntry]) -> List[List[SourceEntry]]:
+        entries = sorted(entries, key=lambda e: e.report_day)
+        bursts: List[List[SourceEntry]] = []
+        current: List[SourceEntry] = []
+        for entry in entries:
+            if current and (
+                entry.report_day - current[-1].report_day > self.burst_gap_days
+                or len(current) >= self.max_packages_per_report
+            ):
+                bursts.append(current)
+                current = []
+            current.append(entry)
+        if current:
+            bursts.append(current)
+        return bursts
+
+    def _listed_packages(self, burst: List[SourceEntry]) -> List[PackageId]:
+        """Which of a burst's packages the write-up actually names."""
+        packages = [e.package for e in burst]
+        n = len(packages)
+        if n == 1:
+            return packages
+        if n >= self.bulk_threshold and self.rng.random() < self.bulk_list_rate:
+            return packages[: self.max_packages_per_report]
+        if self.rng.random() < self.single_package_rate:
+            return [self.rng.choice(packages)]
+        k = self.rng.randint(2, min(n, 12))
+        return self.rng.sample(packages, k)
+
+    def _primary_report(
+        self,
+        source_key: str,
+        website: str,
+        category: str,
+        burst: List[SourceEntry],
+        listed: List[PackageId],
+        behavior: str,
+        actor: str,
+        campaign_id: str,
+    ) -> SecurityReport:
+        alias = self._alias(actor)
+        ecosystem = burst[0].package.ecosystem
+        template = self.rng.choice(_TITLE_TEMPLATES)
+        title = template.format(eco=ecosystem.upper(), behavior=behavior, alias=alias)
+        publish_day = max(e.report_day for e in burst) + self.rng.randrange(1, 5)
+        return SecurityReport(
+            id=self._next_id(),
+            source=source_key,
+            website=website,
+            category=category,
+            publish_day=publish_day,
+            title=title,
+            packages=list(listed),
+            ecosystem=ecosystem,
+            actor_alias=alias,
+            campaign_id=campaign_id,
+        )

@@ -1,0 +1,78 @@
+"""Social-network feed (the paper's X/Twitter channel).
+
+Section II-B collects package names from SNS accounts such as '@sscblog'
+(observed releasing ~1.7 malicious packages per day). Here the
+individual-blogs source emits one tweet per package record; the
+collection pipeline parses the tweet text — not the structured entry —
+to recover name/version/ecosystem.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List
+
+from repro.ecosystem.clock import day_to_date
+from repro.intel.sources import AttributionOutcome, SourceEntry, SourceKind, SOURCE_INDEX
+
+_TWEET_TEMPLATES = [
+    "Heads up: malicious package {name} version {version} spotted on "
+    "{eco}. Remove it from your lockfiles! #malware #SSC",
+    "New supply chain attack: {eco} package {name}@{version} exfiltrates "
+    "credentials. #opensource #malware",
+    "{name} ({version}) on {eco} is malware — registry notified. #SSC",
+]
+
+_NOISE_TWEETS = [
+    "Great talk on SBOM tooling at the conference today! #opensource",
+    "Shipping a new release of our scanner next week. #security",
+    "Coffee first, then dependency review. #devlife",
+]
+
+
+@dataclass(frozen=True)
+class Tweet:
+    """One post on the simulated SNS feed."""
+
+    account: str
+    day: int
+    text: str
+
+    @property
+    def date(self) -> str:
+        return day_to_date(self.day).isoformat()
+
+
+def build_feed(
+    outcome: AttributionOutcome, seed: int = 41, noise_every: int = 4
+) -> List[Tweet]:
+    """Emit the SNS feed for every SNS-kind source, with noise mixed in."""
+    rng = random.Random(seed)
+    tweets: List[Tweet] = []
+    for entry in outcome.entries:
+        profile = SOURCE_INDEX[entry.source]
+        if profile.kind != SourceKind.SNS:
+            continue
+        template = rng.choice(_TWEET_TEMPLATES)
+        tweets.append(
+            Tweet(
+                account="@sscblog",
+                day=entry.report_day,
+                text=template.format(
+                    name=entry.package.name,
+                    version=entry.package.version,
+                    eco=entry.package.ecosystem.upper(),
+                ),
+            )
+        )
+        if rng.randrange(noise_every) == 0:
+            tweets.append(
+                Tweet(
+                    account="@sscblog",
+                    day=entry.report_day,
+                    text=rng.choice(_NOISE_TWEETS),
+                )
+            )
+    tweets.sort(key=lambda t: t.day)
+    return tweets

@@ -1,0 +1,226 @@
+"""The simulated web: HTML pages hosting security reports.
+
+The collection pipeline must *crawl* website sources rather than read
+their records directly (Section II-B), so every report is rendered into a
+real HTML page with the package names/versions embedded in the markup the
+way security blogs structure them: a prose narrative, a package list and
+an IOC section. Noise pages (release notes, hiring posts, ...) are mixed
+in to exercise the crawler's keyword filter.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional
+
+from repro.crawler.html import render_page, tag, text
+from repro.ecosystem.clock import day_to_date
+from repro.intel.reports import ReportCorpus, SecurityReport, Website
+from repro.intel.sources import (
+    SOURCE_PROFILES,
+    AttributionOutcome,
+    SourceEntry,
+    SourceKind,
+    SourceProfile,
+)
+
+
+def advisory_site(profile: SourceProfile) -> str:
+    """The per-package advisory database domain of a website source.
+
+    Website sources publish *two* streams: narrative blog reports (a few
+    packages each — the co-existing-edge corpus) and a per-package
+    advisory database (the bulk record stream, like security.snyk.io/vuln
+    with one page per advisory). The collection pipeline harvests records
+    from both.
+    """
+    return "vuln." + profile.website.split("/")[0]
+
+
+@dataclass
+class WebPage:
+    """One fetchable page of the simulated web."""
+
+    url: str
+    html: str
+    site: str
+    is_report: bool  # ground truth for crawler evaluation only
+
+
+@dataclass
+class SimulatedWeb:
+    """URL -> page store with per-site listings (the crawl frontier)."""
+
+    pages: Dict[str, WebPage] = field(default_factory=dict)
+    sites: Dict[str, List[str]] = field(default_factory=dict)
+
+    def add(self, page: WebPage) -> None:
+        if page.url not in self.pages:
+            self.sites.setdefault(page.site, []).append(page.url)
+        self.pages[page.url] = page
+
+    def fetch(self, url: str) -> Optional[WebPage]:
+        return self.pages.get(url)
+
+    def site_index(self, site: str) -> List[str]:
+        """URLs listed on a site's index page (the crawler's seed)."""
+        return list(self.sites.get(site, ()))
+
+    def __len__(self) -> int:
+        return len(self.pages)
+
+
+_NOISE_TOPICS = [
+    ("Release notes for our SDK", "We shipped version {n} with faster builds."),
+    ("We are hiring engineers", "Join our platform team; benefits include."),
+    ("Quarterly product update", "New dashboards and alerting arrived."),
+    ("Conference recap", "Highlights from the annual developer summit."),
+    ("How we scaled our database", "Sharding lessons learned in production."),
+]
+
+
+def render_report_page(report: SecurityReport) -> str:
+    """Render one security report in the structure real blogs use.
+
+    The package list is an ``<ul class="package-list">`` of
+    ``<code>name==version</code>`` items — the structured part the
+    extractor prefers — while the narrative also mentions the first
+    packages inline, exercising the regex fallback.
+    """
+    date = day_to_date(report.publish_day).isoformat()
+    narrative_names = ", ".join(
+        f"'{p.name}' (version {p.version})" for p in report.packages[:3]
+    )
+    paragraphs = [
+        tag(
+            "p",
+            text(
+                f"On {date} our research team identified malicious packages "
+                f"in the {report.ecosystem.upper()} registry. The packages "
+                f"{narrative_names} execute unauthorized behaviors on "
+                "installation."
+            ),
+        ),
+        tag(
+            "p",
+            text(
+                f"We attribute this activity to the actor "
+                f"{report.actor_alias or 'unknown'} based on shared "
+                "infrastructure and code reuse. All identified packages "
+                "have been reported to the registry for removal."
+            ),
+        ),
+    ]
+    items = [
+        tag("li", tag("code", text(f"{p.name}=={p.version}")))
+        for p in report.packages
+    ]
+    package_list = tag("ul", items, class_="package-list")
+    iocs = tag(
+        "ul",
+        [
+            tag("li", tag("code", text("hxxp://cdn-telemetry.example.invalid"))),
+            tag("li", tag("code", text("198.51.100.23"))),
+        ],
+        class_="ioc-list",
+    )
+    body = [
+        tag("h1", text(report.title)),
+        tag("div", text(f"Published {date}"), class_="meta"),
+        *paragraphs,
+        tag("h2", text("Malicious packages")),
+        package_list,
+        tag("h2", text("Indicators of compromise")),
+        iocs,
+    ]
+    return render_page(
+        report.title, body, keywords=("malicious", "malware", "supply chain")
+    )
+
+
+def render_advisory_page(entry: SourceEntry) -> str:
+    """Render one per-package advisory database page."""
+    date = day_to_date(entry.report_day).isoformat()
+    package = entry.package
+    title = f"Malicious package advisory: {package.name}"
+    body = [
+        tag("h1", text(title)),
+        tag("div", text(f"Published {date}"), class_="meta"),
+        tag(
+            "p",
+            text(
+                f"The {package.ecosystem.upper()} package below was "
+                "determined to be malicious and reported to the registry."
+            ),
+        ),
+        tag(
+            "ul",
+            [tag("li", tag("code", text(f"{package.name}=={package.version}")))],
+            class_="package-list",
+        ),
+    ]
+    return render_page(title, body, keywords=("malicious", "advisory"))
+
+
+def render_noise_page(site: str, idx: int, rng: random.Random) -> str:
+    title, body = rng.choice(_NOISE_TOPICS)
+    return render_page(
+        title,
+        [
+            tag("h1", text(title)),
+            tag("p", text(body.format(n=rng.randrange(1, 30)))),
+        ],
+    )
+
+
+def build_web(
+    corpus: ReportCorpus,
+    outcome: Optional[AttributionOutcome] = None,
+    seed: int = 31,
+    noise_per_site: int = 3,
+) -> SimulatedWeb:
+    """Render reports, advisory databases and noise pages into a web."""
+    rng = random.Random(seed)
+    web = SimulatedWeb()
+    for report in corpus.reports:
+        web.add(
+            WebPage(
+                url=report.url,
+                html=render_report_page(report),
+                site=report.website,
+                is_report=True,
+            )
+        )
+    if outcome is not None:
+        profile_index = {p.key: p for p in SOURCE_PROFILES}
+        for entry in outcome.entries:
+            profile = profile_index.get(entry.source)
+            if profile is None or profile.kind != SourceKind.WEBSITE:
+                continue
+            site = advisory_site(profile)
+            package = entry.package
+            url = (
+                f"https://{site}/{package.ecosystem}/{package.name}/"
+                f"{package.version}"
+            )
+            web.add(
+                WebPage(
+                    url=url,
+                    html=render_advisory_page(entry),
+                    site=site,
+                    is_report=False,
+                )
+            )
+    for site in corpus.websites:
+        for idx in range(noise_per_site):
+            url = f"https://{site.domain}/post-{idx:03d}"
+            web.add(
+                WebPage(
+                    url=url,
+                    html=render_noise_page(site.domain, idx, rng),
+                    site=site.domain,
+                    is_report=False,
+                )
+            )
+    return web

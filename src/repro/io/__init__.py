@@ -1,0 +1,32 @@
+"""Persistence: JSONL helpers, dataset save/load, graph exporters and
+the dataset-publication generator."""
+
+from repro.io.datasets import (
+    entry_from_dict,
+    entry_to_dict,
+    load_dataset,
+    report_from_dict,
+    report_to_dict,
+    save_dataset,
+)
+from repro.io.export import iter_pairwise_edges, to_dot, to_graphml, to_neo4j_csv
+from repro.io.jsonl import read_jsonl, write_jsonl
+from repro.io.publish import PublicationManifest, build_manifest, publish_dataset
+
+__all__ = [
+    "PublicationManifest",
+    "build_manifest",
+    "entry_from_dict",
+    "entry_to_dict",
+    "iter_pairwise_edges",
+    "load_dataset",
+    "publish_dataset",
+    "read_jsonl",
+    "report_from_dict",
+    "report_to_dict",
+    "save_dataset",
+    "to_dot",
+    "to_graphml",
+    "to_neo4j_csv",
+    "write_jsonl",
+]

@@ -1,0 +1,141 @@
+"""Save / load collected datasets.
+
+The paper publishes its dataset (names, versions, hashes, group labels)
+through a repository; this module serialises a collected
+:class:`MalwareDataset` the same way — entries (with artifacts inlined
+when available) and reports — to a pair of JSONL files.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import List, Optional, Union
+
+from repro.collection.records import (
+    CollectedReport,
+    DatasetEntry,
+    MalwareDataset,
+    SourceClaim,
+)
+from repro.ecosystem.package import PackageArtifact, PackageId
+from repro.io.jsonl import read_jsonl, write_jsonl
+
+PathLike = Union[str, Path]
+
+
+def entry_to_dict(entry: DatasetEntry, include_artifact: bool = True) -> dict:
+    record = {
+        "ecosystem": entry.package.ecosystem,
+        "name": entry.package.name,
+        "version": entry.package.version,
+        "claims": [
+            {
+                "source": c.source,
+                "report_day": c.report_day,
+                "shares_artifact": c.shares_artifact,
+            }
+            for c in entry.claims
+        ],
+        "artifact_origin": entry.artifact_origin,
+        "release_day": entry.release_day,
+        "removal_day": entry.removal_day,
+        "detection_day": entry.detection_day,
+        "downloads": entry.downloads,
+        "sha256": entry.sha256(),
+        "campaign_id": entry.campaign_id,
+        "actor": entry.actor,
+        "archetype": entry.archetype,
+        "behavior_key": entry.behavior_key,
+    }
+    if include_artifact and entry.artifact is not None:
+        record["artifact"] = entry.artifact.to_dict()
+    return record
+
+
+def entry_from_dict(raw: dict) -> DatasetEntry:
+    entry = DatasetEntry(
+        package=PackageId(raw["ecosystem"], raw["name"], raw["version"]),
+        claims=[
+            SourceClaim(
+                source=c["source"],
+                report_day=c["report_day"],
+                shares_artifact=c["shares_artifact"],
+            )
+            for c in raw.get("claims", [])
+        ],
+        artifact_origin=raw.get("artifact_origin"),
+        release_day=raw.get("release_day"),
+        removal_day=raw.get("removal_day"),
+        detection_day=raw.get("detection_day"),
+        downloads=raw.get("downloads", 0),
+        campaign_id=raw.get("campaign_id"),
+        actor=raw.get("actor"),
+        archetype=raw.get("archetype"),
+        behavior_key=raw.get("behavior_key"),
+    )
+    if "artifact" in raw:
+        entry.artifact = PackageArtifact.from_dict(raw["artifact"])
+    return entry
+
+
+def report_to_dict(report: CollectedReport) -> dict:
+    return {
+        "report_id": report.report_id,
+        "url": report.url,
+        "site": report.site,
+        "category": report.category,
+        "source": report.source,
+        "publish_day": report.publish_day,
+        "packages": [
+            {"ecosystem": p.ecosystem, "name": p.name, "version": p.version}
+            for p in report.packages
+        ],
+        "unresolved": [list(item) for item in report.unresolved],
+        "actor_alias": report.actor_alias,
+    }
+
+
+def report_from_dict(raw: dict) -> CollectedReport:
+    return CollectedReport(
+        report_id=raw["report_id"],
+        url=raw["url"],
+        site=raw["site"],
+        category=raw["category"],
+        source=raw["source"],
+        publish_day=raw.get("publish_day"),
+        packages=[
+            PackageId(p["ecosystem"], p["name"], p["version"])
+            for p in raw.get("packages", [])
+        ],
+        unresolved=[tuple(item) for item in raw.get("unresolved", [])],
+        actor_alias=raw.get("actor_alias"),
+    )
+
+
+def save_dataset(
+    dataset: MalwareDataset,
+    directory: PathLike,
+    include_artifacts: bool = True,
+) -> Path:
+    """Write entries.jsonl + reports.jsonl under ``directory``."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    write_jsonl(
+        directory / "entries.jsonl",
+        (entry_to_dict(e, include_artifacts) for e in dataset.entries),
+    )
+    write_jsonl(
+        directory / "reports.jsonl",
+        (report_to_dict(r) for r in dataset.reports),
+    )
+    return directory
+
+
+def load_dataset(directory: PathLike) -> MalwareDataset:
+    """Load a dataset previously written by :func:`save_dataset`."""
+    directory = Path(directory)
+    entries = [entry_from_dict(raw) for raw in read_jsonl(directory / "entries.jsonl")]
+    reports = [
+        report_from_dict(raw) for raw in read_jsonl(directory / "reports.jsonl")
+    ]
+    return MalwareDataset(entries=entries, reports=reports)

@@ -1,0 +1,159 @@
+"""Graph exporters: GraphML, DOT and Neo4j-style CSV.
+
+The paper keeps MALGRAPH in Neo4j; these exporters write the property
+graph into the formats external tooling ingests:
+
+* :func:`to_graphml` — GraphML with typed edges and node attributes
+  (loads into Gephi, yEd, networkx);
+* :func:`to_dot` — Graphviz DOT, one colour per edge type;
+* :func:`to_neo4j_csv` — ``nodes.csv`` + ``edges.csv`` in the shape
+  ``neo4j-admin import`` expects.
+
+Cliques are expanded to pairwise edges on export (external tools have no
+clique compression), so exporting the full-scale similar subgraph can be
+large — pass ``edge_types`` to restrict.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from pathlib import Path
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple, Union
+from xml.sax.saxutils import escape, quoteattr
+
+from repro.core.graph import EdgeType, PropertyGraph
+
+PathLike = Union[str, Path]
+
+#: Stable colours for DOT rendering, one per relationship.
+_DOT_COLORS = {
+    EdgeType.DUPLICATED: "firebrick",
+    EdgeType.DEPENDENCY: "darkorange",
+    EdgeType.SIMILAR: "steelblue",
+    EdgeType.COEXISTING: "seagreen",
+}
+
+
+def iter_pairwise_edges(
+    graph: PropertyGraph,
+    edge_types: Optional[Sequence[EdgeType]] = None,
+) -> Iterator[Tuple[str, str, EdgeType]]:
+    """Every undirected edge as an (u, v, type) triple, cliques expanded,
+    deduplicated within each type."""
+    selected = list(edge_types) if edge_types is not None else list(EdgeType)
+    for edge_type in selected:
+        seen = set(graph._edges[edge_type])
+        for u, v in sorted(seen):
+            yield u, v, edge_type
+        for clique in graph._cliques[edge_type]:
+            members = sorted(clique)
+            for i, u in enumerate(members):
+                for v in members[i + 1:]:
+                    if (u, v) not in seen:
+                        seen.add((u, v))
+                        yield u, v, edge_type
+
+
+def _node_attr_keys(graph: PropertyGraph) -> List[str]:
+    keys = set()
+    for node_id in graph.nodes():
+        keys.update(graph.node(node_id))
+    return sorted(keys)
+
+
+def _attr_str(value) -> str:
+    if value is None:
+        return ""
+    if isinstance(value, (list, tuple, set)):
+        return ";".join(str(v) for v in value)
+    return str(value)
+
+
+def to_graphml(
+    graph: PropertyGraph,
+    edge_types: Optional[Sequence[EdgeType]] = None,
+) -> str:
+    """Serialise to a GraphML document string."""
+    keys = _node_attr_keys(graph)
+    out = io.StringIO()
+    out.write('<?xml version="1.0" encoding="UTF-8"?>\n')
+    out.write('<graphml xmlns="http://graphml.graphdrawing.org/xmlns">\n')
+    for idx, key in enumerate(keys):
+        out.write(
+            f'  <key id="d{idx}" for="node" attr.name={quoteattr(key)} '
+            'attr.type="string"/>\n'
+        )
+    out.write('  <key id="etype" for="edge" attr.name="type" attr.type="string"/>\n')
+    out.write('  <graph edgedefault="undirected">\n')
+    key_ids = {key: f"d{idx}" for idx, key in enumerate(keys)}
+    for node_id in sorted(graph.nodes()):
+        out.write(f"    <node id={quoteattr(node_id)}>\n")
+        attrs = graph.node(node_id)
+        for key, value in sorted(attrs.items()):
+            out.write(
+                f"      <data key=\"{key_ids[key]}\">{escape(_attr_str(value))}"
+                "</data>\n"
+            )
+        out.write("    </node>\n")
+    for idx, (u, v, edge_type) in enumerate(
+        iter_pairwise_edges(graph, edge_types)
+    ):
+        out.write(
+            f"    <edge id=\"e{idx}\" source={quoteattr(u)} target={quoteattr(v)}>"
+            f"<data key=\"etype\">{edge_type.value}</data></edge>\n"
+        )
+    out.write("  </graph>\n</graphml>\n")
+    return out.getvalue()
+
+
+def to_dot(
+    graph: PropertyGraph,
+    edge_types: Optional[Sequence[EdgeType]] = None,
+    name: str = "malgraph",
+) -> str:
+    """Serialise to Graphviz DOT (undirected)."""
+    out = io.StringIO()
+    out.write(f"graph {name} {{\n")
+    out.write('  node [shape=box, fontsize=9];\n')
+    for node_id in sorted(graph.nodes()):
+        label = graph.node(node_id).get("name", node_id)
+        out.write(f'  "{node_id}" [label="{label}"];\n')
+    for u, v, edge_type in iter_pairwise_edges(graph, edge_types):
+        color = _DOT_COLORS[edge_type]
+        out.write(f'  "{u}" -- "{v}" [color={color}, tooltip="{edge_type.value}"];\n')
+    out.write("}\n")
+    return out.getvalue()
+
+
+def to_neo4j_csv(
+    graph: PropertyGraph,
+    directory: PathLike,
+    edge_types: Optional[Sequence[EdgeType]] = None,
+) -> Tuple[Path, Path]:
+    """Write ``nodes.csv`` and ``edges.csv`` for ``neo4j-admin import``.
+
+    Returns the two paths. Node attribute columns are unioned across the
+    graph; missing values are empty strings.
+    """
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    keys = _node_attr_keys(graph)
+    nodes_path = directory / "nodes.csv"
+    edges_path = directory / "edges.csv"
+    with open(nodes_path, "w", newline="", encoding="utf-8") as handle:
+        writer = csv.writer(handle)
+        writer.writerow([":ID"] + keys + [":LABEL"])
+        for node_id in sorted(graph.nodes()):
+            attrs = graph.node(node_id)
+            writer.writerow(
+                [node_id]
+                + [_attr_str(attrs.get(key)) for key in keys]
+                + ["MaliciousPackage"]
+            )
+    with open(edges_path, "w", newline="", encoding="utf-8") as handle:
+        writer = csv.writer(handle)
+        writer.writerow([":START_ID", ":END_ID", ":TYPE"])
+        for u, v, edge_type in iter_pairwise_edges(graph, edge_types):
+            writer.writerow([u, v, edge_type.value.upper()])
+    return nodes_path, edges_path

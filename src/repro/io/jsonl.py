@@ -1,0 +1,29 @@
+"""JSON-lines persistence helpers."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, Iterable, Iterator, List, Union
+
+PathLike = Union[str, Path]
+
+
+def write_jsonl(path: PathLike, records: Iterable[dict]) -> int:
+    """Write records as one JSON object per line; returns the count."""
+    count = 0
+    with open(path, "w", encoding="utf-8") as handle:
+        for record in records:
+            handle.write(json.dumps(record, sort_keys=True))
+            handle.write("\n")
+            count += 1
+    return count
+
+
+def read_jsonl(path: PathLike) -> Iterator[dict]:
+    """Yield one dict per non-empty line."""
+    with open(path, "r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if line:
+                yield json.loads(line)

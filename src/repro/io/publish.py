@@ -1,0 +1,151 @@
+"""Dataset publication (the paper's transparency website).
+
+Section II-D: "We build a website to publish all malicious package names
+(sources) with their signatures (e.g., MD5 hashes) ... We also list all
+package groups (manual labeling) so the researcher can identify which
+package to use". This module generates that publication from a collected
+dataset and its MALGRAPH:
+
+* ``index.json`` — machine-readable manifest: per-package coordinates,
+  sources, SHA256/MD5 signatures, availability and group memberships;
+* ``index.md`` — the human-readable site front page with summary tables;
+* ``groups.json`` — per-kind group listings (DG/DeG/SG/CG members).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple, Union
+
+from repro.collection.records import DatasetEntry
+from repro.core.groups import GroupKind
+from repro.core.malgraph import MalGraph
+
+PathLike = Union[str, Path]
+
+_KINDS = (GroupKind.DG, GroupKind.DEG, GroupKind.SG, GroupKind.CG)
+
+
+def _md5(entry: DatasetEntry) -> Optional[str]:
+    if entry.artifact is None:
+        return None
+    return hashlib.md5(entry.artifact.canonical_code_bytes()).hexdigest()
+
+
+@dataclass
+class PublicationManifest:
+    """In-memory form of the published dataset."""
+
+    packages: List[dict]
+    groups: Dict[str, List[dict]]
+    summary: dict
+
+    def to_index_json(self) -> str:
+        return json.dumps(
+            {"summary": self.summary, "packages": self.packages},
+            indent=2,
+            sort_keys=True,
+        )
+
+    def to_groups_json(self) -> str:
+        return json.dumps(self.groups, indent=2, sort_keys=True)
+
+    def to_markdown(self) -> str:
+        lines = [
+            "# OSS Malicious Package Dataset",
+            "",
+            f"Packages: **{self.summary['packages']}** "
+            f"({self.summary['available']} with artifacts, "
+            f"{self.summary['unavailable']} names-only) across "
+            f"{len(self.summary['ecosystems'])} ecosystems.",
+            "",
+            "| Ecosystem | Packages |",
+            "|---|---|",
+        ]
+        for ecosystem, count in sorted(self.summary["ecosystems"].items()):
+            lines.append(f"| {ecosystem} | {count} |")
+        lines += ["", "| Group kind | Groups | Grouped packages |", "|---|---|---|"]
+        for kind in _KINDS:
+            listed = self.groups.get(kind.value, [])
+            members = sum(len(g["members"]) for g in listed)
+            lines.append(f"| {kind.value} | {len(listed)} | {members} |")
+        lines += [
+            "",
+            "Per-package signatures and group labels are in `index.json`; "
+            "full group membership is in `groups.json`.",
+            "",
+        ]
+        return "\n".join(lines)
+
+
+def build_manifest(malgraph: MalGraph) -> PublicationManifest:
+    """Assemble the publication manifest from a built MALGRAPH."""
+    group_labels: Dict[Tuple[str, str, str], Dict[str, str]] = {}
+    groups_out: Dict[str, List[dict]] = {}
+    for kind in _KINDS:
+        listed = []
+        for idx, group in enumerate(malgraph.groups(kind)):
+            group_id = f"{kind.value}-{idx:04d}"
+            members = [str(m.package) for m in group.members]
+            listed.append(
+                {
+                    "id": group_id,
+                    "size": group.size,
+                    "ecosystem": group.ecosystem,
+                    "first_day": group.first_day,
+                    "last_day": group.last_day,
+                    "members": members,
+                }
+            )
+            for member in group.members:
+                key = (
+                    member.package.ecosystem,
+                    member.package.name,
+                    member.package.version,
+                )
+                group_labels.setdefault(key, {})[kind.value] = group_id
+        groups_out[kind.value] = listed
+
+    packages = []
+    ecosystems: Dict[str, int] = {}
+    for entry in malgraph.dataset.entries:
+        key = (entry.package.ecosystem, entry.package.name, entry.package.version)
+        ecosystems[entry.package.ecosystem] = (
+            ecosystems.get(entry.package.ecosystem, 0) + 1
+        )
+        packages.append(
+            {
+                "ecosystem": entry.package.ecosystem,
+                "name": entry.package.name,
+                "version": entry.package.version,
+                "sources": sorted(entry.sources),
+                "available": entry.available,
+                "sha256": entry.sha256(),
+                "md5": _md5(entry),
+                "release_day": entry.release_day,
+                "groups": group_labels.get(key, {}),
+            }
+        )
+    summary = {
+        "packages": len(packages),
+        "available": sum(1 for p in packages if p["available"]),
+        "unavailable": sum(1 for p in packages if not p["available"]),
+        "ecosystems": ecosystems,
+    }
+    return PublicationManifest(
+        packages=packages, groups=groups_out, summary=summary
+    )
+
+
+def publish_dataset(malgraph: MalGraph, directory: PathLike) -> Path:
+    """Write index.json, groups.json and index.md under ``directory``."""
+    manifest = build_manifest(malgraph)
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    (directory / "index.json").write_text(manifest.to_index_json())
+    (directory / "groups.json").write_text(manifest.to_groups_json())
+    (directory / "index.md").write_text(manifest.to_markdown())
+    return directory

@@ -1,0 +1,100 @@
+"""Fig. 8 example-campaign timeline and Fig. 9 active-period CDFs."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.campaigns import (
+    DAYS_PER_YEAR,
+    compute_active_periods,
+    pick_example_campaign,
+)
+from repro.core.groups import GroupKind
+from repro.core.malgraph import MalGraph
+from repro.core.similarity import SimilarityConfig
+
+from tests.core.helpers import dataset, entry
+
+
+def _burst_malgraph(size: int = 8, ecosystem: str = "npm", spacing: int = 1):
+    code = "def payload():\n    return 'burst'\n"
+    entries = [
+        entry(
+            f"burst-{i}",
+            ecosystem=ecosystem,
+            code=code,
+            release_day=100 + i * spacing,
+        )
+        for i in range(size)
+    ]
+    return MalGraph.build(dataset(entries), SimilarityConfig(seed=0, max_k=3))
+
+
+def test_pick_example_campaign_finds_burst():
+    timeline = pick_example_campaign(_burst_malgraph())
+    assert timeline is not None
+    assert timeline.group.ecosystem == "npm"
+    assert 6 <= timeline.group.size <= 30
+    events = timeline.events()
+    assert len(events) == timeline.group.size
+    dates = [d for d, _name in events]
+    assert dates == sorted(dates)
+
+
+def test_pick_example_campaign_respects_size_bounds():
+    assert pick_example_campaign(_burst_malgraph(size=3)) is None
+
+
+def test_pick_example_campaign_respects_ecosystem():
+    assert pick_example_campaign(_burst_malgraph(ecosystem="pypi")) is None
+    assert pick_example_campaign(
+        _burst_malgraph(ecosystem="pypi"), ecosystem="pypi"
+    ) is not None
+
+
+def test_pick_example_campaign_render():
+    out = pick_example_campaign(_burst_malgraph()).render()
+    assert "Fig. 8" in out
+    assert "burst-0" in out
+
+
+def test_active_periods_cdf_values():
+    malgraph = _burst_malgraph(size=8, spacing=2)  # active period 14 days
+    cdf = compute_active_periods(malgraph, kinds=(GroupKind.SG,))
+    points = cdf.per_kind[GroupKind.SG]
+    assert len(points) == 1
+    assert points[0].value == 14.0
+    assert points[0].fraction == 1.0
+    assert cdf.p80_years[GroupKind.SG] == pytest.approx(14.0 / DAYS_PER_YEAR)
+
+
+def test_active_periods_empty_kind():
+    malgraph = _burst_malgraph()
+    cdf = compute_active_periods(malgraph, kinds=(GroupKind.DEG,))
+    assert cdf.per_kind[GroupKind.DEG] == []
+    assert cdf.p80_years[GroupKind.DEG] == 0.0
+
+
+def test_active_periods_render():
+    out = compute_active_periods(_burst_malgraph()).render()
+    assert "Fig. 9" in out
+    assert "80th-percentile" in out
+
+
+# -- world shape (RQ3) ------------------------------------------------------------
+
+def test_world_active_period_ordering(paper):
+    """Fig. 9: SG campaigns are the shortest, DeG the longest."""
+    cdf = paper.fig9_active_periods()
+    assert cdf.p80_years[GroupKind.SG] < cdf.p80_years[GroupKind.DEG]
+    assert cdf.p80_years[GroupKind.SG] < 0.5  # days-to-weeks bursts
+    assert cdf.p80_years[GroupKind.DEG] > 0.5  # multi-year dormancy
+
+
+def test_world_fig8_campaign_exists(paper):
+    timeline = paper.fig8_campaign()
+    assert timeline is not None
+    assert timeline.group.ecosystem == "npm"
+    # a burst: several packages inside a short window
+    assert timeline.group.size >= 6
+    assert timeline.group.active_period_days <= 30

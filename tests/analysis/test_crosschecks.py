@@ -1,0 +1,131 @@
+"""Cross-experiment consistency: independent analyses must agree on the
+shared facts of one dataset (at full scale, against the `paper`
+fixture)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.overlap import compute_overlap_matrix
+from repro.core.graph import EdgeType
+from repro.core.groups import GroupKind
+
+
+def test_table1_totals_match_dataset(paper):
+    """Table I row totals = per-source claim counts of the dataset."""
+    inventory = paper.table1_sources()
+    for row in inventory.rows:
+        entries = paper.dataset.entries_of_source(row.source)
+        assert row.total == len(entries)
+        assert row.available == sum(1 for e in entries if e.available)
+
+
+def test_table1_and_table6_agree(paper):
+    """Table VI's per-source totals are Table I's."""
+    t1 = {row.source: row for row in paper.table1_sources().rows}
+    t6 = {row.source: row for row in paper.table6_missing().rows}
+    assert set(t1) == set(t6)
+    for source, row in t6.items():
+        assert row.total == t1[source].total
+        assert row.missing_all == t1[source].unavailable
+
+
+def test_table6_overall_matches_dataset(paper):
+    table = paper.table6_missing()
+    assert table.overall_total == len(paper.dataset)
+    assert table.overall_missing == len(paper.dataset.unavailable_entries())
+
+
+def test_fig2_totals_match_dated_entries(paper):
+    timeline = paper.fig2_timeline()
+    dated = [e for e in paper.dataset.entries if e.release_day is not None]
+    assert sum(timeline.counts) == len(dated)
+
+
+def test_fig5_total_matches_unavailable(paper):
+    causes = paper.fig5_causes()
+    assert causes.total == len(paper.dataset.unavailable_entries())
+
+
+def test_table4_diagonal_matches_table1(paper):
+    matrix = compute_overlap_matrix(paper.dataset)
+    t1 = {row.source: row for row in paper.table1_sources().rows}
+    for source in matrix.sources:
+        assert matrix.overlap(source, source) == t1[source].total
+
+
+def test_table4_symmetric_and_bounded(paper):
+    matrix = compute_overlap_matrix(paper.dataset)
+    for a in matrix.sources:
+        for b in matrix.sources:
+            if a == b:
+                continue
+            assert matrix.overlap(a, b) == matrix.overlap(b, a)
+            assert matrix.overlap(a, b) <= min(
+                matrix.overlap(a, a), matrix.overlap(b, b)
+            )
+
+
+def test_table2_nodes_bounded_by_dataset(paper):
+    stats = paper.table2_malgraph()
+    for row in stats.rows:
+        assert row.nodes <= len(paper.dataset)
+
+
+def test_table2_sg_nodes_match_group_membership(paper):
+    """Table II's SG node count = packages inside similarity groups."""
+    stats = {row.edge_type: row for row in paper.table2_malgraph().rows}
+    grouped = sum(g.size for g in paper.malgraph.groups(GroupKind.SG))
+    assert stats[EdgeType.SIMILAR].nodes == grouped
+
+
+def test_table7_counts_match_group_extraction(paper):
+    table = paper.table7_diversity()
+    for kind in (GroupKind.SG, GroupKind.DEG, GroupKind.CG):
+        by_eco = {}
+        for group in paper.malgraph.groups(kind):
+            by_eco[group.ecosystem] = by_eco.get(group.ecosystem, 0) + 1
+        for ecosystem in table.ecosystems:
+            assert table.cell(ecosystem, kind).count == by_eco.get(ecosystem, 0)
+
+
+def test_table3_reports_match_dataset(paper):
+    inventory = paper.table3_reports()
+    assert inventory.total_reports == len(paper.dataset.reports)
+    sites = {r.site for r in paper.dataset.reports}
+    assert inventory.total_websites == len(sites)
+
+
+def test_fig9_sg_count_matches_groups(paper):
+    cdf = paper.fig9_active_periods()
+    sg_points = cdf.per_kind[GroupKind.SG]
+    dated_groups = [
+        g for g in paper.malgraph.groups(GroupKind.SG)
+        if g.active_period_days is not None
+    ]
+    # the CDF's final step covers all dated groups
+    assert sg_points[-1].fraction == pytest.approx(1.0)
+    total = round(sg_points[-1].fraction * len(dated_groups))
+    assert total == len(dated_groups)
+
+
+def test_fig11_outliers_are_trojan_campaigns(paper):
+    """Fig. 11's million-download outliers are the trojan-popular
+    campaigns — cross-check against ground truth."""
+    evo = paper.fig11_downloads()
+    assert evo.outliers
+    for package_str, downloads in evo.outliers[:5]:
+        entry = next(
+            e for e in paper.dataset.entries if str(e.package) == package_str
+        )
+        assert downloads == entry.downloads
+        assert entry.archetype in ("trojan-popular", "dependency"), (
+            f"outlier {package_str} came from {entry.archetype}"
+        )
+
+
+def test_table8_idn_consistent_with_downloads(paper):
+    table = paper.table8_idn()
+    lookup = {str(e.package): e.downloads for e in paper.dataset.entries}
+    for row in table.rows:
+        assert row.idn == lookup[row.to_package] - lookup[row.from_package]

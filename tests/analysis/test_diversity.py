@@ -1,0 +1,117 @@
+"""Table II graph statistics and Table VII diversity."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.diversity import compute_diversity, compute_graph_stats
+from repro.core.graph import EdgeType
+from repro.core.groups import GroupKind
+from repro.core.malgraph import MalGraph
+from repro.core.similarity import SimilarityConfig
+
+from tests.core.helpers import dataset, entry, report
+
+
+@pytest.fixture(scope="module")
+def mini_malgraph():
+    shared_npm = "def flood():\n    return 'npm'\n"
+    shared_pypi = "def flood():\n    return 'pypi'\n"
+    npm = [
+        entry(f"npm-{i}", ecosystem="npm", code=shared_npm, release_day=10 + i)
+        for i in range(3)
+    ]
+    pypi = [
+        entry(f"py-{i}", ecosystem="pypi", code=shared_pypi, release_day=40 + i)
+        for i in range(4)
+    ]
+    lib = entry("lib", ecosystem="npm", code="def hide():\n    return 1\n")
+    front = entry(
+        "front", ecosystem="npm", code="import lib\n", dependencies=("lib",)
+    )
+    ds = dataset(
+        npm + pypi + [lib, front],
+        [report("r1", [e.package for e in pypi[:2]])],
+    )
+    return MalGraph.build(ds, SimilarityConfig(seed=0, max_k=3))
+
+
+def test_graph_stats_table_rows(mini_malgraph):
+    table = compute_graph_stats(mini_malgraph)
+    assert [row.edge_type for row in table.rows] == [
+        EdgeType.DUPLICATED,
+        EdgeType.DEPENDENCY,
+        EdgeType.SIMILAR,
+        EdgeType.COEXISTING,
+    ]
+    out = table.render()
+    assert "Table II" in out
+    for label in ("DG", "DeG", "SG", "CG"):
+        assert label in out
+
+
+def test_graph_stats_values(mini_malgraph):
+    stats = {row.edge_type: row for row in compute_graph_stats(mini_malgraph).rows}
+    # 3 + 4 identical-code packages -> two duplicate cliques
+    assert stats[EdgeType.DUPLICATED].nodes == 7
+    assert stats[EdgeType.DUPLICATED].directed_edges == 3 * 2 + 4 * 3
+    assert stats[EdgeType.DEPENDENCY].nodes == 2
+    assert stats[EdgeType.DEPENDENCY].directed_edges == 2
+    assert stats[EdgeType.COEXISTING].nodes == 2
+
+
+def test_diversity_counts_by_ecosystem(mini_malgraph):
+    table = compute_diversity(mini_malgraph)
+    npm_sg = table.cell("npm", GroupKind.SG)
+    pypi_sg = table.cell("pypi", GroupKind.SG)
+    assert npm_sg.count >= 1
+    assert pypi_sg.count >= 1
+    assert pypi_sg.average_size >= 4
+    deg = table.cell("npm", GroupKind.DEG)
+    assert deg.count == 1
+    assert deg.average_size == 2.0
+    assert table.cell("rubygems", GroupKind.SG).count == 0
+
+
+def test_diversity_cell_render(mini_malgraph):
+    table = compute_diversity(mini_malgraph)
+    assert table.cell("rubygems", GroupKind.DEG).render() == "0"
+    assert "(" in table.cell("npm", GroupKind.DEG).render()
+    out = table.render()
+    assert "Table VII" in out
+    assert "NPM" in out and "PYPI" in out and "RUBYGEMS" in out
+
+
+# -- world shape (RQ2) --------------------------------------------------------------
+
+def test_world_diversity_shape(paper):
+    """Table VII shape: PyPI similarity groups run larger than NPM's;
+    DeG groups are rare with size ≈ 2; RubyGems has no DeG."""
+    table = paper.table7_diversity()
+    npm_sg = table.cell("npm", GroupKind.SG)
+    pypi_sg = table.cell("pypi", GroupKind.SG)
+    assert npm_sg.count > pypi_sg.count
+    assert pypi_sg.average_size > npm_sg.average_size
+    deg_total = sum(
+        table.cell(e, GroupKind.DEG).count for e in ("npm", "pypi", "rubygems")
+    )
+    sg_total = npm_sg.count + pypi_sg.count
+    assert deg_total < sg_total / 3
+    assert table.cell("rubygems", GroupKind.DEG).count == 0
+    npm_deg = table.cell("npm", GroupKind.DEG)
+    if npm_deg.count:
+        assert npm_deg.average_size < 4
+
+
+def test_world_table2_shape(paper):
+    """Table II shape: SG is the densest subgraph; DeG nearly empty;
+    every subgraph is symmetric."""
+    stats = {row.edge_type: row for row in paper.table2_malgraph().rows}
+    assert stats[EdgeType.SIMILAR].directed_edges == max(
+        s.directed_edges for s in stats.values()
+    )
+    assert stats[EdgeType.DEPENDENCY].directed_edges == min(
+        s.directed_edges for s in stats.values()
+    )
+    for row in stats.values():
+        assert row.avg_out_degree == row.avg_in_degree

@@ -1,0 +1,162 @@
+"""RQ4: Fig. 11 downloads, Fig. 12 operations, Table VIII IDN."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.evolution import (
+    compute_download_evolution,
+    compute_operation_distribution,
+    compute_top_idn,
+    evolution_groups,
+)
+from repro.core.malgraph import MalGraph
+from repro.core.similarity import SimilarityConfig
+from repro.malware.operations import ChangeOp
+
+from tests.core.helpers import dataset, entry
+
+
+def _sequence_malgraph():
+    """One similarity group of four releases with known diffs/downloads."""
+    base = (
+        "import os\n"
+        "import json\n\n"
+        "def gather():\n"
+        "    rows = []\n"
+        "    for key, value in os.environ.items():\n"
+        "        rows.append({'key': key, 'value': value})\n"
+        "    return rows\n\n"
+        "def send(rows):\n"
+        "    blob = json.dumps(rows)\n"
+        "    return len(blob)\n\n"
+        "def payload():\n"
+        "    return send(gather())\n"
+    )
+    entries = [
+        entry("first", code=base, release_day=10, downloads=2),
+        entry("second", code=base, release_day=20, downloads=0),
+        entry(
+            "third",
+            code=base + "_rev = 3\n",
+            release_day=30,
+            downloads=50,
+        ),
+        entry("third", version="2.0", code=base + "_rev = 3\n",
+              release_day=40, downloads=9),
+    ]
+    # One K-Means cluster; the cosine >= 0.9 pass keeps all four releases
+    # connected (the CC edit is one line on a ~15-line payload).
+    return MalGraph.build(
+        dataset(entries), SimilarityConfig(seed=0, start_k=1, max_k=1)
+    )
+
+
+def test_evolution_groups_require_artifacts_and_days():
+    missing = entry("gone", code=None)
+    undated = entry("undated", code="U = 1\n", release_day=None)
+    present = [
+        entry("p1", code="P = 1\n", release_day=1),
+        entry("p2", code="P = 1\n", release_day=2),
+    ]
+    malgraph = MalGraph.build(
+        dataset([missing, undated] + present), SimilarityConfig(seed=0, max_k=3)
+    )
+    groups = evolution_groups(malgraph)
+    names = {e.package.name for g in groups for e in g.members}
+    assert "gone" not in names
+    assert "undated" not in names
+    assert {"p1", "p2"} <= names
+
+
+def test_operation_distribution_counts():
+    dist = compute_operation_distribution(_sequence_malgraph())
+    assert dist.attempt_count == 3
+    # first->second: CN only; second->third: CN+CC; third->third2.0: CV
+    assert dist.percentages[ChangeOp.CN] == pytest.approx(100 * 2 / 3)
+    assert dist.percentages[ChangeOp.CC] == pytest.approx(100 * 1 / 3)
+    assert dist.percentages[ChangeOp.CV] == pytest.approx(100 * 1 / 3)
+    assert dist.percentages[ChangeOp.CD] == 0.0
+    assert dist.avg_changed_lines == pytest.approx(1.0)
+
+
+def test_operation_distribution_render():
+    out = compute_operation_distribution(_sequence_malgraph()).render()
+    assert "Fig. 12" in out
+    assert "CC" in out and "CN" in out
+
+
+def test_download_evolution_boxes():
+    evo = compute_download_evolution(_sequence_malgraph(), every=1)
+    assert evo.positions == [0, 1, 2, 3]
+    assert evo.boxes[0].median == 2.0
+    assert evo.boxes[2].median == 50.0
+    assert evo.outliers == []
+
+
+def test_download_evolution_decimation():
+    evo = compute_download_evolution(_sequence_malgraph(), every=2)
+    assert evo.positions == [0, 2]
+
+
+def test_download_evolution_outliers():
+    code = "def payload():\n    return 'big'\n"
+    entries = [
+        entry("a", code=code, release_day=1, downloads=10),
+        entry("b", code=code, release_day=2, downloads=2_000_000),
+    ]
+    malgraph = MalGraph.build(dataset(entries), SimilarityConfig(seed=0, max_k=3))
+    evo = compute_download_evolution(malgraph, every=1)
+    assert evo.outliers == [("pypi:b@1.0", 2_000_000)]
+    assert "outliers" in evo.render()
+
+
+def test_top_idn_ranks_positive_jumps():
+    table = compute_top_idn(_sequence_malgraph())
+    # 2→0 and 50→9 are declines; only the 0→50 jump qualifies
+    assert [r.idn for r in table.rows] == [50]
+    best = table.rows[0]
+    assert best.from_package == "pypi:second@1.0"
+    assert best.to_package == "pypi:third@1.0"
+    assert best.ops == frozenset({ChangeOp.CN, ChangeOp.CC})
+    assert best.render_ops() == "(CN, CC)"
+
+
+def test_top_idn_respects_limit():
+    table = compute_top_idn(_sequence_malgraph(), top=1)
+    assert len(table.rows) == 1
+    assert "Table VIII" in table.render()
+
+
+# -- world shape (RQ4) ------------------------------------------------------------
+
+def test_world_operation_distribution_shape(paper):
+    """Fig. 12: CN dominates but is < 100%; CV and CDep are rarest;
+    CC sits in between; CC edits are small."""
+    dist = paper.fig12_operations()
+    cn = dist.percentages[ChangeOp.CN]
+    assert 90 < cn < 100
+    assert dist.percentages[ChangeOp.CV] < 20
+    assert dist.percentages[ChangeOp.CDEP] < 20
+    assert 20 < dist.percentages[ChangeOp.CC] < 70
+    assert dist.avg_changed_lines < 40
+
+
+def test_world_download_evolution_shape(paper):
+    """Fig. 11: typical medians are ~0-2 downloads; outliers exist and
+    are orders of magnitude larger."""
+    evo = paper.fig11_downloads()
+    medians = [b.median for b in evo.boxes if b is not None]
+    assert medians, "boxes exist"
+    assert sorted(medians)[len(medians) // 2] <= 5
+    assert evo.outliers
+    assert evo.outliers[0][1] > 100_000
+
+
+def test_world_top_idn_multi_op(paper):
+    """Table VIII: top IDN jumps come from multi-operation changes."""
+    table = paper.table8_idn()
+    assert len(table.rows) == 10
+    assert table.rows[0].idn >= table.rows[-1].idn
+    multi = sum(1 for r in table.rows if len(r.ops) >= 3)
+    assert multi >= 5

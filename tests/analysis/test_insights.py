@@ -1,0 +1,37 @@
+"""The four learned lessons, measured."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.insights import Insight, compute_insights
+
+
+def test_insights_all_hold_at_full_scale(paper):
+    report = compute_insights(paper)
+    assert len(report.insights) == 4
+    for insight in report.insights:
+        assert insight.holds, insight.render()
+    assert report.all_hold
+
+
+def test_insight_evidence_values(paper):
+    report = compute_insights(paper)
+    one, two, three, four = report.insights
+    assert 0.5 < one.evidence["single_source_fraction"] <= 1.0
+    assert two.evidence["packages_per_group"] > 5
+    assert three.evidence["cn_percent"] > 90
+    assert three.evidence["deg_p80_years"] > three.evidence["sg_p80_years"]
+    assert four.evidence["cg_groups_spanning_codebases"] >= 1
+
+
+def test_insights_render(paper):
+    out = compute_insights(paper).render()
+    assert "four learned lessons" in out
+    assert out.count("HOLDS") >= 4
+    assert "(1)" in out and "(4)" in out
+
+
+def test_insight_render_failure_marker():
+    insight = Insight(number=9, claim="x", evidence={"v": 1.0}, holds=False)
+    assert "DOES NOT HOLD" in insight.render()

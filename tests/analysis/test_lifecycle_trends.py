@@ -1,0 +1,68 @@
+"""Life-cycle trend analysis."""
+
+from __future__ import annotations
+
+import datetime
+
+import pytest
+
+from repro.analysis.lifecycle import compute_lifecycle_trends
+from repro.ecosystem.clock import date_to_day
+
+from tests.core.helpers import dataset, entry
+
+
+def _dated(name: str, year: int, latency: int, removal_gap: int = 1):
+    release = date_to_day(datetime.date(year, 6, 1))
+    e = entry(name, release_day=release)
+    e.detection_day = release + latency
+    e.removal_day = release + latency + removal_gap
+    return e
+
+
+def test_trends_bucket_by_year():
+    ds = dataset(
+        [
+            _dated("a", 2019, latency=20),
+            _dated("b", 2019, latency=10),
+            _dated("c", 2023, latency=2),
+        ]
+    )
+    trends = compute_lifecycle_trends(ds)
+    assert [t.year for t in trends.years] == [2019, 2023]
+    assert trends.years[0].packages == 2
+    assert trends.median_latency_by_year() == {2019: 15.0, 2023: 2.0}
+
+
+def test_trends_persistence_includes_removal_gap():
+    ds = dataset([_dated("a", 2020, latency=5, removal_gap=2)])
+    trend = compute_lifecycle_trends(ds).years[0]
+    assert trend.persistence.median == 7.0
+
+
+def test_trends_skip_undated_and_undetected():
+    undated = entry("undated", release_day=None)
+    undetected = entry("undetected", code="U = 1\n",
+                       release_day=date_to_day(datetime.date(2021, 1, 2)))
+    ds = dataset([undated, undetected])
+    trends = compute_lifecycle_trends(ds)
+    assert [t.year for t in trends.years] == [2021]
+    assert trends.years[0].latency is None
+    assert trends.years[0].packages == 1
+
+
+def test_trends_render():
+    ds = dataset([_dated("a", 2022, latency=3)])
+    out = compute_lifecycle_trends(ds).render()
+    assert "Life-cycle trends" in out
+    assert "2022" in out
+
+
+def test_world_latency_shrinks(small_dataset):
+    trends = compute_lifecycle_trends(small_dataset)
+    medians = trends.median_latency_by_year()
+    years = sorted(medians)
+    if len(years) >= 4:
+        early = sum(medians[y] for y in years[:2]) / 2
+        late = sum(medians[y] for y in years[-2:]) / 2
+        assert late <= early

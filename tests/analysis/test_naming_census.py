@@ -1,0 +1,76 @@
+"""Naming-tactic census."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.naming import compute_naming_census
+from repro.detection.typosquat import TyposquatIndex
+
+from tests.core.helpers import dataset, entry
+
+
+def _index():
+    return TyposquatIndex(popular={"pypi": ["requests", "numpy"]})
+
+
+def test_census_classifies_tactics():
+    ds = dataset(
+        [
+            entry("reqests"),  # typo of requests
+            entry("requests-utils", code="B = 1\n"),  # combo
+            entry("totally-original", code="C = 1\n"),  # unrelated
+        ]
+    )
+    census = compute_naming_census(ds, index=_index())
+    row = census.rows[0]
+    assert row.ecosystem == "pypi"
+    assert row.packages == 3
+    assert row.typo == 1
+    assert row.combo == 1
+    assert row.unrelated == 1
+    assert row.imitation_share == pytest.approx(100 * 2 / 3)
+
+
+def test_census_counts_unique_names_once():
+    ds = dataset(
+        [
+            entry("reqests", version="1.0"),
+            entry("reqests", version="2.0", code="V2 = 1\n"),
+        ]
+    )
+    census = compute_naming_census(ds, index=_index())
+    assert census.rows[0].packages == 1
+
+
+def test_census_top_targets():
+    ds = dataset(
+        [
+            entry("reqests"),
+            entry("rrequests", code="B = 1\n"),
+            entry("numpy1", code="C = 1\n"),
+        ]
+    )
+    census = compute_naming_census(ds, index=_index(), top=2)
+    assert census.top_targets[0] == ("pypi", "requests", 2)
+    assert census.top_targets[1] == ("pypi", "numpy", 1)
+
+
+def test_census_empty_dataset():
+    census = compute_naming_census(dataset([]))
+    assert census.rows == []
+    assert census.total_packages == 0
+    assert census.overall_imitation_share == 0.0
+
+
+def test_census_render():
+    out = compute_naming_census(
+        dataset([entry("reqests")]), index=_index()
+    ).render()
+    assert "Naming-tactic census" in out
+    assert "Most-imitated" in out
+
+
+def test_world_imitation_share(small_dataset):
+    census = compute_naming_census(small_dataset)
+    assert 20.0 < census.overall_imitation_share < 90.0

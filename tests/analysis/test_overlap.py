@@ -1,0 +1,95 @@
+"""Table IV overlap matrix and Fig. 4 DG-size CDF."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.overlap import compute_dg_size_cdf, compute_overlap_matrix
+from repro.intel.sources import Sector
+
+from tests.core.helpers import dataset, entry
+
+
+def _multi_source_dataset():
+    return dataset(
+        [
+            entry("a", sources=("snyk", "tianwen")),
+            entry("b", code="B = 1\n", sources=("snyk", "tianwen", "phylum")),
+            entry("c", code="C = 1\n", sources=("maloss",)),
+            entry("d", code="D = 1\n", ecosystem="npm", sources=("phylum",)),
+        ]
+    )
+
+
+def test_overlap_counts_pairwise_claims():
+    matrix = compute_overlap_matrix(_multi_source_dataset())
+    assert matrix.overlap("snyk", "tianwen") == 2
+    assert matrix.overlap("tianwen", "snyk") == 2  # symmetric
+    assert matrix.overlap("snyk", "phylum") == 1
+    assert matrix.overlap("maloss", "snyk") == 0
+
+
+def test_overlap_diagonal_is_source_total():
+    matrix = compute_overlap_matrix(_multi_source_dataset())
+    assert matrix.overlap("snyk", "snyk") == 2
+    assert matrix.overlap("phylum", "phylum") == 2
+    assert matrix.overlap("datadog", "datadog") == 0
+
+
+def test_overlap_render_contains_short_names():
+    out = compute_overlap_matrix(_multi_source_dataset()).render()
+    assert "Table IV" in out
+    assert "S.i" in out and "T." in out
+
+
+def test_sector_block_means_keys():
+    blocks = compute_overlap_matrix(_multi_source_dataset()).sector_block_means()
+    assert (Sector.ACADEMIA, Sector.ACADEMIA) in blocks
+    assert (Sector.INDUSTRY, Sector.INDUSTRY) in blocks
+    assert (Sector.ACADEMIA, Sector.INDUSTRY) in blocks
+
+
+def test_dg_cdf_fractions():
+    ds = dataset(
+        [
+            entry("a", sources=("snyk",)),
+            entry("b", code="B = 1\n", sources=("snyk",)),
+            entry("c", code="C = 1\n", sources=("snyk", "tianwen")),
+            entry(
+                "d",
+                code="D = 1\n",
+                sources=("snyk", "tianwen", "phylum", "datadog"),
+            ),
+        ]
+    )
+    cdf = compute_dg_size_cdf(ds)
+    assert cdf.single_source_fraction == pytest.approx(0.5)
+    assert cdf.more_than_three_fraction == pytest.approx(0.25)
+    pypi_points = cdf.per_ecosystem["pypi"]
+    assert pypi_points[0].value == 1.0
+    assert pypi_points[-1].fraction == pytest.approx(1.0)
+
+
+def test_dg_cdf_only_major_ecosystems():
+    ds = dataset([entry("m", ecosystem="maven")])
+    cdf = compute_dg_size_cdf(ds)
+    assert set(cdf.per_ecosystem) == {"npm", "pypi", "rubygems"}
+    assert cdf.single_source_fraction == 0.0  # maven is out of scope
+
+
+# -- world shape (RQ1) ------------------------------------------------------------
+
+def test_world_overlap_shape(small_dataset):
+    """Academia block overlaps more than industry block (Table IV)."""
+    matrix = compute_overlap_matrix(small_dataset)
+    blocks = matrix.sector_block_means()
+    academia = blocks[(Sector.ACADEMIA, Sector.ACADEMIA)]
+    industry = blocks[(Sector.INDUSTRY, Sector.INDUSTRY)]
+    assert academia > industry
+
+
+def test_world_most_packages_single_source(small_dataset):
+    """Fig. 4: ~80% of packages are reported by only one source."""
+    cdf = compute_dg_size_cdf(small_dataset)
+    assert cdf.single_source_fraction > 0.55
+    assert cdf.more_than_three_fraction < 0.15

@@ -1,0 +1,116 @@
+"""Table V freshness, Table VI missing rates and Fig. 5 causes."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.quality import (
+    _cadence_label,
+    compute_freshness,
+    compute_missing_rates,
+    compute_unavailability_causes,
+)
+from repro.collection.mirrorsearch import MissCause
+from repro.collection.records import SourceClaim
+from repro.ecosystem.mirror import MirrorNetwork
+
+from tests.core.helpers import dataset, entry
+
+
+def test_cadence_labels():
+    assert _cadence_label(0) == "Never update"
+    assert _cadence_label(-1) == "Never update"
+    assert _cadence_label(7) == "several per month"
+    assert _cadence_label(30) == "one per 1 month"
+    assert _cadence_label(60) == "one per 2 month"
+    assert _cadence_label(180) == "one per 6 month"
+
+
+def test_freshness_observes_last_claim_day():
+    ds = dataset([entry("a", sources=("snyk",)), entry("b", code="B=1\n")])
+    ds.entries[0].claims[0] = SourceClaim("snyk", 500, True)
+    ds.entries[1].claims[0] = SourceClaim("snyk", 900, True)
+    table = compute_freshness(ds)
+    snyk = next(r for r in table.rows if r.source == "snyk")
+    assert snyk.last_update_day == 900
+    assert snyk.cadence == "one per 2 month"
+    assert snyk.last_update_date != "-"
+
+
+def test_freshness_unseen_source_renders_dash():
+    ds = dataset([entry("a", sources=("snyk",))])
+    table = compute_freshness(ds)
+    socket = next(r for r in table.rows if r.source == "socket")
+    assert socket.last_update_day is None
+    assert socket.last_update_date == "-"
+
+
+def test_missing_rates_single_vs_all():
+    """An entry whose claiming source shared nothing but whose artifact
+    came from a mirror counts missing-single but not missing-all."""
+    recovered = entry("rec")
+    recovered.claims = [SourceClaim("phylum", 10, shares_artifact=False)]
+    recovered.artifact_origin = "mirror:pypi-m1"
+    gone = entry("gone", code=None)
+    gone.claims = [SourceClaim("phylum", 12, shares_artifact=False)]
+    ds = dataset([recovered, gone])
+    table = compute_missing_rates(ds)
+    phylum = next(r for r in table.rows if r.source == "phylum")
+    assert phylum.total == 2
+    assert phylum.missing_single == 2
+    assert phylum.missing_all == 1
+    assert phylum.single_rate == 100.0
+    assert phylum.all_rate == 50.0
+    assert table.overall_missing == 1
+    assert table.overall_rate == 50.0
+
+
+def test_missing_rates_empty_source_row():
+    table = compute_missing_rates(dataset([entry("a")]))
+    socket = next(r for r in table.rows if r.source == "socket")
+    assert socket.total == 0
+    assert socket.single_rate == 0.0
+
+
+def test_missing_rate_all_never_exceeds_single(small_dataset):
+    """Supplementation can only reduce the missing rate (Table VI)."""
+    table = compute_missing_rates(small_dataset)
+    for row in table.rows:
+        assert row.all_rate <= row.single_rate + 1e-9
+
+
+def test_unavailability_causes_empty_mirrors():
+    ds = dataset([entry("gone", code=None, release_day=5)])
+    causes = compute_unavailability_causes(ds, MirrorNetwork())
+    assert causes.total == 1
+    assert sum(causes.counts.values()) == 1
+
+
+def test_unavailability_fraction():
+    ds = dataset(
+        [
+            entry("g1", code=None, release_day=5),
+            entry("g2", code=None, release_day=6),
+        ]
+    )
+    causes = compute_unavailability_causes(ds, MirrorNetwork())
+    top_cause = max(causes.counts, key=causes.counts.get)
+    assert causes.fraction(top_cause) == pytest.approx(1.0)
+
+
+def test_world_unavailability_covers_both_paper_causes(paper):
+    """Fig. 5: both causes appear — released too early AND removed too
+    fast — at full scale."""
+    causes = paper.fig5_causes()
+    assert causes.counts.get(MissCause.RELEASED_TOO_EARLY, 0) > 0
+    assert causes.counts.get(MissCause.PERSISTED_TOO_BRIEFLY, 0) > 0
+    assert causes.total == len(paper.dataset.unavailable_entries())
+
+
+def test_world_sharing_sources_have_low_missing_rate(small_dataset):
+    table = compute_missing_rates(small_dataset)
+    by_key = {r.source: r for r in table.rows}
+    if by_key["datadog"].total:
+        assert by_key["datadog"].single_rate < 5.0
+    if by_key["socket"].total:
+        assert by_key["socket"].single_rate == 100.0

@@ -1,0 +1,76 @@
+"""ASCII renderers for tables, bars, CDFs, box series and timelines."""
+
+from __future__ import annotations
+
+from repro.analysis.render import (
+    render_bars,
+    render_box_series,
+    render_cdf,
+    render_table,
+    render_timeline,
+)
+from repro.analysis.stats import BoxStats, CdfPoint
+
+
+def test_render_table_alignment():
+    out = render_table(["name", "n"], [["alpha", 1], ["b", 22]], title="T")
+    lines = out.splitlines()
+    assert lines[0] == "T"
+    assert "name" in lines[1]
+    assert set(lines[2]) <= {"-", " "}
+    # right-aligned numeric column: widths consistent
+    assert len(lines[3]) == len(lines[4])
+
+
+def test_render_table_first_column_left_aligned():
+    out = render_table(["source", "count"], [["x", 5], ["longer", 7]])
+    rows = out.splitlines()[2:]
+    assert rows[0].startswith("x ")
+    assert rows[1].startswith("longer")
+
+
+def test_render_bars_scales_to_peak():
+    out = render_bars(["a", "b"], [10.0, 5.0], width=10)
+    lines = out.splitlines()
+    assert lines[0].count("#") == 10
+    assert lines[1].count("#") == 5
+
+
+def test_render_bars_handles_zero_peak():
+    out = render_bars(["a"], [0.0])
+    assert "0.00" in out
+
+
+def test_render_bars_empty():
+    assert render_bars([], [], title="empty") == "empty"
+
+
+def test_render_cdf_empty_points():
+    out = render_cdf([], title="F")
+    assert "(empty)" in out
+
+
+def test_render_cdf_marks_points():
+    points = [CdfPoint(1.0, 0.5), CdfPoint(2.0, 1.0)]
+    out = render_cdf(points, title="F", width=20, height=5)
+    assert out.count("*") == 2
+    assert "1 .. 2" in out
+
+
+def test_render_cdf_single_point():
+    out = render_cdf([CdfPoint(3.0, 1.0)], width=10, height=4)
+    assert out.count("*") == 1
+
+
+def test_render_box_series_with_none():
+    box = BoxStats(count=3, minimum=0, q1=1, median=2, q3=3, maximum=9)
+    out = render_box_series(["1", "11"], [box, None])
+    lines = out.splitlines()
+    assert "median" in lines[0]
+    assert "-" in lines[-1]  # the None row renders placeholders
+
+
+def test_render_timeline_integer_formatting():
+    out = render_timeline(["2023-01", "2023-02"], [3, 6], width=12)
+    assert "3" in out and "6" in out
+    assert "3.0" not in out

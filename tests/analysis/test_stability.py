@@ -1,0 +1,148 @@
+"""Section II-D dynamic-changing: snapshots and stability series."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.stability import (
+    DEFAULT_METRICS,
+    StabilitySeries,
+    compute_stability,
+    snapshot_dataset,
+)
+from repro.collection.records import SourceClaim
+
+from tests.core.helpers import dataset, entry, report
+
+
+def _timed_dataset():
+    early = entry("early", release_day=100)
+    early.claims = [SourceClaim("snyk", 110, True)]
+    late = entry("late", code="L = 1\n", release_day=500)
+    late.claims = [SourceClaim("phylum", 510, False)]
+    both = entry("both", code="B = 1\n", release_day=100)
+    both.claims = [
+        SourceClaim("snyk", 120, False),
+        SourceClaim("tianwen", 520, True),
+    ]
+    return dataset(
+        [early, late, both],
+        [
+            report("r-early", [early.package], publish_day=130),
+            report("r-late", [late.package, both.package], publish_day=530),
+        ],
+    )
+
+
+def test_snapshot_drops_unreported_entries():
+    snap = snapshot_dataset(_timed_dataset(), cutoff_day=200)
+    names = {e.package.name for e in snap.entries}
+    assert names == {"early", "both"}
+
+
+def test_snapshot_filters_claims():
+    snap = snapshot_dataset(_timed_dataset(), cutoff_day=200)
+    both = next(e for e in snap.entries if e.package.name == "both")
+    assert [c.source for c in both.claims] == ["snyk"]
+
+
+def test_snapshot_artifact_requires_kept_sharing_claim():
+    snap = snapshot_dataset(_timed_dataset(), cutoff_day=200)
+    both = next(e for e in snap.entries if e.package.name == "both")
+    # 'both' became available only via the day-520 tianwen claim
+    assert not both.available
+    early = next(e for e in snap.entries if e.package.name == "early")
+    assert early.available
+
+
+def test_snapshot_keeps_mirror_recoveries():
+    ds = _timed_dataset()
+    target = next(e for e in ds.entries if e.package.name == "both")
+    target.artifact_origin = "mirror:pypi-m1"
+    snap = snapshot_dataset(ds, cutoff_day=200)
+    both = next(e for e in snap.entries if e.package.name == "both")
+    assert both.available
+
+
+def test_snapshot_filters_reports():
+    snap = snapshot_dataset(_timed_dataset(), cutoff_day=200)
+    assert [r.report_id for r in snap.reports] == ["r-early"]
+
+
+def test_snapshot_at_horizon_is_full_dataset():
+    ds = _timed_dataset()
+    snap = snapshot_dataset(ds, cutoff_day=10_000)
+    assert len(snap) == len(ds)
+    assert len(snap.reports) == len(ds.reports)
+
+
+def test_snapshot_does_not_mutate_original():
+    ds = _timed_dataset()
+    claims_before = {e.package.name: len(e.claims) for e in ds.entries}
+    snapshot_dataset(ds, cutoff_day=200)
+    assert {e.package.name: len(e.claims) for e in ds.entries} == claims_before
+
+
+def test_compute_stability_empty_dataset():
+    series = compute_stability(dataset([]))
+    assert series.cutoffs == []
+
+
+def test_compute_stability_monotone_package_counts(small_dataset):
+    series = compute_stability(small_dataset, snapshots=5)
+    assert len(series.cutoffs) == 5
+    assert series.cutoffs == sorted(series.cutoffs)
+    counts = series.metrics["packages"]
+    assert counts == sorted(counts), "packages only accumulate"
+    assert counts[-1] == len(small_dataset)
+
+
+def test_world_metrics_are_stable(paper):
+    """The paper's claim: the *rate* metrics settle as the dataset grows
+    (raw counts keep accumulating, which is fine)."""
+    series = compute_stability(paper.dataset, snapshots=6)
+    assert series.final_drift("missing_rate_%") < 0.05
+    assert series.final_drift("single_source_%") < 0.05
+    assert series.metrics["packages"][-1] == len(paper.dataset)
+
+
+def test_stability_render(small_dataset):
+    out = compute_stability(small_dataset, snapshots=3).render()
+    assert "Dynamic changing" in out
+    assert "missing_rate_%" in out
+
+
+def test_snapshot_monotone_in_cutoff(small_dataset):
+    """Later snapshots contain everything earlier snapshots do."""
+    earlier = snapshot_dataset(small_dataset, cutoff_day=1500)
+    later = snapshot_dataset(small_dataset, cutoff_day=2000)
+    earlier_keys = {e.package for e in earlier.entries}
+    later_keys = {e.package for e in later.entries}
+    assert earlier_keys <= later_keys
+    earlier_reports = {r.report_id for r in earlier.reports}
+    later_reports = {r.report_id for r in later.reports}
+    assert earlier_reports <= later_reports
+    # availability can only improve with more knowledge
+    for entry in earlier.entries:
+        if entry.available:
+            counterpart = later.get(entry.package)
+            assert counterpart.available
+
+
+def test_snapshot_claims_respect_cutoff(small_dataset):
+    cutoff = 1600
+    snap = snapshot_dataset(small_dataset, cutoff)
+    for entry in snap.entries:
+        assert all(c.report_day <= cutoff for c in entry.claims)
+    for rep in snap.reports:
+        assert rep.publish_day is None or rep.publish_day <= cutoff
+
+
+def test_custom_metrics(small_dataset):
+    series = compute_stability(
+        small_dataset,
+        snapshots=3,
+        metrics={"available": lambda ds: float(len(ds.available_entries()))},
+    )
+    assert list(series.metrics) == ["available"]
+    assert len(series.metrics["available"]) == 3

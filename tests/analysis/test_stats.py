@@ -1,0 +1,135 @@
+"""Statistics helpers: CDFs, quantiles, box stats, binning."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.analysis.stats import (
+    BoxStats,
+    bin_by,
+    box_stats,
+    cdf_fraction_at,
+    empirical_cdf,
+    percentage,
+    quantile_at_fraction,
+)
+
+samples = st.lists(
+    st.floats(-1e6, 1e6, allow_nan=False, allow_infinity=False),
+    min_size=1,
+    max_size=60,
+)
+
+
+# -- empirical_cdf ----------------------------------------------------------------
+
+def test_empirical_cdf_simple():
+    points = empirical_cdf([1, 1, 2, 4])
+    assert [(p.value, p.fraction) for p in points] == [
+        (1.0, 0.5),
+        (2.0, 0.75),
+        (4.0, 1.0),
+    ]
+
+
+def test_empirical_cdf_empty():
+    assert empirical_cdf([]) == []
+
+
+@given(samples)
+@settings(max_examples=60, deadline=None)
+def test_empirical_cdf_properties(values):
+    points = empirical_cdf(values)
+    fractions = [p.fraction for p in points]
+    xs = [p.value for p in points]
+    assert xs == sorted(set(xs)), "one point per distinct value, sorted"
+    assert fractions == sorted(fractions), "CDF is nondecreasing"
+    assert fractions[-1] == pytest.approx(1.0)
+    assert all(0 < f <= 1 for f in fractions)
+
+
+# -- cdf_fraction_at -----------------------------------------------------------------
+
+def test_cdf_fraction_at_basics():
+    values = [1, 2, 3, 4]
+    assert cdf_fraction_at(values, 0) == 0.0
+    assert cdf_fraction_at(values, 1) == 0.25
+    assert cdf_fraction_at(values, 2.5) == 0.5
+    assert cdf_fraction_at(values, 10) == 1.0
+    assert cdf_fraction_at([], 5) == 0.0
+
+
+@given(samples, st.floats(-1e6, 1e6, allow_nan=False))
+@settings(max_examples=60, deadline=None)
+def test_cdf_fraction_matches_definition(values, threshold):
+    expected = sum(1 for v in values if v <= threshold) / len(values)
+    assert cdf_fraction_at(values, threshold) == pytest.approx(expected)
+
+
+# -- quantile_at_fraction ----------------------------------------------------------
+
+def test_quantile_at_fraction_basics():
+    values = [10, 20, 30, 40, 50]
+    assert quantile_at_fraction(values, 0.2) == 10
+    assert quantile_at_fraction(values, 0.8) == 40
+    assert quantile_at_fraction(values, 1.0) == 50
+    assert math.isnan(quantile_at_fraction([], 0.5))
+
+
+@given(samples, st.floats(0.01, 1.0))
+@settings(max_examples=60, deadline=None)
+def test_quantile_is_galois_adjoint_of_cdf(values, fraction):
+    """quantile(f) is the smallest sample value whose CDF >= f."""
+    q = quantile_at_fraction(values, fraction)
+    assert q in [float(v) for v in values]
+    assert cdf_fraction_at(values, q) >= fraction - 1e-9
+    below = [v for v in values if v < q]
+    if below:
+        assert cdf_fraction_at(values, max(below)) < fraction
+
+
+# -- box_stats -----------------------------------------------------------------------
+
+def test_box_stats_five_numbers():
+    box = box_stats([1, 2, 3, 4, 100])
+    assert box.count == 5
+    assert box.minimum == 1
+    assert box.median == 3
+    assert box.maximum == 100
+    assert box.iqr == box.q3 - box.q1
+
+
+def test_box_stats_empty_is_none():
+    assert box_stats([]) is None
+
+
+@given(samples)
+@settings(max_examples=60, deadline=None)
+def test_box_stats_ordering(values):
+    box = box_stats(values)
+    assert box.minimum <= box.q1 <= box.median <= box.q3 <= box.maximum
+    assert box.count == len(values)
+    assert box.iqr >= 0
+
+
+# -- bin_by / percentage ----------------------------------------------------------------
+
+def test_bin_by_groups_and_sorts_keys():
+    bins = bin_by([3, 1, 4, 1, 5], key=lambda v: v % 2)
+    assert list(bins) == [0, 1]
+    assert bins[1] == [3, 1, 1, 5]
+    assert bins[0] == [4]
+
+
+def test_bin_by_unsorted():
+    bins = bin_by(["bb", "a", "ccc"], key=len, sort_keys=False)
+    assert list(bins) == [2, 1, 3]
+
+
+def test_percentage():
+    assert percentage(1, 4) == 25.0
+    assert percentage(0, 0) == 0.0
+    assert percentage(5, 0) == 0.0

@@ -1,0 +1,64 @@
+"""Fig. 3 example-subgraph picker."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.subgraph import compute_example_subgraph
+from repro.core.graph import EdgeType
+from repro.core.malgraph import MalGraph
+from repro.core.similarity import SimilarityConfig
+
+from tests.core.helpers import dataset, entry, report
+
+
+def _rich_malgraph():
+    """Three same-code packages that also share a report."""
+    code = "def payload():\n    return 'fig3'\n"
+    a = entry("fig-a", code=code, release_day=1)
+    b = entry("fig-b", code=code, release_day=2)
+    c = entry("fig-c", code=code, release_day=3)
+    return MalGraph.build(
+        dataset([a, b, c], [report("r1", [a.package, b.package, c.package])]),
+        SimilarityConfig(seed=0, max_k=2),
+    )
+
+
+def test_example_subgraph_mixes_edge_kinds():
+    excerpt = compute_example_subgraph(_rich_malgraph())
+    assert excerpt is not None
+    assert len(excerpt.nodes) == 3
+    kinds = set(excerpt.edge_kinds)
+    assert EdgeType.SIMILAR in kinds
+    assert EdgeType.DUPLICATED in kinds  # identical code
+    assert EdgeType.COEXISTING in kinds  # shared report
+
+
+def test_example_subgraph_render_and_dot():
+    excerpt = compute_example_subgraph(_rich_malgraph())
+    out = excerpt.render()
+    assert "Fig. 3" in out
+    assert "fig-a" in out
+    dot = excerpt.to_dot()
+    assert '"fig-a" -- "fig-b"' in dot or '"fig-a" -- "fig-c"' in dot
+
+
+def test_example_subgraph_requires_group_of_three():
+    code = "def tiny():\n    return 1\n"
+    two = dataset([entry("x", code=code), entry("y", code=code)])
+    malgraph = MalGraph.build(two, SimilarityConfig(seed=0, max_k=1))
+    assert compute_example_subgraph(malgraph) is None
+
+
+def test_example_subgraph_caps_nodes():
+    code = "def big():\n    return 'grp'\n"
+    entries = [entry(f"m-{i}", code=code, release_day=i) for i in range(20)]
+    malgraph = MalGraph.build(dataset(entries), SimilarityConfig(seed=0, max_k=1))
+    excerpt = compute_example_subgraph(malgraph, max_nodes=5)
+    assert len(excerpt.nodes) == 5
+
+
+def test_world_fig3(paper):
+    excerpt = paper.fig3_example_subgraph()
+    assert excerpt is not None
+    assert len(excerpt.edge_kinds) >= 2

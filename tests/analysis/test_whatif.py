@@ -1,0 +1,68 @@
+"""Defense-latency what-if sweep."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.whatif import compute_defense_sweep, measure_scenario
+from repro.malware.corpus import CorpusConfig
+
+
+@pytest.fixture(scope="module")
+def sweep():
+    return compute_defense_sweep((0.5, 1.0, 2.0), seed=3, corpus_scale=0.1)
+
+
+def test_sweep_orders_scenarios(sweep):
+    scales = [s.latency_scale for s in sweep.scenarios]
+    assert scales == [0.5, 1.0, 2.0]
+
+
+def test_same_population_across_scenarios(sweep):
+    releases = {s.releases for s in sweep.scenarios}
+    assert len(releases) == 1
+
+
+def test_downloads_grow_with_latency(sweep):
+    # tiny corpora are Poisson-noisy, so assert the endpoints rather
+    # than strict monotonicity
+    downloads = [s.total_downloads for s in sweep.scenarios]
+    assert downloads[-1] > downloads[0]
+
+
+def test_persistence_grows_with_latency(sweep):
+    persists = [s.median_persist_days for s in sweep.scenarios]
+    assert persists[-1] > persists[0]
+
+
+def test_scenario_lookup(sweep):
+    assert sweep.scenario(1.0).latency_scale == 1.0
+    assert sweep.scenario(9.0) is None
+
+
+def test_render(sweep):
+    out = sweep.render()
+    assert "defender latency" in out
+    assert "0.5x" in out
+
+
+def test_default_scale_matches_plain_corpus():
+    """latency_scale=1.0 reproduces the unmodified corpus exactly."""
+    baseline = measure_scenario(CorpusConfig(seed=3, scale=0.1))
+    scenario = measure_scenario(
+        CorpusConfig(seed=3, scale=0.1, detection_latency_scale=1.0)
+    )
+    assert scenario.total_downloads == baseline.total_downloads
+    assert scenario.median_persist_days == baseline.median_persist_days
+
+
+def test_latency_scale_preserves_world_determinism():
+    """Adding the knob must not perturb the canonical world: building
+    with the default config twice still agrees."""
+    from repro.world import WorldConfig, build_world
+
+    a = build_world(WorldConfig(seed=5, scale=0.05))
+    b = build_world(WorldConfig(seed=5, scale=0.05, detection_latency_scale=1.0))
+    downloads_a = [r.downloads for _c, r in a.corpus.releases()]
+    downloads_b = [r.downloads for _c, r in b.corpus.releases()]
+    assert downloads_a == downloads_b

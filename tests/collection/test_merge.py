@@ -1,0 +1,129 @@
+"""Dataset merge and diff (the update loop)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.collection.merge import diff_datasets, merge_datasets
+from repro.collection.records import SourceClaim
+from repro.errors import DatasetError
+
+from tests.core.helpers import dataset, entry, report
+
+
+def test_merge_unions_disjoint_entries():
+    a = dataset([entry("only-a")])
+    b = dataset([entry("only-b", code="B = 1\n")])
+    merged = merge_datasets(a, b)
+    assert {e.package.name for e in merged} == {"only-a", "only-b"}
+
+
+def test_merge_does_not_mutate_inputs():
+    a = dataset([entry("shared", sources=("snyk",))])
+    b = dataset([entry("shared", sources=("phylum",))])
+    merge_datasets(a, b)
+    assert a.entries[0].sources == {"snyk"}
+    assert b.entries[0].sources == {"phylum"}
+
+
+def test_merge_combines_claims_earliest_day_wins():
+    a_entry = entry("shared")
+    a_entry.claims = [SourceClaim("snyk", 50, False)]
+    b_entry = entry("shared")
+    b_entry.claims = [SourceClaim("snyk", 30, False), SourceClaim("phylum", 60, False)]
+    merged = merge_datasets(dataset([a_entry]), dataset([b_entry]))
+    claims = {c.source: c for c in merged.entries[0].claims}
+    assert set(claims) == {"snyk", "phylum"}
+    assert claims["snyk"].report_day == 30
+
+
+def test_merge_sharing_flag_is_sticky():
+    a_entry = entry("shared")
+    a_entry.claims = [SourceClaim("snyk", 50, False)]
+    b_entry = entry("shared")
+    b_entry.claims = [SourceClaim("snyk", 70, True)]
+    merged = merge_datasets(dataset([a_entry]), dataset([b_entry]))
+    claim = merged.entries[0].claims[0]
+    assert claim.shares_artifact
+    assert claim.report_day == 50
+
+
+def test_merge_fills_artifact_from_new_run():
+    stale = entry("victim", code=None, release_day=None)
+    fresh = entry("victim", release_day=42)
+    merged = merge_datasets(dataset([stale]), dataset([fresh]))
+    assert merged.entries[0].available
+    assert merged.entries[0].release_day == 42
+
+
+def test_merge_conflicting_artifacts_raise():
+    one = entry("victim", code="A = 1\n")
+    other = entry("victim", code="B = 2\n")
+    with pytest.raises(DatasetError):
+        merge_datasets(dataset([one]), dataset([other]))
+
+
+def test_merge_keeps_max_downloads():
+    old = entry("pkg", downloads=10)
+    new = entry("pkg", downloads=250)
+    merged = merge_datasets(dataset([old]), dataset([new]))
+    assert merged.entries[0].downloads == 250
+
+
+def test_merge_deduplicates_reports():
+    e = entry("pkg")
+    a = dataset([e], [report("r1", [e.package])])
+    b = dataset([entry("pkg")], [report("r1", [e.package]), report("r2", [e.package])])
+    merged = merge_datasets(a, b)
+    assert [r.report_id for r in merged.reports] == ["r1", "r2"]
+
+
+def test_merge_world_with_itself_is_identity(small_dataset):
+    merged = merge_datasets(small_dataset, small_dataset)
+    assert len(merged) == len(small_dataset)
+    assert len(merged.reports) == len(small_dataset.reports)
+    for before, after in zip(small_dataset.entries, merged.entries):
+        assert before.package == after.package
+        assert before.sources == after.sources
+        assert before.available == after.available
+
+
+# -- diff ------------------------------------------------------------------
+
+def test_diff_added_and_removed():
+    old = dataset([entry("stay"), entry("gone", code="G = 1\n")])
+    new = dataset([entry("stay"), entry("fresh", code="F = 1\n")])
+    diff = diff_datasets(old, new)
+    assert [p.name for p in diff.added] == ["fresh"]
+    assert [p.name for p in diff.removed] == ["gone"]
+
+
+def test_diff_newly_available_and_sources():
+    old = dataset([entry("pkg", code=None, sources=("snyk",))])
+    new = dataset([entry("pkg", sources=("snyk", "phylum"))])
+    diff = diff_datasets(old, new)
+    assert [p.name for p in diff.newly_available] == ["pkg"]
+    assert list(diff.new_sources.values()) == [{"phylum"}]
+
+
+def test_diff_new_reports():
+    e = entry("pkg")
+    old = dataset([e], [report("r1", [e.package])])
+    new = dataset([entry("pkg")], [report("r1", [e.package]), report("r9", [e.package])])
+    diff = diff_datasets(old, new)
+    assert diff.new_reports == ["r9"]
+
+
+def test_diff_identical_is_empty(small_dataset):
+    diff = diff_datasets(small_dataset, small_dataset)
+    assert diff.is_empty
+    assert "+0 packages" in diff.summary()
+
+
+def test_incremental_loop_merge_then_diff():
+    """The future-work loop: merging a delta then diffing shows no
+    remaining difference."""
+    base = dataset([entry("a"), entry("b", code=None)])
+    delta = dataset([entry("b"), entry("c", code="C = 1\n")])
+    merged = merge_datasets(base, delta)
+    assert diff_datasets(merged, merge_datasets(merged, delta)).is_empty

@@ -1,0 +1,108 @@
+"""Algebraic properties of dataset merging, via hypothesis."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.collection.merge import diff_datasets, merge_datasets
+from repro.collection.records import DatasetEntry, MalwareDataset, SourceClaim
+from repro.ecosystem.package import PackageId, make_artifact
+
+_SOURCES = ["snyk", "phylum", "tianwen", "datadog"]
+_CODES = ["A = 1\n", "B = 2\n", "C = 3\n"]
+
+
+@st.composite
+def entries(draw, name_pool=("p0", "p1", "p2", "p3")):
+    name = draw(st.sampled_from(name_pool))
+    code_idx = name_pool.index(name) % len(_CODES)  # per-name stable code
+    has_artifact = draw(st.booleans())
+    claims = draw(
+        st.lists(
+            st.tuples(st.sampled_from(_SOURCES), st.integers(0, 500), st.booleans()),
+            min_size=1,
+            max_size=3,
+        )
+    )
+    entry = DatasetEntry(
+        package=PackageId("pypi", name, "1.0"),
+        claims=[SourceClaim(s, d, share) for s, d, share in claims],
+        downloads=draw(st.integers(0, 1000)),
+        release_day=draw(st.one_of(st.none(), st.integers(0, 500))),
+    )
+    if has_artifact:
+        entry.artifact = make_artifact(
+            "pypi", name, "1.0", {"pkg/m.py": _CODES[code_idx]}
+        )
+        entry.artifact_origin = "source:test"
+    return entry
+
+
+@st.composite
+def datasets(draw):
+    pool = draw(
+        st.lists(entries(), min_size=0, max_size=4)
+    )
+    unique = {}
+    for entry in pool:
+        unique.setdefault(entry.package, entry)
+    return MalwareDataset(entries=list(unique.values()), reports=[])
+
+
+def _canonical(dataset: MalwareDataset):
+    """Order-insensitive fingerprint of a dataset's knowledge."""
+    out = []
+    for entry in sorted(dataset.entries, key=lambda e: str(e.package)):
+        claims = sorted(
+            (c.source, c.report_day, c.shares_artifact) for c in entry.claims
+        )
+        out.append(
+            (
+                str(entry.package),
+                tuple(claims),
+                entry.available,
+                entry.downloads,
+            )
+        )
+    return out
+
+
+@given(datasets(), datasets())
+@settings(max_examples=80, deadline=None)
+def test_merge_commutative_on_knowledge(a, b):
+    left = merge_datasets(a, b)
+    right = merge_datasets(b, a)
+    # claims/artifacts/downloads agree regardless of merge order; the
+    # earliest-day + sticky-share rules are symmetric
+    assert _canonical(left) == _canonical(right)
+
+
+@given(datasets())
+@settings(max_examples=60, deadline=None)
+def test_merge_idempotent(ds):
+    merged = merge_datasets(ds, ds)
+    assert _canonical(merged) == _canonical(merge_datasets(merged, ds))
+    assert len(merged) == len(ds)
+
+
+@given(datasets(), datasets())
+@settings(max_examples=60, deadline=None)
+def test_merge_covers_both_inputs(a, b):
+    merged = merge_datasets(a, b)
+    keys = {e.package for e in merged.entries}
+    assert keys == {e.package for e in a.entries} | {e.package for e in b.entries}
+    for source_ds in (a, b):
+        for entry in source_ds.entries:
+            target = merged.get(entry.package)
+            assert entry.sources <= target.sources
+            if entry.available:
+                assert target.available
+
+
+@given(datasets(), datasets())
+@settings(max_examples=60, deadline=None)
+def test_diff_after_merge_shows_no_additions(a, b):
+    merged = merge_datasets(a, b)
+    diff = diff_datasets(merged, merge_datasets(merged, b))
+    assert diff.is_empty

@@ -1,0 +1,97 @@
+"""Mirror recovery and the Fig. 5 miss classification."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.collection.mirrorsearch import (
+    MissCause,
+    RecoveryStats,
+    classify_miss,
+    recover_from_mirrors,
+)
+from repro.ecosystem.mirror import MirrorNetwork, MirrorRegistry
+from repro.ecosystem.registry import Registry
+from repro.ecosystem.package import make_artifact
+
+from tests.core.helpers import entry
+
+
+def _mirrored_registry():
+    """A root registry + one archival mirror that synced day 50."""
+    registry = Registry("pypi")
+    artifact = make_artifact("pypi", "victim", "1.0", {"pkg/m.py": "X = 1\n"})
+    mirror = MirrorRegistry(
+        name="pypi-m1",
+        upstream=registry,
+        sync_interval=30,
+        start_day=0,
+        archival=True,
+    )
+    registry.publish(artifact, day=10, malicious=True)
+    mirror.sync(30)  # captures the still-live package
+    registry.mark_detected("victim", "1.0", 40, by="scanner")
+    registry.remove("victim", "1.0", 41)
+    network = MirrorNetwork([mirror])
+    return registry, network
+
+
+def test_recover_finds_archived_package():
+    _registry, network = _mirrored_registry()
+    gone = entry("victim", code=None)
+    stats = recover_from_mirrors([gone], network)
+    assert stats.attempted == 1
+    assert stats.recovered == 1
+    assert gone.available
+    assert gone.artifact_origin == "mirror:pypi-m1"
+    assert stats.recovery_rate == 1.0
+
+
+def test_recover_skips_already_available():
+    _registry, network = _mirrored_registry()
+    have = entry("victim")
+    origin_before = have.artifact_origin
+    stats = recover_from_mirrors([have], network)
+    assert stats.attempted == 0
+    assert have.artifact_origin == origin_before
+
+
+def test_recover_records_miss():
+    _registry, network = _mirrored_registry()
+    ghost = entry("never-existed", code=None)
+    stats = recover_from_mirrors([ghost], network)
+    assert stats.recovered == 0
+    assert sum(stats.misses.values()) == 1
+
+
+def test_classify_no_mirror_coverage():
+    cause = classify_miss(entry("x", code=None), MirrorNetwork())
+    assert cause is MissCause.NO_MIRROR_COVERAGE
+
+
+def test_classify_released_too_early():
+    registry = Registry("pypi")
+    mirror = MirrorRegistry(
+        name="m", upstream=registry, sync_interval=30, start_day=500, archival=True
+    )
+    network = MirrorNetwork([mirror])
+    early = entry("x", code=None, release_day=100)
+    assert classify_miss(early, network) is MissCause.RELEASED_TOO_EARLY
+
+
+def test_classify_persisted_too_briefly():
+    registry = Registry("pypi")
+    mirror = MirrorRegistry(
+        name="m", upstream=registry, sync_interval=30, start_day=0, archival=True
+    )
+    network = MirrorNetwork([mirror])
+    brief = entry("x", code=None, release_day=100)
+    assert classify_miss(brief, network) is MissCause.PERSISTED_TOO_BRIEFLY
+
+
+def test_recovery_stats_record_miss():
+    stats = RecoveryStats()
+    stats.record_miss(MissCause.RELEASED_TOO_EARLY)
+    stats.record_miss(MissCause.RELEASED_TOO_EARLY)
+    assert stats.misses[MissCause.RELEASED_TOO_EARLY] == 2
+    assert stats.recovery_rate == 0.0

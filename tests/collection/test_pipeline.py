@@ -1,0 +1,114 @@
+"""The Section II collection pipeline, end to end on the simulated world."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.collection.pipeline import CollectionPipeline, attach_ground_truth
+from repro.intel.sources import SOURCE_INDEX, SourceKind
+from repro.world import collect
+
+
+@pytest.fixture(scope="module")
+def result(request):
+    return request.getfixturevalue("small_collection")
+
+
+def test_stats_account_for_every_stage(result):
+    stats = result.stats
+    assert stats.dataset_records > 0
+    assert stats.crawled_records > 0
+    assert stats.sns_records >= 0
+    assert stats.merged_entries == len(result.dataset)
+    assert stats.crawl.pages_fetched > 0
+    assert stats.crawl.pages_filtered_out > 0
+
+
+def test_every_entry_has_at_least_one_claim(result):
+    for entry in result.dataset:
+        assert entry.claims
+        assert entry.first_report_day >= 0
+
+
+def test_claims_are_unique_per_source(result):
+    for entry in result.dataset:
+        sources = [c.source for c in entry.claims]
+        assert len(sources) == len(set(sources))
+
+
+def test_artifact_origin_tracked(result):
+    for entry in result.dataset.available_entries():
+        assert entry.artifact_origin is not None
+        kind, _, rest = entry.artifact_origin.partition(":")
+        assert kind in ("source", "mirror")
+        assert rest
+
+
+def test_sharing_claim_implies_artifact(result):
+    """If any claiming source shares artifacts for this package, the
+    pipeline obtained it (sources archive what they report)."""
+    for entry in result.dataset:
+        if any(c.shares_artifact for c in entry.claims):
+            assert entry.available
+
+
+def test_mirror_recovery_stats_consistent(result):
+    recovery = result.stats.recovery
+    assert recovery.attempted == recovery.recovered + sum(
+        recovery.misses.values()
+    )
+    assert 0.0 <= recovery.recovery_rate <= 1.0
+    mirror_origins = sum(
+        1
+        for e in result.dataset.available_entries()
+        if e.artifact_origin.startswith("mirror:")
+    )
+    assert mirror_origins == recovery.recovered
+
+
+def test_reports_resolve_to_dataset_packages(result):
+    for report in result.dataset.reports:
+        for package in report.packages:
+            assert result.dataset.get(package) is not None
+
+
+def test_advisory_pages_feed_claims_not_reports(result):
+    """Per-package advisory databases are record listings; they must not
+    appear in the report corpus (they would flood Table III)."""
+    for report in result.dataset.reports:
+        assert not report.site.startswith("vuln.")
+
+
+def test_report_sources_are_website_or_echo(result):
+    for report in result.dataset.reports:
+        if report.source != "echo":
+            assert SOURCE_INDEX[report.source].kind == SourceKind.WEBSITE
+
+
+def test_false_positive_filter_drops_unremoved(small_world, result):
+    """Nothing in the dataset is a never-removed (benign) package, and
+    the filter counted at least the noise it dropped."""
+    assert result.stats.unknown_mentions >= 0
+    for entry in result.dataset:
+        record = small_world.registries.lookup(entry.package)
+        assert record.removal_day is not None
+
+
+def test_attach_ground_truth_is_idempotent(small_world, result):
+    attach_ground_truth(result.dataset, small_world.corpus)
+    first = [(e.campaign_id, e.actor) for e in result.dataset]
+    attach_ground_truth(result.dataset, small_world.corpus)
+    assert [(e.campaign_id, e.actor) for e in result.dataset] == first
+
+
+def test_collect_without_ground_truth(small_world):
+    bare = collect(small_world, with_ground_truth=False)
+    assert all(e.campaign_id is None for e in bare.dataset)
+
+
+def test_entries_sorted_by_coordinate(result):
+    keys = [
+        (e.package.ecosystem, e.package.name, e.package.version)
+        for e in result.dataset
+    ]
+    assert keys == sorted(keys)

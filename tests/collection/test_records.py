@@ -1,0 +1,90 @@
+"""Dataset record model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.collection.records import (
+    CollectedReport,
+    DatasetEntry,
+    MalwareDataset,
+    SourceClaim,
+)
+from repro.ecosystem.package import PackageId
+from repro.errors import DatasetError
+
+from tests.core.helpers import dataset, entry, report
+
+
+def test_entry_sources_and_claims():
+    e = entry("pkg", sources=("snyk", "phylum"))
+    assert e.sources == {"snyk", "phylum"}
+    assert e.claimed_by("snyk")
+    assert not e.claimed_by("socket")
+
+
+def test_entry_first_report_day():
+    e = entry("pkg")
+    e.claims = [SourceClaim("a", 30, True), SourceClaim("b", 12, False)]
+    assert e.first_report_day == 12
+
+
+def test_entry_first_report_day_requires_claims():
+    e = entry("pkg")
+    e.claims = []
+    with pytest.raises(DatasetError):
+        e.first_report_day
+
+
+def test_entry_availability_and_sha():
+    available = entry("have")
+    missing = entry("miss", code=None)
+    assert available.available
+    assert len(available.sha256()) == 64
+    assert not missing.available
+    assert missing.sha256() is None
+
+
+def test_dataset_rejects_duplicate_keys():
+    twin = entry("dup")
+    with pytest.raises(DatasetError):
+        MalwareDataset(entries=[twin, entry("dup")], reports=[])
+
+
+def test_dataset_lookup_and_iteration():
+    a, b = entry("a"), entry("b", code=None)
+    ds = dataset([a, b])
+    assert len(ds) == 2
+    assert list(ds) == [a, b]
+    assert ds.get(a.package) is a
+    assert ds.get(PackageId("pypi", "ghost", "0")) is None
+
+
+def test_dataset_views():
+    a = entry("a")
+    b = entry("b", code=None)
+    c = entry("c", ecosystem="npm", sources=("phylum",))
+    ds = dataset([a, b, c])
+    assert ds.available_entries() == [a, c]
+    assert ds.unavailable_entries() == [b]
+    assert ds.for_ecosystem("npm") == [c]
+    assert ds.entries_of_source("phylum") == [c]
+    assert ds.source_keys() == ["phylum", "snyk"]
+
+
+def test_name_index_groups_versions():
+    v1 = entry("multi", version="1.0")
+    v2 = entry("multi", version="2.0", code="V2 = 1\n")
+    other = entry("other")
+    ds = dataset([v1, v2, other])
+    index = ds.name_index()
+    assert index[("pypi", "multi")] == [v1, v2]
+    assert index[("pypi", "other")] == [other]
+
+
+def test_collected_report_holds_unresolved():
+    e = entry("known")
+    rep = report("r", [e.package])
+    rep.unresolved.append(("mystery", "9.9"))
+    ds = dataset([e], [rep])
+    assert ds.reports[0].unresolved == [("mystery", "9.9")]

@@ -1,0 +1,39 @@
+"""Shared fixtures: session-scoped worlds so the expensive pipeline
+stages build once per test run."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.malware.corpus import Corpus, CorpusConfig, build_corpus
+from repro.paper import PaperArtifacts, default_artifacts
+from repro.world import World, WorldConfig, build_world, collect
+
+
+@pytest.fixture(scope="session")
+def small_corpus() -> Corpus:
+    """A fast, small ground-truth corpus (~500 releases)."""
+    return build_corpus(CorpusConfig(seed=3, scale=0.15))
+
+
+@pytest.fixture(scope="session")
+def small_world() -> World:
+    """A fast, small fully-simulated world."""
+    return build_world(WorldConfig(seed=3, scale=0.15))
+
+
+@pytest.fixture(scope="session")
+def small_collection(small_world):
+    """Collection result over the small world."""
+    return collect(small_world)
+
+
+@pytest.fixture(scope="session")
+def small_dataset(small_collection):
+    return small_collection.dataset
+
+
+@pytest.fixture(scope="session")
+def paper() -> PaperArtifacts:
+    """The canonical full-scale artifacts (warmed once per session)."""
+    return default_artifacts(seed=7, scale=1.0)

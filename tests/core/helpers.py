@@ -1,0 +1,82 @@
+"""Hand-built mini datasets for precise edge/group assertions."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.collection.records import (
+    CollectedReport,
+    DatasetEntry,
+    MalwareDataset,
+    SourceClaim,
+)
+from repro.ecosystem.package import PackageId, make_artifact
+
+DEFAULT_CODE = "def payload():\n    return 'x'\n"
+
+
+def entry(
+    name: str,
+    version: str = "1.0",
+    ecosystem: str = "pypi",
+    code: Optional[str] = DEFAULT_CODE,
+    dependencies: Sequence[str] = (),
+    sources: Sequence[str] = ("snyk",),
+    release_day: Optional[int] = 10,
+    downloads: int = 0,
+    campaign_id: Optional[str] = None,
+    module: str = "pkg",
+) -> DatasetEntry:
+    """One dataset entry; ``code=None`` makes it unavailable.
+
+    The code file lives at a fixed ``pkg/main.py`` path by default so two
+    entries built from the same ``code`` share a signature (signatures
+    cover path + content).
+    """
+    package = PackageId(ecosystem, name, version)
+    artifact = None
+    if code is not None:
+        artifact = make_artifact(
+            ecosystem,
+            name,
+            version,
+            {f"{module}/main.py": code},
+            dependencies=tuple(dependencies),
+        )
+    return DatasetEntry(
+        package=package,
+        claims=[
+            SourceClaim(source=s, report_day=(release_day or 0) + 2, shares_artifact=True)
+            for s in sources
+        ],
+        artifact=artifact,
+        artifact_origin="source:test" if artifact else None,
+        release_day=release_day,
+        downloads=downloads,
+        campaign_id=campaign_id,
+    )
+
+
+def report(
+    report_id: str,
+    packages: Sequence[PackageId],
+    site: str = "blog.example",
+    category: str = "Commercial org.",
+    source: str = "snyk",
+    publish_day: int = 20,
+) -> CollectedReport:
+    return CollectedReport(
+        report_id=report_id,
+        url=f"https://{site}/{report_id}",
+        site=site,
+        category=category,
+        source=source,
+        publish_day=publish_day,
+        packages=list(packages),
+    )
+
+
+def dataset(
+    entries: List[DatasetEntry], reports: Optional[List[CollectedReport]] = None
+) -> MalwareDataset:
+    return MalwareDataset(entries=entries, reports=reports or [])

@@ -1,0 +1,220 @@
+"""Edge builders for the four Section III-A relationships."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.edges import (
+    add_dataset_nodes,
+    build_coexisting_edges,
+    build_dependency_edges,
+    build_duplicated_edges,
+    build_similar_edges,
+    node_id,
+)
+from repro.core.graph import EdgeType, PropertyGraph
+from repro.core.similarity import SimilarityConfig
+
+from tests.core.helpers import dataset, entry, report
+
+
+def _graph_for(ds):
+    graph = PropertyGraph()
+    add_dataset_nodes(graph, ds)
+    return graph
+
+
+# -- nodes --------------------------------------------------------------------
+
+def test_nodes_carry_paper_attributes():
+    ds = dataset([entry("evil-pkg", sources=("snyk", "phylum"))])
+    graph = _graph_for(ds)
+    attrs = graph.node("pypi:evil-pkg@1.0")
+    assert attrs["name"] == "evil-pkg"
+    assert attrs["version"] == "1.0"
+    assert attrs["ecosystem"] == "pypi"
+    assert attrs["sources"] == ["phylum", "snyk"]
+    assert len(attrs["sha256"]) == 64
+    assert attrs["path"] == "source:test"
+    assert attrs["release_day"] == 10
+
+
+def test_unavailable_entry_node_has_no_hash():
+    ds = dataset([entry("gone", code=None)])
+    attrs = _graph_for(ds).node("pypi:gone@1.0")
+    assert attrs["sha256"] is None
+    assert attrs["path"] is None
+
+
+def test_node_id_format():
+    ds = dataset([entry("a", version="2.1", ecosystem="npm")])
+    assert node_id(ds.entries[0].package) == "npm:a@2.1"
+
+
+# -- duplicated ------------------------------------------------------------------
+
+def test_duplicated_edges_same_code_different_name():
+    """The 'brock-loader' / 'soltalabs-ramda-extra' case."""
+    ds = dataset(
+        [
+            entry("brock-loader", "1.9.9", ecosystem="npm"),
+            entry("soltalabs-ramda-extra", "1.99.99", ecosystem="npm"),
+            entry("unrelated", code="def other():\n    return 2\n"),
+        ]
+    )
+    graph = _graph_for(ds)
+    groups = build_duplicated_edges(graph, ds)
+    assert len(groups) == 1
+    assert {e.package.name for e in groups[0]} == {
+        "brock-loader", "soltalabs-ramda-extra",
+    }
+    assert graph.has_edge(
+        "npm:brock-loader@1.9.9",
+        "npm:soltalabs-ramda-extra@1.99.99",
+        EdgeType.DUPLICATED,
+    )
+
+
+def test_duplicated_ignores_unavailable_entries():
+    ds = dataset([entry("a", code=None), entry("b", code=None)])
+    graph = _graph_for(ds)
+    assert build_duplicated_edges(graph, ds) == []
+
+
+def test_duplicated_groups_can_span_ecosystems():
+    ds = dataset([entry("a", ecosystem="pypi"), entry("b", ecosystem="npm")])
+    graph = _graph_for(ds)
+    groups = build_duplicated_edges(graph, ds)
+    assert len(groups) == 1
+
+
+# -- dependency ------------------------------------------------------------------
+
+def test_dependency_edge_paper_example():
+    """'loglib-modules' and 'pygrata-utils' depend on 'pygrata'."""
+    ds = dataset(
+        [
+            entry("pygrata", code="def steal():\n    return 'aws'\n"),
+            entry(
+                "loglib-modules",
+                code="import logging\n",
+                dependencies=("pygrata", "requests"),
+            ),
+            entry(
+                "pygrata-utils",
+                code="import json\n",
+                dependencies=("pygrata",),
+            ),
+        ]
+    )
+    graph = _graph_for(ds)
+    edges = build_dependency_edges(graph, ds)
+    pairs = {(src.package.name, dst.package.name) for src, dst in edges}
+    assert pairs == {
+        ("loglib-modules", "pygrata"),
+        ("pygrata-utils", "pygrata"),
+    }
+    # 'requests' is a legitimate package and must be discarded
+    assert graph.stats(EdgeType.DEPENDENCY).nodes == 3
+
+
+def test_dependency_requires_same_ecosystem():
+    ds = dataset(
+        [
+            entry("lib", ecosystem="npm"),
+            entry("front", ecosystem="pypi", dependencies=("lib",)),
+        ]
+    )
+    edges = build_dependency_edges(_graph_for(ds), ds)
+    assert edges == []
+
+
+def test_dependency_links_all_versions_of_the_name():
+    ds = dataset(
+        [
+            entry("lib", version="1.0", code="A = 1\n"),
+            entry("lib", version="2.0", code="A = 2\n"),
+            entry("front", dependencies=("lib",), code="import lib\n"),
+        ]
+    )
+    edges = build_dependency_edges(_graph_for(ds), ds)
+    assert len(edges) == 2
+
+
+def test_dependency_self_reference_skipped():
+    ds = dataset([entry("selfy", dependencies=("selfy",))])
+    edges = build_dependency_edges(_graph_for(ds), ds)
+    assert edges == []
+
+
+# -- similar ------------------------------------------------------------------
+
+def test_similar_edges_only_for_entries_with_code():
+    ds = dataset(
+        [
+            entry("s1", code="def f():\n    return 1\n"),
+            entry("s2", code="def f():\n    return 1\n"),
+            entry("nocode", code=None),
+        ]
+    )
+    graph = _graph_for(ds)
+    result = build_similar_edges(graph, ds, SimilarityConfig(seed=0))
+    assert len(result.embedded_entries) == 2
+    assert len(result.groups) == 1
+    assert {e.package.name for e in result.groups[0]} == {"s1", "s2"}
+    assert graph.has_edge("pypi:s1@1.0", "pypi:s2@1.0", EdgeType.SIMILAR)
+
+
+def test_similar_edges_empty_dataset():
+    ds = dataset([entry("nocode", code=None)])
+    result = build_similar_edges(_graph_for(ds), ds)
+    assert result.groups == []
+    assert result.embedded_entries == []
+
+
+# -- coexisting ------------------------------------------------------------------
+
+def test_coexisting_clique_per_report():
+    """The 'Lolip0p' report: Colorslib, httpslib and libhttps co-exist."""
+    entries = [
+        entry("Colorslib", code="A = 1\n"),
+        entry("httpslib", code="B = 2\n"),
+        entry("libhttps", code="C = 3\n"),
+    ]
+    ds = dataset(
+        entries,
+        [report("r1", [e.package for e in entries])],
+    )
+    graph = _graph_for(ds)
+    groups = build_coexisting_edges(graph, ds)
+    assert len(groups) == 1
+    stats = graph.stats(EdgeType.COEXISTING)
+    assert stats.nodes == 3
+    assert stats.directed_edges == 6
+
+
+def test_coexisting_skips_single_package_reports():
+    e = entry("solo")
+    ds = dataset([e], [report("r1", [e.package])])
+    assert build_coexisting_edges(_graph_for(ds), ds) == []
+
+
+def test_coexisting_ignores_unknown_packages_in_report():
+    from repro.ecosystem.package import PackageId
+
+    e1, e2 = entry("a", code="A = 1\n"), entry("b", code="B = 2\n")
+    ghost = PackageId("pypi", "ghost", "9.9")
+    ds = dataset([e1, e2], [report("r1", [e1.package, e2.package, ghost])])
+    groups = build_coexisting_edges(_graph_for(ds), ds)
+    assert len(groups) == 1
+    assert len(groups[0]) == 2
+
+
+def test_coexisting_deduplicates_repeated_mentions():
+    e1, e2 = entry("a", code="A = 1\n"), entry("b", code="B = 2\n")
+    ds = dataset(
+        [e1, e2],
+        [report("r1", [e1.package, e1.package, e2.package])],
+    )
+    groups = build_coexisting_edges(_graph_for(ds), ds)
+    assert len(groups[0]) == 2

@@ -1,0 +1,123 @@
+"""PackageGroup extraction and per-group measurements (Section III-B)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.edges import add_dataset_nodes, build_coexisting_edges
+from repro.core.graph import EdgeType, PropertyGraph
+from repro.core.groups import GroupKind, PackageGroup, extract_groups, groups_by_ecosystem
+
+from tests.core.helpers import dataset, entry, report
+
+
+def _coexist_dataset():
+    """Two reports, three + two packages, one isolated entry."""
+    a = entry("a", release_day=100, downloads=5, campaign_id="c1")
+    b = entry("b", code="B = 1\n", release_day=120, downloads=1, campaign_id="c1")
+    c = entry("c", code="C = 1\n", release_day=110, downloads=9, campaign_id="c2")
+    d = entry("d", code="D = 1\n", ecosystem="npm", release_day=50, campaign_id="c3")
+    e = entry("e", code="E = 1\n", ecosystem="npm", release_day=900, campaign_id="c3")
+    f = entry("f", code="F = 1\n")
+    ds = dataset(
+        [a, b, c, d, e, f],
+        [
+            report("r1", [a.package, b.package, c.package]),
+            report("r2", [d.package, e.package]),
+        ],
+    )
+    graph = PropertyGraph()
+    add_dataset_nodes(graph, ds)
+    build_coexisting_edges(graph, ds)
+    return ds, graph
+
+
+def test_extract_groups_finds_components():
+    ds, graph = _coexist_dataset()
+    groups = extract_groups(graph, ds, GroupKind.CG)
+    assert len(groups) == 2
+    assert [g.size for g in groups] == [3, 2]
+    assert all(g.kind is GroupKind.CG for g in groups)
+
+
+def test_isolated_entries_form_no_group():
+    ds, graph = _coexist_dataset()
+    groups = extract_groups(graph, ds, GroupKind.CG)
+    member_names = {e.package.name for g in groups for e in g.members}
+    assert "f" not in member_names
+
+
+def test_groups_empty_for_unused_edge_type():
+    ds, graph = _coexist_dataset()
+    assert extract_groups(graph, ds, GroupKind.SG) == []
+
+
+def test_members_sorted_by_release_day():
+    ds, graph = _coexist_dataset()
+    big = extract_groups(graph, ds, GroupKind.CG)[0]
+    days = [m.release_day for m in big.members]
+    assert days == sorted(days)
+
+
+def test_active_period_is_last_minus_first():
+    ds, graph = _coexist_dataset()
+    groups = extract_groups(graph, ds, GroupKind.CG)
+    big, small = groups
+    assert big.first_day == 100
+    assert big.last_day == 120
+    assert big.active_period_days == 20
+    assert small.active_period_days == 850
+
+
+def test_dominant_ecosystem():
+    ds, graph = _coexist_dataset()
+    groups = extract_groups(graph, ds, GroupKind.CG)
+    assert groups[0].ecosystem == "pypi"
+    assert groups[1].ecosystem == "npm"
+
+
+def test_ordered_downloads_follow_release_order():
+    ds, graph = _coexist_dataset()
+    big = extract_groups(graph, ds, GroupKind.CG)[0]
+    assert big.ordered_downloads() == [5, 9, 1]
+
+
+def test_purity_against_ground_truth():
+    ds, graph = _coexist_dataset()
+    big = extract_groups(graph, ds, GroupKind.CG)[0]  # c1, c1, c2
+    assert big.purity == pytest.approx(2 / 3)
+    small = extract_groups(graph, ds, GroupKind.CG)[1]  # c3, c3
+    assert small.purity == 1.0
+    assert small.campaign_ids() == ["c3"]
+
+
+def test_purity_zero_without_labels():
+    group = PackageGroup(kind=GroupKind.CG, members=[entry("x"), entry("y", code="Y=1\n")])
+    assert group.purity == 0.0
+
+
+def test_group_without_release_days():
+    group = PackageGroup(
+        kind=GroupKind.DG,
+        members=[entry("x", release_day=None), entry("y", release_day=None, code="Y=1\n")],
+    )
+    assert group.first_day is None
+    assert group.last_day is None
+    assert group.active_period_days is None
+    assert group.ordered_downloads() == []
+
+
+def test_groups_by_ecosystem_buckets():
+    ds, graph = _coexist_dataset()
+    groups = extract_groups(graph, ds, GroupKind.CG)
+    buckets = groups_by_ecosystem(groups)
+    assert set(buckets) == {"pypi", "npm"}
+    assert len(buckets["pypi"]) == 1
+    assert len(buckets["npm"]) == 1
+
+
+def test_group_kind_edge_type_mapping():
+    assert GroupKind.DG.edge_type is EdgeType.DUPLICATED
+    assert GroupKind.DEG.edge_type is EdgeType.DEPENDENCY
+    assert GroupKind.SG.edge_type is EdgeType.SIMILAR
+    assert GroupKind.CG.edge_type is EdgeType.COEXISTING

@@ -1,0 +1,106 @@
+"""Differential testing against networkx.
+
+networkx is an independent implementation of the graph algorithms this
+library hand-rolls (union-find components, GraphML serialisation); on
+random graphs both must agree exactly.
+"""
+
+from __future__ import annotations
+
+import networkx as nx
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.graph import EdgeType, PropertyGraph
+from repro.io.export import iter_pairwise_edges, to_graphml
+
+edge_lists = st.lists(
+    st.tuples(st.integers(0, 14), st.integers(0, 14)), min_size=0, max_size=40
+)
+clique_lists = st.lists(
+    st.lists(st.integers(0, 14), min_size=2, max_size=5), max_size=5
+)
+
+
+def _build(edges, cliques):
+    graph = PropertyGraph()
+    for node in range(15):
+        graph.add_node(str(node), name=f"pkg{node}")
+    reference = nx.Graph()
+    reference.add_nodes_from(str(n) for n in range(15))
+    for u, v in edges:
+        if u != v:
+            graph.add_edge(str(u), str(v), EdgeType.SIMILAR)
+            reference.add_edge(str(u), str(v))
+    for members in cliques:
+        unique = sorted({str(m) for m in members})
+        if len(unique) >= 2:
+            graph.add_clique(unique, EdgeType.SIMILAR)
+            for i, u in enumerate(unique):
+                for v in unique[i + 1:]:
+                    reference.add_edge(u, v)
+    return graph, reference
+
+
+@given(edge_lists, clique_lists)
+@settings(max_examples=80, deadline=None)
+def test_components_match_networkx(edges, cliques):
+    graph, reference = _build(edges, cliques)
+    ours = {
+        frozenset(c) for c in graph.connected_components([EdgeType.SIMILAR])
+    }
+    theirs = {
+        frozenset(c)
+        for c in nx.connected_components(reference)
+        if len(c) >= 2  # we omit isolated nodes by design
+    }
+    assert ours == theirs
+
+
+@given(edge_lists, clique_lists)
+@settings(max_examples=60, deadline=None)
+def test_edge_counts_match_networkx(edges, cliques):
+    graph, reference = _build(edges, cliques)
+    assert graph.directed_edge_count(EdgeType.SIMILAR) == (
+        2 * reference.number_of_edges()
+    )
+    pairwise = list(iter_pairwise_edges(graph, [EdgeType.SIMILAR]))
+    assert len(pairwise) == reference.number_of_edges()
+
+
+@given(edge_lists, clique_lists)
+@settings(max_examples=60, deadline=None)
+def test_degrees_match_networkx(edges, cliques):
+    graph, reference = _build(edges, cliques)
+    for node in reference.nodes:
+        assert graph.degree(node, EdgeType.SIMILAR) == reference.degree(node)
+
+
+@given(edge_lists, clique_lists)
+@settings(max_examples=40, deadline=None)
+def test_graphml_loads_in_networkx(edges, cliques):
+    graph, reference = _build(edges, cliques)
+    parsed = nx.parse_graphml(to_graphml(graph, [EdgeType.SIMILAR]))
+    assert set(parsed.nodes) == set(reference.nodes)
+    assert {frozenset(e) for e in parsed.edges} == {
+        frozenset(e) for e in reference.edges
+    }
+    # node attributes survive the trip
+    for node in parsed.nodes:
+        assert parsed.nodes[node]["name"] == f"pkg{node}"
+
+
+def test_world_graph_components_match_networkx(small_dataset):
+    """Full-pipeline differential: the world's similar subgraph."""
+    from repro.core.malgraph import MalGraph
+
+    malgraph = MalGraph.build(small_dataset)
+    reference = nx.Graph()
+    for u, v, _t in iter_pairwise_edges(malgraph.graph, [EdgeType.SIMILAR]):
+        reference.add_edge(u, v)
+    ours = {
+        frozenset(c)
+        for c in malgraph.graph.connected_components([EdgeType.SIMILAR])
+    }
+    theirs = {frozenset(c) for c in nx.connected_components(reference)}
+    assert ours == theirs

@@ -1,0 +1,62 @@
+"""Package signatures: SHA256 over canonical code content only."""
+
+from __future__ import annotations
+
+from repro.core.signatures import code_sha256, file_sha256, signature_index
+from repro.ecosystem.package import make_artifact
+
+CODE = "def f():\n    return 1\n"
+
+
+def _pkg(name: str, version: str = "1.0", code: str = CODE, description: str = ""):
+    return make_artifact(
+        "pypi", name, version, {"pkg/main.py": code}, description=description
+    )
+
+
+def test_signature_covers_code_not_metadata():
+    """Different name/version/description, same code -> same signature
+    (the 'brock-loader' vs 'soltalabs-ramda-extra' duplicated-edge case)."""
+    a = _pkg("brock-loader", "1.9.9", description="loader")
+    b = _pkg("soltalabs-ramda-extra", "1.99.99", description="ramda extras")
+    assert code_sha256(a) == code_sha256(b)
+
+
+def test_signature_changes_with_code():
+    assert code_sha256(_pkg("a")) != code_sha256(_pkg("a", code=CODE + "\n# x\n"))
+
+
+def test_signature_sensitive_to_file_paths():
+    a = make_artifact("pypi", "p", "1.0", {"pkg/one.py": CODE})
+    b = make_artifact("pypi", "p", "1.0", {"pkg/two.py": CODE})
+    assert code_sha256(a) != code_sha256(b)
+
+
+def test_signature_ignores_non_code_files():
+    a = make_artifact("pypi", "p", "1.0", {"pkg/m.py": CODE})
+    b = make_artifact("pypi", "p", "1.0", {"pkg/m.py": CODE, "README.md": "hello"})
+    assert code_sha256(a) == code_sha256(b)
+
+
+def test_signature_independent_of_file_insertion_order():
+    a = make_artifact("pypi", "p", "1.0", {"a.py": "x = 1\n", "b.py": "y = 2\n"})
+    files_reversed = {"b.py": "y = 2\n", "a.py": "x = 1\n"}
+    b = make_artifact("pypi", "p", "1.0", files_reversed)
+    assert code_sha256(a) == code_sha256(b)
+
+
+def test_file_sha256_is_stable_hex():
+    digest = file_sha256(CODE)
+    assert len(digest) == 64
+    assert digest == file_sha256(CODE)
+    assert digest != file_sha256(CODE + " ")
+
+
+def test_signature_index_groups_duplicates():
+    a = _pkg("one")
+    b = _pkg("two")
+    c = _pkg("three", code="print('different')\n")
+    index = signature_index([a, b, c])
+    sizes = sorted(len(v) for v in index.values())
+    assert sizes == [1, 2]
+    assert index[a.sha256()] == [a, b]

@@ -1,0 +1,134 @@
+"""Report/tweet extraction: structured lists, prose fallback, dates."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.crawler.extract import (
+    extract_publish_day,
+    extract_report,
+    extract_tweet,
+    infer_ecosystem,
+    is_security_report,
+)
+from repro.crawler.html import render_page, tag, text
+from repro.ecosystem.clock import date_to_day
+
+import datetime
+
+
+def _report_page(
+    title: str = "Malicious packages found",
+    prose: str = "We found malicious packages in the NPM registry. Published 2023-08-12.",
+    pins: tuple = ("cloud-layout==1.0.2", "urs-remote==0.3.1"),
+) -> str:
+    items = [tag("li", tag("code", text(pin))) for pin in pins]
+    return render_page(
+        title,
+        [
+            tag("p", text(prose)),
+            tag("ul", items, class_="package-list"),
+        ],
+    )
+
+
+def test_keyword_filter():
+    assert is_security_report("<p>a malicious package</p>")
+    assert is_security_report("<p>New MALWARE wave</p>")
+    assert is_security_report("<p>supply chain attack</p>")
+    assert not is_security_report("<p>our quarterly results</p>")
+
+
+def test_infer_ecosystem_first_mention_wins():
+    assert infer_ecosystem("the NPM registry and later PyPI too") == "npm"
+    assert infer_ecosystem("packages on PyPI then NPM ") == "pypi"
+    assert infer_ecosystem("nothing relevant here") is None
+
+
+def test_extract_publish_day():
+    day = extract_publish_day("Published 2023-08-12.")
+    assert day == date_to_day(datetime.date(2023, 8, 12))
+    assert extract_publish_day("no date") is None
+    assert extract_publish_day("Published 2023-13-45.") is None
+
+
+def test_extract_report_structured_list():
+    report = extract_report("https://s/u", "s", _report_page())
+    assert report.usable
+    assert report.ecosystem == "npm"
+    assert report.packages == [
+        ("cloud-layout", "1.0.2"),
+        ("urs-remote", "0.3.1"),
+    ]
+    assert report.title == "Malicious packages found"
+    assert report.publish_day is not None
+
+
+def test_extract_report_deduplicates_pins():
+    page = _report_page(pins=("a==1.0", "a==1.0", "b==2.0"))
+    report = extract_report("u", "s", page)
+    assert report.packages == [("a", "1.0"), ("b", "2.0")]
+
+
+def test_extract_report_prose_fallback():
+    page = render_page(
+        "Report",
+        [
+            tag(
+                "p",
+                text(
+                    "A malicious package 'evil-kit' (version 1.2.3) hit "
+                    "the PyPI registry."
+                ),
+            )
+        ],
+    )
+    report = extract_report("u", "s", page)
+    assert report.packages == [("evil-kit", "1.2.3")]
+    assert report.ecosystem == "pypi"
+
+
+def test_extract_report_without_packages_is_unusable():
+    page = render_page("Report", [tag("p", text("malware trends in NPM "))])
+    report = extract_report("u", "s", page)
+    assert not report.usable
+    assert report.packages == []
+
+
+def test_extract_report_without_ecosystem_is_unusable():
+    page = _report_page(prose="malicious code somewhere. Published 2023-01-01.")
+    report = extract_report("u", "s", page)
+    assert report.packages
+    assert report.ecosystem is None
+    assert not report.usable
+
+
+def test_extract_report_ignores_malformed_pins():
+    page = _report_page(pins=("ok==1.0", "not a pin", "==2.0", "name=="))
+    report = extract_report("u", "s", page)
+    assert report.packages == [("ok", "1.0")]
+
+
+# -- tweets ------------------------------------------------------------------
+
+@pytest.mark.parametrize(
+    "tweet, expected",
+    [
+        (
+            "Heads up: malicious package evil-kit version 1.2.3 on PyPI #malware",
+            ("pypi", "evil-kit", "1.2.3"),
+        ),
+        ("NPM alert: left-pad2@9.9.9 is malware", ("npm", "left-pad2", "9.9.9")),
+        ("RUBYGEMS: bootstrap-sass (3.2.0.3) backdoored", ("rubygems", "bootstrap-sass", "3.2.0.3")),
+    ],
+)
+def test_extract_tweet_shapes(tweet, expected):
+    assert extract_tweet(tweet) == expected
+
+
+def test_extract_tweet_requires_ecosystem():
+    assert extract_tweet("malicious package foo version 1.0") is None
+
+
+def test_extract_tweet_requires_package_shape():
+    assert extract_tweet("big scary malware on NPM today") is None

@@ -1,0 +1,79 @@
+"""Fuzzing the HTML parser and extractors: arbitrary input must never
+crash them — the crawler sees whatever the web serves."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.crawler.extract import (
+    extract_publish_day,
+    extract_report,
+    extract_tweet,
+    infer_ecosystem,
+    is_security_report,
+)
+from repro.crawler.html import MiniSoup
+
+# plenty of markup-ish characters to stress the parser
+markup = st.text(
+    alphabet=st.sampled_from(list("<>/=\"' abcdefghij&#;\n-")), max_size=300
+)
+free_text = st.text(max_size=300)
+
+
+@given(markup)
+@settings(max_examples=150, deadline=None)
+def test_minisoup_never_crashes(payload):
+    soup = MiniSoup(payload)
+    soup.get_text()
+    soup.find("p")
+    soup.find_all(class_="x")
+    _ = soup.title
+
+
+@given(markup)
+@settings(max_examples=100, deadline=None)
+def test_extract_report_never_crashes(payload):
+    report = extract_report("https://u", "site", payload)
+    assert isinstance(report.packages, list)
+    assert isinstance(report.usable, bool)
+
+
+@given(free_text)
+@settings(max_examples=150, deadline=None)
+def test_keyword_filter_never_crashes(payload):
+    assert isinstance(is_security_report(payload), bool)
+
+
+@given(free_text)
+@settings(max_examples=150, deadline=None)
+def test_infer_ecosystem_never_crashes(payload):
+    result = infer_ecosystem(payload)
+    assert result is None or isinstance(result, str)
+
+
+@given(free_text)
+@settings(max_examples=150, deadline=None)
+def test_extract_publish_day_never_crashes(payload):
+    result = extract_publish_day(payload)
+    assert result is None or isinstance(result, int)
+
+
+@given(free_text)
+@settings(max_examples=150, deadline=None)
+def test_extract_tweet_never_crashes(payload):
+    result = extract_tweet(payload)
+    if result is not None:
+        ecosystem, name, version = result
+        assert ecosystem and name and version
+
+
+@given(markup)
+@settings(max_examples=60, deadline=None)
+def test_minisoup_text_roundtrip_is_idempotent(payload):
+    """Parsing the text content again yields the same text (no markup
+    survives get_text)."""
+    text = MiniSoup(payload).get_text(" ")
+    again = MiniSoup(text.replace("<", "").replace(">", "")).get_text(" ")
+    assert isinstance(again, str)

@@ -1,0 +1,92 @@
+"""MiniSoup parser and the HTML writer round-trip."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.crawler.html import MiniSoup, render_page, tag, text
+
+
+def test_tag_renders_attributes():
+    assert tag("p", "hi", class_="lead") == '<p class="lead">hi</p>'
+
+
+def test_tag_escapes_attribute_values():
+    out = tag("a", "x", href='u"v')
+    assert "&quot;" in out
+
+
+def test_tag_void_elements_self_close():
+    assert tag("br") == "<br/>"
+    assert tag("meta", name="keywords") == '<meta name="keywords"/>'
+
+
+def test_tag_joins_sequence_content():
+    assert tag("ul", [tag("li", "a"), tag("li", "b")]) == (
+        "<ul><li>a</li><li>b</li></ul>"
+    )
+
+
+def test_text_escapes():
+    assert text("<script>") == "&lt;script&gt;"
+
+
+def test_render_page_structure():
+    page = render_page("My Title", [tag("p", "body text")], keywords=("k1", "k2"))
+    assert page.startswith("<!DOCTYPE html>")
+    soup = MiniSoup(page)
+    assert soup.title == "My Title"
+    assert soup.find("p").get_text() == "body text"
+
+
+def test_writer_parser_roundtrip_preserves_escaped_text():
+    page = render_page("T", [tag("p", text("a < b & c"))])
+    assert MiniSoup(page).find("p").get_text() == "a < b & c"
+
+
+def test_find_all_by_tag_and_class():
+    soup = MiniSoup(
+        '<div><p class="x y">one</p><p class="y">two</p><span class="y">s</span></div>'
+    )
+    assert len(soup.find_all("p")) == 2
+    assert len(soup.find_all(class_="y")) == 3
+    assert len(soup.find_all("p", class_="x")) == 1
+    assert soup.find("p", class_="x").get_text() == "one"
+
+
+def test_find_returns_none_when_absent():
+    soup = MiniSoup("<p>hello</p>")
+    assert soup.find("table") is None
+    assert soup.find_all("table") == []
+
+
+def test_get_text_with_separator():
+    soup = MiniSoup("<div><p>a</p><p>b</p></div>")
+    assert soup.find("div").get_text("|") == "a|b"
+
+
+def test_parser_tolerates_unclosed_tags():
+    soup = MiniSoup("<div><p>open<p>second</div><p>after")
+    texts = [p.get_text() for p in soup.find_all("p")]
+    assert "open" in texts[0]
+    assert len(texts) == 3
+
+
+def test_parser_ignores_stray_close_tags():
+    soup = MiniSoup("</div><p>fine</p></span>")
+    assert soup.find("p").get_text() == "fine"
+
+
+def test_nested_lookup():
+    soup = MiniSoup(
+        '<ul class="package-list"><li><code>a==1.0</code></li></ul>'
+    )
+    package_list = soup.find("ul", class_="package-list")
+    items = package_list.find_all("li")
+    assert len(items) == 1
+    assert items[0].get_text() == "a==1.0"
+
+
+def test_css_classes_property():
+    soup = MiniSoup('<p class="a b  c">x</p>')
+    assert soup.find("p").css_classes == ["a", "b", "c"]

@@ -1,0 +1,101 @@
+"""Spider over the simulated web: keyword filter, extraction, stats."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.crawler.html import render_page, tag, text
+from repro.crawler.spider import Spider
+from repro.errors import CrawlError
+from repro.intel.web import SimulatedWeb, WebPage
+
+
+def _page(url: str, site: str, html: str, is_report: bool = False) -> WebPage:
+    return WebPage(url=url, html=html, site=site, is_report=is_report)
+
+
+def _report_html(pins=("bad-pkg==1.0.0",)) -> str:
+    items = [tag("li", tag("code", text(pin))) for pin in pins]
+    return render_page(
+        "Malicious packages in the wild",
+        [
+            tag("p", text("We found malware in the PYPI registry. Published 2023-02-03.")),
+            tag("ul", items, class_="package-list"),
+        ],
+    )
+
+
+def _noise_html() -> str:
+    return render_page("Hiring!", [tag("p", text("Join our team of engineers."))])
+
+
+@pytest.fixture
+def web() -> SimulatedWeb:
+    web = SimulatedWeb()
+    web.add(_page("https://blog.a/r1", "blog.a", _report_html(), is_report=True))
+    web.add(_page("https://blog.a/noise", "blog.a", _noise_html()))
+    web.add(_page("https://blog.b/r2", "blog.b", _report_html(("other==2.0",)), is_report=True))
+    return web
+
+
+def test_crawl_site_filters_noise(web):
+    spider = Spider(web)
+    reports = spider.crawl_site("blog.a")
+    assert len(reports) == 1
+    assert reports[0].packages == [("bad-pkg", "1.0.0")]
+    assert reports[0].site == "blog.a"
+
+
+def test_crawl_stats(web):
+    spider = Spider(web)
+    result = spider.crawl(["blog.a", "blog.b"])
+    assert result.stats.sites_visited == 2
+    assert result.stats.pages_fetched == 3
+    assert result.stats.pages_filtered_out == 1
+    assert result.stats.reports_extracted == 2
+    assert result.stats.unusable_reports == 0
+
+
+def test_crawl_counts_unusable_reports(web):
+    # a page that passes the keyword filter but yields no packages
+    web.add(
+        _page(
+            "https://blog.a/teaser",
+            "blog.a",
+            render_page("T", [tag("p", text("malware is on the rise in NPM "))]),
+        )
+    )
+    result = Spider(web).crawl(["blog.a"])
+    assert result.stats.unusable_reports == 1
+
+
+def test_crawl_unknown_site_is_empty(web):
+    assert Spider(web).crawl_site("nowhere.example") == []
+
+
+def test_crawl_broken_index_raises():
+    web = SimulatedWeb()
+    web.add(_page("https://x/a", "x", _report_html()))
+    web.pages.clear()  # index still lists the URL but fetch fails
+    with pytest.raises(CrawlError):
+        Spider(web).crawl_site("x")
+
+
+def test_max_pages_per_site(web):
+    spider = Spider(web, max_pages_per_site=1)
+    result = spider.crawl(["blog.a"])
+    assert result.stats.pages_fetched == 1
+
+
+def test_discover_sites(web):
+    assert Spider(web).discover_sites() == ["blog.a", "blog.b"]
+
+
+def test_world_crawl_recovers_most_reports(small_world):
+    """Against the fully simulated web, the spider finds usable reports
+    on nearly every report page and skips the noise."""
+    spider = Spider(small_world.web)
+    result = spider.crawl(spider.discover_sites())
+    true_reports = sum(1 for p in small_world.web.pages.values() if p.is_report)
+    assert result.stats.reports_extracted >= true_reports * 0.9
+    assert result.stats.pages_filtered_out > 0

@@ -1,0 +1,103 @@
+"""Detector scoring, verdicts and corpus evaluation."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.detection.detector import Detector, Verdict, evaluate
+from repro.ecosystem.package import make_artifact
+from repro.malware.behaviors import BEHAVIORS, get_behavior
+from repro.malware.codegen import (
+    generate_benign_source_tree,
+    generate_source_tree,
+    make_style,
+)
+
+
+def _malicious(behavior_key: str, seed: int = 1):
+    tree = generate_source_tree(get_behavior(behavior_key), make_style(seed), "pkg_m")
+    return make_artifact("pypi", "evil-compound-pkg", "1.0", tree.files)
+
+
+def _benign(seed: int = 2):
+    tree = generate_benign_source_tree(make_style(seed), "pkg_b")
+    return make_artifact(
+        "pypi",
+        "nice-quiet-library",
+        "1.0",
+        tree.files,
+        description="A well-maintained helper library",
+    )
+
+
+@pytest.fixture(scope="module")
+def detector() -> Detector:
+    return Detector()
+
+
+@pytest.mark.parametrize("behavior", [b.key for b in BEHAVIORS])
+def test_every_behavior_family_is_detected(detector, behavior):
+    verdict = detector.scan(_malicious(behavior))
+    assert verdict.malicious, (
+        f"{behavior}: score {verdict.score:.2f}\n{verdict.explain()}"
+    )
+
+
+def test_benign_package_is_clean(detector):
+    verdict = detector.scan(_benign())
+    assert not verdict.malicious
+    assert verdict.score < detector.threshold
+
+
+def test_typosquat_raises_score(detector):
+    tree = generate_benign_source_tree(make_style(5), "pkg_s")
+    plain = make_artifact("pypi", "fresh-unrelated-name", "1.0", tree.files)
+    squat = make_artifact("pypi", "reqests", "1.0", tree.files)
+    assert detector.scan(squat).score > detector.scan(plain).score
+    assert detector.scan(squat).squat is not None
+    assert detector.scan(plain).squat is None
+
+
+def test_verdict_explain_lists_rules(detector):
+    verdict = detector.scan(_malicious("credential-stealer"))
+    out = verdict.explain()
+    assert "MALICIOUS" in out
+    assert verdict.rules_hit()
+    for rule in verdict.rules_hit():
+        assert rule in out
+
+
+def test_scan_many_order(detector):
+    artifacts = [_benign(), _malicious("downloader")]
+    verdicts = detector.scan_many(artifacts)
+    assert [v.malicious for v in verdicts] == [False, True]
+
+
+def test_threshold_is_configurable():
+    lenient = Detector(threshold=1e9)
+    assert not lenient.scan(_malicious("downloader")).malicious
+    paranoid = Detector(threshold=0.0)
+    assert paranoid.scan(_benign()).malicious
+
+
+def test_evaluate_confusion_matrix():
+    detector = Detector()
+    malicious = [_malicious(b.key, seed=10 + i) for i, b in enumerate(BEHAVIORS[:4])]
+    benign = [_benign(seed=50 + i) for i in range(4)]
+    result = evaluate(detector, malicious, benign)
+    assert result.true_positives == 4
+    assert result.false_negatives == 0
+    assert result.true_negatives + result.false_positives == 4
+    assert 0.0 <= result.precision <= 1.0
+    assert result.recall == 1.0
+    assert "F1" in result.render()
+
+
+def test_evaluate_degenerate_cases():
+    detector = Detector()
+    empty = evaluate(detector, [], [])
+    assert empty.precision == 0.0
+    assert empty.recall == 0.0
+    assert empty.f1 == 0.0

@@ -1,0 +1,124 @@
+"""Behaviour-family classification and the family census."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.families import compute_family_census, true_category
+from repro.core.malgraph import MalGraph
+from repro.core.similarity import SimilarityConfig
+from repro.detection.detector import Detector
+from repro.detection.families import CATEGORIES, classify_artifact, classify_many
+from repro.ecosystem.package import make_artifact
+from repro.malware.behaviors import BEHAVIORS, get_behavior
+from repro.malware.codegen import (
+    generate_benign_source_tree,
+    generate_source_tree,
+    make_style,
+)
+
+from tests.core.helpers import dataset, entry
+
+
+def _artifact(behavior_key: str, seed: int = 42):
+    tree = generate_source_tree(get_behavior(behavior_key), make_style(seed), "pkg_f")
+    return make_artifact("pypi", "fam-test", "1.0", tree.files)
+
+
+@pytest.mark.parametrize("behavior", BEHAVIORS, ids=lambda b: b.key)
+def test_classifier_matches_ground_truth_category(behavior):
+    verdict = classify_artifact(_artifact(behavior.key))
+    assert verdict.category == behavior.category
+    assert verdict.signals
+    assert 0.0 < verdict.confidence <= 1.0
+
+
+def test_classifier_benign_package():
+    tree = generate_benign_source_tree(make_style(9), "pkg_b")
+    artifact = make_artifact(
+        "pypi", "nice", "1.0", tree.files, description="A well-documented library"
+    )
+    verdict = classify_artifact(artifact)
+    assert verdict.category == "benign-looking"
+
+
+def test_classifier_reuses_supplied_verdict():
+    artifact = _artifact("downloader")
+    detector = Detector()
+    scanned = detector.scan(artifact)
+    assert classify_artifact(artifact, scanned).category == "dropper"
+
+
+def test_classify_many_order():
+    artifacts = [_artifact("downloader"), _artifact("cryptominer")]
+    categories = [v.category for v in classify_many(artifacts)]
+    assert categories == ["dropper", "resource-abuse"]
+
+
+def test_all_emitted_categories_are_registered():
+    for behavior in BEHAVIORS:
+        assert behavior.category in CATEGORIES
+
+
+def test_true_category_lookup():
+    assert true_category("cryptominer") == "resource-abuse"
+    assert true_category("nonexistent") is None
+    assert true_category(None) is None
+    assert true_category("") is None
+
+
+# -- census ------------------------------------------------------------------
+
+def _census_malgraph():
+    stealer = generate_source_tree(
+        get_behavior("credential-stealer"), make_style(1), "pkg_s"
+    )
+    miner = generate_source_tree(get_behavior("cryptominer"), make_style(2), "pkg_m")
+    entries = []
+    for idx in range(3):
+        e = entry(f"steal-{idx}", release_day=10 + idx)
+        e.artifact = make_artifact("pypi", f"steal-{idx}", "1.0", stealer.files)
+        e.behavior_key = "credential-stealer"
+        entries.append(e)
+    for idx in range(2):
+        e = entry(f"mine-{idx}", release_day=20 + idx)
+        e.artifact = make_artifact("pypi", f"mine-{idx}", "1.0", miner.files)
+        e.behavior_key = "cryptominer"
+        entries.append(e)
+    return MalGraph.build(dataset(entries), SimilarityConfig(seed=0, max_k=2))
+
+
+def test_census_counts_families_and_packages():
+    census = compute_family_census(_census_malgraph())
+    assert census.total_families == 2
+    by_category = {row.category: row for row in census.rows}
+    assert by_category["information-stealing"].families == 1
+    assert by_category["information-stealing"].packages == 3
+    assert by_category["resource-abuse"].packages == 2
+
+
+def test_census_accuracy_on_clean_templates():
+    census = compute_family_census(_census_malgraph())
+    assert census.classified_packages == 5
+    assert census.accuracy == pytest.approx(1.0)
+    assert census.confusion == {
+        ("information-stealing", "information-stealing"): 3,
+        ("resource-abuse", "resource-abuse"): 2,
+    }
+
+
+def test_census_render():
+    out = compute_family_census(_census_malgraph()).render()
+    assert "family census" in out
+    assert "information-stealing" in out
+
+
+def test_world_census_accuracy(paper):
+    """At full scale the static classifier agrees with ground truth on
+    the overwhelming majority of grouped packages — the paper's claim
+    that today's corpus shows known behaviours, made measurable."""
+    census = compute_family_census(paper.malgraph)
+    assert census.total_families > 50
+    assert census.accuracy > 0.8
+    categories = {row.category for row in census.rows}
+    assert "information-stealing" in categories

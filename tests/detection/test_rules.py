@@ -1,0 +1,140 @@
+"""Heuristic detection rules, one behaviour family at a time."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.detection.rules import (
+    DEFAULT_RULES,
+    ClipboardRule,
+    DownloadExecuteRule,
+    EnvExfiltrationRule,
+    ExecObfuscationRule,
+    InstallHookRule,
+    MetadataAnomalyRule,
+    NetworkCallRule,
+    SensitivePathRule,
+    SubprocessShellRule,
+)
+from repro.ecosystem.package import make_artifact
+
+
+def _pkg(code: str, path: str = "pkg/mod.py", **meta):
+    return make_artifact("pypi", "testpkg", "1.0", {path: code}, **meta)
+
+
+def test_install_hook_rule_flags_custom_install():
+    setup = (
+        "from setuptools import setup\n"
+        "from setuptools.command.install import install\n"
+        "class PostInstall(install):\n"
+        "    def run(self):\n"
+        "        install.run(self)\n"
+        "setup(name='x', cmdclass={'install': PostInstall})\n"
+    )
+    findings = InstallHookRule().scan(_pkg(setup, path="setup.py"))
+    assert [f.rule for f in findings] == ["install-hook"]
+    assert "PostInstall" in findings[0].detail
+
+
+def test_install_hook_rule_ignores_non_setup_files():
+    code = "class PostInstall(install):\n    pass\n"
+    assert InstallHookRule().scan(_pkg(code, path="pkg/notsetup.py")) == []
+
+
+def test_install_hook_rule_plain_setup_clean():
+    setup = "from setuptools import setup\nsetup(name='x')\n"
+    assert InstallHookRule().scan(_pkg(setup, path="setup.py")) == []
+
+
+def test_env_exfiltration_rule():
+    code = "import os\nkey = os.environ.get('AWS_SECRET_ACCESS_KEY')\n"
+    findings = EnvExfiltrationRule().scan(_pkg(code))
+    assert findings
+    assert "AWS_SECRET_ACCESS_KEY" in findings[0].detail
+
+
+def test_env_rule_ignores_benign_env():
+    code = "import os\nhome = os.environ.get('HOME')\n"
+    assert EnvExfiltrationRule().scan(_pkg(code)) == []
+
+
+def test_network_call_rule():
+    code = (
+        "from urllib.request import urlopen\n"
+        "def beacon():\n"
+        "    return urlopen('http://cdn.example.invalid')\n"
+    )
+    findings = NetworkCallRule().scan(_pkg(code))
+    assert [f.rule for f in findings] == ["network-call"]
+
+
+def test_network_rule_socket_connect():
+    code = (
+        "import socket\n"
+        "s = socket.socket()\n"
+        "s.connect(('192.0.2.1', 4444))\n"
+    )
+    assert NetworkCallRule().scan(_pkg(code))
+
+
+def test_exec_obfuscation_rule_weights():
+    plain = "exec('print(1)')\n"
+    decoded = "import base64\nexec(base64.b64decode('cHJpbnQoMSk=').decode())\n"
+    plain_findings = ExecObfuscationRule().scan(_pkg(plain))
+    decoded_findings = ExecObfuscationRule().scan(_pkg(decoded))
+    assert plain_findings[0].weight < decoded_findings[0].weight
+    assert "decoded payload" in decoded_findings[0].detail
+
+
+def test_download_execute_rule_requires_both():
+    fetch_only = "from urllib.request import urlretrieve\nurlretrieve('u', 'f')\n"
+    spawn_only = "import subprocess\nsubprocess.run(['ls'])\n"
+    both = (
+        "from urllib.request import urlretrieve\n"
+        "import subprocess\n"
+        "urlretrieve('u', '/tmp/x')\n"
+        "subprocess.run(['/tmp/x'])\n"
+    )
+    rule = DownloadExecuteRule()
+    assert rule.scan(_pkg(fetch_only)) == []
+    assert rule.scan(_pkg(spawn_only)) == []
+    assert [f.rule for f in rule.scan(_pkg(both))] == ["download-execute"]
+
+
+def test_sensitive_path_rule():
+    code = "paths = ['~/.ssh/id_rsa', 'Login Data']\n"
+    findings = SensitivePathRule().scan(_pkg(code))
+    assert len(findings) == 2  # .ssh and Login Data
+
+
+def test_subprocess_shell_rule():
+    shelly = "import subprocess\nsubprocess.run(cmd, shell=True)\n"
+    clean = "import subprocess\nsubprocess.run(['ls'])\n"
+    assert SubprocessShellRule().scan(_pkg(shelly))
+    assert SubprocessShellRule().scan(_pkg(clean)) == []
+
+
+def test_clipboard_rule():
+    code = "import subprocess\ndata = subprocess.run(['xclip', '-o'])\n"
+    assert ClipboardRule().scan(_pkg(code))
+    assert ClipboardRule().scan(_pkg("x = 1\n")) == []
+
+
+def test_metadata_anomaly_rule():
+    bare = _pkg("x = 1\n")  # no homepage, empty description
+    findings = MetadataAnomalyRule().scan(bare)
+    assert len(findings) == 2
+    documented = _pkg("x = 1\n", description="A well documented library")
+    documented.metadata.homepage = "https://example.org"
+    assert len(MetadataAnomalyRule().scan(documented)) == 0
+
+
+def test_unparseable_code_is_a_finding():
+    findings = EnvExfiltrationRule().scan(_pkg("def broken(:\n"))
+    assert [f.rule for f in findings] == ["unparseable-code"]
+
+
+def test_default_rules_registry():
+    names = [rule.name for rule in DEFAULT_RULES]
+    assert len(names) == len(set(names)) == 10

@@ -1,0 +1,67 @@
+"""SimClock and day/date conversion."""
+
+import datetime
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.ecosystem.clock import (
+    DEFAULT_HORIZON_DAYS,
+    EPOCH,
+    STUDY_HORIZON_DAYS,
+    SimClock,
+    date_to_day,
+    day_to_date,
+    day_to_month,
+    day_to_year,
+)
+from repro.errors import ClockError
+
+
+def test_epoch_is_day_zero():
+    assert day_to_date(0) == EPOCH
+    assert date_to_day(EPOCH) == 0
+
+
+def test_horizons_ordered():
+    assert 0 < STUDY_HORIZON_DAYS < DEFAULT_HORIZON_DAYS
+
+
+@given(st.integers(min_value=0, max_value=DEFAULT_HORIZON_DAYS))
+def test_day_date_roundtrip(day):
+    assert date_to_day(day_to_date(day)) == day
+
+
+def test_month_and_year_labels():
+    day = date_to_day(datetime.date(2023, 8, 9))
+    assert day_to_month(day) == "2023-08"
+    assert day_to_year(day) == 2023
+
+
+def test_advance_moves_forward():
+    clock = SimClock()
+    assert clock.advance(5) == 5
+    assert clock.today == 5
+    assert clock.date == day_to_date(5)
+
+
+def test_advance_rejects_negative():
+    clock = SimClock()
+    with pytest.raises(ClockError):
+        clock.advance(-1)
+
+
+def test_watchers_fire_on_advance():
+    clock = SimClock()
+    seen = []
+    clock.on_advance(seen.append)
+    clock.advance(1)
+    clock.advance(2)
+    assert seen == [1, 3]
+
+
+def test_run_to_horizon():
+    clock = SimClock(horizon=4)
+    clock.run_to_horizon()
+    assert clock.today == 4
+    assert clock.finished

@@ -1,0 +1,73 @@
+"""Download model: the popularity classes behind Fig. 11's distribution."""
+
+import numpy as np
+import pytest
+
+from repro.ecosystem.downloads import DAILY_RATE, DownloadModel, Popularity
+
+
+@pytest.fixture
+def model():
+    return DownloadModel()
+
+
+def test_default_rates_cover_all_classes(model):
+    assert set(model.rates) == set(Popularity)
+
+
+def test_rates_are_ordered(model):
+    assert (
+        model.rates[Popularity.OBSCURE]
+        < model.rates[Popularity.NOTICED]
+        < model.rates[Popularity.POPULAR]
+    )
+
+
+def test_obscure_packages_see_almost_no_downloads(model):
+    """Fig. 11: the majority of release attempts get 0-1 downloads."""
+    rng = np.random.default_rng(0)
+    draws = [
+        model.total_downloads(2, Popularity.OBSCURE, rng) for _ in range(500)
+    ]
+    assert sorted(draws)[len(draws) // 2] <= 1
+
+
+def test_popular_packages_see_huge_downloads(model):
+    """Fig. 11 outliers: trojaned popular packages inherit the stream."""
+    rng = np.random.default_rng(0)
+    total = model.total_downloads(30, Popularity.POPULAR, rng)
+    assert total > 100_000
+
+
+def test_same_day_removal_still_gets_exposure(model):
+    """A release removed the day it was published still gets a fraction
+    of a day of exposure (live_days=0 is clamped to 0.25)."""
+    rng = np.random.default_rng(0)
+    draws = [
+        model.total_downloads(0, Popularity.POPULAR, rng) for _ in range(20)
+    ]
+    assert all(d > 0 for d in draws)
+    assert np.mean(draws) < DAILY_RATE[Popularity.POPULAR]
+
+
+def test_total_scales_with_live_days(model):
+    rng = np.random.default_rng(1)
+    short = np.mean([
+        model.total_downloads(1, Popularity.NOTICED, rng) for _ in range(200)
+    ])
+    long = np.mean([
+        model.total_downloads(20, Popularity.NOTICED, rng) for _ in range(200)
+    ])
+    assert long > short * 5
+
+
+def test_custom_rates_respected():
+    model = DownloadModel(rates={p: 0.0 for p in Popularity})
+    rng = np.random.default_rng(0)
+    assert model.total_downloads(10, Popularity.POPULAR, rng) == 0
+
+
+def test_daily_downloads_nonnegative(model):
+    rng = np.random.default_rng(2)
+    for popularity in Popularity:
+        assert model.daily_downloads(popularity, rng) >= 0

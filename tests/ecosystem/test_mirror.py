@@ -1,0 +1,151 @@
+"""Mirror sync semantics — the mechanism behind Fig. 5's two
+unavailability causes."""
+
+import pytest
+
+from repro.ecosystem.mirror import (
+    DEFAULT_MIRROR_PLANS,
+    MirrorNetwork,
+    MirrorRegistry,
+    build_default_mirrors,
+)
+from repro.ecosystem.package import make_artifact
+from repro.ecosystem.registry import Registry
+from repro.errors import ConfigError
+
+
+def art(name, version="1.0.0", ecosystem="npm"):
+    return make_artifact(ecosystem, name, version, {"index.py": "x = 1\n"})
+
+
+@pytest.fixture
+def root():
+    return Registry("npm")
+
+
+def lagging(root, interval=3, start=0, phase=0):
+    return MirrorRegistry(
+        name="m", upstream=root, sync_interval=interval,
+        start_day=start, phase=phase,
+    )
+
+
+class TestMirrorSync:
+    def test_invalid_interval_rejected(self, root):
+        with pytest.raises(ConfigError):
+            MirrorRegistry(name="m", upstream=root, sync_interval=0)
+
+    def test_due_respects_interval_and_phase(self, root):
+        mirror = lagging(root, interval=3, phase=1)
+        assert [d for d in range(10) if mirror.due(d)] == [1, 4, 7]
+
+    def test_not_due_before_start_day(self, root):
+        mirror = lagging(root, interval=2, start=6)
+        assert [d for d in range(10) if mirror.due(d)] == [6, 8]
+
+    def test_sync_copies_live_set(self, root):
+        root.publish(art("a"), day=0)
+        mirror = lagging(root)
+        mirror.sync(day=0)
+        assert mirror.lookup("a", "1.0.0") is not None
+        assert mirror.last_sync_day == 0
+        assert len(mirror) == 1
+
+    def test_lagging_mirror_serves_removed_package_until_resync(self, root):
+        """The time-gap window of Section II-C."""
+        root.publish(art("mal"), day=0)
+        mirror = lagging(root, interval=3)
+        mirror.sync(day=0)
+        root.remove("mal", "1.0.0", day=1)
+        # Before the next sync the removed package is still recoverable.
+        assert mirror.lookup("mal", "1.0.0") is not None
+        mirror.sync(day=3)
+        assert mirror.lookup("mal", "1.0.0") is None
+
+    def test_archival_mirror_never_forgets(self, root):
+        root.publish(art("mal"), day=0)
+        mirror = MirrorRegistry(
+            name="arch", upstream=root, sync_interval=1, archival=True
+        )
+        mirror.sync(day=0)
+        root.remove("mal", "1.0.0", day=1)
+        mirror.sync(day=2)
+        assert mirror.lookup("mal", "1.0.0") is not None
+
+    def test_package_persisting_less_than_gap_is_lost(self, root):
+        """Fig. 5 cause 2: persisted too briefly for any sync to catch."""
+        mirror = lagging(root, interval=7)
+        mirror.sync(day=0)
+        root.publish(art("flash"), day=1)
+        root.remove("flash", "1.0.0", day=2)   # gone before day-7 sync
+        mirror.sync(day=7)
+        assert mirror.lookup("flash", "1.0.0") is None
+
+    def test_maybe_sync_only_fires_when_due(self, root):
+        mirror = lagging(root, interval=3)
+        assert mirror.maybe_sync(0)
+        assert not mirror.maybe_sync(1)
+        assert mirror.maybe_sync(3)
+
+
+class TestMirrorNetwork:
+    def test_search_finds_first_matching_mirror(self, root):
+        root.publish(art("mal"), day=0)
+        m1 = lagging(root, interval=5)
+        m2 = MirrorRegistry(name="m2", upstream=root, sync_interval=5)
+        network = MirrorNetwork([m1, m2])
+        network.tick(0)
+        root.remove("mal", "1.0.0", day=1)
+        hit = network.search("npm", "mal", "1.0.0")
+        assert hit is not None
+        mirror_name, artifact = hit
+        assert mirror_name == "m"
+        assert artifact.name == "mal"
+
+    def test_search_scopes_to_ecosystem(self, root):
+        pypi_root = Registry("pypi")
+        pypi_root.publish(art("mal", ecosystem="pypi"), day=0)
+        pypi_mirror = MirrorRegistry(
+            name="p", upstream=pypi_root, sync_interval=1
+        )
+        network = MirrorNetwork([pypi_mirror])
+        network.tick(0)
+        assert network.search("npm", "mal", "1.0.0") is None
+        assert network.search("pypi", "mal", "1.0.0") is not None
+
+    def test_tick_counts_due_syncs(self, root):
+        network = MirrorNetwork(
+            [lagging(root, interval=2), lagging(root, interval=3)]
+        )
+        assert network.tick(0) == 2
+        assert network.tick(2) == 1
+        assert network.tick(5) == 0
+        assert len(network) == 2
+
+    def test_for_ecosystem_filters(self, root):
+        pypi_root = Registry("pypi")
+        network = MirrorNetwork([
+            lagging(root),
+            MirrorRegistry(name="p", upstream=pypi_root, sync_interval=1),
+        ])
+        assert [m.ecosystem for m in network.for_ecosystem("npm")] == ["npm"]
+
+
+class TestDefaultFleet:
+    def test_fleet_shape_matches_section_2c(self):
+        """5 NPM + 12 PyPI + 6 RubyGems mirrors."""
+        assert len(DEFAULT_MIRROR_PLANS["npm"]) == 5
+        assert len(DEFAULT_MIRROR_PLANS["pypi"]) == 12
+        assert len(DEFAULT_MIRROR_PLANS["rubygems"]) == 6
+
+    def test_build_default_mirrors_skips_missing_registries(self):
+        network = build_default_mirrors({"npm": Registry("npm")})
+        assert len(network) == 5
+        assert all(m.ecosystem == "npm" for m in network)
+
+    def test_full_fleet(self):
+        registries = {
+            eco: Registry(eco) for eco in ("npm", "pypi", "rubygems")
+        }
+        network = build_default_mirrors(registries)
+        assert len(network) == 23

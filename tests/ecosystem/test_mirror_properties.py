@@ -1,0 +1,98 @@
+"""Property tests on mirror sync semantics (hypothesis).
+
+The two mirror behaviours drive Fig. 5's unavailability causes, so
+their invariants matter: archival mirrors never lose a captured
+package; lagging mirrors equal the upstream live set right after a
+sync; and anything any mirror serves was genuinely live at some sync
+point.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.ecosystem.mirror import MirrorRegistry
+from repro.ecosystem.package import make_artifact
+from repro.ecosystem.registry import Registry
+
+# A compact event script: publish / remove / sync actions over time.
+actions = st.lists(
+    st.tuples(
+        st.sampled_from(["publish", "remove", "sync"]),
+        st.integers(0, 5),  # package index
+    ),
+    min_size=1,
+    max_size=25,
+)
+
+
+def _replay(script, archival: bool):
+    registry = Registry("pypi")
+    mirror = MirrorRegistry(
+        name="m", upstream=registry, sync_interval=1, archival=archival
+    )
+    day = 0
+    published = set()
+    removed = set()
+    live_at_sync = []
+    captured_history = set()
+    for verb, idx in script:
+        day += 1
+        name = f"pkg-{idx}"
+        if verb == "publish" and name not in published:
+            registry.publish(
+                make_artifact("pypi", name, "1.0", {"m/a.py": f"V = {idx}\n"}),
+                day=day,
+                malicious=True,
+            )
+            published.add(name)
+        elif verb == "remove" and name in published and name not in removed:
+            registry.mark_detected(name, "1.0", day)
+            registry.remove(name, "1.0", day)
+            removed.add(name)
+        elif verb == "sync":
+            mirror.sync(day)
+            live = {key[0] for key in registry.live_snapshot()}
+            live_at_sync.append(live)
+            captured_history |= live
+    return mirror, live_at_sync, captured_history
+
+
+@given(actions)
+@settings(max_examples=80, deadline=None)
+def test_archival_mirror_accumulates(script):
+    mirror, live_at_sync, captured = _replay(script, archival=True)
+    held = {name for name, _v in mirror._store}
+    assert held == captured, "archival mirror = union of all sync snapshots"
+
+
+@given(actions)
+@settings(max_examples=80, deadline=None)
+def test_lagging_mirror_equals_last_snapshot(script):
+    mirror, live_at_sync, _captured = _replay(script, archival=False)
+    held = {name for name, _v in mirror._store}
+    expected = live_at_sync[-1] if live_at_sync else set()
+    assert held == expected
+
+
+@given(actions)
+@settings(max_examples=60, deadline=None)
+def test_mirror_never_serves_never_live_packages(script):
+    for archival in (True, False):
+        mirror, _snaps, captured = _replay(script, archival=archival)
+        for idx in range(6):
+            hit = mirror.lookup(f"pkg-{idx}", "1.0")
+            if hit is not None:
+                assert f"pkg-{idx}" in captured
+
+
+@given(actions)
+@settings(max_examples=60, deadline=None)
+def test_archival_dominates_lagging(script):
+    """Whatever a lagging mirror still holds, the archival twin holds."""
+    lagging, _s, _c = _replay(script, archival=False)
+    archival, _s2, _c2 = _replay(script, archival=True)
+    lagging_keys = set(lagging._store)
+    archival_keys = set(archival._store)
+    assert lagging_keys <= archival_keys

@@ -1,0 +1,110 @@
+"""PackageArtifact: identity, signatures, serialisation."""
+
+import json
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.ecosystem.package import (
+    ECOSYSTEMS,
+    METADATA_FILENAMES,
+    PackageArtifact,
+    PackageId,
+    PackageMetadata,
+    make_artifact,
+    parse_coordinate,
+)
+
+
+def make(name="pkg-a", version="1.0.0", code="x = 1\n", description="d"):
+    return make_artifact(
+        ecosystem="pypi",
+        name=name,
+        version=version,
+        files={"mod/main.py": code},
+        description=description,
+    )
+
+
+def test_id_ordering_and_coordinate():
+    a = PackageId("pypi", "aaa", "1.0.0")
+    b = PackageId("pypi", "bbb", "1.0.0")
+    assert a < b
+    assert a.coordinate == "aaa-1.0.0"
+
+
+def test_config_file_written_per_ecosystem():
+    artifact = make()
+    assert METADATA_FILENAMES["pypi"] in artifact.files
+    payload = json.loads(artifact.files[METADATA_FILENAMES["pypi"]])
+    assert payload["name"] == "pkg-a"
+    assert payload["version"] == "1.0.0"
+
+
+def test_signature_covers_code_only():
+    """Renaming or editing metadata must not change the signature —
+    that property is what the duplicated edge exploits."""
+    a = make(name="brock-loader", description="one")
+    b = make(name="soltalabs-ramda-extra", description="two")
+    assert a.sha256() == b.sha256()
+
+
+def test_signature_changes_with_code():
+    assert make(code="x = 1\n").sha256() != make(code="x = 2\n").sha256()
+
+
+def test_code_files_excludes_config():
+    artifact = make()
+    assert list(artifact.code_files()) == ["mod/main.py"]
+
+
+def test_loc_counts_nonblank_lines():
+    artifact = make(code="a = 1\n\nb = 2\n  \nc = 3\n")
+    assert artifact.loc() == 3
+
+
+def test_serialisation_roundtrip():
+    artifact = make()
+    clone = PackageArtifact.from_dict(artifact.to_dict())
+    assert clone.id == artifact.id
+    assert clone.sha256() == artifact.sha256()
+    assert clone.metadata.description == artifact.metadata.description
+
+
+def test_ecosystem_catalogue():
+    assert len(ECOSYSTEMS) == 10  # the paper covers 10 ecosystems
+    assert {"pypi", "npm", "rubygems"} <= set(ECOSYSTEMS)
+
+
+@pytest.mark.parametrize(
+    "coordinate,expected",
+    [
+        ("brock-loader-1.9.9", ("brock-loader", "1.9.9")),
+        ("pkg-2.0", ("pkg", "2.0")),
+        ("noversion", ("noversion", "")),
+        ("trailing-dash-", ("trailing-dash-", "")),
+    ],
+)
+def test_parse_coordinate(coordinate, expected):
+    assert parse_coordinate(coordinate) == expected
+
+
+@given(
+    name=st.text(
+        alphabet=st.characters(whitelist_categories=("Ll",), max_codepoint=127),
+        min_size=1,
+        max_size=12,
+    ),
+    version=st.from_regex(r"[0-9]\.[0-9]\.[0-9]", fullmatch=True),
+)
+def test_parse_coordinate_roundtrip(name, version):
+    assert parse_coordinate(f"{name}-{version}") == (name, version)
+
+
+def test_code_text_concatenates_in_path_order():
+    from repro.ecosystem.package import make_artifact
+
+    artifact = make_artifact(
+        "pypi", "p", "1.0", {"pkg/b.py": "B = 2\n", "pkg/a.py": "A = 1\n"}
+    )
+    assert artifact.code_text() == "A = 1\n\nB = 2\n"

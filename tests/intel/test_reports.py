@@ -1,0 +1,114 @@
+"""Report factory: primary + echo reports, Table III shape."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.intel.reports import (
+    CATEGORIES,
+    ReportFactory,
+    SecurityReport,
+    build_websites,
+)
+from repro.intel.sources import SOURCE_INDEX, AttributionEngine, SourceKind
+
+
+def test_websites_population_matches_table3():
+    sites = build_websites()
+    assert len(sites) == 68
+    by_category = {}
+    for site in sites:
+        by_category[site.category] = by_category.get(site.category, 0) + 1
+    assert by_category == {
+        "Technical Community": 16,
+        "Commercial org.": 15,
+        "News": 4,
+        "Individual": 3,
+        "Official": 1,
+        "Other": 29,
+    }
+
+
+def test_website_domains_unique():
+    domains = [s.domain for s in build_websites()]
+    assert len(domains) == len(set(domains))
+
+
+@pytest.fixture(scope="module")
+def corpus(request):
+    small_corpus = request.getfixturevalue("small_corpus")
+    outcome = AttributionEngine(seed=2).attribute(small_corpus)
+    return ReportFactory(seed=3).build(outcome), outcome
+
+
+def test_primary_reports_come_from_website_sources(corpus):
+    report_corpus, _outcome = corpus
+    for report in report_corpus.reports:
+        if report.source == "echo":
+            continue
+        assert SOURCE_INDEX[report.source].kind != SourceKind.DATASET
+
+
+def test_reports_have_valid_urls_and_days(corpus):
+    report_corpus, _ = corpus
+    for report in report_corpus.reports:
+        assert report.url.startswith("https://")
+        assert report.website in report.url
+        assert report.publish_day >= 0
+        assert report.packages
+
+
+def test_reports_sorted_by_publish_day(corpus):
+    report_corpus, _ = corpus
+    days = [r.publish_day for r in report_corpus.reports]
+    assert days == sorted(days)
+
+
+def test_echo_reports_reference_their_primary(corpus):
+    report_corpus, _ = corpus
+    by_id = {r.id: r for r in report_corpus.reports}
+    echoes = [r for r in report_corpus.reports if r.source == "echo"]
+    assert echoes, "echo coverage exists"
+    for echo in echoes:
+        primary = by_id[echo.echo_of]
+        assert primary.source != "echo"
+        assert set(echo.packages) <= set(primary.packages)
+        assert echo.publish_day > primary.publish_day
+        assert echo.category in ("Technical Community", "News", "Other", "Individual")
+
+
+def test_primary_report_packages_come_from_one_campaign(corpus):
+    report_corpus, outcome = corpus
+    campaign_of = {e.package: e.campaign_id for e in outcome.entries}
+    for report in report_corpus.reports:
+        if report.source == "echo":
+            continue
+        campaigns = {campaign_of[p] for p in report.packages}
+        assert len(campaigns) == 1
+        assert campaigns == {report.campaign_id}
+
+
+def test_alias_stable_per_actor(corpus):
+    report_corpus, _ = corpus
+    seen = {}
+    for report in report_corpus.reports:
+        if not report.campaign_id or not report.actor_alias:
+            continue
+        prior = seen.setdefault(report.campaign_id, report.actor_alias)
+        assert prior == report.actor_alias
+
+
+def test_by_category_partitions_reports(corpus):
+    report_corpus, _ = corpus
+    grouped = report_corpus.by_category()
+    assert set(grouped) >= set(CATEGORIES)
+    assert sum(len(v) for v in grouped.values()) == len(report_corpus.reports)
+
+
+def test_world_report_mix_matches_table3_shape(paper):
+    """Table III: Technical Community + Commercial carry ~3/4 of reports."""
+    inventory = paper.table3_reports()
+    by_cat = {r.category: r for r in inventory.rows}
+    heavy = by_cat["Technical Community"].reports + by_cat["Commercial org."].reports
+    assert heavy / inventory.total_reports > 0.6
+    assert inventory.total_websites <= 68

@@ -1,0 +1,149 @@
+"""Source profiles and the attribution engine (Tables I/IV/V/VI drivers)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.ecosystem.clock import date_to_day
+from repro.intel.sources import (
+    CO_REPORT_AFFINITY,
+    SOURCE_INDEX,
+    SOURCE_PROFILES,
+    AttributionEngine,
+    Sector,
+    SourceKind,
+    co_report_rate,
+    package_share_uniform,
+    source_shares_package,
+)
+from repro.ecosystem.package import PackageId
+
+import datetime
+
+
+def test_ten_sources_of_table1():
+    assert len(SOURCE_PROFILES) == 10
+    assert len(SOURCE_INDEX) == 10
+    sectors = [p.sector for p in SOURCE_PROFILES]
+    assert sectors.count(Sector.ACADEMIA) == 3
+    assert sectors.count(Sector.INDUSTRY) == 6
+    assert sectors.count(Sector.INDIVIDUAL) == 1
+
+
+def test_academia_aggregates_industry_detects():
+    for profile in SOURCE_PROFILES:
+        if profile.sector is Sector.ACADEMIA:
+            assert profile.aggregates
+            assert profile.detection_share == 0.0
+        if profile.sector is Sector.INDUSTRY:
+            assert not profile.aggregates
+            assert profile.detection_share > 0.0
+
+
+def test_table5_cadences_match_paper():
+    assert SOURCE_INDEX["backstabber-knife"].update_interval_days == 0
+    assert SOURCE_INDEX["maloss"].update_interval_days == 90
+    assert SOURCE_INDEX["phylum"].update_interval_days == 30
+    assert SOURCE_INDEX["socket"].update_interval_days == 30
+    assert SOURCE_INDEX["snyk"].update_interval_days == 60
+
+
+def test_activity_windows():
+    bk = SOURCE_INDEX["backstabber-knife"]
+    assert bk.active_at(date_to_day(datetime.date(2019, 6, 1)))
+    assert not bk.active_at(date_to_day(datetime.date(2021, 1, 1)))  # frozen May 2020
+
+
+def test_ecosystem_coverage():
+    assert SOURCE_INDEX["mal-pypi"].covers("pypi")
+    assert not SOURCE_INDEX["mal-pypi"].covers("npm")
+    assert SOURCE_INDEX["snyk"].covers("rubygems")  # None = all
+
+
+def test_artifact_sharing_pattern_matches_table6():
+    """Dataset sources ship artifacts; feed sources mostly don't."""
+    assert SOURCE_INDEX["mal-pypi"].share_artifacts == 1.0
+    assert SOURCE_INDEX["datadog"].share_artifacts == 1.0
+    assert SOURCE_INDEX["socket"].share_artifacts == 0.0
+    assert SOURCE_INDEX["phylum"].share_artifacts < 0.15
+
+
+def test_package_share_uniform_is_stable_and_uniform():
+    package = PackageId("pypi", "requests2", "1.0")
+    assert package_share_uniform(package) == package_share_uniform(package)
+    values = [
+        package_share_uniform(PackageId("pypi", f"pkg-{i}", "1.0"))
+        for i in range(2000)
+    ]
+    assert 0.45 < sum(values) / len(values) < 0.55
+    assert all(0.0 <= v < 1.0 for v in values)
+
+
+def test_source_sharing_is_comonotone():
+    """If a lower-sharing source ships a package, every higher-sharing
+    source ships it too — the paper's 'missing everywhere' property."""
+    ordered = sorted(SOURCE_PROFILES, key=lambda p: p.share_artifacts)
+    for i in range(400):
+        package = PackageId("npm", f"mono-{i}", "1.0")
+        shared_flags = [source_shares_package(p, package) for p in ordered]
+        # once True, stays True as share_artifacts increases
+        first_true = next((j for j, f in enumerate(shared_flags) if f), None)
+        if first_true is not None:
+            assert all(shared_flags[first_true:])
+
+
+def test_co_report_rate_symmetric_lookup():
+    assert co_report_rate("tianwen", "phylum") == CO_REPORT_AFFINITY[("tianwen", "phylum")]
+    assert co_report_rate("phylum", "tianwen") == CO_REPORT_AFFINITY[("tianwen", "phylum")]
+    assert co_report_rate("socket", "datadog") == 0.0015  # default floor
+
+
+# -- attribution over a corpus ------------------------------------------------------
+
+def test_attribution_only_covers_detected_releases(small_corpus):
+    outcome = AttributionEngine(seed=1).attribute(small_corpus)
+    detected = {
+        release.artifact.id
+        for _c, release in small_corpus.releases()
+        if release.detection_day is not None
+    }
+    for entry in outcome.entries:
+        assert entry.package in detected
+
+
+def test_attribution_entries_respect_source_constraints(small_corpus):
+    outcome = AttributionEngine(seed=1).attribute(small_corpus)
+    for entry in outcome.entries:
+        profile = SOURCE_INDEX[entry.source]
+        assert profile.covers(entry.package.ecosystem)
+        assert entry.report_day <= profile.last_update
+
+
+def test_attribution_primary_is_industry(small_corpus):
+    outcome = AttributionEngine(seed=1).attribute(small_corpus)
+    for case in outcome.cases:
+        assert SOURCE_INDEX[case.primary_source].detection_share > 0
+        assert case.primary_source in case.reporters
+
+
+def test_attribution_deterministic(small_corpus):
+    a = AttributionEngine(seed=9).attribute(small_corpus)
+    b = AttributionEngine(seed=9).attribute(small_corpus)
+    assert [(e.source, e.package) for e in a.entries] == [
+        (e.source, e.package) for e in b.entries
+    ]
+
+
+def test_academia_entries_are_never_primary(small_corpus):
+    outcome = AttributionEngine(seed=1).attribute(small_corpus)
+    for entry in outcome.entries:
+        if SOURCE_INDEX[entry.source].sector is Sector.ACADEMIA:
+            assert not entry.primary
+
+
+def test_entries_by_source_covers_all_profiles(small_corpus):
+    outcome = AttributionEngine(seed=1).attribute(small_corpus)
+    grouped = outcome.entries_by_source()
+    assert set(grouped) >= {p.key for p in SOURCE_PROFILES}
+    total = sum(len(v) for v in grouped.values())
+    assert total == len(outcome.entries)

@@ -1,0 +1,136 @@
+"""The simulated web: report/advisory/noise pages and their markup."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.crawler.extract import extract_report, is_security_report
+from repro.intel.reports import ReportFactory, SecurityReport
+from repro.intel.sns import build_feed
+from repro.intel.sources import SOURCE_INDEX, AttributionEngine, SourceKind
+from repro.intel.web import (
+    SimulatedWeb,
+    WebPage,
+    advisory_site,
+    build_web,
+    render_advisory_page,
+    render_report_page,
+)
+from repro.ecosystem.package import PackageId
+
+
+def _sample_report() -> SecurityReport:
+    return SecurityReport(
+        id="rep00001",
+        source="snyk",
+        website="snyk.io/blog",
+        category="Commercial org.",
+        publish_day=700,
+        title="Malicious NPM packages deliver stealer payloads",
+        packages=[
+            PackageId("npm", "cloud-layout", "1.0.2"),
+            PackageId("npm", "urs-remote", "0.3.1"),
+        ],
+        ecosystem="npm",
+        actor_alias="Lolip0p01",
+    )
+
+
+def test_report_page_roundtrips_through_extractor():
+    report = _sample_report()
+    html = render_report_page(report)
+    assert is_security_report(html)
+    extracted = extract_report(report.url, report.website, html)
+    assert extracted.usable
+    assert extracted.ecosystem == "npm"
+    assert set(extracted.packages) == {
+        ("cloud-layout", "1.0.2"),
+        ("urs-remote", "0.3.1"),
+    }
+    assert extracted.publish_day == report.publish_day
+
+
+def test_advisory_page_roundtrips_through_extractor(small_corpus):
+    outcome = AttributionEngine(seed=5).attribute(small_corpus)
+    entry = next(
+        e for e in outcome.entries
+        if SOURCE_INDEX[e.source].kind == SourceKind.WEBSITE
+    )
+    html = render_advisory_page(entry)
+    extracted = extract_report("u", "s", html)
+    assert extracted.packages == [(entry.package.name, entry.package.version)]
+
+
+def test_advisory_site_name():
+    assert advisory_site(SOURCE_INDEX["snyk"]) == "vuln.snyk.io"
+    assert advisory_site(SOURCE_INDEX["phylum"]) == "vuln.blog.phylum.io"
+
+
+def test_simulated_web_add_and_fetch():
+    web = SimulatedWeb()
+    page = WebPage(url="https://a/x", html="<p>hi</p>", site="a", is_report=False)
+    web.add(page)
+    assert web.fetch("https://a/x") is page
+    assert web.fetch("https://a/unknown") is None
+    assert web.site_index("a") == ["https://a/x"]
+    assert len(web) == 1
+
+
+def test_simulated_web_re_add_updates_without_duplicate_listing():
+    web = SimulatedWeb()
+    web.add(WebPage(url="u", html="v1", site="s", is_report=False))
+    web.add(WebPage(url="u", html="v2", site="s", is_report=False))
+    assert web.site_index("s") == ["u"]
+    assert web.fetch("u").html == "v2"
+
+
+def test_build_web_contains_reports_advisories_and_noise(small_corpus):
+    outcome = AttributionEngine(seed=6).attribute(small_corpus)
+    corpus = ReportFactory(seed=7).build(outcome)
+    web = build_web(corpus, outcome, seed=8, noise_per_site=2)
+    report_pages = [p for p in web.pages.values() if p.is_report]
+    assert len(report_pages) == len(corpus.reports)
+    advisory_pages = [p for p in web.pages.values() if p.site.startswith("vuln.")]
+    assert advisory_pages
+    noise = [
+        p for p in web.pages.values()
+        if not p.is_report and not p.site.startswith("vuln.")
+    ]
+    assert len(noise) >= 2 * len(corpus.websites)
+
+
+def test_noise_pages_fail_keyword_filter(small_world):
+    noise = [
+        p for p in small_world.web.pages.values()
+        if not p.is_report and not p.site.startswith("vuln.")
+    ]
+    assert noise
+    assert not any(is_security_report(p.html) for p in noise)
+
+
+# -- SNS feed ------------------------------------------------------------------
+
+def test_feed_parses_back_to_entries(small_corpus):
+    from repro.crawler.extract import extract_tweet
+
+    outcome = AttributionEngine(seed=9).attribute(small_corpus)
+    feed = build_feed(outcome, seed=10)
+    sns_entries = [
+        e for e in outcome.entries
+        if SOURCE_INDEX[e.source].kind == SourceKind.SNS
+    ]
+    parsed = [extract_tweet(t.text) for t in feed]
+    recovered = {p for p in parsed if p is not None}
+    expected = {
+        (e.package.ecosystem, e.package.name, e.package.version)
+        for e in sns_entries
+    }
+    assert expected <= recovered
+
+
+def test_feed_sorted_by_day(small_corpus):
+    outcome = AttributionEngine(seed=9).attribute(small_corpus)
+    feed = build_feed(outcome, seed=10)
+    days = [t.day for t in feed]
+    assert days == sorted(days)
+    assert all(t.account == "@sscblog" for t in feed)

@@ -1,0 +1,95 @@
+"""Dataset save/load round-trips."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.io.datasets import (
+    entry_from_dict,
+    entry_to_dict,
+    load_dataset,
+    report_from_dict,
+    report_to_dict,
+    save_dataset,
+)
+
+from tests.core.helpers import dataset, entry, report
+
+
+def _sample_dataset():
+    a = entry("alpha", sources=("snyk", "phylum"), downloads=7, campaign_id="c1")
+    b = entry("beta", code=None, release_day=33)
+    return dataset([a, b], [report("r1", [a.package, b.package])])
+
+
+def test_entry_roundtrip_with_artifact():
+    original = _sample_dataset().entries[0]
+    restored = entry_from_dict(entry_to_dict(original))
+    assert restored.package == original.package
+    assert restored.sha256() == original.sha256()
+    assert restored.downloads == original.downloads
+    assert restored.campaign_id == original.campaign_id
+    assert [c.source for c in restored.claims] == [
+        c.source for c in original.claims
+    ]
+    assert restored.artifact.files == original.artifact.files
+
+
+def test_entry_roundtrip_without_artifact():
+    original = _sample_dataset().entries[1]
+    restored = entry_from_dict(entry_to_dict(original))
+    assert not restored.available
+    assert restored.release_day == 33
+
+
+def test_entry_to_dict_can_exclude_artifact():
+    original = _sample_dataset().entries[0]
+    record = entry_to_dict(original, include_artifact=False)
+    assert "artifact" not in record
+    assert record["sha256"] == original.sha256()  # hash survives regardless
+
+
+def test_report_roundtrip():
+    original = _sample_dataset().reports[0]
+    original.unresolved.append(("ghost", "1.0"))
+    restored = report_from_dict(report_to_dict(original))
+    assert restored.report_id == original.report_id
+    assert restored.packages == original.packages
+    assert restored.unresolved == original.unresolved
+    assert restored.category == original.category
+
+
+def test_save_load_directory(tmp_path):
+    ds = _sample_dataset()
+    target = save_dataset(ds, tmp_path / "out")
+    assert (target / "entries.jsonl").exists()
+    assert (target / "reports.jsonl").exists()
+    loaded = load_dataset(target)
+    assert len(loaded) == len(ds)
+    assert [e.package for e in loaded] == [e.package for e in ds]
+    assert loaded.entries[0].sha256() == ds.entries[0].sha256()
+    assert len(loaded.reports) == 1
+
+
+def test_save_load_world_slice(tmp_path, small_dataset):
+    """Round-trip a real collected dataset and verify the analyses see
+    the same facts."""
+    from repro.analysis import compute_source_inventory
+
+    save_dataset(small_dataset, tmp_path / "world")
+    loaded = load_dataset(tmp_path / "world")
+    before = compute_source_inventory(small_dataset)
+    after = compute_source_inventory(loaded)
+    assert [(r.source, r.available, r.unavailable) for r in before.rows] == [
+        (r.source, r.available, r.unavailable) for r in after.rows
+    ]
+
+
+def test_save_without_artifacts_halves_size(tmp_path, small_dataset):
+    full = save_dataset(small_dataset, tmp_path / "full", include_artifacts=True)
+    slim = save_dataset(small_dataset, tmp_path / "slim", include_artifacts=False)
+    full_size = (full / "entries.jsonl").stat().st_size
+    slim_size = (slim / "entries.jsonl").stat().st_size
+    assert slim_size < full_size
+    loaded = load_dataset(slim)
+    assert all(not e.available for e in loaded)

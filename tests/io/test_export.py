@@ -1,0 +1,113 @@
+"""Graph exporters: GraphML, DOT, Neo4j CSV."""
+
+from __future__ import annotations
+
+import csv
+import xml.etree.ElementTree as ET
+
+import pytest
+
+from repro.core.graph import EdgeType, PropertyGraph
+from repro.io.export import iter_pairwise_edges, to_dot, to_graphml, to_neo4j_csv
+
+
+@pytest.fixture
+def graph() -> PropertyGraph:
+    g = PropertyGraph()
+    g.add_node("n1", name="alpha", ecosystem="npm", sources=["snyk"])
+    g.add_node("n2", name="beta", ecosystem="npm", sha256=None)
+    g.add_node("n3", name="gamma", ecosystem="pypi")
+    g.add_edge("n1", "n2", EdgeType.DEPENDENCY)
+    g.add_clique(["n1", "n2", "n3"], EdgeType.SIMILAR)
+    return g
+
+
+def test_iter_pairwise_expands_cliques(graph):
+    edges = list(iter_pairwise_edges(graph))
+    similar = [(u, v) for u, v, t in edges if t is EdgeType.SIMILAR]
+    assert len(similar) == 3
+    dependency = [(u, v) for u, v, t in edges if t is EdgeType.DEPENDENCY]
+    assert dependency == [("n1", "n2")]
+
+
+def test_iter_pairwise_deduplicates_edge_clique_overlap(graph):
+    graph.add_edge("n1", "n3", EdgeType.SIMILAR)  # already in the clique
+    similar = [
+        (u, v) for u, v, t in iter_pairwise_edges(graph, [EdgeType.SIMILAR])
+    ]
+    assert len(similar) == len(set(similar)) == 3
+
+
+def test_iter_pairwise_edge_type_filter(graph):
+    edges = list(iter_pairwise_edges(graph, [EdgeType.DEPENDENCY]))
+    assert all(t is EdgeType.DEPENDENCY for _u, _v, t in edges)
+
+
+def test_graphml_is_valid_xml_with_all_elements(graph):
+    doc = to_graphml(graph)
+    root = ET.fromstring(doc)
+    ns = "{http://graphml.graphdrawing.org/xmlns}"
+    nodes = root.findall(f".//{ns}node")
+    edges = root.findall(f".//{ns}edge")
+    assert len(nodes) == 3
+    assert len(edges) == 4  # 1 dependency + 3 similar
+    types = {
+        data.text
+        for edge in edges
+        for data in edge.findall(f"{ns}data")
+        if data.get("key") == "etype"
+    }
+    assert types == {"dependency", "similar"}
+
+
+def test_graphml_escapes_attribute_values():
+    g = PropertyGraph()
+    g.add_node("weird", name='has "quotes" & <angles>')
+    doc = to_graphml(g)
+    ET.fromstring(doc)  # must stay well-formed
+
+
+def test_graphml_list_attributes_joined(graph):
+    doc = to_graphml(graph)
+    assert "snyk" in doc
+
+
+def test_dot_output_structure(graph):
+    dot = to_dot(graph, name="g1")
+    assert dot.startswith("graph g1 {")
+    assert dot.rstrip().endswith("}")
+    assert '"n1" -- "n2"' in dot
+    assert "steelblue" in dot  # similar edges colour
+    assert dot.count("--") == 4
+
+
+def test_dot_edge_type_filter(graph):
+    dot = to_dot(graph, edge_types=[EdgeType.DEPENDENCY])
+    assert dot.count("--") == 1
+
+
+def test_neo4j_csv_files(graph, tmp_path):
+    nodes_path, edges_path = to_neo4j_csv(graph, tmp_path)
+    with open(nodes_path) as handle:
+        rows = list(csv.reader(handle))
+    header, *body = rows
+    assert header[0] == ":ID"
+    assert header[-1] == ":LABEL"
+    assert len(body) == 3
+    assert all(row[-1] == "MaliciousPackage" for row in body)
+    with open(edges_path) as handle:
+        edge_rows = list(csv.reader(handle))
+    assert edge_rows[0] == [":START_ID", ":END_ID", ":TYPE"]
+    assert len(edge_rows) - 1 == 4
+    assert {row[2] for row in edge_rows[1:]} == {"DEPENDENCY", "SIMILAR"}
+
+
+def test_neo4j_csv_missing_values_empty(graph, tmp_path):
+    nodes_path, _ = to_neo4j_csv(graph, tmp_path)
+    with open(nodes_path) as handle:
+        rows = list(csv.reader(handle))
+    header = rows[0]
+    sha_col = header.index("sha256")
+    by_id = {row[0]: row for row in rows[1:]}
+    assert by_id["n2"][sha_col] == ""
+    assert by_id["n3"][sha_col] == ""

@@ -1,0 +1,39 @@
+"""JSONL read/write helpers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.io.jsonl import read_jsonl, write_jsonl
+
+
+def test_roundtrip(tmp_path):
+    path = tmp_path / "data.jsonl"
+    records = [{"a": 1}, {"b": [1, 2]}, {"c": {"nested": True}}]
+    assert write_jsonl(path, records) == 3
+    assert list(read_jsonl(path)) == records
+
+
+def test_write_empty(tmp_path):
+    path = tmp_path / "empty.jsonl"
+    assert write_jsonl(path, []) == 0
+    assert list(read_jsonl(path)) == []
+
+
+def test_read_skips_blank_lines(tmp_path):
+    path = tmp_path / "gaps.jsonl"
+    path.write_text('{"a": 1}\n\n   \n{"b": 2}\n')
+    assert list(read_jsonl(path)) == [{"a": 1}, {"b": 2}]
+
+
+def test_write_overwrites(tmp_path):
+    path = tmp_path / "x.jsonl"
+    write_jsonl(path, [{"v": 1}])
+    write_jsonl(path, [{"v": 2}])
+    assert list(read_jsonl(path)) == [{"v": 2}]
+
+
+def test_keys_sorted_for_stable_diffs(tmp_path):
+    path = tmp_path / "sorted.jsonl"
+    write_jsonl(path, [{"zebra": 1, "alpha": 2}])
+    assert path.read_text().startswith('{"alpha"')

@@ -1,0 +1,86 @@
+"""Dataset publication manifest (the transparency website)."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.core.groups import GroupKind
+from repro.core.malgraph import MalGraph
+from repro.core.similarity import SimilarityConfig
+from repro.io.publish import build_manifest, publish_dataset
+
+from tests.core.helpers import dataset, entry, report
+
+
+@pytest.fixture(scope="module")
+def malgraph():
+    code = "def payload():\n    return 'pub'\n"
+    a = entry("pub-a", code=code, release_day=10)
+    b = entry("pub-b", code=code, release_day=12)
+    c = entry("solo", code="def other():\n    return 1\n", release_day=20)
+    gone = entry("gone", code=None, release_day=5)
+    return MalGraph.build(
+        dataset([a, b, c, gone], [report("r1", [a.package, c.package])]),
+        SimilarityConfig(seed=0, max_k=2),
+    )
+
+
+def test_manifest_summary(malgraph):
+    manifest = build_manifest(malgraph)
+    assert manifest.summary["packages"] == 4
+    assert manifest.summary["available"] == 3
+    assert manifest.summary["unavailable"] == 1
+    assert manifest.summary["ecosystems"] == {"pypi": 4}
+
+
+def test_manifest_signatures(malgraph):
+    manifest = build_manifest(malgraph)
+    by_name = {p["name"]: p for p in manifest.packages}
+    assert by_name["pub-a"]["sha256"] == by_name["pub-b"]["sha256"]
+    assert len(by_name["pub-a"]["md5"]) == 32
+    assert by_name["gone"]["sha256"] is None
+    assert by_name["gone"]["md5"] is None
+
+
+def test_manifest_group_labels(malgraph):
+    manifest = build_manifest(malgraph)
+    by_name = {p["name"]: p for p in manifest.packages}
+    assert "DG" in by_name["pub-a"]["groups"]
+    assert by_name["pub-a"]["groups"]["DG"] == by_name["pub-b"]["groups"]["DG"]
+    assert "CG" in by_name["solo"]["groups"]
+    assert by_name["gone"]["groups"] == {}
+
+
+def test_manifest_groups_listing(malgraph):
+    manifest = build_manifest(malgraph)
+    assert set(manifest.groups) == {"DG", "DeG", "SG", "CG"}
+    dg = manifest.groups["DG"]
+    assert len(dg) == 1
+    assert dg[0]["size"] == 2
+    assert sorted(dg[0]["members"]) == ["pypi:pub-a@1.0", "pypi:pub-b@1.0"]
+    assert manifest.groups["DeG"] == []
+
+
+def test_manifest_json_valid(malgraph):
+    manifest = build_manifest(malgraph)
+    index = json.loads(manifest.to_index_json())
+    assert index["summary"]["packages"] == 4
+    groups = json.loads(manifest.to_groups_json())
+    assert "SG" in groups
+
+
+def test_markdown_front_page(malgraph):
+    text = build_manifest(malgraph).to_markdown()
+    assert "# OSS Malicious Package Dataset" in text
+    assert "**4**" in text
+    assert "| DG |" in text
+
+
+def test_publish_writes_three_files(malgraph, tmp_path):
+    target = publish_dataset(malgraph, tmp_path / "site")
+    for name in ("index.json", "groups.json", "index.md"):
+        assert (target / name).exists()
+    index = json.loads((target / "index.json").read_text())
+    assert len(index["packages"]) == 4

@@ -1,0 +1,65 @@
+"""Failure-path robustness of the persistence layer."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.core.graph import PropertyGraph
+from repro.errors import NodeNotFoundError
+from repro.io.datasets import entry_from_dict, load_dataset
+from repro.io.jsonl import read_jsonl
+
+
+def test_load_dataset_missing_directory(tmp_path):
+    with pytest.raises(FileNotFoundError):
+        load_dataset(tmp_path / "nope")
+
+
+def test_read_jsonl_bad_json(tmp_path):
+    path = tmp_path / "bad.jsonl"
+    path.write_text('{"ok": 1}\nnot-json\n')
+    with pytest.raises(json.JSONDecodeError):
+        list(read_jsonl(path))
+
+
+def test_entry_from_dict_minimal_record():
+    entry = entry_from_dict({"ecosystem": "pypi", "name": "x", "version": "1"})
+    assert entry.claims == []
+    assert entry.downloads == 0
+    assert not entry.available
+
+
+def test_entry_from_dict_missing_identity_raises():
+    with pytest.raises(KeyError):
+        entry_from_dict({"name": "x", "version": "1"})
+
+
+def test_graph_loads_rejects_unknown_edge_type():
+    payload = json.dumps(
+        {
+            "nodes": {"a": {}, "b": {}},
+            "edges": {"teleport": [["a", "b"]]},
+            "cliques": {},
+        }
+    )
+    with pytest.raises(ValueError):
+        PropertyGraph.loads(payload)
+
+
+def test_graph_loads_rejects_edges_to_unknown_nodes():
+    payload = json.dumps(
+        {
+            "nodes": {"a": {}},
+            "edges": {"similar": [["a", "ghost"]]},
+            "cliques": {},
+        }
+    )
+    with pytest.raises(NodeNotFoundError):
+        PropertyGraph.loads(payload)
+
+
+def test_graph_loads_tolerates_partial_document():
+    graph = PropertyGraph.loads(json.dumps({"nodes": {"solo": {"k": 1}}}))
+    assert graph.node("solo") == {"k": 1}

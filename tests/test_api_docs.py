@@ -1,0 +1,50 @@
+"""The generated API reference stays in sync with the code."""
+
+from __future__ import annotations
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+ROOT = Path(__file__).resolve().parent.parent
+SCRIPT = ROOT / "scripts" / "gen_api_docs.py"
+
+
+def _run(argv):
+    saved = sys.argv
+    sys.argv = [str(SCRIPT)] + argv
+    try:
+        runpy.run_path(str(SCRIPT), run_name="__main__")
+    except SystemExit as stop:
+        return int(stop.code or 0)
+    finally:
+        sys.argv = saved
+    return 0
+
+
+def test_api_docs_up_to_date(capsys):
+    assert _run(["--check"]) == 0, (
+        "docs/API.md is stale; run scripts/gen_api_docs.py"
+    )
+
+
+def test_api_docs_cover_key_modules():
+    text = (ROOT / "docs" / "API.md").read_text()
+    for marker in (
+        "## `repro.core.malgraph`",
+        "## `repro.analysis.overlap`",
+        "## `repro.collection.pipeline`",
+        "## `repro.detection.detector`",
+        "class MalGraph",
+        "def compute_overlap_matrix",
+    ):
+        assert marker in text
+
+
+def test_api_docs_regeneration_roundtrip(tmp_path, capsys):
+    target = tmp_path / "API.md"
+    assert _run(["--out", str(target)]) == 0
+    assert target.exists()
+    assert target.read_text() == (ROOT / "docs" / "API.md").read_text()

@@ -1,0 +1,173 @@
+"""CLI commands (run in-process against a small world)."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import EXPERIMENTS, build_parser, main
+
+SMALL = ["--seed", "3", "--scale", "0.05"]
+
+
+def test_experiment_registry_covers_all_paper_methods():
+    from repro.paper import PaperArtifacts
+
+    for method in EXPERIMENTS.values():
+        assert hasattr(PaperArtifacts, method)
+    assert len(EXPERIMENTS) == 16
+
+
+def test_show_each_experiment(capsys):
+    for key in ("table1", "table7", "fig12"):
+        assert main(SMALL + ["show", key]) == 0
+        out = capsys.readouterr().out
+        assert out.strip()
+
+
+def test_show_handles_missing_fig8(capsys):
+    # tiny worlds may lack a qualifying Fig. 8 campaign; either output is fine
+    assert main(SMALL + ["show", "fig8"]) == 0
+    assert capsys.readouterr().out.strip()
+
+
+def test_tables_renders_everything(capsys):
+    assert main(SMALL + ["tables"]) == 0
+    out = capsys.readouterr().out
+    assert "Table I" in out
+    assert "Fig. 12" in out
+    assert "Table VIII" in out
+
+
+def test_dataset_roundtrip(tmp_path, capsys):
+    out_dir = tmp_path / "ds"
+    assert main(SMALL + ["dataset", "--out", str(out_dir)]) == 0
+    assert (out_dir / "entries.jsonl").exists()
+    from repro.io.datasets import load_dataset
+
+    assert len(load_dataset(out_dir)) > 0
+
+
+def test_publish_command(tmp_path, capsys):
+    out_dir = tmp_path / "site"
+    assert main(SMALL + ["publish", "--out", str(out_dir)]) == 0
+    index = json.loads((out_dir / "index.json").read_text())
+    assert index["summary"]["packages"] > 0
+
+
+def test_export_graphml(tmp_path, capsys):
+    out_dir = tmp_path / "g"
+    assert main(SMALL + ["export", "--out", str(out_dir), "--format", "graphml"]) == 0
+    assert (out_dir / "malgraph.graphml").exists()
+
+
+def test_export_csv_with_edge_filter(tmp_path, capsys):
+    out_dir = tmp_path / "csv"
+    code = main(
+        SMALL
+        + ["export", "--out", str(out_dir), "--format", "csv", "--edges", "dependency"]
+    )
+    assert code == 0
+    edges = (out_dir / "edges.csv").read_text().splitlines()
+    assert all("SIMILAR" not in line for line in edges)
+
+
+def test_query_command(capsys):
+    assert main(SMALL + ["query", "MATCH (a) RETURN count(*)"]) == 0
+    out = capsys.readouterr().out
+    assert "count(*)" in out
+
+
+def test_query_command_error(capsys):
+    assert main(SMALL + ["query", "MATCH oops"]) == 2
+    assert "query error" in capsys.readouterr().err
+
+
+def test_validate_command(capsys):
+    assert main(SMALL + ["validate"]) == 0
+    out = capsys.readouterr().out
+    assert "ARI" in out
+
+
+def test_insights_command(capsys):
+    code = main(SMALL + ["insights"])
+    out = capsys.readouterr().out
+    assert "learned lessons" in out
+    assert code in (0, 1)  # tiny worlds may not satisfy every lesson
+
+
+def test_report_command_stdout(capsys):
+    assert main(SMALL + ["report"]) == 0
+    out = capsys.readouterr().out
+    assert "# Evaluation report" in out
+    assert "## table1" in out and "## fig12" in out
+
+
+def test_report_command_file(tmp_path, capsys):
+    target = tmp_path / "report.md"
+    assert main(SMALL + ["report", "--out", str(target)]) == 0
+    assert "## table8" in target.read_text()
+
+
+def test_whatif_command(capsys):
+    assert main(SMALL + ["whatif", "--scales", "0.5", "1.0"]) == 0
+    out = capsys.readouterr().out
+    assert "defender latency" in out
+    assert "0.5x" in out
+
+
+def test_census_command(capsys):
+    assert main(SMALL + ["census"]) == 0
+    assert "family census" in capsys.readouterr().out
+
+
+def test_stability_command(capsys):
+    assert main(SMALL + ["stability", "--snapshots", "3"]) == 0
+    assert "Dynamic changing" in capsys.readouterr().out
+
+
+def test_detect_command(capsys):
+    assert main(SMALL + ["detect", "--sample", "20"]) == 0
+    assert "precision" in capsys.readouterr().out
+
+
+def test_scan_malicious_directory(tmp_path, capsys):
+    from repro.malware.behaviors import get_behavior
+    from repro.malware.codegen import generate_source_tree, make_style
+
+    tree = generate_source_tree(get_behavior("credential-stealer"), make_style(1), "pkg_x")
+    root = tmp_path / "suspicious-pkg"
+    for path, source in tree.files.items():
+        target = root / path
+        target.parent.mkdir(parents=True, exist_ok=True)
+        target.write_text(source)
+    assert main(SMALL + ["scan", str(root)]) == 1  # flagged
+    assert "MALICIOUS" in capsys.readouterr().out
+
+
+def test_scan_benign_directory(tmp_path, capsys):
+    root = tmp_path / "nice-pkg"
+    root.mkdir()
+    (root / "util.py").write_text("def add(a, b):\n    return a + b\n")
+    assert main(SMALL + ["scan", str(root)]) == 0
+    assert "clean" in capsys.readouterr().out
+
+
+def test_scan_bad_paths(tmp_path, capsys):
+    assert main(SMALL + ["scan", str(tmp_path / "missing")]) == 2
+    empty = tmp_path / "empty"
+    empty.mkdir()
+    assert main(SMALL + ["scan", str(empty)]) == 2
+
+
+def test_parser_requires_command():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args([])
+
+
+def test_version_flag(capsys):
+    with pytest.raises(SystemExit) as stop:
+        main(["--version"])
+    assert stop.value.code == 0
+    assert "repro 1" in capsys.readouterr().out

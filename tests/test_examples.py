@@ -1,0 +1,40 @@
+"""Smoke tests: every example script runs to completion.
+
+Examples are the repository's front door; each must execute end-to-end
+on a stock checkout. They run in-process (runpy) so the interpreter and
+imports are shared; output is captured by pytest.
+"""
+
+from __future__ import annotations
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+EXAMPLES = sorted(p.name for p in EXAMPLES_DIR.glob("*.py"))
+
+
+def test_examples_inventory():
+    """The README promises at least the documented examples."""
+    assert len(EXAMPLES) >= 7
+    for required in (
+        "quickstart.py",
+        "campaign_forensics.py",
+        "dataset_audit.py",
+        "detector_triage.py",
+        "graph_queries.py",
+        "publish_site.py",
+        "defense_whatif.py",
+    ):
+        assert required in EXAMPLES
+
+
+@pytest.mark.parametrize("example", EXAMPLES)
+def test_example_runs(example, tmp_path, monkeypatch, capsys):
+    monkeypatch.setattr(sys, "argv", [example, str(tmp_path / "out")])
+    runpy.run_path(str(EXAMPLES_DIR / example), run_name="__main__")
+    out = capsys.readouterr().out
+    assert out.strip(), f"{example} produced no output"

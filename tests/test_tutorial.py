@@ -1,0 +1,32 @@
+"""docs/TUTORIAL.md is executable documentation: every fenced python
+block runs, in order, in one shared namespace."""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+
+import pytest
+
+TUTORIAL = Path(__file__).resolve().parent.parent / "docs" / "TUTORIAL.md"
+
+_BLOCK_RE = re.compile(r"```python\n(.*?)```", re.DOTALL)
+
+
+def _blocks():
+    return _BLOCK_RE.findall(TUTORIAL.read_text())
+
+
+def test_tutorial_has_code_blocks():
+    assert len(_blocks()) >= 8
+
+
+def test_tutorial_blocks_execute_in_order(capsys):
+    namespace = {"__name__": "tutorial"}
+    for index, block in enumerate(_blocks()):
+        try:
+            exec(compile(block, f"<tutorial block {index}>", "exec"), namespace)
+        except Exception as error:  # pragma: no cover - diagnostic
+            pytest.fail(
+                f"tutorial block {index} failed: {error}\n--- block ---\n{block}"
+            )
