@@ -1,0 +1,130 @@
+"""Enrichment-service lookup throughput (not a paper table).
+
+Builds the default-world :class:`IntelIndex` once, then measures the
+serving layer on ~10k mixed hit/miss indicators: cold single enrich
+(engine, no cache), LRU-warm single enrich (cache hit path), and
+``batch_enrich`` throughput in lookups/sec. The acceptance bar — warm at
+least 10x faster than cold — is asserted directly so a cache regression
+fails the bench run.
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+import time
+
+import pytest
+
+from repro.service.cache import EnrichmentService, build_service
+from repro.service.enrich import Indicator
+
+INDICATOR_COUNT = 10_000
+
+
+@pytest.fixture(scope="session")
+def service(artifacts) -> EnrichmentService:
+    return build_service(artifacts.malgraph, capacity=4 * INDICATOR_COUNT)
+
+
+@pytest.fixture(scope="session")
+def indicators(artifacts):
+    """~10k deterministic indicators, roughly half hits, half misses.
+
+    Hits rotate name-only, name+version and SHA256 shapes; misses mix
+    single-edit mutations of collected names (the suspicious path, the
+    most expensive miss) with fabricated clean names.
+    """
+    rng = random.Random(7)
+    entries = artifacts.dataset.entries
+    available = artifacts.dataset.available_entries()
+    mixed = []
+    for i in range(INDICATOR_COUNT):
+        shape = i % 4
+        if shape == 0:
+            e = rng.choice(entries)
+            mixed.append(Indicator(name=e.package.name))
+        elif shape == 1:
+            e = rng.choice(entries)
+            mixed.append(
+                Indicator(
+                    name=e.package.name,
+                    version=e.package.version,
+                    ecosystem=e.package.ecosystem,
+                )
+            )
+        elif shape == 2:
+            e = rng.choice(available)
+            mixed.append(Indicator(sha256=e.sha256()))
+        elif i % 8 == 3:
+            name = rng.choice(entries).package.name
+            mutated = name[:-1] + ("x" if name[-1] != "x" else "y")
+            mixed.append(Indicator(name=mutated))
+        else:
+            mixed.append(
+                Indicator(name=f"no-such-package-{i}-{rng.randrange(1_000_000)}")
+            )
+    return mixed
+
+
+def test_enrich_cold(benchmark, service, indicators):
+    """Single enrich straight through the engine (no cache)."""
+    stream = itertools.cycle(indicators)
+    result = benchmark(lambda: service.engine.enrich(next(stream)))
+    assert result.verdict in ("malicious", "suspicious", "unknown")
+
+
+def test_enrich_warm(benchmark, service, indicators):
+    """Single enrich served from a warmed LRU."""
+    for indicator in indicators:
+        service.enrich(indicator)
+    stream = itertools.cycle(indicators)
+    result = benchmark(lambda: service.enrich(next(stream)))
+    assert result.verdict in ("malicious", "suspicious", "unknown")
+
+
+def test_batch_enrich_throughput(benchmark, service, show, indicators):
+    """Full 10k-indicator batch; prints lookups/sec cold vs warm."""
+    cold = EnrichmentService(service.engine, capacity=4 * INDICATOR_COUNT)
+
+    start = time.perf_counter()
+    cold.batch_enrich(indicators)
+    cold_elapsed = time.perf_counter() - start
+
+    results = benchmark(service.batch_enrich, indicators)
+    assert len(results) == len(indicators)
+
+    start = time.perf_counter()
+    service.batch_enrich(indicators)
+    warm_elapsed = time.perf_counter() - start
+    show(
+        "Service lookup throughput",
+        f"batch of {len(indicators)} indicators\n"
+        f"  cold: {len(indicators) / cold_elapsed:12.0f} lookups/sec\n"
+        f"  warm: {len(indicators) / warm_elapsed:12.0f} lookups/sec",
+    )
+
+
+def test_warm_is_10x_faster_than_cold(service, indicators, show):
+    """The acceptance bar: LRU-warm enrich >= 10x faster than cold."""
+    engine = service.engine
+
+    start = time.perf_counter()
+    for indicator in indicators:
+        engine.enrich(indicator)
+    cold_elapsed = time.perf_counter() - start
+
+    warmed = EnrichmentService(engine, capacity=4 * INDICATOR_COUNT)
+    warmed.batch_enrich(indicators)
+    start = time.perf_counter()
+    for indicator in indicators:
+        warmed.enrich(indicator)
+    warm_elapsed = time.perf_counter() - start
+
+    speedup = cold_elapsed / warm_elapsed
+    show(
+        "LRU speedup",
+        f"cold {cold_elapsed:.3f}s vs warm {warm_elapsed:.3f}s "
+        f"over {len(indicators)} lookups -> {speedup:.1f}x",
+    )
+    assert speedup >= 10.0, f"LRU-warm enrich only {speedup:.1f}x faster than cold"

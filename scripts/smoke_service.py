@@ -1,0 +1,116 @@
+#!/usr/bin/env python
+"""Smoke test for the enrichment HTTP server.
+
+Builds a small world, boots the server on an ephemeral port, performs
+one single-indicator enrich and one batch enrich over real HTTP, and
+asserts the JSON response schema. Exits nonzero on any failure.
+
+Usage: PYTHONPATH=src python scripts/smoke_service.py [--seed N] [--scale F]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import threading
+import urllib.request
+from urllib.parse import quote
+
+from repro.core.malgraph import MalGraph
+from repro.service import build_service
+from repro.service.server import create_server, server_address
+from repro.world import WorldConfig, build_world, collect
+
+RESULT_KEYS = {
+    "indicator",
+    "verdict",
+    "matches",
+    "families",
+    "campaigns",
+    "actors",
+    "related",
+    "sources",
+    "first_seen_day",
+    "last_seen_day",
+    "squat",
+    "confidence",
+}
+
+
+def fetch(url: str, payload=None):
+    request = urllib.request.Request(
+        url,
+        data=None if payload is None else json.dumps(payload).encode(),
+        headers={"Content-Type": "application/json"},
+    )
+    with urllib.request.urlopen(request, timeout=30) as response:
+        return json.load(response)
+
+
+def check_result(body: dict, context: str) -> None:
+    assert set(body) == RESULT_KEYS, f"{context}: unexpected keys {sorted(body)}"
+    assert body["verdict"] in ("malicious", "suspicious", "unknown"), context
+    for key in ("matches", "families", "campaigns", "actors", "related", "sources"):
+        assert isinstance(body[key], list), f"{context}: {key} is not a list"
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--seed", type=int, default=3)
+    parser.add_argument("--scale", type=float, default=0.1)
+    args = parser.parse_args(argv)
+
+    dataset = collect(build_world(WorldConfig(seed=args.seed, scale=args.scale))).dataset
+    service = build_service(MalGraph.build(dataset))
+    server = create_server(service, port=0)
+    host, port = server_address(server)
+    base = f"http://{host}:{port}"
+    threading.Thread(target=server.serve_forever, daemon=True).start()
+    print(f"server up at {base} over {service.index.package_count} packages")
+
+    try:
+        health = fetch(f"{base}/v1/healthz")
+        assert health["status"] == "ok", health
+        assert health["packages"] == len(dataset), health
+
+        known = dataset.entries[0].package
+        single = fetch(
+            f"{base}/v1/enrich?name={quote(known.name)}"
+            f"&version={quote(known.version)}&ecosystem={known.ecosystem}"
+        )
+        check_result(single, "single enrich")
+        assert single["verdict"] == "malicious", single["verdict"]
+        assert str(known) in single["matches"], single["matches"]
+        print(f"enrich {known}: {single['verdict']} "
+              f"({len(single['families'])} families, {len(single['sources'])} sources)")
+
+        sha = dataset.available_entries()[0].sha256()
+        batch = fetch(
+            f"{base}/v1/enrich/batch",
+            {
+                "indicators": [
+                    {"name": known.name},
+                    {"sha256": sha},
+                    {"name": "smoke-test-surely-unknown"},
+                ]
+            },
+        )
+        assert batch["count"] == 3, batch
+        for i, row in enumerate(batch["results"]):
+            check_result(row, f"batch result {i}")
+        verdicts = [row["verdict"] for row in batch["results"]]
+        assert verdicts[0] == verdicts[1] == "malicious", verdicts
+        print(f"batch of {batch['count']}: verdicts {verdicts}")
+
+        stats = fetch(f"{base}/v1/stats")
+        assert stats["cache"]["size"] > 0, stats
+        print("smoke OK")
+        return 0
+    finally:
+        server.shutdown()
+        server.server_close()
+
+
+if __name__ == "__main__":
+    sys.exit(main())

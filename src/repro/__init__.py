@@ -33,6 +33,15 @@ from repro.detection.detector import Detector, Verdict
 from repro.ecosystem.package import PackageArtifact, PackageId
 from repro.malware.corpus import Corpus, CorpusConfig, build_corpus
 from repro.paper import PaperArtifacts, default_artifacts
+from repro.service import (
+    EnrichmentEngine,
+    EnrichmentResult,
+    EnrichmentService,
+    Indicator,
+    IntelIndex,
+    build_service,
+    refresh_index,
+)
 from repro.world import (
     World,
     WorldConfig,
@@ -51,7 +60,12 @@ __all__ = [
     "DatasetEntry",
     "Detector",
     "EdgeType",
+    "EnrichmentEngine",
+    "EnrichmentResult",
+    "EnrichmentService",
     "GroupKind",
+    "Indicator",
+    "IntelIndex",
     "MalGraph",
     "MalwareDataset",
     "PackageArtifact",
@@ -64,8 +78,10 @@ __all__ = [
     "World",
     "WorldConfig",
     "build_corpus",
+    "build_service",
     "build_world",
     "collect",
+    "refresh_index",
     "default_artifacts",
     "default_collection",
     "default_dataset",

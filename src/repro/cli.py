@@ -218,6 +218,41 @@ def cmd_detect(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_enrich(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.service import Indicator, build_service
+
+    if not args.name and not args.sha256:
+        print("enrich needs a package name or --sha256", file=sys.stderr)
+        return 2
+    artifacts = _artifacts(args)
+    service = build_service(artifacts.malgraph)
+    result = service.enrich(
+        Indicator(
+            name=args.name,
+            version=args.pkg_version,
+            sha256=args.sha256,
+            ecosystem=args.ecosystem,
+        )
+    )
+    print(json.dumps(result.to_dict(), indent=2, sort_keys=True))
+    return 1 if result.verdict == "malicious" else 0
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    from repro.service import build_service, serve
+
+    artifacts = _artifacts(args)
+    service = build_service(artifacts.malgraph, capacity=args.cache)
+    print(
+        f"indexed {service.index.package_count} packages "
+        f"(seed={args.seed}, scale={args.scale})"
+    )
+    serve(service, host=args.host, port=args.port)
+    return 0
+
+
 def cmd_scan(args: argparse.Namespace) -> int:
     from repro.detection.detector import Detector
     from repro.ecosystem.package import make_artifact
@@ -341,6 +376,23 @@ def build_parser() -> argparse.ArgumentParser:
     scan.add_argument("path")
     scan.add_argument("--ecosystem", default="pypi")
     scan.set_defaults(func=cmd_scan)
+
+    enrich = sub.add_parser(
+        "enrich", help="threat-intel verdict for an indicator (exit 1 if malicious)"
+    )
+    enrich.add_argument("name", nargs="?", default=None, help="package name")
+    enrich.add_argument(
+        "--pkg-version", default=None, help="package version to pin the lookup"
+    )
+    enrich.add_argument("--sha256", default=None, help="artifact code signature")
+    enrich.add_argument("--ecosystem", default=None)
+    enrich.set_defaults(func=cmd_enrich)
+
+    serve = sub.add_parser("serve", help="run the enrichment HTTP API")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8742)
+    serve.add_argument("--cache", type=int, default=4096, help="LRU capacity")
+    serve.set_defaults(func=cmd_serve)
 
     return parser
 

@@ -106,13 +106,14 @@ class SimilarBuildResult:
 def build_similar_edges(
     graph: PropertyGraph,
     dataset: MalwareDataset,
-    config: SimilarityConfig = SimilarityConfig(),
+    config: Optional[SimilarityConfig] = None,
 ) -> SimilarBuildResult:
     """Similar code base => similar edge, via the clustering pipeline.
 
     Only entries with an artifact can be embedded (the paper likewise
     can only hash/embed the packages it actually holds).
     """
+    config = config if config is not None else SimilarityConfig()
     entries = [e for e in dataset.available_entries() if e.artifact.code_files()]
     clustering = cluster_artifacts([e.artifact for e in entries], config)
     groups: List[List[DatasetEntry]] = []

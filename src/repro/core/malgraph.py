@@ -44,9 +44,12 @@ class MalGraph:
     def build(
         cls,
         dataset: MalwareDataset,
-        similarity: SimilarityConfig = SimilarityConfig(),
+        similarity: Optional[SimilarityConfig] = None,
     ) -> "MalGraph":
         """Build nodes and all four edge types from a collected dataset."""
+        # A SimilarityConfig() default argument would be instantiated once
+        # at import time and shared across every build() call.
+        similarity = similarity if similarity is not None else SimilarityConfig()
         graph = PropertyGraph()
         add_dataset_nodes(graph, dataset)
         duplicated = build_duplicated_edges(graph, dataset)

@@ -55,9 +55,10 @@ class SimilarityResult:
 
 def cluster_artifacts(
     artifacts: Sequence[PackageArtifact],
-    config: SimilarityConfig = SimilarityConfig(),
+    config: Optional[SimilarityConfig] = None,
 ) -> SimilarityResult:
     """Run the full similarity pipeline over a batch of artifacts."""
+    config = config if config is not None else SimilarityConfig()
     n = len(artifacts)
     labels = np.full(n, -1, dtype=np.int64)
     if n == 0:

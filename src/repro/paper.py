@@ -57,10 +57,10 @@ class PaperArtifacts:
     def __init__(
         self,
         config: Optional[WorldConfig] = None,
-        similarity: SimilarityConfig = SimilarityConfig(),
+        similarity: Optional[SimilarityConfig] = None,
     ):
         self.config = config or WorldConfig()
-        self.similarity = similarity
+        self.similarity = similarity if similarity is not None else SimilarityConfig()
         self._world: Optional[World] = None
         self._collection: Optional[CollectionResult] = None
         self._malgraph: Optional[MalGraph] = None

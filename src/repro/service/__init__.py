@@ -1,0 +1,52 @@
+"""Online threat-intel enrichment service over MALGRAPH.
+
+The paper builds MALGRAPH once and mines it offline; this package turns
+a built graph into a serving layer — the workload a Unit-42-style
+intelligence integration expects: hand in an indicator (package name,
+name@version, SHA256) and get back a verdict plus malware-family /
+campaign / actor associations and related indicators.
+
+Layers, bottom to top:
+
+* :mod:`repro.service.index` — :class:`IntelIndex`, O(1) inverted
+  indexes over graph + dataset + groups, built in one pass;
+* :mod:`repro.service.enrich` — :class:`EnrichmentEngine`, indicator →
+  structured :class:`EnrichmentResult` with typosquat-distance fallback;
+* :mod:`repro.service.cache` — bounded LRU with hit/miss counters and a
+  deduplicating ``batch_enrich`` path;
+* :mod:`repro.service.server` — stdlib JSON HTTP API
+  (``/v1/enrich``, ``/v1/enrich/batch``, ``/v1/stats``, ``/v1/healthz``);
+* :mod:`repro.service.refresh` — incremental index refresh from a
+  :mod:`repro.collection.merge` diff, no full rebuild.
+"""
+
+from repro.service.cache import EnrichmentService, LRUCache, build_service
+from repro.service.enrich import (
+    VERDICT_MALICIOUS,
+    VERDICT_SUSPICIOUS,
+    VERDICT_UNKNOWN,
+    EnrichmentEngine,
+    EnrichmentResult,
+    Indicator,
+)
+from repro.service.index import IntelIndex, source_reliability
+from repro.service.refresh import RefreshStats, refresh_index
+from repro.service.server import create_server, serve
+
+__all__ = [
+    "EnrichmentEngine",
+    "EnrichmentResult",
+    "EnrichmentService",
+    "Indicator",
+    "IntelIndex",
+    "LRUCache",
+    "RefreshStats",
+    "VERDICT_MALICIOUS",
+    "VERDICT_SUSPICIOUS",
+    "VERDICT_UNKNOWN",
+    "build_service",
+    "create_server",
+    "refresh_index",
+    "serve",
+    "source_reliability",
+]

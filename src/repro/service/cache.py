@@ -1,0 +1,127 @@
+"""Bounded LRU caching and the batch enrichment path.
+
+A production enrichment endpoint sees the same indicators over and over
+(the same compromised package queried by every downstream scanner), so
+the service fronts the engine with a bounded LRU keyed on the
+indicator's normalised form. ``batch_enrich`` additionally deduplicates
+within the request, which is what lets a million-indicator stream with
+heavy repetition be answered with a few thousand engine calls and zero
+graph walks.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Dict, Hashable, List, Optional, Sequence
+
+from repro.core.malgraph import MalGraph
+from repro.service.enrich import EnrichmentEngine, EnrichmentResult, Indicator
+from repro.service.index import IntelIndex
+
+
+class LRUCache:
+    """Bounded least-recently-used map with hit/miss/eviction counters."""
+
+    def __init__(self, capacity: int = 4096):
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self._items: "OrderedDict[Hashable, object]" = OrderedDict()
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def __contains__(self, key: Hashable) -> bool:
+        return key in self._items
+
+    def get(self, key: Hashable):
+        """The cached value (counted as hit/miss), or None."""
+        try:
+            value = self._items[key]
+        except KeyError:
+            self.misses += 1
+            return None
+        self.hits += 1
+        self._items.move_to_end(key)
+        return value
+
+    def put(self, key: Hashable, value) -> None:
+        self._items[key] = value
+        self._items.move_to_end(key)
+        if len(self._items) > self.capacity:
+            self._items.popitem(last=False)
+            self.evictions += 1
+
+    def clear(self) -> None:
+        self._items.clear()
+
+    def stats(self) -> Dict[str, int]:
+        return {
+            "size": len(self._items),
+            "capacity": self.capacity,
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+        }
+
+
+class EnrichmentService:
+    """LRU-fronted enrichment: the object the HTTP server exposes."""
+
+    def __init__(self, engine: EnrichmentEngine, capacity: int = 4096):
+        self.engine = engine
+        self.cache = LRUCache(capacity)
+
+    @property
+    def index(self) -> IntelIndex:
+        return self.engine.index
+
+    def enrich(self, indicator: Indicator) -> EnrichmentResult:
+        """Cached single-indicator enrichment."""
+        key = indicator.key()
+        held = self.cache.get(key)
+        if held is not None:
+            return held
+        result = self.engine.enrich(indicator)
+        self.cache.put(key, result)
+        return result
+
+    def batch_enrich(self, indicators: Sequence[Indicator]) -> List[EnrichmentResult]:
+        """Enrich a stream, resolving each distinct indicator once.
+
+        Duplicates within the batch are answered from the batch-local
+        table without touching the cache counters, so ``stats()`` reflects
+        distinct-indicator traffic.
+        """
+        resolved: Dict[tuple, EnrichmentResult] = {}
+        results: List[EnrichmentResult] = []
+        for indicator in indicators:
+            key = indicator.key()
+            held = resolved.get(key)
+            if held is None:
+                held = self.enrich(indicator)
+                resolved[key] = held
+            results.append(held)
+        return results
+
+    def invalidate(self) -> None:
+        """Drop every cached result (after an index refresh)."""
+        self.cache.clear()
+
+    def stats(self) -> Dict:
+        """Cache and index counters for the ``/v1/stats`` endpoint."""
+        return {"cache": self.cache.stats(), "index": self.index.stats()}
+
+
+def build_service(
+    malgraph: MalGraph,
+    capacity: int = 4096,
+    engine: Optional[EnrichmentEngine] = None,
+) -> EnrichmentService:
+    """Index a built graph and wrap it in a cached service."""
+    if engine is None:
+        engine = EnrichmentEngine(IntelIndex.build(malgraph))
+    return EnrichmentService(engine, capacity=capacity)

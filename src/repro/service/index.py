@@ -1,0 +1,316 @@
+"""Inverted indexes over MALGRAPH for O(1) indicator lookup.
+
+The offline graph answers "what is related to package X" by walking
+edges; a serving layer cannot afford a walk per request. The
+:class:`IntelIndex` is built in one pass over the dataset, the graph and
+the DG/DeG/SG/CG group extraction, and afterwards resolves every
+indicator shape the enrichment API accepts — name, name+version, SHA256
+signature, ecosystem, family/group id, actor alias — with dictionary
+lookups.
+
+The index stores :class:`~repro.ecosystem.package.PackageId` keys only
+and resolves entries through the live dataset reference, which is what
+lets :mod:`repro.service.refresh` swap in a merged dataset and index the
+delta without rebuilding anything.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.collection.records import CollectedReport, DatasetEntry, MalwareDataset
+from repro.core.edges import node_id
+from repro.core.graph import EdgeType, PropertyGraph
+from repro.core.groups import GroupKind
+from repro.core.malgraph import MalGraph
+from repro.detection.typosquat import _normalize, damerau_levenshtein
+from repro.intel.sources import SOURCE_INDEX, Sector, SourceProfile
+
+#: Group kinds read as malware families vs attack campaigns (Section IV:
+#: DG/SG groups recover families, DeG/CG groups recover campaigns).
+FAMILY_KINDS = (GroupKind.DG, GroupKind.SG)
+CAMPAIGN_KINDS = (GroupKind.DEG, GroupKind.CG)
+
+#: Sector base weight of :func:`source_reliability` — primary detectors
+#: (industry) rank above retrospective aggregators (academia) above
+#: individual blogs/SNS.
+_SECTOR_RELIABILITY = {
+    Sector.INDUSTRY: 0.80,
+    Sector.ACADEMIA: 0.65,
+    Sector.INDIVIDUAL: 0.40,
+}
+
+
+def source_reliability(profile: SourceProfile) -> float:
+    """Deterministic reliability score in (0, 1) for a source profile.
+
+    Sector sets the base; sharing artifacts (verifiable claims) and a
+    live update cadence each add a bonus.
+    """
+    score = _SECTOR_RELIABILITY[profile.sector]
+    score += 0.15 * profile.share_artifacts
+    if profile.update_interval_days and profile.update_interval_days <= 90:
+        score += 0.04
+    return round(min(score, 0.99), 4)
+
+
+def _deletion_variants(norm: str) -> Set[str]:
+    """The name plus every single-character deletion of it.
+
+    Two names within Damerau-Levenshtein distance 1 always share a
+    variant (SymSpell's observation), so intersecting variant sets turns
+    the near-miss scan into a handful of dict hits.
+    """
+    variants = {norm}
+    for i in range(len(norm)):
+        variants.add(norm[:i] + norm[i + 1 :])
+    return variants
+
+
+class IntelIndex:
+    """One-pass inverted indexes over a built :class:`MalGraph`."""
+
+    def __init__(self, dataset: MalwareDataset, graph: Optional[PropertyGraph] = None):
+        self.dataset = dataset
+        self.graph = graph
+        self._by_name: Dict[str, List] = {}  # lowercase name -> [PackageId]
+        self._by_sha: Dict[str, List] = {}
+        self._by_ecosystem: Dict[str, List] = {}
+        self._groups_of: Dict[object, List[str]] = {}  # PackageId -> [group id]
+        self._group_members: Dict[str, List] = {}
+        self._group_kind: Dict[str, GroupKind] = {}
+        self._actors_of: Dict[object, List[str]] = {}
+        self._actor_packages: Dict[str, List] = {}  # lowercase alias -> ids
+        self._actor_label: Dict[str, str] = {}
+        self._norm_names: Dict[str, Set[str]] = {}  # normalized -> lowercase names
+        self._deletions: Dict[str, Set[str]] = {}  # variant -> normalized names
+        self._indexed_reports: Set[str] = set()
+        self._refresh_groups = 0  # counter for refresh-created group ids
+
+    # -- construction -----------------------------------------------------
+    @classmethod
+    def build(cls, malgraph: MalGraph) -> "IntelIndex":
+        """Index a built graph: entries, groups and report actors."""
+        index = cls(malgraph.dataset, malgraph.graph)
+        for entry in malgraph.dataset.entries:
+            index.add_entry(entry)
+        for kind in GroupKind:
+            for i, group in enumerate(malgraph.groups(kind)):
+                group_id = f"{kind.value}-{i:04d}"
+                index.register_group(
+                    group_id, kind, [m.package for m in group.members]
+                )
+        for report in malgraph.dataset.reports:
+            index.add_report(report)
+        return index
+
+    def add_entry(self, entry: DatasetEntry) -> None:
+        """Register one package in every per-entry index (idempotent)."""
+        pid = entry.package
+        name = pid.name.lower()
+        bucket = self._by_name.setdefault(name, [])
+        if pid not in bucket:
+            bucket.append(pid)
+        eco_bucket = self._by_ecosystem.setdefault(pid.ecosystem, [])
+        if pid not in eco_bucket:
+            eco_bucket.append(pid)
+        self.register_sha(entry)
+        norm = _normalize(pid.name)
+        if norm:
+            self._norm_names.setdefault(norm, set()).add(name)
+            for variant in _deletion_variants(norm):
+                self._deletions.setdefault(variant, set()).add(norm)
+
+    def register_sha(self, entry: DatasetEntry) -> None:
+        """(Re-)index an entry's SHA256 (used when an artifact appears)."""
+        sha = entry.sha256()
+        if sha is None:
+            return
+        bucket = self._by_sha.setdefault(sha, [])
+        if entry.package not in bucket:
+            bucket.append(entry.package)
+
+    def register_group(self, group_id: str, kind: GroupKind, members: Sequence) -> None:
+        """Register a family/campaign group over member package ids."""
+        self._group_kind[group_id] = kind
+        held = self._group_members.setdefault(group_id, [])
+        for pid in members:
+            if pid not in held:
+                held.append(pid)
+            groups = self._groups_of.setdefault(pid, [])
+            if group_id not in groups:
+                groups.append(group_id)
+
+    def next_refresh_group_id(self, kind: GroupKind) -> str:
+        """A fresh ``<kind>-rNNNN`` id for a refresh-discovered group."""
+        self._refresh_groups += 1
+        return f"{kind.value}-r{self._refresh_groups:04d}"
+
+    def add_report(self, report: CollectedReport) -> None:
+        """Index a report's actor alias over its resolved packages."""
+        if report.report_id in self._indexed_reports:
+            return
+        self._indexed_reports.add(report.report_id)
+        if not report.actor_alias:
+            return
+        alias_key = report.actor_alias.lower()
+        self._actor_label.setdefault(alias_key, report.actor_alias)
+        bucket = self._actor_packages.setdefault(alias_key, [])
+        for pid in report.packages:
+            if self.dataset.get(pid) is None:
+                continue
+            if pid not in bucket:
+                bucket.append(pid)
+            aliases = self._actors_of.setdefault(pid, [])
+            if report.actor_alias not in aliases:
+                aliases.append(report.actor_alias)
+
+    # -- lookups ----------------------------------------------------------
+    def entries(self, pids: Iterable) -> List[DatasetEntry]:
+        found = (self.dataset.get(pid) for pid in pids)
+        return [e for e in found if e is not None]
+
+    def lookup_sha256(self, sha256: str) -> List[DatasetEntry]:
+        return self.entries(self._by_sha.get(sha256.lower(), ()))
+
+    def sha_bucket(self, sha256: str) -> List:
+        """Package ids sharing one signature (duplicated-family seed)."""
+        return list(self._by_sha.get(sha256, ()))
+
+    def lookup_name(
+        self, name: str, ecosystem: Optional[str] = None
+    ) -> List[DatasetEntry]:
+        pids = self._by_name.get(name.lower(), ())
+        if ecosystem:
+            pids = [p for p in pids if p.ecosystem == ecosystem]
+        return self.entries(pids)
+
+    def lookup_name_version(
+        self, name: str, version: str, ecosystem: Optional[str] = None
+    ) -> List[DatasetEntry]:
+        return [
+            e
+            for e in self.lookup_name(name, ecosystem)
+            if e.package.version == version
+        ]
+
+    def lookup_ecosystem(self, ecosystem: str) -> List[DatasetEntry]:
+        return self.entries(self._by_ecosystem.get(ecosystem, ()))
+
+    def lookup_actor(self, alias: str) -> List[DatasetEntry]:
+        return self.entries(self._actor_packages.get(alias.lower(), ()))
+
+    def lookup_group(self, group_id: str) -> List[DatasetEntry]:
+        return self.entries(self._group_members.get(group_id, ()))
+
+    def group_kind(self, group_id: str) -> Optional[GroupKind]:
+        return self._group_kind.get(group_id)
+
+    def groups_of(self, pid) -> List[str]:
+        return list(self._groups_of.get(pid, ()))
+
+    def families_of(self, pid) -> List[str]:
+        return [
+            g for g in self._groups_of.get(pid, ()) if self._group_kind[g] in FAMILY_KINDS
+        ]
+
+    def campaigns_of(self, pid) -> List[str]:
+        return [
+            g
+            for g in self._groups_of.get(pid, ())
+            if self._group_kind[g] in CAMPAIGN_KINDS
+        ]
+
+    def actors_of(self, pid) -> List[str]:
+        return list(self._actors_of.get(pid, ()))
+
+    def actor_aliases(self) -> List[str]:
+        return sorted(self._actor_label.values())
+
+    def related(self, pid, limit: int = 25) -> List[str]:
+        """Graph-neighbour node ids across every edge type (capped).
+
+        Packages indexed after an incremental refresh have no graph node
+        yet; they fall back to their group co-members.
+        """
+        nid = node_id(pid)
+        found: Set[str] = set()
+        if self.graph is not None and self.graph.has_node(nid):
+            for edge_type in EdgeType:
+                found.update(self.graph.neighbors(nid, edge_type))
+        else:
+            for group_id in self._groups_of.get(pid, ()):
+                found.update(node_id(p) for p in self._group_members[group_id])
+        found.discard(nid)
+        return sorted(found)[:limit]
+
+    def near_names(
+        self, name: str, ecosystem: Optional[str] = None, max_distance: int = 2
+    ) -> List[Tuple[str, int]]:
+        """Known malicious names within a small edit distance of ``name``.
+
+        Candidates come from the single-deletion neighbourhood (complete
+        for distance <= 1, partial beyond), then the true
+        Damerau-Levenshtein distance filters them. Exact matches are the
+        caller's job and are excluded here.
+        """
+        norm = _normalize(name)
+        if not norm:
+            return []
+        candidates: Set[str] = set()
+        for variant in _deletion_variants(norm):
+            candidates.update(self._deletions.get(variant, ()))
+        candidates.discard(norm)
+        hits: List[Tuple[str, int]] = []
+        for candidate in candidates:
+            distance = damerau_levenshtein(norm, candidate, cap=max_distance + 1)
+            if distance > max_distance:
+                continue
+            for held_name in self._norm_names[candidate]:
+                if ecosystem and not any(
+                    p.ecosystem == ecosystem for p in self._by_name.get(held_name, ())
+                ):
+                    continue
+                hits.append((held_name, distance))
+        hits.sort(key=lambda pair: (pair[1], pair[0]))
+        return hits
+
+    # -- provenance -------------------------------------------------------
+    def source_profiles(self, entries: Sequence[DatasetEntry]) -> List[Dict]:
+        """Source provenance of a match set, best reliability first."""
+        keys: Set[str] = set()
+        for entry in entries:
+            keys.update(entry.sources)
+        rows = []
+        for key in keys:
+            profile = SOURCE_INDEX.get(key)
+            if profile is None:
+                rows.append({"key": key, "label": key, "sector": None, "reliability": 0.25})
+                continue
+            rows.append(
+                {
+                    "key": profile.key,
+                    "label": profile.label,
+                    "sector": profile.sector.value,
+                    "reliability": source_reliability(profile),
+                }
+            )
+        rows.sort(key=lambda r: (-r["reliability"], r["key"]))
+        return rows
+
+    # -- introspection ----------------------------------------------------
+    @property
+    def package_count(self) -> int:
+        return len(self.dataset)
+
+    def stats(self) -> Dict[str, int]:
+        """Index-shape counters for the ``/v1/stats`` endpoint."""
+        return {
+            "packages": len(self.dataset),
+            "names": len(self._by_name),
+            "signatures": len(self._by_sha),
+            "ecosystems": len(self._by_ecosystem),
+            "groups": len(self._group_members),
+            "actors": len(self._actor_packages),
+            "reports": len(self._indexed_reports),
+        }

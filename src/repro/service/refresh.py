@@ -1,0 +1,131 @@
+"""Incremental index refresh from a collection-merge diff.
+
+The paper's future-work loop keeps collecting; a live service cannot
+rebuild its index (and certainly not the similarity clustering) for
+every re-collection. ``refresh_index`` merges the new run into the
+served dataset with :func:`repro.collection.merge.merge_datasets`, takes
+the :func:`~repro.collection.merge.diff_datasets` delta and applies
+exactly that delta to the live :class:`~repro.service.index.IntelIndex`:
+
+* added packages become resolvable by name / name+version / ecosystem;
+* newly recovered artifacts register their SHA256, and signature
+  collisions link the package into a duplicated-family group;
+* new reports contribute actor aliases and co-existing campaign groups.
+
+Similarity (SG) and dependency (DeG) associations require re-running the
+graph build; refreshed packages simply carry none until then. The
+wrapped service's LRU is invalidated so stale verdicts cannot be served.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from repro.collection.merge import DatasetDiff, diff_datasets, merge_datasets
+from repro.collection.records import MalwareDataset
+from repro.core.groups import GroupKind
+from repro.service.cache import EnrichmentService
+from repro.service.index import IntelIndex
+
+
+@dataclass
+class RefreshStats:
+    """What one incremental refresh changed."""
+
+    packages_added: int = 0
+    signatures_updated: int = 0
+    families_linked: int = 0
+    campaigns_added: int = 0
+    reports_added: int = 0
+    cache_cleared: bool = False
+
+    def summary(self) -> str:
+        return (
+            f"+{self.packages_added} packages, "
+            f"{self.signatures_updated} signatures updated, "
+            f"{self.families_linked} family links, "
+            f"+{self.campaigns_added} campaigns, "
+            f"+{self.reports_added} reports"
+            f"{', cache cleared' if self.cache_cleared else ''}"
+        )
+
+
+def _link_duplicate_family(index: IntelIndex, sha256: Optional[str]) -> bool:
+    """Group every package sharing ``sha256`` as a duplicated family.
+
+    Reuses an existing DG group when one of the signature's packages is
+    already in it; otherwise mints a refresh-scoped group id.
+    """
+    if sha256 is None:
+        return False
+    members = index.sha_bucket(sha256)
+    if len(members) < 2:
+        return False
+    group_id = None
+    for pid in members:
+        for held in index.groups_of(pid):
+            if index.group_kind(held) is GroupKind.DG:
+                group_id = held
+                break
+        if group_id:
+            break
+    if group_id is None:
+        group_id = index.next_refresh_group_id(GroupKind.DG)
+    index.register_group(group_id, GroupKind.DG, members)
+    return True
+
+
+def refresh_index(
+    index: IntelIndex,
+    new_dataset: MalwareDataset,
+    service: Optional[EnrichmentService] = None,
+) -> Tuple[MalwareDataset, DatasetDiff, RefreshStats]:
+    """Merge a re-collected dataset into the live index, delta only.
+
+    Returns the merged dataset (now the one the index serves), the diff
+    that was applied, and counters describing the change.
+    """
+    old = index.dataset
+    merged = merge_datasets(old, new_dataset)
+    diff = diff_datasets(old, merged)
+    stats = RefreshStats(reports_added=len(diff.new_reports))
+
+    # The index resolves entries through its dataset reference, so the
+    # swap retargets every already-indexed PackageId at the merged
+    # (possibly claim-richer) entries for free.
+    index.dataset = merged
+
+    for pid in diff.added:
+        entry = merged.get(pid)
+        if entry is None:  # pragma: no cover - diff and merge agree
+            continue
+        index.add_entry(entry)
+        stats.packages_added += 1
+        if _link_duplicate_family(index, entry.sha256()):
+            stats.families_linked += 1
+
+    for pid in diff.newly_available:
+        entry = merged.get(pid)
+        if entry is None:  # pragma: no cover - diff and merge agree
+            continue
+        index.register_sha(entry)
+        stats.signatures_updated += 1
+        if _link_duplicate_family(index, entry.sha256()):
+            stats.families_linked += 1
+
+    new_report_ids = set(diff.new_reports)
+    for report in merged.reports:
+        if report.report_id not in new_report_ids:
+            continue
+        index.add_report(report)
+        resolvable = [p for p in report.packages if merged.get(p) is not None]
+        if len(set(resolvable)) >= 2:
+            group_id = index.next_refresh_group_id(GroupKind.CG)
+            index.register_group(group_id, GroupKind.CG, sorted(set(resolvable)))
+            stats.campaigns_added += 1
+
+    if service is not None:
+        service.invalidate()
+        stats.cache_cleared = True
+    return merged, diff, stats

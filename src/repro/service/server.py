@@ -1,0 +1,137 @@
+"""Stdlib JSON HTTP API over the enrichment service.
+
+A :class:`~http.server.ThreadingHTTPServer` (one thread per connection,
+no new dependencies) exposing:
+
+* ``GET /v1/healthz`` — liveness plus indexed-package count;
+* ``GET /v1/stats`` — cache hit/miss counters and index shape;
+* ``GET /v1/enrich?name=&version=&sha256=&ecosystem=`` — one indicator;
+* ``POST /v1/enrich/batch`` — ``{"indicators": [{...}, ...]}``.
+
+``create_server`` binds (``port=0`` picks an ephemeral port, which the
+tests and the smoke script use); ``serve`` blocks until interrupted.
+"""
+
+from __future__ import annotations
+
+import json
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Dict, Optional, Tuple
+from urllib.parse import parse_qs, urlparse
+
+from repro.service.cache import EnrichmentService
+from repro.service.enrich import Indicator
+
+#: Refuse batches beyond this size so one request cannot pin a worker.
+MAX_BATCH_SIZE = 100_000
+
+
+class IntelRequestHandler(BaseHTTPRequestHandler):
+    """Routes the four ``/v1`` endpoints onto the service."""
+
+    server_version = "repro-intel/1.0"
+
+    @property
+    def service(self) -> EnrichmentService:
+        return self.server.service  # type: ignore[attr-defined]
+
+    # -- plumbing ---------------------------------------------------------
+    def log_message(self, format: str, *args) -> None:  # noqa: A002
+        if getattr(self.server, "verbose", False):
+            super().log_message(format, *args)
+
+    def _reply(self, status: int, payload: Dict) -> None:
+        body = json.dumps(payload).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _error(self, status: int, message: str) -> None:
+        self._reply(status, {"error": message})
+
+    # -- GET --------------------------------------------------------------
+    def do_GET(self) -> None:  # noqa: N802 (http.server API)
+        url = urlparse(self.path)
+        if url.path == "/v1/healthz":
+            self._reply(
+                200, {"status": "ok", "packages": self.service.index.package_count}
+            )
+        elif url.path == "/v1/stats":
+            self._reply(200, self.service.stats())
+        elif url.path == "/v1/enrich":
+            params = {k: v[0] for k, v in parse_qs(url.query).items()}
+            indicator = Indicator.from_dict(params)
+            if indicator.is_empty:
+                self._error(400, "need at least ?name= or ?sha256=")
+                return
+            self._reply(200, self.service.enrich(indicator).to_dict())
+        else:
+            self._error(404, f"unknown path {url.path!r}")
+
+    # -- POST -------------------------------------------------------------
+    def do_POST(self) -> None:  # noqa: N802 (http.server API)
+        if urlparse(self.path).path != "/v1/enrich/batch":
+            self._error(404, f"unknown path {self.path!r}")
+            return
+        length = int(self.headers.get("Content-Length") or 0)
+        try:
+            payload = json.loads(self.rfile.read(length) or b"")
+        except json.JSONDecodeError:
+            self._error(400, "body is not valid JSON")
+            return
+        raw = payload.get("indicators") if isinstance(payload, dict) else None
+        if not isinstance(raw, list):
+            self._error(400, 'body must be {"indicators": [...]}')
+            return
+        if len(raw) > MAX_BATCH_SIZE:
+            self._error(413, f"batch larger than {MAX_BATCH_SIZE}")
+            return
+        indicators = [Indicator.from_dict(item) for item in raw]
+        if any(i.is_empty for i in indicators):
+            self._error(400, "every indicator needs a name or sha256")
+            return
+        results = self.service.batch_enrich(indicators)
+        self._reply(
+            200,
+            {"count": len(results), "results": [r.to_dict() for r in results]},
+        )
+
+
+def create_server(
+    service: EnrichmentService,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    verbose: bool = False,
+) -> ThreadingHTTPServer:
+    """Bind (but do not run) the API server; port 0 = ephemeral."""
+    server = ThreadingHTTPServer((host, port), IntelRequestHandler)
+    server.service = service  # type: ignore[attr-defined]
+    server.verbose = verbose  # type: ignore[attr-defined]
+    return server
+
+
+def server_address(server: ThreadingHTTPServer) -> Tuple[str, int]:
+    """The (host, port) the server actually bound."""
+    host, port = server.server_address[:2]
+    return str(host), int(port)
+
+
+def serve(
+    service: EnrichmentService,
+    host: str = "127.0.0.1",
+    port: int = 8742,
+    verbose: bool = True,
+) -> Optional[ThreadingHTTPServer]:
+    """Run the API until interrupted (the ``repro serve`` entry point)."""
+    server = create_server(service, host=host, port=port, verbose=verbose)
+    bound_host, bound_port = server_address(server)
+    print(f"repro intel service on http://{bound_host}:{bound_port}/v1/enrich")
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:  # pragma: no cover - interactive only
+        print("shutting down")
+    finally:
+        server.server_close()
+    return server

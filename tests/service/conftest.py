@@ -1,0 +1,32 @@
+"""Service-layer fixtures: one graph/index/engine per session over the
+small simulated world, plus a fresh cache per test."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.malgraph import MalGraph
+from repro.service.cache import EnrichmentService
+from repro.service.enrich import EnrichmentEngine
+from repro.service.index import IntelIndex
+
+
+@pytest.fixture(scope="session")
+def service_malgraph(small_dataset) -> MalGraph:
+    return MalGraph.build(small_dataset)
+
+
+@pytest.fixture(scope="session")
+def intel_index(service_malgraph) -> IntelIndex:
+    return IntelIndex.build(service_malgraph)
+
+
+@pytest.fixture(scope="session")
+def engine(intel_index) -> EnrichmentEngine:
+    return EnrichmentEngine(intel_index)
+
+
+@pytest.fixture()
+def service(engine) -> EnrichmentService:
+    """A fresh cache per test so hit/miss counters start at zero."""
+    return EnrichmentService(engine, capacity=1024)

@@ -1,0 +1,102 @@
+"""LRU bounds, hit/miss accounting and batch deduplication."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.service.cache import LRUCache
+from repro.service.enrich import Indicator
+
+
+def test_lru_rejects_silly_capacity():
+    with pytest.raises(ValueError):
+        LRUCache(0)
+
+
+def test_lru_evicts_least_recently_used():
+    cache = LRUCache(capacity=2)
+    cache.put("a", 1)
+    cache.put("b", 2)
+    assert cache.get("a") == 1  # refresh a; b is now oldest
+    cache.put("c", 3)
+    assert "b" not in cache
+    assert cache.get("b") is None
+    assert cache.evictions == 1
+    assert len(cache) == 2
+
+
+def test_lru_counters():
+    cache = LRUCache(capacity=4)
+    cache.put("k", "v")
+    assert cache.get("k") == "v"
+    assert cache.get("missing") is None
+    assert cache.stats() == {
+        "size": 1, "capacity": 4, "hits": 1, "misses": 1, "evictions": 0,
+    }
+
+
+def test_service_hit_accounting(service, small_dataset):
+    indicator = Indicator(name=small_dataset.entries[0].package.name)
+    first = service.enrich(indicator)
+    second = service.enrich(indicator)
+    assert first is second  # served from cache, not recomputed
+    assert service.cache.hits == 1
+    assert service.cache.misses == 1
+
+
+def test_cache_key_is_case_insensitive(service, small_dataset):
+    name = small_dataset.entries[0].package.name
+    service.enrich(Indicator(name=name))
+    service.enrich(Indicator(name=name.upper()))
+    assert service.cache.hits == 1
+
+
+def test_batch_deduplicates_within_request(service, small_dataset):
+    first = small_dataset.entries[0].package.name
+    other = next(
+        e.package.name
+        for e in small_dataset.entries
+        if e.package.name.lower() != first.lower()
+    )
+    a = Indicator(name=first)
+    b = Indicator(name=other)
+    results = service.batch_enrich([a, a, b, a])
+    assert len(results) == 4
+    assert results[0] is results[1] is results[3]
+    # each distinct indicator resolved exactly once; intra-batch
+    # duplicates never touch the cache counters
+    assert service.cache.misses == 2
+    assert service.cache.hits == 0
+
+
+def test_batch_reuses_cache_across_requests(service, small_dataset):
+    indicator = Indicator(name=small_dataset.entries[0].package.name)
+    service.batch_enrich([indicator])
+    service.batch_enrich([indicator, indicator])
+    assert service.cache.misses == 1
+    assert service.cache.hits == 1
+
+
+def test_invalidate_clears_but_keeps_counters(service, small_dataset):
+    indicator = Indicator(name=small_dataset.entries[0].package.name)
+    service.enrich(indicator)
+    service.invalidate()
+    assert len(service.cache) == 0
+    service.enrich(indicator)
+    assert service.cache.misses == 2
+
+
+def test_capacity_bounds_service_cache(engine, small_dataset):
+    from repro.service.cache import EnrichmentService
+
+    bounded = EnrichmentService(engine, capacity=8)
+    for entry in small_dataset.entries[:20]:
+        bounded.enrich(Indicator(name=entry.package.name))
+    assert len(bounded.cache) <= 8
+    assert bounded.cache.evictions > 0
+
+
+def test_stats_merges_cache_and_index(service):
+    stats = service.stats()
+    assert set(stats) == {"cache", "index"}
+    assert stats["index"]["packages"] == service.index.package_count

@@ -1,0 +1,131 @@
+"""Incremental refresh: a merge diff updates the live index in place."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.collection.records import MalwareDataset
+from repro.core.groups import GroupKind
+from repro.core.malgraph import MalGraph
+from repro.service.cache import EnrichmentService, build_service
+from repro.service.enrich import (
+    VERDICT_MALICIOUS,
+    EnrichmentEngine,
+    Indicator,
+)
+from repro.service.index import IntelIndex
+from repro.service.refresh import refresh_index
+
+from tests.core.helpers import dataset, entry, report
+
+
+def _engine(ds) -> EnrichmentEngine:
+    return EnrichmentEngine(IntelIndex.build(MalGraph.build(ds)))
+
+
+def test_added_packages_resolve_after_refresh():
+    engine = _engine(dataset([entry("old-pkg")]))
+    fresh = entry("new-pkg", code="def other():\n    return 1\n")
+    merged, diff, stats = refresh_index(engine.index, dataset([fresh]))
+    assert diff.added == [fresh.package]
+    assert stats.packages_added == 1
+    assert engine.index.dataset is merged
+    result = engine.lookup(name="new-pkg", version="1.0")
+    assert result.verdict == VERDICT_MALICIOUS
+    by_sha = engine.lookup(sha256=fresh.sha256())
+    assert by_sha.matches == ["pypi:new-pkg@1.0"]
+
+
+def test_refresh_links_signature_duplicates_into_family():
+    shared = "def payload():\n    return 'dup'\n"
+    engine = _engine(dataset([entry("seed-pkg", code=shared)]))
+    twin = entry("late-twin", code=shared)
+    _, _, stats = refresh_index(engine.index, dataset([twin]))
+    assert stats.families_linked == 1
+    families = engine.index.families_of(twin.package)
+    assert families
+    assert engine.index.group_kind(families[0]) is GroupKind.DG
+    members = {e.package.name for e in engine.index.lookup_group(families[0])}
+    assert members == {"seed-pkg", "late-twin"}
+    # and the family is reachable from the enrichment result
+    assert engine.lookup(name="late-twin").families == families
+
+
+def test_refresh_extends_existing_duplicated_group():
+    shared = "def payload():\n    return 'trip'\n"
+    engine = _engine(dataset([entry("twin-a", code=shared), entry("twin-b", code=shared)]))
+    existing = engine.index.families_of(
+        engine.index.lookup_name("twin-a")[0].package
+    )
+    assert existing, "seed world should already hold a DG family"
+    third = entry("twin-c", code=shared)
+    refresh_index(engine.index, dataset([third]))
+    assert set(engine.index.families_of(third.package)) & set(existing)
+
+
+def test_refresh_registers_new_reports_as_campaigns():
+    a, b = entry("pkg-a"), entry("pkg-b", code="def b():\n    return 2\n")
+    engine = _engine(dataset([a, b]))
+    covering = report("r-new", [a.package, b.package])
+    covering.actor_alias = "ShadyActor"
+    _, diff, stats = refresh_index(engine.index, dataset([], [covering]))
+    assert diff.new_reports == ["r-new"]
+    assert stats.campaigns_added == 1
+    result = engine.lookup(name="pkg-a")
+    assert result.actors == ["ShadyActor"]
+    assert any(g.startswith("CG-r") for g in result.campaigns)
+
+
+def test_refresh_invalidates_wrapped_service():
+    ds = dataset([entry("old-pkg")])
+    service = build_service(MalGraph.build(ds))
+    fresh = entry("fresh-pkg", code="def f():\n    return 3\n")
+    # a stale negative sits in the cache before the refresh
+    assert service.enrich(Indicator(name="fresh-pkg")).verdict != VERDICT_MALICIOUS
+    _, _, stats = refresh_index(service.index, dataset([fresh]), service=service)
+    assert stats.cache_cleared
+    assert service.enrich(Indicator(name="fresh-pkg")).verdict == VERDICT_MALICIOUS
+
+
+def test_refresh_merges_claims_for_known_packages():
+    held = entry("known-pkg", sources=("snyk",))
+    engine = _engine(dataset([held]))
+    again = entry("known-pkg", sources=("phylum",))
+    merged, diff, stats = refresh_index(engine.index, dataset([again]))
+    assert stats.packages_added == 0
+    assert diff.new_sources == {held.package: {"phylum"}}
+    keys = {row["key"] for row in engine.lookup(name="known-pkg").sources}
+    assert keys == {"snyk", "phylum"}
+
+
+# -- against the simulated world ------------------------------------------
+
+@pytest.fixture(scope="module")
+def split_world_service(small_dataset):
+    """Index built from half the collected world; other half held back."""
+    half = len(small_dataset.entries) // 2
+    old = MalwareDataset(
+        entries=list(small_dataset.entries[:half]),
+        reports=list(small_dataset.reports[: len(small_dataset.reports) // 2]),
+    )
+    held_back = MalwareDataset(
+        entries=list(small_dataset.entries[half:]),
+        reports=list(small_dataset.reports[len(small_dataset.reports) // 2 :]),
+    )
+    return build_service(MalGraph.build(old)), held_back
+
+
+def test_world_refresh_resolves_every_newly_merged_package(split_world_service):
+    service, held_back = split_world_service
+    merged, diff, stats = refresh_index(service.index, held_back, service=service)
+    assert stats.packages_added == len(diff.added) > 0
+    for e in held_back.entries:
+        result = service.enrich(
+            Indicator(
+                name=e.package.name,
+                version=e.package.version,
+                ecosystem=e.package.ecosystem,
+            )
+        )
+        assert result.verdict == VERDICT_MALICIOUS, str(e.package)
+    assert service.index.package_count == len(merged)

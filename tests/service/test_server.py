@@ -1,0 +1,132 @@
+"""End-to-end HTTP round-trips on an ephemeral port."""
+
+from __future__ import annotations
+
+import json
+import threading
+import urllib.error
+import urllib.request
+from urllib.parse import quote
+
+import pytest
+
+from repro.service.cache import EnrichmentService
+from repro.service.server import create_server, server_address
+
+
+@pytest.fixture(scope="module")
+def live(engine):
+    """A running server over the small-world service; yields the base URL."""
+    service = EnrichmentService(engine, capacity=1024)
+    server = create_server(service, port=0)
+    host, port = server_address(server)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    yield f"http://{host}:{port}", service
+    server.shutdown()
+    server.server_close()
+
+
+def _get(url: str):
+    with urllib.request.urlopen(url, timeout=10) as response:
+        return response.status, json.load(response)
+
+
+def _post(url: str, payload) -> tuple:
+    data = payload if isinstance(payload, bytes) else json.dumps(payload).encode()
+    request = urllib.request.Request(
+        url, data=data, headers={"Content-Type": "application/json"}
+    )
+    with urllib.request.urlopen(request, timeout=10) as response:
+        return response.status, json.load(response)
+
+
+def test_healthz(live):
+    base, service = live
+    status, body = _get(f"{base}/v1/healthz")
+    assert status == 200
+    assert body == {"status": "ok", "packages": service.index.package_count}
+
+
+def test_enrich_roundtrip(live, small_dataset):
+    base, _ = live
+    e = small_dataset.entries[0]
+    status, body = _get(
+        f"{base}/v1/enrich?name={quote(e.package.name)}"
+        f"&version={quote(e.package.version)}&ecosystem={e.package.ecosystem}"
+    )
+    assert status == 200
+    assert body["verdict"] == "malicious"
+    assert str(e.package) in body["matches"]
+    assert body["sources"]
+
+
+def test_enrich_by_sha(live, small_dataset):
+    base, _ = live
+    e = small_dataset.available_entries()[0]
+    status, body = _get(f"{base}/v1/enrich?sha256={e.sha256()}")
+    assert status == 200
+    assert body["verdict"] == "malicious"
+
+
+def test_enrich_requires_an_indicator(live):
+    base, _ = live
+    with pytest.raises(urllib.error.HTTPError) as failure:
+        _get(f"{base}/v1/enrich?ecosystem=pypi")
+    assert failure.value.code == 400
+
+
+def test_unknown_path_is_404(live):
+    base, _ = live
+    with pytest.raises(urllib.error.HTTPError) as failure:
+        _get(f"{base}/v1/nope")
+    assert failure.value.code == 404
+
+
+def test_batch_roundtrip(live, small_dataset):
+    base, service = live
+    names = [e.package.name for e in small_dataset.entries[:3]]
+    indicators = [{"name": n} for n in names] + [{"name": names[0]}]
+    status, body = _post(f"{base}/v1/enrich/batch", {"indicators": indicators})
+    assert status == 200
+    assert body["count"] == 4
+    assert [r["verdict"] for r in body["results"]] == ["malicious"] * 4
+    assert body["results"][0] == body["results"][3]  # deduplicated
+    assert service.cache.stats()["size"] > 0
+
+
+def test_batch_rejects_bad_json(live):
+    base, _ = live
+    with pytest.raises(urllib.error.HTTPError) as failure:
+        _post(f"{base}/v1/enrich/batch", b"this is not json")
+    assert failure.value.code == 400
+
+
+def test_batch_rejects_non_list(live):
+    base, _ = live
+    with pytest.raises(urllib.error.HTTPError) as failure:
+        _post(f"{base}/v1/enrich/batch", {"indicators": "nope"})
+    assert failure.value.code == 400
+
+
+def test_batch_rejects_empty_indicator(live):
+    base, _ = live
+    with pytest.raises(urllib.error.HTTPError) as failure:
+        _post(f"{base}/v1/enrich/batch", {"indicators": [{"ecosystem": "pypi"}]})
+    assert failure.value.code == 400
+
+
+def test_post_to_unknown_path_is_404(live):
+    base, _ = live
+    with pytest.raises(urllib.error.HTTPError) as failure:
+        _post(f"{base}/v1/enrich", {"indicators": []})
+    assert failure.value.code == 404
+
+
+def test_stats_endpoint_reports_traffic(live):
+    base, service = live
+    status, body = _get(f"{base}/v1/stats")
+    assert status == 200
+    assert set(body) == {"cache", "index"}
+    assert body["cache"]["capacity"] == service.cache.capacity
+    assert body["index"]["packages"] == service.index.package_count

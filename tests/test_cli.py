@@ -161,6 +161,33 @@ def test_scan_bad_paths(tmp_path, capsys):
     assert main(SMALL + ["scan", str(empty)]) == 2
 
 
+def test_enrich_command_unknown_name(capsys):
+    assert main(SMALL + ["enrich", "surely-not-collected-zz"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["verdict"] in ("unknown", "suspicious")
+    assert set(payload) >= {"verdict", "matches", "families", "campaigns", "actors"}
+
+
+def test_enrich_command_requires_indicator(capsys):
+    assert main(SMALL + ["enrich"]) == 2
+    assert "needs a package name" in capsys.readouterr().err
+
+
+def test_enrich_help(capsys):
+    with pytest.raises(SystemExit) as stop:
+        main(SMALL + ["enrich", "--help"])
+    assert stop.value.code == 0
+    assert "--sha256" in capsys.readouterr().out
+
+
+def test_serve_help(capsys):
+    with pytest.raises(SystemExit) as stop:
+        main(SMALL + ["serve", "--help"])
+    assert stop.value.code == 0
+    out = capsys.readouterr().out
+    assert "--port" in out and "--cache" in out
+
+
 def test_parser_requires_command():
     with pytest.raises(SystemExit):
         build_parser().parse_args([])
