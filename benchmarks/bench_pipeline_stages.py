@@ -2,19 +2,34 @@
 
 Times the three expensive stages behind every experiment — world
 simulation, the Section II collection pipeline, and the MALGRAPH build —
-on a reduced-scale world so the benchmark suite stays fast. The default
-full-scale stages are exercised (already warmed) by the per-table
-benches.
+on a reduced-scale world so the benchmark suite stays fast, plus the
+warm-vs-cold comparison: resolving the full analysis path from a warmed
+disk cache with a fresh :class:`ArtifactStore` (what a new process sees)
+against building it from scratch. The default full-scale stages are
+exercised (already warmed) by the per-table benches.
 """
 
 from __future__ import annotations
 
+import time
+
 import pytest
 
 from repro.core.malgraph import MalGraph
+from repro.pipeline import ArtifactStore, PipelineReport, PipelineRuntime
 from repro.world import WorldConfig, build_world, collect
 
 SMALL = WorldConfig(seed=11, scale=0.25)
+
+
+def fresh_runtime(cache_dir, disk_enabled: bool) -> PipelineRuntime:
+    """A runtime over its own store and report — a cold process in
+    miniature, sharing nothing with the session's global store."""
+    return PipelineRuntime(
+        SMALL,
+        store=ArtifactStore(cache_dir=cache_dir, disk_enabled=disk_enabled),
+        report=PipelineReport(),
+    )
 
 
 @pytest.fixture(scope="module")
@@ -25,6 +40,13 @@ def small_world():
 @pytest.fixture(scope="module")
 def small_dataset(small_world):
     return collect(small_world).dataset
+
+
+@pytest.fixture(scope="module")
+def warmed_cache_dir(tmp_path_factory):
+    cache_dir = tmp_path_factory.mktemp("pipeline-cache")
+    fresh_runtime(cache_dir, disk_enabled=True).warm()
+    return cache_dir
 
 
 def test_stage_world_build(benchmark):
@@ -40,3 +62,34 @@ def test_stage_collection(benchmark, small_world):
 def test_stage_malgraph_build(benchmark, small_dataset):
     graph = benchmark(MalGraph.build, small_dataset)
     assert graph.graph.nodes()
+
+
+def test_stage_resolve_from_disk(benchmark, warmed_cache_dir):
+    """Full analysis path from the warmed disk cache, fresh store each
+    round (the cold-process startup path)."""
+
+    def resolve():
+        return fresh_runtime(warmed_cache_dir, disk_enabled=True).warm()
+
+    runtime = benchmark(resolve)
+    counts = runtime.report.counts()
+    assert counts["malgraph"] == {"hits": 1, "misses": 0}, counts
+
+
+def test_warm_vs_cold_startup_speedup(warmed_cache_dir):
+    """A warmed disk cache must beat a from-scratch build by >= 10x."""
+    started = time.perf_counter()
+    cold = fresh_runtime(None, disk_enabled=False).warm()
+    cold_seconds = time.perf_counter() - started
+
+    started = time.perf_counter()
+    warm = fresh_runtime(warmed_cache_dir, disk_enabled=True).warm()
+    warm_seconds = time.perf_counter() - started
+
+    assert cold.report.counts()["world"]["misses"] == 1
+    for stage, stats in warm.report.counts().items():
+        assert stats == {"hits": 1, "misses": 0}, (stage, stats)
+    assert warm_seconds * 10 <= cold_seconds, (
+        f"warm start {warm_seconds:.3f}s vs cold {cold_seconds:.3f}s "
+        f"({cold_seconds / max(warm_seconds, 1e-9):.1f}x)"
+    )

@@ -2,10 +2,12 @@
 
 Every bench regenerates one table or figure of the paper from the
 canonical deterministic world (seed=7, scale=1.0). The expensive stages
-(world simulation, Section II collection, MALGRAPH build) are warmed once
-per session so each bench times only the analysis it reproduces; the
-pipeline stages themselves are timed separately in
-``bench_pipeline_stages.py``.
+(world simulation, Section II collection, MALGRAPH build) resolve once
+through the shared :mod:`repro.pipeline` artifact store — warmed on
+first use (or straight from a ``python -m repro warm`` disk cache) — so
+each bench times only the analysis it reproduces; the pipeline stages
+themselves, including the warm-vs-cold startup comparison, are timed
+separately in ``bench_pipeline_stages.py``.
 
 Run with::
 

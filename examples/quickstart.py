@@ -3,37 +3,42 @@
 dataset, build MALGRAPH, and print the headline statistics.
 
 This walks the three pipeline stages behind every experiment in the
-paper:
+paper, resolved through the :mod:`repro.pipeline` runtime so each stage
+is fingerprinted, cached and reported:
 
-1. ``build_world``   — multi-year registry/actor/intel simulation
-2. ``collect``       — the Section II collection pipeline
-3. ``MalGraph.build``— the Section III knowledge graph
+1. ``world``       — multi-year registry/actor/intel simulation
+2. ``collection``  — the Section II collection pipeline
+3. ``malgraph``    — the Section III knowledge graph
 
 Run::
 
     python examples/quickstart.py
+
+Run it twice: the second run resolves every stage from the artifact
+cache (see the pipeline report at the end).
 """
 
 from __future__ import annotations
 
 from repro.core.groups import GroupKind
-from repro.core.malgraph import MalGraph
-from repro.world import WorldConfig, build_world, collect
+from repro.pipeline import PipelineRuntime
+from repro.world import WorldConfig
 
 
 def main() -> None:
     # A reduced-scale world keeps the example fast (~seconds). Use
     # scale=1.0 (the default) to regenerate the full paper tables.
     config = WorldConfig(seed=7, scale=0.4)
-    print(f"Building world (seed={config.seed}, scale={config.scale}) ...")
-    world = build_world(config)
+    runtime = PipelineRuntime(config)
+    print(f"Resolving world (seed={config.seed}, scale={config.scale}) ...")
+    world = runtime.world()
     n_releases = sum(len(c.releases) for c in world.corpus.campaigns)
     print(f"  {len(world.corpus.campaigns)} attack campaigns, "
           f"{n_releases} malicious release attempts, "
           f"{len(world.corpus.benign)} benign packages")
 
-    print("Running the Section II collection pipeline ...")
-    result = collect(world)
+    print("Resolving the Section II collection pipeline ...")
+    result = runtime.collection()
     dataset = result.dataset
     available = len(dataset.available_entries())
     print(f"  collected {len(dataset.entries)} records "
@@ -43,8 +48,8 @@ def main() -> None:
           f"from mirror registries")
     print(f"  {len(dataset.reports)} security reports crawled")
 
-    print("Building MALGRAPH ...")
-    graph = MalGraph.build(dataset)
+    print("Resolving MALGRAPH ...")
+    graph = runtime.malgraph()
     for kind in GroupKind:
         groups = graph.groups(kind)
         sizes = [len(g.members) for g in groups]
@@ -62,6 +67,10 @@ def main() -> None:
               f"{entry.downloads} downloads)")
     if len(sg.members) > 8:
         print(f"  ... and {len(sg.members) - 8} more")
+
+    # Every resolution above was recorded — on a second run of this
+    # script the stages load from the disk cache instead of rebuilding.
+    print(f"\n{runtime.report.render()}")
 
 
 if __name__ == "__main__":

@@ -1,0 +1,114 @@
+#!/usr/bin/env python
+"""Smoke test for the pipeline artifact store across processes.
+
+Warms a small world into a temporary disk cache, then re-renders
+Table II from two *fresh* subprocesses — one isolated from the cache
+(``--no-disk-cache``), one reading it — and asserts via the pipeline
+report that the warmed run skipped every expensive stage (world,
+collection and malgraph all report as cache hits) while producing
+byte-identical output. Exits nonzero on any failure.
+
+Usage: PYTHONPATH=src python scripts/smoke_pipeline.py [--seed N] [--scale F]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+import tempfile
+from pathlib import Path
+
+from repro.pipeline import STAGES
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def run_cli(*cli_args: str) -> str:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_ROOT / "src")
+    result = subprocess.run(
+        [sys.executable, "-m", "repro", *cli_args],
+        capture_output=True,
+        text=True,
+        env=env,
+        cwd=REPO_ROOT,
+        check=False,
+    )
+    assert result.returncode == 0, (
+        f"repro {' '.join(cli_args)} failed:\n{result.stderr}"
+    )
+    return result.stdout
+
+
+def report_counts(path: Path) -> dict:
+    return json.loads(path.read_text())["counts"]
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--seed", type=int, default=3)
+    parser.add_argument("--scale", type=float, default=0.1)
+    args = parser.parse_args(argv)
+
+    with tempfile.TemporaryDirectory(prefix="repro-smoke-") as tmp:
+        cache_dir = Path(tmp) / "cache"
+        world_args = ("--seed", str(args.seed), "--scale", str(args.scale))
+
+        warm_json = Path(tmp) / "warm.json"
+        run_cli(
+            *world_args,
+            "--cache-dir", str(cache_dir),
+            "--report-json", str(warm_json),
+            "warm",
+        )
+        warm_counts = report_counts(warm_json)
+        for stage in STAGES:
+            assert warm_counts[stage]["misses"] >= 1, (
+                f"warm run should build {stage}: {warm_counts}"
+            )
+        print(f"warmed cache at {cache_dir}: {warm_counts}")
+
+        # A fresh process isolated from the cache rebuilds everything.
+        cold_json = Path(tmp) / "cold.json"
+        cold_table = run_cli(
+            *world_args,
+            "--no-disk-cache",
+            "--report-json", str(cold_json),
+            "show", "table2",
+        )
+        cold_counts = report_counts(cold_json)
+        for stage in STAGES:
+            assert cold_counts[stage]["misses"] == 1, (
+                f"--no-disk-cache run should rebuild {stage}: {cold_counts}"
+            )
+        print(f"cold rebuild: {cold_counts}")
+
+        # A fresh process pointed at the warmed cache skips every stage.
+        hit_json = Path(tmp) / "hit.json"
+        warm_table = run_cli(
+            *world_args,
+            "--cache-dir", str(cache_dir),
+            "--report-json", str(hit_json),
+            "show", "table2",
+        )
+        hit_counts = report_counts(hit_json)
+        for stage in STAGES:
+            assert hit_counts[stage] == {"hits": 1, "misses": 0}, (
+                f"warmed run should hit {stage}: {hit_counts}"
+            )
+        print(f"warmed reuse: {hit_counts}")
+
+        assert cold_table == warm_table, (
+            "Table II diverged between rebuild and cache reuse:\n"
+            f"--- rebuild ---\n{cold_table}\n--- reuse ---\n{warm_table}"
+        )
+        print("Table II byte-identical across rebuild and cache reuse")
+        print("smoke OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -33,6 +33,11 @@ from repro.detection.detector import Detector, Verdict
 from repro.ecosystem.package import PackageArtifact, PackageId
 from repro.malware.corpus import Corpus, CorpusConfig, build_corpus
 from repro.paper import PaperArtifacts, default_artifacts
+from repro.pipeline import (
+    ArtifactStore,
+    PipelineReport,
+    PipelineRuntime,
+)
 from repro.service import (
     EnrichmentEngine,
     EnrichmentResult,
@@ -55,6 +60,7 @@ from repro.world import (
 __version__ = "1.0.0"
 
 __all__ = [
+    "ArtifactStore",
     "Corpus",
     "CorpusConfig",
     "DatasetEntry",
@@ -72,6 +78,8 @@ __all__ = [
     "PackageGroup",
     "PackageId",
     "PaperArtifacts",
+    "PipelineReport",
+    "PipelineRuntime",
     "PropertyGraph",
     "SimilarityConfig",
     "Verdict",

@@ -4,14 +4,21 @@
 or publishes datasets, exports the graph, runs queries and scans
 packages::
 
+    python -m repro warm                   # build + persist the pipeline cache
     python -m repro tables                 # every table and figure
     python -m repro show table7            # one experiment
+    python -m repro cache info             # inspect the artifact cache
     python -m repro dataset --out data/    # save the collected dataset
     python -m repro publish --out site/    # the transparency website
     python -m repro export --out g/ --format graphml
     python -m repro query "MATCH (a)-[:dependency]-(b) RETURN a.name, b.name"
     python -m repro validate               # groups vs ground truth
     python -m repro scan path/to/package/  # detector verdict for a dir
+
+Every dataset-consuming command resolves the expensive stages through
+the :mod:`repro.pipeline` artifact store; ``--cache-dir`` points it at a
+specific disk cache, ``--no-disk-cache`` keeps it in-memory only, and
+``--report`` / ``--report-json`` expose the per-stage hit/miss report.
 """
 
 from __future__ import annotations
@@ -21,7 +28,7 @@ import sys
 from pathlib import Path
 from typing import Callable, Dict, List, Optional, Sequence
 
-from repro.paper import PaperArtifacts, default_artifacts
+from repro.paper import PaperArtifacts
 from repro.world import WorldConfig
 
 #: experiment key -> PaperArtifacts method name
@@ -46,8 +53,8 @@ EXPERIMENTS: Dict[str, str] = {
 
 
 def _artifacts(args: argparse.Namespace) -> PaperArtifacts:
-    if args.seed == 7 and args.scale == 1.0:
-        return default_artifacts()
+    # Stage-level memoisation lives in the pipeline store, so a fresh
+    # facade per invocation costs nothing beyond the first resolution.
     return PaperArtifacts(WorldConfig(seed=args.seed, scale=args.scale))
 
 
@@ -253,6 +260,47 @@ def cmd_serve(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_warm(args: argparse.Namespace) -> int:
+    from repro import pipeline
+
+    artifacts = _artifacts(args)
+    artifacts.warm()
+    report = pipeline.get_report()
+    print(report.render())
+    store = pipeline.get_store()
+    if store.disk_enabled:
+        print(f"disk cache: {store.cache_dir}")
+    else:
+        print("disk cache: disabled")
+    return 0
+
+
+def cmd_cache(args: argparse.Namespace) -> int:
+    from repro import pipeline
+
+    store = pipeline.get_store()
+    if args.action == "clear":
+        store.clear_memory()
+        removed = store.clear_disk()
+        print(f"removed {removed} cache entries from {store.cache_dir}")
+        return 0
+    entries = store.disk_entries()
+    state = "enabled" if store.disk_enabled else "disabled"
+    print(f"cache dir: {store.cache_dir} (disk {state})")
+    if not entries:
+        print("no cached artifacts")
+        return 0
+    print(f"{'stage':<12} {'fingerprint':<18} {'size':>10}  config")
+    for entry in entries:
+        world = entry["config"].get("world", {})
+        knobs = ", ".join(f"{k}={world[k]}" for k in sorted(world))
+        print(
+            f"{entry['stage']:<12} {entry['fingerprint']:<18} "
+            f"{entry['bytes']:>10}  {knobs}"
+        )
+    return 0
+
+
 def cmd_scan(args: argparse.Namespace) -> int:
     from repro.detection.detector import Detector
     from repro.ecosystem.package import make_artifact
@@ -293,7 +341,36 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--scale", type=float, default=1.0, help="world scale factor"
     )
+    parser.add_argument(
+        "--cache-dir",
+        default=None,
+        help="artifact cache directory (default: $REPRO_CACHE_DIR or ~/.cache/repro)",
+    )
+    parser.add_argument(
+        "--no-disk-cache",
+        action="store_true",
+        help="keep pipeline artifacts in memory only",
+    )
+    parser.add_argument(
+        "--report",
+        action="store_true",
+        help="print the pipeline stage report to stderr on exit",
+    )
+    parser.add_argument(
+        "--report-json",
+        default=None,
+        metavar="FILE",
+        help="write the pipeline stage report as JSON to FILE on exit",
+    )
     sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser(
+        "warm", help="build the pipeline stages and persist the cacheable ones"
+    ).set_defaults(func=cmd_warm)
+
+    cache = sub.add_parser("cache", help="inspect or clear the artifact cache")
+    cache.add_argument("action", choices=("info", "clear"))
+    cache.set_defaults(func=cmd_cache)
 
     sub.add_parser("tables", help="render every table and figure").set_defaults(
         func=cmd_tables
@@ -398,9 +475,27 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
+    import json
+
+    from repro import pipeline
+
     parser = build_parser()
     args = parser.parse_args(argv)
-    return args.func(args)
+    pipeline.configure(
+        cache_dir=args.cache_dir,
+        disk_enabled=False if args.no_disk_cache else None,
+    )
+    pipeline.reset_report()
+    try:
+        return args.func(args)
+    finally:
+        report = pipeline.get_report()
+        if args.report:
+            print(report.render(), file=sys.stderr)
+        if args.report_json:
+            Path(args.report_json).write_text(
+                json.dumps(report.to_dict(), indent=2, sort_keys=True)
+            )
 
 
 if __name__ == "__main__":  # pragma: no cover

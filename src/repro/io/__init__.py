@@ -1,7 +1,9 @@
-"""Persistence: JSONL helpers, dataset save/load, graph exporters and
-the dataset-publication generator."""
+"""Persistence: JSONL helpers, dataset and MALGRAPH save/load, graph
+exporters and the dataset-publication generator."""
 
 from repro.io.datasets import (
+    collection_stats_from_dict,
+    collection_stats_to_dict,
     entry_from_dict,
     entry_to_dict,
     load_dataset,
@@ -11,20 +13,32 @@ from repro.io.datasets import (
 )
 from repro.io.export import iter_pairwise_edges, to_dot, to_graphml, to_neo4j_csv
 from repro.io.jsonl import read_jsonl, write_jsonl
+from repro.io.malgraphs import (
+    load_malgraph,
+    malgraph_from_dict,
+    malgraph_to_dict,
+    save_malgraph,
+)
 from repro.io.publish import PublicationManifest, build_manifest, publish_dataset
 
 __all__ = [
     "PublicationManifest",
     "build_manifest",
+    "collection_stats_from_dict",
+    "collection_stats_to_dict",
     "entry_from_dict",
     "entry_to_dict",
     "iter_pairwise_edges",
     "load_dataset",
+    "load_malgraph",
+    "malgraph_from_dict",
+    "malgraph_to_dict",
     "publish_dataset",
     "read_jsonl",
     "report_from_dict",
     "report_to_dict",
     "save_dataset",
+    "save_malgraph",
     "to_dot",
     "to_graphml",
     "to_neo4j_csv",

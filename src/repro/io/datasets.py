@@ -11,12 +11,14 @@ from __future__ import annotations
 from pathlib import Path
 from typing import List, Optional, Union
 
+from repro.collection.mirrorsearch import MissCause, RecoveryStats
 from repro.collection.records import (
     CollectedReport,
     DatasetEntry,
     MalwareDataset,
     SourceClaim,
 )
+from repro.crawler.spider import CrawlStats
 from repro.ecosystem.package import PackageArtifact, PackageId
 from repro.io.jsonl import read_jsonl, write_jsonl
 
@@ -109,6 +111,64 @@ def report_from_dict(raw: dict) -> CollectedReport:
         ],
         unresolved=[tuple(item) for item in raw.get("unresolved", [])],
         actor_alias=raw.get("actor_alias"),
+    )
+
+
+def collection_stats_to_dict(stats) -> dict:
+    """Serialise a :class:`repro.collection.pipeline.CollectionStats`."""
+    return {
+        "dataset_records": stats.dataset_records,
+        "crawl": {
+            "sites_visited": stats.crawl.sites_visited,
+            "pages_fetched": stats.crawl.pages_fetched,
+            "pages_filtered_out": stats.crawl.pages_filtered_out,
+            "reports_extracted": stats.crawl.reports_extracted,
+            "unusable_reports": stats.crawl.unusable_reports,
+        },
+        "crawled_records": stats.crawled_records,
+        "sns_records": stats.sns_records,
+        "false_positives_dropped": stats.false_positives_dropped,
+        "unknown_mentions": stats.unknown_mentions,
+        "merged_entries": stats.merged_entries,
+        "recovery": {
+            "attempted": stats.recovery.attempted,
+            "recovered": stats.recovery.recovered,
+            "misses": {
+                cause.value: count
+                for cause, count in stats.recovery.misses.items()
+            },
+        },
+    }
+
+
+def collection_stats_from_dict(raw: dict):
+    """Inverse of :func:`collection_stats_to_dict`."""
+    from repro.collection.pipeline import CollectionStats
+
+    crawl_raw = raw.get("crawl", {})
+    recovery_raw = raw.get("recovery", {})
+    return CollectionStats(
+        dataset_records=raw.get("dataset_records", 0),
+        crawl=CrawlStats(
+            sites_visited=crawl_raw.get("sites_visited", 0),
+            pages_fetched=crawl_raw.get("pages_fetched", 0),
+            pages_filtered_out=crawl_raw.get("pages_filtered_out", 0),
+            reports_extracted=crawl_raw.get("reports_extracted", 0),
+            unusable_reports=crawl_raw.get("unusable_reports", 0),
+        ),
+        crawled_records=raw.get("crawled_records", 0),
+        sns_records=raw.get("sns_records", 0),
+        false_positives_dropped=raw.get("false_positives_dropped", 0),
+        unknown_mentions=raw.get("unknown_mentions", 0),
+        merged_entries=raw.get("merged_entries", 0),
+        recovery=RecoveryStats(
+            attempted=recovery_raw.get("attempted", 0),
+            recovered=recovery_raw.get("recovered", 0),
+            misses={
+                MissCause(cause): count
+                for cause, count in recovery_raw.get("misses", {}).items()
+            },
+        ),
     )
 
 

@@ -1,0 +1,131 @@
+"""Save / load a built MALGRAPH.
+
+The graph itself (nodes, pairwise edges, cliques) serialises through
+:meth:`repro.core.graph.PropertyGraph.to_dict`; the group structures the
+:class:`~repro.core.malgraph.MalGraph` facade carries alongside it are
+stored as node-id lists and re-linked against the owning dataset's
+entries on load. Deserialisation therefore needs the *same* collected
+dataset the graph was built from — the pipeline cache guarantees that by
+addressing both artifacts with one configuration fingerprint.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Dict, List, Union
+
+import json
+
+import numpy as np
+
+from repro.collection.records import DatasetEntry, MalwareDataset
+from repro.core.edges import SimilarBuildResult, node_id
+from repro.core.graph import PropertyGraph
+from repro.core.malgraph import MalGraph
+from repro.core.similarity import SimilarityResult
+from repro.errors import DatasetError
+
+PathLike = Union[str, Path]
+
+MALGRAPH_FILENAME = "malgraph.json"
+
+
+def malgraph_to_dict(malgraph: MalGraph) -> dict:
+    """Serialise everything :class:`MalGraph` holds except the dataset."""
+    clustering = malgraph.similar.clustering
+    return {
+        "graph": malgraph.graph.to_dict(),
+        "similar": {
+            "groups": [
+                [node_id(e.package) for e in group]
+                for group in malgraph.similar.groups
+            ],
+            "embedded": [
+                node_id(e.package) for e in malgraph.similar.embedded_entries
+            ],
+            "kmeans_k": clustering.kmeans_k,
+            "labels": [int(label) for label in clustering.labels],
+        },
+        "duplicated_groups": [
+            [node_id(e.package) for e in group]
+            for group in malgraph.duplicated_groups
+        ],
+        "dependency_edges": [
+            [node_id(a.package), node_id(b.package)]
+            for a, b in malgraph.dependency_edges
+        ],
+        "coexisting_groups": [
+            [node_id(e.package) for e in group]
+            for group in malgraph.coexisting_groups
+        ],
+    }
+
+
+def malgraph_from_dict(raw: dict, dataset: MalwareDataset) -> MalGraph:
+    """Re-link a serialised MALGRAPH against its dataset's entries.
+
+    Raises :class:`~repro.errors.DatasetError` when a stored node id has
+    no matching dataset entry — the sign of a payload/dataset mismatch,
+    which cache readers treat as a corrupt entry and rebuild from.
+    """
+    by_node: Dict[str, DatasetEntry] = {
+        node_id(entry.package): entry for entry in dataset.entries
+    }
+
+    def entry_of(node: str) -> DatasetEntry:
+        try:
+            return by_node[node]
+        except KeyError:
+            raise DatasetError(
+                f"serialised MALGRAPH references unknown package node {node!r}"
+            ) from None
+
+    def entries_of(nodes: List[str]) -> List[DatasetEntry]:
+        return [entry_of(node) for node in nodes]
+
+    similar_raw = raw["similar"]
+    embedded = entries_of(similar_raw["embedded"])
+    index_of = {node: i for i, node in enumerate(similar_raw["embedded"])}
+    clustering = SimilarityResult(
+        groups=[
+            sorted(index_of[node] for node in group)
+            for group in similar_raw["groups"]
+        ],
+        labels=np.asarray(similar_raw["labels"], dtype=np.int64),
+        kmeans_k=similar_raw["kmeans_k"],
+    )
+    similar = SimilarBuildResult(
+        groups=[entries_of(group) for group in similar_raw["groups"]],
+        clustering=clustering,
+        embedded_entries=embedded,
+    )
+    return MalGraph(
+        graph=PropertyGraph.from_dict(raw["graph"]),
+        dataset=dataset,
+        similar=similar,
+        duplicated_groups=[
+            entries_of(group) for group in raw.get("duplicated_groups", [])
+        ],
+        dependency_edges=[
+            (entry_of(u), entry_of(v))
+            for u, v in raw.get("dependency_edges", [])
+        ],
+        coexisting_groups=[
+            entries_of(group) for group in raw.get("coexisting_groups", [])
+        ],
+    )
+
+
+def save_malgraph(malgraph: MalGraph, directory: PathLike) -> Path:
+    """Write ``malgraph.json`` under ``directory`` (dataset not included)."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    target = directory / MALGRAPH_FILENAME
+    target.write_text(json.dumps(malgraph_to_dict(malgraph), sort_keys=True))
+    return directory
+
+
+def load_malgraph(directory: PathLike, dataset: MalwareDataset) -> MalGraph:
+    """Load a MALGRAPH written by :func:`save_malgraph`."""
+    payload = (Path(directory) / MALGRAPH_FILENAME).read_text()
+    return malgraph_from_dict(json.loads(payload), dataset)

@@ -1,9 +1,10 @@
 """One-stop facade for regenerating the paper's evaluation.
 
-:class:`PaperArtifacts` memoises the expensive pipeline stages (world,
-collection, MALGRAPH) and exposes one method per table/figure, each
-returning a typed result object with a ``render()`` method. The
-benchmark harness is a thin wrapper over this module.
+:class:`PaperArtifacts` resolves the expensive pipeline stages (world,
+collection, MALGRAPH) through the shared :mod:`repro.pipeline` artifact
+store and exposes one method per table/figure, each returning a typed
+result object with a ``render()`` method. The benchmark harness is a
+thin wrapper over this module.
 """
 
 from __future__ import annotations
@@ -48,19 +49,29 @@ from repro.collection.pipeline import CollectionResult
 from repro.collection.records import MalwareDataset
 from repro.core.malgraph import MalGraph
 from repro.core.similarity import SimilarityConfig
-from repro.world import World, WorldConfig, build_world, collect
+from repro.ecosystem.clock import STUDY_HORIZON_DAYS
+from repro.pipeline import PipelineRuntime
+from repro.world import World, WorldConfig
 
 
 class PaperArtifacts:
-    """World + dataset + MALGRAPH for one configuration, lazily built."""
+    """World + dataset + MALGRAPH for one configuration, lazily resolved.
+
+    Stages resolve through the shared :mod:`repro.pipeline` artifact
+    store, so two facades over the same configuration (or a facade and a
+    ``repro.world`` default, or a fresh process reading a warmed disk
+    cache) share one copy of each artifact.
+    """
 
     def __init__(
         self,
         config: Optional[WorldConfig] = None,
         similarity: Optional[SimilarityConfig] = None,
+        runtime: Optional[PipelineRuntime] = None,
     ):
         self.config = config or WorldConfig()
         self.similarity = similarity if similarity is not None else SimilarityConfig()
+        self.runtime = runtime or PipelineRuntime(self.config, self.similarity)
         self._world: Optional[World] = None
         self._collection: Optional[CollectionResult] = None
         self._malgraph: Optional[MalGraph] = None
@@ -69,13 +80,13 @@ class PaperArtifacts:
     @property
     def world(self) -> World:
         if self._world is None:
-            self._world = build_world(self.config)
+            self._world = self.runtime.world()
         return self._world
 
     @property
     def collection(self) -> CollectionResult:
         if self._collection is None:
-            self._collection = collect(self.world)
+            self._collection = self.runtime.collection()
         return self._collection
 
     @property
@@ -85,12 +96,14 @@ class PaperArtifacts:
     @property
     def malgraph(self) -> MalGraph:
         if self._malgraph is None:
-            self._malgraph = MalGraph.build(self.dataset, self.similarity)
+            self._malgraph = self.runtime.malgraph()
         return self._malgraph
 
     def warm(self) -> "PaperArtifacts":
-        """Force-build every stage (useful before benchmarking)."""
+        """Resolve every analysis-path stage (and persist the cacheable
+        ones), so later accesses — and later processes — start warm."""
         self.malgraph
+        self.collection
         return self
 
     # -- experiments ------------------------------------------------------
@@ -152,11 +165,32 @@ class PaperArtifacts:
         return compute_insights(self)
 
 
-@lru_cache(maxsize=2)
-def _cached_artifacts(seed: int, scale: float) -> PaperArtifacts:
-    return PaperArtifacts(WorldConfig(seed=seed, scale=scale)).warm()
+@lru_cache(maxsize=8)
+def _cached_artifacts(
+    config: WorldConfig, similarity: SimilarityConfig
+) -> PaperArtifacts:
+    # Keyed on the *complete* configuration (every WorldConfig and
+    # SimilarityConfig field), so configurations differing only in
+    # horizon, detection_latency_scale or a similarity knob can no
+    # longer alias to one bundle. The stages themselves are shared via
+    # the pipeline store, so extra facade instances are cheap.
+    return PaperArtifacts(config, similarity).warm()
 
 
-def default_artifacts(seed: int = 7, scale: float = 1.0) -> PaperArtifacts:
+def default_artifacts(
+    seed: int = 7,
+    scale: float = 1.0,
+    horizon: int = STUDY_HORIZON_DAYS,
+    detection_latency_scale: float = 1.0,
+    similarity: Optional[SimilarityConfig] = None,
+) -> PaperArtifacts:
     """The canonical, fully warmed artifact bundle (memoised)."""
-    return _cached_artifacts(seed, scale)
+    config = WorldConfig(
+        seed=seed,
+        scale=scale,
+        horizon=horizon,
+        detection_latency_scale=detection_latency_scale,
+    )
+    return _cached_artifacts(
+        config, similarity if similarity is not None else SimilarityConfig()
+    )

@@ -1,0 +1,60 @@
+"""Canonical configuration fingerprints for pipeline artifacts.
+
+Every cached artifact is addressed by ``(stage, fingerprint)`` where the
+fingerprint hashes *all* of the configuration the stage's output depends
+on — the full :class:`~repro.world.WorldConfig` (seed, scale, horizon,
+detection_latency_scale) and, for stages downstream of the similarity
+pipeline, the full :class:`~repro.core.similarity.SimilarityConfig`.
+Hashing the complete config closes the aliasing bug the old
+``lru_cache`` keys had, where two configurations differing only in
+horizon or similarity knobs collapsed onto one cache slot.
+
+The payload is canonical JSON (sorted keys, no whitespace) so the digest
+is stable across processes and Python versions; :data:`SCHEMA_VERSION`
+is folded into every digest and stamped into on-disk metadata, so a
+format change invalidates old cache entries instead of misreading them.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import asdict
+from typing import Optional
+
+from repro.core.similarity import SimilarityConfig
+from repro.world import WorldConfig
+
+#: Bump when the serialised artifact formats change; old disk entries are
+#: then treated as misses and rebuilt.
+SCHEMA_VERSION = 1
+
+#: Hex digits kept from the SHA256 digest (64 bits; collisions across a
+#: handful of configurations are not a realistic concern).
+FINGERPRINT_LENGTH = 16
+
+
+def config_payload(
+    config: WorldConfig, similarity: Optional[SimilarityConfig] = None
+) -> dict:
+    """The exact dict that gets hashed (and stamped into disk metadata)."""
+    payload = {"world": asdict(config)}
+    if similarity is not None:
+        payload["similarity"] = asdict(similarity)
+    return payload
+
+
+def fingerprint(
+    stage: str,
+    config: WorldConfig,
+    similarity: Optional[SimilarityConfig] = None,
+) -> str:
+    """Deterministic content address for one stage's artifact."""
+    body = {
+        "schema": SCHEMA_VERSION,
+        "stage": stage,
+        "config": config_payload(config, similarity),
+    }
+    canonical = json.dumps(body, sort_keys=True, separators=(",", ":"))
+    digest = hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+    return digest[:FINGERPRINT_LENGTH]

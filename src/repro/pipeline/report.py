@@ -1,0 +1,113 @@
+"""Observability over the stage DAG: what ran, what was cached, how long.
+
+Every stage resolution appends one :class:`StageRun` to a
+:class:`PipelineReport` — a hit (served from the memory tier, loaded
+from disk, or elided because a downstream artifact made the stage
+unnecessary) or a miss (built from scratch). The CLI exposes the
+process-wide report via ``--report`` / ``--report-json`` and the
+``warm`` command; ``scripts/smoke_pipeline.py`` asserts on its counts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+#: A stage served from cache (memory, disk, or elided entirely).
+STATUS_HIT = "hit"
+#: A stage that had to be built.
+STATUS_MISS = "miss"
+
+SOURCE_MEMORY = "memory"
+SOURCE_DISK = "disk"
+SOURCE_BUILD = "build"
+#: The stage was never executed because a downstream artifact resolved
+#: from cache without needing it (e.g. the world simulation when the
+#: collected dataset came off disk).
+SOURCE_ELIDED = "elided"
+
+
+@dataclass
+class StageRun:
+    """One resolution of one stage."""
+
+    stage: str
+    status: str  # STATUS_HIT | STATUS_MISS
+    source: str  # SOURCE_MEMORY | SOURCE_DISK | SOURCE_BUILD | SOURCE_ELIDED
+    seconds: float
+    fingerprint: str
+
+    def to_dict(self) -> dict:
+        return {
+            "stage": self.stage,
+            "status": self.status,
+            "source": self.source,
+            "seconds": self.seconds,
+            "fingerprint": self.fingerprint,
+        }
+
+
+@dataclass
+class PipelineReport:
+    """Append-only log of stage resolutions plus aggregate counts."""
+
+    runs: List[StageRun] = field(default_factory=list)
+
+    def record(
+        self,
+        stage: str,
+        status: str,
+        source: str,
+        seconds: float,
+        fingerprint: str,
+    ) -> StageRun:
+        run = StageRun(
+            stage=stage,
+            status=status,
+            source=source,
+            seconds=seconds,
+            fingerprint=fingerprint,
+        )
+        self.runs.append(run)
+        return run
+
+    def counts(self) -> Dict[str, Dict[str, int]]:
+        """Per-stage ``{"hits": n, "misses": n}`` totals."""
+        totals: Dict[str, Dict[str, int]] = {}
+        for run in self.runs:
+            bucket = totals.setdefault(run.stage, {"hits": 0, "misses": 0})
+            if run.status == STATUS_HIT:
+                bucket["hits"] += 1
+            else:
+                bucket["misses"] += 1
+        return totals
+
+    @property
+    def total_seconds(self) -> float:
+        return sum(run.seconds for run in self.runs)
+
+    def clear(self) -> None:
+        self.runs.clear()
+
+    def to_dict(self) -> dict:
+        return {
+            "runs": [run.to_dict() for run in self.runs],
+            "counts": self.counts(),
+            "total_seconds": self.total_seconds,
+        }
+
+    def render(self) -> str:
+        """ASCII table of every stage resolution, oldest first."""
+        lines = ["pipeline report", "stage       status  source   seconds"]
+        for run in self.runs:
+            lines.append(
+                f"{run.stage:<11} {run.status:<7} {run.source:<8} "
+                f"{run.seconds:8.3f}"
+            )
+        counts = self.counts()
+        summary = ", ".join(
+            f"{stage}: {c['hits']} hit / {c['misses']} miss"
+            for stage, c in sorted(counts.items())
+        )
+        lines.append(summary if summary else "(no stages resolved)")
+        return "\n".join(lines)

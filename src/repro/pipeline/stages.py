@@ -1,0 +1,231 @@
+"""The stage DAG: ``world -> collection -> malgraph`` behind one runtime.
+
+:class:`PipelineRuntime` binds a configuration (``WorldConfig`` +
+``SimilarityConfig``) to an :class:`~repro.pipeline.store.ArtifactStore`
+and a :class:`~repro.pipeline.report.PipelineReport`. Each stage resolves
+through the store — memory tier first, then disk, then a build — and
+every resolution is recorded in the report with its wall time.
+
+The world stage is memory-only (a :class:`~repro.world.World` holds live
+registries, mirrors and a simulated web; persisting it buys nothing the
+downstream artifacts don't already capture). The collection and malgraph
+stages persist to disk through the :mod:`repro.io` JSON formats, which
+is what makes a warmed cache survive into new processes.
+"""
+
+from __future__ import annotations
+
+import time
+from pathlib import Path
+from typing import Optional
+
+from repro.collection.pipeline import CollectionResult
+from repro.collection.records import MalwareDataset
+from repro.core.malgraph import MalGraph
+from repro.core.similarity import SimilarityConfig
+from repro.pipeline.fingerprint import config_payload, fingerprint
+from repro.pipeline.report import (
+    PipelineReport,
+    SOURCE_BUILD,
+    SOURCE_DISK,
+    SOURCE_ELIDED,
+    SOURCE_MEMORY,
+    STATUS_HIT,
+    STATUS_MISS,
+)
+from repro.pipeline.store import ArtifactStore
+from repro.world import World, WorldConfig, build_world, collect
+
+STAGE_WORLD = "world"
+STAGE_COLLECTION = "collection"
+STAGE_MALGRAPH = "malgraph"
+
+#: Resolution order; each stage's direct input is the one before it.
+STAGES = (STAGE_WORLD, STAGE_COLLECTION, STAGE_MALGRAPH)
+
+
+class CollectionCodec:
+    """Disk format for a :class:`CollectionResult`: the dataset via
+    :mod:`repro.io.datasets` JSONL plus the pipeline stats as JSON."""
+
+    STATS_FILENAME = "stats.json"
+
+    def save(self, result: CollectionResult, directory: Path) -> None:
+        import json
+
+        from repro.io.datasets import collection_stats_to_dict, save_dataset
+
+        save_dataset(result.dataset, directory)
+        (directory / self.STATS_FILENAME).write_text(
+            json.dumps(collection_stats_to_dict(result.stats), sort_keys=True)
+        )
+
+    def load(self, directory: Path) -> CollectionResult:
+        import json
+
+        from repro.io.datasets import collection_stats_from_dict, load_dataset
+
+        dataset = load_dataset(directory)
+        stats = collection_stats_from_dict(
+            json.loads((directory / self.STATS_FILENAME).read_text())
+        )
+        return CollectionResult(dataset=dataset, stats=stats)
+
+
+class MalGraphCodec:
+    """Disk format for a built MALGRAPH; loading re-links the graph's
+    group structures against the dataset the graph was built from."""
+
+    def __init__(self, dataset: MalwareDataset):
+        self.dataset = dataset
+
+    def save(self, malgraph: MalGraph, directory: Path) -> None:
+        from repro.io.malgraphs import save_malgraph
+
+        save_malgraph(malgraph, directory)
+
+    def load(self, directory: Path) -> MalGraph:
+        from repro.io.malgraphs import load_malgraph
+
+        return load_malgraph(directory, self.dataset)
+
+
+class PipelineRuntime:
+    """Resolve pipeline stages for one configuration through the store."""
+
+    def __init__(
+        self,
+        config: Optional[WorldConfig] = None,
+        similarity: Optional[SimilarityConfig] = None,
+        store: Optional[ArtifactStore] = None,
+        report: Optional[PipelineReport] = None,
+    ):
+        from repro import pipeline as _pipeline
+
+        self.config = config if config is not None else WorldConfig()
+        self.similarity = (
+            similarity if similarity is not None else SimilarityConfig()
+        )
+        self.store = store if store is not None else _pipeline.get_store()
+        self.report = report if report is not None else _pipeline.get_report()
+
+    # -- fingerprints ------------------------------------------------------
+    def fingerprint(self, stage: str) -> str:
+        if stage == STAGE_MALGRAPH:
+            return fingerprint(stage, self.config, self.similarity)
+        return fingerprint(stage, self.config)
+
+    def _config_payload(self, stage: str) -> dict:
+        if stage == STAGE_MALGRAPH:
+            return config_payload(self.config, self.similarity)
+        return config_payload(self.config)
+
+    # -- public stage accessors -------------------------------------------
+    def world(self) -> World:
+        return self._resolve_world()
+
+    def collection(self) -> CollectionResult:
+        return self._resolve_collection()
+
+    def dataset(self) -> MalwareDataset:
+        return self.collection().dataset
+
+    def malgraph(self) -> MalGraph:
+        return self._resolve_malgraph()
+
+    def warm(self) -> "PipelineRuntime":
+        """Resolve the full analysis path (persisting what is cacheable)."""
+        self.malgraph()
+        return self
+
+    # -- bookkeeping -------------------------------------------------------
+    def _record(
+        self, stage: str, status: str, source: str, started: float
+    ) -> None:
+        self.report.record(
+            stage,
+            status,
+            source,
+            time.perf_counter() - started,
+            self.fingerprint(stage),
+        )
+
+    def _record_elided(self, *stages: str) -> None:
+        """Stages a cache hit made unnecessary count as zero-cost hits."""
+        for stage in stages:
+            self.report.record(
+                stage, STATUS_HIT, SOURCE_ELIDED, 0.0, self.fingerprint(stage)
+            )
+
+    # -- resolution --------------------------------------------------------
+    def _resolve_world(self) -> World:
+        fp = self.fingerprint(STAGE_WORLD)
+        started = time.perf_counter()
+        world = self.store.get_memory(STAGE_WORLD, fp)
+        if world is not None:
+            self._record(STAGE_WORLD, STATUS_HIT, SOURCE_MEMORY, started)
+            return world
+        world = build_world(self.config)
+        self.store.put_memory(STAGE_WORLD, fp, world)
+        self._record(STAGE_WORLD, STATUS_MISS, SOURCE_BUILD, started)
+        return world
+
+    def _resolve_collection(self) -> CollectionResult:
+        fp = self.fingerprint(STAGE_COLLECTION)
+        started = time.perf_counter()
+        result = self.store.get_memory(STAGE_COLLECTION, fp)
+        if result is not None:
+            self._record(STAGE_COLLECTION, STATUS_HIT, SOURCE_MEMORY, started)
+            self._record_elided(STAGE_WORLD)
+            return result
+        codec = CollectionCodec()
+        if self.store.has_disk(STAGE_COLLECTION, fp):
+            result = self.store.get_disk(STAGE_COLLECTION, fp, codec)
+            if result is not None:
+                self.store.put_memory(STAGE_COLLECTION, fp, result)
+                self._record(STAGE_COLLECTION, STATUS_HIT, SOURCE_DISK, started)
+                self._record_elided(STAGE_WORLD)
+                return result
+        world = self._resolve_world()
+        started = time.perf_counter()
+        result = collect(world)
+        self.store.put_memory(STAGE_COLLECTION, fp, result)
+        self.store.put_disk(
+            STAGE_COLLECTION, fp, result, codec, self._config_payload(STAGE_COLLECTION)
+        )
+        self._record(STAGE_COLLECTION, STATUS_MISS, SOURCE_BUILD, started)
+        return result
+
+    def _resolve_malgraph(self) -> MalGraph:
+        fp = self.fingerprint(STAGE_MALGRAPH)
+        started = time.perf_counter()
+        malgraph = self.store.get_memory(STAGE_MALGRAPH, fp)
+        if malgraph is not None:
+            self._record(STAGE_MALGRAPH, STATUS_HIT, SOURCE_MEMORY, started)
+            self._record_elided(STAGE_COLLECTION, STAGE_WORLD)
+            return malgraph
+        if self.store.has_disk(STAGE_MALGRAPH, fp):
+            # Loading needs the dataset, so the collection stage resolves
+            # (and reports) itself; only stages nothing touched are elided.
+            dataset = self.dataset()
+            started = time.perf_counter()
+            malgraph = self.store.get_disk(
+                STAGE_MALGRAPH, fp, MalGraphCodec(dataset)
+            )
+            if malgraph is not None:
+                self.store.put_memory(STAGE_MALGRAPH, fp, malgraph)
+                self._record(STAGE_MALGRAPH, STATUS_HIT, SOURCE_DISK, started)
+                return malgraph
+        dataset = self.dataset()
+        started = time.perf_counter()
+        malgraph = MalGraph.build(dataset, self.similarity)
+        self.store.put_memory(STAGE_MALGRAPH, fp, malgraph)
+        self.store.put_disk(
+            STAGE_MALGRAPH,
+            fp,
+            malgraph,
+            MalGraphCodec(dataset),
+            self._config_payload(STAGE_MALGRAPH),
+        )
+        self._record(STAGE_MALGRAPH, STATUS_MISS, SOURCE_BUILD, started)
+        return malgraph

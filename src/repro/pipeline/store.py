@@ -1,0 +1,217 @@
+"""Two-tier artifact store: bounded in-memory LRU + on-disk cache.
+
+The memory tier keys live objects by ``(stage, fingerprint)`` so every
+facade in one process (``repro.world`` defaults, ``PaperArtifacts``, the
+service, benchmarks) shares a single copy of each expensive artifact.
+The disk tier persists serialisable stages (the collected dataset and
+the built MALGRAPH) under ``<cache_dir>/<stage>/<fingerprint>/`` so a
+*new* process skips the simulation entirely.
+
+Robustness rules, in order of importance:
+
+* never crash the pipeline because of the cache — any I/O or decode
+  failure degrades to a miss and the stage rebuilds;
+* a reader never observes a partial entry — writers build a temp
+  directory and ``os.replace`` it into place atomically;
+* entries written by an incompatible version are detected by the
+  ``schema_version`` stamp in ``meta.json`` and treated as misses.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import shutil
+import threading
+import uuid
+from collections import OrderedDict
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Tuple, Union
+
+from repro.pipeline.fingerprint import SCHEMA_VERSION
+
+PathLike = Union[str, Path]
+
+#: Environment overrides honoured when no explicit argument is given.
+CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+NO_DISK_CACHE_ENV = "REPRO_NO_DISK_CACHE"
+
+META_FILENAME = "meta.json"
+
+#: Default bound on live artifacts held in memory (a full-scale world
+#: plus its collection and MALGRAPH is three entries).
+DEFAULT_MEMORY_CAPACITY = 8
+
+
+def default_cache_dir() -> Path:
+    """``$REPRO_CACHE_DIR``, else ``~/.cache/repro``."""
+    override = os.environ.get(CACHE_DIR_ENV)
+    if override:
+        return Path(override).expanduser()
+    return Path("~/.cache/repro").expanduser()
+
+
+class ArtifactStore:
+    """Bounded memory LRU in front of an optional on-disk cache."""
+
+    def __init__(
+        self,
+        cache_dir: Optional[PathLike] = None,
+        disk_enabled: Optional[bool] = None,
+        memory_capacity: int = DEFAULT_MEMORY_CAPACITY,
+    ):
+        self.cache_dir = (
+            Path(cache_dir).expanduser() if cache_dir else default_cache_dir()
+        )
+        if disk_enabled is None:
+            disk_enabled = not os.environ.get(NO_DISK_CACHE_ENV)
+        self.disk_enabled = bool(disk_enabled)
+        self.memory_capacity = memory_capacity
+        self._memory: "OrderedDict[Tuple[str, str], Any]" = OrderedDict()
+        self._lock = threading.RLock()
+
+    # -- memory tier -------------------------------------------------------
+    def get_memory(self, stage: str, fingerprint: str) -> Optional[Any]:
+        with self._lock:
+            key = (stage, fingerprint)
+            if key not in self._memory:
+                return None
+            self._memory.move_to_end(key)
+            return self._memory[key]
+
+    def put_memory(self, stage: str, fingerprint: str, obj: Any) -> None:
+        with self._lock:
+            key = (stage, fingerprint)
+            self._memory[key] = obj
+            self._memory.move_to_end(key)
+            while len(self._memory) > self.memory_capacity:
+                self._memory.popitem(last=False)
+
+    def clear_memory(self) -> None:
+        with self._lock:
+            self._memory.clear()
+
+    @property
+    def memory_size(self) -> int:
+        with self._lock:
+            return len(self._memory)
+
+    # -- disk tier ---------------------------------------------------------
+    def _entry_dir(self, stage: str, fingerprint: str) -> Path:
+        return self.cache_dir / stage / fingerprint
+
+    def _read_meta(self, entry_dir: Path) -> Optional[dict]:
+        try:
+            raw = json.loads((entry_dir / META_FILENAME).read_text())
+        except (OSError, ValueError):
+            return None
+        if not isinstance(raw, dict):
+            return None
+        return raw
+
+    def _meta_valid(self, meta: Optional[dict], stage: str, fingerprint: str) -> bool:
+        return (
+            meta is not None
+            and meta.get("schema_version") == SCHEMA_VERSION
+            and meta.get("stage") == stage
+            and meta.get("fingerprint") == fingerprint
+        )
+
+    def has_disk(self, stage: str, fingerprint: str) -> bool:
+        """A structurally valid (schema-matching) entry exists on disk."""
+        if not self.disk_enabled:
+            return False
+        entry_dir = self._entry_dir(stage, fingerprint)
+        return self._meta_valid(self._read_meta(entry_dir), stage, fingerprint)
+
+    def get_disk(self, stage: str, fingerprint: str, codec) -> Optional[Any]:
+        """Load one entry, or ``None`` on any miss/corruption/mismatch."""
+        if not self.disk_enabled:
+            return None
+        entry_dir = self._entry_dir(stage, fingerprint)
+        if not self._meta_valid(self._read_meta(entry_dir), stage, fingerprint):
+            return None
+        try:
+            return codec.load(entry_dir)
+        except Exception:
+            # Corrupt payload: a miss, never a crash. Leave removal to the
+            # writer that replaces the entry.
+            return None
+
+    def put_disk(
+        self,
+        stage: str,
+        fingerprint: str,
+        obj: Any,
+        codec,
+        config_payload: Optional[dict] = None,
+    ) -> bool:
+        """Atomically (re)write one entry; best-effort, returns success."""
+        if not self.disk_enabled:
+            return False
+        final = self._entry_dir(stage, fingerprint)
+        tmp = final.parent / f".tmp-{fingerprint}-{os.getpid()}-{uuid.uuid4().hex[:8]}"
+        try:
+            tmp.mkdir(parents=True, exist_ok=False)
+            codec.save(obj, tmp)
+            meta = {
+                "schema_version": SCHEMA_VERSION,
+                "stage": stage,
+                "fingerprint": fingerprint,
+                "config": config_payload or {},
+            }
+            (tmp / META_FILENAME).write_text(json.dumps(meta, sort_keys=True))
+            if final.exists():
+                # Stale or corrupt entry being replaced; a concurrent
+                # reader mid-load falls back to a rebuild.
+                shutil.rmtree(final, ignore_errors=True)
+            os.replace(tmp, final)
+            return True
+        except OSError:
+            # Lost a race with another writer, or the cache dir is not
+            # writable; either way the build result is still returned.
+            shutil.rmtree(tmp, ignore_errors=True)
+            return False
+
+    def clear_disk(self) -> int:
+        """Delete every disk entry; returns the number removed."""
+        removed = 0
+        if not self.cache_dir.exists():
+            return removed
+        for stage_dir in sorted(self.cache_dir.iterdir()):
+            if not stage_dir.is_dir():
+                continue
+            for entry in sorted(stage_dir.iterdir()):
+                if entry.is_dir():
+                    shutil.rmtree(entry, ignore_errors=True)
+                    removed += 1
+            try:
+                stage_dir.rmdir()
+            except OSError:
+                pass
+        return removed
+
+    def disk_entries(self) -> List[Dict[str, Any]]:
+        """Inventory of valid disk entries (for ``repro cache info``)."""
+        entries: List[Dict[str, Any]] = []
+        if not (self.disk_enabled and self.cache_dir.exists()):
+            return entries
+        for stage_dir in sorted(self.cache_dir.iterdir()):
+            if not stage_dir.is_dir() or stage_dir.name.startswith("."):
+                continue
+            for entry in sorted(stage_dir.iterdir()):
+                meta = self._read_meta(entry)
+                if not self._meta_valid(meta, stage_dir.name, entry.name):
+                    continue
+                size = sum(
+                    f.stat().st_size for f in entry.rglob("*") if f.is_file()
+                )
+                entries.append(
+                    {
+                        "stage": stage_dir.name,
+                        "fingerprint": entry.name,
+                        "bytes": size,
+                        "config": meta.get("config", {}),
+                    }
+                )
+        return entries

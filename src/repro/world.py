@@ -3,15 +3,16 @@
 :func:`build_world` wires every substrate together and plays the
 simulation forward day by day; :func:`collect` then runs the Section II
 pipeline against the finished world. :func:`default_world` /
-:func:`default_dataset` memoise the canonical world used by the examples,
-tests and benchmarks — it is fully deterministic, so every run of every
-bench regenerates identical tables.
+:func:`default_dataset` resolve the canonical world used by the
+examples, tests and benchmarks through the shared
+:mod:`repro.pipeline` artifact store — fully deterministic, so every
+run of every bench regenerates identical tables, and identical
+configurations share one artifact across every facade in the process.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from functools import lru_cache
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.collection.pipeline import (
@@ -139,32 +140,53 @@ def collect(world: World, with_ground_truth: bool = True) -> CollectionResult:
     return result
 
 
-@lru_cache(maxsize=4)
-def _cached_world(seed: int, scale: float, horizon: int) -> World:
-    return build_world(WorldConfig(seed=seed, scale=scale, horizon=horizon))
+def _runtime(
+    seed: int, scale: float, horizon: int, detection_latency_scale: float
+):
+    # Imported lazily: repro.pipeline imports this module for the stage
+    # build functions.
+    from repro.pipeline import PipelineRuntime
 
-
-@lru_cache(maxsize=4)
-def _cached_collection(seed: int, scale: float, horizon: int) -> CollectionResult:
-    return collect(_cached_world(seed, scale, horizon))
+    return PipelineRuntime(
+        WorldConfig(
+            seed=seed,
+            scale=scale,
+            horizon=horizon,
+            detection_latency_scale=detection_latency_scale,
+        )
+    )
 
 
 def default_world(
-    seed: int = 7, scale: float = 1.0, horizon: int = STUDY_HORIZON_DAYS
+    seed: int = 7,
+    scale: float = 1.0,
+    horizon: int = STUDY_HORIZON_DAYS,
+    detection_latency_scale: float = 1.0,
 ) -> World:
-    """The canonical deterministic world (memoised)."""
-    return _cached_world(seed, scale, horizon)
+    """The canonical deterministic world (shared via the artifact store)."""
+    return _runtime(seed, scale, horizon, detection_latency_scale).world()
 
 
 def default_collection(
-    seed: int = 7, scale: float = 1.0, horizon: int = STUDY_HORIZON_DAYS
+    seed: int = 7,
+    scale: float = 1.0,
+    horizon: int = STUDY_HORIZON_DAYS,
+    detection_latency_scale: float = 1.0,
 ) -> CollectionResult:
-    """The canonical collection run against :func:`default_world`."""
-    return _cached_collection(seed, scale, horizon)
+    """The canonical collection run against :func:`default_world`.
+
+    Routed through the shared store, so an identical collection is never
+    re-run — not per facade, not per key, and (with the disk tier) not
+    even per process.
+    """
+    return _runtime(seed, scale, horizon, detection_latency_scale).collection()
 
 
 def default_dataset(
-    seed: int = 7, scale: float = 1.0, horizon: int = STUDY_HORIZON_DAYS
+    seed: int = 7,
+    scale: float = 1.0,
+    horizon: int = STUDY_HORIZON_DAYS,
+    detection_latency_scale: float = 1.0,
 ) -> MalwareDataset:
-    """The canonical collected dataset (memoised)."""
-    return default_collection(seed, scale, horizon).dataset
+    """The canonical collected dataset (shared via the artifact store)."""
+    return default_collection(seed, scale, horizon, detection_latency_scale).dataset

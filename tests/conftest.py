@@ -1,13 +1,35 @@
 """Shared fixtures: session-scoped worlds so the expensive pipeline
-stages build once per test run."""
+stages build once per test run, and an isolated artifact cache so tests
+never read or write the user's real ``~/.cache/repro``."""
 
 from __future__ import annotations
 
+import os
+
 import pytest
 
+from repro import pipeline
 from repro.malware.corpus import Corpus, CorpusConfig, build_corpus
 from repro.paper import PaperArtifacts, default_artifacts
 from repro.world import World, WorldConfig, build_world, collect
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _isolated_cache(tmp_path_factory):
+    """Point the pipeline disk cache at a session-local directory.
+
+    Keeps the disk tier exercised (warm/reuse paths stay real) while
+    isolating the suite from — and never polluting — the user's cache.
+    """
+    cache_dir = tmp_path_factory.mktemp("pipeline-cache")
+    previous = os.environ.get(pipeline.store.CACHE_DIR_ENV)
+    os.environ[pipeline.store.CACHE_DIR_ENV] = str(cache_dir)
+    pipeline.configure(cache_dir=cache_dir)
+    yield
+    if previous is None:
+        os.environ.pop(pipeline.store.CACHE_DIR_ENV, None)
+    else:
+        os.environ[pipeline.store.CACHE_DIR_ENV] = previous
 
 
 @pytest.fixture(scope="session")

@@ -1,0 +1,85 @@
+"""MALGRAPH save/load round-trips against a live dataset."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.analysis import compute_graph_stats
+from repro.collection.records import DatasetError
+from repro.core.groups import GroupKind
+from repro.core.malgraph import MalGraph
+from repro.io.malgraphs import (
+    MALGRAPH_FILENAME,
+    load_malgraph,
+    malgraph_from_dict,
+    malgraph_to_dict,
+    save_malgraph,
+)
+
+
+@pytest.fixture(scope="module")
+def small_malgraph(small_dataset):
+    return MalGraph.build(small_dataset)
+
+
+@pytest.fixture()
+def reloaded(small_malgraph, small_dataset, tmp_path):
+    save_malgraph(small_malgraph, tmp_path)
+    return load_malgraph(tmp_path, small_dataset)
+
+
+def group_ids(graph, kind):
+    return [
+        sorted(str(m.package) for m in group.members)
+        for group in graph.groups(kind)
+    ]
+
+
+def test_round_trip_preserves_graph_structure(small_malgraph, reloaded):
+    original = small_malgraph.graph
+    restored = reloaded.graph
+    assert sorted(original.nodes()) == sorted(restored.nodes())
+    assert original.to_dict() == restored.to_dict()
+
+
+def test_round_trip_preserves_every_group_kind(small_malgraph, reloaded):
+    for kind in GroupKind:
+        assert group_ids(reloaded, kind) == group_ids(small_malgraph, kind), kind
+
+
+def test_round_trip_preserves_table2(small_malgraph, reloaded):
+    assert (
+        compute_graph_stats(reloaded).render()
+        == compute_graph_stats(small_malgraph).render()
+    )
+
+
+def test_round_trip_preserves_similarity_labels(small_malgraph, reloaded):
+    assert reloaded.similar.clustering.labels.tolist() == (
+        small_malgraph.similar.clustering.labels.tolist()
+    )
+    assert reloaded.similar.clustering.kmeans_k == (
+        small_malgraph.similar.clustering.kmeans_k
+    )
+
+
+def test_group_members_resolve_to_dataset_entries(reloaded, small_dataset):
+    entries = set(map(id, small_dataset.entries))
+    for kind in GroupKind:
+        for group in reloaded.groups(kind):
+            assert all(id(m) in entries for m in group.members), kind
+
+
+def test_unknown_node_id_raises_dataset_error(small_malgraph, small_dataset):
+    raw = malgraph_to_dict(small_malgraph)
+    raw["similar"]["embedded"][0] = "pypi:never-collected@9.9.9"
+    with pytest.raises(DatasetError):
+        malgraph_from_dict(raw, small_dataset)
+
+
+def test_save_writes_one_json_document(small_malgraph, tmp_path):
+    save_malgraph(small_malgraph, tmp_path)
+    raw = json.loads((tmp_path / MALGRAPH_FILENAME).read_text())
+    assert set(raw) >= {"graph", "similar", "duplicated_groups"}

@@ -1,0 +1,81 @@
+"""Config fingerprints: deterministic, complete, stage-distinct."""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.core.similarity import SimilarityConfig
+from repro.pipeline import SCHEMA_VERSION, config_payload, fingerprint
+from repro.pipeline.fingerprint import FINGERPRINT_LENGTH
+from repro.world import WorldConfig
+
+BASE = WorldConfig(seed=3, scale=0.2, horizon=400, detection_latency_scale=1.5)
+
+
+def test_fingerprint_is_deterministic():
+    a = fingerprint("world", BASE)
+    b = fingerprint("world", WorldConfig(**dataclasses.asdict(BASE)))
+    assert a == b
+
+
+def test_fingerprint_shape():
+    fp = fingerprint("world", BASE)
+    assert len(fp) == FINGERPRINT_LENGTH
+    assert set(fp) <= set("0123456789abcdef")
+
+
+def test_every_world_knob_changes_the_fingerprint():
+    base = fingerprint("world", BASE)
+    for field in dataclasses.fields(WorldConfig):
+        bumped = dataclasses.replace(
+            BASE, **{field.name: getattr(BASE, field.name) + 1}
+        )
+        assert fingerprint("world", bumped) != base, field.name
+
+
+def test_every_similarity_knob_changes_the_fingerprint():
+    similarity = SimilarityConfig()
+    base = fingerprint("malgraph", BASE, similarity)
+    variants = {
+        "dim": similarity.dim * 2,
+        "start_k": similarity.start_k + 1,
+        "seed": similarity.seed + 1,
+        "max_k": 4,
+        "duplicate_eps": similarity.duplicate_eps / 2,
+        "min_similarity": None,
+        "structural_weight": similarity.structural_weight + 0.1,
+        "lexical_weight": similarity.lexical_weight + 1.0,
+    }
+    assert set(variants) == {f.name for f in dataclasses.fields(SimilarityConfig)}
+    for name, value in variants.items():
+        bumped = dataclasses.replace(similarity, **{name: value})
+        assert fingerprint("malgraph", BASE, bumped) != base, name
+
+
+def test_stages_get_distinct_fingerprints():
+    fps = {fingerprint(stage, BASE) for stage in ("world", "collection", "malgraph")}
+    assert len(fps) == 3
+
+
+def test_similarity_config_only_hashes_when_given():
+    without = fingerprint("malgraph", BASE)
+    with_default = fingerprint("malgraph", BASE, SimilarityConfig())
+    assert without != with_default
+
+
+def test_payload_carries_the_complete_config():
+    payload = config_payload(BASE, SimilarityConfig())
+    assert payload["world"] == dataclasses.asdict(BASE)
+    assert payload["similarity"] == dataclasses.asdict(SimilarityConfig())
+
+
+def test_schema_version_feeds_the_digest(monkeypatch):
+    import importlib
+
+    # The package re-exports the function under the submodule's name, so
+    # resolve the module itself for the patch.
+    fp_module = importlib.import_module("repro.pipeline.fingerprint")
+
+    before = fingerprint("world", BASE)
+    monkeypatch.setattr(fp_module, "SCHEMA_VERSION", SCHEMA_VERSION + 1)
+    assert fp_module.fingerprint("world", BASE) != before

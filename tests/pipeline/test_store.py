@@ -1,0 +1,190 @@
+"""ArtifactStore: LRU bounds, disk round-trips, corruption fallback."""
+
+from __future__ import annotations
+
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+from repro.pipeline import SCHEMA_VERSION, ArtifactStore
+from repro.pipeline.store import META_FILENAME
+
+
+class JsonCodec:
+    """Minimal codec for store tests: one JSON payload file."""
+
+    FILENAME = "payload.json"
+
+    def save(self, obj, directory: Path) -> None:
+        (directory / self.FILENAME).write_text(json.dumps(obj))
+
+    def load(self, directory: Path):
+        return json.loads((directory / self.FILENAME).read_text())
+
+
+def make_store(tmp_path, **kwargs) -> ArtifactStore:
+    kwargs.setdefault("disk_enabled", True)
+    return ArtifactStore(cache_dir=tmp_path / "cache", **kwargs)
+
+
+# -- memory tier -------------------------------------------------------------
+
+def test_memory_tier_returns_the_same_object(tmp_path):
+    store = make_store(tmp_path)
+    obj = {"payload": 1}
+    store.put_memory("world", "aa", obj)
+    assert store.get_memory("world", "aa") is obj
+    assert store.get_memory("world", "bb") is None
+    assert store.get_memory("collection", "aa") is None
+
+
+def test_memory_tier_evicts_least_recently_used(tmp_path):
+    store = make_store(tmp_path, memory_capacity=2)
+    store.put_memory("s", "a", "A")
+    store.put_memory("s", "b", "B")
+    store.get_memory("s", "a")  # refresh a; b becomes LRU
+    store.put_memory("s", "c", "C")
+    assert store.get_memory("s", "b") is None
+    assert store.get_memory("s", "a") == "A"
+    assert store.get_memory("s", "c") == "C"
+    assert store.memory_size == 2
+
+
+def test_clear_memory(tmp_path):
+    store = make_store(tmp_path)
+    store.put_memory("s", "a", "A")
+    store.clear_memory()
+    assert store.memory_size == 0
+
+
+# -- disk tier ---------------------------------------------------------------
+
+def test_disk_round_trip(tmp_path):
+    store = make_store(tmp_path)
+    payload = {"rows": [1, 2, 3], "name": "x"}
+    assert store.put_disk("collection", "f1", payload, JsonCodec(), {"world": {}})
+    assert store.has_disk("collection", "f1")
+    assert store.get_disk("collection", "f1", JsonCodec()) == payload
+
+    fresh = make_store(tmp_path)  # a second store over the same directory
+    assert fresh.get_disk("collection", "f1", JsonCodec()) == payload
+
+
+def test_disk_miss_for_unknown_fingerprint(tmp_path):
+    store = make_store(tmp_path)
+    assert not store.has_disk("collection", "nope")
+    assert store.get_disk("collection", "nope", JsonCodec()) is None
+
+
+def test_corrupt_payload_degrades_to_miss(tmp_path):
+    store = make_store(tmp_path)
+    store.put_disk("collection", "f1", {"ok": True}, JsonCodec())
+    entry_dir = store.cache_dir / "collection" / "f1"
+    (entry_dir / JsonCodec.FILENAME).write_text("{not json")
+    assert store.has_disk("collection", "f1")  # meta still valid ...
+    assert store.get_disk("collection", "f1", JsonCodec()) is None  # ... load is not
+
+
+def test_corrupt_meta_degrades_to_miss(tmp_path):
+    store = make_store(tmp_path)
+    store.put_disk("collection", "f1", {"ok": True}, JsonCodec())
+    entry_dir = store.cache_dir / "collection" / "f1"
+    (entry_dir / META_FILENAME).write_text("garbage")
+    assert not store.has_disk("collection", "f1")
+    assert store.get_disk("collection", "f1", JsonCodec()) is None
+
+
+def test_stale_schema_version_is_a_miss(tmp_path):
+    store = make_store(tmp_path)
+    store.put_disk("collection", "f1", {"ok": True}, JsonCodec())
+    entry_dir = store.cache_dir / "collection" / "f1"
+    meta = json.loads((entry_dir / META_FILENAME).read_text())
+    meta["schema_version"] = SCHEMA_VERSION - 1
+    (entry_dir / META_FILENAME).write_text(json.dumps(meta))
+    assert not store.has_disk("collection", "f1")
+    assert store.get_disk("collection", "f1", JsonCodec()) is None
+    # A rewrite with the current schema replaces the stale entry.
+    assert store.put_disk("collection", "f1", {"ok": 2}, JsonCodec())
+    assert store.get_disk("collection", "f1", JsonCodec()) == {"ok": 2}
+
+
+def test_disk_disabled_store_never_touches_disk(tmp_path):
+    store = make_store(tmp_path, disk_enabled=False)
+    assert not store.put_disk("collection", "f1", {"ok": True}, JsonCodec())
+    assert not store.has_disk("collection", "f1")
+    assert store.get_disk("collection", "f1", JsonCodec()) is None
+    assert not (tmp_path / "cache").exists()
+    assert store.disk_entries() == []
+
+
+def test_put_disk_replaces_existing_entry(tmp_path):
+    store = make_store(tmp_path)
+    store.put_disk("s", "f", {"v": 1}, JsonCodec())
+    store.put_disk("s", "f", {"v": 2}, JsonCodec())
+    assert store.get_disk("s", "f", JsonCodec()) == {"v": 2}
+    # No temp directories left behind.
+    leftovers = [p for p in (store.cache_dir / "s").iterdir() if p.name.startswith(".tmp")]
+    assert leftovers == []
+
+
+def test_clear_disk_counts_entries(tmp_path):
+    store = make_store(tmp_path)
+    store.put_disk("collection", "f1", {"a": 1}, JsonCodec())
+    store.put_disk("malgraph", "f2", {"b": 2}, JsonCodec())
+    assert store.clear_disk() == 2
+    assert store.disk_entries() == []
+    assert store.clear_disk() == 0
+
+
+def test_disk_entries_inventory(tmp_path):
+    store = make_store(tmp_path)
+    store.put_disk("collection", "f1", {"a": 1}, JsonCodec(), {"world": {"seed": 3}})
+    (entries,) = store.disk_entries()
+    assert entries["stage"] == "collection"
+    assert entries["fingerprint"] == "f1"
+    assert entries["bytes"] > 0
+    assert entries["config"] == {"world": {"seed": 3}}
+
+
+def test_unwritable_cache_dir_degrades_gracefully(tmp_path):
+    blocker = tmp_path / "blocked"
+    blocker.write_text("a file where the cache dir should be")
+    store = ArtifactStore(cache_dir=blocker / "cache", disk_enabled=True)
+    assert not store.put_disk("s", "f", {"v": 1}, JsonCodec())
+    assert store.get_disk("s", "f", JsonCodec()) is None
+
+
+# -- cross-process safety ----------------------------------------------------
+
+def test_two_processes_share_one_cache_dir(tmp_path):
+    """Two concurrent CLI processes racing on an empty cache directory
+    must both succeed and agree byte-for-byte."""
+    repo_src = Path(__file__).resolve().parents[2] / "src"
+    cache_dir = tmp_path / "shared-cache"
+    args = [
+        sys.executable, "-m", "repro",
+        "--seed", "3", "--scale", "0.05",
+        "--cache-dir", str(cache_dir),
+        "show", "table2",
+    ]
+    procs = [
+        subprocess.Popen(
+            args,
+            stdout=subprocess.PIPE,
+            stderr=subprocess.PIPE,
+            text=True,
+            env={"PYTHONPATH": str(repo_src), "PATH": "/usr/bin:/bin"},
+        )
+        for _ in range(2)
+    ]
+    outputs = []
+    for proc in procs:
+        out, err = proc.communicate(timeout=120)
+        assert proc.returncode == 0, err
+        outputs.append(out)
+    assert outputs[0] == outputs[1]
+    # The survivors on disk are valid and readable by a fresh store.
+    store = ArtifactStore(cache_dir=cache_dir, disk_enabled=True)
+    stages = {entry["stage"] for entry in store.disk_entries()}
+    assert "collection" in stages and "malgraph" in stages

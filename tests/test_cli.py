@@ -188,6 +188,72 @@ def test_serve_help(capsys):
     assert "--port" in out and "--cache" in out
 
 
+def test_warm_command(tmp_path, capsys):
+    cache = tmp_path / "cache"
+    assert main(SMALL + ["--cache-dir", str(cache), "warm"]) == 0
+    out = capsys.readouterr().out
+    assert "pipeline report" in out
+    assert str(cache) in out
+    assert (cache / "collection").exists()
+    assert (cache / "malgraph").exists()
+
+
+def test_warm_with_no_disk_cache_writes_nothing(tmp_path, capsys):
+    cache = tmp_path / "cache"
+    assert main(SMALL + ["--cache-dir", str(cache), "--no-disk-cache", "warm"]) == 0
+    assert "disk cache: disabled" in capsys.readouterr().out
+    assert not cache.exists()
+
+
+def test_cache_info_and_clear(tmp_path, capsys):
+    cache = tmp_path / "cache"
+    assert main(SMALL + ["--cache-dir", str(cache), "warm"]) == 0
+    capsys.readouterr()
+
+    assert main(SMALL + ["--cache-dir", str(cache), "cache", "info"]) == 0
+    out = capsys.readouterr().out
+    assert "collection" in out and "malgraph" in out
+    assert "seed=3" in out
+
+    assert main(SMALL + ["--cache-dir", str(cache), "cache", "clear"]) == 0
+    assert "removed 2 cache entries" in capsys.readouterr().out
+
+    assert main(SMALL + ["--cache-dir", str(cache), "cache", "info"]) == 0
+    assert "no cached artifacts" in capsys.readouterr().out
+
+
+def test_report_flags(tmp_path, capsys):
+    cache = tmp_path / "cache"
+    target = tmp_path / "report.json"
+    code = main(
+        SMALL
+        + ["--cache-dir", str(cache), "--report", "--report-json", str(target)]
+        + ["show", "table2"]
+    )
+    assert code == 0
+    assert "pipeline report" in capsys.readouterr().err
+    payload = json.loads(target.read_text())
+    assert set(payload) == {"counts", "runs", "total_seconds"}
+    assert payload["counts"]["malgraph"]["misses"] == 1
+
+
+def test_warmed_cache_reused_across_invocations(tmp_path, capsys):
+    cache = tmp_path / "cache"
+    assert main(SMALL + ["--cache-dir", str(cache), "warm"]) == 0
+    capsys.readouterr()
+    target = tmp_path / "report.json"
+    # configure() in main() replaces the in-memory store, so this
+    # invocation resolves purely from the warmed disk tier.
+    assert main(
+        SMALL
+        + ["--cache-dir", str(cache), "--report-json", str(target)]
+        + ["show", "table2"]
+    ) == 0
+    counts = json.loads(target.read_text())["counts"]
+    for stage in ("world", "collection", "malgraph"):
+        assert counts[stage] == {"hits": 1, "misses": 0}, counts
+
+
 def test_parser_requires_command():
     with pytest.raises(SystemExit):
         build_parser().parse_args([])
