@@ -1,0 +1,127 @@
+"""Concurrent-load benchmark for the enrichment HTTP server (not a paper
+table).
+
+Boots the server on an ephemeral port over the default-world service,
+then sweeps threads x batch-size combinations driving real HTTP traffic
+from a thread pool: single-indicator ``GET /v1/enrich`` for batch size
+1, ``POST /v1/enrich/batch`` otherwise. Reports requests/sec and
+client-observed tail latency (p50/p95/p99) per combination, and asserts
+the server's own ``/v1/metrics`` accounting matches the traffic sent —
+a lost request or a swallowed error fails the bench.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+import urllib.request
+from concurrent.futures import ThreadPoolExecutor
+from typing import List, Tuple
+
+import pytest
+
+from repro.service.cache import build_service
+from repro.service.server import create_server, server_address
+
+THREAD_SWEEP = (1, 4, 8)
+BATCH_SIZES = (1, 32)
+REQUESTS_PER_COMBO = 200
+
+
+@pytest.fixture(scope="module")
+def live_server(artifacts):
+    """The default-world service behind a real socket; yields the URL."""
+    service = build_service(artifacts.malgraph, capacity=65_536)
+    server = create_server(service, port=0)
+    host, port = server_address(server)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    yield f"http://{host}:{port}", service, server
+    server.shutdown()
+    server.server_close()
+
+
+@pytest.fixture(scope="module")
+def names(artifacts) -> List[str]:
+    return [e.package.name for e in artifacts.dataset.entries[:512]]
+
+
+def _request(base: str, names: List[str], batch_size: int, i: int) -> Tuple[int, float]:
+    """One timed request; returns (status, seconds)."""
+    started = time.perf_counter()
+    if batch_size == 1:
+        url = f"{base}/v1/enrich?name={names[i % len(names)]}"
+        with urllib.request.urlopen(url, timeout=30) as response:
+            status = response.status
+            response.read()
+    else:
+        payload = {
+            "indicators": [
+                {"name": names[(i + j) % len(names)]} for j in range(batch_size)
+            ]
+        }
+        request = urllib.request.Request(
+            f"{base}/v1/enrich/batch",
+            data=json.dumps(payload).encode(),
+            headers={"Content-Type": "application/json"},
+        )
+        with urllib.request.urlopen(request, timeout=30) as response:
+            status = response.status
+            response.read()
+    return status, time.perf_counter() - started
+
+
+def _percentile(sorted_values: List[float], p: float) -> float:
+    index = min(len(sorted_values) - 1, int(p * len(sorted_values)))
+    return sorted_values[index]
+
+
+def test_concurrent_load_sweep(live_server, names, show):
+    base, _, server = live_server
+    lines = [
+        f"{'threads':>7} {'batch':>5} {'req/s':>10} "
+        f"{'p50 ms':>8} {'p95 ms':>8} {'p99 ms':>8}"
+    ]
+    sent = 0
+    for batch_size in BATCH_SIZES:
+        for threads in THREAD_SWEEP:
+            started = time.perf_counter()
+            with ThreadPoolExecutor(max_workers=threads) as pool:
+                outcomes = list(
+                    pool.map(
+                        lambda i: _request(base, names, batch_size, i),
+                        range(REQUESTS_PER_COMBO),
+                    )
+                )
+            elapsed = time.perf_counter() - started
+            sent += REQUESTS_PER_COMBO
+            assert all(status == 200 for status, _ in outcomes)
+            latencies = sorted(seconds for _, seconds in outcomes)
+            lines.append(
+                f"{threads:>7} {batch_size:>5} "
+                f"{REQUESTS_PER_COMBO / elapsed:>10.0f} "
+                f"{_percentile(latencies, 0.50) * 1000:>8.2f} "
+                f"{_percentile(latencies, 0.95) * 1000:>8.2f} "
+                f"{_percentile(latencies, 0.99) * 1000:>8.2f}"
+            )
+    show("Service concurrent load (requests/sec, client latency)", "\n".join(lines))
+
+    # the server accounted for every request we sent, none dropped
+    snapshot = server.metrics.snapshot()
+    assert snapshot["total_requests"] == sent
+    by_endpoint = snapshot["endpoints"]
+    assert by_endpoint["/v1/enrich"]["status"] == {
+        "200": len(THREAD_SWEEP) * REQUESTS_PER_COMBO
+    }
+    assert by_endpoint["/v1/enrich/batch"]["status"] == {
+        "200": len(THREAD_SWEEP) * REQUESTS_PER_COMBO
+    }
+
+
+def test_single_enrich_http_roundtrip(benchmark, live_server, names):
+    """One warmed single-indicator HTTP round-trip (the floor latency)."""
+    base, _, _ = live_server
+    counter = iter(range(10_000_000))
+    result = benchmark(lambda: _request(base, names, 1, next(counter)))
+    assert result[0] == 200

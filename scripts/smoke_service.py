@@ -105,6 +105,14 @@ def main(argv=None) -> int:
 
         stats = fetch(f"{base}/v1/stats")
         assert stats["cache"]["size"] > 0, stats
+
+        # healthz + enrich + batch + stats == 4 observed requests
+        metrics = fetch(f"{base}/v1/metrics")
+        assert metrics["total_requests"] == 4, metrics
+        enrich_row = metrics["endpoints"]["/v1/enrich"]
+        assert enrich_row["status"] == {"200": 1}, metrics
+        assert enrich_row["latency"]["p99_ms"] is not None, metrics
+        print(f"metrics: {metrics['total_requests']} requests accounted")
         print("smoke OK")
         return 0
     finally:

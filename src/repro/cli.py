@@ -256,8 +256,8 @@ def cmd_serve(args: argparse.Namespace) -> int:
         f"indexed {service.index.package_count} packages "
         f"(seed={args.seed}, scale={args.scale})"
     )
-    serve(service, host=args.host, port=args.port)
-    return 0
+    server = serve(service, host=args.host, port=args.port, verbose=args.verbose)
+    return 0 if server is not None else 2
 
 
 def cmd_warm(args: argparse.Namespace) -> int:
@@ -469,6 +469,11 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--host", default="127.0.0.1")
     serve.add_argument("--port", type=int, default=8742)
     serve.add_argument("--cache", type=int, default=4096, help="LRU capacity")
+    serve.add_argument(
+        "--verbose",
+        action="store_true",
+        help="log every request and print the metrics summary on shutdown",
+    )
     serve.set_defaults(func=cmd_serve)
 
     return parser

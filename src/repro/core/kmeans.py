@@ -83,6 +83,10 @@ def kmeans(
     """
     if k <= 0:
         raise ConfigError(f"k must be positive, got {k}")
+    if max_iter < 1:
+        # iteration would never bind and the epilogue would raise
+        # UnboundLocalError; zero Lloyd steps is a config error, not a run.
+        raise ConfigError(f"max_iter must be >= 1, got {max_iter}")
     n = X.shape[0]
     if n == 0:
         return KMeansResult(

@@ -57,3 +57,7 @@ class CrawlError(ReproError):
 
 class DatasetError(ReproError):
     """The collected dataset is inconsistent or malformed."""
+
+
+class ValidationError(ReproError):
+    """A request payload failed type or shape validation."""

@@ -12,12 +12,16 @@ Layers, bottom to top:
   indexes over graph + dataset + groups, built in one pass;
 * :mod:`repro.service.enrich` — :class:`EnrichmentEngine`, indicator →
   structured :class:`EnrichmentResult` with typosquat-distance fallback;
-* :mod:`repro.service.cache` — bounded LRU with hit/miss counters and a
-  deduplicating ``batch_enrich`` path;
-* :mod:`repro.service.server` — stdlib JSON HTTP API
-  (``/v1/enrich``, ``/v1/enrich/batch``, ``/v1/stats``, ``/v1/healthz``);
+* :mod:`repro.service.cache` — thread-safe bounded LRU with hit/miss
+  counters and a deduplicating ``batch_enrich`` path;
+* :mod:`repro.service.metrics` — per-endpoint request counters and
+  fixed-bucket latency histograms (p50/p95/p99);
+* :mod:`repro.service.server` — stdlib JSON HTTP API with a request
+  error boundary (``/v1/enrich``, ``/v1/enrich/batch``, ``/v1/stats``,
+  ``/v1/metrics``, ``/v1/healthz``);
 * :mod:`repro.service.refresh` — incremental index refresh from a
-  :mod:`repro.collection.merge` diff, no full rebuild.
+  :mod:`repro.collection.merge` diff, no full rebuild, applied under
+  the service's request lock.
 """
 
 from repro.service.cache import EnrichmentService, LRUCache, build_service
@@ -30,6 +34,7 @@ from repro.service.enrich import (
     Indicator,
 )
 from repro.service.index import IntelIndex, source_reliability
+from repro.service.metrics import LatencyHistogram, ServiceMetrics
 from repro.service.refresh import RefreshStats, refresh_index
 from repro.service.server import create_server, serve
 
@@ -40,7 +45,9 @@ __all__ = [
     "Indicator",
     "IntelIndex",
     "LRUCache",
+    "LatencyHistogram",
     "RefreshStats",
+    "ServiceMetrics",
     "VERDICT_MALICIOUS",
     "VERDICT_SUSPICIOUS",
     "VERDICT_UNKNOWN",

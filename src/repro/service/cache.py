@@ -7,10 +7,18 @@ indicator's normalised form. ``batch_enrich`` additionally deduplicates
 within the request, which is what lets a million-indicator stream with
 heavy repetition be answered with a few thousand engine calls and zero
 graph walks.
+
+Both layers are thread-safe: :class:`LRUCache` guards its ordered map
+and counters with an internal ``RLock``, and :class:`EnrichmentService`
+holds its own ``RLock`` across the whole lookup→resolve→store path so
+the HTTP server's per-connection threads (and a concurrent
+``refresh_index``, which swaps the served dataset under live readers)
+always observe a consistent index and exact hit/miss accounting.
 """
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from typing import Dict, Hashable, List, Optional, Sequence
 
@@ -20,7 +28,12 @@ from repro.service.index import IntelIndex
 
 
 class LRUCache:
-    """Bounded least-recently-used map with hit/miss/eviction counters."""
+    """Bounded least-recently-used map with hit/miss/eviction counters.
+
+    Safe for concurrent use: every operation (including the counter
+    updates) runs under one reentrant lock, so ``hits + misses`` always
+    equals the number of ``get`` calls, even under thread churn.
+    """
 
     def __init__(self, capacity: int = 4096):
         if capacity < 1:
@@ -29,51 +42,66 @@ class LRUCache:
         self.hits = 0
         self.misses = 0
         self.evictions = 0
+        self._lock = threading.RLock()
         self._items: "OrderedDict[Hashable, object]" = OrderedDict()
 
     def __len__(self) -> int:
-        return len(self._items)
+        with self._lock:
+            return len(self._items)
 
     def __contains__(self, key: Hashable) -> bool:
-        return key in self._items
+        with self._lock:
+            return key in self._items
 
     def get(self, key: Hashable):
         """The cached value (counted as hit/miss), or None."""
-        try:
-            value = self._items[key]
-        except KeyError:
-            self.misses += 1
-            return None
-        self.hits += 1
-        self._items.move_to_end(key)
-        return value
+        with self._lock:
+            try:
+                value = self._items[key]
+            except KeyError:
+                self.misses += 1
+                return None
+            self.hits += 1
+            self._items.move_to_end(key)
+            return value
 
     def put(self, key: Hashable, value) -> None:
-        self._items[key] = value
-        self._items.move_to_end(key)
-        if len(self._items) > self.capacity:
-            self._items.popitem(last=False)
-            self.evictions += 1
+        with self._lock:
+            self._items[key] = value
+            self._items.move_to_end(key)
+            if len(self._items) > self.capacity:
+                self._items.popitem(last=False)
+                self.evictions += 1
 
     def clear(self) -> None:
-        self._items.clear()
+        with self._lock:
+            self._items.clear()
 
     def stats(self) -> Dict[str, int]:
-        return {
-            "size": len(self._items),
-            "capacity": self.capacity,
-            "hits": self.hits,
-            "misses": self.misses,
-            "evictions": self.evictions,
-        }
+        with self._lock:
+            return {
+                "size": len(self._items),
+                "capacity": self.capacity,
+                "hits": self.hits,
+                "misses": self.misses,
+                "evictions": self.evictions,
+            }
 
 
 class EnrichmentService:
-    """LRU-fronted enrichment: the object the HTTP server exposes."""
+    """LRU-fronted enrichment: the object the HTTP server exposes.
+
+    ``lock`` serialises every request against index mutation:
+    :meth:`enrich` holds it across the cache probe, the engine walk and
+    the store, and :func:`repro.service.refresh.refresh_index` holds it
+    while swapping the served dataset, so a reader can never observe a
+    half-refreshed index or a stale-but-cached verdict.
+    """
 
     def __init__(self, engine: EnrichmentEngine, capacity: int = 4096):
         self.engine = engine
         self.cache = LRUCache(capacity)
+        self.lock = threading.RLock()
 
     @property
     def index(self) -> IntelIndex:
@@ -81,39 +109,45 @@ class EnrichmentService:
 
     def enrich(self, indicator: Indicator) -> EnrichmentResult:
         """Cached single-indicator enrichment."""
-        key = indicator.key()
-        held = self.cache.get(key)
-        if held is not None:
-            return held
-        result = self.engine.enrich(indicator)
-        self.cache.put(key, result)
-        return result
+        with self.lock:
+            key = indicator.key()
+            held = self.cache.get(key)
+            if held is not None:
+                return held
+            result = self.engine.enrich(indicator)
+            self.cache.put(key, result)
+            return result
 
     def batch_enrich(self, indicators: Sequence[Indicator]) -> List[EnrichmentResult]:
         """Enrich a stream, resolving each distinct indicator once.
 
         Duplicates within the batch are answered from the batch-local
         table without touching the cache counters, so ``stats()`` reflects
-        distinct-indicator traffic.
+        distinct-indicator traffic. The service lock is held for the whole
+        batch, so a concurrent refresh cannot split one request across
+        two index generations.
         """
-        resolved: Dict[tuple, EnrichmentResult] = {}
-        results: List[EnrichmentResult] = []
-        for indicator in indicators:
-            key = indicator.key()
-            held = resolved.get(key)
-            if held is None:
-                held = self.enrich(indicator)
-                resolved[key] = held
-            results.append(held)
-        return results
+        with self.lock:
+            resolved: Dict[tuple, EnrichmentResult] = {}
+            results: List[EnrichmentResult] = []
+            for indicator in indicators:
+                key = indicator.key()
+                held = resolved.get(key)
+                if held is None:
+                    held = self.enrich(indicator)
+                    resolved[key] = held
+                results.append(held)
+            return results
 
     def invalidate(self) -> None:
         """Drop every cached result (after an index refresh)."""
-        self.cache.clear()
+        with self.lock:
+            self.cache.clear()
 
     def stats(self) -> Dict:
         """Cache and index counters for the ``/v1/stats`` endpoint."""
-        return {"cache": self.cache.stats(), "index": self.index.stats()}
+        with self.lock:
+            return {"cache": self.cache.stats(), "index": self.index.stats()}
 
 
 def build_service(

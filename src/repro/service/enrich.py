@@ -23,6 +23,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 from repro.collection.records import DatasetEntry
 from repro.core.edges import node_id
 from repro.detection.typosquat import TyposquatIndex
+from repro.errors import ValidationError
 from repro.service.index import IntelIndex
 
 VERDICT_MALICIOUS = "malicious"
@@ -54,12 +55,36 @@ class Indicator:
 
     @classmethod
     def from_dict(cls, raw: Dict) -> "Indicator":
-        return cls(
-            name=raw.get("name"),
-            version=raw.get("version"),
-            sha256=raw.get("sha256"),
-            ecosystem=raw.get("ecosystem"),
-        )
+        """Validated construction from an untrusted request payload.
+
+        Raises :class:`~repro.errors.ValidationError` when ``raw`` is
+        not a mapping or a provided field is not a string — an integer
+        ``name`` would otherwise survive construction and crash in
+        :meth:`key` mid-request. Numeric ``version`` values (a common
+        client slip: JSON ``1.0`` for ``"1.0"``) are coerced to strings.
+        """
+        if not isinstance(raw, dict):
+            raise ValidationError(
+                f"indicator must be an object, got {type(raw).__name__}"
+            )
+        fields = {}
+        for field_name in ("name", "version", "sha256", "ecosystem"):
+            value = raw.get(field_name)
+            if value is None:
+                continue
+            if (
+                field_name == "version"
+                and isinstance(value, (int, float))
+                and not isinstance(value, bool)
+            ):
+                value = str(value)
+            if not isinstance(value, str):
+                raise ValidationError(
+                    f"{field_name} must be a string, "
+                    f"got {type(value).__name__}"
+                )
+            fields[field_name] = value
+        return cls(**fields)
 
     def to_dict(self) -> Dict:
         return {

@@ -1,0 +1,137 @@
+"""Request metrics for the serving layer: counters and latency histograms.
+
+``ServiceMetrics`` records one observation per HTTP request — endpoint,
+status code, wall-clock seconds — into per-endpoint request counts,
+status-code counts and a fixed-bucket :class:`LatencyHistogram` (no new
+dependencies, O(1) per observation, bounded memory). ``snapshot()``
+renders the ``GET /v1/metrics`` payload: for every endpoint a
+``{"requests", "status", "latency"}`` object where ``latency`` carries
+``count`` / ``sum_seconds`` / ``p50_ms`` / ``p95_ms`` / ``p99_ms``
+estimated from the histogram buckets. All methods are thread-safe; the
+handler threads of the HTTP server share one instance.
+"""
+
+from __future__ import annotations
+
+import bisect
+import threading
+from typing import Dict, List, Optional, Tuple
+
+#: Bucket upper bounds in seconds (log-spaced 100µs .. 10s); one
+#: implicit overflow bucket catches anything slower.
+LATENCY_BUCKET_BOUNDS: Tuple[float, ...] = (
+    0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025,
+    0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0,
+)
+
+
+class LatencyHistogram:
+    """Fixed-bucket latency histogram with percentile estimation.
+
+    Observations land in log-spaced buckets; a percentile is the upper
+    bound of the first bucket whose cumulative count covers it (the
+    overflow bucket reports the largest observation seen). Upper-bound
+    reporting makes the estimate conservative: the true percentile is
+    never above the reported one by more than a bucket width.
+    """
+
+    def __init__(self, bounds: Tuple[float, ...] = LATENCY_BUCKET_BOUNDS):
+        self.bounds = bounds
+        self.counts: List[int] = [0] * (len(bounds) + 1)
+        self.count = 0
+        self.sum_seconds = 0.0
+        self.max_seconds = 0.0
+
+    def observe(self, seconds: float) -> None:
+        seconds = max(0.0, float(seconds))
+        self.counts[bisect.bisect_left(self.bounds, seconds)] += 1
+        self.count += 1
+        self.sum_seconds += seconds
+        if seconds > self.max_seconds:
+            self.max_seconds = seconds
+
+    def percentile(self, p: float) -> Optional[float]:
+        """Latency (seconds) at quantile ``p`` in [0, 1], None if empty."""
+        if self.count == 0:
+            return None
+        rank = p * self.count
+        cumulative = 0
+        for idx, held in enumerate(self.counts):
+            cumulative += held
+            if cumulative >= rank and held:
+                if idx < len(self.bounds):
+                    return min(self.bounds[idx], self.max_seconds)
+                return self.max_seconds
+        return self.max_seconds
+
+    def to_dict(self) -> Dict:
+        def _ms(p: float) -> Optional[float]:
+            seconds = self.percentile(p)
+            return None if seconds is None else round(seconds * 1000.0, 3)
+
+        return {
+            "count": self.count,
+            "sum_seconds": round(self.sum_seconds, 6),
+            "max_ms": round(self.max_seconds * 1000.0, 3),
+            "p50_ms": _ms(0.50),
+            "p95_ms": _ms(0.95),
+            "p99_ms": _ms(0.99),
+        }
+
+
+class ServiceMetrics:
+    """Thread-safe per-endpoint request/status/latency accounting."""
+
+    def __init__(self):
+        self._lock = threading.RLock()
+        self._endpoints: Dict[str, Dict] = {}
+
+    def observe(self, endpoint: str, status: int, seconds: float) -> None:
+        """Record one finished request (status 0 = client went away)."""
+        with self._lock:
+            row = self._endpoints.get(endpoint)
+            if row is None:
+                row = {
+                    "requests": 0,
+                    "status": {},
+                    "latency": LatencyHistogram(),
+                }
+                self._endpoints[endpoint] = row
+            row["requests"] += 1
+            key = str(int(status))
+            row["status"][key] = row["status"].get(key, 0) + 1
+            row["latency"].observe(seconds)
+
+    def snapshot(self) -> Dict:
+        """The ``/v1/metrics`` payload: endpoints, statuses, percentiles."""
+        with self._lock:
+            endpoints = {
+                name: {
+                    "requests": row["requests"],
+                    "status": dict(sorted(row["status"].items())),
+                    "latency": row["latency"].to_dict(),
+                }
+                for name, row in sorted(self._endpoints.items())
+            }
+            return {
+                "endpoints": endpoints,
+                "total_requests": sum(
+                    row["requests"] for row in self._endpoints.values()
+                ),
+            }
+
+    def render(self) -> str:
+        """One line per endpoint, for ``repro serve --verbose`` shutdown."""
+        snap = self.snapshot()
+        lines = [f"requests served: {snap['total_requests']}"]
+        for name, row in snap["endpoints"].items():
+            latency = row["latency"]
+            statuses = ", ".join(
+                f"{code}:{count}" for code, count in row["status"].items()
+            )
+            lines.append(
+                f"  {name:<18} {row['requests']:>7} reqs  [{statuses}]  "
+                f"p50={latency['p50_ms']}ms p95={latency['p95_ms']}ms "
+                f"p99={latency['p99_ms']}ms"
+            )
+        return "\n".join(lines)

@@ -15,10 +15,16 @@ exactly that delta to the live :class:`~repro.service.index.IntelIndex`:
 Similarity (SG) and dependency (DeG) associations require re-running the
 graph build; refreshed packages simply carry none until then. The
 wrapped service's LRU is invalidated so stale verdicts cannot be served.
+
+When a service is supplied, the whole merge→swap→re-index→invalidate
+sequence runs under the service's request lock, so concurrent HTTP
+readers never observe a half-refreshed index or a verdict cached
+against the outgoing dataset.
 """
 
 from __future__ import annotations
 
+import contextlib
 from dataclasses import dataclass
 from typing import Optional, Tuple
 
@@ -86,6 +92,16 @@ def refresh_index(
     Returns the merged dataset (now the one the index serves), the diff
     that was applied, and counters describing the change.
     """
+    guard = service.lock if service is not None else contextlib.nullcontext()
+    with guard:
+        return _apply_refresh(index, new_dataset, service)
+
+
+def _apply_refresh(
+    index: IntelIndex,
+    new_dataset: MalwareDataset,
+    service: Optional[EnrichmentService],
+) -> Tuple[MalwareDataset, DatasetDiff, RefreshStats]:
     old = index.dataset
     merged = merge_datasets(old, new_dataset)
     diff = diff_datasets(old, merged)

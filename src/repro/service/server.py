@@ -5,35 +5,71 @@ no new dependencies) exposing:
 
 * ``GET /v1/healthz`` — liveness plus indexed-package count;
 * ``GET /v1/stats`` — cache hit/miss counters and index shape;
+* ``GET /v1/metrics`` — per-endpoint request counts, status-code counts
+  and latency percentiles (p50/p95/p99);
 * ``GET /v1/enrich?name=&version=&sha256=&ecosystem=`` — one indicator;
 * ``POST /v1/enrich/batch`` — ``{"indicators": [{...}, ...]}``.
 
+Every request runs inside an error boundary: validation failures come
+back as structured ``400`` JSON (``{"error": ...}``, plus ``"index"``
+for the offending batch item), unexpected exceptions come back as
+``500`` JSON carrying an ``"error_id"`` correlating with the server log
+instead of a dropped connection, and client disconnects
+(``BrokenPipeError`` / ``ConnectionResetError``) are swallowed without
+a traceback. Each request is timed into the server's shared
+:class:`~repro.service.metrics.ServiceMetrics`.
+
 ``create_server`` binds (``port=0`` picks an ephemeral port, which the
-tests and the smoke script use); ``serve`` blocks until interrupted.
+tests and the smoke script use); ``serve`` blocks until interrupted and
+exits with a one-line message — not a traceback — when the port is
+already in use.
 """
 
 from __future__ import annotations
 
+import errno
 import json
+import sys
+import time
+import traceback
+import uuid
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Dict, Optional, Tuple
 from urllib.parse import parse_qs, urlparse
 
+from repro.errors import ValidationError
 from repro.service.cache import EnrichmentService
 from repro.service.enrich import Indicator
+from repro.service.metrics import ServiceMetrics
 
 #: Refuse batches beyond this size so one request cannot pin a worker.
 MAX_BATCH_SIZE = 100_000
 
+#: Paths recorded individually in metrics; anything else pools as "other".
+KNOWN_ENDPOINTS = (
+    "/v1/healthz",
+    "/v1/stats",
+    "/v1/metrics",
+    "/v1/enrich",
+    "/v1/enrich/batch",
+)
+
+#: Connection-level errors meaning the client went away mid-reply.
+CLIENT_GONE = (BrokenPipeError, ConnectionResetError)
+
 
 class IntelRequestHandler(BaseHTTPRequestHandler):
-    """Routes the four ``/v1`` endpoints onto the service."""
+    """Routes the five ``/v1`` endpoints onto the service."""
 
-    server_version = "repro-intel/1.0"
+    server_version = "repro-intel/1.1"
 
     @property
     def service(self) -> EnrichmentService:
         return self.server.service  # type: ignore[attr-defined]
+
+    @property
+    def metrics(self) -> ServiceMetrics:
+        return self.server.metrics  # type: ignore[attr-defined]
 
     # -- plumbing ---------------------------------------------------------
     def log_message(self, format: str, *args) -> None:  # noqa: A002
@@ -42,17 +78,72 @@ class IntelRequestHandler(BaseHTTPRequestHandler):
 
     def _reply(self, status: int, payload: Dict) -> None:
         body = json.dumps(payload).encode("utf-8")
+        # Observe before the first byte goes out: a client that has read
+        # its response is then guaranteed to find it in /v1/metrics.
+        self._observe(status)
         self.send_response(status)
         self.send_header("Content-Type", "application/json")
         self.send_header("Content-Length", str(len(body)))
         self.end_headers()
         self.wfile.write(body)
 
-    def _error(self, status: int, message: str) -> None:
-        self._reply(status, {"error": message})
+    def _error(self, status: int, message: str, **extra) -> None:
+        self._reply(status, {"error": message, **extra})
+
+    def _endpoint_label(self) -> str:
+        path = urlparse(self.path).path
+        return path if path in KNOWN_ENDPOINTS else "other"
+
+    def _observe(self, status: int) -> None:
+        """Record this request once (status 0 = client went away)."""
+        if self._observed:
+            return
+        self._observed = True
+        self.metrics.observe(
+            self._endpoint, status, time.perf_counter() - self._started
+        )
+
+    def _guarded(self, route) -> None:
+        """Error boundary + metrics around one request.
+
+        Every request produces exactly one metrics observation.
+        """
+        self._endpoint = self._endpoint_label()
+        self._started = time.perf_counter()
+        self._observed = False
+        try:
+            route()
+        except CLIENT_GONE:
+            pass  # the client hung up; nothing to send, nothing to log
+        except ValidationError as failure:
+            self._safe_reply(400, {"error": str(failure)})
+        except Exception as failure:  # noqa: BLE001 - the 500 boundary
+            error_id = uuid.uuid4().hex[:12]
+            print(
+                f"[{error_id}] unhandled {type(failure).__name__} "
+                f"on {self.path}: {failure}",
+                file=sys.stderr,
+            )
+            if getattr(self.server, "verbose", False):
+                traceback.print_exc()
+            self._safe_reply(
+                500, {"error": "internal server error", "error_id": error_id}
+            )
+        finally:
+            self._observe(0)
+
+    def _safe_reply(self, status: int, payload: Dict) -> None:
+        """Best-effort reply: the connection may already be gone."""
+        try:
+            self._reply(status, payload)
+        except CLIENT_GONE:
+            pass
 
     # -- GET --------------------------------------------------------------
     def do_GET(self) -> None:  # noqa: N802 (http.server API)
+        self._guarded(self._route_get)
+
+    def _route_get(self) -> None:
         url = urlparse(self.path)
         if url.path == "/v1/healthz":
             self._reply(
@@ -60,6 +151,8 @@ class IntelRequestHandler(BaseHTTPRequestHandler):
             )
         elif url.path == "/v1/stats":
             self._reply(200, self.service.stats())
+        elif url.path == "/v1/metrics":
+            self._reply(200, self.metrics.snapshot())
         elif url.path == "/v1/enrich":
             params = {k: v[0] for k, v in parse_qs(url.query).items()}
             indicator = Indicator.from_dict(params)
@@ -72,6 +165,9 @@ class IntelRequestHandler(BaseHTTPRequestHandler):
 
     # -- POST -------------------------------------------------------------
     def do_POST(self) -> None:  # noqa: N802 (http.server API)
+        self._guarded(self._route_post)
+
+    def _route_post(self) -> None:
         if urlparse(self.path).path != "/v1/enrich/batch":
             self._error(404, f"unknown path {self.path!r}")
             return
@@ -88,10 +184,21 @@ class IntelRequestHandler(BaseHTTPRequestHandler):
         if len(raw) > MAX_BATCH_SIZE:
             self._error(413, f"batch larger than {MAX_BATCH_SIZE}")
             return
-        indicators = [Indicator.from_dict(item) for item in raw]
-        if any(i.is_empty for i in indicators):
-            self._error(400, "every indicator needs a name or sha256")
-            return
+        indicators = []
+        for index, item in enumerate(raw):
+            try:
+                indicator = Indicator.from_dict(item)
+            except ValidationError as failure:
+                self._error(400, f"indicator {index}: {failure}", index=index)
+                return
+            if indicator.is_empty:
+                self._error(
+                    400,
+                    f"indicator {index}: needs a name or sha256",
+                    index=index,
+                )
+                return
+            indicators.append(indicator)
         results = self.service.batch_enrich(indicators)
         self._reply(
             200,
@@ -109,6 +216,7 @@ def create_server(
     server = ThreadingHTTPServer((host, port), IntelRequestHandler)
     server.service = service  # type: ignore[attr-defined]
     server.verbose = verbose  # type: ignore[attr-defined]
+    server.metrics = ServiceMetrics()  # type: ignore[attr-defined]
     return server
 
 
@@ -124,8 +232,22 @@ def serve(
     port: int = 8742,
     verbose: bool = True,
 ) -> Optional[ThreadingHTTPServer]:
-    """Run the API until interrupted (the ``repro serve`` entry point)."""
-    server = create_server(service, host=host, port=port, verbose=verbose)
+    """Run the API until interrupted (the ``repro serve`` entry point).
+
+    Returns None (after a one-line message on stderr, no traceback) when
+    the requested port is already bound by another process.
+    """
+    try:
+        server = create_server(service, host=host, port=port, verbose=verbose)
+    except OSError as failure:
+        if failure.errno == errno.EADDRINUSE:
+            print(
+                f"error: {host}:{port} is already in use "
+                "(another server running? pick a different --port)",
+                file=sys.stderr,
+            )
+            return None
+        raise
     bound_host, bound_port = server_address(server)
     print(f"repro intel service on http://{bound_host}:{bound_port}/v1/enrich")
     try:
@@ -134,4 +256,6 @@ def serve(
         print("shutting down")
     finally:
         server.server_close()
+        if verbose:
+            print(server.metrics.render())  # type: ignore[attr-defined]
     return server

@@ -66,6 +66,19 @@ def test_kmeans_rejects_nonpositive_k():
         kmeans(np.zeros((3, 2)), -1)
 
 
+def test_kmeans_rejects_nonpositive_max_iter():
+    # regression: max_iter=0 used to skip the Lloyd loop entirely and
+    # crash with UnboundLocalError on `iteration` in the epilogue
+    X = _blobs(2, centers=2, per=5)
+    with pytest.raises(ConfigError):
+        kmeans(X, 2, max_iter=0)
+    with pytest.raises(ConfigError):
+        kmeans(X, 2, max_iter=-3)
+    # empty input with a valid max_iter still short-circuits cleanly
+    empty = kmeans(np.zeros((0, 4)), 1, max_iter=5)
+    assert empty.iterations == 0
+
+
 def test_kmeans_single_point():
     X = _unit_rows(np.ones((1, 4)))
     result = kmeans(X, 3)

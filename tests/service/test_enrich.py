@@ -136,3 +136,47 @@ def test_world_sha_lookup_matches_name_lookup(engine, small_dataset):
     e = small_dataset.available_entries()[0]
     by_sha = engine.lookup(sha256=e.sha256())
     assert str(e.package) in by_sha.matches
+
+
+# -- request validation -------------------------------------------------------
+
+def test_from_dict_roundtrip():
+    raw = {"name": "lib", "version": "1.0", "sha256": "ab" * 32, "ecosystem": "pypi"}
+    indicator = Indicator.from_dict(raw)
+    assert indicator.to_dict() == raw
+
+
+def test_from_dict_rejects_non_dict_payloads():
+    from repro.errors import ValidationError
+
+    for bad in ("name", 7, ["name"], None):
+        with pytest.raises(ValidationError):
+            Indicator.from_dict(bad)
+
+
+def test_from_dict_rejects_non_string_fields():
+    from repro.errors import ValidationError
+
+    for field, value in (
+        ("name", 123),
+        ("sha256", ["deadbeef"]),
+        ("ecosystem", {"k": "v"}),
+        ("version", True),  # bools are not versions, despite being ints
+    ):
+        with pytest.raises(ValidationError) as failure:
+            Indicator.from_dict({field: value})
+        assert field in str(failure.value)
+
+
+def test_from_dict_coerces_numeric_versions():
+    assert Indicator.from_dict({"name": "lib", "version": 2}).version == "2"
+    assert Indicator.from_dict({"name": "lib", "version": 1.5}).version == "1.5"
+
+
+def test_integer_name_no_longer_reaches_key():
+    # the regression: Indicator(name=123).key() raises AttributeError
+    # mid-request; validated construction refuses it up front
+    from repro.errors import ValidationError
+
+    with pytest.raises(ValidationError):
+        Indicator.from_dict({"name": 123})

@@ -1,0 +1,101 @@
+"""Latency histograms and per-endpoint request accounting."""
+
+from __future__ import annotations
+
+import threading
+
+from repro.service.metrics import (
+    LATENCY_BUCKET_BOUNDS,
+    LatencyHistogram,
+    ServiceMetrics,
+)
+
+
+def test_histogram_places_observations_in_buckets():
+    hist = LatencyHistogram()
+    hist.observe(0.00005)  # below the first bound
+    hist.observe(0.003)
+    hist.observe(99.0)  # beyond the last bound -> overflow bucket
+    assert hist.count == 3
+    assert sum(hist.counts) == 3
+    assert hist.counts[-1] == 1
+    assert hist.max_seconds == 99.0
+
+
+def test_histogram_percentiles_are_bucket_upper_bounds():
+    hist = LatencyHistogram()
+    for _ in range(99):
+        hist.observe(0.0009)  # lands in the bucket bounded by 1ms
+    hist.observe(0.9)  # one slow outlier (bounded by 1s)
+    assert hist.percentile(0.50) == 0.001
+    assert hist.percentile(0.95) == 0.001
+    assert hist.percentile(0.99) == 0.001
+    assert hist.percentile(1.0) == 0.9  # capped at the observed max
+    row = hist.to_dict()
+    assert row["count"] == 100
+    assert row["p50_ms"] == 1.0
+    assert row["p99_ms"] == 1.0
+
+
+def test_histogram_empty_percentile_is_none():
+    hist = LatencyHistogram()
+    assert hist.percentile(0.5) is None
+    assert hist.to_dict()["p50_ms"] is None
+
+
+def test_histogram_clamps_negative_observations():
+    hist = LatencyHistogram()
+    hist.observe(-1.0)
+    assert hist.count == 1
+    assert hist.sum_seconds == 0.0
+    assert hist.counts[0] == 1
+
+
+def test_bounds_are_strictly_increasing():
+    assert list(LATENCY_BUCKET_BOUNDS) == sorted(set(LATENCY_BUCKET_BOUNDS))
+
+
+def test_metrics_accumulate_per_endpoint():
+    metrics = ServiceMetrics()
+    metrics.observe("/v1/enrich", 200, 0.002)
+    metrics.observe("/v1/enrich", 400, 0.0001)
+    metrics.observe("/v1/enrich/batch", 200, 0.02)
+    snap = metrics.snapshot()
+    assert snap["total_requests"] == 3
+    enrich = snap["endpoints"]["/v1/enrich"]
+    assert enrich["requests"] == 2
+    assert enrich["status"] == {"200": 1, "400": 1}
+    assert enrich["latency"]["count"] == 2
+    assert snap["endpoints"]["/v1/enrich/batch"]["requests"] == 1
+
+
+def test_metrics_render_mentions_every_endpoint():
+    metrics = ServiceMetrics()
+    metrics.observe("/v1/enrich", 200, 0.001)
+    metrics.observe("/v1/stats", 200, 0.0005)
+    text = metrics.render()
+    assert "requests served: 2" in text
+    assert "/v1/enrich" in text and "/v1/stats" in text
+    assert "p95=" in text
+
+
+def test_metrics_threaded_observations_are_exact():
+    metrics = ServiceMetrics()
+    threads = 8
+    per_thread = 250
+
+    def hammer(worker: int) -> None:
+        for i in range(per_thread):
+            metrics.observe("/v1/enrich", 200 if i % 2 else 400, 0.001 * worker)
+
+    pool = [threading.Thread(target=hammer, args=(w,)) for w in range(threads)]
+    for t in pool:
+        t.start()
+    for t in pool:
+        t.join()
+    snap = metrics.snapshot()
+    row = snap["endpoints"]["/v1/enrich"]
+    assert snap["total_requests"] == threads * per_thread
+    assert row["requests"] == threads * per_thread
+    assert row["latency"]["count"] == threads * per_thread
+    assert sum(row["status"].values()) == threads * per_thread

@@ -130,3 +130,93 @@ def test_stats_endpoint_reports_traffic(live):
     assert set(body) == {"cache", "index"}
     assert body["cache"]["capacity"] == service.cache.capacity
     assert body["index"]["packages"] == service.index.package_count
+
+
+# -- error boundary ----------------------------------------------------------
+
+def _error_body(failure: urllib.error.HTTPError) -> dict:
+    return json.load(failure)
+
+
+def test_batch_rejects_non_dict_item_with_index(live):
+    base, _ = live
+    with pytest.raises(urllib.error.HTTPError) as failure:
+        _post(f"{base}/v1/enrich/batch", {"indicators": [{"name": "ok"}, "nope"]})
+    assert failure.value.code == 400
+    body = _error_body(failure.value)
+    assert body["index"] == 1
+    assert "indicator 1" in body["error"]
+
+
+def test_batch_rejects_wrong_typed_fields_with_index(live):
+    base, _ = live
+    with pytest.raises(urllib.error.HTTPError) as failure:
+        _post(
+            f"{base}/v1/enrich/batch",
+            {"indicators": [{"name": 123, "version": "1.0"}]},
+        )
+    assert failure.value.code == 400
+    body = _error_body(failure.value)
+    assert body["index"] == 0
+    assert "name must be a string" in body["error"]
+
+
+def test_batch_oversize_is_413(live, monkeypatch):
+    import repro.service.server as server_module
+
+    monkeypatch.setattr(server_module, "MAX_BATCH_SIZE", 3)
+    base, _ = live
+    with pytest.raises(urllib.error.HTTPError) as failure:
+        _post(
+            f"{base}/v1/enrich/batch",
+            {"indicators": [{"name": f"p{i}"} for i in range(4)]},
+        )
+    assert failure.value.code == 413
+    assert "batch larger than 3" in _error_body(failure.value)["error"]
+
+
+def test_handler_crash_returns_json_500_with_error_id(live, monkeypatch, capsys):
+    base, service = live
+
+    def boom(indicator):
+        raise RuntimeError("index corrupted")
+
+    monkeypatch.setattr(service, "enrich", boom)
+    with pytest.raises(urllib.error.HTTPError) as failure:
+        _get(f"{base}/v1/enrich?name=anything")
+    assert failure.value.code == 500
+    body = _error_body(failure.value)
+    assert body["error"] == "internal server error"
+    assert len(body["error_id"]) == 12  # correlates with the server log
+
+
+def test_metrics_endpoint_shape(live):
+    base, _ = live
+    status, body = _get(f"{base}/v1/metrics")
+    assert status == 200
+    assert set(body) == {"endpoints", "total_requests"}
+    assert body["total_requests"] >= 1
+    for row in body["endpoints"].values():
+        assert set(row) == {"requests", "status", "latency"}
+        assert sum(row["status"].values()) == row["requests"]
+        assert row["latency"]["count"] == row["requests"]
+
+
+def test_serve_reports_port_already_in_use(engine, capsys):
+    import socket
+
+    from repro.service.cache import EnrichmentService
+    from repro.service.server import serve
+
+    service = EnrichmentService(engine, capacity=16)
+    blocker = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+    try:
+        blocker.bind(("127.0.0.1", 0))
+        blocker.listen(1)
+        port = blocker.getsockname()[1]
+        assert serve(service, host="127.0.0.1", port=port) is None
+    finally:
+        blocker.close()
+    err = capsys.readouterr().err
+    assert f"127.0.0.1:{port} is already in use" in err
+    assert "Traceback" not in err

@@ -185,7 +185,23 @@ def test_serve_help(capsys):
         main(SMALL + ["serve", "--help"])
     assert stop.value.code == 0
     out = capsys.readouterr().out
-    assert "--port" in out and "--cache" in out
+    assert "--port" in out and "--cache" in out and "--verbose" in out
+
+
+def test_serve_exits_2_when_port_is_taken(capsys):
+    import socket
+
+    blocker = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+    try:
+        blocker.bind(("127.0.0.1", 0))
+        blocker.listen(1)
+        port = blocker.getsockname()[1]
+        assert main(SMALL + ["serve", "--port", str(port)]) == 2
+    finally:
+        blocker.close()
+    captured = capsys.readouterr()
+    assert "already in use" in captured.err
+    assert "Traceback" not in captured.err
 
 
 def test_warm_command(tmp_path, capsys):
