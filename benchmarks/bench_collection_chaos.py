@@ -1,0 +1,111 @@
+"""Chaos sweep: dataset recall vs fault rate x retry budget.
+
+Runs the Section II collection against one small world under escalating
+fault plans and two retry budgets, measuring *recall* — the fraction of
+the fault-free dataset's entries a degraded run still collects — plus
+how much of the injected chaos the retry machinery absorbed. Also times
+the resilient pipeline against the plain one to show the bookkeeping is
+not the bottleneck.
+
+Run with::
+
+    pytest benchmarks/bench_collection_chaos.py --benchmark-only
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.reliability import FaultPlan, RetryPolicy
+from repro.world import WorldConfig, build_world, collect, run_collection
+
+SMALL = WorldConfig(seed=11, scale=0.15)
+
+#: Swept fetch-failure rates; the other rates scale proportionally.
+FAULT_RATES = (0.1, 0.3, 0.5)
+RETRY_BUDGETS = (1, 4)
+PLAN_SEED = 23
+
+
+def scaled_plan(rate: float) -> FaultPlan:
+    """A fault plan whose pressure scales off the fetch-failure rate."""
+    return FaultPlan(
+        seed=PLAN_SEED,
+        fetch_unreachable_rate=rate,
+        fetch_timeout_rate=rate * 0.2,
+        fetch_truncate_rate=rate * 0.3,
+        site_outage_rate=rate * 0.4,
+        mirror_down_rate=rate * 0.6,
+        feed_outage_rate=rate * 0.6,
+        feed_truncate_rate=rate * 0.4,
+    )
+
+
+@pytest.fixture(scope="module")
+def small_world():
+    return build_world(SMALL)
+
+
+@pytest.fixture(scope="module")
+def baseline_keys(small_world):
+    """The fault-free run's entry identities (the recall denominator)."""
+    return {e.package for e in collect(small_world).dataset.entries}
+
+
+def recall(result, baseline_keys) -> float:
+    kept = {e.package for e in result.dataset.entries}
+    return len(kept & baseline_keys) / len(baseline_keys)
+
+
+@pytest.mark.parametrize("rate", FAULT_RATES)
+@pytest.mark.parametrize("budget", RETRY_BUDGETS)
+def test_chaos_recall(small_world, baseline_keys, rate, budget, capsys):
+    """One cell of the recall-vs-fault-rate x retry-budget sweep."""
+    result = run_collection(
+        small_world,
+        plan=scaled_plan(rate),
+        policy=RetryPolicy().with_max_retries(budget),
+    )
+    report = result.stats.degradation
+    cell_recall = recall(result, baseline_keys)
+    injected = sum(report.faults_injected.values())
+    with capsys.disabled():
+        print(
+            f"\n[chaos] rate={rate:.1f} retries={budget}: "
+            f"recall={cell_recall:.3f} degraded={result.stats.degraded} "
+            f"faults={injected} recovered={report.errors_recovered} "
+            f"fatal={report.errors_fatal}"
+        )
+    # Exact accounting: every injected fault was observed exactly once.
+    assert injected == report.errors_recovered + report.errors_fatal
+    assert 0.0 < cell_recall <= 1.0
+    # More retries can only help at the same fault pressure.
+    if budget == max(RETRY_BUDGETS):
+        assert cell_recall >= 0.5
+
+
+def test_recall_monotone_in_retry_budget(small_world, baseline_keys):
+    """At fixed fault pressure a bigger retry budget never loses recall."""
+    rate = FAULT_RATES[-1]
+    recalls = [
+        recall(
+            run_collection(
+                small_world,
+                plan=scaled_plan(rate),
+                policy=RetryPolicy().with_max_retries(budget),
+            ),
+            baseline_keys,
+        )
+        for budget in RETRY_BUDGETS
+    ]
+    assert recalls == sorted(recalls), recalls
+
+
+def test_bench_resilient_pipeline_overhead(benchmark, small_world):
+    """Time one resilient run under moderate chaos (bookkeeping + retries
+    included); compare against ``test_stage_collection`` in
+    ``bench_pipeline_stages.py`` for the fault-free baseline."""
+    result = benchmark(
+        run_collection, small_world, plan=FaultPlan.moderate(seed=PLAN_SEED)
+    )
+    assert result.dataset.entries

@@ -93,6 +93,67 @@ def cmd_dataset(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_collect(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.pipeline import PipelineRuntime
+    from repro.reliability import FaultPlan, RetryPolicy
+
+    plan = None
+    if args.fault_plan is not None:
+        if args.fault_plan in FaultPlan.PRESETS:
+            plan = FaultPlan.preset(
+                args.fault_plan,
+                seed=args.fault_seed if args.fault_seed is not None else 0,
+            )
+        else:
+            plan = FaultPlan.from_dict(
+                json.loads(Path(args.fault_plan).read_text())
+            )
+            if args.fault_seed is not None:
+                plan = plan.reseeded(args.fault_seed)
+    policy = None
+    if args.max_retries is not None:
+        policy = RetryPolicy().with_max_retries(args.max_retries)
+
+    runtime = PipelineRuntime(
+        WorldConfig(seed=args.seed, scale=args.scale),
+        fault_plan=plan,
+        retry_policy=policy,
+        allow_degraded=args.allow_degraded,
+    )
+    result = runtime.collection()
+    stats = result.stats
+    print(
+        f"collected {len(result.dataset)} entries "
+        f"({stats.merged_entries} merged, "
+        f"{stats.recovery.recovered}/{stats.recovery.attempted} recovered "
+        "from mirrors)"
+    )
+    if stats.degradation is not None:
+        print(stats.degradation.render())
+    if args.out is not None:
+        from repro.io.datasets import save_dataset
+
+        target = save_dataset(result.dataset, args.out)
+        print(f"wrote dataset to {target}")
+    if args.degradation_json is not None:
+        payload = (
+            stats.degradation.to_dict()
+            if stats.degradation is not None
+            else None
+        )
+        Path(args.degradation_json).write_text(
+            json.dumps(payload, indent=2, sort_keys=True) + "\n"
+        )
+        print(f"wrote degradation report to {args.degradation_json}")
+    if stats.degraded and not args.allow_degraded:
+        # Completed, but gave data up and the caller did not opt in; the
+        # artifact was not cached. Distinct exit code for schedulers.
+        return 3
+    return 0
+
+
 def cmd_publish(args: argparse.Namespace) -> int:
     from repro.io.publish import publish_dataset
 
@@ -251,7 +312,11 @@ def cmd_serve(args: argparse.Namespace) -> int:
     from repro.service import build_service, serve
 
     artifacts = _artifacts(args)
-    service = build_service(artifacts.malgraph, capacity=args.cache)
+    service = build_service(
+        artifacts.malgraph,
+        capacity=args.cache,
+        degraded=artifacts.collection.stats.degraded,
+    )
     print(
         f"indexed {service.index.package_count} packages "
         f"(seed={args.seed}, scale={args.scale})"
@@ -386,6 +451,44 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-artifacts", action="store_true", help="names/hashes only"
     )
     dataset.set_defaults(func=cmd_dataset)
+
+    collect = sub.add_parser(
+        "collect",
+        help="run the Section II collection, optionally under fault injection",
+    )
+    collect.add_argument(
+        "--fault-plan",
+        default=None,
+        metavar="PLAN",
+        help="chaos preset ('moderate' / 'heavy') or path to a FaultPlan JSON file",
+    )
+    collect.add_argument(
+        "--fault-seed",
+        type=int,
+        default=None,
+        help="override the fault plan's seed",
+    )
+    collect.add_argument(
+        "--max-retries",
+        type=int,
+        default=None,
+        help="per-operation retry budget (default: RetryPolicy default of 4)",
+    )
+    collect.add_argument(
+        "--allow-degraded",
+        action="store_true",
+        help="accept (and cache) a degraded collection artifact",
+    )
+    collect.add_argument(
+        "--out", default=None, help="save the collected dataset to this directory"
+    )
+    collect.add_argument(
+        "--degradation-json",
+        default=None,
+        metavar="FILE",
+        help="write the DegradationReport as canonical JSON to FILE",
+    )
+    collect.set_defaults(func=cmd_collect)
 
     publish = sub.add_parser("publish", help="write the dataset website")
     publish.add_argument("--out", required=True)

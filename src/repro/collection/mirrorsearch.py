@@ -32,6 +32,9 @@ class RecoveryStats:
     attempted: int = 0
     recovered: int = 0
     misses: Dict[MissCause, int] = field(default_factory=dict)
+    #: lookups abandoned because the mirror fleet stayed unreachable
+    #: (degraded runs only) — inconclusive, so not a Fig. 5 miss.
+    skipped: int = 0
 
     def record_miss(self, cause: MissCause) -> None:
         self.misses[cause] = self.misses.get(cause, 0) + 1
@@ -62,17 +65,40 @@ def classify_miss(
 
 
 def recover_from_mirrors(
-    entries: List[DatasetEntry], mirrors: MirrorNetwork
+    entries: List[DatasetEntry], mirrors: MirrorNetwork, resilience=None
 ) -> RecoveryStats:
-    """Try mirror recovery for every artifact-less entry, in place."""
+    """Try mirror recovery for every artifact-less entry, in place.
+
+    With a :class:`repro.reliability.ResilienceContext`, each fleet scan
+    is retried through a per-ecosystem circuit breaker; a scan that stays
+    inconclusive (mirror down after every retry, or breaker open) is
+    counted in ``stats.skipped`` and quarantined into the degradation
+    report rather than misclassified as a Fig. 5 miss.
+    """
     stats = RecoveryStats()
     for entry in entries:
         if entry.available:
             continue
         stats.attempted += 1
-        hit = mirrors.search(
-            entry.package.ecosystem, entry.package.name, entry.package.version
-        )
+        package = entry.package
+        if resilience is None:
+            hit = mirrors.search(
+                package.ecosystem, package.name, package.version
+            )
+        else:
+            breaker = resilience.breaker(f"mirrors:{package.ecosystem}")
+            outcome = resilience.call(
+                f"mirrors:{package.ecosystem}",
+                lambda package=package: mirrors.search(
+                    package.ecosystem, package.name, package.version
+                ),
+                breaker=breaker,
+            )
+            if not outcome.ok:
+                stats.skipped += 1
+                resilience.report.skip_mirror_lookup()
+                continue
+            hit = outcome.value
         if hit is not None:
             mirror_name, artifact = hit
             entry.artifact = artifact

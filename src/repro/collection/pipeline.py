@@ -43,6 +43,7 @@ from repro.intel.sources import (
 )
 from repro.intel.web import SimulatedWeb
 from repro.malware.corpus import Corpus
+from repro.reliability.report import DegradationReport
 
 
 @dataclass
@@ -57,6 +58,10 @@ class CollectionStats:
     unknown_mentions: int = 0
     merged_entries: int = 0
     recovery: RecoveryStats = field(default_factory=RecoveryStats)
+    #: True when a resilient run gave anything up (see ``degradation``).
+    degraded: bool = False
+    #: Full quarantine ledger of a resilient run; None for plain runs.
+    degradation: Optional[DegradationReport] = None
 
 
 @dataclass
@@ -73,10 +78,15 @@ class CollectionPipeline:
         registries: RegistryHub,
         mirrors: MirrorNetwork,
         profiles: Sequence[SourceProfile] = tuple(SOURCE_PROFILES),
+        resilience=None,
     ):
         self.registries = registries
         self.mirrors = mirrors
         self.profiles = list(profiles)
+        #: Optional repro.reliability.ResilienceContext — when set, every
+        #: fallible stage retries through it and quarantines what still
+        #: fails into its DegradationReport instead of raising.
+        self.resilience = resilience
         from repro.intel.web import advisory_site
 
         self._site_to_source = {
@@ -112,11 +122,16 @@ class CollectionPipeline:
             entries.values(), key=lambda e: (e.package.ecosystem, e.package.name, e.package.version)
         )
         self._fill_registry_facts(dataset_entries)
-        stats.recovery = recover_from_mirrors(dataset_entries, self.mirrors)
+        stats.recovery = recover_from_mirrors(
+            dataset_entries, self.mirrors, resilience=self.resilience
+        )
 
         reports = self._resolve_reports(
             crawled_reports, entries, report_corpus.websites, stats
         )
+        if self.resilience is not None:
+            stats.degradation = self.resilience.finalise()
+            stats.degraded = stats.degradation.degraded
         dataset = MalwareDataset(entries=dataset_entries, reports=reports)
         return CollectionResult(dataset=dataset, stats=stats)
 
@@ -130,8 +145,13 @@ class CollectionPipeline:
         dataset_sources = {
             p.key for p in self.profiles if p.kind == SourceKind.DATASET
         }
-        for record in outcome.entries:
-            if record.source not in dataset_sources:
+        records = [r for r in outcome.entries if r.source in dataset_sources]
+        surviving = self._fetch_feeds(records)
+        # Iterate in the outcome's original order regardless of which feed
+        # served each record: claim order (and therefore dataset bytes)
+        # must match the fault-free run exactly.
+        for record in records:
+            if id(record) not in surviving:
                 continue
             stats.dataset_records += 1
             entry = self._claim(
@@ -147,6 +167,38 @@ class CollectionPipeline:
                     entry.artifact = artifact
                     entry.artifact_origin = f"source:{record.source}"
 
+    def _fetch_feeds(self, records) -> set:
+        """Pull each open-dataset source's feed; identity set of survivors.
+
+        Without fault injection every record survives. Under a fault plan
+        each source's feed is fetched through the retry machinery; a feed
+        that stays dark loses its records (``skipped_sources``), and one
+        that only ever emitted partially degrades to the best partial
+        emission seen (``partial_sources``).
+        """
+        ctx = self.resilience
+        if ctx is None or ctx.injector is None:
+            return {id(r) for r in records}
+        from repro.reliability.faults import FaultyFeed
+
+        by_source: Dict[str, List] = {}
+        for record in records:
+            by_source.setdefault(record.source, []).append(record)
+        surviving: set = set()
+        for source in sorted(by_source):
+            feed = FaultyFeed(source, by_source[source], ctx.injector)
+            outcome = ctx.call(f"feed:{source}", feed.fetch)
+            if outcome.ok:
+                surviving.update(id(r) for r in outcome.value)
+            elif feed.best_partial:
+                surviving.update(id(r) for r in feed.best_partial)
+                ctx.report.partial_source(
+                    source, len(by_source[source]) - len(feed.best_partial)
+                )
+            else:
+                ctx.report.skip_source(source)
+        return surviving
+
     # -- stage 2: web crawl ------------------------------------------------
     def _collect_websites(
         self,
@@ -154,7 +206,7 @@ class CollectionPipeline:
         entries: Dict[PackageId, DatasetEntry],
         stats: CollectionStats,
     ) -> List[ExtractedReport]:
-        spider = Spider(web)
+        spider = Spider(web, resilience=self.resilience)
         result = spider.crawl(spider.discover_sites())
         stats.crawl = result.stats
         for report in result.reports:

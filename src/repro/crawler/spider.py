@@ -7,6 +7,13 @@ output is the HTML pages. We used keywords (e.g. 'malicious' and
 :class:`Spider` walks the simulated web: seeded with website domains, it
 reads each site's index, fetches pages, applies the keyword pre-filter
 and hands surviving pages to the extractor.
+
+A single unfetchable URL no longer kills the whole crawl: it is counted
+in ``CrawlStats.pages_unfetchable`` and the site continues. Only a site
+whose index itself is missing raises :class:`~repro.errors.CrawlError`.
+Given a :class:`~repro.reliability.ResilienceContext`, the spider also
+retries transient fetch faults, trips a per-site circuit breaker, and
+quarantines what still fails into the run's degradation report.
 """
 
 from __future__ import annotations
@@ -15,8 +22,8 @@ from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Sequence
 
 from repro.crawler.extract import ExtractedReport, extract_report, is_security_report
-from repro.errors import CrawlError
-from repro.intel.web import SimulatedWeb
+from repro.errors import CrawlError, TruncatedPageError
+from repro.intel.web import SimulatedWeb, WebPage
 
 
 @dataclass
@@ -28,6 +35,7 @@ class CrawlStats:
     pages_filtered_out: int = 0
     reports_extracted: int = 0
     unusable_reports: int = 0
+    pages_unfetchable: int = 0
 
 
 @dataclass
@@ -39,39 +47,117 @@ class CrawlResult:
 
 
 class Spider:
-    """Crawl a simulated web from a seed list of sites."""
+    """Crawl a simulated web from a seed list of sites.
 
-    def __init__(self, web: SimulatedWeb, max_pages_per_site: int = 10_000):
+    ``resilience`` (a :class:`repro.reliability.ResilienceContext`) turns
+    on retry-with-backoff and per-site circuit breaking for index reads
+    and page fetches; without it the spider is the plain fail-soft
+    crawler (skip the URL, keep the site).
+    """
+
+    def __init__(
+        self,
+        web: SimulatedWeb,
+        max_pages_per_site: int = 10_000,
+        resilience=None,
+    ):
         self.web = web
         self.max_pages_per_site = max_pages_per_site
+        self.resilience = resilience
+
+    def _fetch_checked(self, url: str) -> Optional[WebPage]:
+        """Fetch one URL and verify the HTML arrived complete.
+
+        Every rendered page ends with ``</html>``; anything shorter was
+        cut off in flight and is worth re-fetching.
+        """
+        page = self.web.fetch(url)
+        if page is not None and not page.html.rstrip().endswith("</html>"):
+            raise TruncatedPageError(f"{url} arrived truncated")
+        return page
+
+    def _consume(
+        self,
+        url: str,
+        site: str,
+        page: WebPage,
+        stats: CrawlStats,
+        reports: List[ExtractedReport],
+    ) -> None:
+        """Filter + extract one fetched page into ``reports``."""
+        stats.pages_fetched += 1
+        if not is_security_report(page.html):
+            stats.pages_filtered_out += 1
+            return
+        report = extract_report(url, site, page.html)
+        if report.usable:
+            stats.reports_extracted += 1
+            reports.append(report)
+        else:
+            stats.unusable_reports += 1
 
     def crawl_site(self, site: str, stats: Optional[CrawlStats] = None) -> List[ExtractedReport]:
-        """Crawl one website; returns usable extracted reports."""
+        """Crawl one website; returns usable extracted reports.
+
+        Raises :class:`CrawlError` only when the site's index itself is
+        missing or (in resilient mode) stays unreachable after retries —
+        individual bad URLs are counted and skipped.
+        """
         stats = stats if stats is not None else CrawlStats()
         stats.sites_visited += 1
+        if site not in self.web.sites:
+            raise CrawlError(f"site index of {site!r} is missing")
         reports: List[ExtractedReport] = []
-        for url in self.web.site_index(site)[: self.max_pages_per_site]:
-            page = self.web.fetch(url)
-            if page is None:
-                raise CrawlError(f"listed URL {url!r} is not fetchable")
-            stats.pages_fetched += 1
-            if not is_security_report(page.html):
-                stats.pages_filtered_out += 1
+        if self.resilience is None:
+            for url in self.web.site_index(site)[: self.max_pages_per_site]:
+                page = self._fetch_checked(url)
+                if page is None:
+                    stats.pages_unfetchable += 1
+                    continue
+                self._consume(url, site, page, stats, reports)
+            return reports
+
+        ctx = self.resilience
+        breaker = ctx.breaker(f"site:{site}")
+        index = ctx.call(
+            f"site:{site}", lambda: self.web.site_index(site), breaker=breaker
+        )
+        if not index.ok:
+            raise CrawlError(f"site index of {site!r} is unreachable")
+        for url in index.value[: self.max_pages_per_site]:
+            outcome = ctx.call(
+                f"site:{site}",
+                lambda url=url: self._fetch_checked(url),
+                breaker=breaker,
+            )
+            if not outcome.ok:
+                stats.pages_unfetchable += 1
+                ctx.report.skip_url(url)
                 continue
-            report = extract_report(url, site, page.html)
-            if report.usable:
-                stats.reports_extracted += 1
-                reports.append(report)
-            else:
-                stats.unusable_reports += 1
+            if outcome.value is None:
+                stats.pages_unfetchable += 1
+                continue
+            self._consume(url, site, outcome.value, stats, reports)
         return reports
 
     def crawl(self, sites: Sequence[str]) -> CrawlResult:
-        """Crawl every seed site."""
+        """Crawl every seed site.
+
+        In resilient mode a site that stays dark (index unreachable after
+        retries, or breaker open) is quarantined into the degradation
+        report and the crawl moves on; without a resilience context the
+        historical fail-fast behaviour stands.
+        """
         stats = CrawlStats()
         reports: List[ExtractedReport] = []
         for site in sites:
-            reports.extend(self.crawl_site(site, stats))
+            if self.resilience is None:
+                reports.extend(self.crawl_site(site, stats))
+                continue
+            try:
+                reports.extend(self.crawl_site(site, stats))
+            except CrawlError:
+                self.resilience.report.skip_site(site)
         return CrawlResult(reports=reports, stats=stats)
 
     def discover_sites(self) -> List[str]:

@@ -107,6 +107,16 @@ class MirrorNetwork:
         """Run all due syncs for ``day``; returns number of syncs."""
         return sum(1 for m in self._mirrors if m.maybe_sync(day))
 
+    def probe(
+        self, mirror: MirrorRegistry, name: str, version: str
+    ) -> Optional[PackageArtifact]:
+        """Consult one mirror for (name, version).
+
+        Seam for :class:`repro.reliability.FaultyMirrorNetwork`, which
+        overrides this to model a mirror being down for a sync window.
+        """
+        return mirror.lookup(name, version)
+
     def search(
         self, ecosystem: str, name: str, version: str
     ) -> Optional[Tuple[str, PackageArtifact]]:
@@ -116,7 +126,7 @@ class MirrorNetwork:
         it, mimicking the paper's sequential mirror lookups.
         """
         for mirror in self.for_ecosystem(ecosystem):
-            artifact = mirror.lookup(name, version)
+            artifact = self.probe(mirror, name, version)
             if artifact is not None:
                 return mirror.name, artifact
         return None

@@ -6,6 +6,14 @@ real HTML page with the package names/versions embedded in the markup the
 way security blogs structure them: a prose narrative, a package list and
 an IOC section. Noise pages (release notes, hiring posts, ...) are mixed
 in to exercise the crawler's keyword filter.
+
+Fault contract: chaos runs wrap this class in
+``repro.reliability.FaultyWeb``, which proxies ``fetch``/``site_index``
+and injects unreachable, slow and truncated responses. Two invariants
+keep that wrapper honest: a URL absent from ``pages`` returns ``None``
+without drawing a fault, and every rendered page ends with ``</html>``
+(see ``repro.crawler.html.render_page``) so truncation is detectable by
+the spider's integrity check.
 """
 
 from __future__ import annotations

@@ -124,6 +124,7 @@ def collection_stats_to_dict(stats) -> dict:
             "pages_filtered_out": stats.crawl.pages_filtered_out,
             "reports_extracted": stats.crawl.reports_extracted,
             "unusable_reports": stats.crawl.unusable_reports,
+            "pages_unfetchable": stats.crawl.pages_unfetchable,
         },
         "crawled_records": stats.crawled_records,
         "sns_records": stats.sns_records,
@@ -137,7 +138,14 @@ def collection_stats_to_dict(stats) -> dict:
                 cause.value: count
                 for cause, count in stats.recovery.misses.items()
             },
+            "skipped": stats.recovery.skipped,
         },
+        "degraded": stats.degraded,
+        "degradation": (
+            stats.degradation.to_dict()
+            if stats.degradation is not None
+            else None
+        ),
     }
 
 
@@ -145,8 +153,11 @@ def collection_stats_from_dict(raw: dict):
     """Inverse of :func:`collection_stats_to_dict`."""
     from repro.collection.pipeline import CollectionStats
 
+    from repro.reliability.report import DegradationReport
+
     crawl_raw = raw.get("crawl", {})
     recovery_raw = raw.get("recovery", {})
+    degradation_raw = raw.get("degradation")
     return CollectionStats(
         dataset_records=raw.get("dataset_records", 0),
         crawl=CrawlStats(
@@ -155,6 +166,7 @@ def collection_stats_from_dict(raw: dict):
             pages_filtered_out=crawl_raw.get("pages_filtered_out", 0),
             reports_extracted=crawl_raw.get("reports_extracted", 0),
             unusable_reports=crawl_raw.get("unusable_reports", 0),
+            pages_unfetchable=crawl_raw.get("pages_unfetchable", 0),
         ),
         crawled_records=raw.get("crawled_records", 0),
         sns_records=raw.get("sns_records", 0),
@@ -168,6 +180,13 @@ def collection_stats_from_dict(raw: dict):
                 MissCause(cause): count
                 for cause, count in recovery_raw.get("misses", {}).items()
             },
+            skipped=recovery_raw.get("skipped", 0),
+        ),
+        degraded=raw.get("degraded", False),
+        degradation=(
+            DegradationReport.from_dict(degradation_raw)
+            if degradation_raw is not None
+            else None
         ),
     )
 

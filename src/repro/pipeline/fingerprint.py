@@ -26,8 +26,9 @@ from repro.core.similarity import SimilarityConfig
 from repro.world import WorldConfig
 
 #: Bump when the serialised artifact formats change; old disk entries are
-#: then treated as misses and rebuilt.
-SCHEMA_VERSION = 1
+#: then treated as misses and rebuilt. v2: CollectionStats gained
+#: pages_unfetchable / recovery.skipped / degraded / degradation.
+SCHEMA_VERSION = 2
 
 #: Hex digits kept from the SHA256 digest (64 bits; collisions across a
 #: handful of configurations are not a realistic concern).
@@ -35,12 +36,25 @@ FINGERPRINT_LENGTH = 16
 
 
 def config_payload(
-    config: WorldConfig, similarity: Optional[SimilarityConfig] = None
+    config: WorldConfig,
+    similarity: Optional[SimilarityConfig] = None,
+    fault_plan=None,
+    max_retries: Optional[int] = None,
 ) -> dict:
-    """The exact dict that gets hashed (and stamped into disk metadata)."""
+    """The exact dict that gets hashed (and stamped into disk metadata).
+
+    ``fault_plan`` (a :class:`repro.reliability.FaultPlan`) and the retry
+    budget are folded in only when chaos is active, so every fault-free
+    fingerprint — the overwhelmingly common case — is unchanged by their
+    existence.
+    """
     payload = {"world": asdict(config)}
     if similarity is not None:
         payload["similarity"] = asdict(similarity)
+    if fault_plan is not None:
+        payload["faults"] = fault_plan.to_dict()
+        if max_retries is not None:
+            payload["max_retries"] = max_retries
     return payload
 
 
@@ -48,12 +62,14 @@ def fingerprint(
     stage: str,
     config: WorldConfig,
     similarity: Optional[SimilarityConfig] = None,
+    fault_plan=None,
+    max_retries: Optional[int] = None,
 ) -> str:
     """Deterministic content address for one stage's artifact."""
     body = {
         "schema": SCHEMA_VERSION,
         "stage": stage,
-        "config": config_payload(config, similarity),
+        "config": config_payload(config, similarity, fault_plan, max_retries),
     }
     canonical = json.dumps(body, sort_keys=True, separators=(",", ":"))
     digest = hashlib.sha256(canonical.encode("utf-8")).hexdigest()

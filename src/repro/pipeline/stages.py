@@ -99,6 +99,9 @@ class PipelineRuntime:
         similarity: Optional[SimilarityConfig] = None,
         store: Optional[ArtifactStore] = None,
         report: Optional[PipelineReport] = None,
+        fault_plan=None,
+        retry_policy=None,
+        allow_degraded: bool = False,
     ):
         from repro import pipeline as _pipeline
 
@@ -108,16 +111,56 @@ class PipelineRuntime:
         )
         self.store = store if store is not None else _pipeline.get_store()
         self.report = report if report is not None else _pipeline.get_report()
+        #: Chaos knobs (repro.reliability.FaultPlan / RetryPolicy). The
+        #: plan and retry budget are part of the collection/malgraph
+        #: fingerprints — a chaos run never aliases a clean artifact.
+        self.fault_plan = fault_plan
+        self.retry_policy = retry_policy
+        #: A degraded collection artifact is refused by the cache unless
+        #: the caller opts in (it would silently poison every downstream
+        #: consumer of that fingerprint otherwise).
+        self.allow_degraded = allow_degraded
 
     # -- fingerprints ------------------------------------------------------
+    def _max_retries(self) -> Optional[int]:
+        if self.retry_policy is None:
+            return None
+        return self.retry_policy.max_retries
+
     def fingerprint(self, stage: str) -> str:
         if stage == STAGE_MALGRAPH:
-            return fingerprint(stage, self.config, self.similarity)
+            return fingerprint(
+                stage,
+                self.config,
+                self.similarity,
+                fault_plan=self.fault_plan,
+                max_retries=self._max_retries(),
+            )
+        if stage == STAGE_COLLECTION:
+            return fingerprint(
+                stage,
+                self.config,
+                fault_plan=self.fault_plan,
+                max_retries=self._max_retries(),
+            )
+        # The world stage is untouched by fault injection: faults wrap the
+        # finished world's substrates at collection time.
         return fingerprint(stage, self.config)
 
     def _config_payload(self, stage: str) -> dict:
         if stage == STAGE_MALGRAPH:
-            return config_payload(self.config, self.similarity)
+            return config_payload(
+                self.config,
+                self.similarity,
+                fault_plan=self.fault_plan,
+                max_retries=self._max_retries(),
+            )
+        if stage == STAGE_COLLECTION:
+            return config_payload(
+                self.config,
+                fault_plan=self.fault_plan,
+                max_retries=self._max_retries(),
+            )
         return config_payload(self.config)
 
     # -- public stage accessors -------------------------------------------
@@ -188,7 +231,19 @@ class PipelineRuntime:
                 return result
         world = self._resolve_world()
         started = time.perf_counter()
-        result = collect(world)
+        if self.fault_plan is not None:
+            from repro.world import run_collection
+
+            result = run_collection(
+                world, plan=self.fault_plan, policy=self.retry_policy
+            )
+        else:
+            result = collect(world)
+        if result.stats.degraded and not self.allow_degraded:
+            # Quarantine: a degraded artifact must not poison the cache —
+            # it resolves for this call only and is rebuilt next time.
+            self._record(STAGE_COLLECTION, STATUS_MISS, SOURCE_BUILD, started)
+            return result
         self.store.put_memory(STAGE_COLLECTION, fp, result)
         self.store.put_disk(
             STAGE_COLLECTION, fp, result, codec, self._config_payload(STAGE_COLLECTION)

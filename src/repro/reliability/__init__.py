@@ -1,0 +1,57 @@
+"""Fault injection and graceful degradation for the collection pipeline.
+
+The paper's Section-II substrate — 68 crawled websites, lagging mirror
+registries, open-dataset feeds — is inherently unreliable in the wild.
+This package makes the reproduction survive that unreliability:
+
+* :mod:`~repro.reliability.retry` — retry with exponential backoff,
+  deterministic jitter, per-operation deadlines, and circuit breakers,
+  all on a simulated :class:`RetryClock`;
+* :mod:`~repro.reliability.faults` — a seeded :class:`FaultPlan` plus
+  drop-in faulty wrappers for the web, the mirror fleet, and the
+  open-dataset feeds (bit-reproducible chaos);
+* :mod:`~repro.reliability.report` — the :class:`DegradationReport`
+  ledger of everything a run retried, recovered, or gave up on;
+* :mod:`~repro.reliability.context` — :class:`ResilienceContext`, the
+  per-run bundle the collection components thread through.
+
+Entry point: ``repro.world.run_collection(world, plan=...)`` or the CLI's
+``collect --fault-plan`` subcommand.
+"""
+
+from repro.reliability.context import Outcome, ResilienceContext
+from repro.reliability.faults import (
+    FaultInjector,
+    FaultPlan,
+    FaultyFeed,
+    FaultyMirrorNetwork,
+    FaultyWeb,
+)
+from repro.reliability.report import DegradationReport
+from repro.reliability.retry import (
+    STATE_CLOSED,
+    STATE_HALF_OPEN,
+    STATE_OPEN,
+    CircuitBreaker,
+    RetryClock,
+    RetryPolicy,
+    retry_call,
+)
+
+__all__ = [
+    "CircuitBreaker",
+    "DegradationReport",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultyFeed",
+    "FaultyMirrorNetwork",
+    "FaultyWeb",
+    "Outcome",
+    "ResilienceContext",
+    "RetryClock",
+    "RetryPolicy",
+    "STATE_CLOSED",
+    "STATE_HALF_OPEN",
+    "STATE_OPEN",
+    "retry_call",
+]

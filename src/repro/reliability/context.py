@@ -1,0 +1,134 @@
+"""ResilienceContext — one resilient collection run's shared machinery.
+
+The context owns the simulated clock, the retry policy, the fault
+injector (when a plan is active), the per-dependency circuit breakers,
+and the :class:`~repro.reliability.report.DegradationReport` that every
+wrapped operation books into. Collection components receive the context
+and route fallible operations through :meth:`ResilienceContext.call`,
+which returns an :class:`Outcome` instead of raising — graceful
+degradation is then a local decision (skip the URL, keep the partial
+feed) rather than an unwound stack.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional
+
+from repro.errors import TransientError
+from repro.reliability.faults import FaultInjector, FaultPlan
+from repro.reliability.report import DegradationReport
+from repro.reliability.retry import (
+    CircuitBreaker,
+    RetryClock,
+    RetryPolicy,
+    retry_call,
+)
+
+
+@dataclass
+class Outcome:
+    """Result of one resilient operation: value or quarantined failure."""
+
+    ok: bool
+    value: object = None
+    failure: Optional[TransientError] = None
+    attempts: int = 0
+    #: True when a tripped breaker refused the operation outright.
+    skipped: bool = False
+
+
+class ResilienceContext:
+    """Shared clock, policy, breakers, injector, and report for one run."""
+
+    def __init__(
+        self,
+        policy: Optional[RetryPolicy] = None,
+        plan: Optional[FaultPlan] = None,
+        clock: Optional[RetryClock] = None,
+    ):
+        self.policy = policy if policy is not None else RetryPolicy()
+        self.plan = plan
+        self.clock = clock if clock is not None else RetryClock()
+        self.injector: Optional[FaultInjector] = (
+            FaultInjector(plan) if plan is not None and not plan.is_null
+            else None
+        )
+        self.report = DegradationReport()
+        seed = plan.seed if plan is not None else 0
+        #: jitter source — seeded off the plan so backoff sequences (and
+        #: therefore breaker cool-down timings) are reproducible.
+        self.rng = random.Random(f"{seed}|jitter")
+        self._breakers: Dict[str, CircuitBreaker] = {}
+
+    def breaker(
+        self,
+        name: str,
+        failure_threshold: int = 5,
+        cooldown: float = 120.0,
+    ) -> CircuitBreaker:
+        """Get-or-create the named breaker (per site, per mirror fleet)."""
+        found = self._breakers.get(name)
+        if found is None:
+            found = CircuitBreaker(
+                self.clock,
+                name=name,
+                failure_threshold=failure_threshold,
+                cooldown=cooldown,
+            )
+            self._breakers[name] = found
+        return found
+
+    def call(
+        self,
+        label: str,
+        fn: Callable[[], object],
+        breaker: Optional[CircuitBreaker] = None,
+    ) -> Outcome:
+        """Run ``fn`` through retry + breaker, booking into the report.
+
+        Transient failures are retried per the policy; exhaustion is
+        captured in the returned :class:`Outcome` (never raised).
+        Permanent errors propagate — they are caller bugs or genuine
+        negatives, not degradation. A breaker failure is one *operation*
+        failure (retry exhaustion), not one per attempt.
+        """
+        if breaker is not None and not breaker.allow():
+            self.report.skip_for_breaker()
+            return Outcome(ok=False, skipped=True)
+
+        errors_seen = 0
+
+        def on_error(failure: TransientError) -> None:
+            nonlocal errors_seen
+            errors_seen += 1
+            self.report.note_error(
+                label, getattr(failure, "kind", "transient")
+            )
+
+        try:
+            value = retry_call(
+                fn,
+                policy=self.policy,
+                clock=self.clock,
+                rng=self.rng,
+                on_error=on_error,
+            )
+        except TransientError as failure:
+            self.report.note_exhausted(errors_seen)
+            if breaker is not None and breaker.record_failure():
+                self.report.trip_breaker(breaker.name)
+            return Outcome(ok=False, failure=failure, attempts=errors_seen)
+        self.report.note_success(errors_seen + 1)
+        if breaker is not None:
+            breaker.record_success()
+        return Outcome(ok=True, value=value, attempts=errors_seen + 1)
+
+    def finalise(self) -> DegradationReport:
+        """Seal the report with the injector's fault ledger and plan."""
+        if self.injector is not None:
+            self.report.faults_injected = dict(self.injector.injected)
+        if self.plan is not None:
+            self.report.fault_plan = self.plan.to_dict()
+        return self.report

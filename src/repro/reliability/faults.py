@@ -1,0 +1,379 @@
+"""Seeded, deterministic fault injection for the collection substrate.
+
+A :class:`FaultPlan` describes *what can go wrong* (rates per fault
+kind); a :class:`FaultInjector` turns the plan into concrete draws.
+Every draw comes from ``random.Random`` seeded with
+``plan.seed | scope | key | probe-number`` — string seeding hashes
+through SHA-512, so the sequence is stable across processes and
+``PYTHONHASHSEED`` values, independent draws per target, and a *retry*
+of the same target sees a fresh draw (probe numbers advance). Two runs
+with the same plan therefore inject bit-identical fault sequences.
+
+The wrappers are drop-in facades over the real substrate:
+
+* :class:`FaultyWeb` wraps :class:`~repro.intel.web.SimulatedWeb` —
+  unreachable pages, slow fetches that consume simulated-clock budget,
+  truncated HTML, whole-site index outages;
+* :class:`FaultyMirrorNetwork` wraps
+  :class:`~repro.ecosystem.mirror.MirrorNetwork` — a mirror down for a
+  sync window aborts the sequential scan (inconclusive, retryable);
+* :class:`FaultyFeed` wraps one open-dataset source's record stream —
+  source outages, sources dark for the whole run, partial emissions.
+
+Every injected fault surfaces as exactly one
+:class:`~repro.errors.TransientError` of the matching ``kind``, which is
+the invariant the degradation report's accounting check rests on.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field, fields, replace
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.ecosystem.mirror import MirrorNetwork, MirrorRegistry
+from repro.errors import (
+    ConfigError,
+    FeedTruncatedError,
+    FetchTimeoutError,
+    FetchUnreachableError,
+    MirrorDownError,
+    SiteOutageError,
+    SourceOutageError,
+)
+from repro.intel.web import SimulatedWeb, WebPage
+from repro.reliability.retry import RetryClock
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """Seeded description of the faults to inject into one collection run.
+
+    Rates are per *probe* (one fetch attempt, one mirror consultation,
+    one feed pull), so a retry re-rolls the dice — which is exactly what
+    lets a retry budget recover from transient faults deterministically.
+    """
+
+    seed: int = 0
+    #: web fetches: P(page unreachable) / P(fetch times out) / P(HTML
+    #: arrives truncated) per attempt. Mutually exclusive per draw.
+    fetch_unreachable_rate: float = 0.0
+    fetch_timeout_rate: float = 0.0
+    fetch_truncate_rate: float = 0.0
+    #: simulated seconds a timed-out fetch burns before failing.
+    slow_fetch_cost: float = 5.0
+    #: P(a site's index page is unreachable) per read.
+    site_outage_rate: float = 0.0
+    #: P(one mirror is down) per consultation during a search scan.
+    mirror_down_rate: float = 0.0
+    #: open-dataset feeds: P(no answer) / P(partial emission) per pull.
+    feed_outage_rate: float = 0.0
+    feed_truncate_rate: float = 0.0
+    #: sources that never answer, for the whole run (heavy chaos).
+    dark_sources: Tuple[str, ...] = ()
+
+    def __post_init__(self) -> None:
+        for spec in fields(self):
+            if spec.name.endswith("_rate"):
+                value = getattr(self, spec.name)
+                if not 0.0 <= value <= 1.0:
+                    raise ConfigError(
+                        f"{spec.name} must be in [0, 1], got {value}"
+                    )
+        combined = (
+            self.fetch_unreachable_rate
+            + self.fetch_timeout_rate
+            + self.fetch_truncate_rate
+        )
+        if combined > 1.0:
+            raise ConfigError(
+                f"fetch fault rates sum to {combined:.3f} > 1"
+            )
+
+    @property
+    def is_null(self) -> bool:
+        """True when the plan injects nothing at all."""
+        return (
+            self.fetch_unreachable_rate == 0.0
+            and self.fetch_timeout_rate == 0.0
+            and self.fetch_truncate_rate == 0.0
+            and self.site_outage_rate == 0.0
+            and self.mirror_down_rate == 0.0
+            and self.feed_outage_rate == 0.0
+            and self.feed_truncate_rate == 0.0
+            and not self.dark_sources
+        )
+
+    # -- presets -----------------------------------------------------------
+    @classmethod
+    def moderate(cls, seed: int = 0) -> "FaultPlan":
+        """Flaky-but-recoverable: the default retry budget absorbs every
+        fault, so the merged dataset matches the fault-free run."""
+        return cls(
+            seed=seed,
+            fetch_unreachable_rate=0.08,
+            fetch_timeout_rate=0.01,
+            fetch_truncate_rate=0.02,
+            site_outage_rate=0.02,
+            mirror_down_rate=0.01,
+            feed_outage_rate=0.15,
+            feed_truncate_rate=0.10,
+        )
+
+    @classmethod
+    def heavy(cls, seed: int = 0) -> "FaultPlan":
+        """Half the web unreachable and two open datasets dark: the run
+        must complete degraded, not die."""
+        return cls(
+            seed=seed,
+            fetch_unreachable_rate=0.50,
+            fetch_timeout_rate=0.15,
+            fetch_truncate_rate=0.20,
+            site_outage_rate=0.25,
+            mirror_down_rate=0.45,
+            feed_outage_rate=0.40,
+            feed_truncate_rate=0.30,
+            dark_sources=("maloss", "datadog"),
+        )
+
+    PRESETS = ("moderate", "heavy")
+
+    @classmethod
+    def preset(cls, name: str, seed: int = 0) -> "FaultPlan":
+        if name == "moderate":
+            return cls.moderate(seed)
+        if name == "heavy":
+            return cls.heavy(seed)
+        raise ConfigError(
+            f"unknown fault plan {name!r}; choose from {cls.PRESETS}"
+        )
+
+    def reseeded(self, seed: int) -> "FaultPlan":
+        return replace(self, seed=seed)
+
+    # -- (de)serialisation -------------------------------------------------
+    def to_dict(self) -> dict:
+        payload = {
+            spec.name: getattr(self, spec.name)
+            for spec in fields(self)
+            if spec.name != "dark_sources"
+        }
+        payload["dark_sources"] = list(self.dark_sources)
+        return payload
+
+    @classmethod
+    def from_dict(cls, raw: dict) -> "FaultPlan":
+        known = {spec.name for spec in fields(cls)}
+        unknown = set(raw) - known
+        if unknown:
+            raise ConfigError(f"unknown fault-plan keys: {sorted(unknown)}")
+        kwargs = dict(raw)
+        if "dark_sources" in kwargs:
+            kwargs["dark_sources"] = tuple(kwargs["dark_sources"])
+        return cls(**kwargs)
+
+
+class FaultInjector:
+    """Turns a :class:`FaultPlan` into deterministic per-probe draws.
+
+    Tracks how many times each (scope, key) target was probed — the
+    probe number feeds the seed so retries re-roll — and counts every
+    fault it fires into ``injected``, the ledger the degradation report
+    reconciles against.
+    """
+
+    def __init__(self, plan: FaultPlan):
+        self.plan = plan
+        self.injected: Dict[str, int] = {}
+        self._probes: Dict[Tuple[str, str], int] = {}
+
+    def uniform(self, scope: str, key: str) -> float:
+        """One deterministic U[0,1) draw for this probe of (scope, key)."""
+        probe = self._probes.get((scope, key), 0)
+        self._probes[(scope, key)] = probe + 1
+        return random.Random(
+            f"{self.plan.seed}|{scope}|{key}|{probe}"
+        ).random()
+
+    def count(self, kind: str) -> None:
+        self.injected[kind] = self.injected.get(kind, 0) + 1
+
+    def total_injected(self) -> int:
+        return sum(self.injected.values())
+
+    # -- per-substrate draws ----------------------------------------------
+    def fetch_fault(self, url: str) -> Optional[str]:
+        """The fault kind (if any) for this fetch attempt of ``url``."""
+        plan = self.plan
+        if (
+            plan.fetch_unreachable_rate == 0.0
+            and plan.fetch_timeout_rate == 0.0
+            and plan.fetch_truncate_rate == 0.0
+        ):
+            return None
+        draw = self.uniform("fetch", url)
+        edge = plan.fetch_unreachable_rate
+        if draw < edge:
+            self.count("fetch_unreachable")
+            return "fetch_unreachable"
+        edge += plan.fetch_timeout_rate
+        if draw < edge:
+            self.count("fetch_timeout")
+            return "fetch_timeout"
+        edge += plan.fetch_truncate_rate
+        if draw < edge:
+            self.count("fetch_truncated")
+            return "fetch_truncated"
+        return None
+
+    def site_outage(self, site: str) -> bool:
+        if self.plan.site_outage_rate == 0.0:
+            return False
+        if self.uniform("site", site) < self.plan.site_outage_rate:
+            self.count("site_outage")
+            return True
+        return False
+
+    def mirror_down(self, mirror_name: str) -> bool:
+        if self.plan.mirror_down_rate == 0.0:
+            return False
+        if self.uniform("mirror", mirror_name) < self.plan.mirror_down_rate:
+            self.count("mirror_down")
+            return True
+        return False
+
+    def feed_fault(self, source: str) -> Optional[str]:
+        """The fault kind (if any) for this pull of ``source``'s feed."""
+        plan = self.plan
+        if source in plan.dark_sources:
+            self.count("feed_outage")
+            return "feed_outage"
+        if plan.feed_outage_rate == 0.0 and plan.feed_truncate_rate == 0.0:
+            return None
+        draw = self.uniform("feed", source)
+        if draw < plan.feed_outage_rate:
+            self.count("feed_outage")
+            return "feed_outage"
+        if draw < plan.feed_outage_rate + plan.feed_truncate_rate:
+            self.count("feed_truncated")
+            return "feed_truncated"
+        return None
+
+    def feed_cut(self, source: str, size: int) -> int:
+        """How many records a partial emission of ``source`` keeps."""
+        fraction = random.Random(
+            f"{self.plan.seed}|feedcut|{source}|{self._probes.get(('feed', source), 0)}"
+        ).uniform(0.3, 0.9)
+        return max(1, int(size * fraction)) if size else 0
+
+
+class FaultyWeb:
+    """Drop-in :class:`SimulatedWeb` facade that injects fetch faults.
+
+    Unreachable and timed-out fetches raise (timeouts first burn
+    ``slow_fetch_cost`` simulated seconds off the caller's deadline
+    budget); truncated fetches return the page with its HTML cut in
+    half, leaving detection to the crawler — exactly like a real
+    connection dropped mid-body. Missing URLs still return ``None``
+    (permanently absent, never retried).
+    """
+
+    def __init__(
+        self,
+        web: SimulatedWeb,
+        injector: FaultInjector,
+        clock: Optional[RetryClock] = None,
+    ):
+        self._web = web
+        self.injector = injector
+        self.clock = clock if clock is not None else RetryClock()
+
+    @property
+    def pages(self) -> Dict[str, WebPage]:
+        return self._web.pages
+
+    @property
+    def sites(self) -> Dict[str, List[str]]:
+        return self._web.sites
+
+    def __len__(self) -> int:
+        return len(self._web)
+
+    def site_index(self, site: str) -> List[str]:
+        if self.injector.site_outage(site):
+            raise SiteOutageError(f"index of {site!r} is unreachable")
+        return self._web.site_index(site)
+
+    def fetch(self, url: str) -> Optional[WebPage]:
+        page = self._web.fetch(url)
+        if page is None:
+            return None
+        kind = self.injector.fetch_fault(url)
+        if kind == "fetch_unreachable":
+            raise FetchUnreachableError(f"{url} is unreachable")
+        if kind == "fetch_timeout":
+            self.clock.sleep(self.injector.plan.slow_fetch_cost)
+            raise FetchTimeoutError(
+                f"{url} timed out after "
+                f"{self.injector.plan.slow_fetch_cost:.1f}s"
+            )
+        if kind == "fetch_truncated":
+            return WebPage(
+                url=page.url,
+                html=page.html[: len(page.html) // 2],
+                site=page.site,
+                is_report=page.is_report,
+            )
+        return page
+
+
+class FaultyMirrorNetwork(MirrorNetwork):
+    """Mirror fleet where individual mirrors can be down for a probe.
+
+    A down mirror aborts the sequential scan with
+    :class:`MirrorDownError` instead of being silently skipped: skipping
+    would let a later mirror answer and change ``artifact_origin``
+    relative to the fault-free run. Retrying the whole scan (against
+    fresh draws) reproduces the fault-free lookup order exactly.
+    """
+
+    def __init__(self, network: MirrorNetwork, injector: FaultInjector):
+        super().__init__(network)
+        self.injector = injector
+
+    def probe(self, mirror: MirrorRegistry, name: str, version: str):
+        if self.injector.mirror_down(mirror.name):
+            raise MirrorDownError(
+                f"mirror {mirror.name!r} is down for this sync window"
+            )
+        return super().probe(mirror, name, version)
+
+
+class FaultyFeed:
+    """One open-dataset source's record stream, with outages and partial
+    emissions. Keeps the best partial emission seen so exhausted retries
+    can degrade to it instead of losing the source entirely."""
+
+    def __init__(
+        self, source: str, records: Sequence, injector: FaultInjector
+    ):
+        self.source = source
+        self._records = list(records)
+        self.injector = injector
+        self.best_partial: List = []
+
+    def fetch(self) -> List:
+        kind = self.injector.feed_fault(self.source)
+        if kind == "feed_outage":
+            raise SourceOutageError(f"source {self.source!r} is dark")
+        if kind == "feed_truncated":
+            keep = self.injector.feed_cut(self.source, len(self._records))
+            partial = self._records[:keep]
+            if len(partial) > len(self.best_partial):
+                self.best_partial = partial
+            raise FeedTruncatedError(
+                f"feed of {self.source!r} emitted only "
+                f"{keep}/{len(self._records)} records",
+                partial=partial,
+            )
+        return list(self._records)

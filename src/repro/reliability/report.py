@@ -1,0 +1,209 @@
+"""Degradation accounting for a resilient collection run.
+
+A :class:`DegradationReport` is the quarantine ledger: everything that
+failed, how hard we tried, and what the run gave up on. Its central
+invariant — checked by the chaos tests — is that the books balance::
+
+    sum(faults_injected.values())
+        == errors_recovered + errors_fatal
+        == sum(errors_by_kind.values())
+
+i.e. every injected fault surfaced as exactly one observed transient
+error, and every observed error was either retried away or ended in a
+quarantined skip. ``to_dict`` is canonical (sorted keys, plain types) so
+two runs with the same fault-plan seed serialise byte-identically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+
+@dataclass
+class DegradationReport:
+    """What a resilient collection run survived, and at what cost."""
+
+    #: fault plan that drove the run (canonical dict), if any.
+    fault_plan: Optional[dict] = None
+    #: ledger of faults the injector actually fired, by kind.
+    faults_injected: Dict[str, int] = field(default_factory=dict)
+    #: resilient operations attempted / total retries spent.
+    operations: int = 0
+    retries: int = 0
+    #: attempts-per-operation histogram: {attempts: operation count}.
+    retry_histogram: Dict[int, int] = field(default_factory=dict)
+    #: observed transient errors by error ``kind`` and by source label.
+    errors_by_kind: Dict[str, int] = field(default_factory=dict)
+    errors_by_source: Dict[str, int] = field(default_factory=dict)
+    #: errors absorbed by a later successful attempt vs. errors whose
+    #: operation exhausted its budget (these led to a quarantine entry).
+    errors_recovered: int = 0
+    errors_fatal: int = 0
+    #: what the run gave up on.
+    skipped_urls: List[str] = field(default_factory=list)
+    skipped_sites: List[str] = field(default_factory=list)
+    skipped_sources: List[str] = field(default_factory=list)
+    #: source -> records lost to a partial (truncated) feed emission.
+    partial_sources: Dict[str, int] = field(default_factory=dict)
+    mirror_lookups_skipped: int = 0
+    #: breakers that opened at least once, and ops refused while open.
+    tripped_breakers: List[str] = field(default_factory=list)
+    breaker_skips: int = 0
+
+    # -- bookkeeping hooks -------------------------------------------------
+    def note_error(self, source: str, kind: str) -> None:
+        """One observed transient error of ``kind`` while working ``source``."""
+        self.errors_by_kind[kind] = self.errors_by_kind.get(kind, 0) + 1
+        self.errors_by_source[source] = (
+            self.errors_by_source.get(source, 0) + 1
+        )
+
+    def note_success(self, attempts: int) -> None:
+        """An operation succeeded on its ``attempts``-th attempt."""
+        self._note_operation(attempts)
+        self.errors_recovered += attempts - 1
+
+    def note_exhausted(self, attempts: int) -> None:
+        """An operation failed all ``attempts`` attempts."""
+        self._note_operation(attempts)
+        self.errors_fatal += attempts
+
+    def _note_operation(self, attempts: int) -> None:
+        self.operations += 1
+        self.retries += attempts - 1
+        self.retry_histogram[attempts] = (
+            self.retry_histogram.get(attempts, 0) + 1
+        )
+
+    def skip_url(self, url: str) -> None:
+        self.skipped_urls.append(url)
+
+    def skip_site(self, site: str) -> None:
+        self.skipped_sites.append(site)
+
+    def skip_source(self, source: str) -> None:
+        self.skipped_sources.append(source)
+
+    def partial_source(self, source: str, records_lost: int) -> None:
+        self.partial_sources[source] = records_lost
+
+    def skip_mirror_lookup(self) -> None:
+        self.mirror_lookups_skipped += 1
+
+    def trip_breaker(self, name: str) -> None:
+        self.tripped_breakers.append(name)
+
+    def skip_for_breaker(self) -> None:
+        self.breaker_skips += 1
+
+    # -- summary -----------------------------------------------------------
+    @property
+    def degraded(self) -> bool:
+        """True when the run gave anything up (vs. recovering everything)."""
+        return bool(
+            self.skipped_urls
+            or self.skipped_sites
+            or self.skipped_sources
+            or self.partial_sources
+            or self.mirror_lookups_skipped
+            or self.breaker_skips
+        )
+
+    def to_dict(self) -> dict:
+        """Canonical plain-dict form (stable ordering, JSON-safe keys)."""
+        return {
+            "fault_plan": self.fault_plan,
+            "faults_injected": dict(sorted(self.faults_injected.items())),
+            "operations": self.operations,
+            "retries": self.retries,
+            "retry_histogram": {
+                str(attempts): count
+                for attempts, count in sorted(self.retry_histogram.items())
+            },
+            "errors_by_kind": dict(sorted(self.errors_by_kind.items())),
+            "errors_by_source": dict(sorted(self.errors_by_source.items())),
+            "errors_recovered": self.errors_recovered,
+            "errors_fatal": self.errors_fatal,
+            "skipped_urls": list(self.skipped_urls),
+            "skipped_sites": list(self.skipped_sites),
+            "skipped_sources": list(self.skipped_sources),
+            "partial_sources": dict(sorted(self.partial_sources.items())),
+            "mirror_lookups_skipped": self.mirror_lookups_skipped,
+            "tripped_breakers": list(self.tripped_breakers),
+            "breaker_skips": self.breaker_skips,
+            "degraded": self.degraded,
+        }
+
+    @classmethod
+    def from_dict(cls, raw: dict) -> "DegradationReport":
+        return cls(
+            fault_plan=raw.get("fault_plan"),
+            faults_injected=dict(raw.get("faults_injected", {})),
+            operations=raw.get("operations", 0),
+            retries=raw.get("retries", 0),
+            retry_histogram={
+                int(attempts): count
+                for attempts, count in raw.get("retry_histogram", {}).items()
+            },
+            errors_by_kind=dict(raw.get("errors_by_kind", {})),
+            errors_by_source=dict(raw.get("errors_by_source", {})),
+            errors_recovered=raw.get("errors_recovered", 0),
+            errors_fatal=raw.get("errors_fatal", 0),
+            skipped_urls=list(raw.get("skipped_urls", [])),
+            skipped_sites=list(raw.get("skipped_sites", [])),
+            skipped_sources=list(raw.get("skipped_sources", [])),
+            partial_sources=dict(raw.get("partial_sources", {})),
+            mirror_lookups_skipped=raw.get("mirror_lookups_skipped", 0),
+            tripped_breakers=list(raw.get("tripped_breakers", [])),
+            breaker_skips=raw.get("breaker_skips", 0),
+        )
+
+    def render(self) -> str:
+        """Human-readable multi-line summary for CLI output."""
+        status = "DEGRADED" if self.degraded else "fully recovered"
+        lines = [
+            f"degradation: {status}",
+            f"  operations: {self.operations}  retries: {self.retries}",
+            f"  errors: {self.errors_recovered} recovered, "
+            f"{self.errors_fatal} fatal",
+        ]
+        if self.faults_injected:
+            injected = ", ".join(
+                f"{kind}={count}"
+                for kind, count in sorted(self.faults_injected.items())
+            )
+            lines.append(f"  faults injected: {injected}")
+        if self.retry_histogram:
+            histogram = ", ".join(
+                f"{attempts}x:{count}"
+                for attempts, count in sorted(self.retry_histogram.items())
+            )
+            lines.append(f"  attempts histogram: {histogram}")
+        if self.skipped_urls:
+            lines.append(f"  skipped URLs: {len(self.skipped_urls)}")
+        if self.skipped_sites:
+            lines.append(
+                "  skipped sites: " + ", ".join(self.skipped_sites)
+            )
+        if self.skipped_sources:
+            lines.append(
+                "  skipped sources: " + ", ".join(self.skipped_sources)
+            )
+        if self.partial_sources:
+            partial = ", ".join(
+                f"{source} (-{lost})"
+                for source, lost in sorted(self.partial_sources.items())
+            )
+            lines.append(f"  partial sources: {partial}")
+        if self.mirror_lookups_skipped:
+            lines.append(
+                f"  mirror lookups skipped: {self.mirror_lookups_skipped}"
+            )
+        if self.tripped_breakers:
+            lines.append(
+                "  tripped breakers: " + ", ".join(self.tripped_breakers)
+            )
+        if self.breaker_skips:
+            lines.append(f"  breaker fast-fails: {self.breaker_skips}")
+        return "\n".join(lines)

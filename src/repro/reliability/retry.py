@@ -1,0 +1,174 @@
+"""Resilience primitives: retry with backoff, deadlines, circuit breakers.
+
+All timing runs on a :class:`RetryClock` — a simulated monotonic clock
+that ``sleep`` advances instantly — so a chaos run over thousands of
+faulted fetches finishes in milliseconds of wall time while still
+exercising deadlines and breaker cool-downs, and two runs with the same
+seed are bit-reproducible.
+
+The primitives key off the :class:`~repro.errors.TransientError` /
+:class:`~repro.errors.PermanentError` split: only transient failures are
+retried; a permanent failure is re-raised before the first backoff, so
+retrying it is a no-op by construction.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, replace
+from typing import Callable, Optional
+
+from repro.errors import PermanentError, TransientError
+
+
+class RetryClock:
+    """Simulated monotonic clock: ``sleep`` advances ``now`` instantly."""
+
+    def __init__(self, now: float = 0.0):
+        self.now = float(now)
+        self.slept = 0.0
+
+    def sleep(self, seconds: float) -> None:
+        if seconds < 0:
+            raise ValueError(f"cannot sleep {seconds}s")
+        self.now += seconds
+        self.slept += seconds
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Exponential backoff with deterministic jitter and a deadline.
+
+    ``deadline`` bounds one *operation* (all attempts plus backoff) on
+    the simulated clock — a slow fetch that consumes clock budget eats
+    into it, so a string of timeouts gives up early instead of backing
+    off forever.
+    """
+
+    max_retries: int = 4
+    base_delay: float = 0.5
+    multiplier: float = 2.0
+    max_delay: float = 8.0
+    deadline: float = 60.0
+    jitter: float = 0.25
+
+    def backoff(self, retry: int, rng: random.Random) -> float:
+        """Delay before the ``retry``-th retry (1-based), jittered."""
+        if retry < 1:
+            raise ValueError(f"retry must be >= 1, got {retry}")
+        delay = min(
+            self.base_delay * self.multiplier ** (retry - 1), self.max_delay
+        )
+        return delay * (1.0 + self.jitter * rng.random())
+
+    def with_max_retries(self, max_retries: int) -> "RetryPolicy":
+        return replace(self, max_retries=max_retries)
+
+
+def retry_call(
+    fn: Callable[[], object],
+    policy: Optional[RetryPolicy] = None,
+    clock: Optional[RetryClock] = None,
+    rng: Optional[random.Random] = None,
+    on_error: Optional[Callable[[TransientError], None]] = None,
+):
+    """Call ``fn`` through transient failures.
+
+    Retries :class:`TransientError` up to ``policy.max_retries`` times
+    with exponential backoff and deterministic jitter drawn from ``rng``;
+    gives up early when the next backoff would overrun the per-operation
+    ``deadline`` on ``clock``. :class:`PermanentError` (and any
+    non-transient exception) propagates immediately — zero retries.
+
+    ``on_error`` observes every transient failure (including the final
+    one), which is how the degradation report counts injected faults.
+    """
+    policy = policy if policy is not None else RetryPolicy()
+    clock = clock if clock is not None else RetryClock()
+    rng = rng if rng is not None else random.Random(0)
+    start = clock.now
+    retries = 0
+    while True:
+        try:
+            return fn()
+        except PermanentError:
+            raise
+        except TransientError as failure:
+            if on_error is not None:
+                on_error(failure)
+            retries += 1
+            if retries > policy.max_retries:
+                raise
+            delay = policy.backoff(retries, rng)
+            if clock.now - start + delay > policy.deadline:
+                raise
+            clock.sleep(delay)
+
+
+#: Circuit-breaker states.
+STATE_CLOSED = "closed"
+STATE_OPEN = "open"
+STATE_HALF_OPEN = "half-open"
+
+
+class CircuitBreaker:
+    """Per-dependency closed → open → half-open breaker.
+
+    ``failure_threshold`` consecutive failures open the circuit; while
+    open, :meth:`allow` refuses callers (fast-fail, no fault draws).
+    After ``cooldown`` simulated seconds the breaker half-opens and lets
+    one probe through: success closes it, failure re-opens it for
+    another cool-down window.
+    """
+
+    def __init__(
+        self,
+        clock: RetryClock,
+        name: str = "",
+        failure_threshold: int = 5,
+        cooldown: float = 120.0,
+    ):
+        if failure_threshold < 1:
+            raise ValueError("failure_threshold must be >= 1")
+        self.clock = clock
+        self.name = name
+        self.failure_threshold = failure_threshold
+        self.cooldown = cooldown
+        self.state = STATE_CLOSED
+        self.failures = 0
+        self.opened_at: Optional[float] = None
+        self.trips = 0
+
+    def allow(self) -> bool:
+        """Whether a caller may attempt the guarded operation now."""
+        if self.state == STATE_OPEN:
+            if (
+                self.opened_at is not None
+                and self.clock.now - self.opened_at >= self.cooldown
+            ):
+                self.state = STATE_HALF_OPEN
+                return True
+            return False
+        return True
+
+    def record_success(self) -> None:
+        self.failures = 0
+        self.state = STATE_CLOSED
+        self.opened_at = None
+
+    def record_failure(self) -> bool:
+        """Record one operation-level failure; True when this trip opened
+        the circuit (transition into the open state)."""
+        self.failures += 1
+        should_open = (
+            self.state == STATE_HALF_OPEN
+            or self.failures >= self.failure_threshold
+        )
+        if should_open and self.state != STATE_OPEN:
+            self.state = STATE_OPEN
+            self.opened_at = self.clock.now
+            self.trips += 1
+            return True
+        if should_open:
+            self.opened_at = self.clock.now
+        return False

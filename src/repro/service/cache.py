@@ -98,10 +98,18 @@ class EnrichmentService:
     half-refreshed index or a stale-but-cached verdict.
     """
 
-    def __init__(self, engine: EnrichmentEngine, capacity: int = 4096):
+    def __init__(
+        self,
+        engine: EnrichmentEngine,
+        capacity: int = 4096,
+        degraded: bool = False,
+    ):
         self.engine = engine
         self.cache = LRUCache(capacity)
         self.lock = threading.RLock()
+        #: whether the backing collection artifact was built degraded
+        #: (see repro.reliability) — surfaced by /v1/healthz and /v1/stats.
+        self.degraded = degraded
 
     @property
     def index(self) -> IntelIndex:
@@ -147,15 +155,24 @@ class EnrichmentService:
     def stats(self) -> Dict:
         """Cache and index counters for the ``/v1/stats`` endpoint."""
         with self.lock:
-            return {"cache": self.cache.stats(), "index": self.index.stats()}
+            return {
+                "cache": self.cache.stats(),
+                "index": self.index.stats(),
+                "collection": {"degraded": self.degraded},
+            }
 
 
 def build_service(
     malgraph: MalGraph,
     capacity: int = 4096,
     engine: Optional[EnrichmentEngine] = None,
+    degraded: bool = False,
 ) -> EnrichmentService:
-    """Index a built graph and wrap it in a cached service."""
+    """Index a built graph and wrap it in a cached service.
+
+    ``degraded`` marks a service built over a collection artifact that
+    was assembled under graceful degradation (data was given up).
+    """
     if engine is None:
         engine = EnrichmentEngine(IntelIndex.build(malgraph))
-    return EnrichmentService(engine, capacity=capacity)
+    return EnrichmentService(engine, capacity=capacity, degraded=degraded)

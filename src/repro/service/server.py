@@ -146,8 +146,12 @@ class IntelRequestHandler(BaseHTTPRequestHandler):
     def _route_get(self) -> None:
         url = urlparse(self.path)
         if url.path == "/v1/healthz":
+            # A degraded backing artifact is worth surfacing but the
+            # service itself is healthy — still HTTP 200.
+            status = "degraded" if getattr(self.service, "degraded", False) else "ok"
             self._reply(
-                200, {"status": "ok", "packages": self.service.index.package_count}
+                200,
+                {"status": status, "packages": self.service.index.package_count},
             )
         elif url.path == "/v1/stats":
             self._reply(200, self.service.stats())

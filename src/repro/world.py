@@ -140,6 +140,45 @@ def collect(world: World, with_ground_truth: bool = True) -> CollectionResult:
     return result
 
 
+def run_collection(
+    world: World,
+    plan=None,
+    policy=None,
+    with_ground_truth: bool = True,
+) -> CollectionResult:
+    """Run the collection pipeline, optionally under fault injection.
+
+    ``plan`` is a :class:`repro.reliability.FaultPlan`; when given (and
+    not null), the world's web, mirror fleet and open-dataset feeds are
+    wrapped in faulty facades and the pipeline runs resiliently: faults
+    are retried per ``policy`` (a :class:`repro.reliability.RetryPolicy`,
+    default budget otherwise), what still fails is quarantined, and the
+    result's :class:`CollectionStats` carries the
+    :class:`~repro.reliability.DegradationReport`. With ``plan=None``
+    this is exactly :func:`collect`.
+    """
+    if plan is None:
+        return collect(world, with_ground_truth=with_ground_truth)
+    from repro.reliability import (
+        FaultyMirrorNetwork,
+        FaultyWeb,
+        ResilienceContext,
+    )
+
+    ctx = ResilienceContext(policy=policy, plan=plan)
+    if ctx.injector is not None:
+        web = FaultyWeb(world.web, ctx.injector, clock=ctx.clock)
+        mirrors = FaultyMirrorNetwork(world.mirrors, ctx.injector)
+    else:  # null plan: resilient bookkeeping over the pristine substrate
+        web = world.web
+        mirrors = world.mirrors
+    pipeline = CollectionPipeline(world.registries, mirrors, resilience=ctx)
+    result = pipeline.run(world.outcome, web, world.feed, world.reports)
+    if with_ground_truth:
+        attach_ground_truth(result.dataset, world.corpus)
+    return result
+
+
 def _runtime(
     seed: int, scale: float, horizon: int, detection_latency_scale: float
 ):

@@ -89,6 +89,69 @@ def test_classify_persisted_too_briefly():
     assert classify_miss(brief, network) is MissCause.PERSISTED_TOO_BRIEFLY
 
 
+def test_removal_exactly_on_sync_tick_is_persisted_too_briefly():
+    """A lagging mirror that syncs on the removal day snapshots the
+    post-removal live set — the package was never captured, and the miss
+    is attributed to its brief persistence, not to mirror coverage."""
+    registry = Registry("pypi")
+    artifact = make_artifact("pypi", "victim", "1.0", {"pkg/m.py": "X = 1\n"})
+    mirror = MirrorRegistry(
+        name="lagging", upstream=registry, sync_interval=30, start_day=0
+    )
+    registry.publish(artifact, day=10, malicious=True)
+    registry.mark_detected("victim", "1.0", 29, by="scanner")
+    registry.remove("victim", "1.0", 30)
+    assert mirror.due(30)
+    mirror.sync(30)  # the tick lands exactly on the removal day
+    network = MirrorNetwork([mirror])
+    gone = entry("victim", code=None, release_day=10)
+    stats = recover_from_mirrors([gone], network)
+    assert stats.recovered == 0
+    assert stats.misses == {MissCause.PERSISTED_TOO_BRIEFLY: 1}
+
+
+def test_coverage_starting_after_release_is_released_too_early():
+    """Archival coverage that begins after the release day can never have
+    captured the package."""
+    registry = Registry("pypi")
+    fleet = [
+        MirrorRegistry(
+            name=f"m{start}",
+            upstream=registry,
+            sync_interval=30,
+            start_day=start,
+            archival=True,
+        )
+        for start in (400, 900)
+    ]
+    network = MirrorNetwork(fleet)
+    before = entry("x", code=None, release_day=399)
+    assert classify_miss(before, network) is MissCause.RELEASED_TOO_EARLY
+    # boundary: released exactly on the earliest coverage start — the
+    # archival mirror could have captured it, so the miss is persistence
+    on_boundary = entry("x", code=None, release_day=400)
+    assert classify_miss(on_boundary, network) is MissCause.PERSISTED_TOO_BRIEFLY
+
+
+def test_fleet_without_this_ecosystem_is_no_mirror_coverage():
+    """Mirrors exist, but none for the entry's ecosystem."""
+    npm_registry = Registry("npm")
+    network = MirrorNetwork(
+        [
+            MirrorRegistry(
+                name="npm-only",
+                upstream=npm_registry,
+                sync_interval=7,
+                archival=True,
+            )
+        ]
+    )
+    orphan = entry("x", ecosystem="pypi", code=None, release_day=10)
+    assert classify_miss(orphan, network) is MissCause.NO_MIRROR_COVERAGE
+    stats = recover_from_mirrors([orphan], network)
+    assert stats.misses == {MissCause.NO_MIRROR_COVERAGE: 1}
+
+
 def test_recovery_stats_record_miss():
     stats = RecoveryStats()
     stats.record_miss(MissCause.RELEASED_TOO_EARLY)

@@ -69,16 +69,25 @@ def test_crawl_counts_unusable_reports(web):
     assert result.stats.unusable_reports == 1
 
 
-def test_crawl_unknown_site_is_empty(web):
-    assert Spider(web).crawl_site("nowhere.example") == []
+def test_crawl_unknown_site_raises(web):
+    # only a missing site index is fatal now
+    with pytest.raises(CrawlError):
+        Spider(web).crawl_site("nowhere.example")
 
 
-def test_crawl_broken_index_raises():
+def test_crawl_unfetchable_url_is_counted_not_fatal():
     web = SimulatedWeb()
     web.add(_page("https://x/a", "x", _report_html()))
-    web.pages.clear()  # index still lists the URL but fetch fails
-    with pytest.raises(CrawlError):
-        Spider(web).crawl_site("x")
+    web.add(_page("https://x/b", "x", _report_html(("other==2.0",))))
+    del web.pages["https://x/a"]  # index still lists the URL but fetch fails
+    spider = Spider(web)
+    from repro.crawler.spider import CrawlStats
+
+    stats = CrawlStats()
+    reports = spider.crawl_site("x", stats)
+    assert stats.pages_unfetchable == 1
+    assert stats.pages_fetched == 1
+    assert [r.packages for r in reports] == [[("other", "2.0")]]
 
 
 def test_max_pages_per_site(web):

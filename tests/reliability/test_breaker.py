@@ -1,0 +1,90 @@
+"""CircuitBreaker: closed -> open -> half-open transitions."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.reliability import (
+    STATE_CLOSED,
+    STATE_HALF_OPEN,
+    STATE_OPEN,
+    CircuitBreaker,
+    RetryClock,
+)
+
+
+def make(clock=None, threshold=3, cooldown=60.0) -> CircuitBreaker:
+    return CircuitBreaker(
+        clock if clock is not None else RetryClock(),
+        name="dep",
+        failure_threshold=threshold,
+        cooldown=cooldown,
+    )
+
+
+def test_starts_closed_and_allows():
+    breaker = make()
+    assert breaker.state == STATE_CLOSED
+    assert breaker.allow()
+
+
+def test_opens_at_threshold_and_reports_the_trip():
+    breaker = make(threshold=3)
+    assert breaker.record_failure() is False
+    assert breaker.record_failure() is False
+    assert breaker.record_failure() is True  # the transition
+    assert breaker.state == STATE_OPEN
+    assert not breaker.allow()
+    assert breaker.trips == 1
+
+
+def test_success_resets_the_failure_streak():
+    breaker = make(threshold=3)
+    breaker.record_failure()
+    breaker.record_failure()
+    breaker.record_success()
+    assert breaker.record_failure() is False
+    assert breaker.state == STATE_CLOSED
+
+
+def test_half_opens_after_cooldown():
+    clock = RetryClock()
+    breaker = make(clock, threshold=1, cooldown=60.0)
+    breaker.record_failure()
+    assert not breaker.allow()
+    clock.sleep(59.0)
+    assert not breaker.allow()
+    clock.sleep(1.0)
+    assert breaker.allow()
+    assert breaker.state == STATE_HALF_OPEN
+
+
+def test_half_open_probe_success_closes():
+    clock = RetryClock()
+    breaker = make(clock, threshold=1, cooldown=10.0)
+    breaker.record_failure()
+    clock.sleep(10.0)
+    assert breaker.allow()
+    breaker.record_success()
+    assert breaker.state == STATE_CLOSED
+    assert breaker.allow()
+
+
+def test_half_open_probe_failure_reopens_for_another_window():
+    clock = RetryClock()
+    breaker = make(clock, threshold=3, cooldown=10.0)
+    for _ in range(3):
+        breaker.record_failure()
+    clock.sleep(10.0)
+    assert breaker.allow()  # half-open probe
+    assert breaker.record_failure() is True  # single failure re-opens
+    assert breaker.state == STATE_OPEN
+    assert not breaker.allow()
+    assert breaker.trips == 2
+    clock.sleep(10.0)
+    assert breaker.allow()  # next window
+
+
+def test_threshold_must_be_positive():
+    with pytest.raises(ValueError):
+        make(threshold=0)

@@ -1,0 +1,220 @@
+"""FaultPlan / FaultInjector / faulty substrate wrappers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.crawler.html import render_page, tag, text
+from repro.ecosystem.package import make_artifact
+from repro.ecosystem.registry import Registry
+from repro.ecosystem.mirror import MirrorNetwork, MirrorRegistry
+from repro.errors import (
+    ConfigError,
+    FeedTruncatedError,
+    FetchTimeoutError,
+    FetchUnreachableError,
+    MirrorDownError,
+    SiteOutageError,
+    SourceOutageError,
+)
+from repro.intel.web import SimulatedWeb, WebPage
+from repro.reliability import (
+    FaultInjector,
+    FaultPlan,
+    FaultyFeed,
+    FaultyMirrorNetwork,
+    FaultyWeb,
+    RetryClock,
+)
+
+
+# -- FaultPlan ---------------------------------------------------------------
+
+def test_plan_validates_rates():
+    with pytest.raises(ConfigError):
+        FaultPlan(fetch_unreachable_rate=1.5)
+    with pytest.raises(ConfigError):
+        FaultPlan(mirror_down_rate=-0.1)
+    with pytest.raises(ConfigError):
+        # individually legal, jointly > 1
+        FaultPlan(
+            fetch_unreachable_rate=0.5,
+            fetch_timeout_rate=0.4,
+            fetch_truncate_rate=0.3,
+        )
+
+
+def test_plan_null_and_presets():
+    assert FaultPlan().is_null
+    assert not FaultPlan.moderate().is_null
+    heavy = FaultPlan.heavy(seed=5)
+    assert heavy.fetch_unreachable_rate >= 0.5
+    assert heavy.dark_sources
+    assert heavy.seed == 5
+    with pytest.raises(ConfigError):
+        FaultPlan.preset("nonsense")
+
+
+def test_plan_round_trips_through_dict():
+    plan = FaultPlan.heavy(seed=9)
+    assert FaultPlan.from_dict(plan.to_dict()) == plan
+    with pytest.raises(ConfigError):
+        FaultPlan.from_dict({"bogus_knob": 1})
+
+
+def test_reseeded_changes_only_the_seed():
+    plan = FaultPlan.moderate(seed=1).reseeded(2)
+    assert plan.seed == 2
+    assert plan.fetch_unreachable_rate == FaultPlan.moderate().fetch_unreachable_rate
+
+
+# -- FaultInjector -----------------------------------------------------------
+
+def test_draws_are_deterministic_and_independent_per_key():
+    a = FaultInjector(FaultPlan.heavy(seed=4))
+    b = FaultInjector(FaultPlan.heavy(seed=4))
+    urls = [f"https://x/{i}" for i in range(20)]
+    assert [a.fetch_fault(u) for u in urls] == [b.fetch_fault(u) for u in urls]
+    # interleaving order must not matter: keyed draws, not a shared stream
+    c = FaultInjector(FaultPlan.heavy(seed=4))
+    for u in reversed(urls):
+        c.fetch_fault(u)
+    for u in urls:
+        assert c._probes[("fetch", u)] == 1
+
+
+def test_retries_redraw():
+    injector = FaultInjector(FaultPlan.heavy(seed=4))
+    draws = [injector.fetch_fault("https://x/r") for _ in range(8)]
+    assert len(set(draws)) > 1  # not stuck on one verdict forever
+
+
+def test_injected_ledger_counts_every_fault():
+    injector = FaultInjector(FaultPlan.heavy(seed=4))
+    fired = [
+        k for k in (injector.fetch_fault(f"u{i}") for i in range(50)) if k
+    ]
+    assert injector.total_injected() == len(fired)
+    assert sum(injector.injected.values()) == len(fired)
+
+
+# -- FaultyWeb ---------------------------------------------------------------
+
+def _page(url: str, site: str = "blog.x") -> WebPage:
+    html = render_page("T", [tag("p", text("malware report body"))])
+    return WebPage(url=url, html=html, site=site, is_report=True)
+
+
+def _web() -> SimulatedWeb:
+    web = SimulatedWeb()
+    for i in range(30):
+        web.add(_page(f"https://blog.x/{i}"))
+    return web
+
+
+def test_faulty_web_raises_matching_errors():
+    clock = RetryClock()
+    injector = FaultInjector(
+        FaultPlan(seed=1, fetch_unreachable_rate=0.4, fetch_timeout_rate=0.3)
+    )
+    web = FaultyWeb(_web(), injector, clock=clock)
+    outcomes = {"unreachable": 0, "timeout": 0, "ok": 0}
+    for i in range(30):
+        try:
+            page = web.fetch(f"https://blog.x/{i}")
+            assert page is not None
+            outcomes["ok"] += 1
+        except FetchUnreachableError:
+            outcomes["unreachable"] += 1
+        except FetchTimeoutError:
+            outcomes["timeout"] += 1
+    assert outcomes["unreachable"] == injector.injected["fetch_unreachable"]
+    assert outcomes["timeout"] == injector.injected["fetch_timeout"]
+    # slow fetches consumed simulated-clock budget
+    assert clock.slept == outcomes["timeout"] * web.injector.plan.slow_fetch_cost
+
+
+def test_faulty_web_truncates_html_detectably():
+    injector = FaultInjector(FaultPlan(seed=1, fetch_truncate_rate=1.0))
+    web = FaultyWeb(_web(), injector)
+    page = web.fetch("https://blog.x/0")
+    assert page is not None
+    assert not page.html.rstrip().endswith("</html>")
+    assert injector.injected["fetch_truncated"] == 1
+
+
+def test_faulty_web_missing_url_is_none_not_fault():
+    injector = FaultInjector(FaultPlan(seed=1, fetch_unreachable_rate=1.0))
+    web = FaultyWeb(_web(), injector)
+    assert web.fetch("https://nowhere/404") is None
+    assert injector.total_injected() == 0  # no fault drawn for absent pages
+
+
+def test_faulty_web_site_outage():
+    injector = FaultInjector(FaultPlan(seed=1, site_outage_rate=1.0))
+    web = FaultyWeb(_web(), injector)
+    with pytest.raises(SiteOutageError):
+        web.site_index("blog.x")
+    assert injector.injected["site_outage"] == 1
+
+
+# -- FaultyMirrorNetwork -----------------------------------------------------
+
+def _mirrors() -> MirrorNetwork:
+    registry = Registry("pypi")
+    artifact = make_artifact("pypi", "evil", "1.0.0", {"a.py": "x = 1"})
+    registry.publish(artifact, day=0, malicious=True)
+    network = MirrorNetwork()
+    for name in ("m1", "m2"):
+        mirror = MirrorRegistry(name=name, upstream=registry, sync_interval=1)
+        mirror.sync(0)
+        network.add(mirror)
+    return network
+
+
+def test_faulty_mirrors_raise_mid_scan():
+    injector = FaultInjector(FaultPlan(seed=1, mirror_down_rate=1.0))
+    network = FaultyMirrorNetwork(_mirrors(), injector)
+    with pytest.raises(MirrorDownError):
+        network.search("pypi", "evil", "1.0.0")
+    # the scan aborted on the FIRST mirror: one probe, one fault
+    assert injector.injected["mirror_down"] == 1
+
+
+def test_faulty_mirrors_clean_scan_matches_plain_search():
+    injector = FaultInjector(FaultPlan(seed=1, mirror_down_rate=0.0))
+    plain = _mirrors()
+    faulty = FaultyMirrorNetwork(_mirrors(), injector)
+    assert faulty.search("pypi", "evil", "1.0.0")[0] == plain.search(
+        "pypi", "evil", "1.0.0"
+    )[0]
+
+
+# -- FaultyFeed --------------------------------------------------------------
+
+def test_dark_source_never_answers():
+    injector = FaultInjector(FaultPlan(seed=1, dark_sources=("maloss",)))
+    feed = FaultyFeed("maloss", ["r1", "r2"], injector)
+    for _ in range(5):
+        with pytest.raises(SourceOutageError):
+            feed.fetch()
+    assert injector.injected["feed_outage"] == 5
+
+
+def test_truncated_feed_keeps_a_prefix_and_the_best_partial():
+    injector = FaultInjector(FaultPlan(seed=1, feed_truncate_rate=1.0))
+    records = [f"r{i}" for i in range(10)]
+    feed = FaultyFeed("backstabber-knife", records, injector)
+    with pytest.raises(FeedTruncatedError) as exc:
+        feed.fetch()
+    partial = exc.value.partial
+    assert 1 <= len(partial) < len(records)
+    assert partial == records[: len(partial)]  # a prefix, order preserved
+    assert feed.best_partial == partial
+
+
+def test_clean_feed_returns_everything():
+    injector = FaultInjector(FaultPlan(seed=1))
+    records = ["r1", "r2"]
+    assert FaultyFeed("maloss", records, injector).fetch() == records
+    assert injector.total_injected() == 0

@@ -1,0 +1,115 @@
+"""retry_call: backoff, deadlines, and the transient/permanent split."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.errors import (
+    CrawlError,
+    PackageNotFoundError,
+    TransientError,
+)
+from repro.reliability import RetryClock, RetryPolicy, retry_call
+
+
+class Flaky:
+    """Fails ``failures`` times with ``error``, then returns ``value``."""
+
+    def __init__(self, failures: int, error=TransientError, value="ok"):
+        self.failures = failures
+        self.error = error
+        self.value = value
+        self.calls = 0
+
+    def __call__(self):
+        self.calls += 1
+        if self.calls <= self.failures:
+            raise self.error(f"failure #{self.calls}")
+        return self.value
+
+
+def test_success_needs_no_retry():
+    fn = Flaky(0)
+    assert retry_call(fn) == "ok"
+    assert fn.calls == 1
+
+
+def test_transient_failures_are_retried():
+    fn = Flaky(3)
+    clock = RetryClock()
+    assert retry_call(fn, clock=clock) == "ok"
+    assert fn.calls == 4
+    assert clock.slept > 0
+
+
+def test_budget_exhaustion_reraises_the_last_error():
+    fn = Flaky(10)
+    with pytest.raises(TransientError):
+        retry_call(fn, policy=RetryPolicy(max_retries=2))
+    assert fn.calls == 3  # initial + 2 retries
+
+
+def test_permanent_error_is_never_retried():
+    fn = Flaky(1, error=PackageNotFoundError)
+    with pytest.raises(PackageNotFoundError):
+        retry_call(fn)
+    assert fn.calls == 1
+
+
+def test_permanent_wins_even_as_crawl_sibling():
+    """A CrawlError (transient) retries; PackageNotFoundError does not —
+    the split is by hierarchy, not by module of origin."""
+    transient = Flaky(1, error=CrawlError)
+    assert retry_call(transient) == "ok"
+    assert transient.calls == 2
+
+
+def test_non_repro_exceptions_propagate_untouched():
+    fn = Flaky(1, error=ValueError)
+    with pytest.raises(ValueError):
+        retry_call(fn)
+    assert fn.calls == 1
+
+
+def test_deadline_bounds_the_operation():
+    """A tight deadline gives up before the retry budget is spent."""
+    fn = Flaky(10)
+    clock = RetryClock()
+    with pytest.raises(TransientError):
+        retry_call(
+            fn,
+            policy=RetryPolicy(max_retries=50, base_delay=10.0, deadline=25.0),
+            clock=clock,
+        )
+    assert fn.calls < 10
+    assert clock.now <= 25.0
+
+
+def test_backoff_grows_and_caps():
+    policy = RetryPolicy(
+        base_delay=1.0, multiplier=2.0, max_delay=4.0, jitter=0.0
+    )
+    rng = random.Random(0)
+    delays = [policy.backoff(retry, rng) for retry in (1, 2, 3, 4)]
+    assert delays == [1.0, 2.0, 4.0, 4.0]
+
+
+def test_jitter_is_deterministic_in_the_rng():
+    policy = RetryPolicy(jitter=0.5)
+    one = [policy.backoff(i, random.Random(9)) for i in (1, 2, 3)]
+    two = [policy.backoff(i, random.Random(9)) for i in (1, 2, 3)]
+    assert one == two
+
+
+def test_on_error_sees_every_failure():
+    fn = Flaky(2)
+    seen = []
+    retry_call(fn, on_error=seen.append)
+    assert len(seen) == 2
+
+
+def test_retry_clock_rejects_negative_sleep():
+    with pytest.raises(ValueError):
+        RetryClock().sleep(-1.0)

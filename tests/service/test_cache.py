@@ -98,5 +98,6 @@ def test_capacity_bounds_service_cache(engine, small_dataset):
 
 def test_stats_merges_cache_and_index(service):
     stats = service.stats()
-    assert set(stats) == {"cache", "index"}
+    assert set(stats) == {"cache", "index", "collection"}
     assert stats["index"]["packages"] == service.index.package_count
+    assert stats["collection"] == {"degraded": False}

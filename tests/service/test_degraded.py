@@ -1,0 +1,58 @@
+"""Degradation surfacing: healthz/stats over a degraded collection."""
+
+from __future__ import annotations
+
+import json
+import threading
+import urllib.request
+
+import pytest
+
+from repro.service.cache import EnrichmentService, build_service
+from repro.service.server import create_server, server_address
+
+
+@pytest.fixture(scope="module")
+def degraded_live(engine):
+    """A server whose backing collection artifact was built degraded."""
+    service = EnrichmentService(engine, capacity=64, degraded=True)
+    server = create_server(service, port=0)
+    host, port = server_address(server)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    yield f"http://{host}:{port}", service
+    server.shutdown()
+    server.server_close()
+
+
+def _get(url: str):
+    with urllib.request.urlopen(url, timeout=10) as response:
+        return response.status, json.load(response)
+
+
+def test_healthz_flips_to_degraded_but_stays_200(degraded_live):
+    base, service = degraded_live
+    status, body = _get(f"{base}/v1/healthz")
+    assert status == 200  # the service itself is healthy
+    assert body == {
+        "status": "degraded",
+        "packages": service.index.package_count,
+    }
+
+
+def test_stats_reports_collection_degradation(degraded_live):
+    base, _ = degraded_live
+    status, body = _get(f"{base}/v1/stats")
+    assert status == 200
+    assert body["collection"] == {"degraded": True}
+
+
+def test_service_defaults_to_not_degraded(engine):
+    service = EnrichmentService(engine, capacity=64)
+    assert service.degraded is False
+    assert service.stats()["collection"] == {"degraded": False}
+
+
+def test_build_service_threads_the_flag(service_malgraph):
+    assert build_service(service_malgraph, degraded=True).degraded is True
+    assert build_service(service_malgraph).degraded is False

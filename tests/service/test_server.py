@@ -127,7 +127,7 @@ def test_stats_endpoint_reports_traffic(live):
     base, service = live
     status, body = _get(f"{base}/v1/stats")
     assert status == 200
-    assert set(body) == {"cache", "index"}
+    assert set(body) == {"cache", "index", "collection"}
     assert body["cache"]["capacity"] == service.cache.capacity
     assert body["index"]["packages"] == service.index.package_count
 

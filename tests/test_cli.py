@@ -204,6 +204,69 @@ def test_serve_exits_2_when_port_is_taken(capsys):
     assert "Traceback" not in captured.err
 
 
+def test_collect_without_faults(capsys):
+    assert main(SMALL + ["collect"]) == 0
+    out = capsys.readouterr().out
+    assert "collected" in out
+    assert "degradation" not in out  # no plan, no report
+
+
+def test_collect_moderate_plan_recovers(capsys):
+    code = main(
+        SMALL + ["collect", "--fault-plan", "moderate", "--fault-seed", "11"]
+    )
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "degradation: fully recovered" in out
+    assert "faults injected" in out
+
+
+def test_collect_heavy_plan_exits_3_unless_allowed(tmp_path, capsys):
+    report_path = tmp_path / "degradation.json"
+    code = main(
+        SMALL
+        + [
+            "collect",
+            "--fault-plan", "heavy",
+            "--fault-seed", "11",
+            "--degradation-json", str(report_path),
+        ]
+    )
+    assert code == 3  # degraded without --allow-degraded
+    assert "degradation: DEGRADED" in capsys.readouterr().out
+    payload = json.loads(report_path.read_text())
+    assert payload["degraded"] is True
+    assert sum(payload["faults_injected"].values()) == (
+        payload["errors_recovered"] + payload["errors_fatal"]
+    )
+    # opting in turns the same run into a success
+    assert main(
+        SMALL
+        + ["collect", "--fault-plan", "heavy", "--fault-seed", "11",
+           "--allow-degraded"]
+    ) == 0
+
+
+def test_collect_custom_plan_file_and_out(tmp_path, capsys):
+    from repro.reliability import FaultPlan
+
+    plan_path = tmp_path / "plan.json"
+    plan_path.write_text(json.dumps(FaultPlan.moderate(seed=7).to_dict()))
+    out_dir = tmp_path / "ds"
+    code = main(
+        SMALL
+        + ["collect", "--fault-plan", str(plan_path), "--out", str(out_dir)]
+    )
+    assert code == 0
+    assert (out_dir / "entries.jsonl").exists()
+    assert "wrote dataset" in capsys.readouterr().out
+
+
+def test_collect_rejects_bad_preset():
+    with pytest.raises(FileNotFoundError):
+        main(SMALL + ["collect", "--fault-plan", "nonsense"])
+
+
 def test_warm_command(tmp_path, capsys):
     cache = tmp_path / "cache"
     assert main(SMALL + ["--cache-dir", str(cache), "warm"]) == 0
