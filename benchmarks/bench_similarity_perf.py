@@ -1,0 +1,185 @@
+"""Similar-edge stage performance: serial vs parallel, cold vs warm.
+
+Standalone script (not a pytest bench) so CI can run it in fast mode:
+
+    PYTHONPATH=src python benchmarks/bench_similarity_perf.py --fast
+
+Three comparisons, each with a hard correctness gate before any number
+is reported:
+
+1. **serial vs parallel** ``MalGraph.build`` — the parallel graph must
+   serialise byte-identically to the serial one (``jobs`` is an
+   execution knob, never a result knob);
+2. **cold vs warm embedding cache** — a similarity-knob sweep over a
+   warmed cache must skip 100% of re-embeds and produce the same
+   groups;
+3. **cold vs warm-start** ``grow_kmeans`` — on recoverable structure the
+   warm-started growth loop must reach the identical partition, in no
+   more total Lloyd iterations.
+
+Speedups depend on the host (a single-core runner cannot show a
+parallel win); the correctness gates do not.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import shutil
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.kmeans import grow_kmeans
+from repro.core.malgraph import MalGraph
+from repro.core.similarity import SimilarityConfig, cluster_artifacts
+from repro.io.malgraphs import malgraph_to_dict
+from repro.pipeline.store import ArtifactStore
+from repro.world import WorldConfig, build_world, collect
+
+
+def _timed(fn, rounds: int):
+    best, result = float("inf"), None
+    for _ in range(rounds):
+        started = time.perf_counter()
+        result = fn()
+        best = min(best, time.perf_counter() - started)
+    return best, result
+
+
+def _canonical(malgraph: MalGraph) -> bytes:
+    return json.dumps(malgraph_to_dict(malgraph), sort_keys=True).encode()
+
+
+def bench_serial_vs_parallel(dataset, jobs: int, rounds: int) -> None:
+    print(f"\n== serial vs parallel MalGraph.build (jobs={jobs}) ==")
+    serial_s, serial = _timed(
+        lambda: MalGraph.build(dataset, SimilarityConfig(jobs=1)), rounds
+    )
+    parallel_s, parallel = _timed(
+        lambda: MalGraph.build(dataset, SimilarityConfig(jobs=jobs)), rounds
+    )
+    assert _canonical(serial) == _canonical(parallel), (
+        "parallel build is not byte-identical to serial"
+    )
+    print(f"serial   {serial_s:8.3f}s")
+    print(
+        f"parallel {parallel_s:8.3f}s   speedup {serial_s / parallel_s:5.2f}x"
+        "   (byte-identical: yes)"
+    )
+
+
+def bench_embedding_cache(artifacts, rounds: int) -> None:
+    print("\n== cold vs warm embedding cache (min_similarity sweep) ==")
+    cache_dir = Path(tempfile.mkdtemp(prefix="bench-embed-cache-"))
+    try:
+        cold_s, cold = _timed(
+            lambda: cluster_artifacts(
+                artifacts,
+                SimilarityConfig(),
+                store=ArtifactStore(cache_dir=cache_dir),
+            ),
+            1,
+        )
+        sweep_s, sweep = _timed(
+            lambda: cluster_artifacts(
+                artifacts,
+                SimilarityConfig(min_similarity=0.5),
+                store=ArtifactStore(cache_dir=cache_dir),
+            ),
+            rounds,
+        )
+        same_knobs_s, warm = _timed(
+            lambda: cluster_artifacts(
+                artifacts,
+                SimilarityConfig(),
+                store=ArtifactStore(cache_dir=cache_dir),
+            ),
+            rounds,
+        )
+        assert sweep.timings.cache_misses == 0, "sweep re-embedded vectors"
+        assert warm.timings.cache_misses == 0, "warm run re-embedded vectors"
+        assert warm.groups == cold.groups, "warm groups differ from cold"
+        unique = cold.timings.unique_artifacts
+        print(
+            f"cold  {cold_s:8.3f}s   ({cold.timings.cache_misses}/{unique} embedded)"
+        )
+        print(
+            f"sweep {sweep_s:8.3f}s   speedup {cold_s / sweep_s:5.2f}x"
+            f"   (re-embeds skipped: {unique}/{unique})"
+        )
+        print(
+            f"warm  {same_knobs_s:8.3f}s   speedup {cold_s / same_knobs_s:5.2f}x"
+            "   (identical groups: yes)"
+        )
+    finally:
+        shutil.rmtree(cache_dir, ignore_errors=True)
+
+
+def bench_warm_start(rounds: int) -> None:
+    print("\n== cold vs warm-start grow_kmeans (separable structure) ==")
+
+    def blobs(seed: int, centers=6, per=200, dim=64, noise=0.01):
+        rng = np.random.default_rng(seed)
+        points = []
+        for _ in range(centers):
+            center = rng.normal(size=dim)
+            center /= np.linalg.norm(center)
+            blob = center + noise * rng.normal(size=(per, dim))
+            points.append(blob / np.linalg.norm(blob, axis=1, keepdims=True))
+        return np.vstack(points)
+
+    X = blobs(0)
+    cold_s, (cold, cold_trace) = _timed(
+        lambda: grow_kmeans(X, start_k=3, seed=0, max_k=6), rounds
+    )
+    warm_s, (warm, warm_trace) = _timed(
+        lambda: grow_kmeans(X, start_k=3, seed=0, max_k=6, warm_start=True),
+        rounds,
+    )
+    parts = lambda r: sorted(tuple(sorted(m.tolist())) for m in r.clusters())
+    assert parts(cold) == parts(warm), "warm start changed the partition"
+    cold_iters = sum(t.iterations for t in cold_trace)
+    warm_iters = sum(t.iterations for t in warm_trace)
+    assert warm_iters <= cold_iters, "warm start took more Lloyd iterations"
+    print(f"cold  {cold_s:8.3f}s   {cold_iters:3d} Lloyd iterations")
+    print(
+        f"warm  {warm_s:8.3f}s   {warm_iters:3d} Lloyd iterations"
+        f"   speedup {cold_s / warm_s:5.2f}x   (identical partition: yes)"
+    )
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--scale", type=float, default=0.5)
+    parser.add_argument("--jobs", type=int, default=4)
+    parser.add_argument("--rounds", type=int, default=3)
+    parser.add_argument(
+        "--fast",
+        action="store_true",
+        help="CI mode: 1 round at a small scale",
+    )
+    args = parser.parse_args(argv)
+    if args.fast:
+        args.scale, args.rounds = 0.15, 1
+
+    print(f"scale={args.scale} jobs={args.jobs} rounds={args.rounds}")
+    world = build_world(WorldConfig(seed=7, scale=args.scale))
+    dataset = collect(world).dataset
+    artifacts = [
+        e.artifact for e in dataset.available_entries() if e.artifact.code_files()
+    ]
+    print(f"dataset: {len(dataset.entries)} entries, {len(artifacts)} embeddable")
+
+    bench_serial_vs_parallel(dataset, args.jobs, args.rounds)
+    bench_embedding_cache(artifacts, args.rounds)
+    bench_warm_start(args.rounds)
+    print("\nall correctness gates passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

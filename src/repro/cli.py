@@ -55,7 +55,17 @@ EXPERIMENTS: Dict[str, str] = {
 def _artifacts(args: argparse.Namespace) -> PaperArtifacts:
     # Stage-level memoisation lives in the pipeline store, so a fresh
     # facade per invocation costs nothing beyond the first resolution.
-    return PaperArtifacts(WorldConfig(seed=args.seed, scale=args.scale))
+    # --jobs only changes how the similar-edge stage executes (worker
+    # processes), never what it produces, so it is excluded from cache
+    # fingerprints and safe to vary between invocations.
+    similarity = None
+    if getattr(args, "jobs", None) is not None:
+        from repro.core.similarity import SimilarityConfig
+
+        similarity = SimilarityConfig(jobs=args.jobs)
+    return PaperArtifacts(
+        WorldConfig(seed=args.seed, scale=args.scale), similarity=similarity
+    )
 
 
 def _render_experiment(artifacts: PaperArtifacts, key: str) -> str:
@@ -407,6 +417,14 @@ def build_parser() -> argparse.ArgumentParser:
         "--scale", type=float, default=1.0, help="world scale factor"
     )
     parser.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        metavar="N",
+        help="embedding worker processes for the MALGRAPH build "
+        "(0 = one per core; default: serial)",
+    )
+    parser.add_argument(
         "--cache-dir",
         default=None,
         help="artifact cache directory (default: $REPRO_CACHE_DIR or ~/.cache/repro)",
@@ -429,9 +447,19 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
-    sub.add_parser(
+    warm = sub.add_parser(
         "warm", help="build the pipeline stages and persist the cacheable ones"
-    ).set_defaults(func=cmd_warm)
+    )
+    # Also accepted after the subcommand (`repro warm --jobs 0`); SUPPRESS
+    # keeps an omitted flag from clobbering a global `--jobs` value.
+    warm.add_argument(
+        "--jobs",
+        type=int,
+        default=argparse.SUPPRESS,
+        metavar="N",
+        help="embedding worker processes (0 = one per core)",
+    )
+    warm.set_defaults(func=cmd_warm)
 
     cache = sub.add_parser("cache", help="inspect or clear the artifact cache")
     cache.add_argument("action", choices=("info", "clear"))

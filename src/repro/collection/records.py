@@ -80,6 +80,8 @@ class DatasetEntry:
         return any(claim.source == source for claim in self.claims)
 
     def sha256(self) -> Optional[str]:
+        # Memoised on the artifact itself, so the node/duplicated-edge/
+        # embedding consumers share one canonicalisation pass per entry.
         return self.artifact.sha256() if self.artifact else None
 
 

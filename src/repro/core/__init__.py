@@ -10,7 +10,12 @@ from repro.core.edges import (
     build_similar_edges,
     node_id,
 )
-from repro.core.embedding import AstEmbedder, DEFAULT_DIM, cosine_similarity
+from repro.core.embedding import (
+    AstEmbedder,
+    DEFAULT_DIM,
+    cosine_similarity,
+    resolve_jobs,
+)
 from repro.core.graph import EdgeType, GraphStats, PropertyGraph
 from repro.core.groups import GroupKind, PackageGroup, extract_groups, groups_by_ecosystem
 from repro.core.kmeans import GrowthTrace, KMeansResult, grow_kmeans, kmeans
@@ -20,6 +25,7 @@ from repro.core.signatures import code_sha256, file_sha256, signature_index
 from repro.core.similarity import (
     SimilarityConfig,
     SimilarityResult,
+    SimilarityTimings,
     cluster_artifacts,
 )
 
@@ -39,6 +45,7 @@ __all__ = [
     "SimilarBuildResult",
     "SimilarityConfig",
     "SimilarityResult",
+    "SimilarityTimings",
     "add_dataset_nodes",
     "build_coexisting_edges",
     "build_dependency_edges",
@@ -54,6 +61,7 @@ __all__ = [
     "kmeans",
     "node_id",
     "parse",
+    "resolve_jobs",
     "run_query",
     "signature_index",
 ]

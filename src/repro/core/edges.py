@@ -107,15 +107,20 @@ def build_similar_edges(
     graph: PropertyGraph,
     dataset: MalwareDataset,
     config: Optional[SimilarityConfig] = None,
+    store=None,
 ) -> SimilarBuildResult:
     """Similar code base => similar edge, via the clustering pipeline.
 
     Only entries with an artifact can be embedded (the paper likewise
-    can only hash/embed the packages it actually holds).
+    can only hash/embed the packages it actually holds). ``store``
+    enables the persistent embedding cache (see
+    :func:`repro.core.similarity.cluster_artifacts`).
     """
     config = config if config is not None else SimilarityConfig()
     entries = [e for e in dataset.available_entries() if e.artifact.code_files()]
-    clustering = cluster_artifacts([e.artifact for e in entries], config)
+    clustering = cluster_artifacts(
+        [e.artifact for e in entries], config, store=store
+    )
     groups: List[List[DatasetEntry]] = []
     for members in clustering.groups:
         group = [entries[i] for i in members]

@@ -15,15 +15,34 @@ source code maps to nearby vectors*. Features are:
 Each feature is hashed into a fixed-dimension signed bucket (feature
 hashing), TF-weighted and L2-normalised, so cosine similarity is a dot
 product.
+
+The embedder is the hot path of ``MalGraph.build``, so it is built to
+scale: one fused AST pass collects both feature families, the
+feature→bucket mapping is memoised process-wide (the same digrams repeat
+across every package), batches deduplicate by SHA256 before any work,
+and :meth:`AstEmbedder.embed_many` can fan the unique artifacts out over
+a process pool — the resulting matrix is byte-identical to the serial
+path because each vector is a pure function of the artifact bytes.
 """
 
 from __future__ import annotations
 
 import ast
 import hashlib
+import json
 import math
+import os
+from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional, Sequence
+from typing import (
+    Dict,
+    Iterable,
+    List,
+    MutableMapping,
+    Optional,
+    Sequence,
+    Tuple,
+)
 
 import numpy as np
 
@@ -35,13 +54,43 @@ from repro.errors import EmbeddingError
 #: fraction of the cost.
 DEFAULT_DIM = 256
 
+#: Version of the feature-extraction + hashing scheme. Folded into
+#: :meth:`AstEmbedder.fingerprint`, so persisted embedding-cache entries
+#: from an older scheme are invalidated rather than misread. v2: blake2b
+#: bucket hash (MD5 raises on FIPS-enabled hosts) and the fused
+#: single-pass AST walk.
+FEATURE_VERSION = 2
 
-def _bucket(feature: str, dim: int) -> "tuple[int, float]":
-    """Feature -> (bucket index, sign) via a stable hash."""
-    digest = hashlib.md5(feature.encode("utf-8")).digest()
-    index = int.from_bytes(digest[:4], "big") % dim
-    sign = 1.0 if digest[4] & 1 else -1.0
-    return index, sign
+#: Below this many *unique* artifacts a process pool costs more than it
+#: saves; :meth:`AstEmbedder.embed_many` stays serial regardless of the
+#: requested ``jobs``.
+PARALLEL_MIN_BATCH = 32
+
+#: Upper bound on the memoised feature→(bucket, sign) table per
+#: dimension. Repetition, not vocabulary, is what the memo exploits;
+#: past the bound new features are hashed without being remembered.
+_BUCKET_TABLE_LIMIT = 1 << 20
+
+_BUCKET_TABLES: Dict[int, Dict[str, Tuple[int, float]]] = {}
+
+
+def resolve_jobs(jobs: int) -> int:
+    """Worker count for a ``jobs`` knob: ``0`` (or negative) = one per core."""
+    if jobs <= 0:
+        return max(1, os.cpu_count() or 1)
+    return jobs
+
+
+def _bucket(feature: str, dim: int) -> Tuple[int, float]:
+    """Feature -> (bucket index, sign) via a stable, memoised hash."""
+    table = _BUCKET_TABLES.setdefault(dim, {})
+    entry = table.get(feature)
+    if entry is None:
+        digest = hashlib.blake2b(feature.encode("utf-8"), digest_size=5).digest()
+        entry = (int.from_bytes(digest[:4], "big") % dim, 1.0 if digest[4] & 1 else -1.0)
+        if len(table) < _BUCKET_TABLE_LIMIT:
+            table[feature] = entry
+    return entry
 
 
 def iter_structural_features(tree: ast.AST) -> Iterable[str]:
@@ -61,21 +110,60 @@ def iter_structural_features(tree: ast.AST) -> Iterable[str]:
 def iter_lexical_features(tree: ast.AST) -> Iterable[str]:
     """Identifier / attribute / literal vocabulary of the code."""
     for node in ast.walk(tree):
-        if isinstance(node, ast.Name):
-            yield f"id:{node.id}"
-        elif isinstance(node, ast.Attribute):
-            yield f"attr:{node.attr}"
-        elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
-            yield f"def:{node.name}"
-        elif isinstance(node, ast.arg):
-            yield f"arg:{node.arg}"
-        elif isinstance(node, ast.Constant) and isinstance(node.value, str):
-            value = node.value
-            if 0 < len(value) <= 60:
-                yield f"str:{value}"
-        elif isinstance(node, (ast.Import, ast.ImportFrom)):
-            for alias in node.names:
-                yield f"import:{alias.name}"
+        yield from _lexical_of(node)
+
+
+def _lexical_of(node: ast.AST) -> Iterable[str]:
+    """Lexical features contributed by one AST node."""
+    if isinstance(node, ast.Name):
+        yield f"id:{node.id}"
+    elif isinstance(node, ast.Attribute):
+        yield f"attr:{node.attr}"
+    elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+        yield f"def:{node.name}"
+    elif isinstance(node, ast.arg):
+        yield f"arg:{node.arg}"
+    elif isinstance(node, ast.Constant) and isinstance(node.value, str):
+        value = node.value
+        if 0 < len(value) <= 60:
+            yield f"str:{value}"
+    elif isinstance(node, (ast.Import, ast.ImportFrom)):
+        for alias in node.names:
+            yield f"import:{alias.name}"
+
+
+def _collect_features(
+    tree: ast.AST, max_tokens: int
+) -> Tuple[Dict[str, int], Dict[str, int]]:
+    """One fused DFS pass collecting structural and lexical counts.
+
+    Emits the same feature strings as :func:`iter_structural_features`
+    and :func:`iter_lexical_features` but walks the tree once; the
+    ``max_tokens`` budget is shared and consumed in emission order.
+    """
+    structural: Dict[str, int] = {}
+    lexical: Dict[str, int] = {}
+    budget = max_tokens
+    stack: List[tuple] = [(tree, None, None)]
+    while stack:
+        if budget <= 0:
+            break
+        node, parent, grandparent = stack.pop()
+        name = type(node).__name__
+        if parent is not None:
+            feature = f"st2:{parent}>{name}"
+            structural[feature] = structural.get(feature, 0) + 1
+            budget -= 1
+        if grandparent is not None:
+            feature = f"st3:{grandparent}>{parent}>{name}"
+            structural[feature] = structural.get(feature, 0) + 1
+            budget -= 1
+        for feature in _lexical_of(node):
+            lexical[feature] = lexical.get(feature, 0) + 1
+            budget -= 1
+        for child in ast.iter_child_nodes(node):
+            stack.append((child, name, parent))
+    return structural, lexical
 
 
 def _token_fallback_features(source: str) -> Iterable[str]:
@@ -92,6 +180,13 @@ def _token_fallback_features(source: str) -> Iterable[str]:
         yield f"tok:{''.join(token)}"
 
 
+def _embed_chunk(
+    embedder: "AstEmbedder", chunk: List[Tuple[str, PackageArtifact]]
+) -> List[Tuple[str, np.ndarray]]:
+    """Worker body: embed one chunk of (sha256, artifact) pairs."""
+    return [(sha, embedder.embed_package(artifact)) for sha, artifact in chunk]
+
+
 @dataclass
 class AstEmbedder:
     """Deterministic code embedder.
@@ -104,6 +199,19 @@ class AstEmbedder:
     structural_weight: float = 0.15
     lexical_weight: float = 5.0
     max_tokens: int = 8000  # matches the paper's input truncation
+
+    def fingerprint(self) -> str:
+        """Content address of everything a vector depends on besides the
+        artifact bytes — the key of the persistent embedding cache."""
+        payload = {
+            "feature_version": FEATURE_VERSION,
+            "dim": self.dim,
+            "structural_weight": self.structural_weight,
+            "lexical_weight": self.lexical_weight,
+            "max_tokens": self.max_tokens,
+        }
+        canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(canonical.encode("utf-8")).hexdigest()[:16]
 
     def embed_source(self, source: str) -> np.ndarray:
         """Embed one source file.
@@ -123,19 +231,7 @@ class AstEmbedder:
                 counts[feature] = counts.get(feature, 0) + 1
             self._accumulate(vector, counts, 1.0)
             return self._normalize(vector)
-        structural: Dict[str, int] = {}
-        lexical: Dict[str, int] = {}
-        budget = self.max_tokens
-        for feature in iter_structural_features(tree):
-            if budget <= 0:
-                break
-            budget -= 1
-            structural[feature] = structural.get(feature, 0) + 1
-        for feature in iter_lexical_features(tree):
-            if budget <= 0:
-                break
-            budget -= 1
-            lexical[feature] = lexical.get(feature, 0) + 1
+        structural, lexical = _collect_features(tree, self.max_tokens)
         self._accumulate(vector, structural, self.structural_weight)
         self._accumulate(vector, lexical, self.lexical_weight)
         return self._normalize(vector)
@@ -159,20 +255,61 @@ class AstEmbedder:
             total += self.embed_source(source)
         return self._normalize(total)
 
-    def embed_many(self, artifacts: Sequence[PackageArtifact]) -> np.ndarray:
-        """Embed a batch into an (n, dim) matrix of unit rows."""
+    def embed_many(
+        self,
+        artifacts: Sequence[PackageArtifact],
+        jobs: int = 1,
+        cache: Optional[MutableMapping[str, np.ndarray]] = None,
+    ) -> np.ndarray:
+        """Embed a batch into an (n, dim) matrix of unit rows.
+
+        Artifacts are deduplicated by SHA256 before any embedding work,
+        vectors already present in ``cache`` (sha256 → vector) are
+        reused, and the remaining unique artifacts are embedded with up
+        to ``jobs`` worker processes (``0`` = one per core). ``cache``
+        is updated in place with every newly computed vector. The matrix
+        is byte-identical for any ``jobs``/``cache`` combination.
+        """
         if not artifacts:
             return np.zeros((0, self.dim), dtype=np.float64)
+        vectors: MutableMapping[str, np.ndarray] = cache if cache is not None else {}
+        shas = [artifact.sha256() for artifact in artifacts]
+        pending: Dict[str, PackageArtifact] = {}
+        for sha, artifact in zip(shas, artifacts):
+            if sha not in vectors and sha not in pending:
+                pending[sha] = artifact
+        if pending:
+            vectors.update(self._embed_unique(list(pending.items()), jobs))
         matrix = np.empty((len(artifacts), self.dim), dtype=np.float64)
-        cache: Dict[str, np.ndarray] = {}
-        for row, artifact in enumerate(artifacts):
-            signature = artifact.sha256()
-            vector = cache.get(signature)
-            if vector is None:
-                vector = self.embed_package(artifact)
-                cache[signature] = vector
-            matrix[row] = vector
+        for row, sha in enumerate(shas):
+            matrix[row] = vectors[sha]
         return matrix
+
+    def _embed_unique(
+        self, pending: List[Tuple[str, PackageArtifact]], jobs: int
+    ) -> Dict[str, np.ndarray]:
+        """Embed deduplicated (sha256, artifact) pairs, in parallel when
+        the batch is big enough to pay for the pool."""
+        workers = min(resolve_jobs(jobs), len(pending))
+        if workers <= 1 or len(pending) < PARALLEL_MIN_BATCH:
+            return {sha: self.embed_package(a) for sha, a in pending}
+        # Deterministic contiguous chunks, one per worker; merge order is
+        # irrelevant because each vector is keyed by its sha256.
+        chunk_size = -(-len(pending) // workers)
+        chunks = [
+            pending[start : start + chunk_size]
+            for start in range(0, len(pending), chunk_size)
+        ]
+        computed: Dict[str, np.ndarray] = {}
+        try:
+            with ProcessPoolExecutor(max_workers=workers) as pool:
+                for rows in pool.map(_embed_chunk, [self] * len(chunks), chunks):
+                    computed.update(rows)
+        except (OSError, PermissionError):
+            # Process pools can be unavailable (restricted sandboxes,
+            # exhausted fds); the serial path computes the same matrix.
+            return {sha: self.embed_package(a) for sha, a in pending}
+        return computed
 
     @staticmethod
     def _normalize(vector: np.ndarray) -> np.ndarray:

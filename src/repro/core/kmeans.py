@@ -44,18 +44,20 @@ class KMeansResult:
         return out
 
 
-def _kmeans_pp_init(
-    X: np.ndarray, k: int, rng: np.random.Generator
+def _kmeans_pp_extend(
+    X: np.ndarray,
+    centroids: np.ndarray,
+    start: int,
+    k: int,
+    rng: np.random.Generator,
 ) -> np.ndarray:
-    """k-means++ seeding under squared-Euclidean distance."""
+    """k-means++ D² sampling for slots ``[start:k]``, given that
+    ``centroids[:start]`` are already chosen."""
     n = X.shape[0]
-    centroids = np.empty((k, X.shape[1]), dtype=X.dtype)
-    first = int(rng.integers(n))
-    centroids[0] = X[first]
     # For unit vectors, ||x - c||^2 = 2 - 2 x.c
-    closest = 2.0 - 2.0 * (X @ centroids[0])
+    closest = 2.0 - 2.0 * (X @ centroids[:start].T).max(axis=1)
     np.maximum(closest, 0.0, out=closest)
-    for idx in range(1, k):
+    for idx in range(start, k):
         total = float(closest.sum())
         if total <= 1e-12:
             choice = int(rng.integers(n))
@@ -68,18 +70,33 @@ def _kmeans_pp_init(
     return centroids
 
 
+def _kmeans_pp_init(
+    X: np.ndarray, k: int, rng: np.random.Generator
+) -> np.ndarray:
+    """k-means++ seeding under squared-Euclidean distance."""
+    n = X.shape[0]
+    centroids = np.empty((k, X.shape[1]), dtype=X.dtype)
+    first = int(rng.integers(n))
+    centroids[0] = X[first]
+    return _kmeans_pp_extend(X, centroids, 1, k, rng)
+
+
 def kmeans(
     X: np.ndarray,
     k: int,
     rng: Optional[np.random.Generator] = None,
     max_iter: int = 30,
     tol: float = 1e-6,
+    init: Optional[np.ndarray] = None,
 ) -> KMeansResult:
     """Lloyd's algorithm with k-means++ initialisation.
 
     ``X`` must be an (n, dim) array; rows should be L2-normalised for
     cosine behaviour. Empty clusters are re-seeded with the point
-    furthest from its centroid.
+    furthest from its centroid. ``init`` warm-starts the run: its rows
+    seed the first centroids and only the remaining slots (if any) are
+    drawn with k-means++ — the growth loop uses this so each round
+    refines the previous round's structure instead of restarting cold.
     """
     if k <= 0:
         raise ConfigError(f"k must be positive, got {k}")
@@ -95,7 +112,14 @@ def kmeans(
         )
     k = min(k, n)
     rng = rng if rng is not None else np.random.default_rng(0)
-    centroids = _kmeans_pp_init(X, k, rng)
+    if init is not None and init.shape[0] > 0:
+        seeded = min(int(init.shape[0]), k)
+        centroids = np.empty((k, X.shape[1]), dtype=X.dtype)
+        centroids[:seeded] = init[:seeded]
+        if seeded < k:
+            centroids = _kmeans_pp_extend(X, centroids, seeded, k, rng)
+    else:
+        centroids = _kmeans_pp_init(X, k, rng)
     labels = np.zeros(n, dtype=np.int64)
     sq_norms = np.einsum("ij,ij->i", X, X)
     inertia = float("inf")
@@ -139,6 +163,10 @@ class GrowthTrace:
     k: int
     inertia: float
     min_centroid_gap: float
+    #: centroids inherited from the previous round (0 = cold k-means++)
+    seeded: int = 0
+    #: Lloyd iterations this round's run took to converge
+    iterations: int = 0
 
 
 def grow_kmeans(
@@ -149,6 +177,7 @@ def grow_kmeans(
     duplicate_eps: float = 0.05,
     improvement_tol: float = 0.02,
     growth: float = 0.34,
+    warm_start: bool = False,
 ) -> Tuple[KMeansResult, List[GrowthTrace]]:
     """The paper's cluster-growth loop.
 
@@ -160,7 +189,19 @@ def grow_kmeans(
     * inertia improves by less than ``improvement_tol`` per round, or
     * ``k`` reaches ``max_k`` (default: n // 2).
 
-    Returns the final clustering and the growth trace.
+    With ``warm_start`` each growth round seeds Lloyd's from the
+    previous round's centroids and draws k-means++ picks only for the
+    newly added slots, instead of restarting from scratch — the stopping
+    rule is unchanged and the trace records how many centroids every
+    round inherited (``seeded``) and how many Lloyd iterations it took
+    (``iterations``). On data whose cluster structure the cold restarts
+    recover, the warm path converges to the same partition in fewer
+    total iterations. It is *opt-in* because the two paths are different
+    optimisations: on messy embeddings the warm candidates keep finding
+    lower-inertia refinements the cold restarts cannot, so the loop
+    stops at a different (finer) ``k`` than the calibrated default —
+    and the canonical pipeline must stay byte-identical across every
+    execution knob. Returns the final clustering and the trace.
     """
     n = X.shape[0]
     if n == 0:
@@ -171,15 +212,26 @@ def grow_kmeans(
     k = min(start_k, n)
     trace: List[GrowthTrace] = []
     best = kmeans(X, k, rng)
+    best_seeded = 0
     while True:
         gap = _min_centroid_gap(best.centroids)
-        trace.append(GrowthTrace(k=best.k, inertia=best.inertia, min_centroid_gap=gap))
+        trace.append(
+            GrowthTrace(
+                k=best.k,
+                inertia=best.inertia,
+                min_centroid_gap=gap,
+                seeded=best_seeded,
+                iterations=best.iterations,
+            )
+        )
         if gap < duplicate_eps:
             break
         if best.k >= cap:
             break
         next_k = min(cap, max(best.k + 1, int(best.k * (1.0 + growth))))
-        candidate = kmeans(X, next_k, rng)
+        init = best.centroids if warm_start else None
+        candidate_seeded = best.k if warm_start else 0
+        candidate = kmeans(X, next_k, rng, init=init)
         if best.inertia > 0 and (
             (best.inertia - candidate.inertia) / best.inertia < improvement_tol
         ):
@@ -187,13 +239,19 @@ def grow_kmeans(
             # the candidate only if it found genuinely distinct centroids.
             if _min_centroid_gap(candidate.centroids) < duplicate_eps:
                 break
-            best = candidate
+            best, best_seeded = candidate, candidate_seeded
             gap = _min_centroid_gap(best.centroids)
             trace.append(
-                GrowthTrace(k=best.k, inertia=best.inertia, min_centroid_gap=gap)
+                GrowthTrace(
+                    k=best.k,
+                    inertia=best.inertia,
+                    min_centroid_gap=gap,
+                    seeded=best_seeded,
+                    iterations=best.iterations,
+                )
             )
             break
-        best = candidate
+        best, best_seeded = candidate, candidate_seeded
     return best, trace
 
 

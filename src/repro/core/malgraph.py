@@ -45,8 +45,14 @@ class MalGraph:
         cls,
         dataset: MalwareDataset,
         similarity: Optional[SimilarityConfig] = None,
+        store=None,
     ) -> "MalGraph":
-        """Build nodes and all four edge types from a collected dataset."""
+        """Build nodes and all four edge types from a collected dataset.
+
+        ``store`` (an :class:`repro.pipeline.store.ArtifactStore`) turns
+        on the persistent embedding cache for the similar-edge stage;
+        the built graph is identical with or without it.
+        """
         # A SimilarityConfig() default argument would be instantiated once
         # at import time and shared across every build() call.
         similarity = similarity if similarity is not None else SimilarityConfig()
@@ -54,7 +60,7 @@ class MalGraph:
         add_dataset_nodes(graph, dataset)
         duplicated = build_duplicated_edges(graph, dataset)
         dependency = build_dependency_edges(graph, dataset)
-        similar = build_similar_edges(graph, dataset, similarity)
+        similar = build_similar_edges(graph, dataset, similarity, store=store)
         coexisting = build_coexisting_edges(graph, dataset)
         return cls(
             graph=graph,

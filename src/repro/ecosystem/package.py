@@ -114,6 +114,11 @@ class PackageArtifact:
     id: PackageId
     metadata: PackageMetadata
     files: Dict[str, str] = field(default_factory=dict)
+    #: memoised code signature — artifacts are content-immutable once
+    #: built (every mutation path constructs a new instance), so the
+    #: canonicalisation pass runs once instead of once per consumer
+    #: (embed_many, add_dataset_nodes, build_duplicated_edges, ...).
+    _sha256: Optional[str] = field(default=None, repr=False, compare=False)
 
     # -- identity helpers -------------------------------------------------
     @property
@@ -155,8 +160,10 @@ class PackageArtifact:
         return b"".join(parts)
 
     def sha256(self) -> str:
-        """SHA256 signature of the package code (Section III-C)."""
-        return hashlib.sha256(self.canonical_code_bytes()).hexdigest()
+        """SHA256 signature of the package code (Section III-C), memoised."""
+        if self._sha256 is None:
+            self._sha256 = hashlib.sha256(self.canonical_code_bytes()).hexdigest()
+        return self._sha256
 
     def loc(self) -> int:
         """Total non-blank source lines (used by the CC-size analysis)."""

@@ -28,7 +28,10 @@ from repro.world import WorldConfig
 #: Bump when the serialised artifact formats change; old disk entries are
 #: then treated as misses and rebuilt. v2: CollectionStats gained
 #: pages_unfetchable / recovery.skipped / degraded / degradation.
-SCHEMA_VERSION = 2
+#: v3: the embedder's feature hashing moved from MD5 to blake2b —
+#: every vector (and the similar-edge structure built on them) changed,
+#: so v2 malgraph artifacts must not be reused.
+SCHEMA_VERSION = 3
 
 #: Hex digits kept from the SHA256 digest (64 bits; collisions across a
 #: handful of configurations are not a realistic concern).
@@ -50,7 +53,12 @@ def config_payload(
     """
     payload = {"world": asdict(config)}
     if similarity is not None:
-        payload["similarity"] = asdict(similarity)
+        similarity_knobs = asdict(similarity)
+        # jobs is an execution knob (worker-process count): the embedding
+        # matrix is byte-identical for any value, so it must not split
+        # the cache address space.
+        similarity_knobs.pop("jobs", None)
+        payload["similarity"] = similarity_knobs
     if fault_plan is not None:
         payload["faults"] = fault_plan.to_dict()
         if max_retries is not None:

@@ -11,7 +11,7 @@ process-wide report via ``--report`` / ``--report-json`` and the
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List
+from typing import Any, Dict, List, Optional
 
 #: A stage served from cache (memory, disk, or elided entirely).
 STATUS_HIT = "hit"
@@ -48,10 +48,31 @@ class StageRun:
 
 
 @dataclass
+class SubstageRun:
+    """One timed substage of a stage build (e.g. the malgraph stage's
+    embed / cluster / split phases), with counters such as embedding
+    cache hits in ``detail``."""
+
+    stage: str
+    name: str
+    seconds: float
+    detail: Dict[str, Any] = field(default_factory=dict)
+
+    def to_dict(self) -> dict:
+        return {
+            "stage": self.stage,
+            "name": self.name,
+            "seconds": self.seconds,
+            "detail": dict(self.detail),
+        }
+
+
+@dataclass
 class PipelineReport:
     """Append-only log of stage resolutions plus aggregate counts."""
 
     runs: List[StageRun] = field(default_factory=list)
+    substages: List[SubstageRun] = field(default_factory=list)
 
     def record(
         self,
@@ -71,6 +92,19 @@ class PipelineReport:
         self.runs.append(run)
         return run
 
+    def record_substage(
+        self,
+        stage: str,
+        name: str,
+        seconds: float,
+        detail: Optional[Dict[str, Any]] = None,
+    ) -> SubstageRun:
+        run = SubstageRun(
+            stage=stage, name=name, seconds=seconds, detail=detail or {}
+        )
+        self.substages.append(run)
+        return run
+
     def counts(self) -> Dict[str, Dict[str, int]]:
         """Per-stage ``{"hits": n, "misses": n}`` totals."""
         totals: Dict[str, Dict[str, int]] = {}
@@ -88,10 +122,12 @@ class PipelineReport:
 
     def clear(self) -> None:
         self.runs.clear()
+        self.substages.clear()
 
     def to_dict(self) -> dict:
         return {
             "runs": [run.to_dict() for run in self.runs],
+            "substages": [run.to_dict() for run in self.substages],
             "counts": self.counts(),
             "total_seconds": self.total_seconds,
         }
@@ -103,6 +139,12 @@ class PipelineReport:
             lines.append(
                 f"{run.stage:<11} {run.status:<7} {run.source:<8} "
                 f"{run.seconds:8.3f}"
+            )
+        for sub in self.substages:
+            detail = ", ".join(f"{k}={v}" for k, v in sorted(sub.detail.items()))
+            lines.append(
+                f"  {sub.stage}.{sub.name:<17} {sub.seconds:8.3f}"
+                + (f"  ({detail})" if detail else "")
             )
         counts = self.counts()
         summary = ", ".join(

@@ -273,7 +273,11 @@ class PipelineRuntime:
                 return malgraph
         dataset = self.dataset()
         started = time.perf_counter()
-        malgraph = MalGraph.build(dataset, self.similarity)
+        malgraph = MalGraph.build(dataset, self.similarity, store=self.store)
+        timings = malgraph.similar.clustering.timings
+        if timings is not None:
+            for name, seconds, detail in timings.rows():
+                self.report.record_substage(STAGE_MALGRAPH, name, seconds, detail)
         self.store.put_memory(STAGE_MALGRAPH, fp, malgraph)
         self.store.put_disk(
             STAGE_MALGRAPH,

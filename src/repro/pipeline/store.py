@@ -38,6 +38,12 @@ NO_DISK_CACHE_ENV = "REPRO_NO_DISK_CACHE"
 
 META_FILENAME = "meta.json"
 
+#: Tier name of the persistent embedding cache. Unlike the stage tiers
+#: (one atomic directory per artifact) an embeddings entry grows
+#: incrementally: one ``<sha256>.npy`` vector file per embedded
+#: artifact, under one directory per embedder fingerprint.
+EMBEDDINGS_STAGE = "embeddings"
+
 #: Default bound on live artifacts held in memory (a full-scale world
 #: plus its collection and MALGRAPH is three entries).
 DEFAULT_MEMORY_CAPACITY = 8
@@ -172,6 +178,99 @@ class ArtifactStore:
             # writable; either way the build result is still returned.
             shutil.rmtree(tmp, ignore_errors=True)
             return False
+
+    # -- embeddings tier ---------------------------------------------------
+    def embedding_memory(self, embedder_fp: str) -> Dict[str, Any]:
+        """The live sha256 → vector map for one embedder fingerprint.
+
+        Held as a single memory-tier entry (so the LRU bound counts one
+        slot per embedder config, not one per vector) and mutated in
+        place by the similarity pipeline — a second build in the same
+        process starts fully warm.
+        """
+        with self._lock:
+            key = (EMBEDDINGS_STAGE, embedder_fp)
+            cache = self._memory.get(key)
+            if cache is None:
+                cache = {}
+                self._memory[key] = cache
+            self._memory.move_to_end(key)
+            while len(self._memory) > self.memory_capacity:
+                self._memory.popitem(last=False)
+            return cache
+
+    def load_embeddings(
+        self, embedder_fp: str, shas: List[str]
+    ) -> Dict[str, Any]:
+        """Read the requested vectors from disk; absent or corrupt
+        vector files are simply misses (the caller re-embeds)."""
+        import numpy as np
+
+        loaded: Dict[str, Any] = {}
+        if not self.disk_enabled:
+            return loaded
+        entry_dir = self._entry_dir(EMBEDDINGS_STAGE, embedder_fp)
+        if not self._meta_valid(
+            self._read_meta(entry_dir), EMBEDDINGS_STAGE, embedder_fp
+        ):
+            return loaded
+        for sha in shas:
+            try:
+                loaded[sha] = np.load(
+                    entry_dir / f"{sha}.npy", allow_pickle=False
+                )
+            except (OSError, ValueError):
+                continue
+        return loaded
+
+    def save_embeddings(
+        self,
+        embedder_fp: str,
+        vectors: Dict[str, Any],
+        config_payload: Optional[dict] = None,
+    ) -> int:
+        """Persist vectors for one embedder fingerprint; best-effort.
+
+        Each vector is written to a temp file and ``os.replace``d into
+        place, so readers never observe a partial ``.npy``. Returns the
+        number of vectors written.
+        """
+        import numpy as np
+
+        if not self.disk_enabled or not vectors:
+            return 0
+        entry_dir = self._entry_dir(EMBEDDINGS_STAGE, embedder_fp)
+        try:
+            if not self._meta_valid(
+                self._read_meta(entry_dir), EMBEDDINGS_STAGE, embedder_fp
+            ):
+                # Stale-schema or foreign leftovers: start the entry over
+                # rather than mixing vector generations.
+                if entry_dir.exists():
+                    shutil.rmtree(entry_dir, ignore_errors=True)
+                entry_dir.mkdir(parents=True, exist_ok=True)
+                meta = {
+                    "schema_version": SCHEMA_VERSION,
+                    "stage": EMBEDDINGS_STAGE,
+                    "fingerprint": embedder_fp,
+                    "config": config_payload or {},
+                }
+                tmp_meta = entry_dir / f".tmp-meta-{os.getpid()}"
+                tmp_meta.write_text(json.dumps(meta, sort_keys=True))
+                os.replace(tmp_meta, entry_dir / META_FILENAME)
+        except OSError:
+            return 0
+        written = 0
+        for sha, vector in vectors.items():
+            tmp = entry_dir / f".tmp-{sha}-{os.getpid()}-{uuid.uuid4().hex[:8]}"
+            try:
+                with open(tmp, "wb") as handle:
+                    np.save(handle, vector, allow_pickle=False)
+                os.replace(tmp, entry_dir / f"{sha}.npy")
+                written += 1
+            except OSError:
+                tmp.unlink(missing_ok=True)
+        return written
 
     def clear_disk(self) -> int:
         """Delete every disk entry; returns the number removed."""

@@ -9,10 +9,12 @@ import numpy as np
 import pytest
 
 from repro.core.embedding import (
+    PARALLEL_MIN_BATCH,
     AstEmbedder,
     cosine_similarity,
     iter_lexical_features,
     iter_structural_features,
+    resolve_jobs,
 )
 from repro.ecosystem.package import make_artifact
 from repro.errors import EmbeddingError
@@ -214,3 +216,70 @@ def test_dim_is_configurable():
     vec = small.embed_source(SOURCE_A)
     assert vec.shape == (32,)
     assert np.linalg.norm(vec) == pytest.approx(1.0)
+
+
+# -- batch embedding: dedup, cache, parallel ----------------------------------
+
+def _distinct_artifacts(count: int):
+    """`count` artifacts with genuinely different code (unique SHA256s)."""
+    return [
+        _artifact(
+            f"pkg{idx}",
+            f"def handler_{idx}(payload):\n"
+            f"    token_{idx} = payload.get('k{idx}')\n"
+            f"    return [token_{idx}, {idx}]\n",
+        )
+        for idx in range(count)
+    ]
+
+
+def test_embed_many_parallel_is_byte_identical_to_serial(embedder):
+    """The tentpole guarantee: worker processes change wall time, never
+    a single byte of the matrix (batch is sized past PARALLEL_MIN_BATCH
+    so the pool actually engages)."""
+    artifacts = _distinct_artifacts(PARALLEL_MIN_BATCH + 8)
+    serial = embedder.embed_many(artifacts, jobs=1)
+    parallel = embedder.embed_many(artifacts, jobs=4)
+    assert serial.tobytes() == parallel.tobytes()
+
+
+def test_embed_many_deduplicates_before_embedding(embedder):
+    """Duplicated artifacts are embedded once; every copy gets the row."""
+    base = _distinct_artifacts(3)
+    artifacts = base + [base[1], base[0]]
+    matrix = embedder.embed_many(artifacts)
+    assert np.array_equal(matrix[1], matrix[3])
+    assert np.array_equal(matrix[0], matrix[4])
+
+
+def test_embed_many_honours_and_updates_the_cache(embedder):
+    artifacts = _distinct_artifacts(3)
+    poisoned = np.zeros(embedder.dim)
+    poisoned[0] = 1.0
+    cache = {artifacts[0].sha256(): poisoned}
+    matrix = embedder.embed_many(artifacts, cache=cache)
+    # cached vectors are trusted verbatim, never recomputed
+    assert np.array_equal(matrix[0], poisoned)
+    # newly computed vectors land in the cache, keyed by sha256
+    assert set(cache) == {a.sha256() for a in artifacts}
+    assert np.array_equal(cache[artifacts[1].sha256()], matrix[1])
+
+
+def test_embedder_fingerprint_tracks_every_result_knob():
+    base = AstEmbedder()
+    assert base.fingerprint() == AstEmbedder().fingerprint()
+    for changed in (
+        AstEmbedder(dim=128),
+        AstEmbedder(structural_weight=0.3),
+        AstEmbedder(lexical_weight=1.0),
+        AstEmbedder(max_tokens=100),
+    ):
+        assert changed.fingerprint() != base.fingerprint()
+
+
+def test_resolve_jobs():
+    assert resolve_jobs(3) == 3
+    assert resolve_jobs(1) == 1
+    auto = resolve_jobs(0)
+    assert auto >= 1
+    assert resolve_jobs(-1) == auto

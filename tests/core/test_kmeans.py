@@ -7,7 +7,13 @@ import pytest
 from hypothesis import given, settings, strategies as st
 from hypothesis.extra import numpy as hnp
 
-from repro.core.kmeans import GrowthTrace, _min_centroid_gap, grow_kmeans, kmeans
+from repro.core.kmeans import (
+    GrowthTrace,
+    KMeansResult,
+    _min_centroid_gap,
+    grow_kmeans,
+    kmeans,
+)
 from repro.errors import ConfigError
 
 
@@ -195,3 +201,81 @@ def test_assignment_is_nearest_centroid_after_convergence():
     best = d.min(axis=1)
     chosen = d[np.arange(X.shape[0]), result.labels]
     assert np.allclose(chosen, best, atol=1e-8)
+
+
+# -- warm start ---------------------------------------------------------------
+
+def _unit_blobs(seed: int, centers: int = 5, per: int = 30, dim: int = 24,
+                noise: float = 0.01) -> np.ndarray:
+    """Tight, well-separated blobs on the unit sphere — data whose
+    cluster structure every reasonable initialisation recovers."""
+    rng = np.random.default_rng(seed)
+    points = []
+    for _ in range(centers):
+        center = rng.normal(size=dim)
+        center /= np.linalg.norm(center)
+        blob = center + noise * rng.normal(size=(per, dim))
+        points.append(blob / np.linalg.norm(blob, axis=1, keepdims=True))
+    return np.vstack(points)
+
+
+def _partition(result: KMeansResult):
+    return sorted(tuple(sorted(m.tolist())) for m in result.clusters())
+
+
+def test_kmeans_init_seeds_the_centroids():
+    """With a full warm init at the optimum, Lloyd's converges
+    immediately and keeps the seeded structure."""
+    X = _unit_blobs(0, centers=3)
+    cold = kmeans(X, 3, rng=np.random.default_rng(0))
+    warm = kmeans(X, 3, rng=np.random.default_rng(1), init=cold.centroids)
+    assert _partition(warm) == _partition(cold)
+    assert warm.iterations <= cold.iterations
+
+
+def test_kmeans_init_extends_missing_slots():
+    """An init with fewer rows than k keeps the seeded rows and fills
+    the rest with k-means++ picks."""
+    X = _unit_blobs(1, centers=4)
+    seed_run = kmeans(X, 2, rng=np.random.default_rng(0))
+    extended = kmeans(X, 4, rng=np.random.default_rng(0), init=seed_run.centroids)
+    assert extended.k == 4
+    assert len(_partition(extended)) == 4
+
+
+def test_warm_start_reaches_cold_groups_on_separable_data():
+    """On data whose structure the cold restarts recover, the warm-started
+    growth loop converges to the identical partition (the documented
+    contract; on messy embeddings the two are different optimisations,
+    which is why warm start is opt-in)."""
+    for seed in range(10):
+        X = _unit_blobs(seed)
+        cold, _ = grow_kmeans(X, start_k=3, seed=seed, max_k=5)
+        warm, _ = grow_kmeans(X, start_k=3, seed=seed, max_k=5, warm_start=True)
+        assert _partition(cold) == _partition(warm), seed
+
+
+def test_warm_start_trace_records_seeding():
+    X = _unit_blobs(2)
+    _, cold_trace = grow_kmeans(X, start_k=3, seed=2, max_k=5)
+    _, warm_trace = grow_kmeans(X, start_k=3, seed=2, max_k=5, warm_start=True)
+    assert all(t.seeded == 0 for t in cold_trace)
+    # round 1 is always cold; later rounds inherit the previous round's k
+    assert warm_trace[0].seeded == 0
+    assert [t.seeded for t in warm_trace[1:]] == [t.k for t in warm_trace[:-1]]
+    assert all(t.iterations >= 1 for t in warm_trace)
+
+
+def test_warm_start_uses_fewer_total_iterations():
+    """The point of warm starting: refinement rounds converge faster than
+    cold restarts, at the same stopping rule."""
+    totals = {"cold": 0, "warm": 0}
+    for seed in range(10):
+        X = _unit_blobs(seed)
+        _, cold_trace = grow_kmeans(X, start_k=3, seed=seed, max_k=5)
+        _, warm_trace = grow_kmeans(
+            X, start_k=3, seed=seed, max_k=5, warm_start=True
+        )
+        totals["cold"] += sum(t.iterations for t in cold_trace)
+        totals["warm"] += sum(t.iterations for t in warm_trace)
+    assert totals["warm"] <= totals["cold"]

@@ -108,3 +108,29 @@ def test_code_text_concatenates_in_path_order():
         "pypi", "p", "1.0", {"pkg/b.py": "B = 2\n", "pkg/a.py": "A = 1\n"}
     )
     assert artifact.code_text() == "A = 1\n\nB = 2\n"
+
+
+def test_sha256_is_memoised():
+    """The signature is computed once and served from the artifact after
+    that — node building, duplicate edges and embedding all call it."""
+    from unittest import mock
+
+    from repro.ecosystem.package import make_artifact
+
+    artifact = make_artifact("pypi", "p", "1.0", {"pkg/a.py": "A = 1\n"})
+    first = artifact.sha256()
+    with mock.patch.object(
+        type(artifact), "canonical_code_bytes",
+        side_effect=AssertionError("sha256 recomputed"),
+    ):
+        assert artifact.sha256() == first
+
+
+def test_sha256_memo_excluded_from_equality():
+    """Computing the signature must not make two equal artifacts differ."""
+    from repro.ecosystem.package import make_artifact
+
+    a = make_artifact("pypi", "p", "1.0", {"pkg/a.py": "A = 1\n"})
+    b = make_artifact("pypi", "p", "1.0", {"pkg/a.py": "A = 1\n"})
+    a.sha256()
+    assert a == b

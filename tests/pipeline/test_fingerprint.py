@@ -33,6 +33,11 @@ def test_every_world_knob_changes_the_fingerprint():
         assert fingerprint("world", bumped) != base, field.name
 
 
+#: Execution knobs change how the pipeline runs, never what it produces;
+#: they are deliberately excluded from fingerprints.
+EXECUTION_KNOBS = {"jobs"}
+
+
 def test_every_similarity_knob_changes_the_fingerprint():
     similarity = SimilarityConfig()
     base = fingerprint("malgraph", BASE, similarity)
@@ -46,10 +51,20 @@ def test_every_similarity_knob_changes_the_fingerprint():
         "structural_weight": similarity.structural_weight + 0.1,
         "lexical_weight": similarity.lexical_weight + 1.0,
     }
-    assert set(variants) == {f.name for f in dataclasses.fields(SimilarityConfig)}
+    assert set(variants) == {
+        f.name for f in dataclasses.fields(SimilarityConfig)
+    } - EXECUTION_KNOBS
     for name, value in variants.items():
         bumped = dataclasses.replace(similarity, **{name: value})
         assert fingerprint("malgraph", BASE, bumped) != base, name
+
+
+def test_jobs_does_not_change_the_fingerprint():
+    # The embedding matrix is byte-identical for any worker count, so a
+    # parallel build must share the serial build's cache address.
+    base = fingerprint("malgraph", BASE, SimilarityConfig())
+    for jobs in (0, 4, 16):
+        assert fingerprint("malgraph", BASE, SimilarityConfig(jobs=jobs)) == base
 
 
 def test_stages_get_distinct_fingerprints():
@@ -66,7 +81,10 @@ def test_similarity_config_only_hashes_when_given():
 def test_payload_carries_the_complete_config():
     payload = config_payload(BASE, SimilarityConfig())
     assert payload["world"] == dataclasses.asdict(BASE)
-    assert payload["similarity"] == dataclasses.asdict(SimilarityConfig())
+    expected = dataclasses.asdict(SimilarityConfig())
+    for knob in EXECUTION_KNOBS:
+        expected.pop(knob)
+    assert payload["similarity"] == expected
 
 
 def test_schema_version_feeds_the_digest(monkeypatch):

@@ -142,3 +142,45 @@ def test_default_artifacts_distinguishes_similarity_config():
     assert tweaked.collection is base.collection
     # ... but a distinct malgraph artifact.
     assert tweaked.malgraph is not base.malgraph
+
+
+def test_malgraph_build_records_substage_timings(tmp_path):
+    """A built malgraph leaves embed/cluster/split rows (with embedding
+    cache counters) in the report; cache hits record nothing new."""
+    runtime = runtime_for(tmp_path)
+    runtime.malgraph()
+    subs = {sub.name: sub for sub in runtime.report.substages}
+    assert set(subs) == {"embed", "cluster", "split"}
+    assert all(sub.stage == "malgraph" for sub in subs.values())
+    assert all(sub.seconds >= 0.0 for sub in subs.values())
+    embed = subs["embed"].detail
+    assert embed["cache_misses"] == embed["unique"]  # cold store
+    assert embed["artifacts"] >= embed["unique"] > 0
+
+    before = len(runtime.report.substages)
+    runtime.malgraph()  # memory hit: no build, no new substages
+    assert len(runtime.report.substages) == before
+
+    rendered = runtime.report.render()
+    assert "malgraph.embed" in rendered
+    assert "cache_misses" in rendered
+
+
+def test_second_runtime_build_hits_the_embedding_cache(tmp_path):
+    """A fresh store over the same cache dir skips every re-embed when
+    only clustering knobs change (the sweep the cache exists for)."""
+    runtime = runtime_for(tmp_path)
+    runtime.malgraph()
+
+    sweep = PipelineRuntime(
+        SMALL,
+        similarity=SimilarityConfig(min_similarity=0.5),
+        store=ArtifactStore(cache_dir=tmp_path / "cache"),
+        report=PipelineReport(),
+    )
+    sweep.malgraph()
+    embed = next(
+        sub for sub in sweep.report.substages if sub.name == "embed"
+    ).detail
+    assert embed["cache_misses"] == 0
+    assert embed["cache_hits"] == embed["unique"]

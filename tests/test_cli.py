@@ -277,6 +277,20 @@ def test_warm_command(tmp_path, capsys):
     assert (cache / "malgraph").exists()
 
 
+def test_warm_accepts_jobs_after_the_subcommand(tmp_path, capsys):
+    cache = tmp_path / "cache"
+    argv = SMALL + ["--cache-dir", str(cache), "--no-disk-cache", "warm", "--jobs", "1"]
+    assert main(argv) == 0
+    assert "pipeline report" in capsys.readouterr().out
+
+
+def test_warm_jobs_after_subcommand_does_not_clobber_global(tmp_path, capsys):
+    cache = tmp_path / "cache"
+    argv = SMALL + ["--cache-dir", str(cache), "--no-disk-cache", "--jobs", "1", "warm"]
+    assert main(argv) == 0
+    assert "pipeline report" in capsys.readouterr().out
+
+
 def test_warm_with_no_disk_cache_writes_nothing(tmp_path, capsys):
     cache = tmp_path / "cache"
     assert main(SMALL + ["--cache-dir", str(cache), "--no-disk-cache", "warm"]) == 0
@@ -292,10 +306,12 @@ def test_cache_info_and_clear(tmp_path, capsys):
     assert main(SMALL + ["--cache-dir", str(cache), "cache", "info"]) == 0
     out = capsys.readouterr().out
     assert "collection" in out and "malgraph" in out
+    assert "embeddings" in out
     assert "seed=3" in out
 
+    # collection + malgraph + the embeddings tier written during the build
     assert main(SMALL + ["--cache-dir", str(cache), "cache", "clear"]) == 0
-    assert "removed 2 cache entries" in capsys.readouterr().out
+    assert "removed 3 cache entries" in capsys.readouterr().out
 
     assert main(SMALL + ["--cache-dir", str(cache), "cache", "info"]) == 0
     assert "no cached artifacts" in capsys.readouterr().out
@@ -312,8 +328,13 @@ def test_report_flags(tmp_path, capsys):
     assert code == 0
     assert "pipeline report" in capsys.readouterr().err
     payload = json.loads(target.read_text())
-    assert set(payload) == {"counts", "runs", "total_seconds"}
+    assert set(payload) == {"counts", "runs", "substages", "total_seconds"}
     assert payload["counts"]["malgraph"]["misses"] == 1
+    assert {sub["name"] for sub in payload["substages"]} == {
+        "embed",
+        "cluster",
+        "split",
+    }
 
 
 def test_warmed_cache_reused_across_invocations(tmp_path, capsys):
