@@ -29,7 +29,7 @@ HTTP_API = """\
 ## HTTP API contract
 
 The enrichment server (`repro serve`, `repro.service.server`) speaks
-JSON over five endpoints:
+JSON over six endpoints:
 
 | Endpoint | Method | Payload |
 |---|---|---|
@@ -38,12 +38,13 @@ JSON over five endpoints:
 | `/v1/metrics` | GET | see below |
 | `/v1/enrich?name=&version=&sha256=&ecosystem=` | GET | one `EnrichmentResult` |
 | `/v1/enrich/batch` | POST | `{"count": N, "results": [...]}` |
+| `/v1/query` | POST | `{"pattern": "<query>"}` → query result, see below |
 
 ### `GET /v1/metrics`
 
-Per-endpoint request counters, status-code counts and latency
-percentiles estimated from a fixed-bucket histogram
-(`repro.service.metrics`):
+Per-endpoint request counters, status-code counts, returned-row
+totals, and latency percentiles estimated from a fixed-bucket
+histogram (`repro.service.metrics`):
 
 ```json
 {
@@ -51,6 +52,7 @@ percentiles estimated from a fixed-bucket histogram
     "/v1/enrich": {
       "requests": 1204,
       "status": {"200": 1200, "400": 4},
+      "rows_returned": 0,
       "latency": {
         "count": 1204, "sum_seconds": 1.73, "max_ms": 21.5,
         "p50_ms": 1.0, "p95_ms": 2.5, "p99_ms": 10.0
@@ -61,6 +63,9 @@ percentiles estimated from a fixed-bucket histogram
 }
 ```
 
+`rows_returned` accumulates the row counts of successful `/v1/query`
+responses (always `0` for the other endpoints).
+
 Requests to paths outside the known set pool under the `"other"`
 endpoint; status `0` counts clients that disconnected before a reply
 could be sent.
@@ -68,6 +73,64 @@ could be sent.
 `/v1/healthz` reports `"degraded"` (still HTTP `200` — the service
 itself is healthy) when the backing collection artifact was built
 under a fault plan and lost data; see `repro.reliability`.
+
+### `POST /v1/query`
+
+Runs one graph query (`repro.core.query`) against the service's
+MALGRAPH. Request body: `{"pattern": "<query>"}` — `pattern` must be a
+non-empty string no longer than the server's query-length cap
+(default 4096 characters, `create_server(max_query_length=...)`).
+Success is `200` with:
+
+```json
+{
+  "columns": ["a.name", "b.name"],
+  "rows": [["left-pad", "1eft-pad"]],
+  "row_count": 1,
+  "elapsed_ms": 0.41,
+  "plan": "seed (a) from index name='left-pad' (~1 candidates)"
+}
+```
+
+Validation failures are `400`: non-object bodies, missing or
+non-string `pattern`, over-cap patterns, and semantic errors return
+`{"error": "<message>"}`; syntax errors additionally carry the
+character offset and a caret-rendered excerpt as
+`{"error": ..., "offset": N, "detail": "..."}`. A server whose
+backing service was built without a query engine replies `503`.
+
+#### Query grammar
+
+One statement per request, either `MATCH` or `CALL`:
+
+```
+MATCH (a {ecosystem: 'npm'})-[similar*1..2]-(b)-[coexisting]-(c)
+WHERE c.campaign = 'CAMP-07' AND NOT b.family IS NULL
+RETURN b.name, c.campaign ORDER BY b.name LIMIT 20
+
+CALL shortest_path('actor:lofygang', 'npm:left-pad', 'dependency')
+CALL neighborhood('cg:CG-0012', 2)
+```
+
+* **Node pattern** — `(var)` or `(var {attr: value, ...})`; inline
+  properties are equality filters.
+* **Edge pattern** — `-[type|type2*lo..hi]->`, `<-[...]-` or
+  undirected `-[...]-`. Types are `duplicated`, `dependency`,
+  `similar`, `coexisting`; omitting the type spans all of them.
+  `*` repeats a hop: `*n` exactly, `*lo..hi` a range, `*lo..`
+  unbounded above (a node matches at its *shortest* distance).
+  Direction only constrains `dependency` edges; the other relations
+  are symmetric.
+* **WHERE** — comparisons `= != < <= > >=` over `var.attr`,
+  `IS NULL` / `IS NOT NULL`, combined with `AND`/`OR`/`NOT` and
+  parentheses. `AND` binds tighter than `OR`.
+* **RETURN** — variables (`a` → node id) or attributes (`a.name`),
+  or `count(*)`; `ORDER BY <item> [DESC]` and `LIMIT n` optional.
+* **CALL procedures** — `shortest_path(a, b[, edge_types])` and
+  `neighborhood(x, k[, edge_types])`. Node selectors accept an exact
+  node id, a bare package name, or `attr:value` over any indexed
+  attribute (including group ids such as `cg:CG-0003` and
+  `actor:<alias>`); `edge_types` is a `|`-separated list.
 
 ### Error responses
 

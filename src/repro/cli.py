@@ -199,15 +199,25 @@ def cmd_export(args: argparse.Namespace) -> int:
 
 
 def cmd_query(args: argparse.Namespace) -> int:
-    from repro.core.query import GraphQuerySession, QueryError
+    import json as _json
+
+    from repro.core.query import QueryEngine, QueryError
 
     artifacts = _artifacts(args)
-    session = GraphQuerySession(artifacts.malgraph.graph)
+    # over the full MalGraph (not just the bare graph) so queries see
+    # the enriched attributes: campaign, actor, family, group ids, and
+    # directed dependency edges
+    engine = QueryEngine(artifacts.malgraph)
     try:
-        print(session.run_table(args.query))
+        result = engine.run(args.query)
     except QueryError as error:
         print(f"query error: {error}", file=sys.stderr)
         return 2
+    if args.json:
+        print(_json.dumps(result.to_dict(), indent=2, sort_keys=True))
+    else:
+        print(result.render_table())
+        print(f"({result.row_count} rows, {result.elapsed_ms:.2f} ms)")
     return 0
 
 
@@ -534,6 +544,11 @@ def build_parser() -> argparse.ArgumentParser:
 
     query = sub.add_parser("query", help="run a Cypher-like graph query")
     query.add_argument("query")
+    query.add_argument(
+        "--json",
+        action="store_true",
+        help="emit {columns, rows, row_count, elapsed_ms} JSON instead of a table",
+    )
     query.set_defaults(func=cmd_query)
 
     sub.add_parser(

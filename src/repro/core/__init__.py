@@ -20,7 +20,19 @@ from repro.core.graph import EdgeType, GraphStats, PropertyGraph
 from repro.core.groups import GroupKind, PackageGroup, extract_groups, groups_by_ecosystem
 from repro.core.kmeans import GrowthTrace, KMeansResult, grow_kmeans, kmeans
 from repro.core.malgraph import MalGraph
-from repro.core.query import GraphQuerySession, QueryError, parse, run_query
+from repro.core.query import (
+    GraphIndexes,
+    GraphQuerySession,
+    QueryEngine,
+    QueryError,
+    QueryResult,
+    QuerySyntaxError,
+    build_indexes,
+    graph_indexes,
+    parse,
+    render,
+    run_query,
+)
 from repro.core.signatures import code_sha256, file_sha256, signature_index
 from repro.core.similarity import (
     SimilarityConfig,
@@ -33,6 +45,7 @@ __all__ = [
     "AstEmbedder",
     "DEFAULT_DIM",
     "EdgeType",
+    "GraphIndexes",
     "GraphQuerySession",
     "GraphStats",
     "GroupKind",
@@ -41,7 +54,10 @@ __all__ = [
     "MalGraph",
     "PackageGroup",
     "PropertyGraph",
+    "QueryEngine",
     "QueryError",
+    "QueryResult",
+    "QuerySyntaxError",
     "SimilarBuildResult",
     "SimilarityConfig",
     "SimilarityResult",
@@ -50,17 +66,20 @@ __all__ = [
     "build_coexisting_edges",
     "build_dependency_edges",
     "build_duplicated_edges",
+    "build_indexes",
     "build_similar_edges",
     "cluster_artifacts",
     "code_sha256",
     "cosine_similarity",
     "extract_groups",
     "file_sha256",
+    "graph_indexes",
     "grow_kmeans",
     "groups_by_ecosystem",
     "kmeans",
     "node_id",
     "parse",
+    "render",
     "resolve_jobs",
     "run_query",
     "signature_index",

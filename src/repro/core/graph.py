@@ -81,6 +81,9 @@ class PropertyGraph:
     """Typed multigraph over string node ids with clique compression."""
 
     def __init__(self) -> None:
+        #: bumped on every mutation; cached views (e.g. the query layer's
+        #: adjacency indexes) key their validity on it
+        self._version = 0
         self._nodes: Dict[str, Dict] = {}
         self._edges: Dict[EdgeType, Set[Tuple[str, str]]] = {
             t: set() for t in EdgeType
@@ -97,9 +100,15 @@ class PropertyGraph:
             t: {} for t in EdgeType
         }
 
+    @property
+    def version(self) -> int:
+        """Mutation counter (monotonic; bumped by every add_*)."""
+        return self._version
+
     # -- nodes ------------------------------------------------------------
     def add_node(self, node_id: str, **attrs) -> None:
         """Add or update a node; attributes merge."""
+        self._version += 1
         self._nodes.setdefault(node_id, {}).update(attrs)
 
     def has_node(self, node_id: str) -> bool:
@@ -129,6 +138,7 @@ class PropertyGraph:
         self._require(v)
         if u == v:
             raise GraphError(f"self-loop on {u!r} is not allowed")
+        self._version += 1
         key = (u, v) if u <= v else (v, u)
         self._edges[edge_type].add(key)
         self._adjacency[edge_type].setdefault(u, set()).add(v)
@@ -141,6 +151,7 @@ class PropertyGraph:
             return
         for member in unique:
             self._require(member)
+        self._version += 1
         index = len(self._cliques[edge_type])
         self._cliques[edge_type].append(frozenset(unique))
         for member in unique:

@@ -7,9 +7,13 @@ extraction, behind one class.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
 
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.query.indexes import GraphIndexes
 
 from repro.collection.records import MalwareDataset
 from repro.core.edges import (
@@ -37,6 +41,12 @@ class MalGraph:
     coexisting_groups: List[List] = field(default_factory=list)
     _group_cache: Dict[GroupKind, List[PackageGroup]] = field(
         default_factory=dict, repr=False
+    )
+    # guards _group_cache: concurrent first calls (e.g. two HTTP threads
+    # warming the intel index) must not both run extract_groups and
+    # publish half-built lists
+    _group_lock: threading.Lock = field(
+        default_factory=threading.Lock, repr=False, compare=False
     )
 
     # ------------------------------------------------------------------
@@ -73,10 +83,29 @@ class MalGraph:
 
     # ------------------------------------------------------------------
     def groups(self, kind: GroupKind) -> List[PackageGroup]:
-        """Connected-subgraph groups of one kind (memoised)."""
-        if kind not in self._group_cache:
-            self._group_cache[kind] = extract_groups(self.graph, self.dataset, kind)
-        return self._group_cache[kind]
+        """Connected-subgraph groups of one kind (memoised).
+
+        Double-checked under a lock so concurrent first callers compute
+        each kind exactly once; the query layer's index cache
+        (:func:`repro.core.query.indexes.graph_indexes`) uses the same
+        pattern.
+        """
+        held = self._group_cache.get(kind)
+        if held is not None:
+            return held
+        with self._group_lock:
+            held = self._group_cache.get(kind)
+            if held is None:
+                held = extract_groups(self.graph, self.dataset, kind)
+                self._group_cache[kind] = held
+            return held
+
+    def query_indexes(self) -> "GraphIndexes":
+        """The graph's cached query indexes, enriched with this
+        MalGraph's dataset ground truth and group memberships."""
+        from repro.core.query.indexes import graph_indexes
+
+        return graph_indexes(self.graph, self)
 
     def table2_stats(self) -> List[GraphStats]:
         """Table II: nodes / edges / degrees per subgraph (DG, DeG, SG, CG)."""

@@ -1,0 +1,486 @@
+"""Query planner and executor over :class:`GraphIndexes`.
+
+**Planner.** A match chain can be entered at any variable: the planner
+scores every equality constraint (inline ``{attr: value}`` props and
+``var.attr = literal`` conjuncts on the WHERE's AND-spine) against the
+inverted attribute indexes and starts the traversal at the variable
+with the smallest candidate set. Unconstrained queries fall back to a
+scan of every node.
+
+**Executor.** From the start variable the chain is expanded rightwards
+then leftwards with per-variable pruning (inline props plus the
+AND-spine comparisons mentioning only that variable), using the
+direction-appropriate neighbour map for each edge pattern. A
+variable-length hop (``*lo..hi``) binds the far variable to every node
+whose *shortest* distance over the selected edge types and direction
+falls inside the range (breadth-first with a visited set, so the walk
+is linear in the touched neighbourhood, not the path count).
+
+Row order is canonical — bindings sort by their node-id tuple before
+projection — so the indexed executor, the naive scan baseline and every
+serving surface (Python API, CLI, ``/v1/query``) return identical rows
+for the same query.
+
+``naive=True`` disables index seeding, selectivity planning and WHERE
+pushdown (the traversal starts at the leftmost variable over a full
+node scan and filters complete bindings at the end; inline props still
+apply, since they define the pattern); it exists as the correctness
+baseline and the benchmark's comparison point.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    Iterable,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
+
+from repro.core.graph import EdgeType
+from repro.core.query.ast import (
+    BoolExpr,
+    CallQuery,
+    Comparison,
+    EdgePattern,
+    MatchQuery,
+    NodePattern,
+    QueryAst,
+    QueryError,
+)
+from repro.core.query.indexes import INDEXED_ATTRS, GraphIndexes
+
+
+# ---------------------------------------------------------------------------
+# Planning
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class Plan:
+    """Where execution enters the pattern and why."""
+
+    start: int  # index into query.nodes
+    seed_attr: Optional[str] = None
+    seed_value: Any = None
+    estimated: int = 0
+
+    def describe(self, query: MatchQuery) -> str:
+        var = query.nodes[self.start].var
+        if self.seed_attr is None:
+            return f"scan all nodes as ({var})"
+        return (
+            f"seed ({var}) from index {self.seed_attr}="
+            f"{self.seed_value!r} (~{self.estimated} candidates)"
+        )
+
+
+def _and_spine(where: Optional[BoolExpr]) -> List[Comparison]:
+    """Top-level AND conjuncts of the WHERE clause (empty under OR)."""
+    if where is None:
+        return []
+    if where.op == "or":
+        return []
+    return [part for part in where.parts if isinstance(part, Comparison)]
+
+
+def _equality_constraints(
+    query: MatchQuery, index: int
+) -> List[Tuple[str, Any]]:
+    """``attr == value`` constraints binding variable ``index``."""
+    node = query.nodes[index]
+    found: List[Tuple[str, Any]] = list(node.props)
+    for comparison in _and_spine(query.where):
+        if (
+            comparison.var == node.var
+            and comparison.op == "="
+            and not comparison.negated
+        ):
+            found.append((comparison.attr, comparison.literal))
+    return found
+
+
+def plan_match(query: MatchQuery, indexes: GraphIndexes) -> Plan:
+    """Pick the most selective indexed entry point into the pattern."""
+    best: Optional[Plan] = None
+    for i in range(len(query.nodes)):
+        for attr, value in _equality_constraints(query, i):
+            count = indexes.candidate_count(attr, value)
+            if count is None:
+                continue
+            if best is None or count < best.estimated:
+                best = Plan(start=i, seed_attr=attr, seed_value=value, estimated=count)
+    if best is not None:
+        return best
+    return Plan(start=0, estimated=len(indexes.nodes))
+
+
+# ---------------------------------------------------------------------------
+# Traversal primitives
+# ---------------------------------------------------------------------------
+
+def _neighbor_fn(
+    indexes: GraphIndexes, edge: EdgePattern, forward: bool
+) -> Callable[[str], Iterable[str]]:
+    """Neighbour expansion across ``edge`` in one chain direction.
+
+    ``forward`` walks the pattern left-to-right; an ``out`` edge then
+    follows the forward map, while walking right-to-left follows the
+    reverse map (and vice versa for ``in``).
+    """
+    direction = edge.direction
+    if direction == "out":
+        direction = "out" if forward else "in"
+    elif direction == "in":
+        direction = "in" if forward else "out"
+    types = edge.types
+    return lambda node: indexes.neighbors(node, types, direction)
+
+
+def reachable(
+    neighbor_fn: Callable[[str], Iterable[str]],
+    start: str,
+    min_hops: int,
+    max_hops: Optional[int],
+) -> List[str]:
+    """Nodes whose shortest distance from ``start`` is in [min, max].
+
+    Breadth-first with a visited set: each node is bound at its minimal
+    depth only, so the expansion is linear in the touched neighbourhood
+    and never enumerates individual paths.
+    """
+    seen = {start}
+    frontier: List[str] = [start]
+    out: List[str] = []
+    depth = 0
+    while frontier and (max_hops is None or depth < max_hops):
+        depth += 1
+        next_frontier: set = set()
+        for node in frontier:
+            for other in neighbor_fn(node):
+                if other not in seen:
+                    next_frontier.add(other)
+        seen.update(next_frontier)
+        frontier = sorted(next_frontier)
+        if depth >= min_hops:
+            out.extend(frontier)
+    return sorted(out)
+
+
+def _hop_targets(
+    indexes: GraphIndexes, node: str, edge: EdgePattern, forward: bool
+) -> List[str]:
+    neighbor_fn = _neighbor_fn(indexes, edge, forward)
+    if not edge.is_variable:
+        return list(neighbor_fn(node))
+    return reachable(neighbor_fn, node, edge.min_hops, edge.max_hops)
+
+
+# ---------------------------------------------------------------------------
+# Match execution
+# ---------------------------------------------------------------------------
+
+def _node_predicate(
+    query: MatchQuery, index: int, pushdown: bool
+) -> Callable[[Dict[str, Any]], bool]:
+    """Per-variable pruning.
+
+    Always enforces the pattern's inline props (they define the match,
+    not an optimisation). With ``pushdown`` the AND-spine WHERE
+    comparisons mentioning only this variable are applied at bind time
+    too; the naive baseline leaves them for the final filter.
+    """
+    node = query.nodes[index]
+    comparisons = (
+        [c for c in _and_spine(query.where) if c.var == node.var]
+        if pushdown
+        else []
+    )
+    props = node.props
+    if not comparisons and not props:
+        return lambda attrs: True
+
+    def predicate(attrs: Dict[str, Any]) -> bool:
+        for key, value in props:
+            if attrs.get(key) != value:
+                return False
+        return all(c.evaluate(attrs) for c in comparisons)
+
+    return predicate
+
+
+def _match_bindings(
+    query: MatchQuery, indexes: GraphIndexes, naive: bool
+) -> Tuple[List[Tuple[str, ...]], Plan]:
+    """All satisfying bindings as node-id tuples (canonically sorted)."""
+    n = len(query.nodes)
+    if naive:
+        plan = Plan(start=0, estimated=len(indexes.nodes))
+    else:
+        plan = plan_match(query, indexes)
+    prune = [_node_predicate(query, i, pushdown=not naive) for i in range(n)]
+
+    if plan.seed_attr is not None:
+        seeds: Iterable[str] = indexes.lookup(plan.seed_attr, plan.seed_value)
+    else:
+        seeds = indexes.nodes
+
+    bindings: List[Tuple[str, ...]] = []
+    assignment: List[Optional[str]] = [None] * n
+
+    def emit_if_satisfied() -> None:
+        bound = {
+            query.nodes[i].var: indexes.node_attrs(assignment[i])
+            for i in range(n)
+        }
+        if query.where is None or query.where.evaluate(bound):
+            bindings.append(tuple(assignment))  # type: ignore[arg-type]
+
+    def extend_right(i: int) -> None:
+        """Bind node i+1..n-1, then hand off to the left expansion."""
+        if i + 1 >= n:
+            extend_left(plan.start)
+            return
+        edge = query.edges[i]
+        for candidate in _hop_targets(indexes, assignment[i], edge, forward=True):
+            if not prune[i + 1](indexes.node_attrs(candidate)):
+                continue
+            assignment[i + 1] = candidate
+            extend_right(i + 1)
+            assignment[i + 1] = None
+
+    def extend_left(i: int) -> None:
+        """Bind node i-1..0, then emit the complete binding."""
+        if i - 1 < 0:
+            emit_if_satisfied()
+            return
+        edge = query.edges[i - 1]
+        for candidate in _hop_targets(indexes, assignment[i], edge, forward=False):
+            if not prune[i - 1](indexes.node_attrs(candidate)):
+                continue
+            assignment[i - 1] = candidate
+            extend_left(i - 1)
+            assignment[i - 1] = None
+
+    for seed in seeds:
+        if not prune[plan.start](indexes.node_attrs(seed)):
+            continue
+        assignment[plan.start] = seed
+        extend_right(plan.start)
+        assignment[plan.start] = None
+
+    bindings.sort()
+    return bindings, plan
+
+
+def _project(
+    query: MatchQuery,
+    bindings: List[Tuple[str, ...]],
+    indexes: GraphIndexes,
+) -> List[Tuple]:
+    if any(item.is_count for item in query.returns):
+        return [(len(bindings),)]
+
+    var_index = {node.var: i for i, node in enumerate(query.nodes)}
+
+    def cell(binding: Tuple[str, ...], var: str, attr: Optional[str]):
+        node = binding[var_index[var]]
+        if attr is None:
+            return node
+        return indexes.node_attrs(node).get(attr)
+
+    rows = [
+        tuple(cell(b, item.var, item.attr) for item in query.returns)
+        for b in bindings
+    ]
+
+    if query.order_by is not None:
+        item = query.order_by
+        # index tiebreak: equal keys must never fall through to comparing
+        # row tuples (mixed None/str rows are unorderable), and ties stay
+        # stable in canonical binding order
+        decorated = sorted(
+            (
+                (cell(b, item.var, item.attr), idx, row)
+                for idx, (b, row) in enumerate(zip(bindings, rows))
+            ),
+            key=lambda triple: ((triple[0] is None, triple[0]), triple[1]),
+            reverse=query.order_desc,
+        )
+        rows = [row for _key, _idx, row in decorated]
+    if query.limit is not None:
+        rows = rows[: query.limit]
+    return rows
+
+
+# ---------------------------------------------------------------------------
+# Procedures
+# ---------------------------------------------------------------------------
+
+def resolve_selector(indexes: GraphIndexes, spec: Any) -> List[str]:
+    """Resolve a procedure argument to a node set.
+
+    Accepted forms: an exact node id (``pypi:pkg@1.0``), a bare package
+    name, or ``attr:value`` over any indexed attribute — e.g.
+    ``actor:wolf-spider``, ``campaign:c-0001``, ``sg:SG-0003``,
+    ``ecosystem:npm``.
+    """
+    if not isinstance(spec, str) or not spec:
+        raise QueryError(f"bad node selector {spec!r} (need a string)")
+    if spec in indexes.attrs:
+        return [spec]
+    if ":" in spec:
+        attr, _, value = spec.partition(":")
+        if attr in INDEXED_ATTRS:
+            found = indexes.lookup(attr, value)
+            if found:
+                return list(found)
+        members = indexes.group_members.get(spec.partition(":")[2], ())
+        if members:
+            return list(members)
+    named = indexes.lookup("name", spec)
+    if named:
+        return list(named)
+    raise QueryError(
+        f"unknown node selector {spec!r}; use a node id, a package name, "
+        f"or attr:value over one of {list(INDEXED_ATTRS)}"
+    )
+
+
+def _parse_types(spec: Any) -> Tuple[EdgeType, ...]:
+    if spec is None or spec == "":
+        return ()
+    if not isinstance(spec, str):
+        raise QueryError(f"bad edge-type list {spec!r}")
+    types = []
+    for part in spec.split("|"):
+        try:
+            types.append(EdgeType(part.strip().lower()))
+        except ValueError:
+            raise QueryError(
+                f"unknown edge type {part.strip()!r}; expected one of "
+                f"{[t.value for t in EdgeType]}"
+            ) from None
+    return tuple(types)
+
+
+def shortest_path(
+    indexes: GraphIndexes,
+    sources: Sequence[str],
+    targets: Sequence[str],
+    edge_types: Sequence[EdgeType] = (),
+) -> List[str]:
+    """Deterministic multi-source BFS shortest path (node-id list).
+
+    Traverses the undirected neighbour maps of the chosen edge types
+    (all four when empty); returns ``[]`` when no path exists. Ties
+    break toward lexicographically smaller expansion order.
+    """
+    target_set = set(targets)
+    parents: Dict[str, Optional[str]] = {}
+    queue: deque = deque()
+    for source in sorted(set(sources)):
+        parents[source] = None
+        queue.append(source)
+        if source in target_set:
+            return [source]
+    types = tuple(edge_types)
+    while queue:
+        node = queue.popleft()
+        for other in indexes.neighbors(node, types, "any"):
+            if other in parents:
+                continue
+            parents[other] = node
+            if other in target_set:
+                path = [other]
+                while parents[path[-1]] is not None:
+                    path.append(parents[path[-1]])
+                return list(reversed(path))
+            queue.append(other)
+    return []
+
+
+def neighborhood(
+    indexes: GraphIndexes,
+    sources: Sequence[str],
+    k: int,
+    edge_types: Sequence[EdgeType] = (),
+) -> List[Tuple[str, int]]:
+    """Every node within ``k`` hops of ``sources`` with its distance.
+
+    Sources are included at distance 0; rows sort by (distance, node).
+    """
+    if k < 0:
+        raise QueryError(f"neighborhood radius must be >= 0, got {k}")
+    types = tuple(edge_types)
+    distance: Dict[str, int] = {source: 0 for source in sources}
+    frontier = sorted(distance)
+    depth = 0
+    while frontier and depth < k:
+        depth += 1
+        next_frontier: set = set()
+        for node in frontier:
+            for other in indexes.neighbors(node, types, "any"):
+                if other not in distance:
+                    distance[other] = depth
+                    next_frontier.add(other)
+        frontier = sorted(next_frontier)
+    return sorted(distance.items(), key=lambda pair: (pair[1], pair[0]))
+
+
+def _execute_call(
+    query: CallQuery, indexes: GraphIndexes
+) -> Tuple[List[str], List[Tuple]]:
+    args = query.args
+    if query.procedure == "shortest_path":
+        if not 2 <= len(args) <= 3:
+            raise QueryError(
+                "shortest_path(src, dst[, edge_types]) takes 2 or 3 arguments"
+            )
+        sources = resolve_selector(indexes, args[0])
+        targets = resolve_selector(indexes, args[1])
+        types = _parse_types(args[2] if len(args) == 3 else None)
+        path = shortest_path(indexes, sources, targets, types)
+        rows: List[Tuple] = [(step, node) for step, node in enumerate(path)]
+        columns = ["step", "node"]
+    elif query.procedure == "neighborhood":
+        if not 2 <= len(args) <= 3:
+            raise QueryError(
+                "neighborhood(node, k[, edge_types]) takes 2 or 3 arguments"
+            )
+        if not isinstance(args[1], int):
+            raise QueryError(
+                f"neighborhood radius must be an integer, got {args[1]!r}"
+            )
+        sources = resolve_selector(indexes, args[0])
+        types = _parse_types(args[2] if len(args) == 3 else None)
+        rows = list(neighborhood(indexes, sources, args[1], types))
+        columns = ["node", "distance"]
+    else:  # pragma: no cover - the parser rejects unknown procedures
+        raise QueryError(f"unknown procedure {query.procedure!r}")
+    if query.limit is not None:
+        rows = rows[: query.limit]
+    return columns, rows
+
+
+# ---------------------------------------------------------------------------
+# Entry point
+# ---------------------------------------------------------------------------
+
+def execute(
+    query: QueryAst, indexes: GraphIndexes, naive: bool = False
+) -> Tuple[List[str], List[Tuple], Optional[Plan]]:
+    """Run a parsed query; returns (columns, rows, plan)."""
+    if isinstance(query, CallQuery):
+        columns, rows = _execute_call(query, indexes)
+        return columns, rows, None
+    bindings, plan = _match_bindings(query, indexes, naive=naive)
+    rows = _project(query, bindings, indexes)
+    columns = [item.label for item in query.returns]
+    return columns, rows, plan

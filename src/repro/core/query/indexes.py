@@ -1,0 +1,262 @@
+"""Adjacency and attribute indexes over MALGRAPH, built once per graph.
+
+The executor never walks :class:`~repro.core.graph.PropertyGraph`
+structures directly: a :class:`GraphIndexes` snapshot materialises
+
+* **per-edge-type neighbour maps** — forward (``out``), reverse
+  (``into``) and undirected (``any_dir``) sorted neighbour tuples, with
+  cliques expanded.  The symmetric relations (duplicated / similar /
+  co-existing) share one map for all three directions; dependency gets
+  true directed maps when built over a :class:`MalGraph` (the edge
+  builders record who depends on whom);
+* **node-attribute maps** — every node's merged attributes (the graph's
+  seven plus, over a ``MalGraph``, the dataset's ground-truth
+  ``campaign`` / ``actor`` / ``family`` / ``archetype`` / ``downloads``
+  and the node's ``dg`` / ``deg`` / ``sg`` / ``cg`` group ids);
+* **inverted attribute indexes** (:data:`INDEXED_ATTRS`) used by the
+  planner to seed traversals from the most selective filter;
+* **group-membership maps** — group id ↔ member node ids, with ids
+  matching :class:`repro.service.index.IntelIndex` (``SG-0001``, …).
+
+Indexes are cached on the graph object behind a lock (the same
+double-checked pattern :meth:`MalGraph.groups` uses) and invalidated by
+the graph's mutation counter, so callers may simply call
+:func:`graph_indexes` on every query.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.core.graph import EdgeType, PropertyGraph
+
+#: attributes with an inverted index (equality filters on these seed
+#: the traversal instead of scanning every node)
+INDEXED_ATTRS = (
+    "id",
+    "name",
+    "ecosystem",
+    "sha256",
+    "campaign",
+    "actor",
+    "family",
+    "dg",
+    "deg",
+    "sg",
+    "cg",
+)
+
+_EMPTY: Tuple[str, ...] = ()
+
+
+@dataclass
+class GraphIndexes:
+    """One graph's materialised query indexes (immutable once built)."""
+
+    nodes: Tuple[str, ...]
+    attrs: Dict[str, Dict[str, Any]]
+    out: Dict[EdgeType, Dict[str, Tuple[str, ...]]]
+    into: Dict[EdgeType, Dict[str, Tuple[str, ...]]]
+    any_dir: Dict[EdgeType, Dict[str, Tuple[str, ...]]]
+    by_attr: Dict[str, Dict[Any, Tuple[str, ...]]]
+    group_members: Dict[str, Tuple[str, ...]] = field(default_factory=dict)
+    groups_of: Dict[str, Tuple[str, ...]] = field(default_factory=dict)
+    version: int = 0
+    enriched: bool = False
+    build_seconds: float = 0.0
+
+    # -- lookups ----------------------------------------------------------
+    def node_attrs(self, node: str) -> Dict[str, Any]:
+        return self.attrs.get(node, {})
+
+    def lookup(self, attr: str, value: Any) -> Tuple[str, ...]:
+        """Sorted node ids with ``attr == value`` (indexed attrs only)."""
+        return self.by_attr.get(attr, {}).get(value, _EMPTY)
+
+    def direction_map(
+        self, edge_type: EdgeType, direction: str
+    ) -> Dict[str, Tuple[str, ...]]:
+        if direction == "out":
+            return self.out[edge_type]
+        if direction == "in":
+            return self.into[edge_type]
+        return self.any_dir[edge_type]
+
+    def neighbors(
+        self,
+        node: str,
+        types: Sequence[EdgeType] = (),
+        direction: str = "any",
+    ) -> List[str]:
+        """Sorted neighbours of ``node`` over the chosen types/direction.
+
+        ``types`` empty means every edge type.
+        """
+        chosen = tuple(types) if types else tuple(EdgeType)
+        if len(chosen) == 1:
+            return list(self.direction_map(chosen[0], direction).get(node, _EMPTY))
+        merged: set = set()
+        for edge_type in chosen:
+            merged.update(self.direction_map(edge_type, direction).get(node, _EMPTY))
+        return sorted(merged)
+
+    def candidate_count(self, attr: str, value: Any) -> Optional[int]:
+        """Selectivity estimate for ``attr == value``; None if unindexed."""
+        index = self.by_attr.get(attr)
+        if index is None:
+            return None
+        return len(index.get(value, _EMPTY))
+
+
+# ---------------------------------------------------------------------------
+# Construction
+# ---------------------------------------------------------------------------
+
+def _adjacency(graph: PropertyGraph) -> Dict[EdgeType, Dict[str, Tuple[str, ...]]]:
+    """Undirected neighbour tuples per edge type, cliques expanded."""
+    maps: Dict[EdgeType, Dict[str, Tuple[str, ...]]] = {}
+    for edge_type in EdgeType:
+        per_node: Dict[str, Tuple[str, ...]] = {}
+        for node in graph.touched_nodes(edge_type):
+            per_node[node] = tuple(sorted(graph.neighbors(node, edge_type)))
+        maps[edge_type] = per_node
+    return maps
+
+
+def _directed_dependency(
+    malgraph,
+) -> Tuple[Dict[str, Tuple[str, ...]], Dict[str, Tuple[str, ...]]]:
+    """(out, into) dependency maps from the edge builder's directed pairs."""
+    from repro.core.edges import node_id
+
+    forward: Dict[str, set] = {}
+    backward: Dict[str, set] = {}
+    for entry, target in malgraph.dependency_edges:
+        u, v = node_id(entry.package), node_id(target.package)
+        forward.setdefault(u, set()).add(v)
+        backward.setdefault(v, set()).add(u)
+    return (
+        {node: tuple(sorted(found)) for node, found in forward.items()},
+        {node: tuple(sorted(found)) for node, found in backward.items()},
+    )
+
+
+def build_indexes(
+    graph: PropertyGraph, malgraph=None
+) -> GraphIndexes:
+    """Build a :class:`GraphIndexes` snapshot (no caching; see
+    :func:`graph_indexes` for the cached entry point)."""
+    started = time.perf_counter()
+    attrs: Dict[str, Dict[str, Any]] = {
+        node: {"id": node, **graph.node(node)} for node in graph.nodes()
+    }
+
+    any_dir = _adjacency(graph)
+    out = dict(any_dir)
+    into = dict(any_dir)
+
+    group_members: Dict[str, Tuple[str, ...]] = {}
+    groups_of: Dict[str, List[str]] = {}
+    if malgraph is not None:
+        from repro.core.edges import node_id
+        from repro.core.groups import GroupKind
+
+        dep_out, dep_in = _directed_dependency(malgraph)
+        out[EdgeType.DEPENDENCY] = dep_out
+        into[EdgeType.DEPENDENCY] = dep_in
+
+        for entry in malgraph.dataset.entries:
+            node = node_id(entry.package)
+            held = attrs.get(node)
+            if held is None:
+                continue
+            held["campaign"] = entry.campaign_id
+            held["actor"] = entry.actor
+            held["family"] = entry.behavior_key
+            held["archetype"] = entry.archetype
+            held["downloads"] = entry.downloads
+
+        for kind in GroupKind:
+            for i, group in enumerate(malgraph.groups(kind)):
+                group_id = f"{kind.value}-{i:04d}"
+                members = tuple(
+                    sorted(node_id(m.package) for m in group.members)
+                )
+                group_members[group_id] = members
+                for member in members:
+                    groups_of.setdefault(member, []).append(group_id)
+                    if member in attrs:
+                        attrs[member][kind.value.lower()] = group_id
+
+    by_attr: Dict[str, Dict[Any, List[str]]] = {}
+    for node in sorted(attrs):
+        held = attrs[node]
+        for attr in INDEXED_ATTRS:
+            value = held.get(attr)
+            if value is None:
+                continue
+            by_attr.setdefault(attr, {}).setdefault(value, []).append(node)
+
+    return GraphIndexes(
+        nodes=tuple(sorted(attrs)),
+        attrs=attrs,
+        out=out,
+        into=into,
+        any_dir=any_dir,
+        by_attr={
+            attr: {value: tuple(nodes) for value, nodes in buckets.items()}
+            for attr, buckets in by_attr.items()
+        },
+        group_members=group_members,
+        groups_of={
+            node: tuple(held) for node, held in sorted(groups_of.items())
+        },
+        version=graph.version,
+        enriched=malgraph is not None,
+        build_seconds=time.perf_counter() - started,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Per-graph cache
+# ---------------------------------------------------------------------------
+
+#: guards creation of the per-graph cache slot itself
+_CACHE_SETUP_LOCK = threading.Lock()
+
+
+def _cache_slot(graph: PropertyGraph) -> Dict:
+    """The graph's cache slot ``{"lock": Lock, "plain": ..., "enriched": ...}``."""
+    slot = getattr(graph, "_query_index_cache", None)
+    if slot is None:
+        with _CACHE_SETUP_LOCK:
+            slot = getattr(graph, "_query_index_cache", None)
+            if slot is None:
+                slot = {"lock": threading.Lock()}
+                graph._query_index_cache = slot  # type: ignore[attr-defined]
+    return slot
+
+
+def graph_indexes(graph: PropertyGraph, malgraph=None) -> GraphIndexes:
+    """The graph's cached :class:`GraphIndexes`, built on first use.
+
+    Double-checked under a per-graph lock (the
+    :meth:`MalGraph.groups` memoisation pattern), so concurrent first
+    queries — e.g. two HTTP server threads — build the indexes exactly
+    once. A mutated graph (version bump) transparently rebuilds.
+    """
+    key = "enriched" if malgraph is not None else "plain"
+    slot = _cache_slot(graph)
+    held = slot.get(key)
+    if held is not None and held.version == graph.version:
+        return held
+    with slot["lock"]:
+        held = slot.get(key)
+        if held is not None and held.version == graph.version:
+            return held
+        built = build_indexes(graph, malgraph=malgraph)
+        slot[key] = built
+        return built

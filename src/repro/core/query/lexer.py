@@ -1,0 +1,79 @@
+"""Hand-rolled tokenizer for the MALGRAPH query language.
+
+Splits query text into :class:`Token` objects that carry their byte
+offset in the source, so the parser can raise
+:class:`~repro.core.query.ast.QuerySyntaxError` with a caret pointing
+at the exact failure position.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import List
+
+from repro.core.query.ast import QuerySyntaxError
+
+#: multi-character operators/punctuation first, so ``->`` never lexes
+#: as ``-`` then ``>`` and ``..`` never collides with attribute dots.
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<ws>\s+)
+  | (?P<string>'(?:[^'\\]|\\.)*')
+  | (?P<number>-?\d+(?:\.(?!\.)\d+)?)
+  | (?P<arrow><-|->)
+  | (?P<range>\.\.)
+  | (?P<op><=|>=|!=|=|<|>)
+  | (?P<punct>[(),\[\]:.\-*{}|])
+  | (?P<word>[A-Za-z_][A-Za-z0-9_]*)
+    """,
+    re.VERBOSE,
+)
+
+KEYWORDS = frozenset(
+    {
+        "match", "where", "return", "order", "by", "limit", "and", "or",
+        "desc", "asc", "contains", "count", "not", "is", "null", "call",
+    }
+)
+
+
+@dataclass(frozen=True)
+class Token:
+    """One lexeme: kind, source text and start offset."""
+
+    kind: str  # "string" | "number" | "arrow" | "range" | "op" | "punct" | "word"
+    value: str
+    pos: int
+
+    @property
+    def is_word(self) -> bool:
+        return self.kind == "word"
+
+    def lowered(self) -> str:
+        return self.value.lower()
+
+
+def unescape_string(raw: str) -> str:
+    """The value of a quoted ``string`` token (strips quotes, unescapes)."""
+    body = raw[1:-1]
+    return body.replace("\\'", "'").replace("\\\\", "\\")
+
+
+def tokenize(text: str) -> List[Token]:
+    """Lex ``text`` into tokens; raises :class:`QuerySyntaxError` on
+    characters outside the language."""
+    tokens: List[Token] = []
+    pos = 0
+    while pos < len(text):
+        match = _TOKEN_RE.match(text, pos)
+        if match is None:
+            raise QuerySyntaxError(
+                f"unexpected character {text[pos]!r}", text, pos
+            )
+        start, pos = match.start(), match.end()
+        kind = match.lastgroup
+        if kind == "ws":
+            continue
+        tokens.append(Token(kind=kind, value=match.group(), pos=start))
+    return tokens

@@ -17,8 +17,8 @@ Layers, bottom to top:
 * :mod:`repro.service.metrics` — per-endpoint request counters and
   fixed-bucket latency histograms (p50/p95/p99);
 * :mod:`repro.service.server` — stdlib JSON HTTP API with a request
-  error boundary (``/v1/enrich``, ``/v1/enrich/batch``, ``/v1/stats``,
-  ``/v1/metrics``, ``/v1/healthz``);
+  error boundary (``/v1/enrich``, ``/v1/enrich/batch``, ``/v1/query``,
+  ``/v1/stats``, ``/v1/metrics``, ``/v1/healthz``);
 * :mod:`repro.service.refresh` — incremental index refresh from a
   :mod:`repro.collection.merge` diff, no full rebuild, applied under
   the service's request lock.
@@ -36,7 +36,7 @@ from repro.service.enrich import (
 from repro.service.index import IntelIndex, source_reliability
 from repro.service.metrics import LatencyHistogram, ServiceMetrics
 from repro.service.refresh import RefreshStats, refresh_index
-from repro.service.server import create_server, serve
+from repro.service.server import MAX_QUERY_LENGTH, create_server, serve
 
 __all__ = [
     "EnrichmentEngine",
@@ -46,6 +46,7 @@ __all__ = [
     "IntelIndex",
     "LRUCache",
     "LatencyHistogram",
+    "MAX_QUERY_LENGTH",
     "RefreshStats",
     "ServiceMetrics",
     "VERDICT_MALICIOUS",

@@ -23,6 +23,7 @@ from collections import OrderedDict
 from typing import Dict, Hashable, List, Optional, Sequence
 
 from repro.core.malgraph import MalGraph
+from repro.core.query import QueryEngine
 from repro.service.enrich import EnrichmentEngine, EnrichmentResult, Indicator
 from repro.service.index import IntelIndex
 
@@ -103,6 +104,7 @@ class EnrichmentService:
         engine: EnrichmentEngine,
         capacity: int = 4096,
         degraded: bool = False,
+        query_engine: Optional[QueryEngine] = None,
     ):
         self.engine = engine
         self.cache = LRUCache(capacity)
@@ -110,6 +112,9 @@ class EnrichmentService:
         #: whether the backing collection artifact was built degraded
         #: (see repro.reliability) — surfaced by /v1/healthz and /v1/stats.
         self.degraded = degraded
+        #: graph query engine backing POST /v1/query (None = endpoint
+        #: answers 503; services built via build_service always have one)
+        self.query_engine = query_engine
 
     @property
     def index(self) -> IntelIndex:
@@ -175,4 +180,9 @@ def build_service(
     """
     if engine is None:
         engine = EnrichmentEngine(IntelIndex.build(malgraph))
-    return EnrichmentService(engine, capacity=capacity, degraded=degraded)
+    return EnrichmentService(
+        engine,
+        capacity=capacity,
+        degraded=degraded,
+        query_engine=QueryEngine(malgraph),
+    )

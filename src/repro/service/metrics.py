@@ -86,8 +86,19 @@ class ServiceMetrics:
         self._lock = threading.RLock()
         self._endpoints: Dict[str, Dict] = {}
 
-    def observe(self, endpoint: str, status: int, seconds: float) -> None:
-        """Record one finished request (status 0 = client went away)."""
+    def observe(
+        self,
+        endpoint: str,
+        status: int,
+        seconds: float,
+        rows: Optional[int] = None,
+    ) -> None:
+        """Record one finished request (status 0 = client went away).
+
+        ``rows`` is the result-row count for endpoints that return row
+        sets (``/v1/query``); it accumulates into the endpoint's
+        ``rows_returned`` counter.
+        """
         with self._lock:
             row = self._endpoints.get(endpoint)
             if row is None:
@@ -95,12 +106,15 @@ class ServiceMetrics:
                     "requests": 0,
                     "status": {},
                     "latency": LatencyHistogram(),
+                    "rows_returned": 0,
                 }
                 self._endpoints[endpoint] = row
             row["requests"] += 1
             key = str(int(status))
             row["status"][key] = row["status"].get(key, 0) + 1
             row["latency"].observe(seconds)
+            if rows is not None:
+                row["rows_returned"] += int(rows)
 
     def snapshot(self) -> Dict:
         """The ``/v1/metrics`` payload: endpoints, statuses, percentiles."""
@@ -110,6 +124,7 @@ class ServiceMetrics:
                     "requests": row["requests"],
                     "status": dict(sorted(row["status"].items())),
                     "latency": row["latency"].to_dict(),
+                    "rows_returned": row.get("rows_returned", 0),
                 }
                 for name, row in sorted(self._endpoints.items())
             }

@@ -8,7 +8,10 @@ no new dependencies) exposing:
 * ``GET /v1/metrics`` — per-endpoint request counts, status-code counts
   and latency percentiles (p50/p95/p99);
 * ``GET /v1/enrich?name=&version=&sha256=&ecosystem=`` — one indicator;
-* ``POST /v1/enrich/batch`` — ``{"indicators": [{...}, ...]}``.
+* ``POST /v1/enrich/batch`` — ``{"indicators": [{...}, ...]}``;
+* ``POST /v1/query`` — ``{"pattern": "MATCH ..."}`` run through the
+  MALGRAPH query engine (``repro.core.query``); parse failures return a
+  structured 400 carrying the syntax-error offset.
 
 Every request runs inside an error boundary: validation failures come
 back as structured ``400`` JSON (``{"error": ...}``, plus ``"index"``
@@ -37,6 +40,7 @@ from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Dict, Optional, Tuple
 from urllib.parse import parse_qs, urlparse
 
+from repro.core.query import QueryError, QuerySyntaxError
 from repro.errors import ValidationError
 from repro.service.cache import EnrichmentService
 from repro.service.enrich import Indicator
@@ -45,6 +49,10 @@ from repro.service.metrics import ServiceMetrics
 #: Refuse batches beyond this size so one request cannot pin a worker.
 MAX_BATCH_SIZE = 100_000
 
+#: Refuse query patterns beyond this many characters (create_server's
+#: ``max_query_length`` overrides per server).
+MAX_QUERY_LENGTH = 4096
+
 #: Paths recorded individually in metrics; anything else pools as "other".
 KNOWN_ENDPOINTS = (
     "/v1/healthz",
@@ -52,6 +60,7 @@ KNOWN_ENDPOINTS = (
     "/v1/metrics",
     "/v1/enrich",
     "/v1/enrich/batch",
+    "/v1/query",
 )
 
 #: Connection-level errors meaning the client went away mid-reply.
@@ -59,9 +68,9 @@ CLIENT_GONE = (BrokenPipeError, ConnectionResetError)
 
 
 class IntelRequestHandler(BaseHTTPRequestHandler):
-    """Routes the five ``/v1`` endpoints onto the service."""
+    """Routes the six ``/v1`` endpoints onto the service."""
 
-    server_version = "repro-intel/1.1"
+    server_version = "repro-intel/1.2"
 
     @property
     def service(self) -> EnrichmentService:
@@ -100,7 +109,10 @@ class IntelRequestHandler(BaseHTTPRequestHandler):
             return
         self._observed = True
         self.metrics.observe(
-            self._endpoint, status, time.perf_counter() - self._started
+            self._endpoint,
+            status,
+            time.perf_counter() - self._started,
+            rows=self._rows,
         )
 
     def _guarded(self, route) -> None:
@@ -111,6 +123,7 @@ class IntelRequestHandler(BaseHTTPRequestHandler):
         self._endpoint = self._endpoint_label()
         self._started = time.perf_counter()
         self._observed = False
+        self._rows = None  # row count for row-returning endpoints
         try:
             route()
         except CLIENT_GONE:
@@ -172,7 +185,11 @@ class IntelRequestHandler(BaseHTTPRequestHandler):
         self._guarded(self._route_post)
 
     def _route_post(self) -> None:
-        if urlparse(self.path).path != "/v1/enrich/batch":
+        path = urlparse(self.path).path
+        if path == "/v1/query":
+            self._route_query()
+            return
+        if path != "/v1/enrich/batch":
             self._error(404, f"unknown path {self.path!r}")
             return
         length = int(self.headers.get("Content-Length") or 0)
@@ -209,18 +226,71 @@ class IntelRequestHandler(BaseHTTPRequestHandler):
             {"count": len(results), "results": [r.to_dict() for r in results]},
         )
 
+    def _route_query(self) -> None:
+        """``POST /v1/query`` — run one MALGRAPH query.
+
+        Body: ``{"pattern": "MATCH ... RETURN ..."}``. Bad input comes
+        back as structured 400s (syntax errors additionally carry the
+        ``offset`` and the caret-rendered ``detail``); a well-formed
+        query answers 200 with columns / rows / row_count / elapsed_ms.
+        """
+        engine = getattr(self.service, "query_engine", None)
+        if engine is None:
+            self._error(503, "query engine not configured on this service")
+            return
+        length = int(self.headers.get("Content-Length") or 0)
+        try:
+            payload = json.loads(self.rfile.read(length) or b"")
+        except json.JSONDecodeError:
+            self._error(400, "body is not valid JSON")
+            return
+        if not isinstance(payload, dict):
+            self._error(400, 'body must be {"pattern": "<query>"}')
+            return
+        pattern = payload.get("pattern")
+        if not isinstance(pattern, str) or not pattern.strip():
+            self._error(400, '"pattern" must be a non-empty string')
+            return
+        cap = getattr(self.server, "max_query_length", MAX_QUERY_LENGTH)
+        if len(pattern) > cap:
+            self._error(
+                400, f"pattern longer than {cap} characters ({len(pattern)})"
+            )
+            return
+        try:
+            result = engine.run(pattern)
+        except QuerySyntaxError as failure:
+            self._error(
+                400,
+                failure.reason,
+                offset=failure.offset,
+                detail=str(failure),
+            )
+            return
+        except QueryError as failure:
+            self._error(400, str(failure))
+            return
+        self._rows = result.row_count
+        self._reply(200, result.to_dict())
+
 
 def create_server(
     service: EnrichmentService,
     host: str = "127.0.0.1",
     port: int = 0,
     verbose: bool = False,
+    max_query_length: int = MAX_QUERY_LENGTH,
 ) -> ThreadingHTTPServer:
-    """Bind (but do not run) the API server; port 0 = ephemeral."""
+    """Bind (but do not run) the API server; port 0 = ephemeral.
+
+    ``max_query_length`` caps ``/v1/query`` pattern sizes (characters);
+    longer patterns answer a structured 400.
+    """
     server = ThreadingHTTPServer((host, port), IntelRequestHandler)
     server.service = service  # type: ignore[attr-defined]
     server.verbose = verbose  # type: ignore[attr-defined]
     server.metrics = ServiceMetrics()  # type: ignore[attr-defined]
+    server.max_query_length = max_query_length  # type: ignore[attr-defined]
     return server
 
 

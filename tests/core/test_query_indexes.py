@@ -1,0 +1,184 @@
+"""GraphIndexes construction, enrichment, and the per-graph cache."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.core.edges import node_id
+from repro.core.graph import EdgeType, PropertyGraph
+from repro.core.groups import GroupKind
+from repro.core.malgraph import MalGraph
+from repro.core.query import build_indexes, graph_indexes
+
+
+@pytest.fixture()
+def graph() -> PropertyGraph:
+    g = PropertyGraph()
+    for i in range(6):
+        g.add_node(f"n{i}", name=f"pkg{i}", ecosystem="npm" if i % 2 else "pypi")
+    g.add_edge("n0", "n1", EdgeType.SIMILAR)
+    g.add_edge("n1", "n2", EdgeType.SIMILAR)
+    g.add_clique(["n2", "n3", "n4"], EdgeType.COEXISTING)
+    g.add_edge("n4", "n5", EdgeType.DEPENDENCY)
+    return g
+
+
+@pytest.fixture(scope="module")
+def malgraph(small_dataset) -> MalGraph:
+    return MalGraph.build(small_dataset)
+
+
+# ---------------------------------------------------------------------------
+# Adjacency
+# ---------------------------------------------------------------------------
+
+def test_adjacency_matches_graph_neighbors(graph):
+    indexes = build_indexes(graph)
+    for edge_type in EdgeType:
+        for node in graph.touched_nodes(edge_type):
+            assert set(indexes.neighbors(node, (edge_type,))) == graph.neighbors(
+                node, edge_type
+            )
+
+
+def test_cliques_are_expanded(graph):
+    indexes = build_indexes(graph)
+    assert indexes.neighbors("n3", (EdgeType.COEXISTING,)) == ["n2", "n4"]
+
+
+def test_neighbors_merge_multiple_types_sorted(graph):
+    indexes = build_indexes(graph)
+    merged = indexes.neighbors(
+        "n4", (EdgeType.COEXISTING, EdgeType.DEPENDENCY)
+    )
+    assert merged == ["n2", "n3", "n5"]
+
+
+def test_symmetric_types_ignore_direction(graph):
+    indexes = build_indexes(graph)
+    for direction in ("any", "out", "in"):
+        assert indexes.neighbors("n1", (EdgeType.SIMILAR,), direction) == [
+            "n0",
+            "n2",
+        ]
+
+
+# ---------------------------------------------------------------------------
+# Attribute indexes
+# ---------------------------------------------------------------------------
+
+def test_by_attr_buckets(graph):
+    indexes = build_indexes(graph)
+    assert indexes.lookup("name", "pkg3") == ("n3",)
+    assert indexes.lookup("ecosystem", "npm") == ("n1", "n3", "n5")
+    assert indexes.lookup("name", "nope") == ()
+    assert indexes.candidate_count("ecosystem", "pypi") == 3
+    assert indexes.candidate_count("release_day", 1) is None  # unindexed
+
+
+def test_node_attrs_include_id(graph):
+    indexes = build_indexes(graph)
+    assert indexes.node_attrs("n0")["id"] == "n0"
+    assert indexes.node_attrs("n0")["name"] == "pkg0"
+    assert indexes.node_attrs("ghost") == {}
+
+
+# ---------------------------------------------------------------------------
+# MalGraph enrichment
+# ---------------------------------------------------------------------------
+
+def test_directed_dependency_maps(malgraph):
+    indexes = malgraph.query_indexes()
+    assert malgraph.dependency_edges, "small world should have dependencies"
+    entry, target = malgraph.dependency_edges[0]
+    u, v = node_id(entry.package), node_id(target.package)
+    assert v in indexes.neighbors(u, (EdgeType.DEPENDENCY,), "out")
+    assert u in indexes.neighbors(v, (EdgeType.DEPENDENCY,), "in")
+    # the undirected view still sees the pair both ways
+    assert v in indexes.neighbors(u, (EdgeType.DEPENDENCY,), "any")
+    assert u in indexes.neighbors(v, (EdgeType.DEPENDENCY,), "any")
+
+
+def test_dataset_attrs_are_indexed(malgraph):
+    indexes = malgraph.query_indexes()
+    entry = next(e for e in malgraph.dataset.entries if e.campaign_id)
+    node = node_id(entry.package)
+    held = indexes.node_attrs(node)
+    assert held["campaign"] == entry.campaign_id
+    assert held["actor"] == entry.actor
+    assert held["family"] == entry.behavior_key
+    assert node in indexes.lookup("campaign", entry.campaign_id)
+
+
+def test_group_ids_match_intel_index_convention(malgraph):
+    indexes = malgraph.query_indexes()
+    for kind in GroupKind:
+        groups = malgraph.groups(kind)
+        for i, group in enumerate(groups):
+            group_id = f"{kind.value}-{i:04d}"
+            members = indexes.group_members[group_id]
+            assert members == tuple(
+                sorted(node_id(m.package) for m in group.members)
+            )
+            for member in members:
+                assert group_id in indexes.groups_of[member]
+                assert (
+                    indexes.node_attrs(member)[kind.value.lower()] == group_id
+                )
+
+
+# ---------------------------------------------------------------------------
+# Cache behaviour
+# ---------------------------------------------------------------------------
+
+def test_cache_returns_same_object(graph):
+    assert graph_indexes(graph) is graph_indexes(graph)
+
+
+def test_mutation_invalidates_cache(graph):
+    before = graph_indexes(graph)
+    graph.add_node("n6", name="pkg6")
+    after = graph_indexes(graph)
+    assert after is not before
+    assert "n6" in after.nodes
+    assert after.version > before.version
+
+
+def test_plain_and_enriched_are_cached_separately(malgraph):
+    plain = graph_indexes(malgraph.graph)
+    enriched = graph_indexes(malgraph.graph, malgraph)
+    assert plain is not enriched
+    assert not plain.enriched and enriched.enriched
+    # both stay cached side by side
+    assert graph_indexes(malgraph.graph) is plain
+    assert malgraph.query_indexes() is enriched
+
+
+def test_concurrent_first_build_happens_once(graph, monkeypatch):
+    from repro.core.query import indexes as indexes_module
+
+    calls = []
+    real_build = indexes_module.build_indexes
+
+    def counting_build(*args, **kwargs):
+        calls.append(1)
+        return real_build(*args, **kwargs)
+
+    monkeypatch.setattr(indexes_module, "build_indexes", counting_build)
+
+    results = []
+    barrier = threading.Barrier(8)
+
+    def worker():
+        barrier.wait()
+        results.append(graph_indexes(graph))
+
+    threads = [threading.Thread(target=worker) for _ in range(8)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    assert len(calls) == 1
+    assert all(r is results[0] for r in results)

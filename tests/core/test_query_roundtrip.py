@@ -1,0 +1,183 @@
+"""Property test: ``parse(render(ast)) == ast`` over canonical ASTs.
+
+The renderer emits canonical query text and the parser produces
+canonical ASTs, so for any AST in canonical form the two are exact
+inverses. Canonical form means: OR nodes have >= 2 parts, each of which
+is an AND group (the parser's precedence wrapping), and variable-length
+hop ranges satisfy ``1 <= lo <= hi``.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.graph import EdgeType
+from repro.core.query import (
+    BoolExpr,
+    CallQuery,
+    Comparison,
+    EdgePattern,
+    MatchQuery,
+    NodePattern,
+    PROCEDURES,
+    ReturnItem,
+    parse,
+    render,
+)
+from repro.core.query.lexer import KEYWORDS
+
+_names = st.text("abcdefghjk", min_size=1, max_size=4).filter(
+    lambda s: s not in KEYWORDS
+)
+_attrs = st.sampled_from(
+    ["name", "ecosystem", "release_day", "campaign", "actor", "x", "y"]
+)
+_strings = st.text("abcXYZ 9'-\\._:@", max_size=8)
+_numbers = st.one_of(
+    st.integers(-1000, 1000),
+    st.integers(-400, 400).map(lambda i: i / 4),  # repr-stable floats
+)
+_literals = st.one_of(_strings, _numbers)
+
+
+@st.composite
+def _comparisons(draw, variables):
+    var = draw(st.sampled_from(variables))
+    attr = draw(_attrs)
+    op = draw(
+        st.sampled_from(["=", "!=", "<", "<=", ">", ">=", "contains", "is-null"])
+    )
+    if op == "is-null":
+        literal = None
+    elif op == "contains":
+        literal = draw(_strings)
+    else:
+        literal = draw(_literals)
+    return Comparison(
+        var=var, attr=attr, op=op, literal=literal, negated=draw(st.booleans())
+    )
+
+
+@st.composite
+def _and_exprs(draw, variables, depth):
+    parts = []
+    for _ in range(draw(st.integers(1, 3))):
+        if depth > 0 and draw(st.integers(0, 3)) == 0:
+            parts.append(draw(_or_exprs(variables, depth - 1)))
+        else:
+            parts.append(draw(_comparisons(variables)))
+    return BoolExpr(op="and", parts=tuple(parts))
+
+
+@st.composite
+def _or_exprs(draw, variables, depth):
+    parts = [
+        draw(_and_exprs(variables, depth))
+        for _ in range(draw(st.integers(2, 3)))
+    ]
+    return BoolExpr(op="or", parts=tuple(parts))
+
+
+@st.composite
+def _hops(draw):
+    if draw(st.booleans()):
+        return 1, 1
+    lo = draw(st.integers(1, 4))
+    hi = draw(st.none() | st.integers(lo, lo + 3))
+    return lo, hi
+
+
+@st.composite
+def _match_queries(draw):
+    n = draw(st.integers(1, 3))
+    variables = draw(
+        st.lists(_names, min_size=n, max_size=n, unique=True)
+    )
+    nodes = []
+    for var in variables:
+        props = draw(
+            st.lists(
+                st.tuples(_attrs, _literals),
+                max_size=2,
+                unique_by=lambda p: p[0],
+            )
+        )
+        nodes.append(NodePattern(var=var, props=tuple(props)))
+    edges = []
+    for _ in range(n - 1):
+        types = draw(
+            st.lists(st.sampled_from(list(EdgeType)), max_size=3, unique=True)
+        )
+        lo, hi = draw(_hops())
+        edges.append(
+            EdgePattern(
+                types=tuple(types),
+                direction=draw(st.sampled_from(["any", "out", "in"])),
+                min_hops=lo,
+                max_hops=hi,
+            )
+        )
+    where = draw(
+        st.none()
+        | _and_exprs(variables, depth=1)
+        | _or_exprs(variables, depth=1)
+    )
+    if draw(st.integers(0, 4)) == 0:
+        returns = (ReturnItem(var=None, attr=None, is_count=True),)
+        order_by, order_desc = None, False
+    else:
+        returns = tuple(
+            ReturnItem(
+                var=draw(st.sampled_from(variables)),
+                attr=draw(st.none() | _attrs),
+            )
+            for _ in range(draw(st.integers(1, 3)))
+        )
+        if draw(st.booleans()):
+            order_by = ReturnItem(
+                var=draw(st.sampled_from(variables)),
+                attr=draw(st.none() | _attrs),
+            )
+            order_desc = draw(st.booleans())
+        else:
+            order_by, order_desc = None, False
+    return MatchQuery(
+        nodes=tuple(nodes),
+        edges=tuple(edges),
+        where=where,
+        returns=returns,
+        order_by=order_by,
+        order_desc=order_desc,
+        limit=draw(st.none() | st.integers(0, 50)),
+    )
+
+
+@st.composite
+def _call_queries(draw):
+    return CallQuery(
+        procedure=draw(st.sampled_from(PROCEDURES)),
+        args=tuple(
+            draw(st.lists(_literals, max_size=3))
+        ),
+        limit=draw(st.none() | st.integers(0, 50)),
+    )
+
+
+@given(_match_queries())
+@settings(max_examples=200, deadline=None)
+def test_match_round_trip(query):
+    assert parse(render(query)) == query
+
+
+@given(_call_queries())
+@settings(max_examples=100, deadline=None)
+def test_call_round_trip(query):
+    assert parse(render(query)) == query
+
+
+@given(_match_queries())
+@settings(max_examples=100, deadline=None)
+def test_render_is_stable(query):
+    """render ∘ parse ∘ render is the identity on rendered text."""
+    text = render(query)
+    assert render(parse(text)) == text

@@ -1,0 +1,175 @@
+"""POST /v1/query: validation, success payloads, metrics, and parity
+with the Python API surface."""
+
+from __future__ import annotations
+
+import json
+import threading
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.core.query import QueryEngine
+from repro.service.cache import EnrichmentService, build_service
+from repro.service.server import create_server, server_address
+
+
+@pytest.fixture(scope="module")
+def query_service(service_malgraph):
+    return build_service(service_malgraph, capacity=256)
+
+
+@pytest.fixture(scope="module")
+def live(query_service):
+    server = create_server(query_service, port=0, max_query_length=200)
+    host, port = server_address(server)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    yield f"http://{host}:{port}", query_service
+    server.shutdown()
+    server.server_close()
+
+
+def _post(url: str, payload):
+    data = payload if isinstance(payload, bytes) else json.dumps(payload).encode()
+    request = urllib.request.Request(
+        url, data=data, headers={"Content-Type": "application/json"}
+    )
+    with urllib.request.urlopen(request, timeout=10) as response:
+        return response.status, json.load(response)
+
+
+def _post_error(url: str, payload):
+    with pytest.raises(urllib.error.HTTPError) as failure:
+        _post(url, payload)
+    body = json.loads(failure.value.read().decode())
+    return failure.value.code, body
+
+
+def _get(url: str):
+    with urllib.request.urlopen(url, timeout=10) as response:
+        return response.status, json.load(response)
+
+
+# ---------------------------------------------------------------------------
+# Success path
+# ---------------------------------------------------------------------------
+
+def test_query_roundtrip_matches_python_api(live):
+    base, service = live
+    pattern = "MATCH (a)-[similar]-(b) RETURN a.name, b.name LIMIT 10"
+    status, body = _post(f"{base}/v1/query", {"pattern": pattern})
+    assert status == 200
+    expected = service.query_engine.run(pattern)
+    assert body["columns"] == list(expected.columns)
+    assert [tuple(r) for r in body["rows"]] == list(expected.rows)
+    assert body["row_count"] == expected.row_count
+    assert body["elapsed_ms"] >= 0
+    assert "plan" in body
+
+
+def test_call_procedure_over_http(live):
+    base, service = live
+    indexes = service.query_engine.indexes()
+    node = indexes.nodes[0]
+    pattern = f"CALL neighborhood('{node}', 2)"
+    status, body = _post(f"{base}/v1/query", {"pattern": pattern})
+    assert status == 200
+    assert body["columns"] == ["node", "distance"]
+    assert [tuple(r) for r in body["rows"]] == service.query_engine.neighborhood(
+        node, 2
+    )
+
+
+# ---------------------------------------------------------------------------
+# Validation 400s
+# ---------------------------------------------------------------------------
+
+def test_invalid_json_body(live):
+    base, _ = live
+    code, body = _post_error(f"{base}/v1/query", b"{not json")
+    assert code == 400
+    assert "JSON" in body["error"]
+
+
+def test_non_dict_body(live):
+    base, _ = live
+    code, body = _post_error(f"{base}/v1/query", ["MATCH (a) RETURN a"])
+    assert code == 400
+    assert "pattern" in body["error"]
+
+
+def test_missing_pattern(live):
+    base, _ = live
+    code, body = _post_error(f"{base}/v1/query", {"query": "MATCH (a) RETURN a"})
+    assert code == 400
+    assert "non-empty string" in body["error"]
+
+
+def test_non_string_pattern(live):
+    base, _ = live
+    code, body = _post_error(f"{base}/v1/query", {"pattern": 42})
+    assert code == 400
+    assert "non-empty string" in body["error"]
+
+
+def test_pattern_over_length_cap(live):
+    base, _ = live
+    long_pattern = "MATCH (a) WHERE " + "a.x = 1 AND " * 40 + "a.y = 2 RETURN a"
+    assert len(long_pattern) > 200
+    code, body = _post_error(f"{base}/v1/query", {"pattern": long_pattern})
+    assert code == 400
+    assert "longer than 200" in body["error"]
+
+
+def test_syntax_error_is_structured_400_with_offset(live):
+    base, _ = live
+    pattern = "MATCH (a) RETURN a WHERE"
+    code, body = _post_error(f"{base}/v1/query", {"pattern": pattern})
+    assert code == 400
+    assert body["offset"] == pattern.index("WHERE")
+    assert "^" in body["detail"]  # caret-rendered message
+
+
+def test_semantic_error_is_400(live):
+    base, _ = live
+    code, body = _post_error(
+        f"{base}/v1/query", {"pattern": "MATCH (a) RETURN b"}
+    )
+    assert code == 400
+    assert "unbound" in body["error"]
+
+
+def test_service_without_engine_is_503(engine):
+    service = EnrichmentService(engine, capacity=16)  # no query_engine
+    server = create_server(service, port=0)
+    host, port = server_address(server)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    try:
+        code, body = _post_error(
+            f"http://{host}:{port}/v1/query", {"pattern": "MATCH (a) RETURN a"}
+        )
+        assert code == 503
+        assert "not configured" in body["error"]
+    finally:
+        server.shutdown()
+        server.server_close()
+
+
+# ---------------------------------------------------------------------------
+# Metrics
+# ---------------------------------------------------------------------------
+
+def test_query_endpoint_metrics_label_and_rows(live):
+    base, service = live
+    pattern = "MATCH (a)-[similar]-(b) RETURN a LIMIT 3"
+    _status, body = _post(f"{base}/v1/query", {"pattern": pattern})
+    returned = body["row_count"]
+    _status, metrics = _get(f"{base}/v1/metrics")
+    row = metrics["endpoints"]["/v1/query"]
+    assert row["requests"] >= 1
+    assert row["status"].get("200", 0) >= 1
+    assert row["latency"]["count"] == row["requests"]
+    assert row["rows_returned"] >= returned

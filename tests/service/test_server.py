@@ -197,7 +197,7 @@ def test_metrics_endpoint_shape(live):
     assert set(body) == {"endpoints", "total_requests"}
     assert body["total_requests"] >= 1
     for row in body["endpoints"].values():
-        assert set(row) == {"requests", "status", "latency"}
+        assert set(row) == {"requests", "status", "latency", "rows_returned"}
         assert sum(row["status"].values()) == row["requests"]
         assert row["latency"]["count"] == row["requests"]
 
