@@ -12,6 +12,7 @@ packages::
     python -m repro publish --out site/    # the transparency website
     python -m repro export --out g/ --format graphml
     python -m repro query "MATCH (a)-[:dependency]-(b) RETURN a.name, b.name"
+    python -m repro update --graph g/ events.jsonl   # delta-evolve a saved graph
     python -m repro validate               # groups vs ground truth
     python -m repro scan path/to/package/  # detector verdict for a dir
 
@@ -345,6 +346,36 @@ def cmd_serve(args: argparse.Namespace) -> int:
     return 0 if server is not None else 2
 
 
+def cmd_update(args: argparse.Namespace) -> int:
+    from repro.core.delta.events import events_from_jsonl
+    from repro.errors import DatasetError, GraphError
+    from repro.io.malgraphs import load_malgraph_bundle, save_malgraph_bundle
+
+    bundle = Path(args.graph)
+    if not bundle.is_dir():
+        print(f"not a bundle directory: {bundle}", file=sys.stderr)
+        return 2
+    events = events_from_jsonl(args.events)
+    if not events:
+        print(f"no events in {args.events}", file=sys.stderr)
+        return 2
+    similarity = None
+    if getattr(args, "jobs", None) is not None:
+        from repro.core.similarity import SimilarityConfig
+
+        similarity = SimilarityConfig(jobs=args.jobs)
+    base = load_malgraph_bundle(bundle)
+    try:
+        evolved, delta = base.apply_delta(events, similarity=similarity)
+    except (DatasetError, GraphError) as error:
+        print(f"update error: {error}", file=sys.stderr)
+        return 2
+    target = save_malgraph_bundle(evolved, args.out or bundle)
+    print(delta.summary())
+    print(f"wrote updated bundle to {target}")
+    return 0
+
+
 def cmd_warm(args: argparse.Namespace) -> int:
     from repro import pipeline
 
@@ -610,6 +641,21 @@ def build_parser() -> argparse.ArgumentParser:
     enrich.add_argument("--sha256", default=None, help="artifact code signature")
     enrich.add_argument("--ecosystem", default=None)
     enrich.set_defaults(func=cmd_enrich)
+
+    update = sub.add_parser(
+        "update",
+        help="evolve a saved MALGRAPH bundle with an events JSONL (delta, no rebuild)",
+    )
+    update.add_argument(
+        "--graph", required=True, metavar="DIR",
+        help="bundle directory written by `repro dataset` + save_malgraph_bundle",
+    )
+    update.add_argument("events", help="events JSONL file (one GraphEvent per line)")
+    update.add_argument(
+        "--out", default=None, metavar="DIR",
+        help="write the evolved bundle here (default: update --graph in place)",
+    )
+    update.set_defaults(func=cmd_update)
 
     serve = sub.add_parser("serve", help="run the enrichment HTTP API")
     serve.add_argument("--host", default="127.0.0.1")

@@ -168,6 +168,42 @@ class DatasetDiff:
         )
 
 
+def events_from_datasets(
+    old: MalwareDataset, new: MalwareDataset
+) -> List["GraphEvent"]:
+    """The event batch that carries ``old`` to ``new``'s contents.
+
+    Emission order is removals, then updates, then additions (in
+    ``new``'s entry order), then new reports. Applying the batch via
+    :func:`repro.core.delta.events.apply_events_to_dataset` yields a
+    dataset with exactly ``new``'s entries per key; entry *order* follows
+    the event semantics (updates in place, additions appended), which is
+    the order the delta engine's correctness contract anchors on.
+
+    Updates compare serialised entries, so a re-collection that changed
+    nothing emits nothing.
+    """
+    from repro.core.delta.events import GraphEvent
+    from repro.io.datasets import entry_to_dict
+
+    events: List["GraphEvent"] = []
+    new_keys = {entry.package for entry in new.entries}
+    for entry in old.entries:
+        if entry.package not in new_keys:
+            events.append(GraphEvent.package_removed(entry.package))
+    for entry in new.entries:
+        counterpart = old.get(entry.package)
+        if counterpart is None:
+            events.append(GraphEvent.package_added(entry))
+        elif entry_to_dict(entry) != entry_to_dict(counterpart):
+            events.append(GraphEvent.package_detected(entry))
+    old_reports = {report.report_id for report in old.reports}
+    for report in new.reports:
+        if report.report_id not in old_reports:
+            events.append(GraphEvent.report_ingested(report))
+    return events
+
+
 def diff_datasets(old: MalwareDataset, new: MalwareDataset) -> DatasetDiff:
     """Structured difference between two collection runs."""
     diff = DatasetDiff()

@@ -1,0 +1,178 @@
+"""Epoch-rolled incremental connected components.
+
+The group structures (DG/DeG/SG/CG) are connected components of one edge
+type's subgraph. Edge additions only ever merge components — a plain
+union handles them. Edge *removals* may split a component, which
+union-find famously cannot undo; instead of a fully-dynamic structure we
+use the batch nature of the delta engine: all removals of one batch are
+rolled up into a single *scoped recompute* of just the touched
+components, and the structure's ``epoch`` advances once per batch.
+
+The recompute is exact because of a locality argument: let ``T`` be the
+surviving members of every component containing a removal touchpoint.
+Any final-graph edge from ``T`` to a node outside ``T`` cannot be a base
+edge (a base edge would have put both endpoints in one base component,
+so the outside endpoint would itself be in ``T``) — it must have been
+added this batch, and batch additions are unioned *after* the scoped
+recompute. A breadth-first sweep restricted to ``T`` over the final
+graph therefore reconstructs exactly the base-minus-removals
+connectivity, and the addition unions layer the new edges on top.
+
+Components are tracked as explicit member sets (union by size, smaller
+relabels into larger), so membership queries and the scoped reset are
+O(component) instead of O(structure).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Set
+
+
+class EpochUnionFind:
+    """Incremental connected components over string node ids."""
+
+    def __init__(self) -> None:
+        self._comp_of: Dict[str, int] = {}
+        self._members: Dict[int, Set[str]] = {}
+        self._next_id = 0
+        #: advanced once per applied batch (the rollup counter)
+        self.epoch = 0
+
+    # -- bootstrap ---------------------------------------------------------
+    def seed(self, components: Iterable[Iterable[str]]) -> None:
+        """Load the base graph's components (replaces current state)."""
+        self._comp_of.clear()
+        self._members.clear()
+        self._next_id = 0
+        for component in components:
+            members = set(component)
+            if len(members) < 2:
+                continue
+            self._register(members)
+
+    def fork(self) -> "EpochUnionFind":
+        """Independent copy (the delta engine forks base graphs)."""
+        dup = EpochUnionFind()
+        dup._comp_of = dict(self._comp_of)
+        dup._members = {cid: set(members) for cid, members in self._members.items()}
+        dup._next_id = self._next_id
+        dup.epoch = self.epoch
+        return dup
+
+    def _register(self, members: Set[str]) -> int:
+        cid = self._next_id
+        self._next_id += 1
+        self._members[cid] = members
+        for node in members:
+            self._comp_of[node] = cid
+        return cid
+
+    # -- queries -----------------------------------------------------------
+    def component_of(self, node: str) -> Optional[Set[str]]:
+        cid = self._comp_of.get(node)
+        return self._members[cid] if cid is not None else None
+
+    def components(self) -> List[Set[str]]:
+        """All components, sorted exactly like
+        :meth:`repro.core.graph.PropertyGraph.connected_components`."""
+        return sorted(
+            (set(members) for members in self._members.values()),
+            key=lambda g: (-len(g), min(g)),
+        )
+
+    @property
+    def component_count(self) -> int:
+        return len(self._members)
+
+    # -- mutation ----------------------------------------------------------
+    def union(self, a: str, b: str) -> None:
+        ca, cb = self._comp_of.get(a), self._comp_of.get(b)
+        if ca is not None and ca == cb:
+            return
+        if ca is None and cb is None:
+            self._register({a, b})
+            return
+        if ca is None:
+            self._members[cb].add(a)
+            self._comp_of[a] = cb
+            return
+        if cb is None:
+            self._members[ca].add(b)
+            self._comp_of[b] = ca
+            return
+        small, large = (ca, cb) if len(self._members[ca]) < len(self._members[cb]) else (cb, ca)
+        for node in self._members[small]:
+            self._comp_of[node] = large
+        self._members[large].update(self._members.pop(small))
+
+    def apply_batch(
+        self,
+        removal_touchpoints: Set[str],
+        removed_nodes: Set[str],
+        added_links: Sequence[Sequence[str]],
+        incident: Callable[[str], Iterable[tuple]],
+    ) -> None:
+        """Roll one event batch into the structure (one epoch).
+
+        ``removal_touchpoints`` are nodes incident to any removed edge or
+        clique (including nodes being removed); ``removed_nodes`` leave
+        the structure entirely; each of ``added_links`` is a pairwise
+        edge or a clique member list added this batch; ``incident``
+        reads the *final* (post-mutation) graph, yielding a node's
+        adjacency as ``(key, members)`` groups with keys stable across
+        calls (see :meth:`PropertyGraph.incident_groups`) — the sweep
+        expands each group once, so a k-member clique costs O(k) instead
+        of the O(k^2) a per-node neighbour walk would pay.
+        """
+        self.epoch += 1
+        touched = {
+            self._comp_of[node]
+            for node in removal_touchpoints
+            if node in self._comp_of
+        }
+        if touched:
+            scope: Set[str] = set()
+            for cid in touched:
+                members = self._members.pop(cid)
+                for node in members:
+                    del self._comp_of[node]
+                scope.update(members)
+            scope -= removed_nodes
+            unvisited = set(scope)
+            # expansion is restricted to `unvisited`, so a group visited
+            # while growing one component can never contribute to a later
+            # one — the expanded set is safely shared across components
+            expanded: Set[tuple] = set()
+            while unvisited:
+                start = unvisited.pop()
+                component = {start}
+                frontier = [start]
+                while frontier:
+                    node = frontier.pop()
+                    for key, members in incident(node):
+                        if key in expanded:
+                            continue
+                        expanded.add(key)
+                        for other in members:
+                            if other in unvisited:
+                                unvisited.discard(other)
+                                component.add(other)
+                                frontier.append(other)
+                if len(component) >= 2:
+                    self._register(component)
+                # isolated survivors drop out, matching a fresh
+                # connected-components pass over the final graph
+        for node in removed_nodes:
+            # a removed node with no tracked component never had edges
+            cid = self._comp_of.pop(node, None)
+            if cid is not None:  # pragma: no cover - covered by touchpoints
+                self._members[cid].discard(node)
+                if len(self._members[cid]) < 2:
+                    for rest in self._members.pop(cid):
+                        self._comp_of.pop(rest, None)
+        for link in added_links:
+            if len(link) < 2:
+                continue
+            first = link[0]
+            for other in link[1:]:
+                self.union(first, other)

@@ -21,25 +21,41 @@ def node_id(package: PackageId) -> str:
     return f"{package.ecosystem}:{package.name}@{package.version}"
 
 
+def node_attrs(entry: DatasetEntry) -> Dict:
+    """The paper's seven node attributes for one entry."""
+    return dict(
+        name=entry.package.name,
+        version=entry.package.version,
+        ecosystem=entry.package.ecosystem,
+        sources=sorted(entry.sources),
+        sha256=entry.sha256(),
+        path=entry.artifact_origin,
+        release_day=entry.release_day,
+    )
+
+
 def add_dataset_nodes(graph: PropertyGraph, dataset: MalwareDataset) -> None:
     """One node per dataset entry, with the paper's seven attributes:
     id, name, version, source, hash, path and ecosystem."""
     for entry in dataset.entries:
-        graph.add_node(
-            node_id(entry.package),
-            name=entry.package.name,
-            version=entry.package.version,
-            ecosystem=entry.package.ecosystem,
-            sources=sorted(entry.sources),
-            sha256=entry.sha256(),
-            path=entry.artifact_origin,
-            release_day=entry.release_day,
-        )
+        graph.add_node(node_id(entry.package), **node_attrs(entry))
 
 
 # ---------------------------------------------------------------------------
 # Duplicated
 # ---------------------------------------------------------------------------
+
+def duplicated_groups_of(dataset: MalwareDataset) -> List[List[DatasetEntry]]:
+    """Signature groups (>= 2 sharers) in first-occurrence order.
+
+    Pure — no graph involved; shared by the cold builder below and the
+    delta engine's list rebuild.
+    """
+    by_hash: Dict[str, List[DatasetEntry]] = {}
+    for entry in dataset.available_entries():
+        by_hash.setdefault(entry.sha256(), []).append(entry)
+    return [members for members in by_hash.values() if len(members) >= 2]
+
 
 def build_duplicated_edges(
     graph: PropertyGraph, dataset: MalwareDataset
@@ -52,10 +68,7 @@ def build_duplicated_edges(
     published under different coordinates. Each signature group becomes a
     clique.
     """
-    by_hash: Dict[str, List[DatasetEntry]] = {}
-    for entry in dataset.available_entries():
-        by_hash.setdefault(entry.sha256(), []).append(entry)
-    groups = [members for members in by_hash.values() if len(members) >= 2]
+    groups = duplicated_groups_of(dataset)
     for members in groups:
         graph.add_clique([node_id(e.package) for e in members], EdgeType.DUPLICATED)
     return groups
@@ -64,6 +77,26 @@ def build_duplicated_edges(
 # ---------------------------------------------------------------------------
 # Dependency
 # ---------------------------------------------------------------------------
+
+def dependency_pairs_of(
+    dataset: MalwareDataset,
+) -> List[Tuple[DatasetEntry, DatasetEntry]]:
+    """Directed (dependant, dependency) pairs between dataset packages.
+
+    Pure — the cold builder adds the graph edges on top, the delta
+    engine rebuilds ``MalGraph.dependency_edges`` from it.
+    """
+    name_index = dataset.name_index()
+    pairs: List[Tuple[DatasetEntry, DatasetEntry]] = []
+    for entry in dataset.available_entries():
+        for dep_name in entry.artifact.metadata.dependencies:
+            targets = name_index.get((entry.package.ecosystem, dep_name), ())
+            for target in targets:
+                if target.package == entry.package:
+                    continue
+                pairs.append((entry, target))
+    return pairs
+
 
 def build_dependency_edges(
     graph: PropertyGraph, dataset: MalwareDataset
@@ -75,18 +108,11 @@ def build_dependency_edges(
     those dependency libraries from legitimate packages, only considering
     the dependency between malicious packages."
     """
-    name_index = dataset.name_index()
-    edges: List[Tuple[DatasetEntry, DatasetEntry]] = []
-    for entry in dataset.available_entries():
-        for dep_name in entry.artifact.metadata.dependencies:
-            targets = name_index.get((entry.package.ecosystem, dep_name), ())
-            for target in targets:
-                if target.package == entry.package:
-                    continue
-                graph.add_edge(
-                    node_id(entry.package), node_id(target.package), EdgeType.DEPENDENCY
-                )
-                edges.append((entry, target))
+    edges = dependency_pairs_of(dataset)
+    for entry, target in edges:
+        graph.add_edge(
+            node_id(entry.package), node_id(target.package), EdgeType.DEPENDENCY
+        )
     return edges
 
 
@@ -135,19 +161,35 @@ def build_similar_edges(
 # Co-existing
 # ---------------------------------------------------------------------------
 
+def coexisting_group_of_report(
+    dataset: MalwareDataset, report
+) -> Optional[List[DatasetEntry]]:
+    """One report's resolved unique members, or None when fewer than 2."""
+    members = [dataset.get(p) for p in report.packages]
+    members = [m for m in members if m is not None]
+    unique = {m.package: m for m in members}
+    if len(unique) < 2:
+        return None
+    return list(unique.values())
+
+
+def coexisting_groups_of(dataset: MalwareDataset) -> List[List[DatasetEntry]]:
+    """Qualifying report groups in report order (pure)."""
+    groups: List[List[DatasetEntry]] = []
+    for report in dataset.reports:
+        group = coexisting_group_of_report(dataset, report)
+        if group is not None:
+            groups.append(group)
+    return groups
+
+
 def build_coexisting_edges(
     graph: PropertyGraph, dataset: MalwareDataset
 ) -> List[List[DatasetEntry]]:
     """Same security report => co-existing edge (clique per report)."""
-    groups: List[List[DatasetEntry]] = []
-    for report in dataset.reports:
-        members = [dataset.get(p) for p in report.packages]
-        members = [m for m in members if m is not None]
-        unique = {m.package: m for m in members}
-        if len(unique) >= 2:
-            group = list(unique.values())
-            graph.add_clique(
-                [node_id(e.package) for e in group], EdgeType.COEXISTING
-            )
-            groups.append(group)
+    groups = coexisting_groups_of(dataset)
+    for group in groups:
+        graph.add_clique(
+            [node_id(e.package) for e in group], EdgeType.COEXISTING
+        )
     return groups

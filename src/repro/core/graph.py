@@ -14,7 +14,17 @@ from __future__ import annotations
 import json
 from dataclasses import dataclass, field
 from enum import Enum
-from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
+from typing import (
+    Callable,
+    Dict,
+    FrozenSet,
+    Iterable,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
 
 from repro.errors import GraphError, NodeNotFoundError
 
@@ -93,7 +103,9 @@ class PropertyGraph:
         self._adjacency: Dict[EdgeType, Dict[str, Set[str]]] = {
             t: {} for t in EdgeType
         }
-        self._cliques: Dict[EdgeType, List[FrozenSet[str]]] = {
+        # clique slots are tombstoned to None on removal so indices held
+        # by incremental maintainers stay stable
+        self._cliques: Dict[EdgeType, List[Optional[FrozenSet[str]]]] = {
             t: [] for t in EdgeType
         }
         self._clique_membership: Dict[EdgeType, Dict[str, List[int]]] = {
@@ -102,7 +114,17 @@ class PropertyGraph:
 
     @property
     def version(self) -> int:
-        """Mutation counter (monotonic; bumped by every add_*)."""
+        """Mutation counter (monotonic; bumped by every mutator)."""
+        return self._version
+
+    def touch(self) -> int:
+        """Bump the mutation counter without a structural change.
+
+        Used when graph-adjacent state the cached views read through the
+        graph (e.g. the dataset entries behind the enriched query
+        indexes) changes, so a stale index can never be served.
+        """
+        self._version += 1
         return self._version
 
     # -- nodes ------------------------------------------------------------
@@ -110,6 +132,29 @@ class PropertyGraph:
         """Add or update a node; attributes merge."""
         self._version += 1
         self._nodes.setdefault(node_id, {}).update(attrs)
+
+    def remove_node(self, node_id: str) -> None:
+        """Remove a node and its incident pairwise edges.
+
+        The node must not belong to any live clique: cliques encode
+        group semantics the caller owns (shrinking one implicitly would
+        silently change every co-member), so the delta paths replace the
+        affected cliques first and only then drop the node.
+        """
+        self._require(node_id)
+        for edge_type in EdgeType:
+            if self._clique_membership[edge_type].get(node_id):
+                raise GraphError(
+                    f"cannot remove {node_id!r}: still a member of "
+                    f"{edge_type.value} cliques"
+                )
+        self._version += 1
+        for edge_type in EdgeType:
+            for other in list(self._adjacency[edge_type].get(node_id, ())):
+                self._remove_pairwise(node_id, other, edge_type)
+            self._adjacency[edge_type].pop(node_id, None)
+            self._clique_membership[edge_type].pop(node_id, None)
+        del self._nodes[node_id]
 
     def has_node(self, node_id: str) -> bool:
         return node_id in self._nodes
@@ -144,11 +189,37 @@ class PropertyGraph:
         self._adjacency[edge_type].setdefault(u, set()).add(v)
         self._adjacency[edge_type].setdefault(v, set()).add(u)
 
-    def add_clique(self, members: Sequence[str], edge_type: EdgeType) -> None:
-        """Add a complete subgraph over ``members`` (stored compactly)."""
+    def _remove_pairwise(self, u: str, v: str, edge_type: EdgeType) -> None:
+        """Drop one pairwise edge from the edge set and both adjacencies."""
+        key = (u, v) if u <= v else (v, u)
+        self._edges[edge_type].discard(key)
+        for a, b in ((u, v), (v, u)):
+            bucket = self._adjacency[edge_type].get(a)
+            if bucket is not None:
+                bucket.discard(b)
+                if not bucket:
+                    del self._adjacency[edge_type][a]
+
+    def remove_edge(self, u: str, v: str, edge_type: EdgeType) -> None:
+        """Remove an undirected pairwise edge of the given type."""
+        key = (u, v) if u <= v else (v, u)
+        if key not in self._edges[edge_type]:
+            raise GraphError(
+                f"no {edge_type.value} edge between {u!r} and {v!r}"
+            )
+        self._version += 1
+        self._remove_pairwise(u, v, edge_type)
+
+    def add_clique(self, members: Sequence[str], edge_type: EdgeType) -> Optional[int]:
+        """Add a complete subgraph over ``members`` (stored compactly).
+
+        Returns the clique's index (stable for the graph's lifetime —
+        removals tombstone rather than reindex), or ``None`` when fewer
+        than two unique members were given.
+        """
         unique = sorted(set(members))
         if len(unique) < 2:
-            return
+            return None
         for member in unique:
             self._require(member)
         self._version += 1
@@ -156,6 +227,50 @@ class PropertyGraph:
         self._cliques[edge_type].append(frozenset(unique))
         for member in unique:
             self._clique_membership[edge_type].setdefault(member, []).append(index)
+        return index
+
+    def remove_clique_at(self, edge_type: EdgeType, index: int) -> FrozenSet[str]:
+        """Tombstone one clique by index, returning its members.
+
+        Indices of other cliques are unchanged (the slot is set to
+        ``None`` rather than compacted), so handles held by incremental
+        maintainers stay valid.
+        """
+        try:
+            members = self._cliques[edge_type][index]
+        except IndexError:
+            members = None
+        if members is None:
+            raise GraphError(
+                f"no live {edge_type.value} clique at index {index}"
+            )
+        self._version += 1
+        self._cliques[edge_type][index] = None
+        for member in members:
+            held = self._clique_membership[edge_type].get(member)
+            if held is not None:
+                held.remove(index)
+                if not held:
+                    del self._clique_membership[edge_type][member]
+        return members
+
+    def cliques(self, edge_type: EdgeType) -> List[FrozenSet[str]]:
+        """The live cliques of one edge type (tombstones skipped)."""
+        return [c for c in self._cliques[edge_type] if c is not None]
+
+    def live_cliques(self, edge_type: EdgeType) -> List[Tuple[int, FrozenSet[str]]]:
+        """(stable index, members) for every live clique of one type."""
+        return [
+            (index, members)
+            for index, members in enumerate(self._cliques[edge_type])
+            if members is not None
+        ]
+
+    def clique_at(self, edge_type: EdgeType, index: int) -> Optional[FrozenSet[str]]:
+        """Members of the clique at ``index``, or None if tombstoned/unknown."""
+        if 0 <= index < len(self._cliques[edge_type]):
+            return self._cliques[edge_type][index]
+        return None
 
     def has_edge(self, u: str, v: str, edge_type: EdgeType) -> bool:
         if v in self._adjacency[edge_type].get(u, ()):
@@ -174,6 +289,51 @@ class PropertyGraph:
         found.discard(node_id)
         return found
 
+    def incident_groups(
+        self, node_id: str, edge_type: EdgeType
+    ) -> Iterable[Tuple[Tuple[str, object], Iterable[str]]]:
+        """The node's adjacency as keyed groups, for group-aware sweeps.
+
+        Yields ``(key, members)`` pairs — one per live clique containing
+        the node (key ``("c", clique_index)``) plus one for its pairwise
+        neighbourhood (key ``("p", node_id)``). Keys are stable across
+        calls, so a component sweep can expand each clique exactly once
+        instead of re-scanning a k-member clique from all k of its
+        members: the sweep becomes O(total memberships) rather than
+        O(sum of clique sizes squared). ``members`` may include
+        ``node_id`` itself and must not be mutated.
+        """
+        self._require(node_id)
+        return self.incident_groups_fn(edge_type)(node_id)
+
+    def incident_groups_fn(
+        self, edge_type: EdgeType
+    ) -> Callable[[str], List[Tuple[Tuple[str, object], Iterable[str]]]]:
+        """Bound fast-path form of :meth:`incident_groups`.
+
+        Component sweeps call ``incident`` once per visited node; binding
+        the per-type tables once hoists the repeated enum-keyed lookups
+        (and the membership check — sweep nodes are known to exist) out
+        of the hot loop. The returned callable reads the graph live: it
+        reflects mutations made after it was built.
+        """
+        adjacency = self._adjacency[edge_type]
+        membership = self._clique_membership[edge_type]
+        cliques = self._cliques[edge_type]
+
+        def incident(node_id: str):
+            out = []
+            pairwise = adjacency.get(node_id)
+            if pairwise:
+                out.append((("p", node_id), pairwise))
+            held = membership.get(node_id)
+            if held:
+                for index in held:
+                    out.append((("c", index), cliques[index]))
+            return out
+
+        return incident
+
     def degree(self, node_id: str, edge_type: EdgeType) -> int:
         """Out-degree (= in-degree: relations are symmetric)."""
         return len(self.neighbors(node_id, edge_type))
@@ -186,7 +346,8 @@ class PropertyGraph:
             nodes.add(u)
             nodes.add(v)
         for clique in self._cliques[edge_type]:
-            nodes.update(clique)
+            if clique is not None:
+                nodes.update(clique)
         return nodes
 
     def directed_edge_count(self, edge_type: EdgeType) -> int:
@@ -200,6 +361,8 @@ class PropertyGraph:
         seen_pairs: Set[Tuple[str, str]] = set(self._edges[edge_type])
         pair_count += len(seen_pairs)
         for clique in self._cliques[edge_type]:
+            if clique is None:
+                continue
             members = sorted(clique)
             for i, u in enumerate(members):
                 for v in members[i + 1 :]:
@@ -214,6 +377,8 @@ class PropertyGraph:
         exactly one similarity cluster / duplicate set)."""
         total = 2 * len(self._edges[edge_type])
         for clique in self._cliques[edge_type]:
+            if clique is None:
+                continue
             n = len(clique)
             total += n * (n - 1)
         return total
@@ -253,11 +418,36 @@ class PropertyGraph:
             for u, v in self._edges[edge_type]:
                 uf.union(u, v)
             for clique in self._cliques[edge_type]:
+                if clique is None:
+                    continue
                 members = iter(sorted(clique))
                 first = next(members)
                 for other in members:
                     uf.union(first, other)
         return sorted(uf.groups(), key=lambda g: (-len(g), min(g)))
+
+    # -- cloning ------------------------------------------------------------
+    def copy(self) -> "PropertyGraph":
+        """Structural deep copy (node attrs copied one level deep).
+
+        Preserves clique slot order including tombstones, so clique
+        indices recorded against the original remain valid against the
+        copy — the delta engine relies on this to fork a base graph.
+        """
+        dup = PropertyGraph()
+        dup._version = self._version
+        dup._nodes = {node: dict(attrs) for node, attrs in self._nodes.items()}
+        dup._edges = {t: set(pairs) for t, pairs in self._edges.items()}
+        dup._adjacency = {
+            t: {node: set(adj) for node, adj in per_type.items()}
+            for t, per_type in self._adjacency.items()
+        }
+        dup._cliques = {t: list(cliques) for t, cliques in self._cliques.items()}
+        dup._clique_membership = {
+            t: {node: list(held) for node, held in per_type.items()}
+            for t, per_type in self._clique_membership.items()
+        }
+        return dup
 
     # -- persistence --------------------------------------------------------
     def to_dict(self) -> dict:
@@ -268,7 +458,7 @@ class PropertyGraph:
                 for t, pairs in self._edges.items()
             },
             "cliques": {
-                t.value: [sorted(c) for c in cliques]
+                t.value: [sorted(c) for c in cliques if c is not None]
                 for t, cliques in self._cliques.items()
             },
         }

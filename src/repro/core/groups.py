@@ -111,6 +111,21 @@ def extract_groups(
 ) -> List[PackageGroup]:
     """Connected components of one edge type as :class:`PackageGroup`s."""
     components = graph.connected_components([kind.edge_type])
+    return groups_from_components(graph, dataset, kind, components)
+
+
+def groups_from_components(
+    graph: PropertyGraph,
+    dataset: MalwareDataset,
+    kind: GroupKind,
+    components: Sequence[Sequence[str]],
+) -> List[PackageGroup]:
+    """:class:`PackageGroup`s from precomputed components.
+
+    The delta engine's incremental component trackers feed their
+    components through here, so incremental and cold group extraction
+    share one materialisation (and one sort order).
+    """
     groups: List[PackageGroup] = []
     for component in components:
         members: List[DatasetEntry] = []

@@ -132,10 +132,12 @@ def kmeans(
         new_inertia = float(
             np.maximum(distances[np.arange(n), new_labels], 0.0).sum()
         )
-        # update
-        new_centroids = np.zeros_like(centroids)
+        # update: per-cluster sums as a one-hot matmul — BLAS makes this
+        # an order of magnitude faster than np.add.at's scattered writes
         counts = np.bincount(new_labels, minlength=k).astype(np.float64)
-        np.add.at(new_centroids, new_labels, X)
+        onehot = np.zeros((n, k), dtype=X.dtype)
+        onehot[np.arange(n), new_labels] = 1.0
+        new_centroids = onehot.T @ X
         empty = counts == 0
         if empty.any():
             worst = np.argsort(

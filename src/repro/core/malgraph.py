@@ -10,9 +10,11 @@ from __future__ import annotations
 import threading
 from dataclasses import dataclass, field
 
-from typing import Dict, List, Optional, TYPE_CHECKING
+from typing import Dict, List, Optional, Sequence, Tuple, TYPE_CHECKING
 
 if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.delta.engine import DeltaReport, DeltaState
+    from repro.core.delta.events import GraphEvent
     from repro.core.query.indexes import GraphIndexes
 
 from repro.collection.records import MalwareDataset
@@ -25,7 +27,12 @@ from repro.core.edges import (
     build_similar_edges,
 )
 from repro.core.graph import EdgeType, GraphStats, PropertyGraph
-from repro.core.groups import GroupKind, PackageGroup, extract_groups
+from repro.core.groups import (
+    GroupKind,
+    PackageGroup,
+    extract_groups,
+    groups_from_components,
+)
 from repro.core.similarity import SimilarityConfig
 
 
@@ -47,6 +54,16 @@ class MalGraph:
     # publish half-built lists
     _group_lock: threading.Lock = field(
         default_factory=threading.Lock, repr=False, compare=False
+    )
+    #: the SimilarityConfig this graph was built with (delta applications
+    #: must cluster with the same configuration to stay byte-identical)
+    similarity_config: Optional[SimilarityConfig] = None
+    #: advanced once per applied delta batch
+    delta_epoch: int = 0
+    #: wall-clock time of the last applied delta batch (None = never)
+    last_delta_at: Optional[float] = None
+    _delta_state: Optional["DeltaState"] = field(
+        default=None, repr=False, compare=False
     )
 
     # ------------------------------------------------------------------
@@ -79,6 +96,32 @@ class MalGraph:
             duplicated_groups=duplicated,
             dependency_edges=dependency,
             coexisting_groups=coexisting,
+            similarity_config=similarity,
+        )
+
+    # ------------------------------------------------------------------
+    def apply_delta(
+        self,
+        events: Sequence["GraphEvent"],
+        store=None,
+        in_place: bool = False,
+        similarity: Optional[SimilarityConfig] = None,
+    ) -> Tuple["MalGraph", "DeltaReport"]:
+        """Surgically update this graph from an ordered event batch.
+
+        Returns ``(updated, report)``. By default the update lands on a
+        cheap fork (entry objects shared, graph structurally copied) and
+        this instance is untouched — safe for cached bases. With
+        ``in_place=True`` the update mutates ``self``.
+
+        The result is byte-identical, after canonical serialisation
+        (:func:`repro.io.malgraphs.canonical_malgraph_json`), to a cold
+        ``MalGraph.build`` over the post-events collection.
+        """
+        from repro.core.delta.engine import apply_delta as _apply_delta
+
+        return _apply_delta(
+            self, events, store=store, in_place=in_place, similarity=similarity
         )
 
     # ------------------------------------------------------------------
@@ -96,7 +139,17 @@ class MalGraph:
         with self._group_lock:
             held = self._group_cache.get(kind)
             if held is None:
-                held = extract_groups(self.graph, self.dataset, kind)
+                if self._delta_state is not None:
+                    # delta-evolved graph: components come from the
+                    # incremental tracker instead of a full graph sweep
+                    held = groups_from_components(
+                        self.graph,
+                        self.dataset,
+                        kind,
+                        self._delta_state.trackers[kind.edge_type].components(),
+                    )
+                else:
+                    held = extract_groups(self.graph, self.dataset, kind)
                 self._group_cache[kind] = held
             return held
 

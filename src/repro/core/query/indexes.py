@@ -22,6 +22,15 @@ Indexes are cached on the graph object behind a lock (the same
 double-checked pattern :meth:`MalGraph.groups` uses) and invalidated by
 the graph's mutation counter, so callers may simply call
 :func:`graph_indexes` on every query.
+
+The delta engine additionally records an :class:`IndexPatch` journal on
+the graph, keyed on the same mutation counter: when a cached snapshot is
+stale but an unbroken ``from_version -> to_version`` patch chain covers
+the gap, :func:`graph_indexes` patches the snapshot incrementally —
+copy-on-write, refreshing only touched nodes — instead of rebuilding
+from scratch. Any version gap the journal cannot bridge (direct graph
+mutation, journal trimmed) falls back to a full rebuild, so a stale
+read is impossible either way.
 """
 
 from __future__ import annotations
@@ -221,6 +230,193 @@ def build_indexes(
 
 
 # ---------------------------------------------------------------------------
+# Incremental patching (fed by the delta engine)
+# ---------------------------------------------------------------------------
+
+from typing import FrozenSet  # noqa: E402  (kept near its sole users)
+
+#: journal length bound; a chain the trimmed journal cannot cover simply
+#: falls back to a full rebuild
+MAX_INDEX_PATCHES = 64
+
+
+@dataclass(frozen=True)
+class IndexPatch:
+    """One delta batch's effect on the query indexes."""
+
+    from_version: int
+    to_version: int
+    removed_nodes: FrozenSet[str]
+    refreshed_nodes: FrozenSet[str]
+    adjacency_touched: Dict[EdgeType, FrozenSet[str]]
+    groups_changed: bool
+
+
+def record_index_patch(graph: PropertyGraph, patch: IndexPatch) -> None:
+    """Append one patch to the graph's journal (no-ops are dropped)."""
+    if patch.to_version == patch.from_version:
+        return
+    journal = getattr(graph, "_index_patch_journal", None)
+    if journal is None:
+        journal = []
+        graph._index_patch_journal = journal  # type: ignore[attr-defined]
+    journal.append(patch)
+    if len(journal) > MAX_INDEX_PATCHES:
+        del journal[: len(journal) - MAX_INDEX_PATCHES]
+
+
+def _patch_chain(
+    graph: PropertyGraph, from_version: int
+) -> Optional[List[IndexPatch]]:
+    """Contiguous patches covering from_version -> graph.version, or None."""
+    journal: List[IndexPatch] = getattr(graph, "_index_patch_journal", None) or []
+    chain: List[IndexPatch] = []
+    want = from_version
+    for patch in journal:
+        if patch.from_version == want:
+            chain.append(patch)
+            want = patch.to_version
+    if chain and want == graph.version:
+        return chain
+    return None
+
+
+def apply_index_patches(
+    held: GraphIndexes,
+    graph: PropertyGraph,
+    patches: Sequence[IndexPatch],
+    malgraph=None,
+) -> GraphIndexes:
+    """A fresh snapshot equal to ``build_indexes(graph, malgraph)``,
+    derived from ``held`` by refreshing only what the patches touched.
+
+    Copy-on-write: untouched attr dicts and neighbour tuples are shared
+    with ``held`` (both snapshots are immutable by convention).
+    """
+    started = time.perf_counter()
+    removed_any: set = set()
+    refreshed_any: set = set()
+    touched: Dict[EdgeType, set] = {t: set() for t in EdgeType}
+    groups_changed = False
+    for patch in patches:
+        removed_any |= patch.removed_nodes
+        refreshed_any |= patch.refreshed_nodes
+        for edge_type, nodes in patch.adjacency_touched.items():
+            touched[edge_type] |= nodes
+        groups_changed = groups_changed or patch.groups_changed
+    # the final graph resolves remove-then-republish across the chain
+    final_removed = {n for n in removed_any if not graph.has_node(n)}
+    final_refresh = {
+        n for n in (refreshed_any | removed_any) if graph.has_node(n)
+    }
+
+    attrs = dict(held.attrs)
+    for node in final_removed:
+        attrs.pop(node, None)
+    entry_of = {}
+    if malgraph is not None:
+        from repro.core.edges import node_id
+
+        entry_of = {
+            node_id(entry.package): entry
+            for entry in malgraph.dataset.entries
+        }
+    for node in final_refresh:
+        fresh: Dict[str, Any] = {"id": node, **graph.node(node)}
+        entry = entry_of.get(node)
+        if entry is not None:
+            fresh["campaign"] = entry.campaign_id
+            fresh["actor"] = entry.actor
+            fresh["family"] = entry.behavior_key
+            fresh["archetype"] = entry.archetype
+            fresh["downloads"] = entry.downloads
+        attrs[node] = fresh
+
+    copied = set(final_refresh)
+
+    def mutable(node: str) -> Dict[str, Any]:
+        if node not in copied:
+            attrs[node] = dict(attrs[node])
+            copied.add(node)
+        return attrs[node]
+
+    any_dir: Dict[EdgeType, Dict[str, Tuple[str, ...]]] = {}
+    for edge_type in EdgeType:
+        per_node = dict(held.any_dir[edge_type])
+        for node in touched[edge_type] | final_removed:
+            if not graph.has_node(node):
+                per_node.pop(node, None)
+                continue
+            found = graph.neighbors(node, edge_type)
+            if found:
+                per_node[node] = tuple(sorted(found))
+            else:
+                per_node.pop(node, None)
+        any_dir[edge_type] = per_node
+    out = dict(any_dir)
+    into = dict(any_dir)
+
+    group_members = held.group_members
+    groups_of = held.groups_of
+    if malgraph is not None:
+        dep_out, dep_in = _directed_dependency(malgraph)
+        out[EdgeType.DEPENDENCY] = dep_out
+        into[EdgeType.DEPENDENCY] = dep_in
+        if groups_changed:
+            from repro.core.edges import node_id
+            from repro.core.groups import GroupKind
+
+            for group_id, members in held.group_members.items():
+                kind_attr = group_id.split("-", 1)[0].lower()
+                for member in members:
+                    if member in attrs:
+                        mutable(member).pop(kind_attr, None)
+            group_members = {}
+            fresh_groups_of: Dict[str, List[str]] = {}
+            for kind in GroupKind:
+                for i, group in enumerate(malgraph.groups(kind)):
+                    group_id = f"{kind.value}-{i:04d}"
+                    members = tuple(
+                        sorted(node_id(m.package) for m in group.members)
+                    )
+                    group_members[group_id] = members
+                    for member in members:
+                        fresh_groups_of.setdefault(member, []).append(group_id)
+                        if member in attrs:
+                            mutable(member)[kind.value.lower()] = group_id
+            groups_of = {
+                node: tuple(ids)
+                for node, ids in sorted(fresh_groups_of.items())
+            }
+
+    by_attr: Dict[str, Dict[Any, List[str]]] = {}
+    for node in sorted(attrs):
+        node_held = attrs[node]
+        for attr in INDEXED_ATTRS:
+            value = node_held.get(attr)
+            if value is None:
+                continue
+            by_attr.setdefault(attr, {}).setdefault(value, []).append(node)
+
+    return GraphIndexes(
+        nodes=tuple(sorted(attrs)),
+        attrs=attrs,
+        out=out,
+        into=into,
+        any_dir=any_dir,
+        by_attr={
+            attr: {value: tuple(nodes) for value, nodes in buckets.items()}
+            for attr, buckets in by_attr.items()
+        },
+        group_members=group_members,
+        groups_of=groups_of,
+        version=graph.version,
+        enriched=held.enriched,
+        build_seconds=time.perf_counter() - started,
+    )
+
+
+# ---------------------------------------------------------------------------
 # Per-graph cache
 # ---------------------------------------------------------------------------
 
@@ -257,6 +453,12 @@ def graph_indexes(graph: PropertyGraph, malgraph=None) -> GraphIndexes:
         held = slot.get(key)
         if held is not None and held.version == graph.version:
             return held
+        if held is not None:
+            chain = _patch_chain(graph, held.version)
+            if chain is not None:
+                built = apply_index_patches(held, graph, chain, malgraph=malgraph)
+                slot[key] = built
+                return built
         built = build_indexes(graph, malgraph=malgraph)
         slot[key] = built
         return built

@@ -119,6 +119,10 @@ class PackageArtifact:
     #: canonicalisation pass runs once instead of once per consumer
     #: (embed_many, add_dataset_nodes, build_duplicated_edges, ...).
     _sha256: Optional[str] = field(default=None, repr=False, compare=False)
+    #: memoised code-file view, same immutability argument as ``_sha256``
+    _code_files: Optional[Dict[str, str]] = field(
+        default=None, repr=False, compare=False
+    )
 
     # -- identity helpers -------------------------------------------------
     @property
@@ -136,7 +140,11 @@ class PackageArtifact:
     # -- content ----------------------------------------------------------
     def code_files(self) -> Dict[str, str]:
         """The source-code files of the package (paths ending in ``.py``)."""
-        return {p: s for p, s in sorted(self.files.items()) if p.endswith(".py")}
+        if self._code_files is None:
+            self._code_files = {
+                p: s for p, s in sorted(self.files.items()) if p.endswith(".py")
+            }
+        return self._code_files
 
     def code_text(self) -> str:
         """All code concatenated in path order (embedding input)."""

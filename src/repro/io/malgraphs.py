@@ -116,6 +116,53 @@ def malgraph_from_dict(raw: dict, dataset: MalwareDataset) -> MalGraph:
     )
 
 
+def canonical_malgraph_dict(malgraph: MalGraph) -> dict:
+    """:func:`malgraph_to_dict` in canonical form.
+
+    A delta-evolved graph holds the same cliques as a cold rebuild but
+    in a different insertion order (surgery replaces cliques at the
+    end); clique order is the *only* legitimate divergence, so the
+    canonical form sorts each edge type's clique list. Everything else —
+    nodes, pairwise edges (already sorted), similarity groups, the
+    facade's group lists — is order-deterministic by construction.
+    """
+    raw = malgraph_to_dict(malgraph)
+    raw["graph"]["cliques"] = {
+        type_name: sorted(cliques)
+        for type_name, cliques in raw["graph"]["cliques"].items()
+    }
+    return raw
+
+
+def canonical_malgraph_json(malgraph: MalGraph) -> str:
+    """Canonical JSON: the delta engine's byte-identity anchor.
+
+    ``apply_delta(base, events)`` and a cold ``MalGraph.build`` over the
+    post-events collection must produce identical strings here.
+    """
+    return json.dumps(canonical_malgraph_dict(malgraph), sort_keys=True)
+
+
+def save_malgraph_bundle(malgraph: MalGraph, directory: PathLike) -> Path:
+    """Dataset + graph in one directory (a delta-evolved graph's dataset
+    has no collection fingerprint of its own, so the pair must travel
+    together)."""
+    from repro.io.datasets import save_dataset
+
+    directory = Path(directory)
+    save_dataset(malgraph.dataset, directory)
+    save_malgraph(malgraph, directory)
+    return directory
+
+
+def load_malgraph_bundle(directory: PathLike) -> MalGraph:
+    """Load a bundle written by :func:`save_malgraph_bundle`."""
+    from repro.io.datasets import load_dataset
+
+    dataset = load_dataset(directory)
+    return load_malgraph(directory, dataset)
+
+
 def save_malgraph(malgraph: MalGraph, directory: PathLike) -> Path:
     """Write ``malgraph.json`` under ``directory`` (dataset not included)."""
     directory = Path(directory)

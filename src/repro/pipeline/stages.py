@@ -23,7 +23,11 @@ from repro.collection.pipeline import CollectionResult
 from repro.collection.records import MalwareDataset
 from repro.core.malgraph import MalGraph
 from repro.core.similarity import SimilarityConfig
-from repro.pipeline.fingerprint import config_payload, fingerprint
+from repro.pipeline.fingerprint import (
+    config_payload,
+    delta_fingerprint,
+    fingerprint,
+)
 from repro.pipeline.report import (
     PipelineReport,
     SOURCE_BUILD,
@@ -39,6 +43,8 @@ from repro.world import World, WorldConfig, build_world, collect
 STAGE_WORLD = "world"
 STAGE_COLLECTION = "collection"
 STAGE_MALGRAPH = "malgraph"
+#: delta-evolved malgraph artifacts (addressed by base fp + batch hash)
+STAGE_DELTA = "malgraph_delta"
 
 #: Resolution order; each stage's direct input is the one before it.
 STAGES = (STAGE_WORLD, STAGE_COLLECTION, STAGE_MALGRAPH)
@@ -90,6 +96,23 @@ class MalGraphCodec:
         return load_malgraph(directory, self.dataset)
 
 
+class MalGraphBundleCodec:
+    """Disk format for a delta-evolved MALGRAPH: dataset + graph in one
+    directory. Unlike :class:`MalGraphCodec`, the dataset travels with
+    the graph — an evolved dataset has no collection fingerprint of its
+    own to re-link against."""
+
+    def save(self, malgraph: MalGraph, directory: Path) -> None:
+        from repro.io.malgraphs import save_malgraph_bundle
+
+        save_malgraph_bundle(malgraph, directory)
+
+    def load(self, directory: Path) -> MalGraph:
+        from repro.io.malgraphs import load_malgraph_bundle
+
+        return load_malgraph_bundle(directory)
+
+
 class PipelineRuntime:
     """Resolve pipeline stages for one configuration through the store."""
 
@@ -120,6 +143,10 @@ class PipelineRuntime:
         #: the caller opts in (it would silently poison every downstream
         #: consumer of that fingerprint otherwise).
         self.allow_degraded = allow_degraded
+        #: head of the delta chain: (fingerprint, malgraph) of the last
+        #: advance(); None until the first advance
+        self._head_fingerprint: Optional[str] = None
+        self._head_malgraph: Optional[MalGraph] = None
 
     # -- fingerprints ------------------------------------------------------
     def _max_retries(self) -> Optional[int]:
@@ -180,6 +207,77 @@ class PipelineRuntime:
         """Resolve the full analysis path (persisting what is cacheable)."""
         self.malgraph()
         return self
+
+    def advance(self, events) -> MalGraph:
+        """Advance the malgraph head by one event batch (delta stage).
+
+        The resulting artifact is addressed by
+        :func:`~repro.pipeline.fingerprint.delta_fingerprint` — the head
+        fingerprint chained with the batch hash — so re-running the same
+        event sequence resolves from cache tier-by-tier exactly like the
+        cold stages. Successive calls chain: each advance's output is
+        the next one's base.
+        """
+        from repro.core.delta.events import event_batch_hash
+
+        events = list(events)
+        base_fp = (
+            self._head_fingerprint
+            if self._head_fingerprint is not None
+            else self.fingerprint(STAGE_MALGRAPH)
+        )
+        fp = delta_fingerprint(base_fp, event_batch_hash(events))
+        started = time.perf_counter()
+        held = self.store.get_memory(STAGE_DELTA, fp)
+        if held is not None:
+            self._set_head(fp, held)
+            self.report.record(
+                STAGE_DELTA, STATUS_HIT, SOURCE_MEMORY,
+                time.perf_counter() - started, fp,
+            )
+            return held
+        codec = MalGraphBundleCodec()
+        if self.store.has_disk(STAGE_DELTA, fp):
+            held = self.store.get_disk(STAGE_DELTA, fp, codec)
+            if held is not None:
+                self.store.put_memory(STAGE_DELTA, fp, held)
+                self._set_head(fp, held)
+                self.report.record(
+                    STAGE_DELTA, STATUS_HIT, SOURCE_DISK,
+                    time.perf_counter() - started, fp,
+                )
+                return held
+        base = (
+            self._head_malgraph
+            if self._head_malgraph is not None
+            else self.malgraph()
+        )
+        started = time.perf_counter()
+        updated, delta_report = base.apply_delta(
+            events, store=self.store, similarity=self.similarity
+        )
+        self.report.record_substage(
+            STAGE_DELTA, "apply_delta", delta_report.seconds,
+            {"summary": delta_report.summary()},
+        )
+        self.store.put_memory(STAGE_DELTA, fp, updated)
+        payload = dict(self._config_payload(STAGE_MALGRAPH))
+        payload["delta"] = {
+            "base": base_fp,
+            "batch_hash": event_batch_hash(events),
+            "events": len(events),
+        }
+        self.store.put_disk(STAGE_DELTA, fp, updated, codec, payload)
+        self.report.record(
+            STAGE_DELTA, STATUS_MISS, SOURCE_BUILD,
+            time.perf_counter() - started, fp,
+        )
+        self._set_head(fp, updated)
+        return updated
+
+    def _set_head(self, fp: str, malgraph: MalGraph) -> None:
+        self._head_fingerprint = fp
+        self._head_malgraph = malgraph
 
     # -- bookkeeping -------------------------------------------------------
     def _record(

@@ -86,6 +86,10 @@ class IntelIndex:
         self._deletions: Dict[str, Set[str]] = {}  # variant -> normalized names
         self._indexed_reports: Set[str] = set()
         self._refresh_groups = 0  # counter for refresh-created group ids
+        #: advanced once per applied refresh/delta batch; 0 = cold build
+        self.epoch = 0
+        #: wall-clock time of the last applied batch (None = never)
+        self.last_delta_at: Optional[float] = None
 
     # -- construction -----------------------------------------------------
     @classmethod
@@ -130,6 +134,60 @@ class IntelIndex:
         if entry.package not in bucket:
             bucket.append(entry.package)
 
+    def unregister_sha(self, sha256: Optional[str], pid) -> None:
+        """Drop one package from a signature bucket (artifact replaced
+        or package removed)."""
+        if sha256 is None:
+            return
+        bucket = self._by_sha.get(sha256)
+        if bucket is not None and pid in bucket:
+            bucket.remove(pid)
+            if not bucket:
+                del self._by_sha[sha256]
+
+    def remove_entry(self, entry: DatasetEntry) -> None:
+        """Unregister one package from every per-entry index.
+
+        ``entry`` must be the entry as last indexed (its SHA256 locates
+        the signature bucket to leave).
+        """
+        pid = entry.package
+        name = pid.name.lower()
+        bucket = self._by_name.get(name)
+        if bucket is not None and pid in bucket:
+            bucket.remove(pid)
+            if not bucket:
+                del self._by_name[name]
+        eco_bucket = self._by_ecosystem.get(pid.ecosystem)
+        if eco_bucket is not None and pid in eco_bucket:
+            eco_bucket.remove(pid)
+            if not eco_bucket:
+                del self._by_ecosystem[pid.ecosystem]
+        self.unregister_sha(entry.sha256(), pid)
+        for group_id in self._groups_of.pop(pid, []):
+            members = self._group_members.get(group_id)
+            if members is not None and pid in members:
+                members.remove(pid)
+        for alias in self._actors_of.pop(pid, []):
+            alias_bucket = self._actor_packages.get(alias.lower())
+            if alias_bucket is not None and pid in alias_bucket:
+                alias_bucket.remove(pid)
+        # the typo-squat neighbourhood tracks *names*; only an orphaned
+        # name leaves it
+        if name not in self._by_name:
+            norm = _normalize(pid.name)
+            held = self._norm_names.get(norm)
+            if held is not None:
+                held.discard(name)
+                if not held:
+                    del self._norm_names[norm]
+                    for variant in _deletion_variants(norm):
+                        variants = self._deletions.get(variant)
+                        if variants is not None:
+                            variants.discard(norm)
+                            if not variants:
+                                del self._deletions[variant]
+
     def register_group(self, group_id: str, kind: GroupKind, members: Sequence) -> None:
         """Register a family/campaign group over member package ids."""
         self._group_kind[group_id] = kind
@@ -140,6 +198,32 @@ class IntelIndex:
             groups = self._groups_of.setdefault(pid, [])
             if group_id not in groups:
                 groups.append(group_id)
+
+    def replace_groups(self, kind: GroupKind, groups: Sequence[Sequence]) -> None:
+        """Swap every group of one kind for a fresh positional set.
+
+        Drops all existing ids of the kind — including refresh-scoped
+        ``<kind>-rNNNN`` ids — and re-registers ``{kind}-{i:04d}`` over
+        ``groups`` (member package-id lists). The delta-routed refresh
+        uses this to mirror the evolved MALGRAPH's group extraction
+        wholesale, which is how SG/DeG memberships stay live instead of
+        waiting for the next cold build.
+        """
+        stale = [
+            group_id
+            for group_id, held in self._group_kind.items()
+            if held is kind
+        ]
+        for group_id in stale:
+            for pid in self._group_members.pop(group_id, ()):
+                held = self._groups_of.get(pid)
+                if held is not None and group_id in held:
+                    held.remove(group_id)
+                    if not held:
+                        del self._groups_of[pid]
+            del self._group_kind[group_id]
+        for i, members in enumerate(groups):
+            self.register_group(f"{kind.value}-{i:04d}", kind, list(members))
 
     def next_refresh_group_id(self, kind: GroupKind) -> str:
         """A fresh ``<kind>-rNNNN`` id for a refresh-discovered group."""
@@ -303,7 +387,7 @@ class IntelIndex:
     def package_count(self) -> int:
         return len(self.dataset)
 
-    def stats(self) -> Dict[str, int]:
+    def stats(self) -> Dict[str, object]:
         """Index-shape counters for the ``/v1/stats`` endpoint."""
         return {
             "packages": len(self.dataset),
@@ -313,4 +397,6 @@ class IntelIndex:
             "groups": len(self._group_members),
             "actors": len(self._actor_packages),
             "reports": len(self._indexed_reports),
+            "epoch": self.epoch,
+            "last_delta_at": self.last_delta_at,
         }

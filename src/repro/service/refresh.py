@@ -1,36 +1,58 @@
-"""Incremental index refresh from a collection-merge diff.
+"""Incremental index refresh, fed by graph events.
 
 The paper's future-work loop keeps collecting; a live service cannot
 rebuild its index (and certainly not the similarity clustering) for
-every re-collection. ``refresh_index`` merges the new run into the
-served dataset with :func:`repro.collection.merge.merge_datasets`, takes
-the :func:`~repro.collection.merge.diff_datasets` delta and applies
-exactly that delta to the live :class:`~repro.service.index.IntelIndex`:
+every re-collection. Both refresh entry points now speak the delta
+engine's event language (:mod:`repro.core.delta.events`):
 
-* added packages become resolvable by name / name+version / ecosystem;
-* newly recovered artifacts register their SHA256, and signature
-  collisions link the package into a duplicated-family group;
-* new reports contribute actor aliases and co-existing campaign groups.
+* :func:`refresh_index` merges a re-collected dataset into the served
+  one with :func:`repro.collection.merge.merge_datasets`, derives the
+  event batch via
+  :func:`~repro.collection.merge.events_from_datasets`, and applies
+  exactly those events to the live
+  :class:`~repro.service.index.IntelIndex`;
+* :func:`refresh_from_events` applies an externally produced batch
+  (e.g. one replayed from an events JSONL) directly — and, when handed
+  the served :class:`~repro.core.malgraph.MalGraph`, first evolves the
+  graph in place with ``apply_delta`` and then mirrors its exact
+  DG/DeG/SG/CG group extraction into the index wholesale, so even
+  similarity and dependency memberships stay live instead of waiting
+  for the next cold build.
 
-Similarity (SG) and dependency (DeG) associations require re-running the
-graph build; refreshed packages simply carry none until then. The
-wrapped service's LRU is invalidated so stale verdicts cannot be served.
+Without a graph, refreshed packages get the cheap approximations only:
+signature collisions link duplicated families, multi-package reports
+become refresh-scoped campaign groups, SG/DeG memberships stay frozen.
 
-When a service is supplied, the whole merge→swap→re-index→invalidate
-sequence runs under the service's request lock, so concurrent HTTP
-readers never observe a half-refreshed index or a verdict cached
-against the outgoing dataset.
+Every applied batch advances ``index.epoch`` and stamps
+``index.last_delta_at`` — surfaced by ``/v1/healthz`` and ``/v1/stats``
+so operators can tell how fresh the served index is. When a service is
+supplied, the whole sequence runs under the service's request lock and
+ends by invalidating its verdict LRU, so concurrent HTTP readers never
+observe a half-refreshed index or a verdict cached against the outgoing
+dataset.
 """
 
 from __future__ import annotations
 
 import contextlib
+import time
 from dataclasses import dataclass
-from typing import Optional, Tuple
+from typing import List, Optional, Sequence, Tuple
 
-from repro.collection.merge import DatasetDiff, diff_datasets, merge_datasets
+from repro.collection.merge import (
+    DatasetDiff,
+    diff_datasets,
+    events_from_datasets,
+    merge_datasets,
+)
 from repro.collection.records import MalwareDataset
+from repro.core.delta.events import (
+    EventKind,
+    GraphEvent,
+    apply_events_to_dataset,
+)
 from repro.core.groups import GroupKind
+from repro.core.malgraph import MalGraph
 from repro.service.cache import EnrichmentService
 from repro.service.index import IntelIndex
 
@@ -40,19 +62,22 @@ class RefreshStats:
     """What one incremental refresh changed."""
 
     packages_added: int = 0
+    packages_removed: int = 0
     signatures_updated: int = 0
     families_linked: int = 0
     campaigns_added: int = 0
     reports_added: int = 0
+    groups_replaced: int = 0
     cache_cleared: bool = False
 
     def summary(self) -> str:
         return (
-            f"+{self.packages_added} packages, "
+            f"+{self.packages_added} packages, -{self.packages_removed}, "
             f"{self.signatures_updated} signatures updated, "
             f"{self.families_linked} family links, "
             f"+{self.campaigns_added} campaigns, "
             f"+{self.reports_added} reports"
+            f"{f', {self.groups_replaced} groups replaced' if self.groups_replaced else ''}"
             f"{', cache cleared' if self.cache_cleared else ''}"
         )
 
@@ -94,54 +119,123 @@ def refresh_index(
     """
     guard = service.lock if service is not None else contextlib.nullcontext()
     with guard:
-        return _apply_refresh(index, new_dataset, service)
+        old = index.dataset
+        merged = merge_datasets(old, new_dataset)
+        diff = diff_datasets(old, merged)
+        events = events_from_datasets(old, merged)
+        stats = _apply_events(
+            index, events, service, malgraph=None, dataset_override=merged
+        )
+        return merged, diff, stats
 
 
-def _apply_refresh(
+def refresh_from_events(
     index: IntelIndex,
-    new_dataset: MalwareDataset,
+    events: Sequence[GraphEvent],
+    service: Optional[EnrichmentService] = None,
+    malgraph: Optional[MalGraph] = None,
+) -> Tuple[MalwareDataset, RefreshStats]:
+    """Apply an event batch straight to the live index.
+
+    With ``malgraph`` (the graph the index was built from), the graph is
+    evolved in place first and its exact group extraction replaces the
+    index's groups wholesale; without it, only the per-event index
+    updates (and their DG/CG approximations) run. Returns the dataset
+    the index now serves and the change counters.
+    """
+    guard = service.lock if service is not None else contextlib.nullcontext()
+    with guard:
+        stats = _apply_events(index, list(events), service, malgraph)
+        return index.dataset, stats
+
+
+def _apply_events(
+    index: IntelIndex,
+    events: List[GraphEvent],
     service: Optional[EnrichmentService],
-) -> Tuple[MalwareDataset, DatasetDiff, RefreshStats]:
+    malgraph: Optional[MalGraph],
+    dataset_override: Optional[MalwareDataset] = None,
+) -> RefreshStats:
     old = index.dataset
-    merged = merge_datasets(old, new_dataset)
-    diff = diff_datasets(old, merged)
-    stats = RefreshStats(reports_added=len(diff.new_reports))
+    stats = RefreshStats()
+
+    if malgraph is not None:
+        evolved, _ = malgraph.apply_delta(events, in_place=True)
+        new_dataset = evolved.dataset
+        index.graph = evolved.graph
+    else:
+        new_dataset = apply_events_to_dataset(old, events)
 
     # The index resolves entries through its dataset reference, so the
-    # swap retargets every already-indexed PackageId at the merged
-    # (possibly claim-richer) entries for free.
-    index.dataset = merged
+    # swap retargets every already-indexed PackageId at the new entries
+    # for free. ``dataset_override`` lets refresh_index serve the merged
+    # (canonically sorted) dataset rather than event-application order —
+    # same entries per key either way.
+    index.dataset = dataset_override if dataset_override is not None else new_dataset
 
-    for pid in diff.added:
-        entry = merged.get(pid)
-        if entry is None:  # pragma: no cover - diff and merge agree
-            continue
-        index.add_entry(entry)
-        stats.packages_added += 1
-        if _link_duplicate_family(index, entry.sha256()):
-            stats.families_linked += 1
+    # Running view of the batch: later events must see what earlier ones
+    # in the same batch did (None marks an in-batch removal).
+    seen = {}
 
-    for pid in diff.newly_available:
-        entry = merged.get(pid)
-        if entry is None:  # pragma: no cover - diff and merge agree
-            continue
-        index.register_sha(entry)
-        stats.signatures_updated += 1
-        if _link_duplicate_family(index, entry.sha256()):
-            stats.families_linked += 1
+    def previous(pid):
+        return seen[pid] if pid in seen else old.get(pid)
 
-    new_report_ids = set(diff.new_reports)
-    for report in merged.reports:
-        if report.report_id not in new_report_ids:
-            continue
-        index.add_report(report)
-        resolvable = [p for p in report.packages if merged.get(p) is not None]
-        if len(set(resolvable)) >= 2:
-            group_id = index.next_refresh_group_id(GroupKind.CG)
-            index.register_group(group_id, GroupKind.CG, sorted(set(resolvable)))
-            stats.campaigns_added += 1
+    for event in events:
+        if event.kind is EventKind.PACKAGE_ADDED:
+            entry = event.entry()
+            index.add_entry(entry)
+            stats.packages_added += 1
+            if _link_duplicate_family(index, entry.sha256()):
+                stats.families_linked += 1
+            seen[entry.package] = entry
+        elif event.kind is EventKind.PACKAGE_DETECTED:
+            entry = event.entry()
+            prev = previous(entry.package)
+            prev_sha = prev.sha256() if prev is not None else None
+            new_sha = entry.sha256()
+            if new_sha != prev_sha:
+                index.unregister_sha(prev_sha, entry.package)
+                if new_sha is not None:
+                    index.register_sha(entry)
+                    stats.signatures_updated += 1
+                    if _link_duplicate_family(index, new_sha):
+                        stats.families_linked += 1
+            seen[entry.package] = entry
+        elif event.kind is EventKind.PACKAGE_REMOVED:
+            pid = event.package_id()
+            prev = previous(pid)
+            if prev is not None:
+                index.remove_entry(prev)
+                stats.packages_removed += 1
+            seen[pid] = None
+        elif event.kind is EventKind.REPORT_INGESTED:
+            report = event.report()
+            index.add_report(report)
+            stats.reports_added += 1
+            resolvable = {
+                p for p in report.packages if index.dataset.get(p) is not None
+            }
+            if len(resolvable) >= 2:
+                group_id = index.next_refresh_group_id(GroupKind.CG)
+                index.register_group(group_id, GroupKind.CG, sorted(resolvable))
+                stats.campaigns_added += 1
+
+    if malgraph is not None:
+        # The evolved graph knows the *exact* group structure — mirror it
+        # wholesale (this supersedes the per-event DG/CG approximations,
+        # including any refresh-scoped ids minted above).
+        for kind in GroupKind:
+            groups = [
+                [m.package for m in group.members]
+                for group in malgraph.groups(kind)
+            ]
+            index.replace_groups(kind, groups)
+            stats.groups_replaced += len(groups)
+
+    index.epoch += 1
+    index.last_delta_at = time.time()
 
     if service is not None:
         service.invalidate()
         stats.cache_cleared = True
-    return merged, diff, stats
+    return stats

@@ -162,9 +162,15 @@ class IntelRequestHandler(BaseHTTPRequestHandler):
             # A degraded backing artifact is worth surfacing but the
             # service itself is healthy — still HTTP 200.
             status = "degraded" if getattr(self.service, "degraded", False) else "ok"
+            index = self.service.index
             self._reply(
                 200,
-                {"status": status, "packages": self.service.index.package_count},
+                {
+                    "status": status,
+                    "packages": index.package_count,
+                    "epoch": index.epoch,
+                    "last_delta_at": index.last_delta_at,
+                },
             )
         elif url.path == "/v1/stats":
             self._reply(200, self.service.stats())

@@ -1,0 +1,230 @@
+"""The delta engine's correctness anchor: byte-identity with cold rebuilds.
+
+``apply_delta(base, events)`` followed by canonical serialisation must
+equal a cold ``MalGraph.build`` over the post-events collection — for
+every event kind, for chained batches, and for randomized
+publish/detect/remove interleavings (including remove-then-republish).
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.delta import GraphEvent, apply_events_to_dataset
+from repro.core.groups import GroupKind
+from repro.core.malgraph import MalGraph
+from repro.errors import DatasetError
+from repro.io.malgraphs import canonical_malgraph_json
+
+from tests.core.helpers import dataset, entry, report
+
+SHARED = "def payload():\n    return 'twin'\n"
+VARIANTS = [
+    SHARED,
+    "def beta():\n    return 2\n",
+    "def gamma(x):\n    return x * 3\n",
+]
+
+
+def _base():
+    """Duplicated pair + dependency + a report: every edge type live."""
+    alpha = entry("alpha", code=SHARED)
+    twin = entry("twin", code=SHARED)
+    beta = entry("beta", code=VARIANTS[1], dependencies=("alpha",))
+    return dataset(
+        [alpha, twin, beta],
+        [report("r-0", [alpha.package, beta.package])],
+    )
+
+
+def _assert_matches_cold(evolved_graph, base_dataset, events):
+    cold = MalGraph.build(apply_events_to_dataset(base_dataset, events))
+    assert canonical_malgraph_json(evolved_graph) == canonical_malgraph_json(cold)
+    for kind in GroupKind:
+        held = [
+            sorted(str(m.package) for m in g.members)
+            for g in evolved_graph.groups(kind)
+        ]
+        expected = [
+            sorted(str(m.package) for m in g.members) for g in cold.groups(kind)
+        ]
+        assert held == expected, kind
+
+
+def test_every_event_kind_matches_cold_rebuild():
+    base_ds = _base()
+    base = MalGraph.build(base_ds)
+    late = entry("late", code=SHARED, dependencies=("beta",))
+    events = [
+        GraphEvent.package_added(late),
+        GraphEvent.package_detected(entry("beta", code=VARIANTS[1],
+                                          dependencies=("alpha",), downloads=9)),
+        GraphEvent.package_removed(entry("twin").package),
+        GraphEvent.report_ingested(report("r-1", [late.package, entry("alpha").package])),
+    ]
+    evolved, delta = base.apply_delta(events)
+    _assert_matches_cold(evolved, base_ds, events)
+    assert delta.events == 4
+    assert delta.epoch == 1 and evolved.delta_epoch == 1
+    assert delta.packages_added == 1
+    assert delta.packages_updated == 1
+    assert delta.packages_removed == 1
+    assert delta.reports_added == 1
+    assert evolved.last_delta_at is not None
+    assert delta.summary()
+
+
+def test_base_is_untouched_unless_in_place():
+    base_ds = _base()
+    base = MalGraph.build(base_ds)
+    before = canonical_malgraph_json(base)
+    events = [GraphEvent.package_removed(entry("twin").package)]
+    evolved, _ = base.apply_delta(events)
+    assert evolved is not base
+    assert canonical_malgraph_json(base) == before
+    assert base.delta_epoch == 0
+
+    same, _ = base.apply_delta(events, in_place=True)
+    assert same is base
+    assert base.delta_epoch == 1
+    assert canonical_malgraph_json(base) == canonical_malgraph_json(evolved)
+
+
+def test_chained_batches_match_cold_rebuild():
+    base_ds = _base()
+    graph = MalGraph.build(base_ds)
+    first = [
+        GraphEvent.package_added(entry("late", code=SHARED)),
+        GraphEvent.package_removed(entry("twin").package),
+    ]
+    graph, _ = graph.apply_delta(first)
+    alpha_pid = entry("alpha").package
+    second = [
+        GraphEvent.package_removed(alpha_pid),
+        GraphEvent.package_added(entry("alpha", code=VARIANTS[2], downloads=3)),
+        GraphEvent.report_ingested(report("r-2", [alpha_pid, entry("late").package])),
+    ]
+    graph, delta = graph.apply_delta(second)
+    assert delta.epoch == 2
+    _assert_matches_cold(graph, base_ds, first + second)
+
+
+def test_invalid_batch_leaves_base_unchanged():
+    base = MalGraph.build(_base())
+    before = canonical_malgraph_json(base)
+    with pytest.raises(DatasetError):
+        base.apply_delta([GraphEvent.package_added(entry("alpha", code=SHARED))])
+    assert canonical_malgraph_json(base) == before
+    assert base.delta_epoch == 0
+
+
+# ---------------------------------------------------------------------------
+# Randomized interleavings
+# ---------------------------------------------------------------------------
+
+_NAMES = [f"pkg{i}" for i in range(5)]
+
+_op = st.one_of(
+    st.tuples(st.just("add"), st.integers(0, 4), st.integers(0, 2),
+              st.integers(0, 1)),
+    st.tuples(st.just("detect"), st.integers(0, 4), st.integers(1, 99)),
+    st.tuples(st.just("remove"), st.integers(0, 4)),
+    st.tuples(st.just("report"), st.integers(0, 4), st.integers(0, 4)),
+)
+
+
+def _resolve(ops, base_ds, first_report_id=100):
+    """Turn abstract ops into a valid event batch against ``base_ds``."""
+    live = {e.package.name: e for e in base_ds.entries}
+    next_report = first_report_id
+    events = []
+    for op in ops:
+        if op[0] == "add":
+            _, idx, code_idx, dep = op
+            name = _NAMES[idx]
+            if name in live:
+                continue
+            deps = ()
+            if dep and live:
+                deps = (sorted(live)[0],)
+            held = entry(name, code=VARIANTS[code_idx], dependencies=deps)
+            live[name] = held
+            events.append(GraphEvent.package_added(held))
+        elif op[0] == "detect":
+            _, idx, downloads = op
+            name = _NAMES[idx]
+            if name not in live:
+                continue
+            prev = live[name]
+            held = entry(
+                name,
+                code=(prev.artifact.files[sorted(prev.artifact.files)[0]]
+                      if prev.artifact else None),
+                dependencies=(
+                    prev.artifact.metadata.dependencies if prev.artifact else ()
+                ),
+                downloads=downloads,
+            )
+            live[name] = held
+            events.append(GraphEvent.package_detected(held))
+        elif op[0] == "remove":
+            _, idx = op
+            name = _NAMES[idx]
+            if name not in live:
+                continue
+            events.append(GraphEvent.package_removed(live.pop(name).package))
+        else:
+            _, a, b = op
+            names = sorted(live)
+            if not names:
+                continue
+            pids = sorted({live[names[a % len(names)]].package,
+                           live[names[b % len(names)]].package})
+            events.append(
+                GraphEvent.report_ingested(report(f"r-{next_report}", list(pids)))
+            )
+            next_report += 1
+    return events
+
+
+@settings(max_examples=15, deadline=None)
+@given(ops=st.lists(_op, min_size=1, max_size=8))
+def test_random_event_sequences_match_cold_rebuild(ops):
+    base_ds = dataset(
+        [
+            entry("pkg0", code=SHARED),
+            entry("pkg1", code=SHARED),
+            entry("pkg2", code=VARIANTS[1], dependencies=("pkg0",)),
+        ],
+        [report("r-0", [entry("pkg0").package, entry("pkg2").package])],
+    )
+    events = _resolve(ops, base_ds)
+    if not events:
+        return
+    base = MalGraph.build(base_ds)
+    evolved, _ = base.apply_delta(events)
+    _assert_matches_cold(evolved, base_ds, events)
+
+
+@settings(max_examples=8, deadline=None)
+@given(
+    ops_a=st.lists(_op, min_size=1, max_size=5),
+    ops_b=st.lists(_op, min_size=1, max_size=5),
+)
+def test_random_chained_batches_match_cold_rebuild(ops_a, ops_b):
+    base_ds = dataset(
+        [entry("pkg0", code=SHARED), entry("pkg1", code=VARIANTS[2])],
+        [],
+    )
+    first = _resolve(ops_a, base_ds)
+    if not first:
+        return
+    graph = MalGraph.build(base_ds)
+    graph, _ = graph.apply_delta(first)
+    mid = apply_events_to_dataset(base_ds, first)
+    second = _resolve(ops_b, mid, first_report_id=200)
+    if second:
+        graph, _ = graph.apply_delta(second)
+    _assert_matches_cold(graph, base_ds, first + second)

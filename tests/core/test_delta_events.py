@@ -1,0 +1,167 @@
+"""Graph events: payloads, JSONL, batch hashing, dataset application."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.collection.merge import events_from_datasets, merge_datasets
+from repro.core.delta.events import (
+    EventKind,
+    GraphEvent,
+    apply_events_to_dataset,
+    event_batch_hash,
+    events_from_jsonl,
+    events_to_jsonl,
+)
+from repro.errors import DatasetError
+from repro.io.datasets import entry_to_dict
+
+from tests.core.helpers import dataset, entry, report
+
+
+def _base():
+    return dataset(
+        [entry("alpha"), entry("beta", code="def b():\n    return 2\n")],
+        [report("r-0", [entry("alpha").package])],
+    )
+
+
+# ---------------------------------------------------------------------------
+# Event payloads and serialisation
+# ---------------------------------------------------------------------------
+
+def test_event_payload_roundtrips_entries_and_reports():
+    held = entry("alpha", downloads=42, dependencies=("beta",))
+    added = GraphEvent.package_added(held)
+    assert added.kind is EventKind.PACKAGE_ADDED
+    assert entry_to_dict(added.entry()) == entry_to_dict(held)
+
+    covering = report("r-1", [held.package])
+    ingested = GraphEvent.report_ingested(covering)
+    assert ingested.report().report_id == "r-1"
+    assert ingested.report().packages == [held.package]
+
+    removed = GraphEvent.package_removed(held.package)
+    assert removed.package_id() == held.package
+
+
+def test_events_jsonl_roundtrip(tmp_path):
+    held = entry("alpha")
+    events = [
+        GraphEvent.package_added(held),
+        GraphEvent.package_detected(held),
+        GraphEvent.package_removed(held.package),
+        GraphEvent.report_ingested(report("r-1", [held.package])),
+    ]
+    path = events_to_jsonl(events, tmp_path / "events.jsonl")
+    loaded = events_from_jsonl(path)
+    assert loaded == events
+    assert event_batch_hash(loaded) == event_batch_hash(events)
+
+
+def test_batch_hash_is_order_sensitive():
+    a = GraphEvent.package_added(entry("alpha"))
+    b = GraphEvent.package_added(entry("beta", code="x = 1\n"))
+    assert event_batch_hash([a, b]) != event_batch_hash([b, a])
+    assert event_batch_hash([a]) != event_batch_hash([a, a])
+
+
+# ---------------------------------------------------------------------------
+# Dataset application semantics
+# ---------------------------------------------------------------------------
+
+def test_apply_events_add_detect_remove_report():
+    base = _base()
+    fresh = entry("gamma", code="def g():\n    return 3\n")
+    richer = entry("alpha", downloads=99)
+    events = [
+        GraphEvent.package_added(fresh),
+        GraphEvent.package_detected(richer),
+        GraphEvent.package_removed(base.entries[1].package),
+        GraphEvent.report_ingested(report("r-9", [fresh.package])),
+    ]
+    evolved = apply_events_to_dataset(base, events)
+    # base untouched
+    assert len(base) == 2 and base.get(richer.package).downloads == 0
+    assert evolved.get(fresh.package) is not None
+    assert evolved.get(richer.package).downloads == 99
+    assert evolved.get(base.entries[1].package) is None
+    assert {r.report_id for r in evolved.reports} == {"r-0", "r-9"}
+
+
+def test_apply_events_updates_in_place_appends_additions():
+    base = _base()
+    events = [
+        GraphEvent.package_detected(entry("beta", code="def b():\n    return 2\n", downloads=7)),
+        GraphEvent.package_added(entry("gamma", code="x = 0\n")),
+    ]
+    evolved = apply_events_to_dataset(base, events)
+    names = [e.package.name for e in evolved.entries]
+    assert names == ["alpha", "beta", "gamma"]  # detect in place, add appended
+
+
+def test_remove_then_republish_lands_at_the_end():
+    base = _base()
+    held = base.entries[0]
+    events = [
+        GraphEvent.package_removed(held.package),
+        GraphEvent.package_added(entry("alpha", downloads=5)),
+    ]
+    evolved = apply_events_to_dataset(base, events)
+    names = [e.package.name for e in evolved.entries]
+    assert names == ["beta", "alpha"]
+    assert evolved.get(held.package).downloads == 5
+
+
+@pytest.mark.parametrize(
+    "events",
+    [
+        [GraphEvent.package_added(entry("alpha"))],  # key already present
+        [GraphEvent.package_detected(entry("ghost", code="x = 1\n"))],
+        [GraphEvent.package_removed(entry("ghost").package)],
+        [GraphEvent.report_ingested(report("r-0", []))],  # duplicate id
+    ],
+)
+def test_apply_events_is_strict(events):
+    with pytest.raises(DatasetError):
+        apply_events_to_dataset(_base(), events)
+
+
+# ---------------------------------------------------------------------------
+# Diffing two collection runs into an event batch
+# ---------------------------------------------------------------------------
+
+def test_events_from_datasets_reaches_the_new_contents():
+    old = _base()
+    merged = merge_datasets(
+        old,
+        dataset(
+            [entry("gamma", code="def g():\n    return 3\n")],
+            [report("r-7", [entry("gamma").package])],
+        ),
+    )
+    events = events_from_datasets(old, merged)
+    evolved = apply_events_to_dataset(old, events)
+    assert {e.package for e in evolved.entries} == {e.package for e in merged.entries}
+    for e in merged.entries:
+        assert entry_to_dict(evolved.get(e.package)) == entry_to_dict(e)
+    assert {r.report_id for r in evolved.reports} == {r.report_id for r in merged.reports}
+
+
+def test_events_from_datasets_empty_when_nothing_changed():
+    base = _base()
+    assert events_from_datasets(base, base) == []
+    # a re-merge of the same data changes nothing either
+    assert events_from_datasets(base, merge_datasets(base, base)) == []
+
+
+def test_events_from_datasets_orders_removals_first():
+    old = _base()
+    new = dataset([entry("gamma", code="x = 9\n")], list(old.reports))
+    events = events_from_datasets(old, new)
+    kinds = [e.kind for e in events]
+    assert kinds == [
+        EventKind.PACKAGE_REMOVED,
+        EventKind.PACKAGE_REMOVED,
+        EventKind.PACKAGE_ADDED,
+    ]

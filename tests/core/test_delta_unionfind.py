@@ -1,0 +1,155 @@
+"""EpochUnionFind: incremental components with batch-rolled removals."""
+
+from __future__ import annotations
+
+import random
+
+from repro.core.delta.unionfind import EpochUnionFind
+
+
+def _neighbors_of(edges):
+    adjacency = {}
+    for u, v in edges:
+        adjacency.setdefault(u, set()).add(v)
+        adjacency.setdefault(v, set()).add(u)
+    return lambda node: adjacency.get(node, ())
+
+
+def _incident_of(edges):
+    """apply_batch's incident-groups callback over a pairwise edge list
+    (the shape :meth:`PropertyGraph.incident_groups` yields)."""
+    neighbors = _neighbors_of(edges)
+
+    def incident(node):
+        held = neighbors(node)
+        return [(("p", node), held)] if held else []
+
+    return incident
+
+
+def _components_of(edges):
+    """Reference: plain BFS components (size >= 2) of an edge list."""
+    neighbors = _neighbors_of(edges)
+    nodes = {n for e in edges for n in e}
+    seen, components = set(), []
+    for start in nodes:
+        if start in seen:
+            continue
+        component, frontier = {start}, [start]
+        seen.add(start)
+        while frontier:
+            node = frontier.pop()
+            for other in neighbors(node):
+                if other not in seen:
+                    seen.add(other)
+                    component.add(other)
+                    frontier.append(other)
+        if len(component) >= 2:
+            components.append(component)
+    return sorted(components, key=lambda g: (-len(g), min(g)))
+
+
+def test_seed_drops_singletons_and_sorts_like_connected_components():
+    uf = EpochUnionFind()
+    uf.seed([["a", "b"], ["lonely"], ["c", "d", "e"]])
+    assert uf.components() == [{"c", "d", "e"}, {"a", "b"}]
+    assert uf.component_of("lonely") is None
+    assert uf.component_count == 2
+
+
+def test_union_merges_and_registers():
+    uf = EpochUnionFind()
+    uf.union("a", "b")
+    uf.union("c", "d")
+    uf.union("a", "d")
+    assert uf.components() == [{"a", "b", "c", "d"}]
+    uf.union("a", "b")  # already joined: no-op
+    assert uf.component_count == 1
+
+
+def test_apply_batch_splits_a_component():
+    # a-b-c chain; removing the b-c edge splits it
+    uf = EpochUnionFind()
+    uf.seed([["a", "b", "c"]])
+    final_edges = [("a", "b")]
+    uf.apply_batch({"b", "c"}, set(), [], _incident_of(final_edges))
+    assert uf.components() == [{"a", "b"}]
+    assert uf.component_of("c") is None
+    assert uf.epoch == 1
+
+
+def test_apply_batch_removed_nodes_leave_entirely():
+    uf = EpochUnionFind()
+    uf.seed([["a", "b", "c"]])
+    final_edges = [("a", "b")]
+    uf.apply_batch({"c"}, {"c"}, [], _incident_of(final_edges))
+    assert uf.components() == [{"a", "b"}]
+    assert uf.component_of("c") is None
+
+
+def test_apply_batch_additions_layer_after_recompute():
+    uf = EpochUnionFind()
+    uf.seed([["a", "b"], ["c", "d"]])
+    # the same batch removes a-b and bridges b-c
+    final_edges = [("b", "c"), ("c", "d")]
+    uf.apply_batch({"a", "b"}, set(), [["b", "c"]], _incident_of(final_edges))
+    assert uf.components() == [{"b", "c", "d"}]
+    assert uf.component_of("a") is None
+
+
+def test_fork_is_independent():
+    uf = EpochUnionFind()
+    uf.seed([["a", "b"]])
+    dup = uf.fork()
+    dup.union("a", "c")
+    assert uf.component_of("c") is None
+    assert dup.component_of("c") == {"a", "b", "c"}
+    assert dup.epoch == uf.epoch
+
+
+def test_randomized_batches_match_reference_components():
+    rng = random.Random(11)
+    nodes = [f"n{i}" for i in range(14)]
+    edges = set()
+    for _ in range(10):
+        edges.add(tuple(sorted(rng.sample(nodes, 2))))
+    uf = EpochUnionFind()
+    uf.seed(_components_of(sorted(edges)))
+    for _ in range(30):
+        removed_edges = {e for e in edges if rng.random() < 0.3}
+        added_edges = set()
+        while len(added_edges) < 3:
+            candidate = tuple(sorted(rng.sample(nodes, 2)))
+            if candidate not in edges:
+                added_edges.add(candidate)
+        edges = (edges - removed_edges) | added_edges
+        touchpoints = {n for e in removed_edges for n in e}
+        uf.apply_batch(
+            touchpoints, set(), sorted(added_edges), _incident_of(sorted(edges))
+        )
+        assert uf.components() == _components_of(sorted(edges))
+
+
+def test_apply_batch_expands_each_group_once():
+    """The scoped sweep is group-aware: a shared clique is scanned once,
+    not once per member (what keeps giant cliques O(members))."""
+
+    class CountingClique:
+        def __init__(self, members):
+            self.members = members
+            self.scans = 0
+
+        def __iter__(self):
+            self.scans += 1
+            return iter(self.members)
+
+    clique = CountingClique({"a", "b", "c", "d"})
+
+    def incident(node):
+        return [(("c", 0), clique)] if node in clique.members else []
+
+    uf = EpochUnionFind()
+    uf.seed([["a", "b", "c", "d", "e"]])
+    uf.apply_batch({"e"}, {"e"}, [], incident)
+    assert uf.components() == [{"a", "b", "c", "d"}]
+    assert clique.scans == 1

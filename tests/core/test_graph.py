@@ -271,3 +271,67 @@ def test_clique_counts_match_pairwise_equivalent(cliques):
     assert compact.connected_components([EdgeType.SIMILAR]) == (
         expanded.connected_components([EdgeType.SIMILAR])
     )
+
+
+# ---------------------------------------------------------------------------
+# Mutation-counter coverage (the query-index cache keys on graph.version)
+# ---------------------------------------------------------------------------
+
+def test_every_mutator_bumps_the_version():
+    """Audit: each public mutator must advance ``version`` exactly when it
+    changes structure, so cached indexes can never serve stale reads."""
+    g = PropertyGraph()
+
+    def bumps(action):
+        before = g.version
+        result = action()
+        assert g.version > before, action
+        return result
+
+    bumps(lambda: g.add_node("a"))
+    bumps(lambda: g.add_node("b"))
+    bumps(lambda: g.add_node("c"))
+    bumps(lambda: g.add_edge("a", "b", EdgeType.DEPENDENCY))
+    index = bumps(lambda: g.add_clique(["a", "b", "c"], EdgeType.SIMILAR))
+    bumps(lambda: g.remove_clique_at(EdgeType.SIMILAR, index))
+    bumps(lambda: g.remove_edge("a", "b", EdgeType.DEPENDENCY))
+    bumps(lambda: g.remove_node("c"))
+    bumps(g.touch)
+
+    # idempotent re-adds still count as mutations only when they change
+    # something; reads never do
+    before = g.version
+    g.neighbors("a", EdgeType.SIMILAR)
+    g.has_edge("a", "b", EdgeType.DEPENDENCY)
+    g.connected_components()
+    g.stats(EdgeType.SIMILAR)
+    assert g.version == before
+
+
+def test_clique_indices_are_stable_across_removals():
+    g = PropertyGraph()
+    for n in ("a", "b", "c"):
+        g.add_node(n)
+    first = g.add_clique(["a", "b"], EdgeType.SIMILAR)
+    second = g.add_clique(["b", "c"], EdgeType.SIMILAR)
+    g.remove_clique_at(EdgeType.SIMILAR, first)
+    # the surviving clique keeps its index; the freed slot is not reused
+    third = g.add_clique(["a", "c"], EdgeType.SIMILAR)
+    assert g.clique_at(EdgeType.SIMILAR, second) == frozenset({"b", "c"})
+    assert third not in (first, second)
+    assert g.add_clique(["a"], EdgeType.SIMILAR) is None  # degenerate
+
+
+def test_clique_accessors_expose_tombstones():
+    g = PropertyGraph()
+    for n in ("a", "b", "c", "d"):
+        g.add_node(n)
+    first = g.add_clique(["a", "b"], EdgeType.COEXISTING)
+    second = g.add_clique(["c", "d"], EdgeType.COEXISTING)
+    g.remove_clique_at(EdgeType.COEXISTING, first)
+    assert g.clique_at(EdgeType.COEXISTING, first) is None
+    assert g.clique_at(EdgeType.COEXISTING, second) == frozenset({"c", "d"})
+    assert g.clique_at(EdgeType.COEXISTING, 99) is None
+    assert g.live_cliques(EdgeType.COEXISTING) == [
+        (second, frozenset({"c", "d"}))
+    ]

@@ -182,3 +182,117 @@ def test_concurrent_first_build_happens_once(graph, monkeypatch):
         t.join()
     assert len(calls) == 1
     assert all(r is results[0] for r in results)
+
+
+# ---------------------------------------------------------------------------
+# Delta patching: apply_delta journals patches instead of forcing rebuilds
+# ---------------------------------------------------------------------------
+
+def _assert_same_indexes(held, fresh):
+    assert held.nodes == fresh.nodes
+    assert held.attrs == fresh.attrs
+    assert held.out == fresh.out
+    assert held.into == fresh.into
+    assert held.any_dir == fresh.any_dir
+    assert held.by_attr == fresh.by_attr
+    assert held.group_members == fresh.group_members
+    assert held.groups_of == fresh.groups_of
+    assert held.version == fresh.version
+    assert held.enriched == fresh.enriched
+
+
+def _delta_world():
+    from repro.core.malgraph import MalGraph as _MalGraph
+
+    from tests.core.helpers import dataset, entry, report
+
+    shared = "def payload():\n    return 'twin'\n"
+    alpha = entry("alpha", code=shared)
+    twin = entry("twin", code=shared)
+    beta = entry("beta", code="def b():\n    return 2\n", dependencies=("alpha",))
+    ds = dataset([alpha, twin, beta], [report("r-0", [alpha.package, beta.package])])
+    return _MalGraph.build(ds), alpha, twin, beta
+
+
+def test_apply_delta_patches_cached_indexes_without_rebuild(monkeypatch):
+    from repro.core.delta import GraphEvent
+    from repro.core.query import indexes as indexes_module
+
+    from tests.core.helpers import entry
+
+    malgraph, alpha, twin, beta = _delta_world()
+    shared = "def payload():\n    return 'twin'\n"
+    plain_before = graph_indexes(malgraph.graph)
+    enriched_before = malgraph.query_indexes()
+
+    events = [
+        GraphEvent.package_added(entry("late", code=shared, downloads=4)),
+        GraphEvent.package_removed(twin.package),
+    ]
+    malgraph.apply_delta(events, in_place=True)
+
+    # the refresh must go through the patch chain, not a full rebuild
+    def failing_build(*args, **kwargs):
+        raise AssertionError("patch chain should have avoided build_indexes")
+
+    monkeypatch.setattr(indexes_module, "build_indexes", failing_build)
+    plain_after = graph_indexes(malgraph.graph)
+    enriched_after = malgraph.query_indexes()
+    monkeypatch.undo()
+
+    assert plain_after is not plain_before
+    assert enriched_after is not enriched_before
+    _assert_same_indexes(plain_after, build_indexes(malgraph.graph))
+    _assert_same_indexes(
+        enriched_after, build_indexes(malgraph.graph, malgraph)
+    )
+
+
+def test_stale_index_reads_after_apply_delta_are_impossible():
+    """Regression: every surgical path must leave the cached indexes
+    either patched or invalidated — a read can never see pre-delta data."""
+    from repro.core.delta import GraphEvent
+
+    from tests.core.helpers import entry
+
+    malgraph, alpha, twin, beta = _delta_world()
+    indexes = malgraph.query_indexes()
+    twin_node = node_id(twin.package)
+    assert twin_node in indexes.nodes
+
+    events = [
+        GraphEvent.package_removed(twin.package),
+        GraphEvent.package_detected(
+            entry("beta", code="def b():\n    return 2\n",
+                  dependencies=("alpha",), downloads=77)
+        ),
+    ]
+    malgraph.apply_delta(events, in_place=True)
+
+    refreshed = malgraph.query_indexes()
+    assert refreshed is not indexes
+    assert twin_node not in refreshed.nodes
+    assert refreshed.node_attrs(node_id(beta.package))["downloads"] == 77
+    # a detect-only follow-up (no structural change) must still invalidate
+    events = [
+        GraphEvent.package_detected(
+            entry("beta", code="def b():\n    return 2\n",
+                  dependencies=("alpha",), downloads=78)
+        )
+    ]
+    malgraph.apply_delta(events, in_place=True)
+    again = malgraph.query_indexes()
+    assert again is not refreshed
+    assert again.node_attrs(node_id(beta.package))["downloads"] == 78
+
+
+def test_direct_mutation_falls_back_to_full_rebuild():
+    """A mutation outside the delta engine breaks the patch chain; the
+    cache must rebuild rather than mis-apply patches."""
+    malgraph, alpha, twin, beta = _delta_world()
+    before = graph_indexes(malgraph.graph)
+    malgraph.graph.add_node("rogue", name="rogue-pkg")
+    after = graph_indexes(malgraph.graph)
+    assert after is not before
+    assert "rogue" in after.nodes
+    _assert_same_indexes(after, build_indexes(malgraph.graph))

@@ -37,6 +37,8 @@ def test_healthz_flips_to_degraded_but_stays_200(degraded_live):
     assert body == {
         "status": "degraded",
         "packages": service.index.package_count,
+        "epoch": service.index.epoch,
+        "last_delta_at": service.index.last_delta_at,
     }
 
 

@@ -13,8 +13,9 @@ from repro.service.enrich import (
     EnrichmentEngine,
     Indicator,
 )
+from repro.core.delta.events import GraphEvent
 from repro.service.index import IntelIndex
-from repro.service.refresh import refresh_index
+from repro.service.refresh import refresh_from_events, refresh_index
 
 from tests.core.helpers import dataset, entry, report
 
@@ -96,6 +97,62 @@ def test_refresh_merges_claims_for_known_packages():
     assert diff.new_sources == {held.package: {"phylum"}}
     keys = {row["key"] for row in engine.lookup(name="known-pkg").sources}
     assert keys == {"snyk", "phylum"}
+
+
+def test_refresh_bumps_epoch_and_timestamp():
+    engine = _engine(dataset([entry("old-pkg")]))
+    assert engine.index.epoch == 0
+    assert engine.index.last_delta_at is None
+    fresh = entry("new-pkg", code="def other():\n    return 1\n")
+    refresh_index(engine.index, dataset([fresh]))
+    assert engine.index.epoch == 1
+    assert engine.index.last_delta_at is not None
+    stats = engine.index.stats()
+    assert stats["epoch"] == 1
+    assert stats["last_delta_at"] == engine.index.last_delta_at
+    refresh_index(engine.index, dataset([entry("third-pkg", code="x = 3\n")]))
+    assert engine.index.epoch == 2
+
+
+def test_refresh_from_events_without_graph():
+    held = entry("old-pkg")
+    engine = _engine(dataset([held]))
+    fresh = entry("new-pkg", code="def other():\n    return 1\n")
+    events = [
+        GraphEvent.package_added(fresh),
+        GraphEvent.package_removed(held.package),
+    ]
+    served, stats = refresh_from_events(engine.index, events)
+    assert stats.packages_added == 1
+    assert stats.packages_removed == 1
+    assert engine.index.dataset is served
+    assert served.get(fresh.package) is not None and served.get(held.package) is None
+    assert engine.lookup(name="new-pkg").verdict == VERDICT_MALICIOUS
+    assert engine.lookup(name="old-pkg").verdict != VERDICT_MALICIOUS
+    assert engine.lookup(sha256=held.sha256()).verdict != VERDICT_MALICIOUS
+    assert engine.index.epoch == 1
+
+
+def test_refresh_from_events_with_malgraph_mirrors_exact_groups():
+    shared = "def payload():\n    return 'dup'\n"
+    ds = dataset([entry("seed-pkg", code=shared)])
+    malgraph = MalGraph.build(ds)
+    service = build_service(malgraph)
+    twin = entry("late-twin", code=shared)
+    events = [GraphEvent.package_added(twin)]
+    served, stats = refresh_from_events(
+        service.index, events, service=service, malgraph=malgraph
+    )
+    assert stats.cache_cleared
+    assert stats.groups_replaced > 0
+    assert served is malgraph.dataset  # index serves the evolved graph's dataset
+    # group ids come from the exact extraction, not refresh-scoped ids
+    families = service.index.families_of(twin.package)
+    assert families and not any("-r" in g for g in families)
+    members = {e.package.name for e in service.index.lookup_group(families[0])}
+    assert members == {"seed-pkg", "late-twin"}
+    assert service.index.epoch == 1
+    assert service.enrich(Indicator(name="late-twin")).verdict == VERDICT_MALICIOUS
 
 
 # -- against the simulated world ------------------------------------------

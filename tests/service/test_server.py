@@ -45,7 +45,13 @@ def test_healthz(live):
     base, service = live
     status, body = _get(f"{base}/v1/healthz")
     assert status == 200
-    assert body == {"status": "ok", "packages": service.index.package_count}
+    assert body == {
+        "status": "ok",
+        "packages": service.index.package_count,
+        "epoch": service.index.epoch,
+        "last_delta_at": service.index.last_delta_at,
+    }
+    assert body["epoch"] == 0 and body["last_delta_at"] is None
 
 
 def test_enrich_roundtrip(live, small_dataset):

@@ -364,3 +364,89 @@ def test_version_flag(capsys):
         main(["--version"])
     assert stop.value.code == 0
     assert "repro 1" in capsys.readouterr().out
+
+
+def test_update_command_evolves_a_bundle(tmp_path, capsys):
+    from repro.core.delta.events import GraphEvent, events_to_jsonl
+    from repro.core.malgraph import MalGraph
+    from repro.io.malgraphs import load_malgraph_bundle, save_malgraph_bundle
+
+    from tests.core.helpers import dataset, entry, report
+
+    shared = "def payload():\n    return 'twin'\n"
+    ds = dataset([entry("seed-a", code=shared)])
+    bundle = tmp_path / "bundle"
+    save_malgraph_bundle(MalGraph.build(ds), bundle)
+    twin = entry("late-twin", code=shared)
+    events_path = events_to_jsonl(
+        [
+            GraphEvent.package_added(twin),
+            GraphEvent.report_ingested(
+                report("r-x", [twin.package, ds.entries[0].package])
+            ),
+        ],
+        tmp_path / "events.jsonl",
+    )
+    assert main(["update", "--graph", str(bundle), str(events_path)]) == 0
+    out = capsys.readouterr().out
+    assert "epoch 1" in out and "2 events" in out
+    evolved = load_malgraph_bundle(bundle)  # updated in place
+    assert evolved.dataset.get(twin.package) is not None
+    assert evolved.graph.has_node(f"pypi:{twin.package.name}@1.0")
+
+
+def test_update_command_writes_to_out_dir(tmp_path, capsys):
+    from repro.core.delta.events import GraphEvent, events_to_jsonl
+    from repro.core.malgraph import MalGraph
+    from repro.io.malgraphs import (
+        canonical_malgraph_json,
+        load_malgraph_bundle,
+        save_malgraph_bundle,
+    )
+
+    from tests.core.helpers import dataset, entry
+
+    ds = dataset([entry("seed-a")])
+    bundle = tmp_path / "bundle"
+    save_malgraph_bundle(MalGraph.build(ds), bundle)
+    before = canonical_malgraph_json(load_malgraph_bundle(bundle))
+    events_path = events_to_jsonl(
+        [GraphEvent.package_added(entry("other", code="x = 1\n"))],
+        tmp_path / "events.jsonl",
+    )
+    out_dir = tmp_path / "evolved"
+    assert main(
+        ["update", "--graph", str(bundle), str(events_path), "--out", str(out_dir)]
+    ) == 0
+    # source bundle untouched; target holds the evolved graph
+    assert canonical_malgraph_json(load_malgraph_bundle(bundle)) == before
+    evolved = load_malgraph_bundle(out_dir)
+    assert evolved.dataset.get(entry("other").package) is not None
+
+
+def test_update_command_error_paths(tmp_path, capsys):
+    from repro.core.delta.events import GraphEvent, events_to_jsonl
+    from repro.core.malgraph import MalGraph
+    from repro.io.malgraphs import save_malgraph_bundle
+
+    from tests.core.helpers import dataset, entry
+
+    events_path = events_to_jsonl(
+        [GraphEvent.package_added(entry("other", code="x = 1\n"))],
+        tmp_path / "events.jsonl",
+    )
+    # missing bundle directory
+    assert main(["update", "--graph", str(tmp_path / "nope"), str(events_path)]) == 2
+    # empty events file
+    bundle = tmp_path / "bundle"
+    save_malgraph_bundle(MalGraph.build(dataset([entry("seed-a")])), bundle)
+    empty = tmp_path / "empty.jsonl"
+    empty.write_text("")
+    assert main(["update", "--graph", str(bundle), str(empty)]) == 2
+    # invalid batch: adding a package that already exists
+    bad = events_to_jsonl(
+        [GraphEvent.package_added(entry("seed-a"))], tmp_path / "bad.jsonl"
+    )
+    assert main(["update", "--graph", str(bundle), str(bad)]) == 2
+    err = capsys.readouterr().err
+    assert "update error" in err
