@@ -34,7 +34,7 @@ JSON over six endpoints:
 | Endpoint | Method | Payload |
 |---|---|---|
 | `/v1/healthz` | GET | `{"status": "ok" or "degraded", "packages": N}` |
-| `/v1/stats` | GET | `{"cache": {...}, "index": {...}, "collection": {"degraded": bool}}` |
+| `/v1/stats` | GET | `{"cache": {...}, "index": {...}, "generation": N, "collection": {"degraded": bool}}` |
 | `/v1/metrics` | GET | see below |
 | `/v1/enrich?name=&version=&sha256=&ecosystem=` | GET | one `EnrichmentResult` |
 | `/v1/enrich/batch` | POST | `{"count": N, "results": [...]}` |
@@ -73,6 +73,56 @@ could be sent.
 `/v1/healthz` reports `"degraded"` (still HTTP `200` — the service
 itself is healthy) when the backing collection artifact was built
 under a fault plan and lost data; see `repro.reliability`.
+
+`/v1/stats` additionally carries `"generation"` — the monotonically
+increasing id of the published service snapshot, bumped by every
+refresh (`repro.service.refresh`). The `"cache"` section reports the
+shard-summed books of the N-way sharded LRU (`"shards"` included);
+`hits + misses` always equals the number of cache probes, across
+shards and across refreshes.
+
+### Rate limiting
+
+With `repro serve --rate-limit REQ_PER_S` (or
+`create_server(rate_limit=...)`), every request outside `/v1/healthz`
+first passes a per-client token bucket (`repro.service.ratelimit`):
+continuous refill at the configured rate up to a burst ceiling
+(`--burst`, default = the rate, floor 1). Clients are identified by
+the `X-Client-Id` header when present, else the peer address.
+
+A client over budget receives `429` with a `Retry-After` header
+(whole seconds, rounded up) and body:
+
+```json
+{"error": "rate limit exceeded", "retry_after_seconds": 2}
+```
+
+Liveness probes are exempt: `/v1/healthz` never answers `429`. When a
+limiter is configured, `GET /v1/metrics` grows a top-level
+`"rate_limiter"` section with exact books
+(`allowed + rejected ==` checks):
+
+```json
+{
+  "rate_limiter": {
+    "rate_per_client": 50.0, "burst": 50.0,
+    "clients": 3, "allowed": 1200, "rejected": 17
+  }
+}
+```
+
+### Request framing
+
+* `Content-Length` is validated before the body is touched: a
+  non-numeric header answers a structured `400`, a negative one
+  answers `400` (never a read-to-EOF hang).
+* POST bodies are capped (`create_server(max_body_bytes=...)`,
+  default 16 MiB): an over-cap `Content-Length` answers `413` before
+  a single payload byte is read, and the connection is closed.
+* `/v1/enrich` query strings are strict: unknown parameter names,
+  repeated parameters, and blank values (`?name=&sha256=x`) each
+  answer `400` instead of being silently ignored, first-wins, or
+  dropped.
 
 ### `POST /v1/query`
 

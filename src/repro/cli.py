@@ -337,12 +337,21 @@ def cmd_serve(args: argparse.Namespace) -> int:
         artifacts.malgraph,
         capacity=args.cache,
         degraded=artifacts.collection.stats.degraded,
+        shards=args.shards,
     )
     print(
         f"indexed {service.index.package_count} packages "
-        f"(seed={args.seed}, scale={args.scale})"
+        f"(seed={args.seed}, scale={args.scale}, "
+        f"{service.cache.shard_count} cache shards)"
     )
-    server = serve(service, host=args.host, port=args.port, verbose=args.verbose)
+    server = serve(
+        service,
+        host=args.host,
+        port=args.port,
+        verbose=args.verbose,
+        rate_limit=args.rate_limit if args.rate_limit > 0 else None,
+        rate_burst=args.burst,
+    )
     return 0 if server is not None else 2
 
 
@@ -661,6 +670,26 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--host", default="127.0.0.1")
     serve.add_argument("--port", type=int, default=8742)
     serve.add_argument("--cache", type=int, default=4096, help="LRU capacity")
+    serve.add_argument(
+        "--shards",
+        type=int,
+        default=8,
+        help="LRU shard count (distinct-key lookups contend per shard, not globally)",
+    )
+    serve.add_argument(
+        "--rate-limit",
+        type=float,
+        default=0.0,
+        metavar="REQ_PER_S",
+        help="per-client token-bucket rate limit in requests/second "
+        "(429 + Retry-After when exceeded; 0 = no limiting)",
+    )
+    serve.add_argument(
+        "--burst",
+        type=int,
+        default=None,
+        help="token-bucket burst size (default: the --rate-limit value)",
+    )
     serve.add_argument(
         "--verbose",
         action="store_true",

@@ -9,22 +9,37 @@ campaign / actor associations and related indicators.
 Layers, bottom to top:
 
 * :mod:`repro.service.index` — :class:`IntelIndex`, O(1) inverted
-  indexes over graph + dataset + groups, built in one pass;
+  indexes over graph + dataset + groups, built in one pass, cloneable
+  for copy-on-write refresh;
 * :mod:`repro.service.enrich` — :class:`EnrichmentEngine`, indicator →
   structured :class:`EnrichmentResult` with typosquat-distance fallback;
-* :mod:`repro.service.cache` — thread-safe bounded LRU with hit/miss
-  counters and a deduplicating ``batch_enrich`` path;
-* :mod:`repro.service.metrics` — per-endpoint request counters and
-  fixed-bucket latency histograms (p50/p95/p99);
+* :mod:`repro.service.cache` — immutable :class:`ServiceSnapshot`
+  generations read lock-free, fronted by an N-way sharded LRU with
+  exact shard-summed hit/miss counters and a deduplicating
+  ``batch_enrich`` path;
+* :mod:`repro.service.ratelimit` — per-client token buckets behind the
+  HTTP front end (429 + ``Retry-After`` backpressure);
+* :mod:`repro.service.metrics` — per-endpoint request counters,
+  fixed-bucket latency histograms (p50/p95/p99) and attachable gauge
+  sections;
 * :mod:`repro.service.server` — stdlib JSON HTTP API with a request
-  error boundary (``/v1/enrich``, ``/v1/enrich/batch``, ``/v1/query``,
-  ``/v1/stats``, ``/v1/metrics``, ``/v1/healthz``);
+  error boundary and validated request framing (``/v1/enrich``,
+  ``/v1/enrich/batch``, ``/v1/query``, ``/v1/stats``, ``/v1/metrics``,
+  ``/v1/healthz``);
 * :mod:`repro.service.refresh` — incremental index refresh from a
-  :mod:`repro.collection.merge` diff, no full rebuild, applied under
-  the service's request lock.
+  :mod:`repro.collection.merge` diff, applied to a clone and published
+  as the next snapshot generation — readers never wait and never see a
+  half-applied batch.
 """
 
-from repro.service.cache import EnrichmentService, LRUCache, build_service
+from repro.service.cache import (
+    DEFAULT_CACHE_SHARDS,
+    EnrichmentService,
+    LRUCache,
+    ServiceSnapshot,
+    ShardedLRUCache,
+    build_service,
+)
 from repro.service.enrich import (
     VERDICT_MALICIOUS,
     VERDICT_SUSPICIOUS,
@@ -35,10 +50,17 @@ from repro.service.enrich import (
 )
 from repro.service.index import IntelIndex, source_reliability
 from repro.service.metrics import LatencyHistogram, ServiceMetrics
+from repro.service.ratelimit import RateLimiter, TokenBucket
 from repro.service.refresh import RefreshStats, refresh_index
-from repro.service.server import MAX_QUERY_LENGTH, create_server, serve
+from repro.service.server import (
+    MAX_BODY_BYTES,
+    MAX_QUERY_LENGTH,
+    create_server,
+    serve,
+)
 
 __all__ = [
+    "DEFAULT_CACHE_SHARDS",
     "EnrichmentEngine",
     "EnrichmentResult",
     "EnrichmentService",
@@ -46,9 +68,14 @@ __all__ = [
     "IntelIndex",
     "LRUCache",
     "LatencyHistogram",
+    "MAX_BODY_BYTES",
     "MAX_QUERY_LENGTH",
+    "RateLimiter",
     "RefreshStats",
     "ServiceMetrics",
+    "ServiceSnapshot",
+    "ShardedLRUCache",
+    "TokenBucket",
     "VERDICT_MALICIOUS",
     "VERDICT_SUSPICIOUS",
     "VERDICT_UNKNOWN",

@@ -108,6 +108,35 @@ class IntelIndex:
             index.add_report(report)
         return index
 
+    def clone(self) -> "IntelIndex":
+        """An independent copy sharing only the immutable leaves.
+
+        The snapshot-swap refresh (:mod:`repro.service.refresh`) applies
+        a delta to a clone while lock-free readers keep resolving
+        against the original, then publishes the clone atomically. Every
+        mutable container (the bucket dicts and their lists/sets) is
+        copied one level deep — entries, package ids and reports are
+        value objects shared by reference; the dataset and graph
+        references carry over and are retargeted by the refresh itself.
+        """
+        other = IntelIndex(self.dataset, self.graph)
+        other._by_name = {k: list(v) for k, v in self._by_name.items()}
+        other._by_sha = {k: list(v) for k, v in self._by_sha.items()}
+        other._by_ecosystem = {k: list(v) for k, v in self._by_ecosystem.items()}
+        other._groups_of = {k: list(v) for k, v in self._groups_of.items()}
+        other._group_members = {k: list(v) for k, v in self._group_members.items()}
+        other._group_kind = dict(self._group_kind)
+        other._actors_of = {k: list(v) for k, v in self._actors_of.items()}
+        other._actor_packages = {k: list(v) for k, v in self._actor_packages.items()}
+        other._actor_label = dict(self._actor_label)
+        other._norm_names = {k: set(v) for k, v in self._norm_names.items()}
+        other._deletions = {k: set(v) for k, v in self._deletions.items()}
+        other._indexed_reports = set(self._indexed_reports)
+        other._refresh_groups = self._refresh_groups
+        other.epoch = self.epoch
+        other.last_delta_at = self.last_delta_at
+        return other
+
     def add_entry(self, entry: DatasetEntry) -> None:
         """Register one package in every per-entry index (idempotent)."""
         pid = entry.package

@@ -15,7 +15,7 @@ from __future__ import annotations
 
 import bisect
 import threading
-from typing import Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
 
 #: Bucket upper bounds in seconds (log-spaced 100µs .. 10s); one
 #: implicit overflow bucket catches anything slower.
@@ -80,11 +80,27 @@ class LatencyHistogram:
 
 
 class ServiceMetrics:
-    """Thread-safe per-endpoint request/status/latency accounting."""
+    """Thread-safe per-endpoint request/status/latency accounting.
+
+    Subsystems with their own books (the rate limiter, a connector
+    scheduler, ...) register a gauge callable via :meth:`attach_gauges`;
+    :meth:`snapshot` folds each one in as a top-level section, so
+    ``GET /v1/metrics`` stays the single pane of glass without the HTTP
+    layer knowing every subsystem's shape.
+    """
 
     def __init__(self):
         self._lock = threading.RLock()
         self._endpoints: Dict[str, Dict] = {}
+        self._gauges: Dict[str, "Callable[[], Dict]"] = {}
+
+    def attach_gauges(self, section: str, supplier: "Callable[[], Dict]") -> None:
+        """Add (or replace) a named gauge section in every snapshot."""
+        reserved = {"endpoints", "total_requests"}
+        if section in reserved:
+            raise ValueError(f"gauge section name {section!r} is reserved")
+        with self._lock:
+            self._gauges[section] = supplier
 
     def observe(
         self,
@@ -128,12 +144,17 @@ class ServiceMetrics:
                 }
                 for name, row in sorted(self._endpoints.items())
             }
-            return {
+            snapshot = {
                 "endpoints": endpoints,
                 "total_requests": sum(
                     row["requests"] for row in self._endpoints.values()
                 ),
             }
+            gauges = dict(self._gauges)
+        # gauge suppliers take their own locks; call them outside ours
+        for section, supplier in sorted(gauges.items()):
+            snapshot[section] = supplier()
+        return snapshot
 
     def render(self) -> str:
         """One line per endpoint, for ``repro serve --verbose`` shutdown."""
@@ -148,5 +169,13 @@ class ServiceMetrics:
                 f"  {name:<18} {row['requests']:>7} reqs  [{statuses}]  "
                 f"p50={latency['p50_ms']}ms p95={latency['p95_ms']}ms "
                 f"p99={latency['p99_ms']}ms"
+            )
+        limiter = snap.get("rate_limiter")
+        if limiter:
+            lines.append(
+                f"  rate limiter: {limiter['allowed']} allowed, "
+                f"{limiter['rejected']} rejected "
+                f"({limiter['rate_per_client']:g} req/s per client, "
+                f"burst {limiter['burst']:g})"
             )
         return "\n".join(lines)

@@ -1,0 +1,120 @@
+"""Per-client token-bucket rate limiting for the HTTP front end.
+
+A million-user feed cannot let one misbehaving scanner starve everyone
+else: each client (the ``X-Client-Id`` header when present, else the
+peer address) gets an independent token bucket refilled continuously at
+``rate`` requests/second up to a ``burst`` ceiling. A request that finds
+no token is answered ``429`` with a ``Retry-After`` header carrying the
+seconds until the bucket next holds a whole token — backpressure the
+stdlib HTTP clients downstream scanners use honour out of the box.
+
+The limiter keeps exact books (``allowed + rejected ==`` checks) and
+surfaces them through ``GET /v1/metrics`` as the ``rate_limiter``
+section. Buckets for clients not seen recently are pruned once the
+table passes ``max_clients``, so an address-spoofing flood cannot grow
+the table without bound.
+
+Everything is deterministic given a clock: tests inject a fake
+monotonic clock instead of sleeping.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Callable, Dict, Optional
+
+#: Default ceiling on distinct per-client buckets held at once.
+MAX_TRACKED_CLIENTS = 10_000
+
+
+class TokenBucket:
+    """One client's budget: continuous refill, whole-token spend."""
+
+    __slots__ = ("rate", "burst", "tokens", "updated")
+
+    def __init__(self, rate: float, burst: float, now: float):
+        self.rate = rate
+        self.burst = burst
+        self.tokens = burst  # a new client starts with a full burst
+        self.updated = now
+
+    def try_acquire(self, now: float) -> float:
+        """0.0 when a token was spent, else seconds until one exists."""
+        elapsed = max(0.0, now - self.updated)
+        self.tokens = min(self.burst, self.tokens + elapsed * self.rate)
+        self.updated = now
+        if self.tokens >= 1.0:
+            self.tokens -= 1.0
+            return 0.0
+        return (1.0 - self.tokens) / self.rate
+
+
+class RateLimiter:
+    """Exact-accounting token buckets keyed by client identity.
+
+    ``check`` returns ``None`` when the request may proceed, else the
+    ``Retry-After`` value in seconds (rounded up to a whole second at
+    the HTTP layer). One lock guards the bucket table; the critical
+    section is a dict probe plus O(1) float math, so it never becomes
+    the serialisation point the service-wide lock used to be.
+    """
+
+    def __init__(
+        self,
+        rate: float,
+        burst: Optional[int] = None,
+        clock: Callable[[], float] = time.monotonic,
+        max_clients: int = MAX_TRACKED_CLIENTS,
+    ):
+        if rate <= 0:
+            raise ValueError(f"rate must be > 0 req/s, got {rate}")
+        self.rate = float(rate)
+        self.burst = float(burst) if burst is not None else max(1.0, self.rate)
+        if self.burst < 1.0:
+            raise ValueError(f"burst must be >= 1, got {self.burst}")
+        self.max_clients = max_clients
+        self.allowed = 0
+        self.rejected = 0
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._buckets: Dict[str, TokenBucket] = {}
+
+    def check(self, client: str) -> Optional[float]:
+        """None = request admitted; else seconds until a token exists."""
+        now = self._clock()
+        with self._lock:
+            bucket = self._buckets.get(client)
+            if bucket is None:
+                if len(self._buckets) >= self.max_clients:
+                    self._prune(now)
+                bucket = TokenBucket(self.rate, self.burst, now)
+                self._buckets[client] = bucket
+            wait = bucket.try_acquire(now)
+            if wait == 0.0:
+                self.allowed += 1
+                return None
+            self.rejected += 1
+            return wait
+
+    def _prune(self, now: float) -> None:
+        """Drop the stalest half of the bucket table (lock held).
+
+        A full bucket holds no state worth keeping — a returning client
+        simply starts from a fresh burst, which only ever errs in the
+        client's favour.
+        """
+        stale = sorted(self._buckets.items(), key=lambda kv: kv[1].updated)
+        for client, _ in stale[: max(1, len(stale) // 2)]:
+            del self._buckets[client]
+
+    def stats(self) -> Dict[str, object]:
+        """The ``rate_limiter`` section of ``GET /v1/metrics``."""
+        with self._lock:
+            return {
+                "rate_per_client": self.rate,
+                "burst": self.burst,
+                "clients": len(self._buckets),
+                "allowed": self.allowed,
+                "rejected": self.rejected,
+            }

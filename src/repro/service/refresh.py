@@ -2,14 +2,14 @@
 
 The paper's future-work loop keeps collecting; a live service cannot
 rebuild its index (and certainly not the similarity clustering) for
-every re-collection. Both refresh entry points now speak the delta
-engine's event language (:mod:`repro.core.delta.events`):
+every re-collection. Both refresh entry points speak the delta engine's
+event language (:mod:`repro.core.delta.events`):
 
 * :func:`refresh_index` merges a re-collected dataset into the served
   one with :func:`repro.collection.merge.merge_datasets`, derives the
   event batch via
   :func:`~repro.collection.merge.events_from_datasets`, and applies
-  exactly those events to the live
+  exactly those events to the
   :class:`~repro.service.index.IntelIndex`;
 * :func:`refresh_from_events` applies an externally produced batch
   (e.g. one replayed from an events JSONL) directly — and, when handed
@@ -25,11 +25,25 @@ become refresh-scoped campaign groups, SG/DeG memberships stay frozen.
 
 Every applied batch advances ``index.epoch`` and stamps
 ``index.last_delta_at`` — surfaced by ``/v1/healthz`` and ``/v1/stats``
-so operators can tell how fresh the served index is. When a service is
-supplied, the whole sequence runs under the service's request lock and
-ends by invalidating its verdict LRU, so concurrent HTTP readers never
-observe a half-refreshed index or a verdict cached against the outgoing
-dataset.
+so operators can tell how fresh the served index is.
+
+**Consistency model.** Handed a bare index (``service=None``) the batch
+mutates it in place — the caller owns the only reference. Handed a
+:class:`~repro.service.cache.EnrichmentService`, the refresh takes the
+service's *writer* lock (serialising concurrent refreshes; readers
+never touch it), **clones** the currently published index, applies the
+batch to the clone off to the side, and installs the clone as the next
+immutable snapshot generation with one reference assignment
+(:meth:`~repro.service.cache.EnrichmentService.publish`). Lock-free
+readers therefore observe either the old generation or the new one in
+full — never a half-applied batch — and the generation-tagged verdict
+cache can never serve a result computed against the outgoing index to
+a reader of the incoming one. The one documented exception: the
+``malgraph`` path evolves the caller's graph *in place* (callers keep
+feeding the same graph across batches), so ``related()`` neighbour
+lists read through an old-generation snapshot during the evolution
+window are eventually-consistent; every verdict-bearing structure
+(names, signatures, groups, actors, dataset) swaps atomically.
 """
 
 from __future__ import annotations
@@ -115,17 +129,26 @@ def refresh_index(
     """Merge a re-collected dataset into the live index, delta only.
 
     Returns the merged dataset (now the one the index serves), the diff
-    that was applied, and counters describing the change.
+    that was applied, and counters describing the change. With a
+    ``service``, the base is the service's *currently published* index
+    (read under the writer lock, so back-to-back refreshes from
+    different threads compose instead of clobbering each other) and the
+    change lands as a fresh snapshot generation.
     """
     guard = service.lock if service is not None else contextlib.nullcontext()
     with guard:
-        old = index.dataset
+        base = service.index if service is not None else index
+        target = base.clone() if service is not None else base
+        old = base.dataset
         merged = merge_datasets(old, new_dataset)
         diff = diff_datasets(old, merged)
         events = events_from_datasets(old, merged)
         stats = _apply_events(
-            index, events, service, malgraph=None, dataset_override=merged
+            target, events, old, malgraph=None, dataset_override=merged
         )
+        if service is not None:
+            service.publish(target)
+            stats.cache_cleared = True
         return merged, diff, stats
 
 
@@ -141,22 +164,34 @@ def refresh_from_events(
     evolved in place first and its exact group extraction replaces the
     index's groups wholesale; without it, only the per-event index
     updates (and their DG/CG approximations) run. Returns the dataset
-    the index now serves and the change counters.
+    the index now serves and the change counters. With a ``service``
+    the batch lands as a fresh snapshot generation (see the module
+    docstring for the consistency model).
     """
     guard = service.lock if service is not None else contextlib.nullcontext()
     with guard:
-        stats = _apply_events(index, list(events), service, malgraph)
-        return index.dataset, stats
+        base = service.index if service is not None else index
+        target = base.clone() if service is not None else base
+        stats = _apply_events(target, list(events), base.dataset, malgraph)
+        if service is not None:
+            service.publish(target)
+            stats.cache_cleared = True
+        return target.dataset, stats
 
 
 def _apply_events(
     index: IntelIndex,
     events: List[GraphEvent],
-    service: Optional[EnrichmentService],
+    old: MalwareDataset,
     malgraph: Optional[MalGraph],
     dataset_override: Optional[MalwareDataset] = None,
 ) -> RefreshStats:
-    old = index.dataset
+    """Apply one event batch to ``index`` (which nobody else reads yet).
+
+    ``old`` is the dataset the batch was derived against — the snapshot
+    path hands the published index's dataset while ``index`` is a
+    clone, so in-batch "previous state" lookups resolve correctly.
+    """
     stats = RefreshStats()
 
     if malgraph is not None:
@@ -234,8 +269,4 @@ def _apply_events(
 
     index.epoch += 1
     index.last_delta_at = time.time()
-
-    if service is not None:
-        service.invalidate()
-        stats.cache_cleared = True
     return stats

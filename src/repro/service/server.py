@@ -6,7 +6,8 @@ no new dependencies) exposing:
 * ``GET /v1/healthz`` — liveness plus indexed-package count;
 * ``GET /v1/stats`` — cache hit/miss counters and index shape;
 * ``GET /v1/metrics`` — per-endpoint request counts, status-code counts
-  and latency percentiles (p50/p95/p99);
+  and latency percentiles (p50/p95/p99), plus the rate limiter's books
+  when one is configured;
 * ``GET /v1/enrich?name=&version=&sha256=&ecosystem=`` — one indicator;
 * ``POST /v1/enrich/batch`` — ``{"indicators": [{...}, ...]}``;
 * ``POST /v1/query`` — ``{"pattern": "MATCH ..."}`` run through the
@@ -22,6 +23,26 @@ instead of a dropped connection, and client disconnects
 a traceback. Each request is timed into the server's shared
 :class:`~repro.service.metrics.ServiceMetrics`.
 
+Request hygiene (what a production front end cannot ship without):
+
+* ``Content-Length`` is validated before anything is read — a
+  non-numeric header is a structured ``400`` (not an opaque ``500``)
+  and a negative one is a ``400`` (not an ``rfile.read(-n)``
+  read-to-EOF hang on a keep-alive connection);
+* bodies are capped at ``max_body_bytes`` **before** the read — an
+  oversized ``Content-Length`` answers ``413`` without buffering or
+  parsing a single byte of payload;
+* ``/v1/enrich`` query strings keep blank values (``?name=&sha256=x``
+  rejects the blank ``name`` instead of silently dropping it), reject
+  repeated parameters instead of silently taking the first, and reject
+  unknown parameter names.
+
+With ``rate_limit`` set, every non-``/v1/healthz`` request first passes
+a per-client token bucket (:mod:`repro.service.ratelimit`); a client
+over budget gets ``429`` with a ``Retry-After`` header and the refusal
+is visible in ``/v1/metrics`` (status counter + ``rate_limiter``
+section).
+
 ``create_server`` binds (``port=0`` picks an ephemeral port, which the
 tests and the smoke script use); ``serve`` blocks until interrupted and
 exits with a one-line message — not a traceback — when the port is
@@ -32,6 +53,7 @@ from __future__ import annotations
 
 import errno
 import json
+import math
 import sys
 import time
 import traceback
@@ -45,13 +67,22 @@ from repro.errors import ValidationError
 from repro.service.cache import EnrichmentService
 from repro.service.enrich import Indicator
 from repro.service.metrics import ServiceMetrics
+from repro.service.ratelimit import RateLimiter
 
 #: Refuse batches beyond this size so one request cannot pin a worker.
 MAX_BATCH_SIZE = 100_000
 
+#: Refuse request bodies beyond this many bytes *before* reading them
+#: (create_server's ``max_body_bytes`` overrides per server). 16 MiB
+#: comfortably fits a MAX_BATCH_SIZE batch of indicators.
+MAX_BODY_BYTES = 16 * 1024 * 1024
+
 #: Refuse query patterns beyond this many characters (create_server's
 #: ``max_query_length`` overrides per server).
 MAX_QUERY_LENGTH = 4096
+
+#: Query parameters /v1/enrich understands; anything else is a 400.
+ENRICH_PARAMS = ("name", "version", "sha256", "ecosystem")
 
 #: Paths recorded individually in metrics; anything else pools as "other".
 KNOWN_ENDPOINTS = (
@@ -63,6 +94,9 @@ KNOWN_ENDPOINTS = (
     "/v1/query",
 )
 
+#: Endpoints never rate limited: liveness probes must not 429.
+RATE_LIMIT_EXEMPT = ("/v1/healthz",)
+
 #: Connection-level errors meaning the client went away mid-reply.
 CLIENT_GONE = (BrokenPipeError, ConnectionResetError)
 
@@ -70,7 +104,7 @@ CLIENT_GONE = (BrokenPipeError, ConnectionResetError)
 class IntelRequestHandler(BaseHTTPRequestHandler):
     """Routes the six ``/v1`` endpoints onto the service."""
 
-    server_version = "repro-intel/1.2"
+    server_version = "repro-intel/1.3"
 
     @property
     def service(self) -> EnrichmentService:
@@ -85,7 +119,7 @@ class IntelRequestHandler(BaseHTTPRequestHandler):
         if getattr(self.server, "verbose", False):
             super().log_message(format, *args)
 
-    def _reply(self, status: int, payload: Dict) -> None:
+    def _reply(self, status: int, payload: Dict, headers: Optional[Dict] = None) -> None:
         body = json.dumps(payload).encode("utf-8")
         # Observe before the first byte goes out: a client that has read
         # its response is then guaranteed to find it in /v1/metrics.
@@ -93,6 +127,8 @@ class IntelRequestHandler(BaseHTTPRequestHandler):
         self.send_response(status)
         self.send_header("Content-Type", "application/json")
         self.send_header("Content-Length", str(len(body)))
+        for name, value in (headers or {}).items():
+            self.send_header(name, str(value))
         self.end_headers()
         self.wfile.write(body)
 
@@ -115,8 +151,34 @@ class IntelRequestHandler(BaseHTTPRequestHandler):
             rows=self._rows,
         )
 
+    def _client_id(self) -> str:
+        """Who the rate limiter budgets: header identity, else peer IP."""
+        held = self.headers.get("X-Client-Id")
+        if held:
+            return held.strip()
+        return str(self.client_address[0])
+
+    def _over_rate_limit(self) -> bool:
+        """Apply the per-client token bucket; True = 429 already sent."""
+        limiter: Optional[RateLimiter] = getattr(self.server, "rate_limiter", None)
+        if limiter is None or self._endpoint in RATE_LIMIT_EXEMPT:
+            return False
+        wait = limiter.check(self._client_id())
+        if wait is None:
+            return False
+        retry_after = max(1, math.ceil(wait))
+        self._reply(
+            429,
+            {
+                "error": "rate limit exceeded",
+                "retry_after_seconds": retry_after,
+            },
+            headers={"Retry-After": retry_after},
+        )
+        return True
+
     def _guarded(self, route) -> None:
-        """Error boundary + metrics around one request.
+        """Error boundary + rate limit + metrics around one request.
 
         Every request produces exactly one metrics observation.
         """
@@ -125,7 +187,8 @@ class IntelRequestHandler(BaseHTTPRequestHandler):
         self._observed = False
         self._rows = None  # row count for row-returning endpoints
         try:
-            route()
+            if not self._over_rate_limit():
+                route()
         except CLIENT_GONE:
             pass  # the client hung up; nothing to send, nothing to log
         except ValidationError as failure:
@@ -152,9 +215,79 @@ class IntelRequestHandler(BaseHTTPRequestHandler):
         except CLIENT_GONE:
             pass
 
+    def _read_json_body(self):
+        """The request body parsed as JSON, or None (error already sent).
+
+        Validates ``Content-Length`` before touching the socket: a
+        non-numeric header answers a structured 400 instead of crashing
+        into the 500 boundary, a negative one answers 400 instead of
+        ``rfile.read(-n)`` (which reads to EOF and hangs a keep-alive
+        connection), and a length over the body cap answers 413 without
+        reading — one request can neither pin a worker on an endless
+        body nor balloon memory before validation. Whenever the body is
+        refused unread, the connection is closed (the unread bytes
+        would otherwise be parsed as the next request).
+        """
+        raw = self.headers.get("Content-Length")
+        try:
+            length = int(raw.strip()) if raw is not None and raw.strip() else 0
+        except ValueError:
+            self.close_connection = True
+            self._error(400, f"invalid Content-Length header: {raw!r}")
+            return None
+        if length < 0:
+            self.close_connection = True
+            self._error(400, f"negative Content-Length: {length}")
+            return None
+        cap = getattr(self.server, "max_body_bytes", MAX_BODY_BYTES)
+        if length > cap:
+            self.close_connection = True
+            self._error(
+                413, f"body of {length} bytes exceeds the {cap} byte limit"
+            )
+            return None
+        try:
+            payload = json.loads(self.rfile.read(length) or b"")
+        except json.JSONDecodeError:
+            self._error(400, "body is not valid JSON")
+            return None
+        return payload
+
     # -- GET --------------------------------------------------------------
     def do_GET(self) -> None:  # noqa: N802 (http.server API)
         self._guarded(self._route_get)
+
+    def _enrich_params(self, query: str) -> Optional[Dict[str, str]]:
+        """Validated /v1/enrich query parameters, or None (400 sent).
+
+        ``keep_blank_values`` stops ``parse_qs`` silently dropping
+        ``?name=&sha256=x`` style blanks (a blank is an explicit client
+        mistake worth a 400, not a missing key), repeated parameters are
+        rejected instead of silently taking the first value, and unknown
+        parameter names are rejected instead of silently ignored.
+        """
+        pairs = parse_qs(query, keep_blank_values=True)
+        unknown = sorted(k for k in pairs if k not in ENRICH_PARAMS)
+        if unknown:
+            self._error(
+                400,
+                f"unknown query parameter(s): {', '.join(unknown)} "
+                f"(expected {', '.join(ENRICH_PARAMS)})",
+            )
+            return None
+        repeated = sorted(k for k, v in pairs.items() if len(v) > 1)
+        if repeated:
+            self._error(
+                400, f"repeated query parameter(s): {', '.join(repeated)}"
+            )
+            return None
+        blank = sorted(k for k, v in pairs.items() if v[0] == "")
+        if blank:
+            self._error(
+                400, f"blank value for query parameter(s): {', '.join(blank)}"
+            )
+            return None
+        return {k: v[0] for k, v in pairs.items()}
 
     def _route_get(self) -> None:
         url = urlparse(self.path)
@@ -177,7 +310,9 @@ class IntelRequestHandler(BaseHTTPRequestHandler):
         elif url.path == "/v1/metrics":
             self._reply(200, self.metrics.snapshot())
         elif url.path == "/v1/enrich":
-            params = {k: v[0] for k, v in parse_qs(url.query).items()}
+            params = self._enrich_params(url.query)
+            if params is None:
+                return
             indicator = Indicator.from_dict(params)
             if indicator.is_empty:
                 self._error(400, "need at least ?name= or ?sha256=")
@@ -198,11 +333,8 @@ class IntelRequestHandler(BaseHTTPRequestHandler):
         if path != "/v1/enrich/batch":
             self._error(404, f"unknown path {self.path!r}")
             return
-        length = int(self.headers.get("Content-Length") or 0)
-        try:
-            payload = json.loads(self.rfile.read(length) or b"")
-        except json.JSONDecodeError:
-            self._error(400, "body is not valid JSON")
+        payload = self._read_json_body()
+        if payload is None:
             return
         raw = payload.get("indicators") if isinstance(payload, dict) else None
         if not isinstance(raw, list):
@@ -244,11 +376,8 @@ class IntelRequestHandler(BaseHTTPRequestHandler):
         if engine is None:
             self._error(503, "query engine not configured on this service")
             return
-        length = int(self.headers.get("Content-Length") or 0)
-        try:
-            payload = json.loads(self.rfile.read(length) or b"")
-        except json.JSONDecodeError:
-            self._error(400, "body is not valid JSON")
+        payload = self._read_json_body()
+        if payload is None:
             return
         if not isinstance(payload, dict):
             self._error(400, 'body must be {"pattern": "<query>"}')
@@ -286,17 +415,31 @@ def create_server(
     port: int = 0,
     verbose: bool = False,
     max_query_length: int = MAX_QUERY_LENGTH,
+    max_body_bytes: int = MAX_BODY_BYTES,
+    rate_limit: Optional[float] = None,
+    rate_burst: Optional[int] = None,
 ) -> ThreadingHTTPServer:
     """Bind (but do not run) the API server; port 0 = ephemeral.
 
     ``max_query_length`` caps ``/v1/query`` pattern sizes (characters);
-    longer patterns answer a structured 400.
+    ``max_body_bytes`` caps POST bodies (bytes, refused with 413 before
+    the body is read). ``rate_limit`` enables per-client token-bucket
+    limiting at that many requests/second (burst ``rate_burst``,
+    default = the rate); ``None`` disables limiting entirely.
     """
     server = ThreadingHTTPServer((host, port), IntelRequestHandler)
     server.service = service  # type: ignore[attr-defined]
     server.verbose = verbose  # type: ignore[attr-defined]
     server.metrics = ServiceMetrics()  # type: ignore[attr-defined]
     server.max_query_length = max_query_length  # type: ignore[attr-defined]
+    server.max_body_bytes = max_body_bytes  # type: ignore[attr-defined]
+    limiter = None
+    if rate_limit is not None:
+        limiter = RateLimiter(rate_limit, burst=rate_burst)
+        server.metrics.attach_gauges(  # type: ignore[attr-defined]
+            "rate_limiter", limiter.stats
+        )
+    server.rate_limiter = limiter  # type: ignore[attr-defined]
     return server
 
 
@@ -311,6 +454,8 @@ def serve(
     host: str = "127.0.0.1",
     port: int = 8742,
     verbose: bool = True,
+    rate_limit: Optional[float] = None,
+    rate_burst: Optional[int] = None,
 ) -> Optional[ThreadingHTTPServer]:
     """Run the API until interrupted (the ``repro serve`` entry point).
 
@@ -318,7 +463,14 @@ def serve(
     the requested port is already bound by another process.
     """
     try:
-        server = create_server(service, host=host, port=port, verbose=verbose)
+        server = create_server(
+            service,
+            host=host,
+            port=port,
+            verbose=verbose,
+            rate_limit=rate_limit,
+            rate_burst=rate_burst,
+        )
     except OSError as failure:
         if failure.errno == errno.EADDRINUSE:
             print(
@@ -330,6 +482,11 @@ def serve(
         raise
     bound_host, bound_port = server_address(server)
     print(f"repro intel service on http://{bound_host}:{bound_port}/v1/enrich")
+    if rate_limit is not None:
+        print(
+            f"rate limit: {rate_limit:g} req/s per client "
+            f"(burst {server.rate_limiter.burst:g})"  # type: ignore[attr-defined]
+        )
     try:
         server.serve_forever()
     except KeyboardInterrupt:  # pragma: no cover - interactive only

@@ -98,6 +98,117 @@ def test_capacity_bounds_service_cache(engine, small_dataset):
 
 def test_stats_merges_cache_and_index(service):
     stats = service.stats()
-    assert set(stats) == {"cache", "index", "collection"}
+    assert set(stats) == {"cache", "index", "generation", "collection"}
     assert stats["index"]["packages"] == service.index.package_count
+    assert stats["generation"] == 0
     assert stats["collection"] == {"degraded": False}
+
+
+# -- sharding ---------------------------------------------------------------
+
+
+def test_sharded_cache_counters_sum_exactly():
+    from repro.service.cache import ShardedLRUCache
+
+    cache = ShardedLRUCache(capacity=64, shards=8)
+    assert cache.shard_count == 8
+    for i in range(40):
+        cache.get(("key", i))  # 40 misses spread over shards
+        cache.put(("key", i), i)
+    for i in range(40):
+        assert cache.get(("key", i)) == i  # 40 hits
+    stats = cache.stats()
+    assert stats["hits"] == 40
+    assert stats["misses"] == 40
+    assert stats["hits"] + stats["misses"] == 80  # == total gets
+    assert stats["shards"] == 8
+    assert len(cache) == 40
+
+
+def test_sharded_cache_bounds_total_capacity():
+    from repro.service.cache import ShardedLRUCache
+
+    cache = ShardedLRUCache(capacity=16, shards=4)
+    for i in range(200):
+        cache.put(i, i)
+    assert len(cache) <= 16
+    assert cache.evictions >= 200 - 16
+
+
+def test_sharded_cache_never_hands_a_shard_zero_capacity():
+    from repro.service.cache import ShardedLRUCache
+
+    cache = ShardedLRUCache(capacity=3, shards=8)
+    assert cache.shard_count == 3  # clamped to capacity
+    for i in range(10):
+        cache.put(i, i)
+    assert 1 <= len(cache) <= 3
+
+
+def test_sharded_cache_rejects_silly_arguments():
+    from repro.service.cache import ShardedLRUCache
+
+    with pytest.raises(ValueError):
+        ShardedLRUCache(0)
+    with pytest.raises(ValueError):
+        ShardedLRUCache(16, shards=0)
+
+
+def test_service_shard_knob(engine):
+    from repro.service.cache import EnrichmentService
+
+    service = EnrichmentService(engine, capacity=64, shards=2)
+    assert service.cache.shard_count == 2
+
+
+# -- snapshot generations ---------------------------------------------------
+
+
+def test_read_path_takes_no_service_lock(service, small_dataset):
+    """The writer lock is never touched by enrich/batch/stats."""
+    acquired = service.lock.acquire(blocking=False)
+    assert acquired  # nobody holds it at rest
+    try:
+        indicator = Indicator(name=small_dataset.entries[0].package.name)
+        # another thread must be able to read while the writer lock is
+        # held by us (RLock would mask that on this thread)
+        import threading
+
+        outcome = {}
+
+        def read():
+            outcome["result"] = service.enrich(indicator)
+            outcome["stats"] = service.stats()
+            outcome["batch"] = service.batch_enrich([indicator])
+
+        thread = threading.Thread(target=read)
+        thread.start()
+        thread.join(timeout=10)
+        assert not thread.is_alive(), "read path blocked on the writer lock"
+        assert outcome["result"].verdict
+    finally:
+        service.lock.release()
+
+
+def test_publish_bumps_generation_and_swaps_snapshot(service):
+    before = service.snapshot
+    published = service.publish(before.index.clone())
+    assert service.snapshot is published
+    assert published.generation == before.generation + 1
+    assert published.engine is not before.engine
+    assert published.engine.squat_index is before.engine.squat_index
+
+
+def test_stale_generation_results_never_poison_the_new_one(service, small_dataset):
+    """A straggler writing under generation g misses for g+1 readers."""
+    indicator = Indicator(name=small_dataset.entries[0].package.name)
+    old_snapshot = service.snapshot
+    service.publish(old_snapshot.index.clone())  # generation g+1 is live
+    # a straggler thread still holding generation g stores its result
+    stale = service._enrich_in(old_snapshot, indicator)
+    assert stale.verdict == "malicious"
+    # a fresh read resolves against g+1 keys: the stale entry is invisible
+    misses_before = service.cache.misses
+    fresh = service.enrich(indicator)
+    assert service.cache.misses == misses_before + 1  # not a hit
+    assert fresh is not stale

@@ -6,6 +6,7 @@ from __future__ import annotations
 
 import json
 import threading
+import time
 import urllib.error
 import urllib.request
 from concurrent.futures import ThreadPoolExecutor
@@ -87,6 +88,81 @@ def test_thread_hammer_mixed_traffic_exact_accounting():
     # the refreshed package is resolvable and the index stayed coherent
     assert service.enrich(Indicator(name="late-pkg")).verdict == "malicious"
     assert service.index.package_count == 9
+
+
+def test_refresh_under_load_readers_never_see_a_torn_generation():
+    """While a writer publishes generation after generation, every batch
+    read resolves against exactly one snapshot: the two packages added
+    together by one refresh are always both visible or both absent, and
+    the shard-summed hit/miss books stay exact throughout."""
+    service = _mini_service()
+    letters = "abcdef"
+
+    def pair(g: int):
+        # letter-tripled stems keep every name pair > edit-distance 2
+        # from other generations, so near-miss typosquat verdicts can
+        # never blur the present/absent distinction the test relies on
+        stem = letters[g] * 3
+        return f"{stem}pkg-a", f"{stem}pkg-b"
+
+    stop = threading.Event()
+    failures = []
+    probes = threading.Lock()
+    expected_probes = [0]
+
+    def refresher() -> None:
+        try:
+            for g in range(len(letters)):
+                left, right = pair(g)
+                extra = dataset(
+                    [
+                        entry(left, code=f"def l():\n    return {g}\n"),
+                        entry(right, code=f"def r():\n    return {g + 100}\n"),
+                    ]
+                )
+                refresh_index(service.index, extra, service=service)
+                time.sleep(0.002)  # let readers overlap each generation
+        except Exception as failure:  # noqa: BLE001 - the assertion target
+            failures.append(failure)
+        finally:
+            stop.set()
+
+    def reader(worker: int) -> None:
+        try:
+            rounds = 0
+            while not stop.is_set() and rounds < 5000:
+                left, right = pair((worker + rounds) % len(letters))
+                got = service.batch_enrich(
+                    [Indicator(name=left), Indicator(name=right)]
+                )
+                verdicts = [r.verdict == "malicious" for r in got]
+                assert verdicts[0] == verdicts[1], (
+                    f"torn read: {left}={got[0].verdict} "
+                    f"{right}={got[1].verdict}"
+                )
+                with probes:
+                    expected_probes[0] += 2
+                rounds += 1
+        except Exception as failure:  # noqa: BLE001 - the assertion target
+            failures.append(failure)
+
+    pool = [threading.Thread(target=refresher)] + [
+        threading.Thread(target=reader, args=(worker,)) for worker in range(4)
+    ]
+    for t in pool:
+        t.start()
+    for t in pool:
+        t.join(timeout=30)
+    assert not any(t.is_alive() for t in pool)
+    assert not failures, failures
+    stats = service.cache.stats()
+    assert stats["hits"] + stats["misses"] == expected_probes[0]
+    # once quiet: every generation's pair resolves and nothing was lost
+    for g in range(len(letters)):
+        for name in pair(g):
+            assert service.enrich(Indicator(name=name)).verdict == "malicious"
+    assert service.index.package_count == 8 + 2 * len(letters)
+    assert service.generation == len(letters)
 
 
 def test_concurrent_lru_is_exact():

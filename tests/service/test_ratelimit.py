@@ -1,0 +1,228 @@
+"""Token-bucket rate limiting: unit books and the HTTP 429 contract."""
+
+from __future__ import annotations
+
+import json
+import threading
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.service.cache import EnrichmentService
+from repro.service.ratelimit import RateLimiter, TokenBucket
+from repro.service.server import create_server, server_address
+
+
+class FakeClock:
+    """Deterministic monotonic clock the tests advance by hand."""
+
+    def __init__(self):
+        self.now = 1000.0
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+# -- unit: TokenBucket -------------------------------------------------------
+
+
+def test_bucket_starts_with_a_full_burst():
+    bucket = TokenBucket(rate=1.0, burst=3.0, now=0.0)
+    assert [bucket.try_acquire(0.0) for _ in range(3)] == [0.0, 0.0, 0.0]
+    assert bucket.try_acquire(0.0) == pytest.approx(1.0)  # 1 token / 1 rps
+
+
+def test_bucket_refills_continuously_and_caps_at_burst():
+    bucket = TokenBucket(rate=2.0, burst=4.0, now=0.0)
+    for _ in range(4):
+        bucket.try_acquire(0.0)
+    assert bucket.try_acquire(0.25) > 0.0  # 0.5 tokens: not yet whole
+    assert bucket.try_acquire(0.75) == 0.0  # 1.5 tokens by now
+    # an idle hour refills to burst, not beyond
+    bucket.try_acquire(3600.0)
+    assert bucket.tokens == pytest.approx(4.0 - 1.0)
+
+
+def test_bucket_reports_time_until_next_token():
+    bucket = TokenBucket(rate=0.5, burst=1.0, now=0.0)
+    assert bucket.try_acquire(0.0) == 0.0
+    wait = bucket.try_acquire(0.0)
+    assert wait == pytest.approx(2.0)  # a whole token at 0.5 rps
+
+
+# -- unit: RateLimiter -------------------------------------------------------
+
+
+def test_limiter_rejects_bad_configuration():
+    with pytest.raises(ValueError):
+        RateLimiter(0.0)
+    with pytest.raises(ValueError):
+        RateLimiter(-1.0)
+    with pytest.raises(ValueError):
+        RateLimiter(5.0, burst=0)
+
+
+def test_limiter_burst_defaults_to_rate_with_floor_of_one():
+    assert RateLimiter(8.0).burst == 8.0
+    assert RateLimiter(0.25).burst == 1.0
+
+
+def test_limiter_budgets_clients_independently():
+    clock = FakeClock()
+    limiter = RateLimiter(1.0, burst=1, clock=clock)
+    assert limiter.check("scanner-a") is None
+    assert limiter.check("scanner-a") is not None  # a is out of budget
+    assert limiter.check("scanner-b") is None  # b still has its burst
+
+
+def test_limiter_books_are_exact():
+    clock = FakeClock()
+    limiter = RateLimiter(1.0, burst=2, clock=clock)
+    checks = 0
+    for client in ("a", "b"):
+        for _ in range(5):
+            limiter.check(client)
+            checks += 1
+    stats = limiter.stats()
+    assert stats["allowed"] + stats["rejected"] == checks
+    assert stats["allowed"] == 4  # burst of 2 per client, no time passed
+    assert stats["clients"] == 2
+
+
+def test_limiter_recovers_after_waiting_out_the_retry():
+    clock = FakeClock()
+    limiter = RateLimiter(2.0, burst=1, clock=clock)
+    assert limiter.check("c") is None
+    wait = limiter.check("c")
+    assert wait == pytest.approx(0.5)
+    clock.advance(wait)
+    assert limiter.check("c") is None  # Retry-After was honest
+
+
+def test_limiter_prunes_stalest_clients_at_the_cap():
+    clock = FakeClock()
+    limiter = RateLimiter(1.0, burst=1, clock=clock, max_clients=4)
+    for i in range(4):
+        limiter.check(f"old-{i}")
+        clock.advance(1.0)
+    limiter.check("newcomer")  # over the cap: stalest half dropped
+    stats = limiter.stats()
+    assert stats["clients"] == 3  # 4 - 2 pruned + 1 new
+    assert "old-0" not in limiter._buckets
+    assert "newcomer" in limiter._buckets
+
+
+def test_limiter_check_is_thread_safe_and_exact():
+    clock = FakeClock()
+    limiter = RateLimiter(1.0, burst=5, clock=clock)
+    outcomes = []
+    lock = threading.Lock()
+
+    def hammer(client: str):
+        for _ in range(50):
+            verdict = limiter.check(client)
+            with lock:
+                outcomes.append(verdict)
+
+    threads = [
+        threading.Thread(target=hammer, args=(f"client-{i % 3}",))
+        for i in range(6)
+    ]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join(timeout=30)
+    stats = limiter.stats()
+    assert stats["allowed"] + stats["rejected"] == len(outcomes) == 300
+    # frozen clock: each of the 3 clients gets exactly its burst
+    assert stats["allowed"] == 3 * 5
+
+
+# -- HTTP: the 429 contract --------------------------------------------------
+
+
+@pytest.fixture()
+def limited(engine):
+    """A live server allowing a burst of 2 and near-zero refill."""
+    service = EnrichmentService(engine, capacity=64)
+    server = create_server(service, port=0, rate_limit=0.001, rate_burst=2)
+    host, port = server_address(server)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    yield f"http://{host}:{port}"
+    server.shutdown()
+    server.server_close()
+
+
+def _get(url: str, client: str | None = None):
+    headers = {"X-Client-Id": client} if client else {}
+    request = urllib.request.Request(url, headers=headers)
+    with urllib.request.urlopen(request, timeout=10) as response:
+        return response.status, json.load(response)
+
+
+def test_over_budget_client_gets_429_with_retry_after(limited, small_dataset):
+    name = small_dataset.entries[0].package.name
+    url = f"{limited}/v1/enrich?name={name}"
+    assert _get(url, client="burster")[0] == 200
+    assert _get(url, client="burster")[0] == 200
+    with pytest.raises(urllib.error.HTTPError) as failure:
+        _get(url, client="burster")
+    assert failure.value.code == 429
+    assert int(failure.value.headers["Retry-After"]) >= 1
+    body = json.load(failure.value)
+    assert body["error"] == "rate limit exceeded"
+    assert body["retry_after_seconds"] >= 1
+
+
+def test_clients_are_budgeted_by_identity_header(limited):
+    url = f"{limited}/v1/stats"
+    for client in ("alpha", "beta", "gamma"):
+        status, _ = _get(url, client=client)
+        assert status == 200  # each identity brings its own burst
+
+
+def test_healthz_is_never_rate_limited(limited):
+    for _ in range(6):  # far past the burst of 2
+        status, _ = _get(f"{limited}/v1/healthz", client="prober")
+        assert status == 200
+
+
+def test_rejections_surface_in_metrics(limited):
+    url = f"{limited}/v1/stats"
+    seen_429 = 0
+    for _ in range(4):
+        try:
+            _get(url, client="greedy")
+        except urllib.error.HTTPError as failure:
+            assert failure.code == 429
+            seen_429 += 1
+    assert seen_429 == 2  # burst of 2, then refusals
+    status, metrics = _get(f"{limited}/v1/metrics", client="observer")
+    assert status == 200
+    books = metrics["rate_limiter"]
+    assert books["rejected"] >= 2
+    assert books["allowed"] >= 3
+    assert books["rate_per_client"] == 0.001
+    assert books["burst"] == 2.0
+    stats_row = metrics["endpoints"]["/v1/stats"]
+    assert stats_row["status"]["429"] == 2  # JSON keys are strings
+
+
+def test_metrics_has_no_rate_limiter_section_when_disabled(engine):
+    service = EnrichmentService(engine, capacity=16)
+    server = create_server(service, port=0)  # no rate_limit
+    host, port = server_address(server)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    try:
+        status, metrics = _get(f"http://{host}:{port}/v1/metrics")
+        assert status == 200
+        assert set(metrics) == {"endpoints", "total_requests"}
+    finally:
+        server.shutdown()
+        server.server_close()

@@ -155,6 +155,41 @@ def test_refresh_from_events_with_malgraph_mirrors_exact_groups():
     assert service.enrich(Indicator(name="late-twin")).verdict == VERDICT_MALICIOUS
 
 
+# -- snapshot publication ---------------------------------------------------
+
+
+def test_refresh_publishes_a_new_snapshot_and_leaves_the_old_intact():
+    service = build_service(MalGraph.build(dataset([entry("old-pkg")])))
+    before = service.snapshot
+    fresh = entry("fresh-pkg", code="def f():\n    return 3\n")
+    refresh_index(service.index, dataset([fresh]), service=service)
+    after = service.snapshot
+    assert after is not before
+    assert after.generation == before.generation + 1
+    assert after.index is not before.index
+    # the retired snapshot still answers exactly as it did pre-refresh:
+    # a straggler mid-request never observes a half-applied delta
+    assert before.index.package_count == 1
+    assert before.index.lookup_name("fresh-pkg") == []
+    assert after.index.package_count == 2
+
+
+def test_concurrent_refreshes_compose_not_clobber():
+    service = build_service(MalGraph.build(dataset([entry("old-pkg")])))
+    stale_view = service.index  # both callers hold the same stale index
+    left = entry("pkg-left", code="x = 1\n")
+    right = entry("pkg-right", code="x = 2\n")
+    # the service rebases each delta onto the currently published
+    # snapshot under the writer lock, so the second refresh must not
+    # wipe out the first even though its caller's view predates it
+    refresh_index(stale_view, dataset([left]), service=service)
+    refresh_index(stale_view, dataset([right]), service=service)
+    assert service.index.package_count == 3
+    assert service.enrich(Indicator(name="pkg-left")).verdict == VERDICT_MALICIOUS
+    assert service.enrich(Indicator(name="pkg-right")).verdict == VERDICT_MALICIOUS
+    assert service.generation == 2
+
+
 # -- against the simulated world ------------------------------------------
 
 @pytest.fixture(scope="module")

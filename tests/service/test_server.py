@@ -133,7 +133,7 @@ def test_stats_endpoint_reports_traffic(live):
     base, service = live
     status, body = _get(f"{base}/v1/stats")
     assert status == 200
-    assert set(body) == {"cache", "index", "collection"}
+    assert set(body) == {"cache", "index", "generation", "collection"}
     assert body["cache"]["capacity"] == service.cache.capacity
     assert body["index"]["packages"] == service.index.package_count
 
@@ -206,6 +206,125 @@ def test_metrics_endpoint_shape(live):
         assert set(row) == {"requests", "status", "latency", "rows_returned"}
         assert sum(row["status"].values()) == row["requests"]
         assert row["latency"]["count"] == row["requests"]
+
+
+# -- request framing (Content-Length, body caps, query strings) --------------
+
+
+def _raw_post_headers(base: str, path: str, headers: dict):
+    """POST with hand-rolled headers (urllib always sends a valid CL)."""
+    import http.client
+    from urllib.parse import urlparse as _parse
+
+    url = _parse(base)
+    conn = http.client.HTTPConnection(url.hostname, url.port, timeout=10)
+    try:
+        conn.putrequest("POST", path)
+        for name, value in headers.items():
+            conn.putheader(name, value)
+        conn.endheaders()
+        response = conn.getresponse()
+        return response.status, json.loads(response.read() or b"{}")
+    finally:
+        conn.close()
+
+
+def test_non_numeric_content_length_is_structured_400(live):
+    base, _ = live
+    status, body = _raw_post_headers(
+        base,
+        "/v1/enrich/batch",
+        {"Content-Type": "application/json", "Content-Length": "banana"},
+    )
+    assert status == 400
+    assert "Content-Length" in body["error"]
+    assert "banana" in body["error"]
+
+
+def test_negative_content_length_is_400_not_a_hang(live):
+    """A negative length must answer promptly — never rfile.read(-n)."""
+    import time as _time
+
+    base, _ = live
+    started = _time.perf_counter()
+    status, body = _raw_post_headers(
+        base,
+        "/v1/enrich/batch",
+        {"Content-Type": "application/json", "Content-Length": "-5"},
+    )
+    assert status == 400
+    assert "negative Content-Length" in body["error"]
+    assert _time.perf_counter() - started < 5.0
+
+
+def test_float_content_length_is_400(live):
+    base, _ = live
+    status, body = _raw_post_headers(
+        base,
+        "/v1/enrich/batch",
+        {"Content-Type": "application/json", "Content-Length": "1e9"},
+    )
+    assert status == 400
+    assert "Content-Length" in body["error"]
+
+
+def test_oversized_body_is_413_before_the_read(engine):
+    """The cap applies to the declared length — no body bytes needed."""
+    import time as _time
+
+    service = EnrichmentService(engine, capacity=16)
+    server = create_server(service, port=0, max_body_bytes=64)
+    host, port = server_address(server)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    try:
+        started = _time.perf_counter()
+        # declare a huge body and never send it: the server must answer
+        # 413 from the header alone instead of blocking on the read
+        status, body = _raw_post_headers(
+            f"http://{host}:{port}",
+            "/v1/enrich/batch",
+            {"Content-Type": "application/json", "Content-Length": "100000"},
+        )
+        assert status == 413
+        assert "exceeds the 64 byte limit" in body["error"]
+        assert _time.perf_counter() - started < 5.0
+        # an in-cap request on a fresh connection still works
+        with pytest.raises(urllib.error.HTTPError) as failure:
+            _post(f"http://{host}:{port}/v1/enrich/batch", {"indicators": "x"})
+        assert failure.value.code == 400
+    finally:
+        server.shutdown()
+        server.server_close()
+
+
+def test_blank_query_value_is_rejected_not_dropped(live):
+    """``?name=&sha256=x`` used to silently lose ``name``."""
+    base, _ = live
+    with pytest.raises(urllib.error.HTTPError) as failure:
+        _get(f"{base}/v1/enrich?name=&sha256=ab12")
+    assert failure.value.code == 400
+    assert "blank value" in _error_body(failure.value)["error"]
+
+
+def test_repeated_query_parameter_is_rejected(live, small_dataset):
+    """``?name=a&name=b`` used to silently take the first value."""
+    base, _ = live
+    name = small_dataset.entries[0].package.name
+    with pytest.raises(urllib.error.HTTPError) as failure:
+        _get(f"{base}/v1/enrich?name={quote(name)}&name=other")
+    assert failure.value.code == 400
+    assert "repeated query parameter" in _error_body(failure.value)["error"]
+
+
+def test_unknown_query_parameter_is_rejected(live):
+    base, _ = live
+    with pytest.raises(urllib.error.HTTPError) as failure:
+        _get(f"{base}/v1/enrich?nmae=left-pad")
+    assert failure.value.code == 400
+    body = _error_body(failure.value)
+    assert "unknown query parameter" in body["error"]
+    assert "nmae" in body["error"]
 
 
 def test_serve_reports_port_already_in_use(engine, capsys):
