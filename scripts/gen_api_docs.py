@@ -29,7 +29,7 @@ HTTP_API = """\
 ## HTTP API contract
 
 The enrichment server (`repro serve`, `repro.service.server`) speaks
-JSON over six endpoints:
+JSON over seven endpoints:
 
 | Endpoint | Method | Payload |
 |---|---|---|
@@ -39,6 +39,7 @@ JSON over six endpoints:
 | `/v1/enrich?name=&version=&sha256=&ecosystem=` | GET | one `EnrichmentResult` |
 | `/v1/enrich/batch` | POST | `{"count": N, "results": [...]}` |
 | `/v1/query` | POST | `{"pattern": "<query>"}` → query result, see below |
+| `/v1/feed?cursor=&limit=` | GET | one page of the detection feed, see below |
 
 ### `GET /v1/metrics`
 
@@ -64,7 +65,8 @@ histogram (`repro.service.metrics`):
 ```
 
 `rows_returned` accumulates the row counts of successful `/v1/query`
-responses (always `0` for the other endpoints).
+responses and the item counts of `/v1/feed` pages (always `0` for
+the other endpoints).
 
 Requests to paths outside the known set pool under the `"other"`
 endpoint; status `0` counts clients that disconnected before a reply
@@ -72,14 +74,28 @@ could be sent.
 
 `/v1/healthz` reports `"degraded"` (still HTTP `200` — the service
 itself is healthy) when the backing collection artifact was built
-under a fault plan and lost data; see `repro.reliability`.
+under a fault plan and lost data; see `repro.reliability`. When the
+artifact carries per-source connector lifecycle health
+(`repro.connectors`), the body grows a `"sources"` map of
+`{"<source>": "healthy" | "degraded" | "dark" | "recovering"}`; the
+key is absent for artifacts that predate connectors.
 
 `/v1/stats` additionally carries `"generation"` — the monotonically
 increasing id of the published service snapshot, bumped by every
 refresh (`repro.service.refresh`). The `"cache"` section reports the
 shard-summed books of the N-way sharded LRU (`"shards"` included);
 `hits + misses` always equals the number of cache probes, across
-shards and across refreshes.
+shards and across refreshes. Connector-era services also carry a
+`"sources"` section with each connector's full
+`SourceHealth.to_dict()` (state, failure/quarantine counters,
+transition ledger).
+
+When source health is present, `GET /v1/metrics` grows a top-level
+`"connectors"` section: the same per-source health dicts plus the
+feed exporter's pagination books (`pages_served`,
+`cursors_expired`, `generations_cached`). A service built with a
+webhook dispatcher adds a `"webhooks"` section with its exact
+delivery books (`enqueued == delivered + dead_lettered + pending`).
 
 ### Rate limiting
 
@@ -181,6 +197,80 @@ CALL neighborhood('cg:CG-0012', 2)
   node id, a bare package name, or `attr:value` over any indexed
   attribute (including group ids such as `cg:CG-0003` and
   `actor:<alias>`); `edge_types` is a `|`-separated list.
+
+### `GET /v1/feed`
+
+A STIX-ish export of every detection the service holds
+(`repro.service.feed`), paginated with opaque cursors that survive
+index refreshes. Also available offline as `repro feed` (same JSON,
+same cursors). A page:
+
+```json
+{
+  "generation": 4,
+  "total": 434,
+  "offset": 0,
+  "count": 100,
+  "items": [
+    {
+      "type": "indicator",
+      "id": "indicator--npm--left-pad--1.0.0",
+      "name": "Malicious package npm/left-pad@1.0.0",
+      "labels": ["malicious-activity"],
+      "pattern": "[package:ecosystem = 'npm' AND package:name = 'left-pad' AND package:version = '1.0.0']",
+      "pattern_type": "package-coordinate",
+      "valid_from_day": 100,
+      "detected_day": 120,
+      "removed_day": null,
+      "sha256": "…",
+      "external_references": [
+        {"source_name": "maloss", "report_day": 120, "shares_artifact": true}
+      ]
+    }
+  ],
+  "next_cursor": "eyJnIjo0LCJvIjoxMDB9"
+}
+```
+
+* **Cursors are generation-tagged.** Each cursor encodes the snapshot
+  generation it was minted against, and the server keeps the last few
+  generations' item lists immutable — so a walk started before a
+  refresh keeps seeing exactly the items of its own generation: zero
+  duplicated, zero missed, even with a publish landing between every
+  pair of page requests. A fresh walk (no cursor) always starts on
+  the current generation. Follow `next_cursor` until it is `null`.
+* **Expiry is explicit.** A cursor whose generation has been evicted
+  answers `410 Gone` — never a silently wrong page:
+
+  ```json
+  {
+    "error": "…",
+    "expired_generation": 0,
+    "current_generation": 5,
+    "restart": "/v1/feed"
+  }
+  ```
+
+* **Validation.** `limit` must be an integer in `[1, 1000]`; unknown,
+  repeated, or blank query parameters and malformed cursors answer
+  `400`. A service built without a feed exporter replies `503`.
+
+### Webhook push
+
+`repro serve --webhook URL` (or
+`build_service(..., webhook=WebhookDispatcher(url))`) POSTs one event
+to the subscriber whenever a refresh publishes new detections:
+
+```json
+{"event": "new-detections", "generation": 5, "count": 2, "items": [...]}
+```
+
+`items` are the same indicator objects `/v1/feed` serves — only the
+entries *new* in that generation; a republish with no additions sends
+nothing. Deliveries retry with exponential backoff; an exhausted
+delivery lands in a bounded dead-letter book
+(`WebhookDispatcher.redeliver_dead()` re-queues it), and the exact
+books are surfaced as the `"webhooks"` section of `/v1/metrics`.
 
 ### Error responses
 

@@ -330,29 +330,83 @@ def cmd_enrich(args: argparse.Namespace) -> int:
 
 
 def cmd_serve(args: argparse.Namespace) -> int:
-    from repro.service import build_service, serve
+    from repro.service import WebhookDispatcher, build_service, serve
 
     artifacts = _artifacts(args)
+    webhook = None
+    if args.webhook:
+        webhook = WebhookDispatcher(args.webhook)
+    collection_stats = artifacts.collection.stats
     service = build_service(
         artifacts.malgraph,
         capacity=args.cache,
-        degraded=artifacts.collection.stats.degraded,
+        degraded=collection_stats.degraded,
         shards=args.shards,
+        source_health=collection_stats.source_health,
+        webhook=webhook,
     )
     print(
         f"indexed {service.index.package_count} packages "
         f"(seed={args.seed}, scale={args.scale}, "
         f"{service.cache.shard_count} cache shards)"
     )
-    server = serve(
-        service,
-        host=args.host,
-        port=args.port,
-        verbose=args.verbose,
-        rate_limit=args.rate_limit if args.rate_limit > 0 else None,
-        rate_burst=args.burst,
-    )
+    if webhook is not None:
+        print(f"pushing new detections to {webhook.url}")
+    try:
+        server = serve(
+            service,
+            host=args.host,
+            port=args.port,
+            verbose=args.verbose,
+            rate_limit=args.rate_limit if args.rate_limit > 0 else None,
+            rate_burst=args.burst,
+        )
+    finally:
+        if webhook is not None:
+            webhook.flush(timeout=5.0)
+            webhook.close()
     return 0 if server is not None else 2
+
+
+def cmd_feed(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.service import build_service
+
+    artifacts = _artifacts(args)
+    collection_stats = artifacts.collection.stats
+    service = build_service(
+        artifacts.malgraph,
+        degraded=collection_stats.degraded,
+        source_health=collection_stats.source_health,
+    )
+    if args.cursor is not None or args.limit is not None:
+        # One page, exactly as /v1/feed would answer it.
+        from repro.service import CursorError, CursorExpired
+
+        try:
+            page = service.feed.page(cursor=args.cursor, limit=args.limit)
+        except CursorExpired as error:
+            print(f"cursor expired: {error}", file=sys.stderr)
+            return 2
+        except CursorError as error:
+            print(f"bad cursor/limit: {error}", file=sys.stderr)
+            return 2
+        payload = page
+    else:
+        items = service.feed.walk()
+        payload = {
+            "generation": service.snapshot.generation,
+            "total": len(items),
+            "items": items,
+        }
+    rendered = json.dumps(payload, indent=2, sort_keys=True)
+    if args.out:
+        Path(args.out).write_text(rendered + "\n")
+        print(f"wrote {payload['total']} indicators to {args.out}")
+    else:
+        print(rendered)
+    return 0
 
 
 def cmd_update(args: argparse.Namespace) -> int:
@@ -691,11 +745,39 @@ def build_parser() -> argparse.ArgumentParser:
         help="token-bucket burst size (default: the --rate-limit value)",
     )
     serve.add_argument(
+        "--webhook",
+        default=None,
+        metavar="URL",
+        help="POST a new-detections event to URL whenever a published "
+        "refresh adds packages (retries with backoff; failures land in "
+        "the dead-letter book under /v1/metrics)",
+    )
+    serve.add_argument(
         "--verbose",
         action="store_true",
         help="log every request and print the metrics summary on shutdown",
     )
     serve.set_defaults(func=cmd_serve)
+
+    feed = sub.add_parser(
+        "feed",
+        help="export the STIX-ish detection feed (what GET /v1/feed serves)",
+    )
+    feed.add_argument(
+        "--cursor",
+        default=None,
+        help="resume a paginated walk from this opaque cursor (one page)",
+    )
+    feed.add_argument(
+        "--limit",
+        type=int,
+        default=None,
+        help="page size; with no --cursor, returns just the first page",
+    )
+    feed.add_argument(
+        "--out", default=None, help="write the JSON here instead of stdout"
+    )
+    feed.set_defaults(func=cmd_feed)
 
     return parser
 

@@ -21,6 +21,8 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.collection.mirrorsearch import RecoveryStats, recover_from_mirrors
+from repro.connectors.builtin import OpenDatasetConnector, builtin_registry
+from repro.connectors.registry import ConnectorRegistry
 from repro.collection.records import (
     CollectedReport,
     DatasetEntry,
@@ -62,6 +64,9 @@ class CollectionStats:
     degraded: bool = False
     #: Full quarantine ledger of a resilient run; None for plain runs.
     degradation: Optional[DegradationReport] = None
+    #: per-source lifecycle health at end of run (connector key ->
+    #: :meth:`repro.connectors.SourceHealth.to_dict`), in Table-I order.
+    source_health: Dict[str, dict] = field(default_factory=dict)
 
 
 @dataclass
@@ -79,6 +84,7 @@ class CollectionPipeline:
         mirrors: MirrorNetwork,
         profiles: Sequence[SourceProfile] = tuple(SOURCE_PROFILES),
         resilience=None,
+        connectors: Optional[ConnectorRegistry] = None,
     ):
         self.registries = registries
         self.mirrors = mirrors
@@ -87,6 +93,14 @@ class CollectionPipeline:
         #: fallible stage retries through it and quarantines what still
         #: fails into its DegradationReport instead of raising.
         self.resilience = resilience
+        #: the pluggable source catalogue; every stage-1 record flows
+        #: through a connector's fetch → parse → validate → normalise
+        #: path, and every source's lifecycle health lives here.
+        self.connectors = (
+            connectors
+            if connectors is not None
+            else builtin_registry(self.profiles)
+        )
         from repro.intel.web import advisory_site
 
         self._site_to_source = {
@@ -129,6 +143,8 @@ class CollectionPipeline:
         reports = self._resolve_reports(
             crawled_reports, entries, report_corpus.websites, stats
         )
+        self._settle_crawl_health()
+        stats.source_health = self.connectors.health_snapshot()
         if self.resilience is not None:
             stats.degradation = self.resilience.finalise()
             stats.degraded = stats.degradation.degraded
@@ -168,35 +184,36 @@ class CollectionPipeline:
                     entry.artifact_origin = f"source:{record.source}"
 
     def _fetch_feeds(self, records) -> set:
-        """Pull each open-dataset source's feed; identity set of survivors.
+        """Pull each open-dataset connector; identity set of survivors.
 
-        Without fault injection every record survives. Under a fault plan
-        each source's feed is fetched through the retry machinery; a feed
-        that stays dark loses its records (``skipped_sources``), and one
-        that only ever emitted partially degrades to the best partial
-        emission seen (``partial_sources``).
+        Every source's records are bound to its connector and pulled
+        through the fetch → parse → validate → normalise template.
+        Without fault injection that is the trivial fast path and every
+        record survives (the connectors' ``normalise`` returns the very
+        objects attribution produced, so collection output is
+        byte-identical). Under a fault plan each pull runs through the
+        retry machinery: a feed that stays dark loses its records
+        (``skipped_sources``, connector goes dark), one that only ever
+        emitted partially degrades to the best partial emission seen
+        (``partial_sources``), and drifted records are quarantined
+        one-by-one (``quarantined_records``, connector degraded).
         """
-        ctx = self.resilience
-        if ctx is None or ctx.injector is None:
-            return {id(r) for r in records}
-        from repro.reliability.faults import FaultyFeed
-
         by_source: Dict[str, List] = {}
         for record in records:
             by_source.setdefault(record.source, []).append(record)
         surviving: set = set()
         for source in sorted(by_source):
-            feed = FaultyFeed(source, by_source[source], ctx.injector)
-            outcome = ctx.call(f"feed:{source}", feed.fetch)
-            if outcome.ok:
-                surviving.update(id(r) for r in outcome.value)
-            elif feed.best_partial:
-                surviving.update(id(r) for r in feed.best_partial)
-                ctx.report.partial_source(
-                    source, len(by_source[source]) - len(feed.best_partial)
+            connector = self.connectors.maybe(source)
+            if connector is None:
+                # A profile the registry does not know (custom world
+                # with a hand-built registry): give it a builtin shell.
+                profile = next(p for p in self.profiles if p.key == source)
+                connector = self.connectors.register(
+                    OpenDatasetConnector(profile)
                 )
-            else:
-                ctx.report.skip_source(source)
+            connector.bind(by_source[source])
+            pull = connector.pull(self.resilience)
+            surviving.update(id(r) for r in pull.records)
         return surviving
 
     # -- stage 2: web crawl ------------------------------------------------
@@ -260,6 +277,43 @@ class CollectionPipeline:
                 if artifact is not None:
                     entry.artifact = artifact
                     entry.artifact_origin = f"source:{source_key}"
+
+    def _settle_crawl_health(self) -> None:
+        """Fold crawl/SNS outcomes into the connectors' health machines.
+
+        Open-dataset health settles inside each connector's ``pull``;
+        website and SNS records arrive via the spider and the tweet
+        stream, so their connectors learn the verdict here: a source
+        whose site (blog or advisory database) was skipped outright went
+        dark, one that lost individual pages degraded, everything else
+        pulled clean.
+        """
+        report = None if self.resilience is None else self.resilience.report
+        skipped_sites = set(report.skipped_sites) if report else set()
+        lost_hosts = set()
+        if report is not None:
+            for url in report.skipped_urls:
+                rest = url.split("//", 1)[-1]
+                lost_hosts.add(rest.split("/", 1)[0])
+        for profile in self.profiles:
+            connector = self.connectors.maybe(profile.key)
+            if connector is None:
+                continue
+            if profile.kind == SourceKind.WEBSITE:
+                from repro.intel.web import advisory_site
+
+                sites = {profile.website, advisory_site(profile)}
+                hosts = {site.split("/", 1)[0] for site in sites}
+                if sites & skipped_sites:
+                    connector.health.record_outage()
+                elif hosts & lost_hosts:
+                    connector.health.record_partial()
+                else:
+                    connector.health.record_success()
+            elif profile.kind == SourceKind.SNS:
+                # The tweet stream has no fault surface (yet): reading
+                # it succeeded by the time we got here.
+                connector.health.record_success()
 
     # -- shared helpers ------------------------------------------------------
     def _claim(

@@ -1,0 +1,68 @@
+"""Pluggable intel-connector framework (fetch → parse → normalise).
+
+One connector per online source: a wire-schema'd ingestion path with
+per-source schedules on the simulated clock, a four-state lifecycle
+health machine (healthy → degraded → dark → recovering), and
+record-by-record quarantine of format drift. The ten Table-I sources
+ship as builtin connectors; custom sources subclass
+:class:`Connector` and register alongside them (docs/TUTORIAL.md walks
+through one).
+"""
+
+from repro.connectors.base import (
+    WIRE_SCHEMA,
+    Connector,
+    ConnectorSchedule,
+    PullResult,
+    encode_wire,
+    record_key,
+    validate_wire,
+)
+from repro.connectors.builtin import (
+    AdvisoryWebConnector,
+    OpenDatasetConnector,
+    ProfileConnector,
+    SNSFeedConnector,
+    builtin_connector,
+    builtin_registry,
+    health_for,
+    schedule_for,
+)
+from repro.connectors.health import (
+    HEALTH_DARK,
+    HEALTH_DEGRADED,
+    HEALTH_HEALTHY,
+    HEALTH_RECOVERING,
+    HEALTH_RELIABILITY_FACTOR,
+    HEALTH_STATES,
+    SourceHealth,
+)
+from repro.connectors.registry import ConnectorRegistry
+from repro.connectors.scheduler import ConnectorScheduler
+
+__all__ = [
+    "WIRE_SCHEMA",
+    "Connector",
+    "ConnectorSchedule",
+    "PullResult",
+    "encode_wire",
+    "record_key",
+    "validate_wire",
+    "AdvisoryWebConnector",
+    "OpenDatasetConnector",
+    "ProfileConnector",
+    "SNSFeedConnector",
+    "builtin_connector",
+    "builtin_registry",
+    "health_for",
+    "schedule_for",
+    "HEALTH_DARK",
+    "HEALTH_DEGRADED",
+    "HEALTH_HEALTHY",
+    "HEALTH_RECOVERING",
+    "HEALTH_RELIABILITY_FACTOR",
+    "HEALTH_STATES",
+    "SourceHealth",
+    "ConnectorRegistry",
+    "ConnectorScheduler",
+]

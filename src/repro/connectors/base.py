@@ -1,0 +1,271 @@
+"""The Connector protocol: fetch → parse → normalise, resiliently.
+
+A connector is the unit of intel ingestion: one online source, one
+wire format, one lifecycle. The stages are:
+
+* **fetch** — pull the source's raw payload (a list of *wire records*,
+  plain dicts). Under a fault plan this is the stage that fails: the
+  resilient pull wraps it in :class:`~repro.reliability.FaultyFeed`
+  behind the PR-4 retry/breaker machinery;
+* **parse** — split the payload into individual wire records (identity
+  for the builtin feeds, a real parser for custom formats);
+* **normalise** — turn one *validated* wire record into the domain
+  record the pipeline consumes.
+
+Between parse and normalise sits :func:`validate_wire`: schema
+validation against :data:`WIRE_SCHEMA` that quarantines drifted records
+one-by-one (into the run's :class:`~repro.reliability.DegradationReport`)
+instead of aborting the source — a feed whose upstream renamed a field
+still contributes every record that survived the drift.
+
+Byte-identity contract: builtin connectors encode each
+:class:`~repro.intel.sources.SourceEntry` into its wire dict alongside
+a private ``_record`` reference to the original object, and their
+``normalise`` returns that object — so a null-plan pull emits the
+*identical* record objects attribution produced, in the same order, and
+collection output is byte-for-byte what it was before connectors
+existed. Keys starting with ``_`` are transport-private and invisible
+to schema validation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence
+
+from repro.connectors.health import SourceHealth
+
+if TYPE_CHECKING:  # imported lazily at runtime (intel pulls in the
+    # crawler, and the crawler's spider reads intel.web back)
+    from repro.intel.sources import SourceEntry
+
+#: The wire schema every record must satisfy after parse. Values are
+#: the required Python types; validation is exact-type (``bool`` is not
+#: an ``int`` here) so malformed drift is always caught.
+WIRE_SCHEMA: Dict[str, type] = {
+    "source": str,
+    "ecosystem": str,
+    "name": str,
+    "version": str,
+    "report_day": int,
+    "shares_artifact": bool,
+}
+
+
+def encode_wire(entry: "SourceEntry") -> dict:
+    """Encode one attribution record into its wire form.
+
+    The private ``_record`` key carries the original object through the
+    fetch/validate path so ``normalise`` can return it unchanged.
+    """
+    return {
+        "source": entry.source,
+        "ecosystem": entry.package.ecosystem,
+        "name": entry.package.name,
+        "version": entry.package.version,
+        "report_day": entry.report_day,
+        "shares_artifact": entry.shares_artifact,
+        "_record": entry,
+    }
+
+
+def validate_wire(wire: dict) -> List[str]:
+    """Validate one wire record; returns the list of schema violations.
+
+    An empty list means the record is clean. Keys starting with ``_``
+    are transport-private and ignored; unknown public keys are
+    violations (that is how a renamed field surfaces).
+    """
+    problems: List[str] = []
+    for key, expected in WIRE_SCHEMA.items():
+        if key not in wire:
+            problems.append(f"missing field {key!r}")
+            continue
+        value = wire[key]
+        # Exact-type check (not isinstance): bool subclasses int, and a
+        # True where an int belongs is exactly the drift to catch.
+        if type(value) is not expected:
+            problems.append(
+                f"field {key!r} has type {type(value).__name__}, "
+                f"expected {expected.__name__}"
+            )
+    for key in wire:
+        if not key.startswith("_") and key not in WIRE_SCHEMA:
+            problems.append(f"unknown field {key!r}")
+    return problems
+
+
+def record_key(wire: dict) -> str:
+    """Stable identity of a wire record (drives the drift draw seed)."""
+    return f"{wire.get('ecosystem')}|{wire.get('name')}|{wire.get('version')}"
+
+
+@dataclass(frozen=True)
+class ConnectorSchedule:
+    """When a connector polls, on the simulated day clock.
+
+    ``interval_days == 0`` means the source never updates after its
+    first pull (the Table V "Never update" cadence): it is due exactly
+    once while active.
+    """
+
+    interval_days: int = 1
+    active_from: int = 0
+    active_until: Optional[int] = None
+
+    def active_at(self, day: int) -> bool:
+        if day < self.active_from:
+            return False
+        return self.active_until is None or day <= self.active_until
+
+    def due(self, day: int, last_pull_day: Optional[int]) -> bool:
+        """True when the connector should poll on ``day``."""
+        if not self.active_at(day):
+            return False
+        if last_pull_day is None:
+            return True
+        if self.interval_days <= 0:
+            return False  # never updates again after the first pull
+        return day - last_pull_day >= self.interval_days
+
+
+@dataclass
+class PullResult:
+    """What one connector pull contributed, and at what cost."""
+
+    source: str
+    #: "ok" (full emission), "partial" (best partial emission after
+    #: exhausted retries), or "skipped" (nothing: the source was dark).
+    status: str = "ok"
+    #: normalised records that survived fetch + schema validation.
+    records: List = field(default_factory=list)
+    #: records quarantined by schema validation, by drift kind.
+    quarantined: int = 0
+    quarantine_kinds: Dict[str, int] = field(default_factory=dict)
+    #: records lost to a partial emission (never even arrived).
+    lost: int = 0
+    #: fetch attempts the pull consumed (1 when nothing went wrong).
+    attempts: int = 1
+
+    @property
+    def clean(self) -> bool:
+        return self.status == "ok" and self.quarantined == 0
+
+
+class Connector:
+    """Base class for one intel source's ingestion lifecycle.
+
+    Subclasses override :meth:`fetch` (and, for custom wire formats,
+    :meth:`parse` / :meth:`normalise`). The :meth:`pull` template method
+    owns the resilient plumbing — retries, partial degradation, drift
+    quarantine, health transitions — so a custom connector is ~20 lines
+    (see docs/TUTORIAL.md).
+    """
+
+    def __init__(
+        self,
+        key: str,
+        schedule: Optional[ConnectorSchedule] = None,
+        health: Optional[SourceHealth] = None,
+    ):
+        self.key = key
+        self.schedule = schedule if schedule is not None else ConnectorSchedule()
+        self.health = health if health is not None else SourceHealth(key)
+        self.last_pull_day: Optional[int] = None
+
+    # -- stages a subclass implements --------------------------------------
+    def fetch(self) -> List[dict]:
+        """Pull the source's raw payload (may raise transient errors)."""
+        raise NotImplementedError
+
+    def parse(self, payload: Sequence[dict]) -> List[dict]:
+        """Split the payload into wire records. Identity by default."""
+        return list(payload)
+
+    def normalise(self, wire: dict) -> object:
+        """Turn one validated wire record into a domain record."""
+        record = wire.get("_record")
+        if record is None:
+            raise NotImplementedError(
+                f"connector {self.key!r} must override normalise() for "
+                "wire records without a _record reference"
+            )
+        return record
+
+    # -- the template method ------------------------------------------------
+    def pull(self, resilience=None, day: Optional[int] = None) -> PullResult:
+        """One full fetch → parse → validate → normalise cycle.
+
+        With a :class:`~repro.reliability.ResilienceContext` carrying an
+        injector, the fetch runs through the retry/breaker machinery and
+        record-level drift is drawn per surviving record; without one,
+        the pull is the trivial fast path (and byte-identical to the
+        pre-connector pipeline for the builtin feeds).
+        """
+        result = PullResult(source=self.key)
+        if resilience is None or resilience.injector is None:
+            wires = self.parse(self.fetch())
+        else:
+            wires = self._resilient_fetch(resilience, result)
+        if result.status == "skipped":
+            self.health.record_outage(day)
+            self.last_pull_day = day
+            return result
+        injector = None if resilience is None else resilience.injector
+        report = None if resilience is None else resilience.report
+        for wire in wires:
+            if injector is not None:
+                # Draw keyed on the *clean* identity, then corrupt: the
+                # drifted bytes must not perturb the draw sequence.
+                kind = injector.record_fault(self.key, record_key(wire))
+                if kind is not None:
+                    from repro.reliability.faults import corrupt_wire
+
+                    wire = corrupt_wire(wire, kind)
+            problems = validate_wire(wire)
+            if problems:
+                fault = wire.get("_fault", "schema_invalid")
+                result.quarantined += 1
+                result.quarantine_kinds[fault] = (
+                    result.quarantine_kinds.get(fault, 0) + 1
+                )
+                if report is not None:
+                    report.quarantine_record(self.key, fault)
+                continue
+            result.records.append(self.normalise(wire))
+        self._settle_health(result, day)
+        self.last_pull_day = day
+        return result
+
+    def _resilient_fetch(self, resilience, result: PullResult) -> List[dict]:
+        """Fetch through FaultyFeed + retries; degrade, don't die."""
+        from repro.reliability.faults import FaultyFeed
+
+        wires = self.parse(self.fetch())
+        feed = FaultyFeed(self.key, wires, resilience.injector)
+        outcome = resilience.call(f"feed:{self.key}", feed.fetch)
+        result.attempts = outcome.attempts
+        resilience.report.feed_attempt(self.key, outcome.attempts)
+        if outcome.ok:
+            return outcome.value
+        if feed.best_partial:
+            result.status = "partial"
+            result.lost = len(wires) - len(feed.best_partial)
+            resilience.report.partial_source(self.key, result.lost)
+            return feed.best_partial
+        result.status = "skipped"
+        resilience.report.skip_source(self.key)
+        return []
+
+    def _settle_health(self, result: PullResult, day: Optional[int]) -> None:
+        if result.status == "partial":
+            self.health.record_partial(day)
+            self.health.quarantined_total += result.quarantined
+        else:
+            self.health.record_success(day, quarantined=result.quarantined)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"{type(self).__name__}({self.key!r}, "
+            f"state={self.health.state!r})"
+        )

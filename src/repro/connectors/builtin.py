@@ -1,0 +1,126 @@
+"""Builtin connectors for the ten Table-I sources.
+
+Each :class:`~repro.intel.sources.SourceProfile` maps onto a connector
+whose schedule mirrors the profile's Table-V cadence (activity window +
+update interval; interval 0 is the "Never update" row) and whose health
+machine watches staleness against twice that cadence.
+
+All three kinds share the same transport: attribution's
+:class:`~repro.intel.sources.SourceEntry` records are bound to the
+connector, encoded to wire dicts on fetch, and decoded back to the
+*same objects* by ``normalise`` — which is what keeps a null-plan
+collection run byte-identical to the pre-connector pipeline. The kinds
+differ in how the pipeline drives them: open datasets pull through
+:meth:`~repro.connectors.base.Connector.pull`; website and SNS sources
+get their records via the crawler/tweet stages, so their connectors
+exist for scheduling and health (the pipeline marks crawl outages on
+them directly).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterable, List, Optional, Sequence
+
+from repro.connectors.base import Connector, ConnectorSchedule, encode_wire
+from repro.connectors.health import SourceHealth
+from repro.connectors.registry import ConnectorRegistry
+from repro.errors import ConfigError
+
+if TYPE_CHECKING:  # imported lazily at runtime (see base.py)
+    from repro.intel.sources import SourceEntry, SourceProfile
+
+
+def schedule_for(profile: "SourceProfile") -> ConnectorSchedule:
+    """The profile's Table-V cadence as a connector schedule."""
+    return ConnectorSchedule(
+        interval_days=profile.update_interval_days,
+        active_from=profile.active_from,
+        active_until=profile.last_update,
+    )
+
+
+def health_for(profile: "SourceProfile") -> SourceHealth:
+    """Health machine with a staleness budget of twice the cadence."""
+    interval = profile.update_interval_days
+    return SourceHealth(
+        profile.key,
+        stale_after=2 * interval if interval > 0 else None,
+    )
+
+
+class ProfileConnector(Connector):
+    """A connector backed by a Table-I source profile.
+
+    Records are *bound* per run (attribution decides what each source
+    knows); ``fetch`` then serves them in wire form, in bound order.
+    """
+
+    def __init__(
+        self,
+        profile: "SourceProfile",
+        records: Optional[Sequence["SourceEntry"]] = None,
+    ):
+        super().__init__(
+            profile.key,
+            schedule=schedule_for(profile),
+            health=health_for(profile),
+        )
+        self.profile = profile
+        self._records: List["SourceEntry"] = list(records or ())
+
+    def bind(self, records: Iterable["SourceEntry"]) -> "ProfileConnector":
+        """Set the records this source serves (replaces any previous)."""
+        self._records = list(records)
+        return self
+
+    def extend(self, records: Iterable["SourceEntry"]) -> None:
+        """Append newly-published records (mid-run source updates)."""
+        self._records.extend(records)
+
+    @property
+    def bound(self) -> int:
+        return len(self._records)
+
+    def fetch(self) -> List[dict]:
+        return [encode_wire(record) for record in self._records]
+
+
+class OpenDatasetConnector(ProfileConnector):
+    """Downloadable open dataset (Table I kind "dataset")."""
+
+
+class AdvisoryWebConnector(ProfileConnector):
+    """Website source: blog reports + per-package advisory database."""
+
+
+class SNSFeedConnector(ProfileConnector):
+    """SNS source: the tweet stream."""
+
+
+# Keyed by SourceKind.value (the enum is a str subclass) so this module
+# never has to import intel at load time.
+_KIND_TO_CONNECTOR = {
+    "dataset": OpenDatasetConnector,
+    "website": AdvisoryWebConnector,
+    "sns": SNSFeedConnector,
+}
+
+
+def builtin_connector(profile: "SourceProfile") -> ProfileConnector:
+    """The builtin connector class for one profile's kind."""
+    cls = _KIND_TO_CONNECTOR.get(profile.kind.value)
+    if cls is None:  # pragma: no cover - enum is closed
+        raise ConfigError(f"no builtin connector for kind {profile.kind!r}")
+    return cls(profile)
+
+
+def builtin_registry(
+    profiles: Optional[Sequence["SourceProfile"]] = None,
+) -> ConnectorRegistry:
+    """A registry holding one builtin connector per profile (default:
+    the ten Table-I sources)."""
+    if profiles is None:
+        from repro.intel.sources import SOURCE_PROFILES
+
+        profiles = tuple(SOURCE_PROFILES)
+    return ConnectorRegistry(builtin_connector(p) for p in profiles)

@@ -1,0 +1,195 @@
+"""Per-source lifecycle health: the connector state machine.
+
+A real intel source is not binary up/down — Table V's cadence column is
+a study in sources that drift out of date, Table I's "never update"
+datasets are sources that went dark and stayed useful, and a feed whose
+schema drifted emits records that no longer parse. :class:`SourceHealth`
+models that lifecycle as four states:
+
+* **healthy** — the last pull answered in full and validated cleanly;
+* **degraded** — answering, but wrong: records quarantined by schema
+  validation, a partial emission, or a first consecutive fetch failure,
+  or the source has gone stale against its advertised cadence;
+* **dark** — not answering at all: ``dark_after`` consecutive failures,
+  a whole-operation outage, or staleness past twice the budget;
+* **recovering** — a dark source answered cleanly again; it must string
+  ``recover_after`` consecutive clean pulls together before it earns
+  ``healthy`` back (one good poll proves little after an outage).
+
+Health feeds verdict confidence: :data:`HEALTH_RELIABILITY_FACTOR`
+scales a source's static reliability (sector/cadence/artifact-sharing,
+:func:`repro.service.index.source_reliability`) by its live state, so a
+verdict backed only by a dark feed is worth a fraction of the same
+verdict from a healthy one.
+
+This module is dependency-free by design: the enrichment engine imports
+the factor table without dragging the collection machinery along.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+HEALTH_HEALTHY = "healthy"
+HEALTH_DEGRADED = "degraded"
+HEALTH_DARK = "dark"
+HEALTH_RECOVERING = "recovering"
+
+HEALTH_STATES = (
+    HEALTH_HEALTHY,
+    HEALTH_DEGRADED,
+    HEALTH_DARK,
+    HEALTH_RECOVERING,
+)
+
+#: How much of a source's static reliability its live state retains.
+HEALTH_RELIABILITY_FACTOR: Dict[str, float] = {
+    HEALTH_HEALTHY: 1.0,
+    HEALTH_RECOVERING: 0.75,
+    HEALTH_DEGRADED: 0.6,
+    HEALTH_DARK: 0.25,
+}
+
+
+class SourceHealth:
+    """The health state machine for one connector.
+
+    Driven by three signals: consecutive fetch failures
+    (:meth:`record_failure` / :meth:`record_outage`), schema-validation
+    quarantines on otherwise-successful pulls (``quarantined=`` on
+    :meth:`record_success`), and staleness against the source's cadence
+    (:meth:`check_staleness`). Every transition is appended to
+    :attr:`transitions` as ``(day, from_state, to_state)`` so tests and
+    operators can audit the full lifecycle, not just the latest state.
+    """
+
+    def __init__(
+        self,
+        key: str,
+        degraded_after: int = 1,
+        dark_after: int = 3,
+        recover_after: int = 2,
+        stale_after: Optional[int] = None,
+    ):
+        if degraded_after < 1 or dark_after < degraded_after:
+            raise ValueError(
+                "need 1 <= degraded_after <= dark_after "
+                f"(got {degraded_after}, {dark_after})"
+            )
+        if recover_after < 1:
+            raise ValueError("recover_after must be >= 1")
+        self.key = key
+        self.degraded_after = degraded_after
+        self.dark_after = dark_after
+        self.recover_after = recover_after
+        #: days without a clean success before the source counts as
+        #: stale (degraded); twice this budget darkens it. None = never.
+        self.stale_after = stale_after
+        self.state = HEALTH_HEALTHY
+        self.consecutive_failures = 0
+        self.recovery_streak = 0
+        self.quarantined_total = 0
+        self.last_success_day: Optional[int] = None
+        self.last_attempt_day: Optional[int] = None
+        self.transitions: List[Tuple[Optional[int], str, str]] = []
+
+    def _move(self, state: str, day: Optional[int]) -> None:
+        if state == self.state:
+            return
+        self.transitions.append((day, self.state, state))
+        self.state = state
+
+    # -- signals -----------------------------------------------------------
+    def record_success(
+        self, day: Optional[int] = None, quarantined: int = 0
+    ) -> str:
+        """A pull answered. Clean emissions heal; quarantines degrade."""
+        self.last_attempt_day = day
+        self.consecutive_failures = 0
+        if quarantined > 0:
+            # The feed answers but its records no longer validate —
+            # schema drift is a degradation, not an outage, and it
+            # interrupts any recovery streak.
+            self.quarantined_total += quarantined
+            self.recovery_streak = 0
+            self._move(HEALTH_DEGRADED, day)
+            return self.state
+        self.last_success_day = day
+        if self.state == HEALTH_DARK:
+            self.recovery_streak = 1
+            self._move(HEALTH_RECOVERING, day)
+            if self.recovery_streak >= self.recover_after:
+                self._move(HEALTH_HEALTHY, day)
+        elif self.state == HEALTH_RECOVERING:
+            self.recovery_streak += 1
+            if self.recovery_streak >= self.recover_after:
+                self._move(HEALTH_HEALTHY, day)
+        else:
+            self.recovery_streak = 0
+            self._move(HEALTH_HEALTHY, day)
+        return self.state
+
+    def record_partial(self, day: Optional[int] = None) -> str:
+        """A pull degraded to a partial emission: data, but not all of it."""
+        self.last_attempt_day = day
+        self.last_success_day = day
+        self.consecutive_failures = 0
+        self.recovery_streak = 0
+        self._move(HEALTH_DEGRADED, day)
+        return self.state
+
+    def record_failure(self, day: Optional[int] = None) -> str:
+        """One failed pull; consecutive failures escalate the state."""
+        self.last_attempt_day = day
+        self.recovery_streak = 0
+        self.consecutive_failures += 1
+        if self.state == HEALTH_RECOVERING:
+            # A relapse during recovery goes straight back to dark.
+            self._move(HEALTH_DARK, day)
+        elif self.consecutive_failures >= self.dark_after:
+            self._move(HEALTH_DARK, day)
+        elif self.consecutive_failures >= self.degraded_after:
+            self._move(HEALTH_DEGRADED, day)
+        return self.state
+
+    def record_outage(self, day: Optional[int] = None) -> str:
+        """A whole operation (retries exhausted / breaker) got nothing:
+        the source is dark now, whatever the failure count said."""
+        self.last_attempt_day = day
+        self.recovery_streak = 0
+        self.consecutive_failures = max(
+            self.consecutive_failures + 1, self.dark_after
+        )
+        self._move(HEALTH_DARK, day)
+        return self.state
+
+    def check_staleness(self, day: int) -> str:
+        """Escalate a source whose last clean success is too old."""
+        if self.stale_after is None or self.last_success_day is None:
+            return self.state
+        age = day - self.last_success_day
+        if age > 2 * self.stale_after:
+            self._move(HEALTH_DARK, day)
+        elif age > self.stale_after and self.state == HEALTH_HEALTHY:
+            self._move(HEALTH_DEGRADED, day)
+        return self.state
+
+    # -- summary -----------------------------------------------------------
+    @property
+    def reliability_factor(self) -> float:
+        return HEALTH_RELIABILITY_FACTOR[self.state]
+
+    def to_dict(self) -> Dict:
+        """JSON-safe summary for stats/metrics surfaces."""
+        return {
+            "state": self.state,
+            "consecutive_failures": self.consecutive_failures,
+            "recovery_streak": self.recovery_streak,
+            "quarantined_total": self.quarantined_total,
+            "last_success_day": self.last_success_day,
+            "last_attempt_day": self.last_attempt_day,
+            "reliability_factor": self.reliability_factor,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"SourceHealth({self.key!r}, state={self.state!r})"

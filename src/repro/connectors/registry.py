@@ -1,0 +1,69 @@
+"""Connector registry: the pluggable catalogue of intel sources.
+
+The registry is how the framework stays open: the ten Table-I sources
+register their builtin connectors (see :mod:`repro.connectors.builtin`)
+and a custom source registers its own subclass the same way — the
+pipeline, scheduler and health surfaces iterate the registry and never
+special-case the builtins.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List, Optional
+
+from repro.connectors.base import Connector
+from repro.errors import ConfigError
+
+
+class ConnectorRegistry:
+    """Keyed collection of connectors, in registration order."""
+
+    def __init__(self, connectors: Iterable[Connector] = ()):
+        self._connectors: Dict[str, Connector] = {}
+        for connector in connectors:
+            self.register(connector)
+
+    def register(
+        self, connector: Connector, replace: bool = False
+    ) -> Connector:
+        """Add a connector; re-registering a key requires ``replace``."""
+        if connector.key in self._connectors and not replace:
+            raise ConfigError(
+                f"connector {connector.key!r} is already registered "
+                "(pass replace=True to override)"
+            )
+        self._connectors[connector.key] = connector
+        return connector
+
+    def unregister(self, key: str) -> None:
+        if key not in self._connectors:
+            raise ConfigError(f"no connector registered for {key!r}")
+        del self._connectors[key]
+
+    def get(self, key: str) -> Connector:
+        connector = self._connectors.get(key)
+        if connector is None:
+            raise ConfigError(f"no connector registered for {key!r}")
+        return connector
+
+    def maybe(self, key: str) -> Optional[Connector]:
+        return self._connectors.get(key)
+
+    def keys(self) -> List[str]:
+        return list(self._connectors)
+
+    def __iter__(self) -> Iterator[Connector]:
+        return iter(self._connectors.values())
+
+    def __len__(self) -> int:
+        return len(self._connectors)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._connectors
+
+    def health_snapshot(self) -> Dict[str, dict]:
+        """JSON-safe per-source health, in registration order."""
+        return {
+            key: connector.health.to_dict()
+            for key, connector in self._connectors.items()
+        }

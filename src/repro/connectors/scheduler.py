@@ -1,0 +1,54 @@
+"""Connector scheduler: per-source polling on the simulated day clock.
+
+Collection is a batch run today, but sources live on schedules — Table V
+cadences range from daily to "never again" — and the lifecycle tests
+drive connectors through appearance, drift, darkness and recovery tick
+by tick. :class:`ConnectorScheduler` owns that loop: each :meth:`tick`
+pulls every connector whose schedule says it is due, and runs the
+staleness check on every active connector that was *not* pulled, so a
+source that silently stopped publishing degrades on the clock rather
+than on a failed fetch.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.connectors.base import PullResult
+from repro.connectors.registry import ConnectorRegistry
+
+
+class ConnectorScheduler:
+    """Drives a registry of connectors along the simulated clock."""
+
+    def __init__(self, registry: ConnectorRegistry):
+        self.registry = registry
+        self.ticks = 0
+        self.pulls = 0
+
+    def due(self, day: int):
+        """Connectors whose schedule makes them poll on ``day``."""
+        return [
+            c
+            for c in self.registry
+            if c.schedule.due(day, c.last_pull_day)
+        ]
+
+    def tick(self, day: int, resilience=None) -> Dict[str, PullResult]:
+        """One scheduler step: pull what is due, age what is not.
+
+        Returns the pull results keyed by source, in registry order.
+        """
+        self.ticks += 1
+        results: Dict[str, PullResult] = {}
+        pulled = set()
+        for connector in self.due(day):
+            results[connector.key] = connector.pull(resilience, day=day)
+            pulled.add(connector.key)
+            self.pulls += 1
+        for connector in self.registry:
+            if connector.key in pulled:
+                continue
+            if connector.schedule.active_at(day):
+                connector.health.check_staleness(day)
+        return results

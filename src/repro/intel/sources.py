@@ -328,9 +328,16 @@ class AttributionOutcome:
 
     entries: List[SourceEntry]
     cases: List[DetectionCase]
+    #: the profiles the engine actually attributed with — consumers
+    #: (bucketing, web rendering, collection) resolve sources against
+    #: these, never against the module-global Table-I list, so an engine
+    #: run over custom/connector-registered sources stays coherent.
+    profiles: List[SourceProfile] = field(
+        default_factory=lambda: list(SOURCE_PROFILES)
+    )
 
     def entries_by_source(self) -> Dict[str, List[SourceEntry]]:
-        grouped: Dict[str, List[SourceEntry]] = {p.key: [] for p in SOURCE_PROFILES}
+        grouped: Dict[str, List[SourceEntry]] = {p.key: [] for p in self.profiles}
         for entry in self.entries:
             grouped.setdefault(entry.source, []).append(entry)
         return grouped
@@ -345,6 +352,9 @@ class AttributionEngine:
         seed: int = 11,
     ):
         self.profiles = list(profiles)
+        self.profile_index: Dict[str, SourceProfile] = {
+            p.key: p for p in self.profiles
+        }
         self.rng = random.Random(seed)
 
     # -- industry ---------------------------------------------------------
@@ -381,7 +391,7 @@ class AttributionEngine:
                 ):
                     weights = [c.detection_share for c in candidates]
                     tracked = self.rng.choices(candidates, weights=weights)[0].key
-                if self.rng.random() >= SOURCE_INDEX[tracked].report_coverage:
+                if self.rng.random() >= self.profile_index[tracked].report_coverage:
                     # The tracking analyst never wrote this attempt up.
                     dark.append((campaign, release))
                     continue
@@ -405,7 +415,9 @@ class AttributionEngine:
                             )
                 cases.append(case)
         entries.extend(self._aggregate_academia(entries, dark))
-        return AttributionOutcome(entries=entries, cases=cases)
+        return AttributionOutcome(
+            entries=entries, cases=cases, profiles=list(self.profiles)
+        )
 
     def _entry(
         self,
@@ -415,7 +427,7 @@ class AttributionEngine:
         day: int,
         primary: bool,
     ) -> SourceEntry:
-        profile = SOURCE_INDEX[source_key]
+        profile = self.profile_index[source_key]
         return SourceEntry(
             source=source_key,
             package=release.artifact.id,

@@ -26,7 +26,6 @@ from repro.crawler.html import render_page, tag, text
 from repro.ecosystem.clock import day_to_date
 from repro.intel.reports import ReportCorpus, SecurityReport, Website
 from repro.intel.sources import (
-    SOURCE_PROFILES,
     AttributionOutcome,
     SourceEntry,
     SourceKind,
@@ -201,7 +200,10 @@ def build_web(
             )
         )
     if outcome is not None:
-        profile_index = {p.key: p for p in SOURCE_PROFILES}
+        # Resolve against the outcome's own profiles (not the module
+        # global): a world attributed with custom/connector-registered
+        # sources must render their advisory pages too.
+        profile_index = {p.key: p for p in outcome.profiles}
         for entry in outcome.entries:
             profile = profile_index.get(entry.source)
             if profile is None or profile.kind != SourceKind.WEBSITE:

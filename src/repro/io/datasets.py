@@ -146,6 +146,7 @@ def collection_stats_to_dict(stats) -> dict:
             if stats.degradation is not None
             else None
         ),
+        "source_health": dict(stats.source_health),
     }
 
 
@@ -188,6 +189,7 @@ def collection_stats_from_dict(raw: dict):
             if degradation_raw is not None
             else None
         ),
+        source_health=dict(raw.get("source_health", {})),
     )
 
 

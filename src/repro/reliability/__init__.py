@@ -26,6 +26,7 @@ from repro.reliability.faults import (
     FaultyFeed,
     FaultyMirrorNetwork,
     FaultyWeb,
+    corrupt_wire,
 )
 from repro.reliability.report import DegradationReport
 from repro.reliability.retry import (
@@ -53,5 +54,6 @@ __all__ = [
     "STATE_CLOSED",
     "STATE_HALF_OPEN",
     "STATE_OPEN",
+    "corrupt_wire",
     "retry_call",
 ]

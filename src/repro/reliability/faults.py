@@ -69,6 +69,15 @@ class FaultPlan:
     #: open-dataset feeds: P(no answer) / P(partial emission) per pull.
     feed_outage_rate: float = 0.0
     feed_truncate_rate: float = 0.0
+    #: format drift, per *record* of a feed's finally-contributed
+    #: emission: P(the record arrives malformed — wrong field types) /
+    #: P(a field arrives renamed). A drifted record always fails the
+    #: connector's wire-schema validation and is quarantined
+    #: record-by-record (never aborting the source), so under a
+    #: drift-only plan ``sum(injected record_*) == records quarantined``
+    #: exactly. Mutually exclusive per draw.
+    record_malform_rate: float = 0.0
+    record_rename_rate: float = 0.0
     #: sources that never answer, for the whole run (heavy chaos).
     dark_sources: Tuple[str, ...] = ()
 
@@ -89,6 +98,11 @@ class FaultPlan:
             raise ConfigError(
                 f"fetch fault rates sum to {combined:.3f} > 1"
             )
+        drift = self.record_malform_rate + self.record_rename_rate
+        if drift > 1.0:
+            raise ConfigError(
+                f"record drift rates sum to {drift:.3f} > 1"
+            )
 
     @property
     def is_null(self) -> bool:
@@ -101,6 +115,8 @@ class FaultPlan:
             and self.mirror_down_rate == 0.0
             and self.feed_outage_rate == 0.0
             and self.feed_truncate_rate == 0.0
+            and self.record_malform_rate == 0.0
+            and self.record_rename_rate == 0.0
             and not self.dark_sources
         )
 
@@ -121,6 +137,18 @@ class FaultPlan:
         )
 
     @classmethod
+    def drifting(cls, seed: int = 0) -> "FaultPlan":
+        """Moderate chaos plus format drift: feeds answer (eventually)
+        but some records arrive malformed or with renamed fields, which
+        the connectors quarantine record-by-record — the run completes
+        degraded with exact per-record books."""
+        return replace(
+            cls.moderate(seed),
+            record_malform_rate=0.06,
+            record_rename_rate=0.05,
+        )
+
+    @classmethod
     def heavy(cls, seed: int = 0) -> "FaultPlan":
         """Half the web unreachable and two open datasets dark: the run
         must complete degraded, not die."""
@@ -136,12 +164,14 @@ class FaultPlan:
             dark_sources=("maloss", "datadog"),
         )
 
-    PRESETS = ("moderate", "heavy")
+    PRESETS = ("moderate", "drifting", "heavy")
 
     @classmethod
     def preset(cls, name: str, seed: int = 0) -> "FaultPlan":
         if name == "moderate":
             return cls.moderate(seed)
+        if name == "drifting":
+            return cls.drifting(seed)
         if name == "heavy":
             return cls.heavy(seed)
         raise ConfigError(
@@ -259,12 +289,58 @@ class FaultInjector:
             return "feed_truncated"
         return None
 
+    def record_fault(self, source: str, record_key: str) -> Optional[str]:
+        """The drift kind (if any) for one record of ``source``'s feed.
+
+        Drawn once per record of the *finally contributed* emission
+        (full fetch or best partial) — never during retries — so the
+        same record re-served by a later scheduled pull re-rolls, but a
+        single collection run draws exactly once per surviving record.
+        """
+        plan = self.plan
+        if plan.record_malform_rate == 0.0 and plan.record_rename_rate == 0.0:
+            return None
+        draw = self.uniform("record", f"{source}|{record_key}")
+        if draw < plan.record_malform_rate:
+            self.count("record_malformed")
+            return "record_malformed"
+        if draw < plan.record_malform_rate + plan.record_rename_rate:
+            self.count("record_renamed")
+            return "record_renamed"
+        return None
+
     def feed_cut(self, source: str, size: int) -> int:
         """How many records a partial emission of ``source`` keeps."""
         fraction = random.Random(
             f"{self.plan.seed}|feedcut|{source}|{self._probes.get(('feed', source), 0)}"
         ).uniform(0.3, 0.9)
         return max(1, int(size * fraction)) if size else 0
+
+
+def corrupt_wire(wire: dict, kind: str) -> dict:
+    """Apply one drift ``kind`` to a wire record (returns a new dict).
+
+    * ``record_malformed`` — field *types* go wrong (a stringly-typed
+      ``report_day``, a ``"yes"`` where a boolean belongs): the shape a
+      feed takes when an upstream serializer changes under it;
+    * ``record_renamed`` — the ``name`` field ships under a new key, the
+      classic breaking schema migration.
+
+    Either way the record can no longer pass the connectors' wire-schema
+    validation — corruption is total by construction, which is what
+    keeps ``injected == quarantined`` an exact invariant. The private
+    ``_fault`` tag carries the kind to the quarantine books.
+    """
+    bad = dict(wire)
+    if kind == "record_malformed":
+        bad["report_day"] = "unknown"
+        bad["shares_artifact"] = "yes"
+    elif kind == "record_renamed":
+        bad["package_name"] = bad.pop("name", None)
+    else:  # pragma: no cover - defensive
+        raise ConfigError(f"unknown record drift kind {kind!r}")
+    bad["_fault"] = kind
+    return bad
 
 
 class FaultyWeb:

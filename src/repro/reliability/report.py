@@ -10,8 +10,13 @@ invariant — checked by the chaos tests — is that the books balance::
 
 i.e. every injected fault surfaced as exactly one observed transient
 error, and every observed error was either retried away or ended in a
-quarantined skip. ``to_dict`` is canonical (sorted keys, plain types) so
-two runs with the same fault-plan seed serialise byte-identically.
+quarantined skip. Record-drift faults (``record_*`` kinds) are the one
+deliberate exception: they never raise — each corrupted record is
+quarantined by connector schema validation instead — so for them the
+matching invariant is ``injected record_* faults ==
+sum(quarantine_by_kind.values())``. ``to_dict`` is canonical (sorted
+keys, plain types) so two runs with the same fault-plan seed serialise
+byte-identically.
 """
 
 from __future__ import annotations
@@ -46,6 +51,16 @@ class DegradationReport:
     skipped_sources: List[str] = field(default_factory=list)
     #: source -> records lost to a partial (truncated) feed emission.
     partial_sources: Dict[str, int] = field(default_factory=dict)
+    #: source -> fetch attempts its feed pulls consumed (retries
+    #: included), so "how hard did we hammer this source" is auditable
+    #: per source, not only in the global retry histogram.
+    feed_attempts: Dict[str, int] = field(default_factory=dict)
+    #: source -> records quarantined by connector schema validation
+    #: (format drift), and the same count broken down by drift kind.
+    #: Under a drift plan ``sum(quarantined_records.values()) ==
+    #: sum(quarantine_by_kind.values()) == injected record_* faults``.
+    quarantined_records: Dict[str, int] = field(default_factory=dict)
+    quarantine_by_kind: Dict[str, int] = field(default_factory=dict)
     mirror_lookups_skipped: int = 0
     #: breakers that opened at least once, and ops refused while open.
     tripped_breakers: List[str] = field(default_factory=list)
@@ -88,6 +103,21 @@ class DegradationReport:
     def partial_source(self, source: str, records_lost: int) -> None:
         self.partial_sources[source] = records_lost
 
+    def feed_attempt(self, source: str, attempts: int) -> None:
+        """Book ``attempts`` feed-fetch attempts against ``source``."""
+        self.feed_attempts[source] = (
+            self.feed_attempts.get(source, 0) + attempts
+        )
+
+    def quarantine_record(self, source: str, kind: str) -> None:
+        """One record of ``source`` failed schema validation (``kind``)."""
+        self.quarantined_records[source] = (
+            self.quarantined_records.get(source, 0) + 1
+        )
+        self.quarantine_by_kind[kind] = (
+            self.quarantine_by_kind.get(kind, 0) + 1
+        )
+
     def skip_mirror_lookup(self) -> None:
         self.mirror_lookups_skipped += 1
 
@@ -106,6 +136,7 @@ class DegradationReport:
             or self.skipped_sites
             or self.skipped_sources
             or self.partial_sources
+            or self.quarantined_records
             or self.mirror_lookups_skipped
             or self.breaker_skips
         )
@@ -129,6 +160,13 @@ class DegradationReport:
             "skipped_sites": list(self.skipped_sites),
             "skipped_sources": list(self.skipped_sources),
             "partial_sources": dict(sorted(self.partial_sources.items())),
+            "feed_attempts": dict(sorted(self.feed_attempts.items())),
+            "quarantined_records": dict(
+                sorted(self.quarantined_records.items())
+            ),
+            "quarantine_by_kind": dict(
+                sorted(self.quarantine_by_kind.items())
+            ),
             "mirror_lookups_skipped": self.mirror_lookups_skipped,
             "tripped_breakers": list(self.tripped_breakers),
             "breaker_skips": self.breaker_skips,
@@ -154,6 +192,9 @@ class DegradationReport:
             skipped_sites=list(raw.get("skipped_sites", [])),
             skipped_sources=list(raw.get("skipped_sources", [])),
             partial_sources=dict(raw.get("partial_sources", {})),
+            feed_attempts=dict(raw.get("feed_attempts", {})),
+            quarantined_records=dict(raw.get("quarantined_records", {})),
+            quarantine_by_kind=dict(raw.get("quarantine_by_kind", {})),
             mirror_lookups_skipped=raw.get("mirror_lookups_skipped", 0),
             tripped_breakers=list(raw.get("tripped_breakers", [])),
             breaker_skips=raw.get("breaker_skips", 0),
@@ -196,6 +237,12 @@ class DegradationReport:
                 for source, lost in sorted(self.partial_sources.items())
             )
             lines.append(f"  partial sources: {partial}")
+        if self.quarantined_records:
+            quarantined = ", ".join(
+                f"{source} ({count})"
+                for source, count in sorted(self.quarantined_records.items())
+            )
+            lines.append(f"  records quarantined: {quarantined}")
         if self.mirror_lookups_skipped:
             lines.append(
                 f"  mirror lookups skipped: {self.mirror_lookups_skipped}"

@@ -117,8 +117,12 @@ class CircuitBreaker:
     ``failure_threshold`` consecutive failures open the circuit; while
     open, :meth:`allow` refuses callers (fast-fail, no fault draws).
     After ``cooldown`` simulated seconds the breaker half-opens and lets
-    one probe through: success closes it, failure re-opens it for
-    another cool-down window.
+    **exactly one** probe through: every other caller keeps fast-failing
+    until that probe reports back (``record_success`` closes the
+    circuit, ``record_failure`` re-opens it for another cool-down
+    window). Admitting the whole queue on the half-open transition would
+    stampede a dependency that just proved itself unhealthy — the
+    thundering-herd failure mode this gate exists to prevent.
     """
 
     def __init__(
@@ -138,6 +142,8 @@ class CircuitBreaker:
         self.failures = 0
         self.opened_at: Optional[float] = None
         self.trips = 0
+        #: True while the half-open window's single probe is in flight.
+        self._probe_in_flight = False
 
     def allow(self) -> bool:
         """Whether a caller may attempt the guarded operation now."""
@@ -147,18 +153,26 @@ class CircuitBreaker:
                 and self.clock.now - self.opened_at >= self.cooldown
             ):
                 self.state = STATE_HALF_OPEN
+                self._probe_in_flight = True
                 return True
             return False
+        if self.state == STATE_HALF_OPEN:
+            if self._probe_in_flight:
+                return False
+            self._probe_in_flight = True
+            return True
         return True
 
     def record_success(self) -> None:
         self.failures = 0
         self.state = STATE_CLOSED
         self.opened_at = None
+        self._probe_in_flight = False
 
     def record_failure(self) -> bool:
         """Record one operation-level failure; True when this trip opened
         the circuit (transition into the open state)."""
+        self._probe_in_flight = False
         self.failures += 1
         should_open = (
             self.state == STATE_HALF_OPEN

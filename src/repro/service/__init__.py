@@ -22,10 +22,17 @@ Layers, bottom to top:
 * :mod:`repro.service.metrics` — per-endpoint request counters,
   fixed-bucket latency histograms (p50/p95/p99) and attachable gauge
   sections;
+* :mod:`repro.service.feed` — :class:`FeedExporter`, the STIX-ish
+  detection feed with generation-tagged cursors that stay stable across
+  index refreshes (``410 Gone`` + restart hint once a cursor's
+  generation is evicted);
+* :mod:`repro.service.webhook` — :class:`WebhookDispatcher`, queued
+  push of new detections with retry/backoff and a bounded dead-letter
+  book;
 * :mod:`repro.service.server` — stdlib JSON HTTP API with a request
   error boundary and validated request framing (``/v1/enrich``,
-  ``/v1/enrich/batch``, ``/v1/query``, ``/v1/stats``, ``/v1/metrics``,
-  ``/v1/healthz``);
+  ``/v1/enrich/batch``, ``/v1/query``, ``/v1/feed``, ``/v1/stats``,
+  ``/v1/metrics``, ``/v1/healthz``);
 * :mod:`repro.service.refresh` — incremental index refresh from a
   :mod:`repro.collection.merge` diff, applied to a clone and published
   as the next snapshot generation — readers never wait and never see a
@@ -48,6 +55,14 @@ from repro.service.enrich import (
     EnrichmentResult,
     Indicator,
 )
+from repro.service.feed import (
+    CursorError,
+    CursorExpired,
+    FeedExporter,
+    decode_cursor,
+    encode_cursor,
+    feed_item,
+)
 from repro.service.index import IntelIndex, source_reliability
 from repro.service.metrics import LatencyHistogram, ServiceMetrics
 from repro.service.ratelimit import RateLimiter, TokenBucket
@@ -58,12 +73,16 @@ from repro.service.server import (
     create_server,
     serve,
 )
+from repro.service.webhook import WebhookDispatcher, http_transport
 
 __all__ = [
+    "CursorError",
+    "CursorExpired",
     "DEFAULT_CACHE_SHARDS",
     "EnrichmentEngine",
     "EnrichmentResult",
     "EnrichmentService",
+    "FeedExporter",
     "Indicator",
     "IntelIndex",
     "LRUCache",
@@ -79,8 +98,13 @@ __all__ = [
     "VERDICT_MALICIOUS",
     "VERDICT_SUSPICIOUS",
     "VERDICT_UNKNOWN",
+    "WebhookDispatcher",
     "build_service",
     "create_server",
+    "decode_cursor",
+    "encode_cursor",
+    "feed_item",
+    "http_transport",
     "refresh_index",
     "serve",
     "source_reliability",

@@ -41,7 +41,9 @@ from typing import Dict, Hashable, List, Optional, Sequence
 from repro.core.malgraph import MalGraph
 from repro.core.query import QueryEngine
 from repro.service.enrich import EnrichmentEngine, EnrichmentResult, Indicator
+from repro.service.feed import FeedExporter, feed_item
 from repro.service.index import IntelIndex
+from repro.service.webhook import WebhookDispatcher
 
 #: Default shard count for the service LRU — enough that eight handler
 #: threads rarely collide on one shard lock, small enough that a tiny
@@ -222,6 +224,8 @@ class EnrichmentService:
         degraded: bool = False,
         query_engine: Optional[QueryEngine] = None,
         shards: int = DEFAULT_CACHE_SHARDS,
+        source_health: Optional[Dict[str, Dict]] = None,
+        webhook: Optional[WebhookDispatcher] = None,
     ):
         self.cache = ShardedLRUCache(capacity, shards=shards)
         #: writer lock — refresh/invalidate only; never on the read path
@@ -229,6 +233,16 @@ class EnrichmentService:
         #: whether the backing collection artifact was built degraded
         #: (see repro.reliability) — surfaced by /v1/healthz and /v1/stats.
         self.degraded = degraded
+        #: per-source connector health from the collection run (empty
+        #: when the artifact predates connectors) — surfaced by
+        #: /v1/healthz, /v1/stats and the metrics ``connectors`` section.
+        self.source_health = dict(source_health or {})
+        if self.source_health and not engine.source_health:
+            engine.source_health = dict(self.source_health)
+        #: optional push channel for new detections on refresh.
+        self.webhook = webhook
+        #: the /v1/feed exporter (generation-stable cursor pagination).
+        self.feed = FeedExporter(self)
         self._snapshot = ServiceSnapshot(
             generation=0, engine=engine, query_engine=query_engine
         )
@@ -271,15 +285,35 @@ class EnrichmentService:
                 squat_index=old.engine.squat_index,
                 near_distance=old.engine.near_distance,
                 related_limit=old.engine.related_limit,
+                source_health=old.engine.source_health,
             )
             snapshot = ServiceSnapshot(
                 generation=old.generation + 1,
                 engine=engine,
                 query_engine=old.query_engine,
             )
+            fresh = (
+                self._new_detections(old.index, index)
+                if self.webhook is not None
+                else []
+            )
             self._snapshot = snapshot
             self.cache.clear()
-            return snapshot
+        if self.webhook is not None and fresh:
+            # Outside the writer lock: enqueueing is non-blocking, but a
+            # webhook has no business extending the critical section.
+            self.webhook.notify(fresh, generation=snapshot.generation)
+        return snapshot
+
+    @staticmethod
+    def _new_detections(old_index: IntelIndex, new_index: IntelIndex) -> List[Dict]:
+        """Feed items for packages the outgoing generation did not know."""
+        old_dataset = old_index.dataset
+        return [
+            feed_item(entry)
+            for entry in new_index.dataset.entries
+            if old_dataset.get(entry.package) is None
+        ]
 
     # -- the read path (lock-free) ----------------------------------------
     def enrich(self, indicator: Indicator) -> EnrichmentResult:
@@ -326,12 +360,20 @@ class EnrichmentService:
     def stats(self) -> Dict:
         """Cache and index counters for the ``/v1/stats`` endpoint."""
         snapshot = self._snapshot
-        return {
+        stats = {
             "cache": self.cache.stats(),
             "index": snapshot.index.stats(),
             "generation": snapshot.generation,
             "collection": {"degraded": self.degraded},
         }
+        # Only services built over connector-era artifacts carry health;
+        # the key is absent (not empty) otherwise, keeping the stats
+        # surface of health-less deployments byte-stable.
+        if self.source_health:
+            stats["sources"] = {
+                key: dict(held) for key, held in self.source_health.items()
+            }
+        return stats
 
 
 def build_service(
@@ -340,20 +382,29 @@ def build_service(
     engine: Optional[EnrichmentEngine] = None,
     degraded: bool = False,
     shards: int = DEFAULT_CACHE_SHARDS,
+    source_health: Optional[Dict[str, Dict]] = None,
+    webhook: Optional[WebhookDispatcher] = None,
 ) -> EnrichmentService:
     """Index a built graph and wrap it in a cached service.
 
     ``degraded`` marks a service built over a collection artifact that
     was assembled under graceful degradation (data was given up);
     ``shards`` sets the LRU shard count (the ``repro serve --shards``
-    knob).
+    knob); ``source_health`` is the collection run's per-connector
+    lifecycle health (weights verdict confidence and surfaces in
+    healthz/stats/metrics); ``webhook`` enables push of new detections
+    on refresh.
     """
     if engine is None:
-        engine = EnrichmentEngine(IntelIndex.build(malgraph))
+        engine = EnrichmentEngine(
+            IntelIndex.build(malgraph), source_health=source_health
+        )
     return EnrichmentService(
         engine,
         capacity=capacity,
         degraded=degraded,
         query_engine=QueryEngine(malgraph),
         shards=shards,
+        source_health=source_health,
+        webhook=webhook,
     )

@@ -157,11 +157,39 @@ class EnrichmentEngine:
         squat_index: Optional[TyposquatIndex] = None,
         near_distance: int = 2,
         related_limit: int = 25,
+        source_health: Optional[Dict[str, Dict]] = None,
     ):
         self.index = index
         self.squat_index = squat_index or TyposquatIndex()
         self.near_distance = near_distance
         self.related_limit = related_limit
+        #: per-source lifecycle health (connector key ->
+        #: ``SourceHealth.to_dict()``) from the collection run that built
+        #: the backing artifact. When set, every source row's
+        #: reliability is scaled by the source's live health factor, so
+        #: verdict confidence (= best row reliability) degrades with the
+        #: sources backing it: a verdict only a dark feed still vouches
+        #: for is worth a quarter of the same verdict from a healthy one.
+        self.source_health = dict(source_health or {})
+
+    def _source_rows(self, entries: Sequence[DatasetEntry]) -> List[Dict]:
+        """Source provenance rows, health-weighted when health is known."""
+        rows = self.index.source_profiles(entries)
+        if not self.source_health:
+            return rows
+        weighted = []
+        for row in rows:
+            health = self.source_health.get(row["key"])
+            if health is not None:
+                row = dict(row)
+                row["health"] = health.get("state", "healthy")
+                row["reliability"] = round(
+                    row["reliability"] * health.get("reliability_factor", 1.0),
+                    4,
+                )
+            weighted.append(row)
+        weighted.sort(key=lambda row: (-row["reliability"], row["key"]))
+        return weighted
 
     # -- resolution --------------------------------------------------------
     def _match(self, indicator: Indicator) -> List[DatasetEntry]:
@@ -196,7 +224,7 @@ class EnrichmentEngine:
                 related=sorted(node_id(e.package) for e in entries)[
                     : self.related_limit
                 ],
-                sources=self.index.source_profiles(entries),
+                sources=self._source_rows(entries),
                 first_seen_day=first,
                 last_seen_day=last,
                 squat={"target": nearest, "distance": distance, "kind": "near-known"},
@@ -244,7 +272,7 @@ class EnrichmentEngine:
                 campaigns=sorted(set(campaigns)),
                 actors=sorted(set(actors)),
                 related=sorted(set(related) - match_set)[: self.related_limit],
-                sources=self.index.source_profiles(entries),
+                sources=self._source_rows(entries),
                 first_seen_day=first,
                 last_seen_day=last,
             )

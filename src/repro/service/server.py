@@ -66,6 +66,7 @@ from repro.core.query import QueryError, QuerySyntaxError
 from repro.errors import ValidationError
 from repro.service.cache import EnrichmentService
 from repro.service.enrich import Indicator
+from repro.service.feed import MAX_PAGE_SIZE, CursorError, CursorExpired
 from repro.service.metrics import ServiceMetrics
 from repro.service.ratelimit import RateLimiter
 
@@ -84,6 +85,9 @@ MAX_QUERY_LENGTH = 4096
 #: Query parameters /v1/enrich understands; anything else is a 400.
 ENRICH_PARAMS = ("name", "version", "sha256", "ecosystem")
 
+#: Query parameters /v1/feed understands; anything else is a 400.
+FEED_PARAMS = ("cursor", "limit")
+
 #: Paths recorded individually in metrics; anything else pools as "other".
 KNOWN_ENDPOINTS = (
     "/v1/healthz",
@@ -92,6 +96,7 @@ KNOWN_ENDPOINTS = (
     "/v1/enrich",
     "/v1/enrich/batch",
     "/v1/query",
+    "/v1/feed",
 )
 
 #: Endpoints never rate limited: liveness probes must not 429.
@@ -296,15 +301,21 @@ class IntelRequestHandler(BaseHTTPRequestHandler):
             # service itself is healthy — still HTTP 200.
             status = "degraded" if getattr(self.service, "degraded", False) else "ok"
             index = self.service.index
-            self._reply(
-                200,
-                {
-                    "status": status,
-                    "packages": index.package_count,
-                    "epoch": index.epoch,
-                    "last_delta_at": index.last_delta_at,
-                },
-            )
+            body = {
+                "status": status,
+                "packages": index.package_count,
+                "epoch": index.epoch,
+                "last_delta_at": index.last_delta_at,
+            }
+            # Per-source lifecycle states, only for services built over
+            # connector-era artifacts (the key stays absent otherwise).
+            source_health = getattr(self.service, "source_health", None)
+            if source_health:
+                body["sources"] = {
+                    key: held.get("state", "healthy")
+                    for key, held in source_health.items()
+                }
+            self._reply(200, body)
         elif url.path == "/v1/stats":
             self._reply(200, self.service.stats())
         elif url.path == "/v1/metrics":
@@ -318,8 +329,76 @@ class IntelRequestHandler(BaseHTTPRequestHandler):
                 self._error(400, "need at least ?name= or ?sha256=")
                 return
             self._reply(200, self.service.enrich(indicator).to_dict())
+        elif url.path == "/v1/feed":
+            self._route_feed(url.query)
         else:
             self._error(404, f"unknown path {url.path!r}")
+
+    def _route_feed(self, query: str) -> None:
+        """``GET /v1/feed[?cursor=&limit=]`` — one page of the STIX-ish
+        detection feed.
+
+        Cursors are generation-tagged and survive index refreshes; an
+        expired cursor (its generation was evicted) answers ``410 Gone``
+        with a restart hint instead of silently double- or under-serving
+        items.
+        """
+        exporter = getattr(self.service, "feed", None)
+        if exporter is None:
+            self._error(503, "feed exporter not configured on this service")
+            return
+        pairs = parse_qs(query, keep_blank_values=True)
+        unknown = sorted(k for k in pairs if k not in FEED_PARAMS)
+        if unknown:
+            self._error(
+                400,
+                f"unknown query parameter(s): {', '.join(unknown)} "
+                f"(expected {', '.join(FEED_PARAMS)})",
+            )
+            return
+        repeated = sorted(k for k, v in pairs.items() if len(v) > 1)
+        if repeated:
+            self._error(
+                400, f"repeated query parameter(s): {', '.join(repeated)}"
+            )
+            return
+        cursor = pairs.get("cursor", [None])[0]
+        if cursor == "":
+            self._error(400, "blank value for query parameter(s): cursor")
+            return
+        limit: Optional[int] = None
+        raw_limit = pairs.get("limit", [None])[0]
+        if raw_limit is not None:
+            try:
+                limit = int(raw_limit)
+            except ValueError:
+                self._error(400, f"limit must be an integer, got {raw_limit!r}")
+                return
+            if limit < 1 or limit > MAX_PAGE_SIZE:
+                self._error(
+                    400,
+                    f"limit must be between 1 and {MAX_PAGE_SIZE}, "
+                    f"got {limit}",
+                )
+                return
+        try:
+            page = exporter.page(cursor=cursor, limit=limit)
+        except CursorExpired as expired:
+            self._reply(
+                410,
+                {
+                    "error": str(expired),
+                    "expired_generation": expired.generation,
+                    "current_generation": expired.current,
+                    "restart": "/v1/feed",
+                },
+            )
+            return
+        except CursorError as failure:
+            self._error(400, str(failure))
+            return
+        self._rows = page["count"]
+        self._reply(200, page)
 
     # -- POST -------------------------------------------------------------
     def do_POST(self) -> None:  # noqa: N802 (http.server API)
@@ -440,6 +519,23 @@ def create_server(
             "rate_limiter", limiter.stats
         )
     server.rate_limiter = limiter  # type: ignore[attr-defined]
+    if getattr(service, "source_health", None):
+        # Per-source lifecycle health + feed pagination books, only when
+        # the service was built over a connector-era artifact.
+        server.metrics.attach_gauges(  # type: ignore[attr-defined]
+            "connectors",
+            lambda: {
+                "sources": {
+                    key: dict(held)
+                    for key, held in service.source_health.items()
+                },
+                "feed": service.feed.stats(),
+            },
+        )
+    if getattr(service, "webhook", None) is not None:
+        server.metrics.attach_gauges(  # type: ignore[attr-defined]
+            "webhooks", service.webhook.stats
+        )
     return server
 
 

@@ -1,0 +1,199 @@
+"""Webhook push for new detections, with retry/backoff and a dead-letter book.
+
+When a refresh publishes an index generation containing packages the
+previous generation did not know, the service pushes a ``new-detections``
+event to the configured webhook URL. Delivery is the unreliable half of
+the export story, so the dispatcher owns it end to end:
+
+* events queue onto a background worker — :meth:`notify` never blocks
+  the refresh path on a slow subscriber;
+* each delivery retries up to ``max_retries`` times with exponential
+  backoff (the sleep is injectable, so tests run at full speed);
+* an event that exhausts its budget lands in the bounded **dead-letter
+  book** with the final error and attempt count — visible in
+  ``/v1/metrics`` under ``webhooks`` and replayable via
+  :meth:`redeliver_dead`;
+* the books are exact: ``enqueued == delivered + dead_lettered +
+  pending``.
+
+The transport is a plain callable ``(url, payload) -> None`` that raises
+on failure; the default posts JSON over stdlib ``urllib``. Tests inject
+a fake — no network, no new dependencies.
+"""
+
+from __future__ import annotations
+
+import json
+import queue
+import threading
+import time
+from collections import deque
+from typing import Callable, Dict, List, Optional
+
+DEFAULT_MAX_RETRIES = 3
+DEFAULT_BACKOFF = 0.5
+DEFAULT_BACKOFF_FACTOR = 2.0
+DEFAULT_DEAD_LETTER_CAPACITY = 256
+
+
+def http_transport(url: str, payload: Dict) -> None:
+    """POST ``payload`` as JSON to ``url``; raises on non-2xx/transport
+    failure. Only imported into a request when actually used."""
+    import urllib.request
+
+    body = json.dumps(payload).encode("utf-8")
+    request = urllib.request.Request(
+        url,
+        data=body,
+        headers={"Content-Type": "application/json"},
+        method="POST",
+    )
+    with urllib.request.urlopen(request, timeout=10) as response:
+        status = getattr(response, "status", 200)
+        if status >= 300:
+            raise OSError(f"webhook answered HTTP {status}")
+
+
+class WebhookDispatcher:
+    """Queued, retrying delivery of detection events to one URL."""
+
+    def __init__(
+        self,
+        url: str,
+        transport: Optional[Callable[[str, Dict], None]] = None,
+        max_retries: int = DEFAULT_MAX_RETRIES,
+        backoff: float = DEFAULT_BACKOFF,
+        backoff_factor: float = DEFAULT_BACKOFF_FACTOR,
+        dead_letter_capacity: int = DEFAULT_DEAD_LETTER_CAPACITY,
+        sleep: Optional[Callable[[float], None]] = None,
+    ):
+        self.url = url
+        self.transport = transport if transport is not None else http_transport
+        self.max_retries = max_retries
+        self.backoff = backoff
+        self.backoff_factor = backoff_factor
+        self.sleep = sleep if sleep is not None else time.sleep
+        self.dead_letters: "deque[Dict]" = deque(maxlen=dead_letter_capacity)
+        self.enqueued = 0
+        self.delivered = 0
+        self.retries = 0
+        self.dead_lettered = 0
+        self._queue: "queue.Queue[Dict]" = queue.Queue()
+        self._lock = threading.Lock()
+        self._worker: Optional[threading.Thread] = None
+        self._closed = False
+
+    # -- producing ---------------------------------------------------------
+    def notify(self, items: List[Dict], generation: int) -> None:
+        """Queue one ``new-detections`` event (non-blocking)."""
+        if not items:
+            return
+        event = {
+            "event": "new-detections",
+            "generation": generation,
+            "count": len(items),
+            "items": list(items),
+        }
+        with self._lock:
+            if self._closed:
+                raise RuntimeError("dispatcher is closed")
+            self.enqueued += 1
+            self._queue.put(event)
+            self._ensure_worker()
+
+    def redeliver_dead(self) -> int:
+        """Re-queue every dead-lettered event; returns how many."""
+        moved = 0
+        with self._lock:
+            while self.dead_letters:
+                entry = self.dead_letters.popleft()
+                self.enqueued += 1
+                self._queue.put(entry["event"])
+                moved += 1
+            if moved:
+                self._ensure_worker()
+        return moved
+
+    # -- delivering --------------------------------------------------------
+    def _ensure_worker(self) -> None:
+        if self._worker is None or not self._worker.is_alive():
+            self._worker = threading.Thread(
+                target=self._drain, name="webhook-dispatcher", daemon=True
+            )
+            self._worker.start()
+
+    def _drain(self) -> None:
+        # The worker is persistent once started (daemon, blocking get):
+        # a timeout-and-exit worker could die between an enqueue and the
+        # liveness check, stranding the event. A None sentinel stops it.
+        while True:
+            event = self._queue.get()
+            if event is None:
+                self._queue.task_done()
+                return
+            try:
+                self._deliver(event)
+            finally:
+                self._queue.task_done()
+
+    def _deliver(self, event: Dict) -> None:
+        delay = self.backoff
+        failure: Optional[BaseException] = None
+        for attempt in range(1, self.max_retries + 2):
+            try:
+                self.transport(self.url, event)
+            except Exception as caught:  # noqa: BLE001 - delivery boundary
+                failure = caught
+                if attempt <= self.max_retries:
+                    with self._lock:
+                        self.retries += 1
+                    self.sleep(delay)
+                    delay *= self.backoff_factor
+                continue
+            with self._lock:
+                self.delivered += 1
+            return
+        with self._lock:
+            self.dead_lettered += 1
+            self.dead_letters.append(
+                {
+                    "event": event,
+                    "error": f"{type(failure).__name__}: {failure}",
+                    "attempts": self.max_retries + 1,
+                }
+            )
+
+    def flush(self, timeout: float = 10.0) -> bool:
+        """Wait until every queued event has been settled (tests/CLI).
+
+        Returns False if the queue did not drain within ``timeout``.
+        """
+        deadline = time.monotonic() + timeout
+        while time.monotonic() < deadline:
+            if self._queue.unfinished_tasks == 0:
+                return True
+            time.sleep(0.005)
+        return self._queue.unfinished_tasks == 0
+
+    def close(self) -> None:
+        """Stop accepting events (the worker drains what is queued)."""
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            if self._worker is not None and self._worker.is_alive():
+                self._queue.put(None)
+
+    # -- books -------------------------------------------------------------
+    def stats(self) -> Dict:
+        """Exact delivery books for the ``webhooks`` metrics section."""
+        with self._lock:
+            return {
+                "url": self.url,
+                "enqueued": self.enqueued,
+                "delivered": self.delivered,
+                "retries": self.retries,
+                "dead_lettered": self.dead_lettered,
+                "dead_letter_size": len(self.dead_letters),
+                "pending": self.enqueued - self.delivered - self.dead_lettered,
+            }

@@ -133,7 +133,9 @@ def build_world(config: Optional[WorldConfig] = None) -> World:
 
 def collect(world: World, with_ground_truth: bool = True) -> CollectionResult:
     """Run the Section II collection pipeline against a world."""
-    pipeline = CollectionPipeline(world.registries, world.mirrors)
+    pipeline = CollectionPipeline(
+        world.registries, world.mirrors, profiles=world.outcome.profiles
+    )
     result = pipeline.run(world.outcome, world.web, world.feed, world.reports)
     if with_ground_truth:
         attach_ground_truth(result.dataset, world.corpus)
@@ -172,7 +174,12 @@ def run_collection(
     else:  # null plan: resilient bookkeeping over the pristine substrate
         web = world.web
         mirrors = world.mirrors
-    pipeline = CollectionPipeline(world.registries, mirrors, resilience=ctx)
+    pipeline = CollectionPipeline(
+        world.registries,
+        mirrors,
+        profiles=world.outcome.profiles,
+        resilience=ctx,
+    )
     result = pipeline.run(world.outcome, web, world.feed, world.reports)
     if with_ground_truth:
         attach_ground_truth(result.dataset, world.corpus)

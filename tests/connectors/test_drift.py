@@ -1,0 +1,161 @@
+"""Wire-schema validation and format-drift quarantine, unit to end-to-end."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.connectors import WIRE_SCHEMA, encode_wire, record_key, validate_wire
+from repro.ecosystem.package import PackageId
+from repro.intel.sources import SourceEntry
+from repro.io.datasets import entry_to_dict
+from repro.reliability import FaultPlan, corrupt_wire
+from repro.world import run_collection
+
+PLAN_SEED = 11
+
+
+def entry(name="left-pad", version="1.0.0") -> SourceEntry:
+    return SourceEntry(
+        source="maloss",
+        package=PackageId(ecosystem="npm", name=name, version=version),
+        report_day=120,
+        shares_artifact=True,
+        campaign_id="c-1",
+        release_day=100,
+        primary=False,
+    )
+
+
+# -- validate_wire -----------------------------------------------------------
+
+def test_encoded_entry_validates_clean():
+    wire = encode_wire(entry())
+    assert validate_wire(wire) == []
+    assert wire["_record"] is not None  # transport-private, not a violation
+    assert record_key(wire) == "npm|left-pad|1.0.0"
+
+
+def test_missing_and_unknown_fields_are_violations():
+    wire = encode_wire(entry())
+    del wire["name"]
+    wire["package_name"] = "left-pad"
+    problems = validate_wire(wire)
+    assert any("missing field 'name'" in p for p in problems)
+    assert any("unknown field 'package_name'" in p for p in problems)
+
+
+def test_type_check_is_exact_not_isinstance():
+    wire = encode_wire(entry())
+    wire["report_day"] = True  # bool subclasses int; still drift
+    assert validate_wire(wire)
+    wire = encode_wire(entry())
+    wire["report_day"] = "120"
+    assert validate_wire(wire)
+
+
+@pytest.mark.parametrize("kind", ["record_malformed", "record_renamed"])
+def test_corrupt_wire_always_breaks_the_schema(kind):
+    clean = encode_wire(entry())
+    bad = corrupt_wire(clean, kind)
+    assert bad is not clean  # original untouched
+    assert validate_wire(clean) == []
+    assert validate_wire(bad)
+    assert bad["_fault"] == kind
+
+
+def test_wire_schema_matches_encode_wire_fields():
+    wire = encode_wire(entry())
+    public = {k for k in wire if not k.startswith("_")}
+    assert public == set(WIRE_SCHEMA)
+
+
+# -- end-to-end drift plan ---------------------------------------------------
+
+@pytest.fixture(scope="module")
+def drifting(request):
+    small_world = request.getfixturevalue("small_world")
+    return run_collection(
+        small_world, plan=FaultPlan.drifting(PLAN_SEED)
+    )
+
+
+def test_drift_books_are_exact(drifting):
+    """Every injected record fault is quarantined exactly once, and the
+    record kinds never leak into the raise-based error books."""
+    report = drifting.stats.degradation
+    injected_drift = sum(
+        count
+        for kind, count in report.faults_injected.items()
+        if kind.startswith("record_")
+    )
+    assert injected_drift > 0  # the plan actually drifted records
+    assert injected_drift == sum(report.quarantine_by_kind.values())
+    assert injected_drift == sum(report.quarantined_records.values())
+    assert set(report.quarantine_by_kind) <= {
+        "record_malformed",
+        "record_renamed",
+    }
+    # the raise-based invariant still balances for everything else
+    non_drift = sum(
+        count
+        for kind, count in report.faults_injected.items()
+        if not kind.startswith("record_")
+    )
+    assert non_drift == sum(report.errors_by_kind.values())
+    assert non_drift == report.errors_recovered + report.errors_fatal
+    assert not any(k.startswith("record_") for k in report.errors_by_kind)
+
+
+def test_drift_degrades_without_aborting_sources(drifting):
+    """Quarantine is per record: drifted feeds still contribute and the
+    run completes degraded, with no dataset source lost entirely."""
+    stats = drifting.stats
+    assert stats.degraded
+    report = stats.degradation
+    assert report.quarantined_records
+    for source in report.quarantined_records:
+        assert source not in report.skipped_sources
+    assert drifting.dataset.entries
+
+
+def test_drift_shows_up_in_source_health(drifting):
+    health = drifting.stats.source_health
+    for source, count in drifting.stats.degradation.quarantined_records.items():
+        assert health[source]["state"] == "degraded"
+        assert health[source]["quarantined_total"] == count
+
+
+def test_drifted_survivors_keep_canonical_bytes(drifting, small_collection):
+    """Records that survive drift are the attribution objects themselves:
+    every surviving entry is byte-identical to its fault-free twin."""
+    clean = {
+        (e.package.ecosystem, e.package.name, e.package.version): entry_to_dict(e)
+        for e in small_collection.dataset.entries
+    }
+    for survivor in drifting.dataset.entries:
+        key = (
+            survivor.package.ecosystem,
+            survivor.package.name,
+            survivor.package.version,
+        )
+        twin = clean.get(key)
+        if twin is None:
+            continue  # lost claims can shift merge output; identity is per claim set
+        survivor_raw = entry_to_dict(survivor)
+        if survivor_raw["claims"] == twin["claims"]:
+            assert json.dumps(survivor_raw, sort_keys=True) == json.dumps(
+                twin, sort_keys=True
+            )
+
+
+def test_drifting_is_a_registered_preset():
+    assert "drifting" in FaultPlan.PRESETS
+    plan = FaultPlan.preset("drifting", seed=3)
+    assert plan.record_malform_rate > 0 and plan.record_rename_rate > 0
+    assert FaultPlan.from_dict(plan.to_dict()) == plan
+    # moderate must NOT drift: its byte-identity guarantee depends on it
+    moderate = FaultPlan.moderate(3)
+    assert moderate.record_malform_rate == 0
+    assert moderate.record_rename_rate == 0

@@ -1,0 +1,146 @@
+"""SourceHealth: healthy -> degraded -> dark -> recovering transitions."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.connectors import (
+    HEALTH_DARK,
+    HEALTH_DEGRADED,
+    HEALTH_HEALTHY,
+    HEALTH_RECOVERING,
+    HEALTH_RELIABILITY_FACTOR,
+    HEALTH_STATES,
+    SourceHealth,
+)
+
+
+def make(**kwargs) -> SourceHealth:
+    return SourceHealth("src", **kwargs)
+
+
+def test_starts_healthy_with_no_transitions():
+    health = make()
+    assert health.state == HEALTH_HEALTHY
+    assert health.transitions == []
+    assert health.reliability_factor == 1.0
+
+
+def test_first_failure_degrades_then_dark_at_threshold():
+    health = make(degraded_after=1, dark_after=3)
+    assert health.record_failure(day=10) == HEALTH_DEGRADED
+    assert health.record_failure(day=11) == HEALTH_DEGRADED
+    assert health.record_failure(day=12) == HEALTH_DARK
+    assert health.transitions == [
+        (10, HEALTH_HEALTHY, HEALTH_DEGRADED),
+        (12, HEALTH_DEGRADED, HEALTH_DARK),
+    ]
+
+
+def test_recovery_needs_consecutive_clean_pulls():
+    health = make(recover_after=2)
+    health.record_outage(day=5)
+    assert health.state == HEALTH_DARK
+    assert health.record_success(day=6) == HEALTH_RECOVERING
+    assert health.record_success(day=7) == HEALTH_HEALTHY
+    assert health.transitions == [
+        (5, HEALTH_HEALTHY, HEALTH_DARK),
+        (6, HEALTH_DARK, HEALTH_RECOVERING),
+        (7, HEALTH_RECOVERING, HEALTH_HEALTHY),
+    ]
+
+
+def test_single_clean_pull_heals_when_recover_after_is_one():
+    health = make(recover_after=1)
+    health.record_outage(day=1)
+    assert health.record_success(day=2) == HEALTH_HEALTHY
+
+
+def test_relapse_during_recovery_goes_straight_back_to_dark():
+    health = make(dark_after=3, recover_after=2)
+    health.record_outage(day=1)
+    health.record_success(day=2)
+    assert health.state == HEALTH_RECOVERING
+    # One failure suffices, whatever the consecutive count says.
+    assert health.record_failure(day=3) == HEALTH_DARK
+
+
+def test_outage_jumps_to_dark_regardless_of_failure_count():
+    health = make(dark_after=5)
+    assert health.record_outage(day=1) == HEALTH_DARK
+    assert health.consecutive_failures >= 5
+
+
+def test_quarantined_records_degrade_a_successful_pull():
+    health = make()
+    assert health.record_success(day=1, quarantined=4) == HEALTH_DEGRADED
+    assert health.quarantined_total == 4
+    # A clean pull heals from quarantine-degraded directly.
+    assert health.record_success(day=2) == HEALTH_HEALTHY
+
+
+def test_quarantine_interrupts_a_recovery_streak():
+    health = make(recover_after=2)
+    health.record_outage(day=1)
+    health.record_success(day=2)
+    assert health.state == HEALTH_RECOVERING
+    health.record_success(day=3, quarantined=1)
+    assert health.state == HEALTH_DEGRADED
+    assert health.recovery_streak == 0
+
+
+def test_partial_emission_degrades():
+    health = make()
+    assert health.record_partial(day=4) == HEALTH_DEGRADED
+    assert health.last_success_day == 4  # partial data is still data
+
+
+def test_staleness_degrades_then_darkens_on_the_clock():
+    health = make(stale_after=10)
+    health.record_success(day=0)
+    assert health.check_staleness(5) == HEALTH_HEALTHY
+    assert health.check_staleness(11) == HEALTH_DEGRADED
+    assert health.check_staleness(21) == HEALTH_DARK
+
+
+def test_staleness_is_inert_without_a_budget_or_a_success():
+    health = make()  # stale_after=None
+    health.record_success(day=0)
+    assert health.check_staleness(10_000) == HEALTH_HEALTHY
+    budgeted = make(stale_after=1)
+    assert budgeted.check_staleness(10_000) == HEALTH_HEALTHY  # never pulled
+
+
+def test_reliability_factor_covers_every_state():
+    assert set(HEALTH_RELIABILITY_FACTOR) == set(HEALTH_STATES)
+    assert HEALTH_RELIABILITY_FACTOR[HEALTH_HEALTHY] == 1.0
+    assert (
+        HEALTH_RELIABILITY_FACTOR[HEALTH_DARK]
+        < HEALTH_RELIABILITY_FACTOR[HEALTH_DEGRADED]
+        < HEALTH_RELIABILITY_FACTOR[HEALTH_RECOVERING]
+        < HEALTH_RELIABILITY_FACTOR[HEALTH_HEALTHY]
+    )
+
+
+def test_to_dict_is_json_safe_and_tracks_state():
+    health = make()
+    health.record_failure(day=3)
+    snapshot = health.to_dict()
+    assert snapshot == {
+        "state": HEALTH_DEGRADED,
+        "consecutive_failures": 1,
+        "recovery_streak": 0,
+        "quarantined_total": 0,
+        "last_success_day": None,
+        "last_attempt_day": 3,
+        "reliability_factor": HEALTH_RELIABILITY_FACTOR[HEALTH_DEGRADED],
+    }
+
+
+def test_threshold_validation():
+    with pytest.raises(ValueError):
+        make(degraded_after=0)
+    with pytest.raises(ValueError):
+        make(degraded_after=3, dark_after=2)
+    with pytest.raises(ValueError):
+        make(recover_after=0)

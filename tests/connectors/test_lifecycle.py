@@ -1,0 +1,176 @@
+"""Mid-run source lifecycle, tick by tick: a source appears, drifts,
+goes dark, and recovers — with exact health transitions and books.
+
+This is the satellite-4 scenario of the connector framework: the
+scheduler drives one connector along the simulated day clock while the
+fault plan changes phase underneath it (clean, drifting, dark, clean
+again), and every state the health machine passes through is asserted
+against the transition ledger, not just the final state.
+"""
+
+from __future__ import annotations
+
+from repro.connectors import (
+    HEALTH_DARK,
+    HEALTH_DEGRADED,
+    HEALTH_HEALTHY,
+    HEALTH_RECOVERING,
+    Connector,
+    ConnectorRegistry,
+    ConnectorSchedule,
+    ConnectorScheduler,
+)
+from repro.reliability import FaultPlan, ResilienceContext
+
+
+class StubConnector(Connector):
+    """A wire-level source: fetch serves plain dicts, no _record."""
+
+    def __init__(self, key, schedule=None, wires=()):
+        super().__init__(key, schedule=schedule)
+        self.wires = list(wires)
+
+    def fetch(self):
+        return [dict(w) for w in self.wires]
+
+    def normalise(self, wire):
+        return (wire["name"], wire["version"])
+
+
+def wire(name: str, version: str = "1.0.0") -> dict:
+    return {
+        "source": "stub",
+        "ecosystem": "npm",
+        "name": name,
+        "version": version,
+        "report_day": 10,
+        "shares_artifact": False,
+    }
+
+
+WIRES = [wire("alpha"), wire("beta"), wire("gamma")]
+
+
+def drifting_context() -> ResilienceContext:
+    # Drift rates sum to 1.0: every record drifts, deterministically.
+    return ResilienceContext(
+        plan=FaultPlan(
+            seed=7, record_malform_rate=0.5, record_rename_rate=0.5
+        )
+    )
+
+
+def dark_context() -> ResilienceContext:
+    return ResilienceContext(plan=FaultPlan(seed=7, dark_sources=("stub",)))
+
+
+def clean_context() -> ResilienceContext:
+    # A plan with faults for *other* scopes only, so the resilient path
+    # runs (injector present) but this source pulls clean.
+    return ResilienceContext(plan=FaultPlan(seed=7, mirror_down_rate=0.01))
+
+
+def test_full_lifecycle_tick_by_tick():
+    connector = StubConnector(
+        "stub",
+        schedule=ConnectorSchedule(interval_days=1, active_from=3),
+        wires=WIRES,
+    )
+    scheduler = ConnectorScheduler(ConnectorRegistry([connector]))
+
+    # -- before its activity window: invisible to the scheduler ----------
+    for day in (0, 1, 2):
+        assert scheduler.tick(day) == {}
+    assert connector.last_pull_day is None
+    assert connector.health.transitions == []
+
+    # -- day 3: the source appears and pulls clean -----------------------
+    results = scheduler.tick(3, resilience=clean_context())
+    pull = results["stub"]
+    assert pull.clean
+    assert pull.records == [("alpha", "1.0.0"), ("beta", "1.0.0"), ("gamma", "1.0.0")]
+    assert connector.health.state == HEALTH_HEALTHY
+
+    # -- day 4: the upstream format drifts; quarantined, NOT dark --------
+    drifting = drifting_context()
+    results = scheduler.tick(4, resilience=drifting)
+    pull = results["stub"]
+    assert pull.status == "ok"  # the source answered; the records drifted
+    assert pull.records == []
+    assert pull.quarantined == len(WIRES)
+    assert sum(pull.quarantine_kinds.values()) == len(WIRES)
+    assert connector.health.state == HEALTH_DEGRADED
+    # exact books: injector ledger == report quarantine ledger == pull
+    report = drifting.report
+    assert sum(drifting.injector.injected.values()) == len(WIRES)
+    assert report.quarantined_records == {"stub": len(WIRES)}
+    assert report.quarantine_by_kind == pull.quarantine_kinds
+    assert report.errors_by_kind == {}  # drift never raises
+
+    # -- days 5-6: the source goes dark ----------------------------------
+    dark = dark_context()
+    for day in (5, 6):
+        pull = scheduler.tick(day, resilience=dark)["stub"]
+        assert pull.status == "skipped"
+        assert pull.records == []
+    assert connector.health.state == HEALTH_DARK
+    assert dark.report.skipped_sources == ["stub", "stub"]
+    assert dark.report.feed_attempts["stub"] > 2  # retries were spent
+
+    # -- days 7-8: it answers again and earns healthy back ---------------
+    pull = scheduler.tick(7, resilience=clean_context())["stub"]
+    assert pull.clean
+    assert connector.health.state == HEALTH_RECOVERING
+    pull = scheduler.tick(8, resilience=clean_context())["stub"]
+    assert pull.clean
+    assert connector.health.state == HEALTH_HEALTHY
+
+    # -- the audit trail holds the whole story, in order ------------------
+    assert connector.health.transitions == [
+        (4, HEALTH_HEALTHY, HEALTH_DEGRADED),
+        (5, HEALTH_DEGRADED, HEALTH_DARK),
+        (7, HEALTH_DARK, HEALTH_RECOVERING),
+        (8, HEALTH_RECOVERING, HEALTH_HEALTHY),
+    ]
+    assert connector.health.quarantined_total == len(WIRES)
+
+
+def test_null_resilience_pull_is_the_trivial_fast_path():
+    connector = StubConnector("stub", wires=WIRES)
+    pull = connector.pull(day=0)
+    assert pull.clean and pull.attempts == 1
+    assert pull.records == [("alpha", "1.0.0"), ("beta", "1.0.0"), ("gamma", "1.0.0")]
+    assert connector.health.state == HEALTH_HEALTHY
+
+
+def test_partial_emission_degrades_but_keeps_the_best_partial():
+    # Feed truncation at rate 1.0: every attempt emits a partial, so the
+    # retry budget exhausts and the pull degrades to the best partial.
+    context = ResilienceContext(
+        plan=FaultPlan(seed=7, feed_truncate_rate=1.0)
+    )
+    connector = StubConnector("stub", wires=WIRES)
+    pull = connector.pull(resilience=context, day=9)
+    assert pull.status == "partial"
+    assert 0 < len(pull.records) < len(WIRES)
+    assert pull.lost == len(WIRES) - len(pull.records)
+    assert connector.health.state == HEALTH_DEGRADED
+    assert context.report.partial_sources == {"stub": pull.lost}
+
+
+def test_relapse_after_recovery_starts_goes_back_to_dark():
+    connector = StubConnector(
+        "stub", schedule=ConnectorSchedule(interval_days=1), wires=WIRES
+    )
+    scheduler = ConnectorScheduler(ConnectorRegistry([connector]))
+    scheduler.tick(0, resilience=dark_context())
+    assert connector.health.state == HEALTH_DARK
+    scheduler.tick(1, resilience=clean_context())
+    assert connector.health.state == HEALTH_RECOVERING
+    scheduler.tick(2, resilience=dark_context())
+    assert connector.health.state == HEALTH_DARK
+    assert connector.health.transitions == [
+        (0, HEALTH_HEALTHY, HEALTH_DARK),
+        (1, HEALTH_DARK, HEALTH_RECOVERING),
+        (2, HEALTH_RECOVERING, HEALTH_DARK),
+    ]

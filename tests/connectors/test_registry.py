@@ -1,0 +1,165 @@
+"""ConnectorRegistry, schedules, the scheduler loop, builtin mapping."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.connectors import (
+    AdvisoryWebConnector,
+    Connector,
+    ConnectorRegistry,
+    ConnectorSchedule,
+    ConnectorScheduler,
+    OpenDatasetConnector,
+    SNSFeedConnector,
+    builtin_connector,
+    builtin_registry,
+)
+from repro.errors import ConfigError
+from repro.intel.sources import SOURCE_PROFILES
+
+
+class StubConnector(Connector):
+    def __init__(self, key, schedule=None, wires=()):
+        super().__init__(key, schedule=schedule)
+        self.wires = list(wires)
+
+    def fetch(self):
+        return [dict(w) for w in self.wires]
+
+    def normalise(self, wire):
+        return (wire["name"], wire["version"])
+
+
+# -- registry ----------------------------------------------------------------
+
+def test_registry_preserves_insertion_order():
+    registry = ConnectorRegistry(
+        StubConnector(key) for key in ("zeta", "alpha", "mid")
+    )
+    assert registry.keys() == ["zeta", "alpha", "mid"]
+    assert [c.key for c in registry] == ["zeta", "alpha", "mid"]
+    assert len(registry) == 3
+    assert "alpha" in registry and "nope" not in registry
+
+
+def test_registry_rejects_duplicates_unless_replacing():
+    registry = ConnectorRegistry([StubConnector("one")])
+    with pytest.raises(ConfigError):
+        registry.register(StubConnector("one"))
+    replacement = StubConnector("one")
+    registry.register(replacement, replace=True)
+    assert registry.get("one") is replacement
+
+
+def test_registry_get_unknown_raises_maybe_returns_none():
+    registry = ConnectorRegistry()
+    with pytest.raises(ConfigError):
+        registry.get("ghost")
+    assert registry.maybe("ghost") is None
+
+
+def test_registry_unregister():
+    registry = ConnectorRegistry([StubConnector("one")])
+    registry.unregister("one")
+    assert "one" not in registry
+
+
+def test_health_snapshot_keys_every_connector():
+    registry = ConnectorRegistry([StubConnector("a"), StubConnector("b")])
+    registry.get("a").health.record_failure(day=1)
+    snapshot = registry.health_snapshot()
+    assert set(snapshot) == {"a", "b"}
+    assert snapshot["a"]["state"] == "degraded"
+    assert snapshot["b"]["state"] == "healthy"
+
+
+# -- schedules ---------------------------------------------------------------
+
+def test_schedule_activity_window():
+    schedule = ConnectorSchedule(interval_days=1, active_from=5, active_until=10)
+    assert not schedule.active_at(4)
+    assert schedule.active_at(5) and schedule.active_at(10)
+    assert not schedule.active_at(11)
+
+
+def test_schedule_interval_cadence():
+    schedule = ConnectorSchedule(interval_days=3, active_from=0)
+    assert schedule.due(0, None)  # first pull is always due
+    assert not schedule.due(2, 0)
+    assert schedule.due(3, 0)
+
+
+def test_never_update_schedule_is_due_exactly_once():
+    schedule = ConnectorSchedule(interval_days=0, active_from=0)
+    assert schedule.due(0, None)
+    assert not schedule.due(100, 0)  # pulled once, never again
+
+
+# -- scheduler ---------------------------------------------------------------
+
+def test_scheduler_pulls_due_connectors_only():
+    early = StubConnector(
+        "early",
+        schedule=ConnectorSchedule(interval_days=2, active_from=0),
+        wires=[],
+    )
+    late = StubConnector(
+        "late", schedule=ConnectorSchedule(interval_days=1, active_from=5)
+    )
+    scheduler = ConnectorScheduler(ConnectorRegistry([early, late]))
+
+    results = scheduler.tick(0)
+    assert set(results) == {"early"}
+    assert early.last_pull_day == 0
+
+    results = scheduler.tick(1)  # early not due (interval 2), late inactive
+    assert results == {}
+
+    results = scheduler.tick(5)
+    assert set(results) == {"early", "late"}
+    assert scheduler.pulls == 3
+
+
+def test_scheduler_ages_active_unpulled_connectors():
+    lazy = StubConnector(
+        "lazy", schedule=ConnectorSchedule(interval_days=30, active_from=0)
+    )
+    lazy.health.stale_after = 2
+    scheduler = ConnectorScheduler(ConnectorRegistry([lazy]))
+    scheduler.tick(0)  # first pull, clean
+    assert lazy.health.state == "healthy"
+    scheduler.tick(3)  # not due; staleness check runs on the clock
+    assert lazy.health.state == "degraded"
+    scheduler.tick(5)  # age 5 > 2 * stale_after
+    assert lazy.health.state == "dark"
+
+
+# -- builtin mapping ---------------------------------------------------------
+
+def test_builtin_registry_covers_every_table_one_source():
+    registry = builtin_registry()
+    assert registry.keys() == [p.key for p in SOURCE_PROFILES]
+    kinds = {
+        "dataset": OpenDatasetConnector,
+        "website": AdvisoryWebConnector,
+        "sns": SNSFeedConnector,
+    }
+    for profile in SOURCE_PROFILES:
+        connector = registry.get(profile.key)
+        assert type(connector) is kinds[profile.kind.value]
+        assert connector.schedule.interval_days == profile.update_interval_days
+        assert connector.schedule.active_from == profile.active_from
+        assert connector.schedule.active_until == profile.last_update
+
+
+def test_builtin_health_staleness_tracks_cadence():
+    for profile in SOURCE_PROFILES:
+        connector = builtin_connector(profile)
+        if profile.update_interval_days > 0:
+            assert (
+                connector.health.stale_after
+                == 2 * profile.update_interval_days
+            )
+        else:
+            assert connector.health.stale_after is None  # never updates

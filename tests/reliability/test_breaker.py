@@ -85,6 +85,35 @@ def test_half_open_probe_failure_reopens_for_another_window():
     assert breaker.allow()  # next window
 
 
+def test_half_open_admits_exactly_one_probe():
+    """No thundering herd: while the half-open probe is in flight, every
+    other caller keeps fast-failing until the probe reports back."""
+    clock = RetryClock()
+    breaker = make(clock, threshold=1, cooldown=10.0)
+    breaker.record_failure()
+    clock.sleep(10.0)
+    assert breaker.allow()  # the single probe
+    for _ in range(20):  # the queue behind it
+        assert not breaker.allow()
+    breaker.record_success()
+    assert breaker.state == STATE_CLOSED
+    assert breaker.allow()  # closed again: everyone flows
+
+
+def test_probe_failure_gates_the_next_window_too():
+    clock = RetryClock()
+    breaker = make(clock, threshold=1, cooldown=10.0)
+    breaker.record_failure()
+    clock.sleep(10.0)
+    assert breaker.allow()
+    assert not breaker.allow()  # queued caller during the probe
+    breaker.record_failure()  # probe failed: re-open
+    assert breaker.state == STATE_OPEN
+    clock.sleep(10.0)
+    assert breaker.allow()  # next window's single probe
+    assert not breaker.allow()  # still one at a time
+
+
 def test_threshold_must_be_positive():
     with pytest.raises(ValueError):
         make(threshold=0)

@@ -138,6 +138,60 @@ def test_world_sha_lookup_matches_name_lookup(engine, small_dataset):
     assert str(e.package) in by_sha.matches
 
 
+# -- health-weighted confidence ---------------------------------------------
+
+def test_source_health_scales_reliability_and_confidence():
+    """A verdict backed only by a dark feed is worth a quarter of the
+    same verdict from a healthy one."""
+    from repro.connectors import HEALTH_RELIABILITY_FACTOR
+
+    ds = dataset([entry("lib")])  # single claim from snyk
+    index = IntelIndex.build(MalGraph.build(ds))
+    healthy = EnrichmentEngine(index).lookup(name="lib")
+    base = healthy.sources[0]["reliability"]
+    assert "health" not in healthy.sources[0]  # no health, no annotation
+
+    dark = EnrichmentEngine(
+        index,
+        source_health={"snyk": {"state": "dark", "reliability_factor": 0.25}},
+    ).lookup(name="lib")
+    (row,) = dark.sources
+    assert row["health"] == "dark"
+    assert row["reliability"] == round(base * 0.25, 4)
+    assert dark.confidence == row["reliability"]
+    assert dark.confidence < healthy.confidence
+    assert HEALTH_RELIABILITY_FACTOR["dark"] == 0.25
+
+
+def test_source_health_resorts_rows_by_weighted_reliability():
+    """Degrading the best source hands the top row (and confidence) to
+    the runner-up: rows re-sort on the *weighted* reliability."""
+    ds = dataset([entry("dual", sources=("snyk", "datadog"))])
+    engine = EnrichmentEngine(IntelIndex.build(MalGraph.build(ds)))
+    rows = engine.lookup(name="dual").sources
+    assert [r["key"] for r in rows] == ["datadog", "snyk"]  # 0.95 > 0.8775
+
+    weighted = EnrichmentEngine(
+        engine.index,
+        source_health={"datadog": {"state": "degraded", "reliability_factor": 0.6}},
+    ).lookup(name="dual")
+    assert [r["key"] for r in weighted.sources] == ["snyk", "datadog"]
+    assert weighted.sources[0]["reliability"] > weighted.sources[1]["reliability"]
+    assert weighted.confidence == weighted.sources[0]["reliability"]
+    assert "health" not in weighted.sources[0]  # snyk has no health record
+
+
+def test_source_health_without_matches_is_inert(mini_engine):
+    engine = EnrichmentEngine(
+        mini_engine.index,
+        source_health={"snyk": {"state": "dark", "reliability_factor": 0.25}},
+    )
+    assert engine.lookup(name="zzz-unseen").confidence == 0.0
+    # and an empty health map leaves rows byte-identical to the index's
+    plain = EnrichmentEngine(mini_engine.index, source_health={})
+    assert plain.lookup(name="lib").sources == mini_engine.lookup(name="lib").sources
+
+
 # -- request validation -------------------------------------------------------
 
 def test_from_dict_roundtrip():

@@ -1,0 +1,167 @@
+"""WebhookDispatcher: retry/backoff, dead letters, exact delivery books."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.core.malgraph import MalGraph
+from repro.service.cache import build_service
+from repro.service.index import IntelIndex
+from repro.service.webhook import WebhookDispatcher
+
+from tests.core.helpers import dataset, entry
+
+
+class FlakyTransport:
+    """Fails the first ``failures`` calls, then delivers. Thread-safe."""
+
+    def __init__(self, failures: int = 0):
+        self.failures = failures
+        self.calls = 0
+        self.delivered = []
+        self._lock = threading.Lock()
+
+    def __call__(self, url: str, payload: dict) -> None:
+        with self._lock:
+            self.calls += 1
+            if self.calls <= self.failures:
+                raise OSError(f"refused (call {self.calls})")
+            self.delivered.append((url, payload))
+
+
+def dispatcher(transport, **kwargs) -> WebhookDispatcher:
+    slept = kwargs.pop("slept", None)
+    return WebhookDispatcher(
+        "http://hook.test/detections",
+        transport=transport,
+        sleep=(slept.append if slept is not None else lambda s: None),
+        **kwargs,
+    )
+
+
+ITEMS = [{"id": "indicator--npm--evil--1.0.0"}]
+
+
+def test_delivers_and_books_balance():
+    transport = FlakyTransport()
+    hook = dispatcher(transport)
+    hook.notify(ITEMS, generation=3)
+    assert hook.flush()
+    stats = hook.stats()
+    assert stats["delivered"] == 1 and stats["retries"] == 0
+    assert stats["pending"] == 0 and stats["dead_lettered"] == 0
+    url, event = transport.delivered[0]
+    assert url == "http://hook.test/detections"
+    assert event == {
+        "event": "new-detections",
+        "generation": 3,
+        "count": 1,
+        "items": ITEMS,
+    }
+
+
+def test_empty_notifications_are_not_enqueued():
+    hook = dispatcher(FlakyTransport())
+    hook.notify([], generation=1)
+    assert hook.stats()["enqueued"] == 0
+
+
+def test_retries_with_exponential_backoff():
+    transport = FlakyTransport(failures=2)
+    slept = []
+    hook = dispatcher(transport, backoff=0.5, backoff_factor=2.0, slept=slept)
+    hook.notify(ITEMS, generation=1)
+    assert hook.flush()
+    stats = hook.stats()
+    assert stats["delivered"] == 1
+    assert stats["retries"] == 2
+    assert slept == [0.5, 1.0]  # exponential, injectable (test runs fast)
+
+
+def test_exhausted_delivery_lands_in_the_dead_letter_book():
+    transport = FlakyTransport(failures=99)
+    hook = dispatcher(transport, max_retries=3)
+    hook.notify(ITEMS, generation=2)
+    assert hook.flush()
+    stats = hook.stats()
+    assert stats["dead_lettered"] == 1 and stats["delivered"] == 0
+    assert stats["retries"] == 3
+    assert stats["pending"] == 0  # books balance: enqueued == settled
+    assert transport.calls == 4  # first try + 3 retries
+    (letter,) = hook.dead_letters
+    assert letter["attempts"] == 4
+    assert "OSError" in letter["error"]
+    assert letter["event"]["generation"] == 2
+
+
+def test_dead_letters_are_replayable():
+    transport = FlakyTransport(failures=99)
+    hook = dispatcher(transport, max_retries=0)
+    hook.notify(ITEMS, generation=1)
+    assert hook.flush()
+    assert hook.stats()["dead_lettered"] == 1
+    transport.failures = 0  # the subscriber came back
+    assert hook.redeliver_dead() == 1
+    assert hook.flush()
+    stats = hook.stats()
+    assert stats["delivered"] == 1
+    assert stats["dead_letter_size"] == 0
+    assert stats["pending"] == 0
+
+
+def test_dead_letter_book_is_bounded():
+    hook = dispatcher(
+        FlakyTransport(failures=10**6), max_retries=0, dead_letter_capacity=2
+    )
+    for generation in range(5):
+        hook.notify(ITEMS, generation=generation)
+    assert hook.flush()
+    assert hook.stats()["dead_lettered"] == 5
+    assert len(hook.dead_letters) == 2  # only the newest survive
+    kept = [letter["event"]["generation"] for letter in hook.dead_letters]
+    assert kept == [3, 4]
+
+
+def test_closed_dispatcher_refuses_new_events():
+    hook = dispatcher(FlakyTransport())
+    hook.notify(ITEMS, generation=1)
+    assert hook.flush()
+    hook.close()
+    with pytest.raises(RuntimeError):
+        hook.notify(ITEMS, generation=2)
+    hook.close()  # idempotent
+
+
+# -- wired into the service publish path -------------------------------------
+
+def code_for(tag: str) -> str:
+    return f"def payload_{tag}():\n    return '{tag}'\n"
+
+
+def test_publish_pushes_only_new_detections():
+    held = [entry("known", code=code_for("known"))]
+    transport = FlakyTransport()
+    hook = dispatcher(transport)
+    service = build_service(MalGraph.build(dataset(held)), webhook=hook)
+
+    grown = held + [entry("fresh", code=code_for("fresh"))]
+    service.publish(IntelIndex.build(MalGraph.build(dataset(grown))))
+    assert hook.flush()
+    (_, event) = transport.delivered[0]
+    assert event["generation"] == 1
+    assert [i["id"] for i in event["items"]] == ["indicator--pypi--fresh--1.0"]
+
+    # republishing the same dataset adds nothing: no event
+    service.publish(IntelIndex.build(MalGraph.build(dataset(grown))))
+    assert hook.flush()
+    assert hook.stats()["enqueued"] == 1
+
+
+def test_service_without_webhook_publishes_silently():
+    held = [entry("known", code=code_for("known"))]
+    service = build_service(MalGraph.build(dataset(held)))
+    assert service.webhook is None
+    service.publish(IntelIndex.build(MalGraph.build(dataset(held))))
+    assert service.generation == 1

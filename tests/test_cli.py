@@ -186,6 +186,47 @@ def test_serve_help(capsys):
     assert stop.value.code == 0
     out = capsys.readouterr().out
     assert "--port" in out and "--cache" in out and "--verbose" in out
+    assert "--webhook" in out
+
+
+def test_feed_command_walks_everything(capsys):
+    assert main(SMALL + ["feed"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["generation"] == 0
+    assert payload["total"] == len(payload["items"]) > 0
+    first = payload["items"][0]
+    assert first["type"] == "indicator"
+    assert first["id"].startswith("indicator--")
+
+
+def test_feed_command_pages_with_cross_process_cursors(capsys):
+    """A cursor printed by one invocation keeps working in the next: the
+    fresh process materialises the cursor's generation on demand."""
+    assert main(SMALL + ["feed", "--limit", "5"]) == 0
+    page = json.loads(capsys.readouterr().out)
+    assert page["count"] == 5 and page["next_cursor"]
+    assert main(
+        SMALL + ["feed", "--cursor", page["next_cursor"], "--limit", "1000"]
+    ) == 0
+    rest = json.loads(capsys.readouterr().out)
+    assert rest["offset"] == 5
+    assert rest["count"] == page["total"] - 5
+    assert rest["next_cursor"] is None
+
+
+def test_feed_command_rejects_garbage_cursor(capsys):
+    assert main(SMALL + ["feed", "--cursor", "!!!"]) == 2
+    captured = capsys.readouterr()
+    assert "bad cursor" in captured.err
+    assert "Traceback" not in captured.err
+
+
+def test_feed_command_writes_out_file(tmp_path, capsys):
+    out = tmp_path / "feed.json"
+    assert main(SMALL + ["feed", "--out", str(out)]) == 0
+    assert "wrote" in capsys.readouterr().out
+    payload = json.loads(out.read_text())
+    assert payload["total"] == len(payload["items"])
 
 
 def test_serve_exits_2_when_port_is_taken(capsys):
@@ -260,6 +301,41 @@ def test_collect_custom_plan_file_and_out(tmp_path, capsys):
     assert code == 0
     assert (out_dir / "entries.jsonl").exists()
     assert "wrote dataset" in capsys.readouterr().out
+
+
+def test_collect_moderate_with_two_dark_sources_exits_3(tmp_path, capsys):
+    """The acceptance scenario: moderate faults plus two sources forced
+    dark completes degraded (exit 3) with exact DegradationReport books."""
+    import dataclasses
+
+    from repro.reliability import FaultPlan
+
+    plan = dataclasses.replace(
+        FaultPlan.moderate(seed=11), dark_sources=("maloss", "datadog")
+    )
+    plan_path = tmp_path / "plan.json"
+    plan_path.write_text(json.dumps(plan.to_dict()))
+    report_path = tmp_path / "degradation.json"
+    code = main(
+        SMALL
+        + ["collect", "--fault-plan", str(plan_path),
+           "--degradation-json", str(report_path)]
+    )
+    assert code == 3
+    assert "degradation: DEGRADED" in capsys.readouterr().out
+    payload = json.loads(report_path.read_text())
+    assert payload["degraded"] is True
+    assert set(payload["skipped_sources"]) >= {"maloss", "datadog"}
+    assert sum(payload["faults_injected"].values()) == (
+        payload["errors_recovered"] + payload["errors_fatal"]
+    )
+    # the dark feeds burned their whole retry budget before being skipped
+    assert payload["feed_attempts"]["maloss"] > 2
+    assert payload["feed_attempts"]["datadog"] > 2
+    # opting in accepts the same degraded run
+    assert main(
+        SMALL + ["collect", "--fault-plan", str(plan_path), "--allow-degraded"]
+    ) == 0
 
 
 def test_collect_rejects_bad_preset():
