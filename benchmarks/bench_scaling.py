@@ -1,38 +1,535 @@
-"""Scaling study — pipeline cost vs world scale (not a paper table).
+"""Scaling trajectory: dataclass vs columnar corpus at scale 1/10/100.
 
-Times the end-to-end pipeline (world → collection → MALGRAPH) at three
-world scales and checks the cost curve stays near-linear in the corpus
-size: the clique-compressed graph and the hash-deduplicated embedding
-cache are what keep the similar-edge stage from going quadratic on
-flood campaigns.
+Standalone script (not a pytest bench) so CI can run it in fast mode:
+
+    PYTHONPATH=src python benchmarks/bench_scaling.py --fast
+
+The corpus under test is the canonical scale-1 collection, replicated
+in *array space* to 10x/100x (replica packages and reports are renamed,
+everything else — file contents, claims, dependencies — is shared, so
+the string pool deduplicates exactly the way a flood campaign does).
+Each scale then runs the same analysis pass twice, each in its own
+child process so ``ru_maxrss`` isolates one path:
+
+* **dataclass path** — load the JSONL dataset, then the Table II census
+  scans, Fig. 2 timeline, Fig. 4 DG CDF and a dataset merge over
+  hydrated ``DatasetEntry`` objects (the pre-columnar hot path);
+* **columnar path** — memory-map the columnar tables and run the same
+  stages through the vectorised accessors (census over arrays, the
+  analysis fast paths, ``merge_columnar``).
+
+Correctness gates (always on):
+
+* at every scale both paths must report identical census numbers,
+  timeline bins and CDF fractions;
+* at scale 1 the full ``MalGraph.build`` over the facade must serialise
+  byte-identically to the dataclass build (canonical JSON), and the
+  columnar merge must hydrate byte-identically to ``merge_datasets``.
+
+Performance gates (CI):
+
+* at scale >= 10 the columnar pass must be >= 2x faster end-to-end and
+  keep >= 3x less *corpus-resident* peak RSS (child peak minus the
+  post-import interpreter baseline — at these scales the Python runtime
+  itself would otherwise drown the quantity being compared);
+* at scale 100 (full mode) the columnar pass — the only one that runs;
+  the dataclass corpus would not fit a CI runner — must finish under
+  the ``--rss-ceiling`` (default 2 GiB).
+
+``--record FILE`` writes the trajectory (``BENCH_scaling.json`` at the
+repo root holds the reference run). ``--fast`` = scales 1 and 10.
 """
 
 from __future__ import annotations
 
-import pytest
+import argparse
+import json
+import subprocess
+import sys
+import tempfile
+import time
+from pathlib import Path
 
-from repro.core.malgraph import MalGraph
-from repro.world import WorldConfig, build_world, collect
+#: columnar-over-dataclass requirements at scales >= GATE_AT_SCALE
+SPEEDUP_FLOOR = 2.0
+RSS_FLOOR = 3.0
+GATE_AT_SCALE = 10
 
-SCALES = (0.1, 0.25, 0.5)
+#: scale-100 columnar pass must stay under this peak RSS (MiB)
+DEFAULT_RSS_CEILING_MB = 2048
 
-
-def _end_to_end(scale: float) -> int:
-    world = build_world(WorldConfig(seed=11, scale=scale))
-    dataset = collect(world).dataset
-    graph = MalGraph.build(dataset)
-    return graph.node_count
-
-
-@pytest.fixture(scope="module")
-def sizes():
-    measured = [_end_to_end(scale) for scale in SCALES]
-    assert measured == sorted(measured), "output grows with scale"
-    assert measured[-1] > 2 * measured[0]
-    return dict(zip(SCALES, measured))
+#: the dataclass child is skipped above this scale (it would swap)
+DATACLASS_MAX_SCALE = 10
 
 
-@pytest.mark.parametrize("scale", SCALES)
-def test_scaling_end_to_end(benchmark, sizes, scale):
-    nodes = benchmark.pedantic(_end_to_end, args=(scale,), iterations=1, rounds=2)
-    assert nodes == sizes[scale]
+# ---------------------------------------------------------------------------
+# Corpus construction (parent process)
+# ---------------------------------------------------------------------------
+
+def _base_columnar():
+    """The canonical scale-1 corpus, columnar-encoded."""
+    from repro.core.columnar import ColumnarDataset
+    from repro.world import default_dataset
+
+    dataset = default_dataset(seed=7, scale=1.0)
+    return ColumnarDataset.from_dataset(dataset), dataset
+
+
+def _replicate_columnar(col, k: int):
+    """``k`` renamed copies of the corpus, concatenated in array space.
+
+    Replica packages get ``~r<i>`` name suffixes (dependencies and
+    report mentions follow, so every replica keeps its own graph
+    structure); report ids likewise. Everything else — claim rows, file
+    CSRs and the underlying pool text — is shared, so file contents are
+    stored once no matter the scale.
+    """
+    import numpy as np
+
+    from repro.core.columnar import ColumnarDataset
+    from repro.core.columnar.merge import _PKG_CSR, _REPORT_CSR, _concat, _concat_csr
+
+    if k <= 1:
+        return col
+    pool = col.pool
+    base_len = len(pool)
+    name_ids = np.unique(
+        np.concatenate(
+            [
+                np.asarray(col.packages["name"], dtype=np.int64),
+                np.asarray(col.dep, dtype=np.int64),
+                np.asarray(col.rpkg_name, dtype=np.int64),
+            ]
+        )
+    )
+    name_ids = name_ids[name_ids >= 0]
+    report_ids = np.unique(np.asarray(col.reports["report_id"], dtype=np.int64))
+    parts = [col]
+    for i in range(1, k):
+        remap = np.arange(base_len, dtype=np.int64)
+        for ids in (name_ids, report_ids):
+            for u in ids:
+                remap[u] = pool.intern_into(f"{pool.lookup(int(u))}~r{i}")
+        packages = np.asarray(col.packages).copy()
+        packages["name"] = remap[packages["name"]]
+        reports = np.asarray(col.reports).copy()
+        reports["report_id"] = remap[reports["report_id"]]
+        arrays = {name: getattr(col, name) for name in ColumnarDataset._ARRAY_FIELDS}
+        arrays["packages"] = packages
+        arrays["reports"] = reports
+        arrays["dep"] = remap[np.asarray(col.dep, dtype=np.int64)]
+        arrays["rpkg_name"] = remap[np.asarray(col.rpkg_name, dtype=np.int64)]
+        parts.append(ColumnarDataset(pool=pool, **arrays))
+
+    merged = {"packages": _concat([p.packages for p in parts]),
+              "reports": _concat([p.reports for p in parts])}
+    for owner_csr in (_PKG_CSR, _REPORT_CSR):
+        for off_name, id_fields, data_fields in owner_csr:
+            offsets, values = _concat_csr(
+                [getattr(p, off_name) for p in parts],
+                [[getattr(p, name) for name in id_fields + data_fields]
+                 for p in parts],
+            )
+            merged[off_name] = offsets
+            for name, value in zip(id_fields + data_fields, values):
+                merged[name] = value
+    return ColumnarDataset(
+        pool=pool,
+        **{name: merged[name] for name in ColumnarDataset._ARRAY_FIELDS},
+    )
+
+
+def _delta_dataset(dataset, tag: str):
+    """A small deterministic delta: overlapping claim updates + fresh
+    packages + one new report (exercises every merge branch)."""
+    from repro.collection.records import (
+        CollectedReport,
+        DatasetEntry,
+        MalwareDataset,
+        SourceClaim,
+    )
+    from repro.ecosystem.package import PackageId, make_artifact
+
+    entries, reports = [], []
+    n = len(dataset.entries)
+    step = max(1, n // 16)  # ~16 overlapping rows: an incremental delta
+    for i in range(0, n, step):
+        entry = dataset.entries[i]
+        entries.append(
+            DatasetEntry(
+                package=entry.package,
+                claims=[SourceClaim("delta-feed", 12, False)],
+                downloads=entry.downloads + 7,
+            )
+        )
+    for i in range(8):
+        eco = "npm"
+        artifact = make_artifact(
+            eco, f"delta-{tag}-{i}", "1.0",
+            {"index.py": f"# delta payload {tag} {i}\n"},
+        )
+        entries.append(
+            DatasetEntry(
+                package=PackageId(eco, f"delta-{tag}-{i}", "1.0"),
+                claims=[SourceClaim("delta-feed", 30, True)],
+                artifact=artifact,
+                artifact_origin="source:delta-feed",
+                release_day=25,
+                downloads=2,
+            )
+        )
+    reports.append(
+        CollectedReport(
+            report_id=f"r-delta-{tag}",
+            url=f"https://intel.example/r-delta-{tag}",
+            site="intel.example",
+            category="Security org.",
+            source="delta-feed",
+            publish_day=31,
+            packages=[e.package for e in entries[:3]],
+        )
+    )
+    return MalwareDataset(entries=entries, reports=reports)
+
+
+# ---------------------------------------------------------------------------
+# Measured analysis pass (child process)
+# ---------------------------------------------------------------------------
+
+def _census_numbers_dataclass(dataset):
+    """Table II census for the three corpus-scan types, over dataclasses
+    (pure group functions + the clique/pair arithmetic of
+    ``PropertyGraph.stats`` — no graph materialised)."""
+    from repro.core.edges import (
+        coexisting_groups_of,
+        dependency_pairs_of,
+        duplicated_groups_of,
+    )
+
+    out = {}
+    groups = duplicated_groups_of(dataset)
+    out["duplicated"] = {
+        "nodes": sum(len(g) for g in groups),
+        "edges": sum(len(g) * (len(g) - 1) for g in groups),
+    }
+    pairs = dependency_pairs_of(dataset)
+    undirected = {
+        tuple(sorted((a.package, b.package))) for a, b in pairs
+    }
+    endpoints = {e.package for pair in pairs for e in pair}
+    out["dependency"] = {"nodes": len(endpoints), "edges": 2 * len(undirected)}
+    cgroups = coexisting_groups_of(dataset)
+    out["coexisting"] = {
+        "nodes": len({e.package for g in cgroups for e in g}),
+        "edges": sum(len(g) * (len(g) - 1) for g in cgroups),
+    }
+    return out
+
+
+def _census_numbers_columnar(col):
+    from repro.core.columnar import census
+
+    return {
+        edge_type.value: {"nodes": s.nodes, "edges": s.directed_edges}
+        for edge_type, s in census(col).items()
+    }
+
+
+def _run_child_pass(kind: str, corpus_dir: str, delta_dir: str) -> dict:
+    """The measured pass; runs inside the child. Returns stage timings,
+    cross-path comparable results, and this process's peak RSS."""
+    from repro.pipeline.report import current_peak_rss_kb
+
+    stages = {}
+    results = {}
+
+    def timed(name):
+        class _T:
+            def __enter__(self):
+                self.t0 = time.perf_counter()
+
+            def __exit__(self, *exc):
+                stages[name] = round(time.perf_counter() - self.t0, 4)
+
+        return _T()
+
+    if kind == "dataclass":
+        from repro.analysis import compute_dg_size_cdf, compute_release_timeline
+        from repro.collection.merge import merge_datasets
+        from repro.io.datasets import load_dataset
+
+        baseline = current_peak_rss_kb()
+        with timed("load"):
+            dataset = load_dataset(Path(corpus_dir))
+        with timed("census"):
+            results["census"] = _census_numbers_dataclass(dataset)
+        with timed("timeline"):
+            timeline = compute_release_timeline(dataset)
+        with timed("cdf"):
+            cdf = compute_dg_size_cdf(dataset)
+        delta = load_dataset(Path(delta_dir))
+        with timed("merge"):
+            merged = merge_datasets(dataset, delta)
+        results["merged_entries"] = len(merged.entries)
+    elif kind == "columnar":
+        from repro.analysis import compute_dg_size_cdf, compute_release_timeline
+        from repro.core.columnar import (
+            ColumnarMalwareDataset,
+            load_columnar,
+            merge_columnar,
+        )
+
+        baseline = current_peak_rss_kb()
+        with timed("load"):
+            col = load_columnar(Path(corpus_dir), mmap=True)
+            facade = ColumnarMalwareDataset(col)
+        with timed("census"):
+            results["census"] = _census_numbers_columnar(col)
+        with timed("timeline"):
+            timeline = compute_release_timeline(facade)
+        with timed("cdf"):
+            cdf = compute_dg_size_cdf(facade)
+        delta = load_columnar(Path(delta_dir), mmap=True)
+        with timed("merge"):
+            merged = merge_columnar(col, delta)
+        results["merged_entries"] = merged.n_packages
+    else:  # pragma: no cover - CLI misuse
+        raise SystemExit(f"unknown child kind {kind!r}")
+
+    results["timeline"] = {"months": timeline.months, "counts": timeline.counts}
+    results["cdf"] = {
+        eco: [[p.value, p.fraction] for p in points]
+        for eco, points in cdf.per_ecosystem.items()
+    }
+    results["cdf_fractions"] = [
+        cdf.single_source_fraction, cdf.more_than_three_fraction
+    ]
+    peak = current_peak_rss_kb()
+    return {
+        "stages": stages,
+        "total_s": round(sum(stages.values()), 4),
+        "results": results,
+        "peak_rss_kb": peak,
+        # interpreter + imports high-water mark, sampled before any
+        # corpus byte was read: peak - baseline is what the *corpus*
+        # costs, the quantity the RSS_FLOOR gate compares.
+        "baseline_rss_kb": baseline,
+        "corpus_rss_kb": max(peak - baseline, 1),
+    }
+
+
+def _spawn_pass(kind: str, corpus_dir: Path, delta_dir: Path) -> dict:
+    """Run one analysis pass in a fresh interpreter (isolated ru_maxrss)."""
+    proc = subprocess.run(
+        [
+            sys.executable, str(Path(__file__).resolve()),
+            "--child", kind, str(corpus_dir), str(delta_dir),
+        ],
+        capture_output=True,
+        text=True,
+        check=False,
+    )
+    if proc.returncode != 0:
+        raise RuntimeError(
+            f"{kind} child failed:\n{proc.stdout}\n{proc.stderr}"
+        )
+    return json.loads(proc.stdout.splitlines()[-1])
+
+
+# ---------------------------------------------------------------------------
+# Gates
+# ---------------------------------------------------------------------------
+
+def _assert_cross_path_equal(dc: dict, col: dict) -> None:
+    assert dc["results"]["census"] == col["results"]["census"], (
+        "census diverged:\n"
+        f"dataclass: {dc['results']['census']}\n"
+        f"columnar:  {col['results']['census']}"
+    )
+    assert dc["results"]["timeline"] == col["results"]["timeline"]
+    assert dc["results"]["cdf"] == col["results"]["cdf"]
+    assert dc["results"]["cdf_fractions"] == col["results"]["cdf_fractions"]
+    assert dc["results"]["merged_entries"] == col["results"]["merged_entries"]
+
+
+def _scale1_byte_identity(dataset, facade, delta) -> None:
+    """The acceptance anchor: Table II / canonical MALGRAPH / merge are
+    byte-identical between the dataclass and columnar paths."""
+    from repro.analysis import compute_graph_stats
+    from repro.collection.merge import merge_datasets
+    from repro.core.columnar import ColumnarDataset, merge_columnar
+    from repro.core.malgraph import MalGraph
+    from repro.io.datasets import entry_to_dict, report_to_dict
+    from repro.io.malgraphs import canonical_malgraph_json
+
+    g_dc = MalGraph.build(dataset)
+    g_col = MalGraph.build(facade)
+    assert compute_graph_stats(g_dc).render() == compute_graph_stats(g_col).render()
+    assert canonical_malgraph_json(g_dc) == canonical_malgraph_json(g_col), (
+        "canonical MALGRAPH serialisation diverged between paths"
+    )
+
+    merged_dc = merge_datasets(dataset, delta)
+    merged_col = merge_columnar(
+        facade.columnar, ColumnarDataset.from_dataset(delta)
+    )
+    assert [entry_to_dict(e) for e in merged_dc.entries] == [
+        entry_to_dict(merged_col.entry_at(i))
+        for i in range(merged_col.n_packages)
+    ], "merge entry hydration diverged between paths"
+    assert [report_to_dict(r) for r in merged_dc.reports] == [
+        report_to_dict(merged_col.report_at(i))
+        for i in range(merged_col.n_reports)
+    ], "merge report hydration diverged between paths"
+
+
+# ---------------------------------------------------------------------------
+# Driver
+# ---------------------------------------------------------------------------
+
+def bench_scale(scale: int, base_col, base_dataset, record: list,
+                rss_ceiling_mb: float) -> None:
+    from repro.core.columnar import (
+        ColumnarDataset,
+        ColumnarMalwareDataset,
+        save_columnar,
+    )
+    from repro.io.datasets import save_dataset
+
+    print(f"\n== scale {scale:g} ==")
+    col = _replicate_columnar(base_col, scale)
+    facade = ColumnarMalwareDataset(col)
+    n = col.n_packages
+    print(f"corpus: {n} entries, {col.n_reports} reports, pool {len(col.pool)}")
+
+    workdir = Path(tempfile.mkdtemp(prefix=f"bench-scaling-{scale}-"))
+    col_dir = workdir / "columnar"
+    save_columnar(col, col_dir)
+    delta = _delta_dataset(facade, tag=f"s{scale}")
+    col_delta_dir = workdir / "columnar-delta"
+    save_columnar(ColumnarDataset.from_dataset(delta), col_delta_dir)
+
+    run_dataclass = scale <= DATACLASS_MAX_SCALE
+    dc = None
+    if run_dataclass:
+        dc_dir = workdir / "jsonl"
+        hydrated = facade.to_dataset() if scale > 1 else base_dataset
+        save_dataset(hydrated, dc_dir)
+        dc_delta_dir = workdir / "jsonl-delta"
+        save_dataset(delta, dc_delta_dir)
+        dc = _spawn_pass("dataclass", dc_dir, dc_delta_dir)
+    colp = _spawn_pass("columnar", col_dir, col_delta_dir)
+
+    def _path_row(p: dict) -> dict:
+        return {
+            "stages": p["stages"],
+            "total_s": p["total_s"],
+            "peak_rss_mb": round(p["peak_rss_kb"] / 1024.0, 1),
+            "corpus_rss_mb": round(p["corpus_rss_kb"] / 1024.0, 1),
+        }
+
+    def _path_line(label: str, p: dict) -> str:
+        return (
+            f"{label}: {p['total_s']:8.2f} s   "
+            f"{p['corpus_rss_kb'] / 1024.0:8.1f} MiB corpus "
+            f"({p['peak_rss_kb'] / 1024.0:.1f} total)   {p['stages']}"
+        )
+
+    row = {
+        "scale": scale,
+        "entries": n,
+        "reports": col.n_reports,
+        "columnar": _path_row(colp),
+    }
+    print(_path_line("columnar ", colp))
+    if dc is not None:
+        _assert_cross_path_equal(dc, colp)
+        print("cross-path gate: census/timeline/CDF/merge identical  OK")
+        speedup = dc["total_s"] / colp["total_s"] if colp["total_s"] else float("inf")
+        rss_ratio = dc["corpus_rss_kb"] / colp["corpus_rss_kb"]
+        row["dataclass"] = _path_row(dc)
+        row["speedup"] = round(speedup, 2)
+        row["rss_reduction"] = round(rss_ratio, 2)
+        print(_path_line("dataclass", dc))
+        print(f"speedup {speedup:5.1f}x   rss reduction {rss_ratio:5.1f}x")
+        if scale >= GATE_AT_SCALE:
+            assert speedup >= SPEEDUP_FLOOR, (
+                f"columnar pass only {speedup:.2f}x faster at scale {scale} "
+                f"(need >= {SPEEDUP_FLOOR:g}x)"
+            )
+            assert rss_ratio >= RSS_FLOOR, (
+                f"columnar pass only {rss_ratio:.2f}x smaller at scale {scale} "
+                f"(need >= {RSS_FLOOR:g}x)"
+            )
+            print(
+                f"perf gates: {speedup:.1f}x >= {SPEEDUP_FLOOR:g}x, "
+                f"{rss_ratio:.1f}x >= {RSS_FLOOR:g}x  OK"
+            )
+
+    if scale == 1:
+        _scale1_byte_identity(base_dataset, facade, delta)
+        row["byte_identical"] = True
+        print("scale-1 gate: Table II + canonical MALGRAPH + merge "
+              "byte-identical  OK")
+
+    ceiling_kb = rss_ceiling_mb * 1024
+    assert colp["peak_rss_kb"] <= ceiling_kb, (
+        f"columnar pass used {colp['peak_rss_kb'] / 1024.0:.0f} MiB at scale "
+        f"{scale} (ceiling {rss_ceiling_mb:.0f} MiB)"
+    )
+    if not run_dataclass:
+        print(
+            f"rss ceiling gate: {colp['peak_rss_kb'] / 1024.0:.0f} MiB <= "
+            f"{rss_ceiling_mb:.0f} MiB  OK (dataclass pass skipped at this scale)"
+        )
+    record.append(row)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--scales", type=int, nargs="+", default=[1, 10, 100],
+        help="replication factors over the scale-1 corpus (default: 1 10 100)",
+    )
+    parser.add_argument(
+        "--fast", action="store_true",
+        help="CI mode: scales 1 and 10 (all correctness + ratio gates)",
+    )
+    parser.add_argument(
+        "--rss-ceiling-mb", type=float, default=DEFAULT_RSS_CEILING_MB,
+        help="peak-RSS ceiling for the columnar pass (MiB)",
+    )
+    parser.add_argument(
+        "--record", default=None, metavar="FILE",
+        help="write the measurements to this JSON trajectory file",
+    )
+    parser.add_argument(
+        "--child", nargs=3, metavar=("KIND", "CORPUS", "DELTA"),
+        help=argparse.SUPPRESS,
+    )
+    args = parser.parse_args(argv)
+
+    if args.child:
+        kind, corpus_dir, delta_dir = args.child
+        print(json.dumps(_run_child_pass(kind, corpus_dir, delta_dir)))
+        return 0
+
+    if args.fast:
+        args.scales = [1, 10]
+    print(f"scales={args.scales}")
+    base_col, base_dataset = _base_columnar()
+    record: list = []
+    for scale in args.scales:
+        bench_scale(scale, base_col, base_dataset, record, args.rss_ceiling_mb)
+    if args.record:
+        Path(args.record).write_text(
+            json.dumps({"bench": "scaling", "runs": record},
+                       indent=2, sort_keys=True) + "\n"
+        )
+        print(f"\nwrote {args.record}")
+    print("\nall correctness gates passed")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -12,13 +12,39 @@ lacks:
   packages added/removed, packages whose artifact was newly recovered,
   and new reports.
 
-Both are pure: inputs are never mutated.
+Both are pure in the sense that inputs are never *mutated*. Since the
+columnar scale-out (DESIGN.md §12) the merge is also **copy-on-write**:
+entries the merge does not touch — base entries whose key is absent from
+``new``, and ``new``-only entries — are shared by identity into the
+output instead of being cloned and re-normalised, exactly as reports
+always were (and as ``apply_events_to_dataset`` shares untouched
+entries). Only overlapping keys are cloned, claim-normalised and folded.
+The practical consequences:
+
+* ``merge_datasets(base, empty)`` returns ``base`` itself;
+* merging a small delta into a million-row base allocates O(delta), not
+  O(base);
+* a hand-built entry with duplicate per-source claims keeps them unless
+  the merge actually touches that key (the collection pipeline never
+  produces such duplicates; :func:`_normalized_claims` still runs on
+  every touched entry).
+
+Columnar corpora merge without any of this hydrating:
+:func:`repro.core.columnar.merge.merge_columnar` implements the same
+semantics over arrays and is what the scaling benchmark exercises.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Set, Tuple
+from typing import (
+    Dict,
+    Iterable,
+    List,
+    Optional,
+    Set,
+    Tuple,
+)
 
 from repro.collection.records import (
     CollectedReport,
@@ -115,21 +141,40 @@ def _merge_into(base: DatasetEntry, extra: DatasetEntry) -> None:
             setattr(base, attr, getattr(extra, attr))
 
 
-def merge_datasets(base: MalwareDataset, new: MalwareDataset) -> MalwareDataset:
-    """Union of two collection runs; neither input is mutated."""
-    merged: Dict[PackageId, DatasetEntry] = {
-        entry.package: _clone_entry(entry) for entry in base.entries
-    }
-    for entry in new.entries:
-        held = merged.get(entry.package)
-        if held is None:
-            merged[entry.package] = _clone_entry(entry)
-        else:
-            _merge_into(held, entry)
-    entries = sorted(
-        merged.values(),
-        key=lambda e: (e.package.ecosystem, e.package.name, e.package.version),
+def _entry_sort_key(entry: DatasetEntry) -> Tuple[str, str, str]:
+    return (
+        entry.package.ecosystem,
+        entry.package.name,
+        entry.package.version,
     )
+
+
+def merge_datasets(base: MalwareDataset, new: MalwareDataset) -> MalwareDataset:
+    """Union of two collection runs; neither input is mutated.
+
+    Copy-on-write: only entries whose key appears on *both* sides are
+    cloned (and claim-normalised) before folding; every other entry —
+    and every report — is shared by identity into the output. Output
+    entries are sorted by (ecosystem, name, version), reports by id.
+    ``merge_datasets(base, empty)`` short-circuits to ``base`` itself.
+    """
+    if not new.entries and not new.reports:
+        return base
+    new_keys: Set[PackageId] = set(new.package_keys())
+    entries: List[DatasetEntry] = []
+    base_keys: Set[PackageId] = set()
+    for entry in base.entries:
+        base_keys.add(entry.package)
+        if entry.package in new_keys:
+            clone = _clone_entry(entry)
+            _merge_into(clone, new.get(entry.package))
+            entries.append(clone)
+        else:
+            entries.append(entry)  # untouched: shared, not cloned
+    for entry in new.entries:
+        if entry.package not in base_keys:
+            entries.append(entry)  # new-only: shared, not cloned
+    entries.sort(key=_entry_sort_key)
     reports: Dict[str, CollectedReport] = {r.report_id: r for r in base.reports}
     for report in new.reports:
         reports.setdefault(report.report_id, report)
@@ -169,7 +214,9 @@ class DatasetDiff:
 
 
 def events_from_datasets(
-    old: MalwareDataset, new: MalwareDataset
+    old: MalwareDataset,
+    new: MalwareDataset,
+    touched: Optional[Iterable[PackageId]] = None,
 ) -> List["GraphEvent"]:
     """The event batch that carries ``old`` to ``new``'s contents.
 
@@ -181,23 +228,35 @@ def events_from_datasets(
     the order the delta engine's correctness contract anchors on.
 
     Updates compare serialised entries, so a re-collection that changed
-    nothing emits nothing.
+    nothing emits nothing. ``touched``, when given, is a superset of the
+    keys whose knowledge may have changed (e.g. the keys the simulator's
+    tick log mentions): keys present on both sides but outside
+    ``touched`` skip the O(entry) serialised comparison entirely, which
+    is what lets a scale-100 tick window diff in O(delta) instead of
+    O(corpus). Additions and removals are always detected from the full
+    key sets (those are O(keys), not O(records)).
     """
     from repro.core.delta.events import GraphEvent
     from repro.io.datasets import entry_to_dict
 
     events: List["GraphEvent"] = []
-    new_keys = {entry.package for entry in new.entries}
-    for entry in old.entries:
-        if entry.package not in new_keys:
-            events.append(GraphEvent.package_removed(entry.package))
+    old_key_order = old.package_keys()
+    new_keys = set(new.package_keys())
+    old_keys = set(old_key_order)
+    touched_keys = set(touched) if touched is not None else None
+    for key in old_key_order:
+        if key not in new_keys:
+            events.append(GraphEvent.package_removed(key))
     for entry in new.entries:
-        counterpart = old.get(entry.package)
-        if counterpart is None:
+        if entry.package not in old_keys:
             events.append(GraphEvent.package_added(entry))
-        elif entry_to_dict(entry) != entry_to_dict(counterpart):
+            continue
+        if touched_keys is not None and entry.package not in touched_keys:
+            continue
+        counterpart = old.get(entry.package)
+        if entry_to_dict(entry) != entry_to_dict(counterpart):
             events.append(GraphEvent.package_detected(entry))
-    old_reports = {report.report_id for report in old.reports}
+    old_reports = set(old.report_ids())
     for report in new.reports:
         if report.report_id not in old_reports:
             events.append(GraphEvent.report_ingested(report))
@@ -205,23 +264,30 @@ def events_from_datasets(
 
 
 def diff_datasets(old: MalwareDataset, new: MalwareDataset) -> DatasetDiff:
-    """Structured difference between two collection runs."""
+    """Structured difference between two collection runs.
+
+    Membership (added/removed/new reports) is computed from the key
+    views alone; per-entry knowledge comparisons run only for keys
+    present on both sides.
+    """
     diff = DatasetDiff()
-    old_keys = {entry.package for entry in old.entries}
-    new_keys = {entry.package for entry in new.entries}
+    old_keys = set(old.package_keys())
+    new_key_order = new.package_keys()
+    new_keys = set(new_key_order)
     diff.added = sorted(new_keys - old_keys)
     diff.removed = sorted(old_keys - new_keys)
-    for entry in new.entries:
-        counterpart = old.get(entry.package)
-        if counterpart is None:
+    for key in new_key_order:
+        if key not in old_keys:
             continue
+        entry = new.get(key)
+        counterpart = old.get(key)
         if entry.available and not counterpart.available:
-            diff.newly_available.append(entry.package)
+            diff.newly_available.append(key)
         gained = entry.sources - counterpart.sources
         if gained:
-            diff.new_sources[entry.package] = gained
-    old_reports = {r.report_id for r in old.reports}
+            diff.new_sources[key] = gained
+    old_reports = set(old.report_ids())
     diff.new_reports = sorted(
-        r.report_id for r in new.reports if r.report_id not in old_reports
+        rid for rid in new.report_ids() if rid not in old_reports
     )
     return diff

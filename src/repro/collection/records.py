@@ -135,3 +135,15 @@ class MalwareDataset:
                 (entry.package.ecosystem, entry.package.name), []
             ).append(entry)
         return index
+
+    # -- cheap key views ---------------------------------------------------
+    # The columnar facade overrides these to answer from pooled ids
+    # without hydrating a single entry/report; merge and diff use them so
+    # membership scans stay O(keys) rather than O(records).
+    def package_keys(self) -> List[PackageId]:
+        """Entry keys in entry order."""
+        return [entry.package for entry in self.entries]
+
+    def report_ids(self) -> List[str]:
+        """Report ids in report order (duplicates preserved)."""
+        return [report.report_id for report in self.reports]

@@ -1,0 +1,49 @@
+"""Columnar corpus layer (DESIGN.md §12).
+
+Flat numpy tables + interned string pools for the three hot corpora —
+package/version records, lifecycle event streams, and the edge census —
+with a lazy dataclass facade so every existing consumer keeps its
+`MalwareDataset` contract while hot paths read arrays.
+"""
+
+from repro.core.columnar.edges import (
+    census,
+    coexisting_row_groups,
+    coexisting_stats,
+    dependency_pair_rows,
+    dependency_stats,
+    duplicated_row_groups,
+    duplicated_stats,
+)
+from repro.core.columnar.events import EventTable
+from repro.core.columnar.facade import ColumnarMalwareDataset
+from repro.core.columnar.io import (
+    load_columnar,
+    load_event_table,
+    save_columnar,
+    save_event_table,
+)
+from repro.core.columnar.merge import merge_columnar
+from repro.core.columnar.pool import NULL, StringPool
+from repro.core.columnar.tables import ColumnarBuilder, ColumnarDataset
+
+__all__ = [
+    "NULL",
+    "StringPool",
+    "ColumnarBuilder",
+    "ColumnarDataset",
+    "ColumnarMalwareDataset",
+    "EventTable",
+    "census",
+    "coexisting_row_groups",
+    "coexisting_stats",
+    "dependency_pair_rows",
+    "dependency_stats",
+    "duplicated_row_groups",
+    "duplicated_stats",
+    "load_columnar",
+    "load_event_table",
+    "merge_columnar",
+    "save_columnar",
+    "save_event_table",
+]

@@ -1,0 +1,207 @@
+"""Vectorised edge census over columnar corpora.
+
+Reimplements the *countable* relationship discovery of
+:mod:`repro.core.edges` — duplicated signature groups, dependency pairs,
+co-existing report groups — as array programs over a
+:class:`ColumnarDataset`, with two contracts:
+
+* **row-group parity** — the row-index groups returned here, hydrated in
+  order, are exactly the entry groups the dataclass builders produce
+  (same group order, same member order), so `MalGraph.build` can consume
+  them and emit a byte-identical graph;
+* **stats parity** — the :class:`GraphStats` computed here match
+  `PropertyGraph.stats` for the same corpus: nodes = touched nodes,
+  directed edges = ``2 × |unique pairs|`` for pairwise types and
+  ``Σ n·(n−1)`` per clique for clique types (counted per clique even
+  when cliques overlap, mirroring ``directed_edge_count_fast``).
+
+Similar edges stay on the clustering pipeline — k-means over embeddings
+is not a corpus scan and gains nothing from this layer.
+
+Keys are packed as raw void views over int64 pool-id columns: memcmp
+gives a consistent total order (all the joins need), without the
+overflow risk of arithmetic key packing at 100× pool sizes.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from repro.core.columnar.tables import ColumnarDataset, _first_occurrence_mask, _offsets
+from repro.core.graph import EdgeType, GraphStats
+
+
+def void_keys(*cols: np.ndarray) -> np.ndarray:
+    """Pack parallel int64 columns into one equality/ordering-comparable
+    void column (memcmp order — consistent, not lexicographic)."""
+    stacked = np.column_stack([np.asarray(c, dtype=np.int64) for c in cols])
+    width = 8 * stacked.shape[1]
+    return np.ascontiguousarray(stacked).view(np.dtype((np.void, width))).reshape(-1)
+
+
+# ---------------------------------------------------------------------------
+# Duplicated
+# ---------------------------------------------------------------------------
+
+def duplicated_row_groups(col: ColumnarDataset) -> List[np.ndarray]:
+    """Row-index signature groups (>= 2 sharers), groups in
+    first-occurrence order of the signature among available rows,
+    members in row order — the order ``duplicated_groups_of`` emits."""
+    avail_rows = np.nonzero(col.available_mask())[0]
+    if len(avail_rows) == 0:
+        return []
+    sha = col.packages["sha"][avail_rows]
+    uniq, inv, counts = np.unique(sha, return_inverse=True, return_counts=True)
+    first = np.full(len(uniq), len(sha), dtype=np.int64)
+    np.minimum.at(first, inv, np.arange(len(sha), dtype=np.int64))
+    member_order = np.argsort(inv, kind="stable")
+    bounds = _offsets(counts)
+    groups: List[np.ndarray] = []
+    for g in np.argsort(first, kind="stable"):
+        if counts[g] < 2:
+            continue
+        members = avail_rows[member_order[bounds[g] : bounds[g + 1]]]
+        groups.append(members)
+    return groups
+
+
+def duplicated_stats(col: ColumnarDataset) -> GraphStats:
+    avail = col.packages["sha"][col.available_mask()]
+    nodes = 0
+    edges = 0
+    if len(avail):
+        _, counts = np.unique(avail, return_counts=True)
+        big = counts[counts >= 2].astype(np.int64)
+        nodes = int(big.sum())
+        edges = int((big * (big - 1)).sum())
+    return _stats(EdgeType.DUPLICATED, nodes, edges)
+
+
+# ---------------------------------------------------------------------------
+# Dependency
+# ---------------------------------------------------------------------------
+
+def dependency_pair_rows(col: ColumnarDataset) -> Tuple[np.ndarray, np.ndarray]:
+    """(source row, target row) dependency pairs in the dataclass
+    builder's order: entry order × declared-dependency order × target
+    entry order, self-pairs excluded."""
+    pkgs = col.packages
+    n = col.n_packages
+    empty = np.zeros(0, dtype=np.int64)
+    if n == 0 or len(col.dep) == 0:
+        return empty, empty
+    name_keys = void_keys(pkgs["eco"], pkgs["name"])
+    row_order = np.argsort(name_keys, kind="stable")
+    sorted_keys = name_keys[row_order]
+    dep_counts = col.dep_offsets[1:] - col.dep_offsets[:-1]
+    src_of_dep = np.repeat(np.arange(n, dtype=np.int64), dep_counts)
+    dep_keys = void_keys(pkgs["eco"][src_of_dep], col.dep)
+    lo = np.searchsorted(sorted_keys, dep_keys, side="left")
+    hi = np.searchsorted(sorted_keys, dep_keys, side="right")
+    match_counts = hi - lo
+    out_off = _offsets(match_counts)
+    total = int(out_off[-1])
+    idx = np.repeat(lo - out_off[:-1], match_counts) + np.arange(
+        total, dtype=np.int64
+    )
+    tgt = row_order[idx]
+    src = np.repeat(src_of_dep, match_counts)
+    keep = src != tgt
+    return src[keep], tgt[keep]
+
+
+def dependency_stats(col: ColumnarDataset) -> GraphStats:
+    src, tgt = dependency_pair_rows(col)
+    if len(src) == 0:
+        return _stats(EdgeType.DEPENDENCY, 0, 0)
+    pairs = void_keys(np.minimum(src, tgt), np.maximum(src, tgt))
+    unique_pairs = len(np.unique(pairs))
+    nodes = len(np.unique(np.concatenate([src, tgt])))
+    return _stats(EdgeType.DEPENDENCY, nodes, 2 * unique_pairs)
+
+
+# ---------------------------------------------------------------------------
+# Co-existing
+# ---------------------------------------------------------------------------
+
+def _resolved_report_members(
+    col: ColumnarDataset,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """(report index, package row) for every resolvable report-package
+    mention, deduplicated to first occurrence within each report."""
+    n = col.n_packages
+    empty = np.zeros(0, dtype=np.int64)
+    if n == 0 or len(col.rpkg_eco) == 0:
+        return empty, empty
+    pkgs = col.packages
+    pkg_keys = void_keys(pkgs["eco"], pkgs["name"], pkgs["version"])
+    order = np.argsort(pkg_keys, kind="stable")
+    sorted_keys = pkg_keys[order]
+    rep_counts = col.rpkg_offsets[1:] - col.rpkg_offsets[:-1]
+    rep_of = np.repeat(np.arange(col.n_reports, dtype=np.int64), rep_counts)
+    want = void_keys(col.rpkg_eco, col.rpkg_name, col.rpkg_ver)
+    pos = np.searchsorted(sorted_keys, want, side="left")
+    pos_clipped = np.minimum(pos, n - 1)
+    found = (pos < n) & (sorted_keys[pos_clipped] == want)
+    rep_idx = rep_of[found]
+    rows = order[pos_clipped[found]]
+    uniq_mask = _first_occurrence_mask(rep_idx * np.int64(n + 1) + rows)
+    return rep_idx[uniq_mask], rows[uniq_mask]
+
+
+def coexisting_row_groups(col: ColumnarDataset) -> List[np.ndarray]:
+    """Qualifying (>= 2 unique resolved members) report groups in report
+    order, members in first-occurrence order — matching
+    ``coexisting_groups_of``."""
+    rep_idx, rows = _resolved_report_members(col)
+    groups: List[np.ndarray] = []
+    if len(rep_idx) == 0:
+        return groups
+    # rep_idx is nondecreasing (mentions are CSR-ordered by report)
+    starts = np.nonzero(
+        np.concatenate([[True], rep_idx[1:] != rep_idx[:-1]])
+    )[0]
+    bounds = np.concatenate([starts, [len(rep_idx)]])
+    for a, b in zip(bounds[:-1], bounds[1:]):
+        if b - a >= 2:
+            groups.append(rows[a:b])
+    return groups
+
+
+def coexisting_stats(col: ColumnarDataset) -> GraphStats:
+    rep_idx, rows = _resolved_report_members(col)
+    if len(rep_idx) == 0:
+        return _stats(EdgeType.COEXISTING, 0, 0)
+    sizes = np.bincount(rep_idx, minlength=col.n_reports).astype(np.int64)
+    big = sizes[sizes >= 2]
+    edges = int((big * (big - 1)).sum())
+    member_of_qualifying = sizes[rep_idx] >= 2
+    nodes = len(np.unique(rows[member_of_qualifying]))
+    return _stats(EdgeType.COEXISTING, nodes, edges)
+
+
+# ---------------------------------------------------------------------------
+# Census
+# ---------------------------------------------------------------------------
+
+def census(col: ColumnarDataset) -> Dict[EdgeType, GraphStats]:
+    """Table II rows for the three corpus-scan edge types (similar edges
+    require the clustering pipeline and are computed there)."""
+    return {
+        EdgeType.DUPLICATED: duplicated_stats(col),
+        EdgeType.DEPENDENCY: dependency_stats(col),
+        EdgeType.COEXISTING: coexisting_stats(col),
+    }
+
+
+def _stats(edge_type: EdgeType, nodes: int, edges: int) -> GraphStats:
+    avg = edges / nodes if nodes else 0.0
+    return GraphStats(
+        edge_type=edge_type,
+        nodes=nodes,
+        directed_edges=edges,
+        avg_out_degree=avg,
+        avg_in_degree=avg,
+    )

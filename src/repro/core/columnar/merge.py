@@ -1,0 +1,259 @@
+"""Vectorised merge of columnar corpora.
+
+Implements exactly the semantics of
+:func:`repro.collection.merge.merge_datasets` — copy-on-write untouched
+rows, clone + claim-normalise + fold overlapping rows, reports deduped
+by id, output sorted by (ecosystem, name, version) — but over arrays:
+
+1. unify pools — ``new``'s pool ids are remapped into ``base``'s pool
+   (append-only, so every id already handed out stays valid);
+2. classify rows with one sort + two binary searches: untouched base
+   rows, new-only rows, overlapping (base row, new row) pairs;
+3. untouched and new-only rows move by `take` (array gather — no
+   dataclass is ever built for them);
+4. only the overlap hydrates: each pair runs the reference
+   ``_clone_entry`` / ``_merge_into`` fold and is re-encoded, so conflict
+   detection and claim-merge rules stay the single dataclass
+   implementation;
+5. the three parts concatenate virtually and one argsort over
+   rank-packed keys produces the sorted output.
+
+Hydrating the result is byte-identical to running the dataclass merge
+over the hydrated inputs (property-tested in
+``tests/core/test_columnar_merge.py``).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.collection.merge import _clone_entry, _merge_into
+from repro.core.columnar.edges import void_keys
+from repro.core.columnar.pool import NULL, StringPool
+from repro.core.columnar.tables import (
+    ColumnarBuilder,
+    ColumnarDataset,
+    _first_occurrence_mask,
+    _offsets,
+    csr_take,
+)
+
+#: pool-id fields of PACKAGE_DTYPE (everything else is plain data)
+_PKG_ID_FIELDS = (
+    "eco",
+    "name",
+    "version",
+    "origin",
+    "campaign",
+    "actor",
+    "archetype",
+    "behavior",
+    "sha",
+    "meta_description",
+    "meta_author",
+    "meta_homepage",
+)
+_REPORT_ID_FIELDS = ("report_id", "url", "site", "category", "source", "actor_alias")
+
+#: CSR groups of the package table: offsets field -> (id values, data values)
+_PKG_CSR = (
+    ("claim_offsets", ("claim_source",), ("claim_day", "claim_shares")),
+    ("file_offsets", ("file_path", "file_text"), ()),
+    ("keyword_offsets", ("keyword",), ()),
+    ("dep_offsets", ("dep",), ()),
+    ("script_offsets", ("script_key", "script_val"), ()),
+)
+_REPORT_CSR = (
+    ("rpkg_offsets", ("rpkg_eco", "rpkg_name", "rpkg_ver"), ()),
+    ("unresolved_offsets", ("unresolved_a", "unresolved_b"), ()),
+)
+
+
+def _id_map(src: StringPool, dst: StringPool) -> np.ndarray:
+    """id in ``src`` -> id of the same string in ``dst`` (interning as
+    needed; ``dst`` grows append-only)."""
+    return np.fromiter(
+        (dst.intern_into(src.lookup(i)) for i in range(len(src))),
+        dtype=np.int64,
+        count=len(src),
+    )
+
+
+def _remap_ids(arr: np.ndarray, id_map: np.ndarray) -> np.ndarray:
+    arr = np.asarray(arr, dtype=np.int64)
+    if len(arr) == 0:
+        return arr
+    return np.where(arr < 0, np.int64(NULL), id_map[np.maximum(arr, 0)])
+
+
+def _remap_dataset(new: ColumnarDataset, base_pool: StringPool) -> ColumnarDataset:
+    """``new`` re-expressed in ``base_pool``'s id space (shares what it
+    can; only id columns are rewritten)."""
+    if new.pool is base_pool:
+        return new
+    id_map = _id_map(new.pool, base_pool)
+    packages = new.packages.copy()
+    for name in _PKG_ID_FIELDS:
+        packages[name] = _remap_ids(packages[name], id_map)
+    reports = new.reports.copy()
+    for name in _REPORT_ID_FIELDS:
+        reports[name] = _remap_ids(reports[name], id_map)
+    replaced: Dict[str, np.ndarray] = {"packages": packages, "reports": reports}
+    for group in (_PKG_CSR, _REPORT_CSR):
+        for _, id_fields, _data in group:
+            for name in id_fields:
+                replaced[name] = _remap_ids(getattr(new, name), id_map)
+    kwargs = {
+        name: replaced.get(name, getattr(new, name))
+        for name in ColumnarDataset._ARRAY_FIELDS
+    }
+    return ColumnarDataset(pool=base_pool, **kwargs)
+
+
+def _concat(parts: Sequence[np.ndarray]) -> np.ndarray:
+    return np.concatenate([np.asarray(p) for p in parts])
+
+
+def _concat_csr(
+    offset_parts: Sequence[np.ndarray], value_parts: Sequence[Sequence[np.ndarray]]
+) -> Tuple[np.ndarray, List[np.ndarray]]:
+    """Concatenate CSR groups: shift offsets, join value arrays."""
+    counts = _concat(
+        [off[1:] - off[:-1] for off in offset_parts]
+    ) if offset_parts else np.zeros(0, dtype=np.int64)
+    offsets = _offsets(counts)
+    values = [
+        _concat([vp[i] for vp in value_parts]) for i in range(len(value_parts[0]))
+    ]
+    return offsets, values
+
+
+def merge_columnar(base: ColumnarDataset, new: ColumnarDataset) -> ColumnarDataset:
+    """Merge two columnar corpora; ``base``'s pool grows (append-only),
+    nothing else about the inputs is mutated. Returns ``base`` itself
+    when ``new`` is empty."""
+    if new.n_packages == 0 and new.n_reports == 0:
+        return base
+    new = _remap_dataset(new, base.pool)
+    pool = base.pool
+
+    # -- classify package rows --------------------------------------------
+    pkgs_b, pkgs_n = base.packages, new.packages
+    bk = void_keys(pkgs_b["eco"], pkgs_b["name"], pkgs_b["version"])
+    nk = void_keys(pkgs_n["eco"], pkgs_n["name"], pkgs_n["version"])
+    order_b = np.argsort(bk, kind="stable")
+    sorted_b = bk[order_b]
+    pos = np.searchsorted(sorted_b, nk, side="left")
+    pos_c = np.minimum(pos, max(len(sorted_b) - 1, 0))
+    overlap_mask_n = (
+        (pos < len(sorted_b)) & (sorted_b[pos_c] == nk)
+        if len(sorted_b)
+        else np.zeros(len(nk), dtype=bool)
+    )
+    overlap_rows_n = np.nonzero(overlap_mask_n)[0]
+    overlap_rows_b = order_b[pos_c[overlap_rows_n]]
+    new_only_rows = np.nonzero(~overlap_mask_n)[0]
+    untouched_mask_b = np.ones(base.n_packages, dtype=bool)
+    untouched_mask_b[overlap_rows_b] = False
+    untouched_rows = np.nonzero(untouched_mask_b)[0]
+
+    # -- fold the overlap through the reference dataclass merge -----------
+    overlap_builder = ColumnarBuilder(pool=pool)
+    for b_row, n_row in zip(overlap_rows_b, overlap_rows_n):
+        clone = _clone_entry(base.entry_at(int(b_row)))
+        _merge_into(clone, new.entry_at(int(n_row)))
+        overlap_builder.add_entry(clone)
+    overlap = overlap_builder.build()
+
+    parts = [base.take(untouched_rows), new.take(new_only_rows), overlap]
+
+    # -- concatenate package side -----------------------------------------
+    packages = _concat([p.packages for p in parts])
+    merged_arrays: Dict[str, np.ndarray] = {"packages": packages}
+    for off_name, id_fields, data_fields in _PKG_CSR:
+        offsets, values = _concat_csr(
+            [getattr(p, off_name) for p in parts],
+            [
+                [getattr(p, name) for name in id_fields + data_fields]
+                for p in parts
+            ],
+        )
+        merged_arrays[off_name] = offsets
+        for name, value in zip(id_fields + data_fields, values):
+            merged_arrays[name] = value
+    # the gathered parts are fully copied into merged_arrays; release
+    # them before the final sorted gather so peak residency holds two
+    # corpus-sized copies, not three
+    del parts, overlap
+
+    # -- reports: base wins by id (last base occurrence, as the dict
+    # comprehension in merge_datasets keeps), then first-seen new ids ----
+    rid_b = base.reports["report_id"]
+    rid_n = new.reports["report_id"]
+    keep_b = (
+        _first_occurrence_mask(rid_b[::-1])[::-1]
+        if len(rid_b)
+        else np.zeros(0, dtype=bool)
+    )
+    if len(rid_n):
+        keep_n = _first_occurrence_mask(rid_n)
+        keep_n &= ~np.isin(rid_n, rid_b[keep_b] if len(rid_b) else rid_b)
+    else:
+        keep_n = np.zeros(0, dtype=bool)
+    rep_rows_b = np.nonzero(keep_b)[0]
+    rep_rows_n = np.nonzero(keep_n)[0]
+    report_parts = []
+    for src, rows in ((base, rep_rows_b), (new, rep_rows_n)):
+        part: Dict[str, np.ndarray] = {"reports": src.reports[rows]}
+        for off_name, id_fields, data_fields in _REPORT_CSR:
+            gathered = csr_take(
+                getattr(src, off_name),
+                rows,
+                *[getattr(src, name) for name in id_fields + data_fields],
+            )
+            part[off_name] = gathered[0]
+            for name, value in zip(id_fields + data_fields, gathered[1:]):
+                part[name] = value
+        report_parts.append(part)
+    merged_arrays["reports"] = _concat([p["reports"] for p in report_parts])
+    for off_name, id_fields, data_fields in _REPORT_CSR:
+        offsets, values = _concat_csr(
+            [p[off_name] for p in report_parts],
+            [
+                [p[name] for name in id_fields + data_fields]
+                for p in report_parts
+            ],
+        )
+        merged_arrays[off_name] = offsets
+        for name, value in zip(id_fields + data_fields, values):
+            merged_arrays[name] = value
+
+    merged = ColumnarDataset(
+        pool=pool,
+        **{name: merged_arrays[name] for name in ColumnarDataset._ARRAY_FIELDS},
+    )
+    del merged_arrays, packages, report_parts
+
+    # -- sort: packages by (eco, name, version), reports by id ------------
+    pkg_order = np.argsort(merged.ranked_keys(), kind="stable")
+    merged = merged.take(pkg_order)
+    rid = merged.reports["report_id"]
+    if len(rid):
+        ranks = pool.subset_ranks(rid)
+        rep_order = np.argsort(ranks[rid], kind="stable")
+        reports = merged.reports[rep_order]
+        rep_arrays: Dict[str, np.ndarray] = {"reports": reports}
+        for off_name, id_fields, data_fields in _REPORT_CSR:
+            gathered = csr_take(
+                getattr(merged, off_name),
+                rep_order,
+                *[getattr(merged, name) for name in id_fields + data_fields],
+            )
+            rep_arrays[off_name] = gathered[0]
+            for name, value in zip(id_fields + data_fields, gathered[1:]):
+                rep_arrays[name] = value
+        for name, value in rep_arrays.items():
+            setattr(merged, name, value)
+    return merged

@@ -1,0 +1,654 @@
+"""Columnar tables for the collected corpus.
+
+A :class:`ColumnarDataset` holds the same information as a
+:class:`~repro.collection.records.MalwareDataset` — entries, claims,
+artifacts, reports — but as numpy structured arrays over one shared
+:class:`~repro.core.columnar.pool.StringPool` instead of a Python object
+per record. Variable-length fields (claims, files, keywords,
+dependencies, scripts, report package lists) are CSR encoded: an
+``offsets`` array of length ``n + 1`` plus flat value arrays, so row
+``i`` owns slots ``offsets[i]:offsets[i + 1]``.
+
+Row order is whatever the source had — building from a dataset keeps
+entry/report order, the streaming merge emits key-sorted rows. Hydration
+back to dataclasses goes through
+:mod:`repro.core.columnar.facade`; this module only promises that
+:meth:`ColumnarDataset.entry_at` / :meth:`report_at` reproduce the
+original records byte-identically under the canonical serialisation in
+:mod:`repro.io.datasets`.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.collection.records import (
+    CollectedReport,
+    DatasetEntry,
+    MalwareDataset,
+    SourceClaim,
+)
+from repro.core.columnar.pool import NULL, StringPool
+from repro.ecosystem.package import PackageArtifact, PackageId, PackageMetadata
+
+#: fixed-width per-package columns; every string field is a pool id
+PACKAGE_DTYPE = np.dtype(
+    [
+        ("eco", "i8"),
+        ("name", "i8"),
+        ("version", "i8"),
+        ("origin", "i8"),
+        ("release_day", "i8"),
+        ("has_release", "?"),
+        ("removal_day", "i8"),
+        ("has_removal", "?"),
+        ("detection_day", "i8"),
+        ("has_detection", "?"),
+        ("downloads", "i8"),
+        ("campaign", "i8"),
+        ("actor", "i8"),
+        ("archetype", "i8"),
+        ("behavior", "i8"),
+        ("has_artifact", "?"),
+        ("sha", "i8"),
+        ("meta_description", "i8"),
+        ("meta_author", "i8"),
+        ("meta_homepage", "i8"),
+    ]
+)
+
+REPORT_DTYPE = np.dtype(
+    [
+        ("report_id", "i8"),
+        ("url", "i8"),
+        ("site", "i8"),
+        ("category", "i8"),
+        ("source", "i8"),
+        ("publish_day", "i8"),
+        ("has_publish", "?"),
+        ("actor_alias", "i8"),
+    ]
+)
+
+
+def _offsets(counts: Sequence[int]) -> np.ndarray:
+    out = np.zeros(len(counts) + 1, dtype=np.int64)
+    if len(counts):
+        np.cumsum(counts, out=out[1:])
+    return out
+
+
+def csr_take(
+    offsets: np.ndarray, rows: np.ndarray, *values: np.ndarray
+) -> Tuple[np.ndarray, ...]:
+    """Gather CSR rows: new offsets + each value array restricted to
+    ``rows`` (in ``rows`` order). The repeat/arange trick keeps this a
+    handful of vector ops regardless of row count."""
+    rows = np.asarray(rows, dtype=np.int64)
+    starts = offsets[rows]
+    counts = offsets[rows + 1] - starts
+    new_offsets = _offsets(counts)
+    total = int(new_offsets[-1])
+    idx = np.repeat(starts - new_offsets[:-1], counts) + np.arange(
+        total, dtype=np.int64
+    )
+    return (new_offsets,) + tuple(np.asarray(v)[idx] for v in values)
+
+
+def code_sha256(files: Iterable[Tuple[str, str]]) -> str:
+    """SHA256 over code files, identical to
+    :meth:`PackageArtifact.sha256` (path\\0source\\0 over sorted ``.py``
+    paths) without constructing an artifact."""
+    digest = hashlib.sha256()
+    for path, source in sorted(files):
+        if path.endswith(".py"):
+            digest.update(path.encode("utf-8"))
+            digest.update(b"\x00")
+            digest.update(source.encode("utf-8"))
+            digest.update(b"\x00")
+    return digest.hexdigest()
+
+
+class ColumnarBuilder:
+    """Accumulates rows in Python lists, freezes to a ColumnarDataset.
+
+    One builder = one output table; entries and reports are appended in
+    the order they should occupy rows.
+    """
+
+    def __init__(self, pool: Optional[StringPool] = None) -> None:
+        self.pool = pool if pool is not None else StringPool()
+        self._rows: List[tuple] = []
+        self._claim_counts: List[int] = []
+        self._claim_source: List[int] = []
+        self._claim_day: List[int] = []
+        self._claim_shares: List[bool] = []
+        self._file_counts: List[int] = []
+        self._file_path: List[int] = []
+        self._file_text: List[int] = []
+        self._kw_counts: List[int] = []
+        self._kw: List[int] = []
+        self._dep_counts: List[int] = []
+        self._dep: List[int] = []
+        self._script_counts: List[int] = []
+        self._script_key: List[int] = []
+        self._script_val: List[int] = []
+        self._report_rows: List[tuple] = []
+        self._rpkg_counts: List[int] = []
+        self._rpkg_eco: List[int] = []
+        self._rpkg_name: List[int] = []
+        self._rpkg_ver: List[int] = []
+        self._unres_counts: List[int] = []
+        self._unres_a: List[int] = []
+        self._unres_b: List[int] = []
+        # sha memo for raw-record ingest, keyed by the interned file ids
+        self._sha_by_files: Dict[Tuple[int, ...], int] = {}
+
+    # -- entries -----------------------------------------------------------
+    def add_entry(self, entry: DatasetEntry) -> None:
+        artifact = entry.artifact
+        self.add_record(
+            ecosystem=entry.package.ecosystem,
+            name=entry.package.name,
+            version=entry.package.version,
+            claims=[(c.source, c.report_day, c.shares_artifact) for c in entry.claims],
+            artifact_origin=entry.artifact_origin,
+            release_day=entry.release_day,
+            removal_day=entry.removal_day,
+            detection_day=entry.detection_day,
+            downloads=entry.downloads,
+            campaign_id=entry.campaign_id,
+            actor=entry.actor,
+            archetype=entry.archetype,
+            behavior_key=entry.behavior_key,
+            files=sorted(artifact.files.items()) if artifact is not None else None,
+            description=artifact.metadata.description if artifact else "",
+            author=artifact.metadata.author if artifact else "",
+            homepage=artifact.metadata.homepage if artifact else "",
+            keywords=artifact.metadata.keywords if artifact else (),
+            dependencies=artifact.metadata.dependencies if artifact else (),
+            scripts=artifact.metadata.scripts if artifact else {},
+            sha256=entry.sha256(),
+        )
+
+    def add_record(
+        self,
+        *,
+        ecosystem: str,
+        name: str,
+        version: str,
+        claims: Sequence[Tuple[str, int, bool]],
+        artifact_origin: Optional[str] = None,
+        release_day: Optional[int] = None,
+        removal_day: Optional[int] = None,
+        detection_day: Optional[int] = None,
+        downloads: int = 0,
+        campaign_id: Optional[str] = None,
+        actor: Optional[str] = None,
+        archetype: Optional[str] = None,
+        behavior_key: Optional[str] = None,
+        files: Optional[Sequence[Tuple[str, str]]] = None,
+        description: str = "",
+        author: str = "",
+        homepage: str = "",
+        keywords: Sequence[str] = (),
+        dependencies: Sequence[str] = (),
+        scripts: Optional[Dict[str, str]] = None,
+        sha256: Optional[str] = None,
+    ) -> None:
+        """Append one package row from plain values (no dataclasses)."""
+        pool = self.pool
+        has_artifact = files is not None
+        file_ids: Tuple[int, ...] = ()
+        if has_artifact:
+            file_ids = tuple(
+                fid for path, text in files for fid in (pool.intern(path), pool.intern(text))
+            )
+            self._file_path.extend(file_ids[0::2])
+            self._file_text.extend(file_ids[1::2])
+            self._file_counts.append(len(files))
+            if sha256 is None:
+                sha_id = self._sha_by_files.get(file_ids)
+                if sha_id is None:
+                    sha_id = pool.intern(code_sha256(files))
+                    self._sha_by_files[file_ids] = sha_id
+            else:
+                sha_id = pool.intern(sha256)
+        else:
+            self._file_counts.append(0)
+            sha_id = NULL
+        self._rows.append(
+            (
+                pool.intern(ecosystem),
+                pool.intern(name),
+                pool.intern(version),
+                pool.intern(artifact_origin),
+                release_day if release_day is not None else 0,
+                release_day is not None,
+                removal_day if removal_day is not None else 0,
+                removal_day is not None,
+                detection_day if detection_day is not None else 0,
+                detection_day is not None,
+                downloads,
+                pool.intern(campaign_id),
+                pool.intern(actor),
+                pool.intern(archetype),
+                pool.intern(behavior_key),
+                has_artifact,
+                sha_id,
+                pool.intern(description) if has_artifact else NULL,
+                pool.intern(author) if has_artifact else NULL,
+                pool.intern(homepage) if has_artifact else NULL,
+            )
+        )
+        self._claim_counts.append(len(claims))
+        for source, day, shares in claims:
+            self._claim_source.append(pool.intern(source))
+            self._claim_day.append(day)
+            self._claim_shares.append(shares)
+        self._kw_counts.append(len(keywords) if has_artifact else 0)
+        if has_artifact:
+            self._kw.extend(pool.intern(k) for k in keywords)
+        self._dep_counts.append(len(dependencies) if has_artifact else 0)
+        if has_artifact:
+            self._dep.extend(pool.intern(d) for d in dependencies)
+        script_items = list((scripts or {}).items()) if has_artifact else []
+        self._script_counts.append(len(script_items))
+        for key, val in script_items:
+            self._script_key.append(pool.intern(key))
+            self._script_val.append(pool.intern(val))
+
+    # -- reports -----------------------------------------------------------
+    def add_report(self, report: CollectedReport) -> None:
+        self.add_report_record(
+            report_id=report.report_id,
+            url=report.url,
+            site=report.site,
+            category=report.category,
+            source=report.source,
+            publish_day=report.publish_day,
+            packages=[(p.ecosystem, p.name, p.version) for p in report.packages],
+            unresolved=report.unresolved,
+            actor_alias=report.actor_alias,
+        )
+
+    def add_report_record(
+        self,
+        *,
+        report_id: str,
+        url: str,
+        site: str,
+        category: str,
+        source: str,
+        publish_day: Optional[int],
+        packages: Sequence[Tuple[str, str, str]],
+        unresolved: Sequence[Tuple[str, str]],
+        actor_alias: Optional[str] = None,
+    ) -> None:
+        pool = self.pool
+        self._report_rows.append(
+            (
+                pool.intern(report_id),
+                pool.intern(url),
+                pool.intern(site),
+                pool.intern(category),
+                pool.intern(source),
+                publish_day if publish_day is not None else 0,
+                publish_day is not None,
+                pool.intern(actor_alias),
+            )
+        )
+        self._rpkg_counts.append(len(packages))
+        for eco, name, ver in packages:
+            self._rpkg_eco.append(pool.intern(eco))
+            self._rpkg_name.append(pool.intern(name))
+            self._rpkg_ver.append(pool.intern(ver))
+        self._unres_counts.append(len(unresolved))
+        for a, b in unresolved:
+            self._unres_a.append(pool.intern(a))
+            self._unres_b.append(pool.intern(b))
+
+    # -- freeze ------------------------------------------------------------
+    def build(self) -> "ColumnarDataset":
+        i8 = np.int64
+        return ColumnarDataset(
+            pool=self.pool,
+            packages=np.array(self._rows, dtype=PACKAGE_DTYPE),
+            claim_offsets=_offsets(self._claim_counts),
+            claim_source=np.asarray(self._claim_source, dtype=i8),
+            claim_day=np.asarray(self._claim_day, dtype=i8),
+            claim_shares=np.asarray(self._claim_shares, dtype=bool),
+            file_offsets=_offsets(self._file_counts),
+            file_path=np.asarray(self._file_path, dtype=i8),
+            file_text=np.asarray(self._file_text, dtype=i8),
+            keyword_offsets=_offsets(self._kw_counts),
+            keyword=np.asarray(self._kw, dtype=i8),
+            dep_offsets=_offsets(self._dep_counts),
+            dep=np.asarray(self._dep, dtype=i8),
+            script_offsets=_offsets(self._script_counts),
+            script_key=np.asarray(self._script_key, dtype=i8),
+            script_val=np.asarray(self._script_val, dtype=i8),
+            reports=np.array(self._report_rows, dtype=REPORT_DTYPE),
+            rpkg_offsets=_offsets(self._rpkg_counts),
+            rpkg_eco=np.asarray(self._rpkg_eco, dtype=i8),
+            rpkg_name=np.asarray(self._rpkg_name, dtype=i8),
+            rpkg_ver=np.asarray(self._rpkg_ver, dtype=i8),
+            unresolved_offsets=_offsets(self._unres_counts),
+            unresolved_a=np.asarray(self._unres_a, dtype=i8),
+            unresolved_b=np.asarray(self._unres_b, dtype=i8),
+        )
+
+
+@dataclass
+class ColumnarDataset:
+    """The corpus as flat arrays over one string pool. Immutable by
+    convention: merge/take produce new instances."""
+
+    pool: StringPool
+    packages: np.ndarray  # PACKAGE_DTYPE
+    claim_offsets: np.ndarray
+    claim_source: np.ndarray
+    claim_day: np.ndarray
+    claim_shares: np.ndarray
+    file_offsets: np.ndarray
+    file_path: np.ndarray
+    file_text: np.ndarray
+    keyword_offsets: np.ndarray
+    keyword: np.ndarray
+    dep_offsets: np.ndarray
+    dep: np.ndarray
+    script_offsets: np.ndarray
+    script_key: np.ndarray
+    script_val: np.ndarray
+    reports: np.ndarray  # REPORT_DTYPE
+    rpkg_offsets: np.ndarray
+    rpkg_eco: np.ndarray
+    rpkg_name: np.ndarray
+    rpkg_ver: np.ndarray
+    unresolved_offsets: np.ndarray
+    unresolved_a: np.ndarray
+    unresolved_b: np.ndarray
+
+    # -- construction ------------------------------------------------------
+    @classmethod
+    def from_dataset(cls, dataset: MalwareDataset) -> "ColumnarDataset":
+        builder = ColumnarBuilder()
+        for entry in dataset.entries:
+            builder.add_entry(entry)
+        for report in dataset.reports:
+            builder.add_report(report)
+        return builder.build()
+
+    # -- shape -------------------------------------------------------------
+    @property
+    def n_packages(self) -> int:
+        return len(self.packages)
+
+    @property
+    def n_reports(self) -> int:
+        return len(self.reports)
+
+    def __len__(self) -> int:
+        return self.n_packages
+
+    # -- vectorised accessors ---------------------------------------------
+    def available_mask(self) -> np.ndarray:
+        return self.packages["has_artifact"]
+
+    def release_days(self) -> Tuple[np.ndarray, np.ndarray]:
+        """(days, mask): release day per row + which rows have one."""
+        return self.packages["release_day"], self.packages["has_release"]
+
+    def source_counts(self) -> np.ndarray:
+        """Distinct claim sources per row — ``len(entry.sources)``
+        without hydrating a single claim."""
+        n = self.n_packages
+        if n == 0:
+            return np.zeros(0, dtype=np.int64)
+        counts = self.claim_offsets[1:] - self.claim_offsets[:-1]
+        row_of_claim = np.repeat(np.arange(n, dtype=np.int64), counts)
+        pairs = row_of_claim * np.int64(len(self.pool) + 1) + self.claim_source
+        unique_rows = row_of_claim[_first_occurrence_mask(pairs)]
+        return np.bincount(unique_rows, minlength=n).astype(np.int64)
+
+    def first_report_days(self) -> np.ndarray:
+        """min claim report_day per row (rows with no claims get -1)."""
+        n = self.n_packages
+        out = np.full(n, -1, dtype=np.int64)
+        if n == 0 or len(self.claim_day) == 0:
+            return out
+        counts = self.claim_offsets[1:] - self.claim_offsets[:-1]
+        row_of_claim = np.repeat(np.arange(n, dtype=np.int64), counts)
+        out = np.full(n, np.iinfo(np.int64).max, dtype=np.int64)
+        np.minimum.at(out, row_of_claim, self.claim_day)
+        out[counts == 0] = -1
+        return out
+
+    def package_keys(self) -> np.ndarray:
+        """(eco, name, version) pool-id triples, one row per package."""
+        keys = np.empty((self.n_packages, 3), dtype=np.int64)
+        keys[:, 0] = self.packages["eco"]
+        keys[:, 1] = self.packages["name"]
+        keys[:, 2] = self.packages["version"]
+        return keys
+
+    def ranked_keys(self) -> np.ndarray:
+        """Void-dtype package keys whose memcmp order equals the
+        lexicographic order of the (ecosystem, name, version) strings.
+
+        Pool ids carry no string order, so each id column is first
+        mapped through the pool's lexicographic ranks (computed over the
+        key ids only — file text never decodes), then packed big-endian —
+        after which numpy's bytewise comparison of the 24-byte void rows
+        matches tuple-of-strings comparison.
+        """
+        if self.n_packages == 0:
+            return np.empty(0, dtype=np.dtype((np.void, 24)))
+        keys = self.package_keys()
+        ranks = self.pool.subset_ranks(keys)
+        ranked = ranks[keys].astype(">i8")
+        return ranked.reshape(ranked.shape[0], -1).view(
+            np.dtype((np.void, 24))
+        ).reshape(-1)
+
+    # -- row gather --------------------------------------------------------
+    def take(self, rows: np.ndarray) -> "ColumnarDataset":
+        """New dataset with package rows ``rows`` (reports unchanged),
+        sharing the pool."""
+        rows = np.asarray(rows, dtype=np.int64)
+        c_off, c_src, c_day, c_sh = csr_take(
+            self.claim_offsets, rows, self.claim_source, self.claim_day,
+            self.claim_shares,
+        )
+        f_off, f_path, f_text = csr_take(
+            self.file_offsets, rows, self.file_path, self.file_text
+        )
+        k_off, k_val = csr_take(self.keyword_offsets, rows, self.keyword)
+        d_off, d_val = csr_take(self.dep_offsets, rows, self.dep)
+        s_off, s_key, s_val = csr_take(
+            self.script_offsets, rows, self.script_key, self.script_val
+        )
+        return ColumnarDataset(
+            pool=self.pool,
+            packages=self.packages[rows],
+            claim_offsets=c_off,
+            claim_source=c_src,
+            claim_day=c_day,
+            claim_shares=c_sh,
+            file_offsets=f_off,
+            file_path=f_path,
+            file_text=f_text,
+            keyword_offsets=k_off,
+            keyword=k_val,
+            dep_offsets=d_off,
+            dep=d_val,
+            script_offsets=s_off,
+            script_key=s_key,
+            script_val=s_val,
+            reports=self.reports,
+            rpkg_offsets=self.rpkg_offsets,
+            rpkg_eco=self.rpkg_eco,
+            rpkg_name=self.rpkg_name,
+            rpkg_ver=self.rpkg_ver,
+            unresolved_offsets=self.unresolved_offsets,
+            unresolved_a=self.unresolved_a,
+            unresolved_b=self.unresolved_b,
+        )
+
+    # -- hydration ---------------------------------------------------------
+    def package_id_at(self, i: int) -> PackageId:
+        row = self.packages[i]
+        look = self.pool.lookup
+        return PackageId(
+            look(int(row["eco"])), look(int(row["name"])), look(int(row["version"]))
+        )
+
+    def entry_at(self, i: int) -> DatasetEntry:
+        """Hydrate row ``i`` into a fresh DatasetEntry (sha memo
+        pre-seeded, so hydration never re-canonicalises code)."""
+        row = self.packages[i]
+        look = self.pool.lookup
+        package = PackageId(
+            look(int(row["eco"])), look(int(row["name"])), look(int(row["version"]))
+        )
+        c0, c1 = int(self.claim_offsets[i]), int(self.claim_offsets[i + 1])
+        claims = [
+            SourceClaim(
+                source=look(int(self.claim_source[j])),
+                report_day=int(self.claim_day[j]),
+                shares_artifact=bool(self.claim_shares[j]),
+            )
+            for j in range(c0, c1)
+        ]
+        artifact = None
+        if bool(row["has_artifact"]):
+            f0, f1 = int(self.file_offsets[i]), int(self.file_offsets[i + 1])
+            files = {
+                look(int(self.file_path[j])): look(int(self.file_text[j]))
+                for j in range(f0, f1)
+            }
+            k0, k1 = int(self.keyword_offsets[i]), int(self.keyword_offsets[i + 1])
+            d0, d1 = int(self.dep_offsets[i]), int(self.dep_offsets[i + 1])
+            s0, s1 = int(self.script_offsets[i]), int(self.script_offsets[i + 1])
+            metadata = PackageMetadata(
+                description=look(int(row["meta_description"])),
+                author=look(int(row["meta_author"])),
+                homepage=look(int(row["meta_homepage"])),
+                keywords=tuple(look(int(self.keyword[j])) for j in range(k0, k1)),
+                dependencies=tuple(look(int(self.dep[j])) for j in range(d0, d1)),
+                scripts={
+                    look(int(self.script_key[j])): look(int(self.script_val[j]))
+                    for j in range(s0, s1)
+                },
+            )
+            artifact = PackageArtifact(
+                id=package,
+                metadata=metadata,
+                files=files,
+                _sha256=look(int(row["sha"])),
+            )
+        return DatasetEntry(
+            package=package,
+            claims=claims,
+            artifact=artifact,
+            artifact_origin=look(int(row["origin"])),
+            release_day=int(row["release_day"]) if bool(row["has_release"]) else None,
+            removal_day=int(row["removal_day"]) if bool(row["has_removal"]) else None,
+            detection_day=(
+                int(row["detection_day"]) if bool(row["has_detection"]) else None
+            ),
+            downloads=int(row["downloads"]),
+            campaign_id=look(int(row["campaign"])),
+            actor=look(int(row["actor"])),
+            archetype=look(int(row["archetype"])),
+            behavior_key=look(int(row["behavior"])),
+        )
+
+    def report_at(self, i: int) -> CollectedReport:
+        row = self.reports[i]
+        look = self.pool.lookup
+        p0, p1 = int(self.rpkg_offsets[i]), int(self.rpkg_offsets[i + 1])
+        u0, u1 = int(self.unresolved_offsets[i]), int(self.unresolved_offsets[i + 1])
+        return CollectedReport(
+            report_id=look(int(row["report_id"])),
+            url=look(int(row["url"])),
+            site=look(int(row["site"])),
+            category=look(int(row["category"])),
+            source=look(int(row["source"])),
+            publish_day=int(row["publish_day"]) if bool(row["has_publish"]) else None,
+            packages=[
+                PackageId(
+                    look(int(self.rpkg_eco[j])),
+                    look(int(self.rpkg_name[j])),
+                    look(int(self.rpkg_ver[j])),
+                )
+                for j in range(p0, p1)
+            ],
+            unresolved=[
+                (look(int(self.unresolved_a[j])), look(int(self.unresolved_b[j])))
+                for j in range(u0, u1)
+            ],
+            actor_alias=look(int(row["actor_alias"])),
+        )
+
+    # -- persistence -------------------------------------------------------
+    _ARRAY_FIELDS = (
+        "packages",
+        "claim_offsets",
+        "claim_source",
+        "claim_day",
+        "claim_shares",
+        "file_offsets",
+        "file_path",
+        "file_text",
+        "keyword_offsets",
+        "keyword",
+        "dep_offsets",
+        "dep",
+        "script_offsets",
+        "script_key",
+        "script_val",
+        "reports",
+        "rpkg_offsets",
+        "rpkg_eco",
+        "rpkg_name",
+        "rpkg_ver",
+        "unresolved_offsets",
+        "unresolved_a",
+        "unresolved_b",
+    )
+
+    def arrays(self) -> Dict[str, np.ndarray]:
+        """Every backing array keyed by a stable name (pool included) —
+        the persistence surface for the mmap tier."""
+        out = {name: getattr(self, name) for name in self._ARRAY_FIELDS}
+        frozen = self.pool.freeze()
+        out["pool_data"] = frozen["data"]
+        out["pool_offsets"] = frozen["offsets"]
+        return out
+
+    @classmethod
+    def from_array_map(cls, arrays: Dict[str, np.ndarray]) -> "ColumnarDataset":
+        """Inverse of :meth:`arrays`; the arrays may be memory-mapped."""
+        pool = StringPool.from_arrays(arrays["pool_data"], arrays["pool_offsets"])
+        kwargs = {name: arrays[name] for name in cls._ARRAY_FIELDS}
+        return cls(pool=pool, **kwargs)
+
+
+def _first_occurrence_mask(values: np.ndarray) -> np.ndarray:
+    """Boolean mask selecting the first occurrence of each distinct
+    value, preserving input order."""
+    if len(values) == 0:
+        return np.zeros(0, dtype=bool)
+    order = np.argsort(values, kind="stable")
+    sorted_vals = values[order]
+    keep_sorted = np.empty(len(values), dtype=bool)
+    keep_sorted[0] = True
+    np.not_equal(sorted_vals[1:], sorted_vals[:-1], out=keep_sorted[1:])
+    mask = np.zeros(len(values), dtype=bool)
+    mask[order[keep_sorted]] = True
+    return mask

@@ -18,7 +18,10 @@ removed, report ingested) into a surgical update of an existing
   compared;
 * :mod:`repro.core.delta.engine` — :func:`apply_delta`, the correctness
   anchor: its output is byte-identical after canonical serialisation to
-  a cold ``MalGraph.build`` over the post-events collection.
+  a cold ``MalGraph.build`` over the post-events collection;
+* :mod:`repro.core.delta.stream` — tick-log streaming: the simulator's
+  registry event logs become the ``touched`` hint that lets a window
+  diff in O(delta) instead of O(corpus).
 """
 
 from repro.core.delta.engine import DeltaReport, apply_delta
@@ -30,6 +33,11 @@ from repro.core.delta.events import (
     events_to_jsonl,
     events_from_jsonl,
 )
+from repro.core.delta.stream import (
+    RegistryTickStream,
+    graph_events_between,
+    registry_touched_keys,
+)
 from repro.core.delta.unionfind import EpochUnionFind
 
 __all__ = [
@@ -37,9 +45,12 @@ __all__ = [
     "EpochUnionFind",
     "EventKind",
     "GraphEvent",
+    "RegistryTickStream",
     "apply_delta",
     "apply_events_to_dataset",
     "event_batch_hash",
     "events_from_jsonl",
     "events_to_jsonl",
+    "graph_events_between",
+    "registry_touched_keys",
 ]

@@ -35,6 +35,7 @@ from repro.pipeline.fingerprint import (
 from repro.pipeline.report import PipelineReport, StageRun
 from repro.pipeline.stages import (
     STAGE_COLLECTION,
+    STAGE_COLUMNAR,
     STAGE_MALGRAPH,
     STAGE_WORLD,
     STAGES,
@@ -49,6 +50,7 @@ __all__ = [
     "SCHEMA_VERSION",
     "STAGES",
     "STAGE_COLLECTION",
+    "STAGE_COLUMNAR",
     "STAGE_MALGRAPH",
     "STAGE_WORLD",
     "StageRun",

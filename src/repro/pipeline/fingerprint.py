@@ -31,7 +31,11 @@ from repro.world import WorldConfig
 #: v3: the embedder's feature hashing moved from MD5 to blake2b —
 #: every vector (and the similar-edge structure built on them) changed,
 #: so v2 malgraph artifacts must not be reused.
-SCHEMA_VERSION = 3
+#: v4: the columnar corpus tier landed (DESIGN.md §12) — collection
+#: artifacts gained a sibling ``columnar`` stage addressed off the same
+#: configuration, and on-disk layouts now coexist; bumping keeps v3
+#: stores from aliasing the new stage graph.
+SCHEMA_VERSION = 4
 
 #: Hex digits kept from the SHA256 digest (64 bits; collisions across a
 #: handful of configurations are not a realistic concern).

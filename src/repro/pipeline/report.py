@@ -13,6 +13,34 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional
 
+def current_peak_rss_kb() -> Optional[int]:
+    """This process's peak RSS in KiB (``None`` where unsupported).
+
+    Prefers ``VmHWM`` from ``/proc/self/status``: unlike ``ru_maxrss``
+    it is reset when a process execs, so a freshly spawned child (the
+    scaling benchmark measures every corpus pass that way) reports its
+    own footprint instead of inheriting the parent's high-water mark.
+    Falls back to ``getrusage`` elsewhere — kibibytes on Linux, bytes on
+    macOS, normalised here so report rows and benches agree on units.
+    """
+    try:
+        with open("/proc/self/status", encoding="ascii") as status:
+            for line in status:
+                if line.startswith("VmHWM:"):
+                    return int(line.split()[1])
+    except (OSError, ValueError, IndexError):  # pragma: no cover - no procfs
+        pass
+    try:
+        import resource
+        import sys
+    except ImportError:  # pragma: no cover - non-POSIX platforms
+        return None
+    peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    if sys.platform == "darwin":  # pragma: no cover - bytes on macOS
+        peak //= 1024
+    return int(peak)
+
+
 #: A stage served from cache (memory, disk, or elided entirely).
 STATUS_HIT = "hit"
 #: A stage that had to be built.
@@ -36,6 +64,10 @@ class StageRun:
     source: str  # SOURCE_MEMORY | SOURCE_DISK | SOURCE_BUILD | SOURCE_ELIDED
     seconds: float
     fingerprint: str
+    #: process peak RSS (``ru_maxrss``, KiB) sampled when the stage
+    #: resolved; high-water mark, so deltas between rows bound a stage's
+    #: own footprint. ``None`` for rows recorded before the sampler ran.
+    peak_rss_kb: Optional[int] = None
 
     def to_dict(self) -> dict:
         return {
@@ -44,6 +76,7 @@ class StageRun:
             "source": self.source,
             "seconds": self.seconds,
             "fingerprint": self.fingerprint,
+            "peak_rss_kb": self.peak_rss_kb,
         }
 
 
@@ -81,13 +114,17 @@ class PipelineReport:
         source: str,
         seconds: float,
         fingerprint: str,
+        peak_rss_kb: Optional[int] = None,
     ) -> StageRun:
+        if peak_rss_kb is None:
+            peak_rss_kb = current_peak_rss_kb()
         run = StageRun(
             stage=stage,
             status=status,
             source=source,
             seconds=seconds,
             fingerprint=fingerprint,
+            peak_rss_kb=peak_rss_kb,
         )
         self.runs.append(run)
         return run
@@ -134,11 +171,19 @@ class PipelineReport:
 
     def render(self) -> str:
         """ASCII table of every stage resolution, oldest first."""
-        lines = ["pipeline report", "stage       status  source   seconds"]
+        lines = [
+            "pipeline report",
+            "stage       status  source   seconds  peak_rss_mb",
+        ]
         for run in self.runs:
+            rss = (
+                f"{run.peak_rss_kb / 1024.0:11.1f}"
+                if run.peak_rss_kb is not None
+                else f"{'-':>11}"
+            )
             lines.append(
                 f"{run.stage:<11} {run.status:<7} {run.source:<8} "
-                f"{run.seconds:8.3f}"
+                f"{run.seconds:8.3f}  {rss}"
             )
         for sub in self.substages:
             detail = ", ".join(f"{k}={v}" for k, v in sorted(sub.detail.items()))

@@ -17,7 +17,10 @@ from __future__ import annotations
 
 import time
 from pathlib import Path
-from typing import Optional
+from typing import TYPE_CHECKING, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.columnar import ColumnarMalwareDataset
 
 from repro.collection.pipeline import CollectionResult
 from repro.collection.records import MalwareDataset
@@ -45,6 +48,9 @@ STAGE_COLLECTION = "collection"
 STAGE_MALGRAPH = "malgraph"
 #: delta-evolved malgraph artifacts (addressed by base fp + batch hash)
 STAGE_DELTA = "malgraph_delta"
+#: columnar encoding of the collected dataset (DESIGN.md §12) — a
+#: sibling tier off the collection stage whose disk form memory-maps
+STAGE_COLUMNAR = "columnar"
 
 #: Resolution order; each stage's direct input is the one before it.
 STAGES = (STAGE_WORLD, STAGE_COLLECTION, STAGE_MALGRAPH)
@@ -94,6 +100,27 @@ class MalGraphCodec:
         from repro.io.malgraphs import load_malgraph
 
         return load_malgraph(directory, self.dataset)
+
+
+class ColumnarCodec:
+    """Disk format for the columnar corpus: one ``.npy`` per backing
+    array plus a manifest (see :mod:`repro.core.columnar.io`). Loads
+    memory-mapped, so a disk hit costs page tables — not RSS."""
+
+    def save(self, dataset, directory: Path) -> None:
+        from repro.core.columnar import ColumnarMalwareDataset, save_columnar
+
+        columnar = (
+            dataset.columnar
+            if isinstance(dataset, ColumnarMalwareDataset)
+            else dataset
+        )
+        save_columnar(columnar, directory)
+
+    def load(self, directory: Path):
+        from repro.core.columnar import ColumnarMalwareDataset, load_columnar
+
+        return ColumnarMalwareDataset(load_columnar(directory, mmap=True))
 
 
 class MalGraphBundleCodec:
@@ -163,7 +190,9 @@ class PipelineRuntime:
                 fault_plan=self.fault_plan,
                 max_retries=self._max_retries(),
             )
-        if stage == STAGE_COLLECTION:
+        if stage in (STAGE_COLLECTION, STAGE_COLUMNAR):
+            # The columnar tier is a lossless re-encoding of the
+            # collection output, so it shares that stage's inputs.
             return fingerprint(
                 stage,
                 self.config,
@@ -182,7 +211,7 @@ class PipelineRuntime:
                 fault_plan=self.fault_plan,
                 max_retries=self._max_retries(),
             )
-        if stage == STAGE_COLLECTION:
+        if stage in (STAGE_COLLECTION, STAGE_COLUMNAR):
             return config_payload(
                 self.config,
                 fault_plan=self.fault_plan,
@@ -202,6 +231,17 @@ class PipelineRuntime:
 
     def malgraph(self) -> MalGraph:
         return self._resolve_malgraph()
+
+    def columnar(self) -> "ColumnarMalwareDataset":
+        """The collected dataset as a columnar corpus (lazy facade).
+
+        Resolves memory -> disk -> build like every other stage. A disk
+        hit memory-maps the arrays and *elides the whole upstream chain*:
+        the world is never simulated and the collection JSONL is never
+        parsed — the defining win of the columnar tier for analysis-only
+        processes.
+        """
+        return self._resolve_columnar()
 
     def warm(self) -> "PipelineRuntime":
         """Resolve the full analysis path (persisting what is cacheable)."""
@@ -348,6 +388,41 @@ class PipelineRuntime:
         )
         self._record(STAGE_COLLECTION, STATUS_MISS, SOURCE_BUILD, started)
         return result
+
+    def _resolve_columnar(self) -> "ColumnarMalwareDataset":
+        fp = self.fingerprint(STAGE_COLUMNAR)
+        started = time.perf_counter()
+        held = self.store.get_memory(STAGE_COLUMNAR, fp)
+        if held is not None:
+            self._record(STAGE_COLUMNAR, STATUS_HIT, SOURCE_MEMORY, started)
+            self._record_elided(STAGE_COLLECTION, STAGE_WORLD)
+            return held
+        codec = ColumnarCodec()
+        if self.store.has_disk(STAGE_COLUMNAR, fp):
+            held = self.store.get_disk(STAGE_COLUMNAR, fp, codec)
+            if held is not None:
+                self.store.put_memory(STAGE_COLUMNAR, fp, held)
+                self._record(STAGE_COLUMNAR, STATUS_HIT, SOURCE_DISK, started)
+                self._record_elided(STAGE_COLLECTION, STAGE_WORLD)
+                return held
+        from repro.core.columnar import ColumnarDataset, ColumnarMalwareDataset
+
+        result = self._resolve_collection()
+        started = time.perf_counter()
+        held = ColumnarMalwareDataset(
+            ColumnarDataset.from_dataset(result.dataset)
+        )
+        if result.stats.degraded and not self.allow_degraded:
+            # Same quarantine as the collection stage: a degraded corpus
+            # must not become a cached columnar artifact.
+            self._record(STAGE_COLUMNAR, STATUS_MISS, SOURCE_BUILD, started)
+            return held
+        self.store.put_memory(STAGE_COLUMNAR, fp, held)
+        self.store.put_disk(
+            STAGE_COLUMNAR, fp, held, codec, self._config_payload(STAGE_COLUMNAR)
+        )
+        self._record(STAGE_COLUMNAR, STATUS_MISS, SOURCE_BUILD, started)
+        return held
 
     def _resolve_malgraph(self) -> MalGraph:
         fp = self.fingerprint(STAGE_MALGRAPH)

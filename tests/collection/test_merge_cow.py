@@ -1,0 +1,83 @@
+"""Copy-on-write semantics of :func:`merge_datasets`.
+
+The merge used to clone and claim-normalise every base entry even when
+``new`` was empty; since the columnar scale-out it shares untouched
+entries by identity and short-circuits trivial merges, so merging a
+small delta into a large base allocates O(delta).
+"""
+
+from __future__ import annotations
+
+from repro.collection.merge import merge_datasets
+from repro.collection.records import DatasetEntry, MalwareDataset, SourceClaim
+from repro.ecosystem.package import PackageId, make_artifact
+
+
+def _entry(name: str, version: str = "1.0", source: str = "snyk") -> DatasetEntry:
+    return DatasetEntry(
+        package=PackageId("pypi", name, version),
+        claims=[SourceClaim(source, 10, False)],
+        artifact=make_artifact("pypi", name, version, {"m.py": f"# {name}\n"}),
+        artifact_origin="source:test",
+        downloads=5,
+    )
+
+
+def _report_stub(report_id: str):
+    from repro.collection.records import CollectedReport
+
+    return CollectedReport(
+        report_id=report_id,
+        url=f"https://example.test/{report_id}",
+        site="example.test",
+        category="Security org.",
+        source="snyk",
+        publish_day=12,
+        packages=[],
+    )
+
+
+def test_empty_new_returns_base_object_itself():
+    base = MalwareDataset(
+        entries=[_entry("a"), _entry("b")], reports=[_report_stub("r1")]
+    )
+    empty = MalwareDataset(entries=[], reports=[])
+    assert merge_datasets(base, empty) is base
+
+
+def test_untouched_base_entries_are_shared_by_identity():
+    base = MalwareDataset(entries=[_entry("a"), _entry("b"), _entry("c")], reports=[])
+    delta = MalwareDataset(
+        entries=[
+            DatasetEntry(
+                package=PackageId("pypi", "b", "1.0"),
+                claims=[SourceClaim("phylum", 4, True)],
+            ),
+            _entry("d"),
+        ],
+        reports=[],
+    )
+    merged = merge_datasets(base, delta)
+
+    by_key = {e.package: e for e in merged.entries}
+    # untouched base entries: the very same objects, no clone
+    assert by_key[PackageId("pypi", "a", "1.0")] is base.entries[0]
+    assert by_key[PackageId("pypi", "c", "1.0")] is base.entries[2]
+    # new-only entries are shared from the delta side
+    assert by_key[PackageId("pypi", "d", "1.0")] is delta.entries[1]
+    # the overlapping key was cloned: base's object is NOT in the output
+    touched = by_key[PackageId("pypi", "b", "1.0")]
+    assert touched is not base.entries[1]
+    assert touched is not delta.entries[0]
+    # ... and the base input was not mutated by the fold
+    assert [c.source for c in base.entries[1].claims] == ["snyk"]
+    assert {c.source for c in touched.claims} == {"snyk", "phylum"}
+
+
+def test_reports_are_shared_by_identity():
+    base = MalwareDataset(entries=[], reports=[_report_stub("r1")])
+    delta = MalwareDataset(entries=[], reports=[_report_stub("r1"), _report_stub("r2")])
+    merged = merge_datasets(base, delta)
+    by_id = {r.report_id: r for r in merged.reports}
+    assert by_id["r1"] is base.reports[0]  # base wins the dedup
+    assert by_id["r2"] is delta.reports[1]

@@ -1,0 +1,142 @@
+"""Tick-log streaming: registry logs as the O(delta) ``touched`` hint.
+
+The equivalence contract from :mod:`repro.core.delta.stream`: a batch
+emitted with a correct (or superset) ``touched`` hint is identical to
+the full :func:`events_from_datasets` diff — and the hint is
+load-bearing, because lying to it (a set missing a genuinely changed
+key) changes the output.
+"""
+
+from __future__ import annotations
+
+from types import SimpleNamespace
+
+from repro.collection.merge import events_from_datasets
+from repro.collection.records import DatasetEntry, MalwareDataset, SourceClaim
+from repro.core.delta import (
+    RegistryTickStream,
+    graph_events_between,
+    registry_touched_keys,
+)
+from repro.ecosystem.package import PackageId
+from repro.ecosystem.registry import EventKind, RegistryEvent
+
+
+def _pid(name: str) -> PackageId:
+    return PackageId("pypi", name, "1.0")
+
+
+def _registry(*events: RegistryEvent):
+    return SimpleNamespace(events=list(events))
+
+
+def _dataset(*specs) -> MalwareDataset:
+    entries = [
+        DatasetEntry(
+            package=_pid(name),
+            claims=[SourceClaim("snyk", 5, False)],
+            downloads=downloads,
+        )
+        for name, downloads in specs
+    ]
+    return MalwareDataset(entries=entries, reports=[])
+
+
+# -- registry_touched_keys ---------------------------------------------------
+
+def test_touched_keys_respects_day_window():
+    reg = _registry(
+        RegistryEvent(EventKind.PUBLISH, _pid("a"), day=1),
+        RegistryEvent(EventKind.DETECT, _pid("b"), day=10),
+        RegistryEvent(EventKind.REMOVE, _pid("c"), day=20),
+    )
+    assert registry_touched_keys([reg]) == {_pid("a"), _pid("b"), _pid("c")}
+    assert registry_touched_keys([reg], since_day=5) == {_pid("b"), _pid("c")}
+    assert registry_touched_keys([reg], since_day=5, until_day=15) == {_pid("b")}
+
+
+# -- RegistryTickStream ------------------------------------------------------
+
+def test_tick_stream_drains_only_new_events():
+    reg = _registry(RegistryEvent(EventKind.PUBLISH, _pid("a"), day=1))
+    stream = RegistryTickStream([reg])
+    assert stream.pending() == 1
+    assert stream.drain() == {_pid("a")}
+    assert stream.pending() == 0
+    assert stream.drain() == set()
+
+    reg.events.append(RegistryEvent(EventKind.DETECT, _pid("b"), day=2))
+    reg.events.append(RegistryEvent(EventKind.REMOVE, _pid("a"), day=3))
+    assert stream.pending() == 2
+    assert stream.drain() == {_pid("a"), _pid("b")}
+    assert stream.drain() == set()
+
+
+def test_tick_stream_spans_registries():
+    r1 = _registry(RegistryEvent(EventKind.PUBLISH, _pid("a"), day=1))
+    r2 = _registry(RegistryEvent(EventKind.PUBLISH, _pid("b"), day=1))
+    stream = RegistryTickStream([r1, r2])
+    assert stream.drain() == {_pid("a"), _pid("b")}
+
+
+# -- graph_events_between ----------------------------------------------------
+
+def _serialise(events):
+    import json
+
+    return json.dumps([e.to_dict() for e in events], sort_keys=True)
+
+
+def test_hinted_batch_equals_full_diff():
+    old = _dataset(("a", 1), ("b", 1), ("c", 1))
+    new = _dataset(("a", 1), ("b", 9), ("d", 1))  # b updated, c gone, d new
+
+    full = events_from_datasets(old, new)
+    hinted = graph_events_between(old, new, touched={_pid("b")})
+    superset = graph_events_between(
+        old, new, touched={_pid("a"), _pid("b"), _pid("c"), _pid("d")}
+    )
+    assert _serialise(hinted) == _serialise(full)
+    assert _serialise(superset) == _serialise(full)
+    # additions/removals never depend on the hint
+    kinds = [e.kind.value for e in hinted]
+    assert "package_removed" in kinds and "package_added" in kinds
+
+
+def test_registry_hint_is_equivalent_and_load_bearing():
+    old = _dataset(("a", 1), ("b", 1))
+    new = _dataset(("a", 1), ("b", 9))
+    reg = _registry(RegistryEvent(EventKind.DETECT, _pid("b"), day=7))
+
+    via_registries = graph_events_between(old, new, registries=[reg])
+    assert _serialise(via_registries) == _serialise(events_from_datasets(old, new))
+
+    # a hint that misses the changed key silently drops the update —
+    # which is exactly why the registry log must cover every lifecycle
+    # change, and does by construction
+    lying = graph_events_between(old, new, touched=set())
+    assert _serialise(lying) != _serialise(events_from_datasets(old, new))
+    assert lying == []
+
+
+def test_no_hint_degrades_to_full_diff():
+    old = _dataset(("a", 1))
+    new = _dataset(("a", 2))
+    assert _serialise(graph_events_between(old, new)) == _serialise(
+        events_from_datasets(old, new)
+    )
+
+
+def test_world_tick_stream_covers_simulated_lifecycle(small_world):
+    """Every package the simulation published shows up in one drain of
+    the world's tick stream (the hint is a superset of any window)."""
+    stream = small_world.tick_stream()
+    touched = stream.drain()
+    assert touched  # the simulation logged lifecycle events
+    assert stream.pending() == 0
+    published = {
+        record.artifact.id
+        for registry in small_world.registries
+        for record in registry.all_packages()
+    }
+    assert published <= touched
